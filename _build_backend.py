@@ -1,0 +1,94 @@
+"""Minimal self-contained PEP 517 build backend.
+
+The reproduction environment is offline and lacks the ``wheel``
+package, so the stock setuptools backend cannot build (editable)
+wheels.  A wheel is just a zip archive with a dist-info directory;
+this backend creates one with the standard library only, supporting
+``pip install .`` and ``pip install -e .``.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import os
+import zipfile
+
+NAME = "repro"
+VERSION = "0.1.0"
+DIST = f"{NAME}-{VERSION}"
+TAG = "py3-none-any"
+ROOT = os.path.dirname(os.path.abspath(__file__))
+
+METADATA = f"""\
+Metadata-Version: 2.1
+Name: {NAME}
+Version: {VERSION}
+Summary: Reproduction of 'In-situ Programmable Switching using rP4' (HotNets'21)
+Requires-Python: >=3.9
+Requires-Dist: numpy
+Provides-Extra: test
+Requires-Dist: pytest ; extra == 'test'
+Requires-Dist: pytest-benchmark ; extra == 'test'
+Requires-Dist: hypothesis ; extra == 'test'
+"""
+
+WHEEL_META = f"""\
+Wheel-Version: 1.0
+Generator: repro-build-backend
+Root-Is-Purelib: true
+Tag: {TAG}
+"""
+
+ENTRY_POINTS = """\
+[console_scripts]
+rp4bc = repro.compiler.cli:rp4bc_main
+rp4fc = repro.compiler.cli:rp4fc_main
+ipbm-ctl = repro.runtime.cli:main
+"""
+
+
+def _record_line(name: str, data: bytes) -> str:
+    digest = base64.urlsafe_b64encode(hashlib.sha256(data).digest())
+    return f"{name},sha256={digest.rstrip(b'=').decode()},{len(data)}"
+
+
+def _write_wheel(wheel_directory: str, payload: "dict[str, bytes]") -> str:
+    wheel_name = f"{DIST}-{TAG}.whl"
+    dist_info = f"{DIST}.dist-info"
+    files = dict(payload)
+    files[f"{dist_info}/METADATA"] = METADATA.encode()
+    files[f"{dist_info}/WHEEL"] = WHEEL_META.encode()
+    files[f"{dist_info}/entry_points.txt"] = ENTRY_POINTS.encode()
+    record = [_record_line(name, data) for name, data in sorted(files.items())]
+    record.append(f"{dist_info}/RECORD,,")
+    files[f"{dist_info}/RECORD"] = ("\n".join(record) + "\n").encode()
+    path = os.path.join(wheel_directory, wheel_name)
+    with zipfile.ZipFile(path, "w", zipfile.ZIP_DEFLATED) as zf:
+        for name in sorted(files):
+            zf.writestr(name, files[name])
+    return wheel_name
+
+
+def build_wheel(wheel_directory, config_settings=None, metadata_directory=None):
+    payload = {}
+    src = os.path.join(ROOT, "src")
+    for dirpath, dirnames, filenames in os.walk(src):
+        dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+        for filename in filenames:
+            if not filename.endswith((".py", ".rp4", ".p4", ".json")):
+                continue
+            full = os.path.join(dirpath, filename)
+            rel = os.path.relpath(full, src).replace(os.sep, "/")
+            with open(full, "rb") as fh:
+                payload[rel] = fh.read()
+    return _write_wheel(wheel_directory, payload)
+
+
+def build_editable(wheel_directory, config_settings=None, metadata_directory=None):
+    pth = (os.path.join(ROOT, "src") + "\n").encode()
+    return _write_wheel(wheel_directory, {f"_{NAME}_editable.pth": pth})
+
+
+def build_sdist(sdist_directory, config_settings=None):
+    raise NotImplementedError("sdist builds are not supported offline")

@@ -1,0 +1,77 @@
+"""Shared fixtures for the evaluation benchmarks."""
+
+import pytest
+
+from repro.compiler.rp4bc import compile_base, compile_update
+from repro.ipsa.switch import IpsaSwitch
+from repro.pisa.switch import PisaSwitch
+from repro.programs import (
+    base_p4_source,
+    base_rp4_source,
+    ecmp_load_script,
+    ecmp_rp4_source,
+    flowprobe_load_script,
+    flowprobe_rp4_source,
+    populate_base_tables,
+    populate_ecmp_tables,
+    populate_flowprobe_tables,
+    populate_srv6_tables,
+    srv6_load_script,
+    srv6_rp4_source,
+)
+from repro.programs.p4_variants import (
+    ecmp_p4_source,
+    flowprobe_p4_source,
+    srv6_p4_source,
+)
+from repro.runtime.controller import Controller
+
+CASE_ARTIFACTS = {
+    "C1": (
+        ecmp_load_script,
+        ecmp_rp4_source,
+        "ecmp.rp4",
+        populate_ecmp_tables,
+        ecmp_p4_source,
+    ),
+    "C2": (
+        srv6_load_script,
+        srv6_rp4_source,
+        "srv6.rp4",
+        populate_srv6_tables,
+        srv6_p4_source,
+    ),
+    "C3": (
+        flowprobe_load_script,
+        flowprobe_rp4_source,
+        "flowprobe.rp4",
+        populate_flowprobe_tables,
+        flowprobe_p4_source,
+    ),
+}
+
+
+@pytest.fixture(scope="session")
+def base_design():
+    return compile_base(base_rp4_source())
+
+
+def make_ipsa_for_case(case):
+    """An IPSA controller with the base design plus one use case live."""
+    script, snippet, name, populate, _ = CASE_ARTIFACTS[case]
+    controller = Controller()
+    controller.load_base(base_rp4_source())
+    populate_base_tables(controller.switch.tables)
+    controller.run_script(script(), {name: snippet()})
+    populate(controller.switch.tables)
+    return controller
+
+
+def make_pisa_for_case(case):
+    """A PISA switch running the full updated P4 variant."""
+    _, _, _, populate, p4_variant = CASE_ARTIFACTS[case]
+    switch = PisaSwitch(n_stages=8)
+    switch.load(p4_variant())
+    populate_base_tables(switch.tables)
+    populate(switch.tables)
+    return switch

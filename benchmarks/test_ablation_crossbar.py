@@ -1,0 +1,85 @@
+"""Ablation: full vs clustered crossbar (paper Sec. 2.4).
+
+"Different crossbar types can be used as a tradeoff between
+flexibility and resource consumption."  The clustered crossbar is
+cheaper in crosspoints but constrains placement: moving a logical
+stage across clusters forces its tables to migrate.
+"""
+
+from repro.bench.report import format_table
+from repro.compiler.rp4bc import TargetSpec, compile_base
+from repro.hw import ipsa_resources
+from repro.memory.blocks import MemoryKind
+from repro.memory.crossbar import ClusteredCrossbar, FullCrossbar
+from repro.memory.pool import MemoryPool
+from repro.programs import base_rp4_source
+
+
+def test_ablation_crossbar_resources(benchmark):
+    def compile_both():
+        full = compile_base(base_rp4_source())
+        clustered = compile_base(
+            base_rp4_source(),
+            TargetSpec(
+                memory_clusters=4,
+                crossbar=ClusteredCrossbar(
+                    tsp_cluster_size=2,
+                    memory_clusters=4,
+                    # Each TSP cluster reaches its own + the next memory
+                    # cluster, so the base design still places.
+                    mapping={
+                        0: {0, 1},
+                        1: {1, 2},
+                        2: {2, 3},
+                        3: {3, 0},
+                    },
+                ),
+            ),
+        )
+        return full, clustered
+
+    full, clustered = benchmark(compile_both)
+
+    full_res = ipsa_resources(full)
+    clustered_res = ipsa_resources(clustered)
+    full_ports = full.pool.crossbar.port_count(8, len(full.pool.blocks))
+    clustered_ports = clustered.pool.crossbar.port_count(
+        8, len(clustered.pool.blocks)
+    )
+
+    print()
+    print(
+        format_table(
+            ["crossbar", "crosspoints", "crossbar LUT", "total LUT", "TSPs"],
+            [
+                ("full", full_ports, f"{full_res.lut['Crossbar']:.2f}%",
+                 f"{full_res.lut_total:.2f}%", full.plan.tsp_count),
+                ("clustered", clustered_ports,
+                 f"{clustered_res.lut['Crossbar']:.2f}%",
+                 f"{clustered_res.lut_total:.2f}%", clustered.plan.tsp_count),
+            ],
+            title="Ablation: crossbar flexibility vs cost",
+        )
+    )
+
+    assert clustered_ports < full_ports
+    assert clustered_res.lut["Crossbar"] < full_res.lut["Crossbar"]
+    # Both still fit the design.
+    assert clustered.plan.tsp_count == full.plan.tsp_count
+    assert set(clustered.pool.mappings()) == set(full.pool.mappings())
+
+
+def test_ablation_crossbar_migration_cost(benchmark):
+    """Moving a table across clusters copies all its blocks."""
+
+    def migrate():
+        pool = MemoryPool(
+            sram_blocks=16, tcam_blocks=0, clusters=4,
+            crossbar=ClusteredCrossbar(tsp_cluster_size=2, memory_clusters=4),
+        )
+        pool.allocate_tables([("fib", MemoryKind.SRAM, 128, 3 * 1024, [0])])
+        return pool.migrate_table("fib", [2])
+
+    moved = benchmark(migrate)
+    print(f"\nmigrated {moved} blocks cluster 0 -> 2")
+    assert moved == 3

@@ -1,0 +1,111 @@
+"""Ablation: DP vs greedy incremental layout (paper Sec. 3.2).
+
+"In the algorithm, there is a trade-off between dynamic programming
+and greedy algorithm in terms of the function placement time and the
+degree of optimization."  We measure both sides: the DP never rewrites
+more templates than the greedy, and the greedy runs faster.
+"""
+
+import time
+
+import pytest
+
+from repro.bench.report import format_table
+from repro.compiler.layout import layout_dp, layout_greedy
+from repro.compiler.merge import MergePlan, group_key
+
+
+def synthetic_plan(n_groups, inserted_at=None):
+    """An ingress pipeline of single-stage groups, with an optional
+    inserted function (the runtime-update workload)."""
+    groups = [[f"stage_{i}"] for i in range(n_groups)]
+    if inserted_at is not None:
+        groups.insert(inserted_at, ["inserted_fn"])
+    return MergePlan(ingress_groups=groups, egress_groups=[["egress_0"]])
+
+
+N_TSPS = 24
+N_GROUPS = 16
+
+
+@pytest.fixture(scope="module")
+def old_slots():
+    return dict(layout_dp(synthetic_plan(N_GROUPS), N_TSPS).slots)
+
+
+def test_ablation_layout_quality_insertions(benchmark, old_slots):
+    """Across every insertion point, DP rewrites <= greedy rewrites."""
+
+    def sweep():
+        rows = []
+        for insert_at in range(N_GROUPS + 1):
+            plan = synthetic_plan(N_GROUPS, inserted_at=insert_at)
+            dp = layout_dp(plan, N_TSPS, old_slots)
+            greedy = layout_greedy(plan, N_TSPS, old_slots)
+            rows.append((insert_at, len(dp.rewrites), len(greedy.rewrites)))
+        return rows
+
+    rows = benchmark(sweep)
+    print()
+    print(
+        format_table(
+            ["insert at", "DP rewrites", "greedy rewrites"],
+            rows,
+            title="Ablation: incremental layout quality (insertions)",
+        )
+    )
+    assert all(dp <= greedy for _, dp, greedy in rows)
+    assert all(dp >= 1 for _, dp, _ in rows)  # the new function itself
+
+
+def test_ablation_layout_quality_scrambled(benchmark):
+    """After chained updates the surviving groups' old positions can be
+    non-monotone; greedy first-match then misses the optimal alignment
+    (a longest-increasing-subsequence effect) while the DP finds it.
+    """
+    plan = MergePlan(
+        ingress_groups=[["s0"], ["s1"], ["s2"]],
+        egress_groups=[["eg"]],
+    )
+    # Old positions 3,1,2: matching s0 early (slot 3) forfeits the
+    # better {s1@1, s2@2} alignment.
+    old = {
+        3: group_key(["s0"]),
+        1: group_key(["s1"]),
+        2: group_key(["s2"]),
+        7: group_key(["eg"]),
+    }
+
+    def solve():
+        return layout_dp(plan, 8, old), layout_greedy(plan, 8, old)
+
+    dp, greedy = benchmark(solve)
+    print(
+        f"\nscrambled case: DP rewrites {len(dp.rewrites)}, "
+        f"greedy rewrites {len(greedy.rewrites)}"
+    )
+    assert len(dp.rewrites) < len(greedy.rewrites)
+    assert len(dp.rewrites) == 1
+
+
+def test_ablation_layout_speed(benchmark, old_slots):
+    """Greedy placement is faster than the DP (the other side of the
+    trade-off)."""
+    plan = synthetic_plan(N_GROUPS, inserted_at=7)
+
+    def greedy_time():
+        started = time.perf_counter()
+        for _ in range(50):
+            layout_greedy(plan, N_TSPS, old_slots)
+        return time.perf_counter() - started
+
+    def dp_time():
+        started = time.perf_counter()
+        for _ in range(50):
+            layout_dp(plan, N_TSPS, old_slots)
+        return time.perf_counter() - started
+
+    greedy_s = greedy_time()
+    dp_s = benchmark.pedantic(dp_time, rounds=3, iterations=1)
+    print(f"\nplacement time x50: greedy {greedy_s * 1e3:.2f} ms, DP {dp_s * 1e3:.2f} ms")
+    assert greedy_s < dp_s

@@ -1,0 +1,115 @@
+"""Ablation: stage merging on/off (paper Sec. 3.1).
+
+"One TSP can host multiple independent stages after compiling."  We
+compare the three merge modes on the base design: TSP count (resource
+side) and the modeled throughput (merged TSPs do more work per packet,
+so merging trades pipeline length for per-TSP cycles).
+"""
+
+from repro.bench.report import format_table
+from repro.compiler.merge import MergeMode
+from repro.compiler.rp4bc import TargetSpec, compile_base
+from repro.hw import ipsa_power, ipsa_throughput
+from repro.ipsa.switch import IpsaSwitch
+from repro.programs import base_rp4_source
+from repro.programs.base_l2l3 import populate_base_tables
+from repro.workloads import mixed_l3_trace
+
+
+def test_ablation_merge_modes(benchmark):
+    def compile_all():
+        designs = {}
+        for mode in MergeMode:
+            designs[mode.value] = compile_base(
+                base_rp4_source(),
+                TargetSpec(n_tsps=10, merge_mode=mode),
+            )
+        return designs
+
+    designs = benchmark(compile_all)
+    trace = mixed_l3_trace(200)
+
+    rows = []
+    for mode, design in designs.items():
+        switch = IpsaSwitch(n_tsps=10)
+        switch.load_config(design.config)
+        populate_base_tables(switch.tables)
+        report = ipsa_throughput(switch, design, trace)
+        power = ipsa_power(design.plan.tsp_count, n_tsps=10).total
+        rows.append(
+            (
+                mode,
+                design.plan.tsp_count,
+                f"{report.model_mpps:.1f}",
+                f"{report.cycles_per_packet:.2f}",
+                f"{power:.2f}",
+            )
+        )
+
+    print()
+    print(
+        format_table(
+            ["merge mode", "TSPs", "model Mpps", "cycles/pkt", "power (W)"],
+            rows,
+            title="Ablation: stage merging",
+        )
+    )
+
+    by_mode = {row[0]: row for row in rows}
+    assert by_mode["none"][1] == 10
+    assert by_mode["exclusive"][1] == 8
+    assert by_mode["full"][1] == 7
+    # Fewer active TSPs -> less power (the merging payoff)...
+    assert float(by_mode["full"][4]) < float(by_mode["none"][4])
+    # ...but merged TSPs do more lookups per packet, costing cycles.
+    assert float(by_mode["full"][3]) >= float(by_mode["exclusive"][3])
+
+
+def test_ablation_cofire_throughput_tradeoff(benchmark):
+    """The throughput-aware merge knob: bounding co-firing stages per
+    TSP trades extra TSPs for fewer bottleneck cycles (this is what
+    brings the C3 PISA/IPSA ratio back to the paper's ~3x)."""
+    from repro.compiler.rp4bc import TargetSpec, compile_base, compile_update
+    from repro.hw import ipsa_throughput
+    from repro.ipsa.switch import IpsaSwitch
+    from repro.programs import (
+        base_rp4_source,
+        flowprobe_load_script,
+        flowprobe_rp4_source,
+        populate_flowprobe_tables,
+    )
+    from repro.workloads import use_case_trace
+
+    def measure():
+        rows = []
+        trace = use_case_trace("C3", 200)
+        for cofire, tsps in ((None, 8), (1, 12)):
+            target = TargetSpec(n_tsps=tsps, max_cofire_per_tsp=cofire)
+            base = compile_base(base_rp4_source(), target)
+            plan = compile_update(
+                base, flowprobe_load_script(),
+                {"flowprobe.rp4": flowprobe_rp4_source()},
+            )
+            switch = IpsaSwitch(n_tsps=tsps)
+            switch.load_config(plan.design.config)
+            populate_base_tables(switch.tables)
+            populate_flowprobe_tables(switch.tables)
+            report = ipsa_throughput(switch, plan.design, trace)
+            rows.append(
+                (str(cofire), plan.design.plan.tsp_count,
+                 report.model_mpps, report.cycles_per_packet)
+            )
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["max cofire", "TSPs", "model Mpps", "cycles/pkt"],
+            [(c, t, f"{m:.1f}", f"{cy:.2f}") for c, t, m, cy in rows],
+            title="Ablation: throughput-aware merging (C3)",
+        )
+    )
+    unlimited, bounded = rows
+    assert bounded[2] > unlimited[2]  # fewer cycles at the bottleneck
+    assert bounded[1] > unlimited[1]  # paid for with more TSPs

@@ -1,0 +1,62 @@
+"""Ablation: compile time vs. base-design size.
+
+The structural mechanism behind Table 1: the full flow recompiles the
+*whole* program (cost grows with base size), the incremental flow
+compiles only the snippet + commands (cost roughly flat).  The paper's
+2-6% ratios are a consequence of this asymmetry at p4c scale.
+"""
+
+import time
+
+from repro.bench.report import format_table
+from repro.compiler.merge import MergeMode
+from repro.compiler.rp4bc import TargetSpec, compile_base, compile_update
+from repro.programs.synth import synthetic_base, synthetic_script, synthetic_snippet
+
+SIZES = (8, 16, 32, 64)
+
+
+def _target(n_stages):
+    return TargetSpec(
+        n_tsps=n_stages + 4,
+        sram_blocks=4 * n_stages + 32,
+        merge_mode=MergeMode.FULL,
+    )
+
+
+def test_ablation_compile_scaling(benchmark):
+    def sweep():
+        rows = []
+        for n in SIZES:
+            source = synthetic_base(n)
+            target = _target(n)
+
+            started = time.perf_counter()
+            design = compile_base(source, target)
+            full_ms = (time.perf_counter() - started) * 1e3
+
+            started = time.perf_counter()
+            compile_update(
+                design,
+                synthetic_script(n),
+                {"probe.rp4": synthetic_snippet()},
+            )
+            inc_ms = (time.perf_counter() - started) * 1e3
+            rows.append((n, full_ms, inc_ms, inc_ms / full_ms))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=3, iterations=1)
+    print()
+    print(
+        format_table(
+            ["base stages", "full compile (ms)", "incremental (ms)", "ratio"],
+            [(n, f"{f:.1f}", f"{i:.2f}", f"{r:.1%}") for n, f, i, r in rows],
+            title="Ablation: compile time vs base size",
+        )
+    )
+
+    # Full compile must grow substantially with base size...
+    assert rows[-1][1] > rows[0][1] * 3
+    # ...while the snippet compile grows far slower, so the ratio drops.
+    assert rows[-1][3] < rows[0][3]
+    assert rows[-1][3] < 0.25, "incremental must be a small fraction at scale"

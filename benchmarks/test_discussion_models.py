@@ -1,0 +1,64 @@
+"""Sec. 5 Discussion: the three structural offsets to IPSA's resource
+penalty, quantified.
+
+The paper argues qualitatively; these benches print the series and
+assert the claimed shapes:
+
+1. multi-pipeline chips: PISA's effective table capacity divides by
+   the pipeline count (replication); IPSA's shared pool does not;
+2. table expansion: PISA burns pipeline stages to host a big table;
+   IPSA always hosts a logical stage in one TSP;
+3. latency: IPSA's path only contains the *used* TSPs.
+"""
+
+from repro.bench.report import format_table
+from repro.hw.discussion import (
+    capacity_vs_pipelines,
+    latency_vs_stages,
+    stages_vs_table_size,
+)
+
+
+def test_discussion_multi_pipeline_capacity(benchmark):
+    rows = benchmark(capacity_vs_pipelines, 112, 4)
+    print()
+    print(
+        format_table(
+            ["pipelines", "PISA effective blocks", "IPSA effective blocks"],
+            rows,
+            title="Discussion (1): effective table capacity",
+        )
+    )
+    for n, pisa, ipsa in rows:
+        assert ipsa >= pisa
+    assert rows[-1][2] > 2 * rows[-1][1]  # the gap is large at 4 pipelines
+
+
+def test_discussion_stage_expansion(benchmark):
+    rows = benchmark(stages_vs_table_size)
+    print()
+    print(
+        format_table(
+            ["table blocks", "PISA effective stages", "IPSA effective stages"],
+            rows,
+            title="Discussion (2): stage cost of table expansion",
+        )
+    )
+    assert rows[-1][1] < rows[0][1]  # PISA loses stages as tables grow
+    assert all(ipsa == rows[0][2] for _, _, ipsa in rows)
+
+
+def test_discussion_latency(benchmark):
+    rows = benchmark(latency_vs_stages, 8)
+    print()
+    print(
+        format_table(
+            ["effective stages", "PISA cycles", "IPSA cycles"],
+            rows,
+            title="Discussion (3): pipeline latency",
+        )
+    )
+    pisa_values = {p for _, p, _ in rows}
+    assert len(pisa_values) == 1  # full physical pipeline, always
+    assert rows[0][2] < rows[0][1]  # short designs: IPSA's path shorter
+    assert rows[-1][2] > rows[-1][1]  # full occupancy: crossbar tax shows

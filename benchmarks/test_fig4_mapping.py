@@ -1,0 +1,39 @@
+"""Fig. 4: the packet processing pipeline and its TSP mapping.
+
+Regenerates the base design's A..J -> TSP mapping and the per-use-case
+mappings after each in-situ update, and benchmarks the base compile.
+"""
+
+from repro.bench.mapping import fig4_mapping, format_mapping
+from repro.compiler.rp4bc import compile_base
+from repro.programs import BASE_STAGE_LETTERS, base_rp4_source
+
+
+def test_fig4_base_compile(benchmark):
+    design = benchmark(compile_base, base_rp4_source())
+
+    mappings = fig4_mapping()
+    print()
+    for name, d in mappings.items():
+        print(format_mapping(d, name))
+
+    # Paper: "The base design ... requires seven TSPs to map all the
+    # function stages".
+    assert design.plan.tsp_count == 7
+    letters = design.stage_letters(BASE_STAGE_LETTERS)
+    assert len(set(letters.values())) == 7  # ten letters on seven TSPs
+    assert letters["D"] == letters["E"]
+    assert letters["F"] == letters["G"]
+    assert letters["I"] == letters["J"]
+
+    # "Since they are independent, only one stage is needed for the
+    # [ECMP] function. The ECMP function also covers and therefore
+    # replaces H."
+    ecmp = mappings["C1-ecmp"]
+    assert ecmp.plan.tsp_count == 7
+    assert ecmp.plan.group_of("ecmp") == ["ecmp"]
+    assert "nexthop" not in ecmp.program.all_stages()
+
+    # The SRv6 and flow-probe functions also fit without extra TSPs.
+    assert mappings["C2-srv6"].plan.tsp_count == 7
+    assert mappings["C3-flowprobe"].plan.tsp_count == 7

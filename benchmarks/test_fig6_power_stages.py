@@ -1,0 +1,34 @@
+"""Fig. 6: power consumption vs. number of effective physical stages.
+
+Paper shape: PISA's power is flat (all physical stages are powered
+whether the application uses them or not); IPSA's grows with the
+number of active TSPs because bypassed TSPs idle in low power, so
+IPSA wins below a crossover near full occupancy.
+"""
+
+from repro.bench.report import format_table
+from repro.hw import power_vs_stages
+from repro.hw.power import crossover_stage
+
+
+def test_fig6(benchmark):
+    rows = benchmark(power_vs_stages, 8)
+
+    print()
+    print(
+        format_table(
+            ["effective stages", "PISA (W)", "IPSA (W)"],
+            [(k, f"{p:.2f}", f"{i:.2f}") for k, p, i in rows],
+            title="Fig. 6 -- power vs effective stages",
+        )
+    )
+    cross = crossover_stage(8)
+    print(f"crossover at {cross} effective stages")
+
+    pisa_series = [p for _, p, _ in rows]
+    ipsa_series = [i for _, _, i in rows]
+    assert len(set(pisa_series)) == 1, "PISA must be flat"
+    assert ipsa_series == sorted(ipsa_series), "IPSA must be monotone"
+    assert ipsa_series[0] < pisa_series[0], "IPSA wins at low occupancy"
+    assert ipsa_series[-1] > pisa_series[-1], "IPSA pays at full occupancy"
+    assert cross is not None and 4 <= cross <= 8

@@ -1,0 +1,75 @@
+"""Sec. 5 "Throughput": modeled Mpps for PISA vs IPSA per use case.
+
+Paper (at 200 MHz): PISA 187.33 / 153.71 / 191.93 Mpps and IPSA
+65.81 / 51.36 / 86.62 Mpps for C1 / C2 / C3.  Shape to reproduce:
+PISA beats IPSA by roughly 2-3x everywhere, C2 (SRv6) is the slowest
+case for both (deep header stack), and IPSA's losses come from memory
+accesses + per-packet template loads.
+"""
+
+import pytest
+
+from conftest import make_ipsa_for_case, make_pisa_for_case
+
+from repro.bench.report import format_table
+from repro.hw import ipsa_throughput, pisa_throughput
+from repro.workloads import use_case_trace
+
+N_PACKETS = 400
+
+
+@pytest.mark.parametrize("case", ["C1", "C2", "C3"])
+def test_throughput_case(case, benchmark):
+    trace = use_case_trace(case, N_PACKETS)
+    controller = make_ipsa_for_case(case)
+    pisa = make_pisa_for_case(case)
+
+    def run_ipsa():
+        return ipsa_throughput(controller.switch, controller.design, trace)
+
+    ipsa_report = benchmark(run_ipsa)
+    pisa_report = pisa_throughput(pisa, trace)
+
+    print()
+    print(
+        format_table(
+            ["arch", "model Mpps", "cycles/pkt", "software pps", "fwd/total"],
+            [
+                (
+                    r.architecture,
+                    f"{r.model_mpps:.2f}",
+                    f"{r.cycles_per_packet:.2f}",
+                    f"{r.software_pps:,.0f}",
+                    f"{r.forwarded}/{r.packets}",
+                )
+                for r in (pisa_report, ipsa_report)
+            ],
+            title=f"Sec. 5 throughput -- use case {case}",
+        )
+    )
+
+    assert pisa_report.model_mpps > ipsa_report.model_mpps
+    ratio = pisa_report.model_mpps / ipsa_report.model_mpps
+    assert 1.5 <= ratio <= 5.0, f"ratio {ratio:.2f} out of the paper's ballpark"
+    assert pisa_report.forwarded == pisa_report.packets
+    assert ipsa_report.forwarded == ipsa_report.packets
+
+
+def test_throughput_c2_is_slowest(benchmark):
+    """The SRv6 case has the deepest header stack -> lowest Mpps."""
+
+    def collect():
+        results = {}
+        for case in ("C1", "C2", "C3"):
+            trace = use_case_trace(case, 150)
+            pisa = make_pisa_for_case(case)
+            controller = make_ipsa_for_case(case)
+            results[case] = (
+                pisa_throughput(pisa, trace).model_mpps,
+                ipsa_throughput(controller.switch, controller.design, trace).model_mpps,
+            )
+        return results
+
+    results = benchmark.pedantic(collect, rounds=1, iterations=1)
+    assert results["C2"][0] == min(r[0] for r in results.values())
+    assert results["C2"][1] == min(r[1] for r in results.values())

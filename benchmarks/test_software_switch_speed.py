@@ -1,0 +1,66 @@
+"""Software forwarding speed: ipbm vs the bmv2-analog.
+
+Not a paper artifact per se, but the substrate of the bmv2/ipbm rows:
+a performance-regression guard on the behavioral hot path.  ipbm's
+lazy parsing does strictly less work per packet than the PISA model's
+full-stack parse + deparse, and the bench asserts that relationship.
+"""
+
+from conftest import make_ipsa_for_case, make_pisa_for_case
+
+from repro.bench.report import format_table
+from repro.workloads import mixed_l3_trace
+
+TRACE = mixed_l3_trace(300, seed=31)
+
+
+def _run(switch):
+    forwarded = 0
+    for data, port in TRACE:
+        if switch.inject(data, port) is not None:
+            forwarded += 1
+    return forwarded
+
+
+def test_ipbm_forwarding_speed(benchmark):
+    controller = make_ipsa_for_case("C1")
+
+    forwarded = benchmark(_run, controller.switch)
+    assert forwarded == len(TRACE)
+
+
+def test_bmv2_forwarding_speed(benchmark):
+    switch = make_pisa_for_case("C1")
+
+    forwarded = benchmark(_run, switch)
+    assert forwarded == len(TRACE)
+
+
+def test_parse_work_comparison(benchmark):
+    """ipbm parses on demand; the PISA model parses the full stack."""
+
+    def measure():
+        controller = make_ipsa_for_case("C1")
+        pisa = make_pisa_for_case("C1")
+        _run(controller.switch)
+        _run(pisa)
+        ipbm_parsed = sum(
+            t.stats.headers_parsed for t in controller.switch.pipeline.tsps
+        )
+        pisa_parsed = pisa.parser.stats.headers_extracted
+        return ipbm_parsed, pisa_parsed
+
+    ipbm_parsed, pisa_parsed = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["switch", "headers parsed", "per packet"],
+            [
+                ("ipbm (on demand)", ipbm_parsed, f"{ipbm_parsed / len(TRACE):.2f}"),
+                ("bmv2-analog (full stack)", pisa_parsed,
+                 f"{pisa_parsed / len(TRACE):.2f}"),
+            ],
+        )
+    )
+    # The L3 traces carry eth+ip+l4; ipbm never touches the l4 header.
+    assert ipbm_parsed < pisa_parsed

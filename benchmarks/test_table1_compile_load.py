@@ -1,0 +1,50 @@
+"""Table 1: compiling time t_C and loading time t_L.
+
+Paper shape: the incremental flow (IPSA/ipbm) is a small fraction of
+the full flow (PISA/bmv2) in both compile and load time, for all
+three use cases; t_C dominates t_L; only the rP4 flow avoids full
+table repopulation.
+"""
+
+import pytest
+
+from repro.bench.report import format_table
+from repro.bench.table1 import (
+    hardware_flow_model,
+    measure_bmv2_flow,
+    measure_ipbm_flow,
+)
+
+
+@pytest.mark.parametrize("case", ["C1", "C2", "C3"])
+def test_table1_case(case, benchmark):
+    # Benchmark the incremental (ipbm) flow; measure bmv2 once for the
+    # comparison row.
+    ipbm = benchmark(measure_ipbm_flow, case)
+    bmv2 = measure_bmv2_flow(case)
+    pisa = hardware_flow_model(bmv2)
+    ipsa = hardware_flow_model(ipbm)
+
+    rows = [
+        (r.flow, r.case, f"{r.t_compile_ms:.1f}", f"{r.t_load_ms:.3f}",
+         f"{r.t_populate_ms:.3f}", r.entries_populated)
+        for r in (pisa, ipsa, bmv2, ipbm)
+    ]
+    print()
+    print(
+        format_table(
+            ["flow", "case", "t_C (ms)", "t_L (ms)", "populate (ms)", "entries"],
+            rows,
+            title=f"Table 1 -- use case {case}",
+        )
+    )
+    ratio_c = ipbm.t_compile_ms / bmv2.t_compile_ms
+    ratio_l = ipbm.t_load_ms / bmv2.t_load_ms
+    print(f"ipbm/bmv2: t_C {ratio_c:.1%}  t_L {ratio_l:.1%}")
+
+    # Shape assertions.
+    assert ipbm.t_compile_ms < bmv2.t_compile_ms
+    assert ipbm.t_load_ms < bmv2.t_load_ms
+    assert ipsa.total_ms / pisa.total_ms < 0.05
+    # Only the new tables are populated in the rP4 flow.
+    assert ipbm.entries_populated < bmv2.entries_populated

@@ -1,0 +1,46 @@
+"""Table 2: FPGA resource comparison of IPSA and PISA.
+
+Paper (8-stage prototypes, % of an Alveo U280):
+
+    PISA:  front parser 0.88/0.10, processors 5.32/0.47, total 6.20/0.57
+    IPSA:  processors 5.83/0.85, crossbar 1.29/0.07,     total 7.12/0.92
+
+Shape: IPSA pays ~15% more LUT and ~60% more FF for in-situ
+programmability; PISA's extra component is the front parser, IPSA's
+are the crossbar and the (FF-heavy) per-TSP template stores.
+"""
+
+from conftest import CASE_ARTIFACTS
+
+from repro.bench.report import format_table
+from repro.hw import ipsa_resources, pisa_resources
+from repro.p4 import build_hlir, parse_p4
+from repro.programs import base_p4_source
+
+
+def test_table2(benchmark, base_design):
+    hlir = build_hlir(parse_p4(base_p4_source()))
+
+    def compute():
+        return pisa_resources(hlir, n_stages=8), ipsa_resources(base_design)
+
+    pisa, ipsa = benchmark(compute)
+
+    print()
+    rows = []
+    for report in (pisa, ipsa):
+        for component, lut, ff in report.rows():
+            rows.append((report.architecture, component, f"{lut:.2f}%", f"{ff:.2f}%"))
+    print(format_table(["arch", "component", "LUT", "FF"], rows, title="Table 2"))
+
+    lut_overhead = ipsa.lut_total / pisa.lut_total - 1
+    ff_overhead = ipsa.ff_total / pisa.ff_total - 1
+    print(f"IPSA overhead: +{lut_overhead:.1%} LUT, +{ff_overhead:.1%} FF")
+
+    # Shape: totals and per-component structure.
+    assert ipsa.lut_total > pisa.lut_total
+    assert ipsa.ff_total > pisa.ff_total
+    assert 0.05 <= lut_overhead <= 0.30  # paper: 14.84%
+    assert 0.30 <= ff_overhead <= 0.90  # paper: 61.40%
+    assert "Front parser" in pisa.lut and "Front parser" not in ipsa.lut
+    assert "Crossbar" in ipsa.lut and "Crossbar" not in pisa.lut

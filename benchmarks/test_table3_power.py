@@ -1,0 +1,45 @@
+"""Table 3: power (watts) for the three use cases.
+
+Paper: "The prototype of IPSA consumes about 10% more power than that
+of PISA" at full pipeline occupancy (e.g. PISA C3 total 2.95 W).
+"""
+
+import pytest
+
+from conftest import CASE_ARTIFACTS, make_ipsa_for_case
+
+from repro.bench.report import format_table
+from repro.hw import ipsa_power, pisa_power
+
+
+def test_table3(benchmark):
+    def compute():
+        rows = {}
+        for case in ("C1", "C2", "C3"):
+            controller = make_ipsa_for_case(case)
+            active = controller.switch.active_tsp_count()
+            rows[case] = (
+                pisa_power(n_stages=8).total,
+                ipsa_power(active, n_tsps=8).total,
+                active,
+            )
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    print()
+    print(
+        format_table(
+            ["case", "PISA (W)", "IPSA (W)", "active TSPs", "ratio"],
+            [
+                (case, f"{p:.2f}", f"{i:.2f}", active, f"{i / p:.2f}x")
+                for case, (p, i, active) in rows.items()
+            ],
+            title="Table 3 -- power per use case",
+        )
+    )
+
+    for case, (pisa_w, ipsa_w, _active) in rows.items():
+        assert pisa_w == pytest.approx(2.95, abs=0.05)
+        ratio = ipsa_w / pisa_w
+        assert 0.95 <= ratio <= 1.20, f"{case}: ratio {ratio:.2f}"

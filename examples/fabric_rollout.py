@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Fleet rollout: upgrade a three-node fabric one switch at a time.
+
+The introduction's vision -- "live trials in production networks ...
+with reliable failback" -- needs updates that do not take the network
+down.  Here a linear fabric A - B - C forwards traffic continuously
+while the flow-probe function rolls out node by node; every packet
+sent during the rollout is delivered.
+
+Run:  python examples/fabric_rollout.py
+"""
+
+from repro.net.addresses import parse_mac
+from repro.programs import (
+    base_rp4_source,
+    flowprobe_load_script,
+    flowprobe_rp4_source,
+    populate_base_tables,
+    populate_flowprobe_tables,
+)
+from repro.programs.base_l2l3 import ROUTER_MAC
+from repro.runtime import Controller, Fabric
+from repro.tables.table import TableEntry
+from repro.workloads import ipv4_packet
+
+
+def base_node() -> Controller:
+    controller = Controller()
+    controller.load_base(base_rp4_source())
+    populate_base_tables(controller.switch.tables)
+    return controller
+
+
+def point_nexthop_at_router(controller: Controller) -> None:
+    """Make next hop 2 resolve to the downstream router's MAC."""
+    nexthop = controller.switch.table("nexthop")
+    old = next(e for e in nexthop.entries() if e.key == (2,))
+    nexthop.remove_entry(old)
+    nexthop.add_entry(
+        TableEntry(
+            key=(2,),
+            action="set_bd_dmac",
+            action_data={"bd": 2, "dmac": parse_mac(ROUTER_MAC)},
+            tag=1,
+        )
+    )
+    controller.switch.table("dmac").add_entry(
+        TableEntry(
+            key=(2, parse_mac(ROUTER_MAC)),
+            action="set_egress_port",
+            action_data={"port": 3},
+            tag=1,
+        )
+    )
+
+
+def main() -> None:
+    fabric = Fabric()
+    for name in ("A", "B", "C"):
+        fabric.add_node(name, base_node())
+    # A:3 -> B:0, B:3 -> C:0; C delivers at its edge port.
+    point_nexthop_at_router(fabric.node("A"))
+    point_nexthop_at_router(fabric.node("B"))
+    fabric.wire("A", 3, "B", 0)
+    fabric.wire("B", 3, "C", 0)
+
+    def burst(label, n=20):
+        deliveries = [
+            fabric.send("A", ipv4_packet("10.1.0.1", "10.2.0.1", sport=5000 + i), 0)
+            for i in range(n)
+        ]
+        delivered = [d for d in deliveries if d is not None]
+        paths = {d.path for d in delivered}
+        print(f"  {label}: {len(delivered)}/{n} delivered via {paths}")
+        assert len(delivered) == n
+        return delivered
+
+    print("traffic on the base fabric:")
+    burst("before rollout")
+
+    sources = {"flowprobe.rp4": flowprobe_rp4_source()}
+    for name in ("A", "B", "C"):
+        timings = fabric.rollout(flowprobe_load_script(), sources, nodes=[name])
+        populate_flowprobe_tables(fabric.node(name).switch.tables)
+        print(f"\nnode {name} upgraded in {timings[name] * 1e3:.1f} ms; "
+              "traffic during partial rollout:")
+        burst(f"after {name}")
+
+    counts = {
+        name: fabric.node(name).switch.table("flow_probe").entries()[0].counter
+        for name in ("A", "B", "C")
+    }
+    print(f"\nper-node probe counters for the watched flow: {counts}")
+    assert counts["A"] >= counts["B"] >= counts["C"] > 0
+    print("every node now counts the flow; not one packet was lost "
+          "during the rollout")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure of the paper in one run.
+
+Prints paper-style output for Fig. 4, Table 1, the Sec.-5 throughput
+numbers, Table 2, Table 3, and Fig. 6.  (The pytest benchmarks in
+``benchmarks/`` do the same with timing statistics and shape
+assertions; this script is the human-readable tour.)
+
+Run:  python examples/reproduce_paper.py
+"""
+
+from repro.bench.mapping import fig4_mapping, format_mapping
+from repro.bench.report import format_table
+from repro.bench.table1 import hardware_flow_model, measure_bmv2_flow, measure_ipbm_flow
+from repro.compiler.rp4bc import compile_base
+from repro.hw import (
+    ipsa_power,
+    ipsa_resources,
+    ipsa_throughput,
+    pisa_power,
+    pisa_resources,
+    pisa_throughput,
+    power_vs_stages,
+)
+from repro.p4 import build_hlir, parse_p4
+from repro.programs import (
+    base_p4_source,
+    base_rp4_source,
+    populate_base_tables,
+)
+from repro.workloads import use_case_trace
+
+
+def banner(text):
+    print("\n" + "=" * 66)
+    print(text)
+    print("=" * 66)
+
+
+def fig4():
+    banner("Fig. 4 -- the packet processing pipeline and its TSP mapping")
+    for name, design in fig4_mapping().items():
+        print(format_mapping(design, name))
+        print()
+
+
+def table1():
+    banner("Table 1 -- compiling and loading time comparison")
+    rows = []
+    for case in ("C1", "C2", "C3"):
+        bmv2 = measure_bmv2_flow(case)
+        ipbm = measure_ipbm_flow(case)
+        rows += [hardware_flow_model(bmv2), hardware_flow_model(ipbm), bmv2, ipbm]
+    print(
+        format_table(
+            ["flow", "case", "t_C (ms)", "t_L (ms)"],
+            [
+                (r.flow, r.case, f"{r.t_compile_ms:.1f}", f"{r.t_load_ms:.2f}")
+                for r in rows
+            ],
+        )
+    )
+
+
+def throughput():
+    banner("Sec. 5 'Throughput' -- modeled Mpps at 200 MHz")
+    import sys
+    sys.path.insert(0, "benchmarks")
+    from conftest import make_ipsa_for_case, make_pisa_for_case
+
+    rows = []
+    for case in ("C1", "C2", "C3"):
+        trace = use_case_trace(case, 300)
+        pisa = pisa_throughput(make_pisa_for_case(case), trace)
+        controller = make_ipsa_for_case(case)
+        ipsa = ipsa_throughput(controller.switch, controller.design, trace)
+        rows.append(
+            (case, f"{pisa.model_mpps:.2f}", f"{ipsa.model_mpps:.2f}",
+             f"{pisa.model_mpps / ipsa.model_mpps:.2f}x")
+        )
+    print(format_table(["case", "PISA Mpps", "IPSA Mpps", "ratio"], rows))
+
+
+def table2():
+    banner("Table 2 -- FPGA resource comparison")
+    hlir = build_hlir(parse_p4(base_p4_source()))
+    design = compile_base(base_rp4_source())
+    rows = []
+    for report in (pisa_resources(hlir), ipsa_resources(design)):
+        for component, lut, ff in report.rows():
+            rows.append(
+                (report.architecture, component, f"{lut:.2f}%", f"{ff:.2f}%")
+            )
+    print(format_table(["arch", "component", "LUT", "FF"], rows))
+
+
+def table3_and_fig6():
+    banner("Table 3 + Fig. 6 -- power")
+    print(f"PISA (8 physical stages, always powered): {pisa_power(8).total:.2f} W")
+    print(f"IPSA (7 active TSPs, as the use cases need): {ipsa_power(7).total:.2f} W")
+    print(f"IPSA at full occupancy: {ipsa_power(8).total:.2f} W "
+          f"(+{(ipsa_power(8).total / pisa_power(8).total - 1):.1%})")
+    print()
+    print(
+        format_table(
+            ["effective stages", "PISA (W)", "IPSA (W)"],
+            [(k, f"{p:.2f}", f"{i:.2f}") for k, p, i in power_vs_stages()],
+            title="Fig. 6 series",
+        )
+    )
+
+
+def main() -> None:
+    fig4()
+    table1()
+    throughput()
+    table2()
+    table3_and_fig6()
+    print("\nSee EXPERIMENTS.md for the paper-vs-measured discussion of "
+          "every artifact above.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""Evaluation harnesses shared by the pytest benchmarks and examples.
+
+One module per paper artifact:
+
+* :mod:`repro.bench.table1`  -- compile/load time comparison
+* :mod:`repro.bench.mapping` -- Fig. 4 TSP mappings
+* :mod:`repro.bench.report`  -- plain-text table rendering
+"""
+
+from repro.bench.mapping import fig4_mapping, format_mapping
+from repro.bench.report import format_table
+from repro.bench.table1 import (
+    USE_CASES,
+    Table1Row,
+    hardware_flow_model,
+    measure_ipbm_flow,
+    measure_bmv2_flow,
+    table1,
+)
+
+__all__ = [
+    "Table1Row",
+    "USE_CASES",
+    "fig4_mapping",
+    "format_mapping",
+    "format_table",
+    "hardware_flow_model",
+    "measure_bmv2_flow",
+    "measure_ipbm_flow",
+    "table1",
+]

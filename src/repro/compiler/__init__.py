@@ -1,0 +1,48 @@
+"""The rP4 compilers (paper Sec. 3.2).
+
+* :mod:`repro.compiler.rp4fc` -- front end: P4 HLIR -> semantically
+  equivalent rP4 + runtime table APIs.
+* :mod:`repro.compiler.rp4bc` -- back end: rP4 -> TSP template
+  parameters (JSON) via stage dependency analysis, predicate-based
+  stage merging, incremental layout optimization (DP vs. greedy), and
+  table allocation in the disaggregated memory pool.
+"""
+
+from repro.compiler.dependency import DependencyInfo, analyze_dependencies
+from repro.compiler.lowering import (
+    compile_predicate,
+    lower_action,
+    lower_table,
+)
+from repro.compiler.merge import MergePlan, plan_merge
+from repro.compiler.layout import LayoutResult, layout_dp, layout_greedy
+from repro.compiler.rp4bc import (
+    CompiledDesign,
+    TargetSpec,
+    UpdatePlan,
+    compile_base,
+    compile_update,
+)
+from repro.compiler.rp4fc import Rp4fcResult, rp4fc
+from repro.compiler.stage_graph import StageGraph
+
+__all__ = [
+    "CompiledDesign",
+    "DependencyInfo",
+    "LayoutResult",
+    "MergePlan",
+    "Rp4fcResult",
+    "StageGraph",
+    "TargetSpec",
+    "UpdatePlan",
+    "analyze_dependencies",
+    "compile_base",
+    "compile_predicate",
+    "compile_update",
+    "layout_dp",
+    "layout_greedy",
+    "lower_action",
+    "lower_table",
+    "plan_merge",
+    "rp4fc",
+]

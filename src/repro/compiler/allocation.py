@@ -1,0 +1,160 @@
+"""Table allocation in the disaggregated memory pool (rp4bc pass 4).
+
+Each table's physical demand is its entry width (key bits + action-id
+byte + the widest bound action data) times its declared depth,
+virtualized onto blocks per the ceil(W/w)*ceil(D/d) rule.  The
+crossbar constrains which memory clusters the hosting TSP can reach.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.compiler.layout import LayoutResult
+from repro.compiler.merge import MergePlan, group_key
+from repro.memory.blocks import MemoryKind
+from repro.memory.pool import MemoryPool
+from repro.rp4.ast import Rp4Program
+from repro.rp4.semantic import SemanticInfo
+
+#: Bits reserved per entry for the action identifier (executor tag).
+ACTION_ID_BITS = 8
+
+
+class AllocationPlanError(Exception):
+    """Raised when demands cannot be computed."""
+
+
+@dataclass
+class TableLayout:
+    """Physical shape of one logical table."""
+
+    name: str
+    kind: MemoryKind
+    entry_width: int
+    depth: int
+    clusters: Tuple[int, ...] = ()
+
+    def to_json(self) -> dict:
+        return {
+            "kind": self.kind.value,
+            "entry_width": self.entry_width,
+            "depth": self.depth,
+            "clusters": list(self.clusters),
+        }
+
+
+def action_data_width(program: Rp4Program, action_names: Sequence[str]) -> int:
+    """Widest action-parameter payload among candidate actions."""
+    widest = 0
+    for name in action_names:
+        action = program.actions.get(name)
+        if action is None:
+            continue
+        widest = max(widest, sum(width for _, width in action.params))
+    return widest
+
+
+def table_stage_map(program: Rp4Program) -> Dict[str, str]:
+    """table name -> the stage that applies it (first wins)."""
+    mapping: Dict[str, str] = {}
+    for name, stage in program.all_stages().items():
+        for arm in stage.matcher:
+            if arm.table is not None and arm.table not in mapping:
+                mapping[arm.table] = name
+    return mapping
+
+
+def compute_table_layouts(
+    program: Rp4Program,
+    info: SemanticInfo,
+    plan: MergePlan,
+    layout: LayoutResult,
+    pool: MemoryPool,
+) -> Dict[str, TableLayout]:
+    """Entry widths, depths, and reachable clusters for every applied table."""
+    stage_of = table_stage_map(program)
+    layouts: Dict[str, TableLayout] = {}
+    for table_name, stage_name in stage_of.items():
+        tinfo = info.tables.get(table_name)
+        if tinfo is None:
+            raise AllocationPlanError(
+                f"table {table_name!r} missing from semantic info"
+            )
+        stage = program.all_stages()[stage_name]
+        executor_actions = list(stage.executor.values())
+        entry_width = (
+            tinfo.key_width
+            + ACTION_ID_BITS
+            + action_data_width(program, executor_actions)
+        )
+        kind = (
+            MemoryKind.TCAM if tinfo.match_kind == "ternary" else MemoryKind.SRAM
+        )
+        slot = layout.slot_of(group_key(plan.group_of(stage_name)))
+        clusters = tuple(sorted(pool.crossbar.reachable_clusters(slot)))
+        layouts[table_name] = TableLayout(
+            name=table_name,
+            kind=kind,
+            entry_width=entry_width,
+            depth=tinfo.size,
+            clusters=clusters,
+        )
+    return layouts
+
+
+def allocate_new_tables(
+    pool: MemoryPool,
+    layouts: Dict[str, TableLayout],
+    exact: bool = True,
+) -> List[str]:
+    """Place every not-yet-allocated table; returns the new names."""
+    pending = [
+        name for name in sorted(layouts) if name not in pool.mappings()
+    ]
+    if not pending:
+        return []
+    specs = [
+        (
+            name,
+            layouts[name].kind,
+            layouts[name].entry_width,
+            layouts[name].depth,
+            list(layouts[name].clusters),
+        )
+        for name in pending
+    ]
+    pool.allocate_tables(specs, exact=exact)
+    return pending
+
+
+def release_tables(pool: MemoryPool, names: Sequence[str]) -> int:
+    """Recycle the blocks of deleted tables; returns blocks freed."""
+    freed = 0
+    for name in names:
+        if name in pool.mappings():
+            freed += pool.release_table(name)
+    return freed
+
+
+def migrate_if_needed(
+    pool: MemoryPool, layouts: Dict[str, TableLayout]
+) -> List[str]:
+    """Migrate tables whose blocks are no longer crossbar-reachable.
+
+    Happens when incremental layout moves a logical stage into a TSP
+    cluster that cannot reach the table's current memory cluster
+    (paper Sec. 2.4).  Returns the migrated table names.
+    """
+    migrated: List[str] = []
+    for name, mapping in pool.mappings().items():
+        layout = layouts.get(name)
+        if layout is None:
+            continue
+        blocks_by_id = {b.block_id: b for b in pool.blocks}
+        current = {blocks_by_id[i].cluster for i in mapping.block_ids}
+        if not current <= set(layout.clusters):
+            pool.migrate_table(name, list(layout.clusters))
+            migrated.append(name)
+    return migrated

@@ -1,0 +1,101 @@
+"""Command-line entry points for the two compilers.
+
+``rp4fc file.p4 -o out.rp4 --api out_api.py`` transforms P4 to rP4.
+``rp4bc file.rp4 -o config.json [--script s.txt --snippet name=path]``
+compiles a base design and optionally applies an incremental script.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional
+
+from repro.compiler import json_ir
+from repro.compiler.validate import check_config
+from repro.compiler.rp4bc import TargetSpec, compile_base, compile_update
+from repro.compiler.rp4fc import rp4fc
+from repro.p4.hlir import build_hlir
+from repro.p4.parser import parse_p4
+
+
+def rp4fc_main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="rp4fc", description="P4 -> rP4 front-end compiler"
+    )
+    parser.add_argument("p4_file", help="mini-P4 source file")
+    parser.add_argument("-o", "--output", help="rP4 output path (default stdout)")
+    parser.add_argument("--api", help="write the generated table APIs here")
+    args = parser.parse_args(argv)
+
+    with open(args.p4_file) as fh:
+        source = fh.read()
+    result = rp4fc(build_hlir(parse_p4(source)))
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(result.rp4_source)
+    else:
+        sys.stdout.write(result.rp4_source)
+    if args.api:
+        with open(args.api, "w") as fh:
+            fh.write(result.api_source)
+    return 0
+
+
+def _parse_snippets(pairs: List[str]) -> Dict[str, str]:
+    sources: Dict[str, str] = {}
+    for pair in pairs:
+        name, _, path = pair.partition("=")
+        if not path:
+            raise SystemExit(f"--snippet expects name=path, got {pair!r}")
+        with open(path) as fh:
+            sources[name] = fh.read()
+    return sources
+
+
+def rp4bc_main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="rp4bc", description="rP4 -> TSP template back-end compiler"
+    )
+    parser.add_argument("rp4_file", help="rP4 base design")
+    parser.add_argument("-o", "--output", help="config JSON path (default stdout)")
+    parser.add_argument("--tsps", type=int, default=8, help="physical TSP count")
+    parser.add_argument(
+        "--layout", choices=("dp", "greedy"), default="dp",
+        help="incremental layout algorithm",
+    )
+    parser.add_argument("--script", help="incremental update script to apply")
+    parser.add_argument(
+        "--snippet", action="append", default=[],
+        help="name=path for snippets referenced by the script",
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.rp4_file) as fh:
+        source = fh.read()
+    target = TargetSpec(n_tsps=args.tsps, layout_algorithm=args.layout)
+    design = compile_base(source, target)
+
+    if args.script:
+        with open(args.script) as fh:
+            script_text = fh.read()
+        plan = compile_update(design, script_text, _parse_snippets(args.snippet))
+        config = plan.design.config
+        config["update"] = {
+            "rewritten_tsps": plan.rewritten_tsps,
+            "new_tables": plan.new_tables,
+            "freed_tables": plan.freed_tables,
+            "added_stages": plan.added_stages,
+            "removed_stages": plan.removed_stages,
+        }
+    else:
+        config = design.config
+
+    check_config(config, n_tsps=args.tsps)
+    text = json_ir.dumps(config)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text)
+    else:
+        sys.stdout.write(text + "\n")
+    return 0

@@ -1,0 +1,259 @@
+"""Stage dependency and predicate-exclusivity analysis (rp4bc pass 1).
+
+rp4bc "analyzes the dependency of different logical stages [and]
+optimizes the predicates to merge some independent stages into a
+single TSP" (paper Sec. 3.2).  Two relations drive merging:
+
+* **dependency** -- read-after-write / write-after-read /
+  write-after-write on header fields and metadata between two stages
+  (idempotent intrinsic flags like ``meta.drop`` are exempt from WAW);
+* **mutual exclusivity** -- the stages' matcher arms are guarded by
+  header-validity predicates over headers that can never co-exist on
+  a parse path (e.g. ``ipv4`` vs. ``ipv6``), so at most one of the
+  stages ever fires for a given packet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.lang.expr import (
+    EBin,
+    ECall,
+    EConst,
+    ERef,
+    EUnary,
+    EValid,
+    Expr,
+    SAssign,
+    SCall,
+)
+from repro.rp4.ast import Rp4Program, StageDecl
+
+#: Write-write conflicts on these are harmless (idempotent set-to-1 flags).
+IDEMPOTENT_FIELDS = {"meta.drop", "meta.to_cpu", "meta.flow_marked"}
+
+#: Conservative effect summaries for primitives (reads, writes).
+PRIMITIVE_EFFECTS: Dict[str, Tuple[Set[str], Set[str]]] = {
+    "drop": (set(), {"meta.drop"}),
+    "mark_to_cpu": (set(), {"meta.to_cpu"}),
+    "no_op": (set(), set()),
+    "decrement_ttl": (
+        {"ipv4.ttl", "ipv6.hop_limit"},
+        {"ipv4.ttl", "ipv6.hop_limit", "meta.drop"},
+    ),
+    "srv6_end": (
+        {"srh.segments_left", "srh.seg0", "srh.seg1", "srh.segment_list"},
+        {"srh.segments_left", "ipv6.dst_addr", "meta.drop"},
+    ),
+    "srv6_transit": (set(), set()),
+    "pop_srh": ({"srh.next_hdr"}, {"ipv6.next_hdr", "ipv6.payload_len"}),
+    "push_srh": ({"ipv6.next_hdr"}, {"ipv6.next_hdr", "ipv6.payload_len"}),
+    "push_int": (
+        {"ethernet.ethertype"},
+        {"ethernet.ethertype", "int_shim.orig_ethertype", "meta.drop"},
+    ),
+    "pop_int": ({"int_shim.orig_ethertype"}, {"ethernet.ethertype"}),
+    "count_and_mark": (set(), set()),  # dest handled from the call args
+    "sketch_update": (set(), set()),  # fields/dest handled from the call args
+    "mark_above": (set(), set()),  # src/dest handled from the call args
+    "police": (set(), set()),  # dest handled from the call args
+}
+
+
+def expr_reads(expr: Optional[Expr]) -> Set[str]:
+    """Dotted references an expression reads (validity bits excluded)."""
+    if expr is None:
+        return set()
+    if isinstance(expr, ERef):
+        return {expr.ref} if expr.is_dotted else set()
+    if isinstance(expr, EUnary):
+        return expr_reads(expr.operand)
+    if isinstance(expr, EBin):
+        return expr_reads(expr.left) | expr_reads(expr.right)
+    if isinstance(expr, ECall):
+        reads: Set[str] = set()
+        for arg in expr.args:
+            reads |= expr_reads(arg)
+        return reads
+    return set()
+
+
+def guard_headers(expr: Optional[Expr]) -> Set[str]:
+    """Headers whose validity the predicate requires (conjunctively)."""
+    if expr is None:
+        return set()
+    if isinstance(expr, EValid):
+        return {expr.header}
+    if isinstance(expr, EBin) and expr.op == "&&":
+        return guard_headers(expr.left) | guard_headers(expr.right)
+    return set()
+
+
+@dataclass
+class StageEffects:
+    """Read/write summary of one stage."""
+
+    name: str
+    reads: Set[str] = field(default_factory=set)
+    writes: Set[str] = field(default_factory=set)
+    #: One guard-header set per matcher arm that applies a table.
+    arm_guards: List[FrozenSet[str]] = field(default_factory=list)
+
+
+def stage_effects(stage: StageDecl, program: Rp4Program) -> StageEffects:
+    """Compute the read/write sets and arm guards of a stage."""
+    effects = StageEffects(name=stage.name)
+    actions = set(stage.executor.values())
+    for arm in stage.matcher:
+        effects.reads |= expr_reads(arm.cond)
+        if arm.table is not None:
+            table = program.tables.get(arm.table)
+            if table is not None:
+                effects.reads |= {ref for ref, _ in table.keys}
+            effects.arm_guards.append(frozenset(guard_headers(arm.cond)))
+    for action_name in actions:
+        action = program.actions.get(action_name)
+        if action is None:
+            if action_name == "drop":
+                effects.writes.add("meta.drop")
+            elif action_name == "mark_to_cpu":
+                effects.writes.add("meta.to_cpu")
+            continue
+        params = {name for name, _ in action.params}
+        for stmt in action.body:
+            if isinstance(stmt, SAssign):
+                effects.writes.add(stmt.dest)
+                effects.reads |= expr_reads(stmt.expr)
+            elif isinstance(stmt, SCall):
+                reads, writes = PRIMITIVE_EFFECTS.get(stmt.name, (set(), set()))
+                effects.reads |= set(reads)
+                effects.writes |= set(writes)
+                if stmt.name == "count_and_mark" and len(stmt.args) == 2:
+                    dest = stmt.args[1]
+                    if isinstance(dest, ERef) and dest.is_dotted:
+                        effects.writes.add(dest.ref)
+                elif stmt.name == "sketch_update" and stmt.args:
+                    *keys, dest = stmt.args
+                    for arg in keys:
+                        if isinstance(arg, ERef) and arg.is_dotted:
+                            effects.reads.add(arg.ref)
+                    if isinstance(dest, ERef) and dest.is_dotted:
+                        effects.writes.add(dest.ref)
+                elif stmt.name == "police" and len(stmt.args) == 1:
+                    dest = stmt.args[0]
+                    if isinstance(dest, ERef) and dest.is_dotted:
+                        effects.writes.add(dest.ref)
+                elif stmt.name == "mark_above" and len(stmt.args) == 3:
+                    src, _threshold, dest = stmt.args
+                    if isinstance(src, ERef) and src.is_dotted:
+                        effects.reads.add(src.ref)
+                    if isinstance(dest, ERef) and dest.is_dotted:
+                        effects.writes.add(dest.ref)
+    return effects
+
+
+@dataclass
+class DependencyInfo:
+    """Pairwise relations over an ordered list of stages."""
+
+    effects: Dict[str, StageEffects] = field(default_factory=dict)
+    exclusive_headers: Set[FrozenSet[str]] = field(default_factory=set)
+
+    # -- relations -------------------------------------------------------
+
+    def depends(self, first: str, second: str) -> bool:
+        """True if ``second`` must execute after ``first`` completes
+        (any RAW/WAR/WAW hazard, idempotent flags exempted)."""
+        a, b = self.effects[first], self.effects[second]
+        if a.writes & b.reads:
+            return True  # read-after-write
+        if a.reads & b.writes:
+            return True  # write-after-read
+        waw = (a.writes & b.writes) - IDEMPOTENT_FIELDS
+        return bool(waw)
+
+    def headers_exclusive(self, x: str, y: str) -> bool:
+        return frozenset((x, y)) in self.exclusive_headers
+
+    def guards_exclusive(self, g1: FrozenSet[str], g2: FrozenSet[str]) -> bool:
+        """Two arm guards are exclusive if some required header of one
+        can never co-exist with some required header of the other."""
+        return any(
+            self.headers_exclusive(h1, h2) for h1 in g1 for h2 in g2
+        )
+
+    def mutually_exclusive(self, first: str, second: str) -> bool:
+        """At most one of the two stages fires for any packet: every
+        table-applying arm pair across the two stages is exclusive."""
+        a, b = self.effects[first], self.effects[second]
+        if not a.arm_guards or not b.arm_guards:
+            return False
+        return all(
+            self.guards_exclusive(g1, g2)
+            for g1 in a.arm_guards
+            for g2 in b.arm_guards
+        )
+
+    def mergeable(self, first: str, second: str) -> bool:
+        """Stages can share a TSP if mutually exclusive (one lookup per
+        packet) or fully independent ("one TSP can host multiple
+        independent stages")."""
+        if self.mutually_exclusive(first, second):
+            return True
+        return not self.depends(first, second) and not self.depends(
+            second, first
+        )
+
+
+def _exclusive_header_pairs(program: Rp4Program) -> Set[FrozenSet[str]]:
+    """Header pairs that never co-occur on a design-time parse path.
+
+    Paths are enumerated over the ``implicit parser`` links declared in
+    the program (runtime ``link_header`` additions are applied when the
+    update is compiled, via the merged program).
+    """
+    links: Dict[str, List[str]] = {}
+    targets: Set[str] = set()
+    for header in program.headers.values():
+        links[header.name] = [nxt for _, nxt in header.links]
+        targets |= set(links[header.name])
+    roots = [name for name in program.headers if name not in targets]
+    if not roots:
+        roots = list(program.headers)[:1]
+
+    cooccur: Set[FrozenSet[str]] = set()
+
+    def walk(current: str, on_path: List[str]) -> None:
+        for prior in on_path:
+            cooccur.add(frozenset((prior, current)))
+        on_path.append(current)
+        for nxt in links.get(current, []):
+            if nxt in program.headers and nxt not in on_path:
+                walk(nxt, on_path)
+        on_path.pop()
+
+    for root in roots:
+        walk(root, [])
+
+    exclusive: Set[FrozenSet[str]] = set()
+    names = list(program.headers)
+    for i, x in enumerate(names):
+        for y in names[i + 1 :]:
+            pair = frozenset((x, y))
+            if pair not in cooccur:
+                exclusive.add(pair)
+    return exclusive
+
+
+def analyze_dependencies(
+    program: Rp4Program, stage_names: Optional[List[str]] = None
+) -> DependencyInfo:
+    """Build the pairwise dependency/exclusivity relations."""
+    info = DependencyInfo()
+    info.exclusive_headers = _exclusive_header_pairs(program)
+    stages = program.all_stages()
+    for name in stage_names if stage_names is not None else list(stages):
+        info.effects[name] = stage_effects(stages[name], program)
+    return info

@@ -1,0 +1,105 @@
+"""TSP template and device-config JSON (the rp4bc wire format).
+
+"The output of rp4bc is the TSP template parameters in JSON format,
+used for data-plane device configuration" (paper Sec. 3.2).  The IPSA
+behavioral switch consumes exactly these dictionaries -- nothing else
+crosses the compiler/device boundary, which is what makes template
+download a genuine runtime reconfiguration rather than a code reload.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from repro.compiler.lowering import (
+    action_to_json,
+    expr_from_json,
+    expr_to_json,
+    lower_action,
+)
+from repro.rp4.ast import HeaderDecl, MatcherArm, Rp4Program, StageDecl
+
+
+def stage_to_json(stage: StageDecl) -> dict:
+    return {
+        "name": stage.name,
+        "parser": list(stage.parser),
+        "matcher": [
+            {"cond": expr_to_json(arm.cond), "table": arm.table}
+            for arm in stage.matcher
+        ],
+        "executor": {str(tag): action for tag, action in stage.executor.items()},
+    }
+
+
+def stage_from_json(data: dict) -> StageDecl:
+    executor: Dict[object, str] = {}
+    for tag, action in data["executor"].items():
+        executor["default" if tag == "default" else int(tag)] = action
+    return StageDecl(
+        name=data["name"],
+        parser=list(data["parser"]),
+        matcher=[
+            MatcherArm(expr_from_json(arm["cond"]), arm["table"])
+            for arm in data["matcher"]
+        ],
+        executor=executor,
+    )
+
+
+def tsp_template(
+    tsp_index: int, side: str, stages: List[StageDecl]
+) -> dict:
+    """The template parameters downloaded into one TSP."""
+    return {
+        "tsp": tsp_index,
+        "side": side,
+        "stages": [stage_to_json(s) for s in stages],
+    }
+
+
+def header_to_json(header: HeaderDecl) -> dict:
+    return {
+        "fields": [list(f) for f in header.fields],
+        "selector": header.selector,
+        "links": [list(l) for l in header.links],
+    }
+
+
+def device_config(
+    program: Rp4Program,
+    templates: List[dict],
+    selector: dict,
+    allocations: Dict[str, dict],
+    table_layouts: Dict[str, dict],
+) -> dict:
+    """The full initial-load configuration for an IPSA device."""
+    return {
+        "headers": {
+            name: header_to_json(h) for name, h in program.headers.items()
+        },
+        "metadata": [
+            list(member)
+            for struct in program.structs.values()
+            if struct.alias == "meta"
+            for member in struct.members
+        ],
+        "actions": {
+            name: action_to_json(lower_action(decl))
+            for name, decl in program.actions.items()
+        },
+        "tables": table_layouts,
+        "templates": templates,
+        "selector": selector,
+        "allocations": allocations,
+    }
+
+
+def dumps(config: dict) -> str:
+    """Stable JSON text (what rp4bc writes to disk)."""
+    return json.dumps(config, indent=2, sort_keys=True)
+
+
+def loads(text: str) -> dict:
+    return json.loads(text)

@@ -1,0 +1,189 @@
+"""Physical TSP layout (rp4bc pass 3) and incremental re-layout.
+
+The elastic pipeline maps ingress groups to the leftmost TSPs and
+egress groups to the rightmost ones (paper Sec. 2.3).  For runtime
+updates the paper describes "an incremental layout optimization
+algorithm ... a trade-off between dynamic programming and greedy
+algorithm in terms of the function placement time and the degree of
+optimization" -- both are implemented here and compared by the
+ablation bench:
+
+* :func:`layout_dp` -- order-preserving assignment minimizing the
+  number of TSP template rewrites (optimal, O(groups x slots^2));
+* :func:`layout_greedy` -- first-fit with match lookahead (fast,
+  possibly more rewrites).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.compiler.merge import MergePlan, group_key
+
+
+class LayoutError(Exception):
+    """Raised when the design does not fit in the physical pipeline."""
+
+
+@dataclass
+class LayoutResult:
+    """Physical placement of TSP groups."""
+
+    slots: Dict[int, str] = field(default_factory=dict)  # tsp index -> group key
+    sides: Dict[int, str] = field(default_factory=dict)  # tsp index -> side
+    rewrites: List[int] = field(default_factory=list)  # TSPs needing new templates
+    algorithm: str = "dp"
+    n_tsps: int = 0
+
+    @property
+    def active_tsps(self) -> List[int]:
+        return sorted(self.slots)
+
+    @property
+    def bypassed_tsps(self) -> List[int]:
+        return [i for i in range(self.n_tsps) if i not in self.slots]
+
+    @property
+    def tm_input(self) -> Optional[int]:
+        """The last ingress TSP (feeds the traffic manager)."""
+        ingress = [i for i, side in self.sides.items() if side == "ingress"]
+        return max(ingress) if ingress else None
+
+    @property
+    def tm_output(self) -> Optional[int]:
+        """The first egress TSP (receives from the traffic manager)."""
+        egress = [i for i, side in self.sides.items() if side == "egress"]
+        return min(egress) if egress else None
+
+    def slot_of(self, key: str) -> int:
+        for slot, k in self.slots.items():
+            if k == key:
+                return slot
+        raise KeyError(f"group {key!r} has no slot")
+
+
+def _check_fit(plan: MergePlan, n_tsps: int) -> None:
+    if plan.tsp_count > n_tsps:
+        raise LayoutError(
+            f"design needs {plan.tsp_count} TSPs but the pipeline has {n_tsps}"
+        )
+
+
+def _finalize(
+    result: LayoutResult, old: Dict[int, str]
+) -> LayoutResult:
+    result.rewrites = sorted(
+        slot for slot, key in result.slots.items() if old.get(slot) != key
+    )
+    return result
+
+
+def layout_dp(
+    plan: MergePlan,
+    n_tsps: int,
+    old: Optional[Dict[int, str]] = None,
+) -> LayoutResult:
+    """Optimal order-preserving layout minimizing template rewrites.
+
+    Ingress groups occupy increasing slots from the left region;
+    egress groups occupy increasing slots of the right region.  A slot
+    whose previous template already equals the group's key costs 0.
+    """
+    _check_fit(plan, n_tsps)
+    old = old or {}
+    result = LayoutResult(algorithm="dp", n_tsps=n_tsps)
+
+    egress_len = len(plan.egress_groups)
+    ingress_keys = [group_key(g) for g in plan.ingress_groups]
+    egress_keys = [group_key(g) for g in plan.egress_groups]
+
+    ingress_slots = list(range(n_tsps - egress_len))
+    egress_slots = list(range(n_tsps - egress_len, n_tsps))
+
+    for keys, slots, side in (
+        (ingress_keys, ingress_slots, "ingress"),
+        (egress_keys, egress_slots, "egress"),
+    ):
+        placement = _dp_assign(keys, slots, old)
+        for key, slot in placement:
+            result.slots[slot] = key
+            result.sides[slot] = side
+    return _finalize(result, old)
+
+
+def _dp_assign(
+    keys: List[str], slots: List[int], old: Dict[int, str]
+) -> List[Tuple[str, int]]:
+    """Assign ``keys`` to increasing ``slots`` minimizing rewrites."""
+    n, m = len(keys), len(slots)
+    if n == 0:
+        return []
+    if n > m:
+        raise LayoutError(f"{n} groups do not fit in {m} slots")
+    INF = 10**9
+
+    def cost(i: int, s: int) -> int:
+        return 0 if old.get(slots[s]) == keys[i] else 1
+
+    dp = [[INF] * m for _ in range(n)]
+    parent: List[List[int]] = [[-1] * m for _ in range(n)]
+    for s in range(m):
+        dp[0][s] = cost(0, s)
+    for i in range(1, n):
+        best, best_s = INF, -1
+        for s in range(i, m):
+            if dp[i - 1][s - 1] < best:
+                best, best_s = dp[i - 1][s - 1], s - 1
+            if best < INF:
+                dp[i][s] = best + cost(i, s)
+                parent[i][s] = best_s
+    end = min(range(n - 1, m), key=lambda s: dp[n - 1][s])
+    placement: List[Tuple[str, int]] = []
+    s = end
+    for i in range(n - 1, -1, -1):
+        placement.append((keys[i], slots[s]))
+        s = parent[i][s]
+    placement.reverse()
+    return placement
+
+
+def layout_greedy(
+    plan: MergePlan,
+    n_tsps: int,
+    old: Optional[Dict[int, str]] = None,
+) -> LayoutResult:
+    """First-fit layout with bounded lookahead for matching slots.
+
+    Faster than the DP (no table), but may rewrite more templates when
+    an insertion shifts the tail of the pipeline.
+    """
+    _check_fit(plan, n_tsps)
+    old = old or {}
+    result = LayoutResult(algorithm="greedy", n_tsps=n_tsps)
+
+    egress_len = len(plan.egress_groups)
+    ingress_keys = [group_key(g) for g in plan.ingress_groups]
+    egress_keys = [group_key(g) for g in plan.egress_groups]
+    ingress_slots = list(range(n_tsps - egress_len))
+    egress_slots = list(range(n_tsps - egress_len, n_tsps))
+
+    for keys, slots, side in (
+        (ingress_keys, ingress_slots, "ingress"),
+        (egress_keys, egress_slots, "egress"),
+    ):
+        cursor = 0
+        for idx, key in enumerate(keys):
+            remaining_groups = len(keys) - idx
+            last_usable = len(slots) - remaining_groups
+            chosen = None
+            for s in range(cursor, last_usable + 1):
+                if old.get(slots[s]) == key:
+                    chosen = s
+                    break
+            if chosen is None:
+                chosen = cursor
+            result.slots[slots[chosen]] = key
+            result.sides[slots[chosen]] = side
+            cursor = chosen + 1
+    return _finalize(result, old)

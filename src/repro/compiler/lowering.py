@@ -1,0 +1,441 @@
+"""Lowering: rP4/HLIR declarations to executable runtime objects.
+
+* actions  -> :class:`repro.tables.actions.ActionDef` op lists
+* tables   -> :class:`repro.tables.table.Table` instances
+* matcher predicates -> packet -> bool callables
+* everything <-> JSON (the TSP template wire format), so templates
+  really are data that can be downloaded into a running device.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.lang.expr import (
+    EBin,
+    ECall,
+    EConst,
+    ERef,
+    EUnary,
+    EValid,
+    Expr,
+    SAssign,
+    SCall,
+    Stmt,
+)
+from repro.net.packet import Packet
+from repro.tables.actions import (
+    ActionDef,
+    BinOp,
+    Const,
+    CountAndMark,
+    FieldRef,
+    HashExpr,
+    MarkAbove,
+    Param,
+    Police,
+    PyPrimitive,
+    RemoveHeaderOp,
+    SetField,
+    SketchUpdate,
+)
+from repro.tables.primitives import primitive
+from repro.tables.table import KeyField, MatchKind, Table
+from repro.rp4.ast import Rp4Action
+
+
+class LoweringError(Exception):
+    """Raised when a declaration cannot be lowered."""
+
+
+# --------------------------------------------------------------------------
+# Expressions
+# --------------------------------------------------------------------------
+
+
+def lower_expr(expr: Expr, params: "set[str]"):
+    """rP4 expression -> action-VM expression."""
+    if isinstance(expr, EConst):
+        return Const(expr.value)
+    if isinstance(expr, ERef):
+        if expr.is_dotted:
+            return FieldRef(expr.ref)
+        if expr.ref in params:
+            return Param(expr.ref)
+        raise LoweringError(f"unresolved bare reference {expr.ref!r}")
+    if isinstance(expr, EUnary):
+        if expr.op == "-":
+            return BinOp("-", Const(0), lower_expr(expr.operand, params))
+        raise LoweringError(f"operator {expr.op!r} not valid in actions")
+    if isinstance(expr, EBin):
+        return BinOp(
+            expr.op, lower_expr(expr.left, params), lower_expr(expr.right, params)
+        )
+    if isinstance(expr, ECall):
+        if expr.name == "hash":
+            fields = []
+            for arg in expr.args:
+                if not (isinstance(arg, ERef) and arg.is_dotted):
+                    raise LoweringError("hash() arguments must be field references")
+                fields.append(arg.ref)
+            return HashExpr(tuple(fields))
+        raise LoweringError(f"unknown function {expr.name!r} in action")
+    raise LoweringError(f"expression {expr!r} not valid in actions")
+
+
+# --------------------------------------------------------------------------
+# Actions
+# --------------------------------------------------------------------------
+
+
+def lower_action(decl: Rp4Action) -> ActionDef:
+    """rP4 action declaration -> executable :class:`ActionDef`."""
+    params = {name for name, _ in decl.params}
+    ops: List[object] = []
+    for stmt in decl.body:
+        if isinstance(stmt, SAssign):
+            ops.append(SetField(stmt.dest, lower_expr(stmt.expr, params)))
+        elif isinstance(stmt, SCall):
+            ops.append(_lower_call(stmt, params, decl.name))
+        else:
+            raise LoweringError(
+                f"action {decl.name!r}: unsupported statement {stmt!r}"
+            )
+    return ActionDef(decl.name, list(decl.params), ops)  # type: ignore[arg-type]
+
+
+def _lower_call(stmt: SCall, params: "set[str]", action_name: str):
+    if stmt.name == "count_and_mark":
+        if len(stmt.args) != 2:
+            raise LoweringError(
+                f"action {action_name!r}: count_and_mark(threshold, dest) "
+                f"takes 2 arguments, got {len(stmt.args)}"
+            )
+        threshold, dest = stmt.args
+        if not (isinstance(threshold, ERef) and threshold.ref in params):
+            raise LoweringError(
+                f"action {action_name!r}: count_and_mark threshold must be "
+                "an action parameter"
+            )
+        if not (isinstance(dest, ERef) and dest.is_dotted):
+            raise LoweringError(
+                f"action {action_name!r}: count_and_mark destination must be "
+                "a field reference"
+            )
+        return CountAndMark(threshold.ref, dest.ref)
+    if stmt.name == "sketch_update":
+        if len(stmt.args) < 2:
+            raise LoweringError(
+                f"action {action_name!r}: sketch_update(key_fields..., dest) "
+                "needs at least one key field and a destination"
+            )
+        *field_args, dest = stmt.args
+        fields = []
+        for arg in field_args:
+            if not (isinstance(arg, ERef) and arg.is_dotted):
+                raise LoweringError(
+                    f"action {action_name!r}: sketch_update keys must be "
+                    "field references"
+                )
+            fields.append(arg.ref)
+        if not (isinstance(dest, ERef) and dest.is_dotted):
+            raise LoweringError(
+                f"action {action_name!r}: sketch_update destination must be "
+                "a field reference"
+            )
+        # The sketch is named after the owning action, giving each
+        # loaded function its own device-resident state.
+        return SketchUpdate(action_name, tuple(fields), dest.ref)
+    if stmt.name == "mark_above":
+        if len(stmt.args) != 3:
+            raise LoweringError(
+                f"action {action_name!r}: mark_above(src, threshold, dest) "
+                f"takes 3 arguments, got {len(stmt.args)}"
+            )
+        src, threshold, dest = stmt.args
+        if not (isinstance(src, ERef) and src.is_dotted):
+            raise LoweringError(
+                f"action {action_name!r}: mark_above source must be a field"
+            )
+        if not (isinstance(threshold, ERef) and threshold.ref in params):
+            raise LoweringError(
+                f"action {action_name!r}: mark_above threshold must be an "
+                "action parameter"
+            )
+        if not (isinstance(dest, ERef) and dest.is_dotted):
+            raise LoweringError(
+                f"action {action_name!r}: mark_above destination must be a field"
+            )
+        return MarkAbove(src.ref, threshold.ref, dest.ref)
+    if stmt.name == "police":
+        if len(stmt.args) != 1:
+            raise LoweringError(
+                f"action {action_name!r}: police(dest) takes 1 argument"
+            )
+        dest = stmt.args[0]
+        if not (isinstance(dest, ERef) and dest.is_dotted):
+            raise LoweringError(
+                f"action {action_name!r}: police destination must be a field"
+            )
+        # The meter is named after the owning action (configured by
+        # the controller through the device's meter bank).
+        return Police(action_name, dest.ref)
+    if stmt.name == "remove_header":
+        if len(stmt.args) != 1 or not isinstance(stmt.args[0], ERef):
+            raise LoweringError(
+                f"action {action_name!r}: remove_header takes a header name"
+            )
+        return RemoveHeaderOp(stmt.args[0].ref)
+    if stmt.args:
+        raise LoweringError(
+            f"action {action_name!r}: primitive {stmt.name!r} takes no arguments"
+        )
+    try:
+        return primitive(stmt.name)
+    except KeyError as exc:
+        raise LoweringError(f"action {action_name!r}: {exc}") from exc
+
+
+#: Built-in actions every device provides.
+def builtin_actions() -> Dict[str, ActionDef]:
+    return {
+        "NoAction": ActionDef("NoAction", [], []),
+        "drop": ActionDef("drop", [], [primitive("drop")]),
+        "mark_to_cpu": ActionDef("mark_to_cpu", [], [primitive("mark_to_cpu")]),
+    }
+
+
+# --------------------------------------------------------------------------
+# Tables
+# --------------------------------------------------------------------------
+
+
+def lower_table(
+    name: str,
+    key_fields: List[Tuple[str, str, int]],
+    size: int,
+    default_action: str = "NoAction",
+    default_data: Optional[Dict[str, int]] = None,
+) -> Table:
+    """Resolved table layout -> runtime :class:`Table`."""
+    keys = [
+        KeyField(ref, MatchKind.from_str(kind), width)
+        for ref, kind, width in key_fields
+    ]
+    return Table(
+        name, keys, size=size, default_action=default_action,
+        default_data=default_data,
+    )
+
+
+# --------------------------------------------------------------------------
+# Predicates
+# --------------------------------------------------------------------------
+
+
+def eval_predicate(expr: Expr, packet: Packet) -> int:
+    """Interpret a matcher predicate against a packet."""
+    if isinstance(expr, EConst):
+        return expr.value
+    if isinstance(expr, ERef):
+        value = packet.read(expr.ref)
+        if not isinstance(value, int):
+            raise LoweringError(f"predicate reads non-integer field {expr.ref!r}")
+        return value
+    if isinstance(expr, EValid):
+        return 1 if packet.is_valid(expr.header) else 0
+    if isinstance(expr, EUnary):
+        inner = eval_predicate(expr.operand, packet)
+        return (0 if inner else 1) if expr.op == "!" else -inner
+    if isinstance(expr, EBin):
+        op = expr.op
+        if op == "&&":
+            return 1 if (
+                eval_predicate(expr.left, packet)
+                and eval_predicate(expr.right, packet)
+            ) else 0
+        if op == "||":
+            return 1 if (
+                eval_predicate(expr.left, packet)
+                or eval_predicate(expr.right, packet)
+            ) else 0
+        left = eval_predicate(expr.left, packet)
+        right = eval_predicate(expr.right, packet)
+        if op == "==":
+            return 1 if left == right else 0
+        if op == "!=":
+            return 1 if left != right else 0
+        if op == "<":
+            return 1 if left < right else 0
+        if op == ">":
+            return 1 if left > right else 0
+        if op == "<=":
+            return 1 if left <= right else 0
+        if op == ">=":
+            return 1 if left >= right else 0
+        if op == "&":
+            return left & right
+        if op == "|":
+            return left | right
+        if op == "^":
+            return left ^ right
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "<<":
+            return left << right
+        if op == ">>":
+            return left >> right
+        raise LoweringError(f"operator {op!r} not valid in predicates")
+    raise LoweringError(f"expression {expr!r} not valid in predicates")
+
+
+def compile_predicate(expr: Optional[Expr]) -> Callable[[Packet], bool]:
+    """Matcher predicate -> callable; ``None`` (bare else) is always true."""
+    if expr is None:
+        return lambda packet: True
+    return lambda packet: bool(eval_predicate(expr, packet))
+
+
+# --------------------------------------------------------------------------
+# JSON wire format
+# --------------------------------------------------------------------------
+
+
+def expr_to_json(expr: Optional[Expr]) -> Optional[dict]:
+    if expr is None:
+        return None
+    if isinstance(expr, EConst):
+        return {"k": "const", "v": expr.value, "w": expr.width}
+    if isinstance(expr, ERef):
+        return {"k": "ref", "ref": expr.ref}
+    if isinstance(expr, EValid):
+        return {"k": "valid", "h": expr.header}
+    if isinstance(expr, EUnary):
+        return {"k": "un", "op": expr.op, "e": expr_to_json(expr.operand)}
+    if isinstance(expr, EBin):
+        return {
+            "k": "bin",
+            "op": expr.op,
+            "l": expr_to_json(expr.left),
+            "r": expr_to_json(expr.right),
+        }
+    if isinstance(expr, ECall):
+        return {"k": "call", "name": expr.name,
+                "args": [expr_to_json(a) for a in expr.args]}
+    raise LoweringError(f"cannot serialize expression {expr!r}")
+
+
+def expr_from_json(data: Optional[dict]) -> Optional[Expr]:
+    if data is None:
+        return None
+    kind = data["k"]
+    if kind == "const":
+        return EConst(data["v"], data.get("w"))
+    if kind == "ref":
+        return ERef(data["ref"])
+    if kind == "valid":
+        return EValid(data["h"])
+    if kind == "un":
+        inner = expr_from_json(data["e"])
+        assert inner is not None
+        return EUnary(data["op"], inner)
+    if kind == "bin":
+        left, right = expr_from_json(data["l"]), expr_from_json(data["r"])
+        assert left is not None and right is not None
+        return EBin(data["op"], left, right)
+    if kind == "call":
+        return ECall(
+            data["name"],
+            tuple(expr_from_json(a) for a in data["args"]),  # type: ignore[misc]
+        )
+    raise LoweringError(f"cannot deserialize expression {data!r}")
+
+
+def _vm_expr_to_json(expr) -> dict:
+    if isinstance(expr, Const):
+        return {"k": "const", "v": expr.value}
+    if isinstance(expr, Param):
+        return {"k": "param", "name": expr.name}
+    if isinstance(expr, FieldRef):
+        return {"k": "ref", "ref": expr.ref}
+    if isinstance(expr, BinOp):
+        return {
+            "k": "bin",
+            "op": expr.op,
+            "l": _vm_expr_to_json(expr.left),
+            "r": _vm_expr_to_json(expr.right),
+        }
+    if isinstance(expr, HashExpr):
+        return {"k": "hash", "fields": list(expr.fields), "width": expr.width}
+    raise LoweringError(f"cannot serialize VM expression {expr!r}")
+
+
+def _vm_expr_from_json(data: dict):
+    kind = data["k"]
+    if kind == "const":
+        return Const(data["v"])
+    if kind == "param":
+        return Param(data["name"])
+    if kind == "ref":
+        return FieldRef(data["ref"])
+    if kind == "bin":
+        return BinOp(data["op"], _vm_expr_from_json(data["l"]),
+                     _vm_expr_from_json(data["r"]))
+    if kind == "hash":
+        return HashExpr(tuple(data["fields"]), data["width"])
+    raise LoweringError(f"cannot deserialize VM expression {data!r}")
+
+
+def action_to_json(action: ActionDef) -> dict:
+    """Serialize a lowered action (primitives go by name)."""
+    ops = []
+    for op in action.ops:
+        if isinstance(op, SetField):
+            ops.append({"op": "set_field", "dest": op.dest,
+                        "expr": _vm_expr_to_json(op.expr)})
+        elif isinstance(op, RemoveHeaderOp):
+            ops.append({"op": "remove_header", "header": op.header})
+        elif isinstance(op, CountAndMark):
+            ops.append({"op": "count_and_mark",
+                        "threshold_param": op.threshold_param, "dest": op.dest})
+        elif isinstance(op, SketchUpdate):
+            ops.append({"op": "sketch_update", "sketch": op.sketch,
+                        "fields": list(op.fields), "dest": op.dest})
+        elif isinstance(op, MarkAbove):
+            ops.append({"op": "mark_above", "src": op.src,
+                        "threshold_param": op.threshold_param, "dest": op.dest})
+        elif isinstance(op, Police):
+            ops.append({"op": "police", "meter": op.meter, "dest": op.dest})
+        elif isinstance(op, PyPrimitive):
+            ops.append({"op": "primitive", "name": op.name})
+        else:
+            raise LoweringError(f"cannot serialize op {op!r}")
+    return {"name": action.name, "params": [list(p) for p in action.params],
+            "ops": ops}
+
+
+def action_from_json(data: dict) -> ActionDef:
+    """Rebuild an executable action from its JSON descriptor."""
+    ops: List[object] = []
+    for op in data["ops"]:
+        kind = op["op"]
+        if kind == "set_field":
+            ops.append(SetField(op["dest"], _vm_expr_from_json(op["expr"])))
+        elif kind == "remove_header":
+            ops.append(RemoveHeaderOp(op["header"]))
+        elif kind == "count_and_mark":
+            ops.append(CountAndMark(op["threshold_param"], op["dest"]))
+        elif kind == "sketch_update":
+            ops.append(SketchUpdate(op["sketch"], tuple(op["fields"]), op["dest"]))
+        elif kind == "mark_above":
+            ops.append(MarkAbove(op["src"], op["threshold_param"], op["dest"]))
+        elif kind == "police":
+            ops.append(Police(op["meter"], op["dest"]))
+        elif kind == "primitive":
+            ops.append(primitive(op["name"]))
+        else:
+            raise LoweringError(f"cannot deserialize op {op!r}")
+    params = [(name, width) for name, width in data["params"]]
+    return ActionDef(data["name"], params, ops)  # type: ignore[arg-type]

@@ -1,0 +1,175 @@
+"""Stage merging: pack logical stages into TSP-sized groups (rp4bc pass 2).
+
+Adjacent stages in the linearized pipeline share a TSP when the
+dependency analysis allows it -- mutually exclusive stages cost one
+lookup per packet (the ECMP K/L pair), independent stages cost one
+lookup each ("one TSP can host multiple independent stages").  This
+pass is why the ten-stage base design fits in seven TSPs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.compiler.dependency import DependencyInfo
+
+
+class MergeMode(enum.Enum):
+    """Merging aggressiveness (the ablation knob)."""
+
+    NONE = "none"  # one stage per TSP
+    EXCLUSIVE = "exclusive"  # only mutually exclusive stages share
+    FULL = "full"  # exclusive + independent stages share
+
+
+@dataclass
+class MergePlan:
+    """Groups of stage names per pipeline side."""
+
+    ingress_groups: List[List[str]] = field(default_factory=list)
+    egress_groups: List[List[str]] = field(default_factory=list)
+
+    @property
+    def tsp_count(self) -> int:
+        return len(self.ingress_groups) + len(self.egress_groups)
+
+    def all_groups(self) -> List[Tuple[str, List[str]]]:
+        """(side, stages) rows, ingress first."""
+        rows = [("ingress", g) for g in self.ingress_groups]
+        rows += [("egress", g) for g in self.egress_groups]
+        return rows
+
+    def group_of(self, stage: str) -> List[str]:
+        for _, group in self.all_groups():
+            if stage in group:
+                return group
+        raise KeyError(f"stage {stage!r} is not in any group")
+
+
+def group_key(stages: List[str]) -> str:
+    """Stable printable key for a group ("ipv4_lpm+ipv6_lpm")."""
+    return "+".join(stages)
+
+
+def _pack_side(
+    order: List[str],
+    info: DependencyInfo,
+    mode: MergeMode,
+    max_stages_per_tsp: int,
+    max_cofire_per_tsp: Optional[int] = None,
+) -> List[List[str]]:
+    """List-scheduling packer.
+
+    Two stages must keep their relative order only when a real hazard
+    exists between them and they are not mutually exclusive; all other
+    pairs commute.  Scheduling greedily pulls commuting stages forward
+    into the current group, so e.g. the P4 apply order
+    ``v4_lpm, v4_host, v6_lpm, v6_host`` still packs into the two TSPs
+    ``{v4_lpm+v6_lpm}, {v4_host+v6_host}``.
+    """
+    if mode is MergeMode.NONE:
+        return [[stage] for stage in order]
+
+    index = {name: i for i, name in enumerate(order)}
+    preds: Dict[str, set] = {name: set() for name in order}
+    for i, first in enumerate(order):
+        for second in order[i + 1 :]:
+            ordered = info.depends(first, second) or info.depends(second, first)
+            if ordered and not info.mutually_exclusive(first, second):
+                preds[second].add(first)
+
+    scheduled: set = set()
+    groups: List[List[str]] = []
+    current: List[str] = []
+
+    def ready() -> List[str]:
+        out = [
+            name
+            for name in order
+            if name not in scheduled and preds[name] <= scheduled
+        ]
+        return sorted(out, key=index.__getitem__)
+
+    while len(scheduled) < len(order):
+        candidates = ready()
+        chosen = None
+        if current and len(current) < max_stages_per_tsp:
+            for name in candidates:
+                if not all(_can_share(m, name, info, mode) for m in current):
+                    continue
+                if (
+                    max_cofire_per_tsp is not None
+                    and cofire_count(current, name, info) > max_cofire_per_tsp
+                ):
+                    continue
+                chosen = name
+                break
+        if chosen is None:
+            if current:
+                groups.append(current)
+            chosen = candidates[0]
+            current = [chosen]
+        else:
+            current.append(chosen)
+        scheduled.add(chosen)
+    if current:
+        groups.append(current)
+    return groups
+
+
+def _can_share(
+    first: str, second: str, info: DependencyInfo, mode: MergeMode
+) -> bool:
+    if mode is MergeMode.NONE:
+        return False
+    if info.mutually_exclusive(first, second):
+        return True
+    if mode is MergeMode.FULL:
+        return not info.depends(first, second) and not info.depends(
+            second, first
+        )
+    return False
+
+
+def cofire_count(group: List[str], candidate: str, info: DependencyInfo) -> int:
+    """Worst-case lookups per packet if ``candidate`` joins ``group``.
+
+    Mutually exclusive stages share one lookup; every non-exclusive
+    co-resident stage adds one -- the throughput cost of merging.
+    """
+    return 1 + sum(
+        1
+        for member in group
+        if not info.mutually_exclusive(member, candidate)
+    )
+
+
+def plan_merge(
+    ingress_order: List[str],
+    egress_order: List[str],
+    info: DependencyInfo,
+    mode: MergeMode = MergeMode.FULL,
+    max_stages_per_tsp: int = 4,
+    max_cofire_per_tsp: Optional[int] = None,
+) -> MergePlan:
+    """Pack both pipeline sides into TSP groups.
+
+    ``max_cofire_per_tsp`` bounds the worst-case lookups a merged TSP
+    performs per packet -- the throughput-aware knob: ``1`` restricts
+    merging to mutually exclusive stages on the hot path, ``None``
+    (default) merges for minimum TSP count regardless of cycle cost.
+    """
+    if max_stages_per_tsp <= 0:
+        raise ValueError("max_stages_per_tsp must be positive")
+    if max_cofire_per_tsp is not None and max_cofire_per_tsp <= 0:
+        raise ValueError("max_cofire_per_tsp must be positive")
+    return MergePlan(
+        ingress_groups=_pack_side(
+            ingress_order, info, mode, max_stages_per_tsp, max_cofire_per_tsp
+        ),
+        egress_groups=_pack_side(
+            egress_order, info, mode, max_stages_per_tsp, max_cofire_per_tsp
+        ),
+    )

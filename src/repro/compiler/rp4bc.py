@@ -1,0 +1,507 @@
+"""rp4bc: the rP4 back-end compiler (paper Sec. 3.2).
+
+Base flow::
+
+    rP4 source --parse/analyze--> stage graph --dependency analysis-->
+    merge plan --layout--> table allocation --> TSP templates (JSON)
+
+Incremental flow: "we feed the commands (stipulating the operation and
+location) plus the rP4 code to rp4bc, which generates two outputs.
+The first output is the updated base design, and the second output is
+the new TSP templates and switch configuration."
+:func:`compile_update` returns exactly those two artifacts (the merged
+:class:`CompiledDesign` and an :class:`UpdatePlan` with the delta).
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple, Union
+
+from repro.compiler.allocation import (
+    TableLayout,
+    allocate_new_tables,
+    compute_table_layouts,
+    migrate_if_needed,
+    release_tables,
+    table_stage_map,
+)
+from repro.compiler.dependency import (
+    DependencyInfo,
+    _exclusive_header_pairs,
+    analyze_dependencies,
+    stage_effects,
+)
+from repro.compiler.json_ir import device_config, tsp_template
+from repro.compiler.layout import LayoutResult, layout_dp, layout_greedy
+from repro.compiler.merge import MergeMode, MergePlan, group_key, plan_merge
+from repro.compiler.script import (
+    AddLinkCmd,
+    Command,
+    DelLinkCmd,
+    LinkHeaderCmd,
+    LoadCmd,
+    ScriptError,
+    UnlinkHeaderCmd,
+    UnloadCmd,
+    parse_script,
+)
+from repro.compiler.stage_graph import StageGraph
+from repro.memory.crossbar import Crossbar
+from repro.memory.pool import MemoryPool
+from repro.net.linkage import HeaderLink
+from repro.rp4.ast import Rp4Program, UserFunc
+from repro.rp4.parser import parse_rp4
+from repro.rp4.semantic import SemanticInfo, analyze, analyze_incremental
+
+
+class CompileError(Exception):
+    """Raised when a design or update cannot be compiled."""
+
+
+@dataclass
+class TargetSpec:
+    """The physical device rp4bc compiles for."""
+
+    n_tsps: int = 8
+    sram_blocks: int = 96
+    tcam_blocks: int = 16
+    block_width: int = 128
+    block_depth: int = 1024
+    memory_clusters: int = 1
+    crossbar: Optional[Crossbar] = None
+    merge_mode: MergeMode = MergeMode.FULL
+    max_stages_per_tsp: int = 4
+    max_cofire_per_tsp: Optional[int] = None  # throughput-aware merging
+    layout_algorithm: str = "dp"  # or "greedy"
+
+    def make_pool(self) -> MemoryPool:
+        return MemoryPool(
+            sram_blocks=self.sram_blocks,
+            tcam_blocks=self.tcam_blocks,
+            block_width=self.block_width,
+            block_depth=self.block_depth,
+            clusters=self.memory_clusters,
+            crossbar=self.crossbar,
+        )
+
+    def layout_fn(self):
+        if self.layout_algorithm == "dp":
+            return layout_dp
+        if self.layout_algorithm == "greedy":
+            return layout_greedy
+        raise CompileError(
+            f"unknown layout algorithm {self.layout_algorithm!r}"
+        )
+
+
+@dataclass
+class CompiledDesign:
+    """Everything rp4bc knows about a deployed design."""
+
+    program: Rp4Program
+    info: SemanticInfo
+    graph: StageGraph
+    deps: DependencyInfo
+    plan: MergePlan
+    layout: LayoutResult
+    pool: MemoryPool
+    table_layouts: Dict[str, TableLayout]
+    templates: List[dict]
+    config: dict
+    target: TargetSpec
+
+    def stage_letters(self, letters: Dict[str, str]) -> Dict[str, int]:
+        """Fig.-4-style view: stage letter -> physical TSP index."""
+        out: Dict[str, int] = {}
+        for letter, stage in letters.items():
+            try:
+                group = self.plan.group_of(stage)
+            except KeyError:
+                continue
+            out[letter] = self.layout.slot_of(group_key(group))
+        return out
+
+
+@dataclass
+class UpdatePlan:
+    """The delta an incremental compile produces."""
+
+    design: CompiledDesign
+    new_templates: List[dict] = field(default_factory=list)
+    selector: dict = field(default_factory=dict)
+    link_headers: List[HeaderLink] = field(default_factory=list)
+    unlink_headers: List[Tuple[str, int]] = field(default_factory=list)
+    added_stages: List[str] = field(default_factory=list)
+    removed_stages: List[str] = field(default_factory=list)
+    new_tables: List[str] = field(default_factory=list)
+    freed_tables: List[str] = field(default_factory=list)
+    migrated_tables: List[str] = field(default_factory=list)
+    rewritten_tsps: List[int] = field(default_factory=list)
+
+
+def _selector_json(layout: LayoutResult) -> dict:
+    return {
+        "tm_input": layout.tm_input,
+        "tm_output": layout.tm_output,
+        "active": layout.active_tsps,
+        "bypassed": layout.bypassed_tsps,
+    }
+
+
+def _templates_for(
+    program: Rp4Program, plan: MergePlan, layout: LayoutResult
+) -> List[dict]:
+    stages = program.all_stages()
+    templates = []
+    for side, group in plan.all_groups():
+        slot = layout.slot_of(group_key(group))
+        templates.append(
+            tsp_template(slot, side, [stages[name] for name in group])
+        )
+    templates.sort(key=lambda t: t["tsp"])
+    return templates
+
+
+def _build(
+    program: Rp4Program,
+    graph: StageGraph,
+    target: TargetSpec,
+    pool: MemoryPool,
+    old_slots: Optional[Dict[int, str]] = None,
+) -> CompiledDesign:
+    info = analyze(program)
+    ingress_order = graph.linearize("ingress")
+    egress_order = graph.linearize("egress")
+    deps = analyze_dependencies(program, ingress_order + egress_order)
+    plan = plan_merge(
+        ingress_order,
+        egress_order,
+        deps,
+        mode=target.merge_mode,
+        max_stages_per_tsp=target.max_stages_per_tsp,
+        max_cofire_per_tsp=target.max_cofire_per_tsp,
+    )
+    layout = target.layout_fn()(plan, target.n_tsps, old_slots)
+    table_layouts = compute_table_layouts(program, info, plan, layout, pool)
+    templates = _templates_for(program, plan, layout)
+    table_specs = {}
+    for name, tlayout in table_layouts.items():
+        tinfo = info.tables[name]
+        table_specs[name] = {
+            "keys": [list(k) for k in tinfo.key_fields],
+            "size": tinfo.size,
+            "default_action": program.tables[name].default_action,
+            **tlayout.to_json(),
+        }
+    config = device_config(
+        program,
+        templates,
+        _selector_json(layout),
+        {
+            name: {
+                "kind": mapping.kind.value,
+                "table_width": mapping.table_width,
+                "table_depth": mapping.table_depth,
+                "block_ids": list(mapping.block_ids),
+            }
+            for name, mapping in pool.mappings().items()
+        },
+        table_specs,
+    )
+    return CompiledDesign(
+        program=program,
+        info=info,
+        graph=graph,
+        deps=deps,
+        plan=plan,
+        layout=layout,
+        pool=pool,
+        table_layouts=table_layouts,
+        templates=templates,
+        config=config,
+        target=target,
+    )
+
+
+def compile_base(
+    source: Union[str, Rp4Program], target: Optional[TargetSpec] = None
+) -> CompiledDesign:
+    """Compile a complete rP4 design for an empty device."""
+    target = target or TargetSpec()
+    program = parse_rp4(source) if isinstance(source, str) else source
+    graph = StageGraph.from_program(program)
+    pool = target.make_pool()
+    # Two-phase: layout first (allocation needs slot->cluster), then
+    # allocate, then rebuild the config with the final allocations.
+    design = _build(program, graph, target, pool)
+    allocate_new_tables(pool, design.table_layouts)
+    return _build(program, graph, target, pool, old_slots=None)
+
+
+def compile_update(
+    design: CompiledDesign,
+    script_text: str,
+    sources: Optional[Dict[str, str]] = None,
+) -> UpdatePlan:
+    """Apply a load script to a compiled design (incremental flow).
+
+    ``sources`` maps the snippet names referenced by ``load`` commands
+    to their rP4 text.  The running ``design`` is never mutated; a
+    failed update leaves it intact.
+
+    Unlike :func:`compile_base`, this path is genuinely incremental:
+    only the snippet is parsed and analyzed, dependency effects of
+    surviving stages are reused, templates are regenerated only for
+    rewritten TSPs, and the device config is patched rather than
+    rebuilt -- which is why snippet compiles stay fast no matter how
+    large the base design grows (the Table 1 asymmetry).
+    """
+    sources = sources or {}
+    commands = parse_script(script_text)
+    target = design.target
+
+    program = design.program.shallow_clone()
+    graph = _rebind_graph(design.graph, program)
+    pool = design.pool.clone()
+
+    plan = UpdatePlan(design=design)  # design is replaced at the end
+    used_before = graph.tables_in_use()
+
+    for command in commands:
+        _apply_command(command, program, graph, plan, sources)
+
+    removed = graph.prune_orphans()
+    plan.removed_stages.extend(removed)
+    for name in removed:
+        program.ingress_stages.pop(name, None)
+        program.egress_stages.pop(name, None)
+    if plan.removed_stages:
+        gone = set(plan.removed_stages)
+        for name, func in list(program.user_funcs.items()):
+            kept = [s for s in func.stages if s not in gone]
+            if not kept:
+                del program.user_funcs[name]
+            elif len(kept) != len(func.stages):
+                program.user_funcs[name] = UserFunc(func.name, kept)
+
+    used_after = graph.tables_in_use()
+    freed = sorted(used_before - used_after)
+    plan.freed_tables = freed
+    for name in freed:
+        program.tables.pop(name, None)
+    release_tables(pool, freed)
+
+    # -- incremental analysis: new stages and tables only ------------------
+    live_added = [s for s in plan.added_stages if s not in set(plan.removed_stages)]
+    candidate_tables = [
+        name
+        for name in used_after - set(design.info.tables)
+        if name in program.tables
+    ]
+    info = analyze_incremental(program, design.info, live_added, candidate_tables)
+
+    # -- dependencies: reuse surviving effects ------------------------------
+    ingress_order = graph.linearize("ingress")
+    egress_order = graph.linearize("egress")
+    deps = DependencyInfo()
+    deps.exclusive_headers = _exclusive_header_pairs(program)
+    stages = program.all_stages()
+    for name in ingress_order + egress_order:
+        cached = design.deps.effects.get(name)
+        if cached is not None and name not in live_added:
+            deps.effects[name] = cached
+        else:
+            deps.effects[name] = stage_effects(stages[name], program)
+
+    merge_plan = plan_merge(
+        ingress_order,
+        egress_order,
+        deps,
+        mode=target.merge_mode,
+        max_stages_per_tsp=target.max_stages_per_tsp,
+        max_cofire_per_tsp=target.max_cofire_per_tsp,
+    )
+    old_slots = dict(design.layout.slots)
+    layout = target.layout_fn()(merge_plan, target.n_tsps, old_slots)
+
+    table_layouts = compute_table_layouts(program, info, merge_plan, layout, pool)
+    plan.migrated_tables = migrate_if_needed(pool, table_layouts)
+    plan.new_tables = allocate_new_tables(pool, table_layouts)
+
+    # -- templates: regenerate rewritten slots, reuse the rest ---------------
+    old_templates = {t["tsp"]: t for t in design.templates}
+    rewritten = set(layout.rewrites)
+    templates: List[dict] = []
+    for side, group in merge_plan.all_groups():
+        slot = layout.slot_of(group_key(group))
+        if slot in rewritten or slot not in old_templates:
+            templates.append(
+                tsp_template(slot, side, [stages[name] for name in group])
+            )
+        else:
+            templates.append(old_templates[slot])
+    templates.sort(key=lambda t: t["tsp"])
+
+    config = _patch_config(
+        design.config, program, plan, info, table_layouts, templates, layout, pool
+    )
+
+    new_design = CompiledDesign(
+        program=program,
+        info=info,
+        graph=graph,
+        deps=deps,
+        plan=merge_plan,
+        layout=layout,
+        pool=pool,
+        table_layouts=table_layouts,
+        templates=templates,
+        config=config,
+        target=target,
+    )
+    plan.design = new_design
+    plan.rewritten_tsps = sorted(rewritten)
+    plan.new_templates = [t for t in templates if t["tsp"] in rewritten]
+    plan.selector = _selector_json(layout)
+    return plan
+
+
+def _patch_config(
+    old_config: dict,
+    program: Rp4Program,
+    plan: UpdatePlan,
+    info: SemanticInfo,
+    table_layouts: Dict[str, TableLayout],
+    templates: List[dict],
+    layout: LayoutResult,
+    pool: MemoryPool,
+) -> dict:
+    """O(delta) device-config update (no full re-serialization)."""
+    from repro.compiler.json_ir import header_to_json
+    from repro.compiler.lowering import action_to_json, lower_action
+
+    config = dict(old_config)
+
+    headers = dict(old_config.get("headers", {}))
+    touched = {l.pre for l in plan.link_headers}
+    touched |= {pre for pre, _tag in plan.unlink_headers}
+    touched |= {
+        name for name in program.headers if name not in headers
+    }
+    for name in touched:
+        if name in program.headers:
+            headers[name] = header_to_json(program.headers[name])
+    config["headers"] = headers
+
+    actions = dict(old_config.get("actions", {}))
+    for name, decl in program.actions.items():
+        if name not in actions:
+            actions[name] = action_to_json(lower_action(decl))
+    config["actions"] = actions
+
+    # Snippets may extend the metadata struct (same struct name, union
+    # of members) -- rebuild the member list so new fields reach the
+    # device's per-packet defaults.
+    config["metadata"] = [
+        list(member)
+        for struct in program.structs.values()
+        if struct.alias == "meta"
+        for member in struct.members
+    ]
+
+    tables = {
+        name: spec
+        for name, spec in old_config.get("tables", {}).items()
+        if name not in set(plan.freed_tables)
+    }
+    for name in table_layouts:
+        if name not in tables:
+            tinfo = info.tables[name]
+            tables[name] = {
+                "keys": [list(k) for k in tinfo.key_fields],
+                "size": tinfo.size,
+                "default_action": program.tables[name].default_action,
+                **table_layouts[name].to_json(),
+            }
+    config["tables"] = tables
+
+    config["templates"] = templates
+    config["selector"] = _selector_json(layout)
+    config["allocations"] = {
+        name: {
+            "kind": mapping.kind.value,
+            "table_width": mapping.table_width,
+            "table_depth": mapping.table_depth,
+            "block_ids": list(mapping.block_ids),
+        }
+        for name, mapping in pool.mappings().items()
+    }
+    return config
+
+
+def _rebind_graph(graph: StageGraph, program: Rp4Program) -> StageGraph:
+    """Clone the graph and point its nodes at the copied program's decls."""
+    twin = graph.clone()
+    stages = program.all_stages()
+    rebound = {}
+    for name, node in twin.nodes.items():
+        new_node = copy.copy(node)
+        new_node.decl = stages[name]
+        rebound[name] = new_node
+    twin.nodes = rebound
+    return twin
+
+
+def _apply_command(
+    command: Command,
+    program: Rp4Program,
+    graph: StageGraph,
+    plan: UpdatePlan,
+    sources: Dict[str, str],
+) -> None:
+    if isinstance(command, LoadCmd):
+        if command.source not in sources:
+            raise CompileError(
+                f"load: no source provided for {command.source!r}"
+            )
+        snippet = parse_rp4(sources[command.source])
+        func = snippet.user_funcs.get(command.func_name)
+        snippet_stage_names = (
+            func.stages if func is not None else list(snippet.all_stages())
+        )
+        program.merge(snippet)
+        for name in snippet_stage_names:
+            side = "egress" if name in snippet.egress_stages else "ingress"
+            graph.add_stage(
+                program.all_stages()[name], side=side, func=command.func_name
+            )
+            plan.added_stages.append(name)
+    elif isinstance(command, UnloadCmd):
+        doomed = graph.remove_func(command.func_name)
+        plan.removed_stages.extend(doomed)
+        for name in doomed:
+            program.ingress_stages.pop(name, None)
+            program.egress_stages.pop(name, None)
+        program.user_funcs.pop(command.func_name, None)
+    elif isinstance(command, AddLinkCmd):
+        graph.add_link(command.pre, command.next)
+    elif isinstance(command, DelLinkCmd):
+        graph.del_link(command.pre, command.next)
+    elif isinstance(command, LinkHeaderCmd):
+        plan.link_headers.append(
+            HeaderLink(command.pre, command.tag, command.next)
+        )
+        header = program.headers.get(command.pre)
+        if header is not None and (command.tag, command.next) not in header.links:
+            header.links.append((command.tag, command.next))
+    elif isinstance(command, UnlinkHeaderCmd):
+        plan.unlink_headers.append((command.pre, command.tag))
+        header = program.headers.get(command.pre)
+        if header is not None:
+            header.links = [
+                (tag, nxt) for tag, nxt in header.links if tag != command.tag
+            ]
+    else:
+        raise CompileError(f"unhandled command {command!r}")

@@ -1,0 +1,216 @@
+"""The stage graph: logical pipeline topology the load scripts mutate.
+
+Stages are nodes; ``add_link``/``del_link`` controller commands edit
+edges.  The TM boundary is implicit: ingress stages are the ones
+reachable from the ingress entry, egress stages from the egress entry.
+Stages that become unreachable after a script (e.g. the nexthop stage
+H once ECMP "covers and therefore replaces" it) are pruned and their
+tables recycled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.rp4.ast import Rp4Program, StageDecl
+
+
+class StageGraphError(Exception):
+    """Raised on malformed topology edits."""
+
+
+@dataclass
+class StageNode:
+    """One logical stage plus its bookkeeping."""
+
+    decl: StageDecl
+    side: str  # "ingress" or "egress"
+    func: Optional[str] = None  # owning user_func, if any
+
+
+class StageGraph:
+    """A DAG of logical stages with one entry per side."""
+
+    def __init__(self) -> None:
+        self.nodes: Dict[str, StageNode] = {}
+        self.edges: Dict[str, List[str]] = {}
+        self.ingress_entry: Optional[str] = None
+        self.egress_entry: Optional[str] = None
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def from_program(cls, program: Rp4Program) -> "StageGraph":
+        """Initial topology: declaration order chains per side."""
+        graph = cls()
+        func_of: Dict[str, str] = {}
+        for func in program.user_funcs.values():
+            for sname in func.stages:
+                func_of[sname] = func.name
+        for side, stages in (
+            ("ingress", program.ingress_stages),
+            ("egress", program.egress_stages),
+        ):
+            names = list(stages)
+            for name in names:
+                graph.nodes[name] = StageNode(
+                    decl=stages[name], side=side, func=func_of.get(name)
+                )
+                graph.edges.setdefault(name, [])
+            for pre, nxt in zip(names, names[1:]):
+                graph.edges[pre].append(nxt)
+        graph.ingress_entry = program.ingress_entry or (
+            next(iter(program.ingress_stages), None)
+        )
+        graph.egress_entry = program.egress_entry or (
+            next(iter(program.egress_stages), None)
+        )
+        # The TM-crossing edge: the last ingress stage feeds the egress
+        # entry.  Load scripts edit this edge explicitly (Fig. 5(b):
+        # "add_link ecmp l2_l3_rewrite; del_link nexthop l2_l3_rewrite").
+        ingress_names = list(program.ingress_stages)
+        if ingress_names and graph.egress_entry is not None:
+            graph.edges[ingress_names[-1]].append(graph.egress_entry)
+        return graph
+
+    def add_stage(
+        self, decl: StageDecl, side: str = "ingress", func: Optional[str] = None
+    ) -> None:
+        if decl.name in self.nodes:
+            raise StageGraphError(f"stage {decl.name!r} already exists")
+        self.nodes[decl.name] = StageNode(decl=decl, side=side, func=func)
+        self.edges.setdefault(decl.name, [])
+
+    # -- topology edits (the add_link/del_link commands) -------------------
+
+    def add_link(self, pre: str, nxt: str) -> None:
+        if pre not in self.nodes:
+            raise StageGraphError(f"add_link: unknown stage {pre!r}")
+        if nxt not in self.nodes:
+            raise StageGraphError(f"add_link: unknown stage {nxt!r}")
+        if nxt in self.edges[pre]:
+            return  # idempotent
+        self.edges[pre].append(nxt)
+
+    def del_link(self, pre: str, nxt: str) -> None:
+        if pre not in self.nodes:
+            raise StageGraphError(f"del_link: unknown stage {pre!r}")
+        try:
+            self.edges[pre].remove(nxt)
+        except ValueError:
+            raise StageGraphError(f"del_link: no link {pre!r} -> {nxt!r}") from None
+
+    # -- queries ------------------------------------------------------------
+
+    def successors(self, name: str) -> List[str]:
+        return list(self.edges.get(name, []))
+
+    def predecessors(self, name: str) -> List[str]:
+        return [pre for pre, nxts in self.edges.items() if name in nxts]
+
+    def reachable_from(self, entry: Optional[str]) -> Set[str]:
+        if entry is None or entry not in self.nodes:
+            return set()
+        seen: Set[str] = set()
+        frontier = [entry]
+        while frontier:
+            current = frontier.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            frontier.extend(self.edges.get(current, []))
+        return seen
+
+    def linearize(self, side: str) -> List[str]:
+        """Topological order of the reachable stages on one side.
+
+        Cross-side edges (e.g. ``add_link ecmp l2_l3_rewrite`` feeding
+        the TM) are ignored for ordering -- the TM is the boundary.
+        Deterministic: ties broken by insertion order.
+        """
+        entry = self.ingress_entry if side == "ingress" else self.egress_entry
+        members = {
+            n for n in self.reachable_from(entry) if self.nodes[n].side == side
+        }
+        indegree = {n: 0 for n in members}
+        for pre in members:
+            for nxt in self.edges.get(pre, []):
+                if nxt in members:
+                    indegree[nxt] += 1
+        order: List[str] = []
+        insertion = {name: i for i, name in enumerate(self.nodes)}
+        ready = sorted(
+            (n for n, d in indegree.items() if d == 0), key=insertion.__getitem__
+        )
+        while ready:
+            current = ready.pop(0)
+            order.append(current)
+            for nxt in self.edges.get(current, []):
+                if nxt in members:
+                    indegree[nxt] -= 1
+                    if indegree[nxt] == 0:
+                        ready.append(nxt)
+            ready.sort(key=insertion.__getitem__)
+        if len(order) != len(members):
+            raise StageGraphError(
+                f"{side} stage graph has a cycle among "
+                f"{sorted(members - set(order))}"
+            )
+        return order
+
+    def prune_orphans(self) -> List[str]:
+        """Drop stages unreachable from both entries; return their names."""
+        live = self.reachable_from(self.ingress_entry) | self.reachable_from(
+            self.egress_entry
+        )
+        removed = [n for n in self.nodes if n not in live]
+        for name in removed:
+            del self.nodes[name]
+            self.edges.pop(name, None)
+        for pre in self.edges:
+            self.edges[pre] = [n for n in self.edges[pre] if n in live]
+        return removed
+
+    def remove_func(self, func_name: str) -> List[str]:
+        """Unload a user function: unlink and drop its stages
+        (the paper's function-deletion command).
+
+        Predecessor links are re-pointed at each removed stage's
+        successors so the pipeline stays connected.
+        """
+        doomed = [n for n, node in self.nodes.items() if node.func == func_name]
+        if not doomed:
+            raise StageGraphError(f"no stages belong to func {func_name!r}")
+        for name in doomed:
+            succs = [n for n in self.edges.get(name, []) if n not in doomed]
+            for pre in self.predecessors(name):
+                if pre in doomed:
+                    continue
+                self.edges[pre].remove(name)
+                for succ in succs:
+                    if succ not in self.edges[pre]:
+                        self.edges[pre].append(succ)
+        for name in doomed:
+            del self.nodes[name]
+            self.edges.pop(name, None)
+        for pre in self.edges:
+            self.edges[pre] = [n for n in self.edges[pre] if n in self.nodes]
+        return doomed
+
+    def clone(self) -> "StageGraph":
+        twin = StageGraph()
+        twin.nodes = dict(self.nodes)
+        twin.edges = {k: list(v) for k, v in self.edges.items()}
+        twin.ingress_entry = self.ingress_entry
+        twin.egress_entry = self.egress_entry
+        return twin
+
+    def tables_in_use(self) -> Set[str]:
+        """Tables applied by any live stage."""
+        used: Set[str] = set()
+        for node in self.nodes.values():
+            for arm in node.decl.matcher:
+                if arm.table is not None:
+                    used.add(arm.table)
+        return used

@@ -1,0 +1,134 @@
+"""Device-config validation (schema checks before a load).
+
+rp4bc output is trusted, but configs also arrive from disk (the
+``rp4bc -o config.json`` / ``ipbm-ctl`` path) where hand edits happen.
+``validate_config`` checks the structural invariants the device relies
+on and returns every violation, so operators see all problems at once
+instead of a mid-load stack trace.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+
+class ConfigError(Exception):
+    """Raised with all collected violations."""
+
+    def __init__(self, errors: List[str]) -> None:
+        super().__init__("; ".join(errors))
+        self.errors = list(errors)
+
+
+_MATCH_KINDS = {"exact", "lpm", "ternary", "hash"}
+
+
+def validate_config(config: dict, n_tsps: int = 8) -> List[str]:
+    """Return a list of violations (empty = valid)."""
+    errors: List[str] = []
+
+    def err(msg: str) -> None:
+        errors.append(msg)
+
+    if not isinstance(config, dict):
+        return ["config must be a JSON object"]
+
+    headers = config.get("headers", {})
+    for name, spec in headers.items():
+        fields = spec.get("fields")
+        if not fields:
+            err(f"header {name!r}: no fields")
+            continue
+        field_names = set()
+        for row in fields:
+            if len(row) != 2 or not isinstance(row[1], int) or row[1] <= 0:
+                err(f"header {name!r}: malformed field row {row!r}")
+            else:
+                field_names.add(row[0])
+        selector = spec.get("selector")
+        if selector is not None and selector not in field_names:
+            err(f"header {name!r}: selector {selector!r} is not a field")
+        for link in spec.get("links", []):
+            if len(link) != 2 or not isinstance(link[0], int):
+                err(f"header {name!r}: malformed link {link!r}")
+
+    tables = config.get("tables", {})
+    for name, spec in tables.items():
+        keys = spec.get("keys")
+        if not keys:
+            err(f"table {name!r}: no keys")
+            continue
+        for row in keys:
+            if len(row) != 3:
+                err(f"table {name!r}: malformed key row {row!r}")
+                continue
+            _ref, kind, width = row
+            if kind not in _MATCH_KINDS:
+                err(f"table {name!r}: unknown match kind {kind!r}")
+            if not isinstance(width, int) or width <= 0:
+                err(f"table {name!r}: bad key width {width!r}")
+        size = spec.get("size", spec.get("depth"))
+        if not isinstance(size, int) or size <= 0:
+            err(f"table {name!r}: bad size {size!r}")
+
+    actions = config.get("actions", {})
+    for name, spec in actions.items():
+        for op in spec.get("ops", []):
+            if "op" not in op:
+                err(f"action {name!r}: op without a kind: {op!r}")
+
+    seen_slots = set()
+    for template in config.get("templates", []):
+        slot = template.get("tsp")
+        if not isinstance(slot, int) or not 0 <= slot < n_tsps:
+            err(f"template targets invalid TSP {slot!r}")
+            continue
+        if slot in seen_slots:
+            err(f"two templates target TSP {slot}")
+        seen_slots.add(slot)
+        if template.get("side") not in ("ingress", "egress"):
+            err(f"template {slot}: bad side {template.get('side')!r}")
+        for stage in template.get("stages", []):
+            for arm in stage.get("matcher", []):
+                table = arm.get("table")
+                if table is not None and table not in tables:
+                    err(
+                        f"template {slot}: stage {stage.get('name')!r} "
+                        f"applies undeclared table {table!r}"
+                    )
+            for tag, action in stage.get("executor", {}).items():
+                if tag != "default" and not str(tag).lstrip("-").isdigit():
+                    err(
+                        f"template {slot}: stage {stage.get('name')!r} "
+                        f"has non-integer executor tag {tag!r}"
+                    )
+                if action not in actions and action not in (
+                    "NoAction", "drop", "mark_to_cpu"
+                ):
+                    err(
+                        f"template {slot}: stage {stage.get('name')!r} "
+                        f"maps to undeclared action {action!r}"
+                    )
+
+    selector = config.get("selector", {})
+    if selector:
+        tm_in, tm_out = selector.get("tm_input"), selector.get("tm_output")
+        if tm_in is not None and tm_out is not None and tm_in >= tm_out:
+            err(f"selector: tm_input {tm_in} must precede tm_output {tm_out}")
+        for slot in selector.get("active", []):
+            if not 0 <= slot < n_tsps:
+                err(f"selector: active TSP {slot} out of range")
+        overlap = set(selector.get("active", [])) & set(
+            selector.get("bypassed", [])
+        )
+        if overlap:
+            err(f"selector: TSPs both active and bypassed: {sorted(overlap)}")
+
+    return errors
+
+
+def check_config(config: dict, n_tsps: int = 8) -> None:
+    """Raise :class:`ConfigError` if the config is invalid."""
+    errors = validate_config(config, n_tsps)
+    if errors:
+        raise ConfigError(errors)

@@ -1,0 +1,53 @@
+"""Parametric hardware model (the FPGA-prototype substitute).
+
+The paper evaluates 8-stage FPGA prototypes of PISA and IPSA on an
+Alveo U280.  We cannot synthesize Verilog here, so this package prices
+the *structures* the two architectures differ in -- front parser
+vs. distributed parsing, per-stage processors vs. TSPs with template
+stores, and the memory crossbar -- with per-unit constants calibrated
+once against the paper's 8-stage prototypes (see
+:mod:`repro.hw.calibration`).  Because costs attach to structures, the
+comparisons scale with the *actual compiled designs*: change the
+design and the numbers move for architectural reasons, not because a
+table was hard-coded.
+"""
+
+from repro.hw.calibration import IPSA_CAL, PISA_CAL, HwCalibration
+from repro.hw.discussion import (
+    capacity_vs_pipelines,
+    ipsa_latency,
+    latency_vs_stages,
+    pisa_latency,
+    stages_vs_table_size,
+)
+from repro.hw.power import ipsa_power, pisa_power, power_vs_stages
+from repro.hw.resources import (
+    ResourceReport,
+    ipsa_resources,
+    pisa_resources,
+)
+from repro.hw.throughput import (
+    ThroughputReport,
+    ipsa_throughput,
+    pisa_throughput,
+)
+
+__all__ = [
+    "HwCalibration",
+    "IPSA_CAL",
+    "PISA_CAL",
+    "ResourceReport",
+    "ThroughputReport",
+    "ipsa_power",
+    "ipsa_resources",
+    "ipsa_throughput",
+    "pisa_power",
+    "pisa_resources",
+    "pisa_throughput",
+    "power_vs_stages",
+    "capacity_vs_pipelines",
+    "ipsa_latency",
+    "latency_vs_stages",
+    "pisa_latency",
+    "stages_vs_table_size",
+]

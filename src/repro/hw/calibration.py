@@ -1,0 +1,103 @@
+"""Per-unit hardware constants, calibrated to the paper's prototypes.
+
+The paper's 8-stage FPGA prototypes report (Table 2, Table 3):
+
+* PISA: front parser 0.88% LUT / 0.10% FF, processors 5.32% / 0.47%,
+  total 6.20% / 0.57%; ~2.95 W for use case C3.
+* IPSA: processors 5.83% / 0.85%, crossbar 1.29% / 0.07%, total
+  7.12% / 0.92%; ~10% more power than PISA.
+
+We divide those totals by the structural quantities of our own
+compiled base design (parse-graph edges, stages, template words,
+crossbar ports) once, here, and nowhere else.  All reports elsewhere
+are computed *from designs* using these per-unit prices, so e.g. a
+clustered crossbar or a smaller parse graph genuinely changes the
+outputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Structural quantities of the paper's 8-stage prototypes that the
+#: calibration divides by.
+_CAL_STAGES = 8
+_CAL_PARSE_EDGES = 6  # ethernet->{v4,v6}, v4->{tcp,udp}, v6->{tcp,udp}
+_CAL_TEMPLATE_WORDS = 12  # typical words per TSP template
+_CAL_XBAR_PORTS = 8 * 112  # 8 TSPs x (96 SRAM + 16 TCAM) blocks
+
+
+@dataclass(frozen=True)
+class HwCalibration:
+    """Per-unit resource/power prices (percent of U280, watts)."""
+
+    # -- LUT / FF prices (percent of device) --
+    lut_parser_per_edge: float
+    ff_parser_per_edge: float
+    lut_stage_base: float
+    ff_stage_base: float
+    lut_tsp_parser_per_edge: float  # distributed parser share inside a TSP
+    ff_template_per_word: float
+    lut_xbar_per_port: float
+    ff_xbar_per_port: float
+    # -- power (watts) --
+    p_base: float  # clocking / I/O / HBM shell
+    p_parser: float  # PISA front parser
+    p_stage_active: float  # PISA stage processor (always powered)
+    p_tsp_active: float
+    p_tsp_idle: float  # bypassed TSP in low-power state
+    p_xbar: float
+    # -- timing --
+    clock_mhz: float
+    parser_bus_bits: int  # front-parser extraction width per cycle
+    mem_bus_bits: int  # TSP <-> memory pool data bus width
+    tsp_config_cycles: int  # per-packet template parameter load
+
+
+#: PISA prototype prices.
+PISA_CAL = HwCalibration(
+    lut_parser_per_edge=0.88 / _CAL_PARSE_EDGES,
+    ff_parser_per_edge=0.10 / _CAL_PARSE_EDGES,
+    lut_stage_base=5.32 / _CAL_STAGES,
+    ff_stage_base=0.47 / _CAL_STAGES,
+    lut_tsp_parser_per_edge=0.0,
+    ff_template_per_word=0.0,
+    lut_xbar_per_port=0.0,
+    ff_xbar_per_port=0.0,
+    p_base=1.20,
+    p_parser=0.15,
+    p_stage_active=0.20,
+    p_tsp_active=0.0,
+    p_tsp_idle=0.0,
+    p_xbar=0.0,
+    clock_mhz=200.0,
+    parser_bus_bits=768,
+    mem_bus_bits=0,
+    tsp_config_cycles=0,
+)
+
+#: IPSA prototype prices.  The TSP is a PISA stage plus a distributed
+#: parser slice and a template store; the crossbar is new.
+IPSA_CAL = HwCalibration(
+    lut_parser_per_edge=0.0,
+    ff_parser_per_edge=0.0,
+    lut_stage_base=5.32 / _CAL_STAGES,
+    ff_stage_base=0.47 / _CAL_STAGES,
+    # (5.83 - 5.32) extra LUT over 8 TSPs, priced per parse edge the
+    # TSP's mini-parser must understand.
+    lut_tsp_parser_per_edge=(5.83 - 5.32) / _CAL_STAGES / _CAL_PARSE_EDGES,
+    # (0.85 - 0.47) extra FF over 8 TSPs is the template store.
+    ff_template_per_word=(0.85 - 0.47) / _CAL_STAGES / _CAL_TEMPLATE_WORDS,
+    lut_xbar_per_port=1.29 / _CAL_XBAR_PORTS,
+    ff_xbar_per_port=0.07 / _CAL_XBAR_PORTS,
+    p_base=1.20,
+    p_parser=0.0,
+    p_stage_active=0.0,
+    p_tsp_active=0.24,
+    p_tsp_idle=0.02,
+    p_xbar=0.18,
+    clock_mhz=200.0,
+    parser_bus_bits=768,
+    mem_bus_bits=256,
+    tsp_config_cycles=1,
+)

@@ -1,0 +1,165 @@
+"""Models for the paper's Sec. 5 "Discussion" arguments.
+
+The paper argues IPSA's resource penalty (Table 2) is offset by three
+structural advantages; each gets a quantitative model here (and a
+bench in ``benchmarks/test_discussion_models.py``):
+
+1. **Multi-pipeline table sharing** -- "PISA requires replicating most
+   tables in each pipeline, reducing the effective table storage.  The
+   disaggregated memory pool in IPSA can avoid table replication by
+   providing multiple access ports to the memory blocks."
+2. **Logical stage expansion** -- "To expand a flow table in PISA,
+   multiple physical stages need to be combined to serve for a single
+   logical stage ... reducing the effective pipeline stages.  In IPSA,
+   a logical stage can always map into a single TSP."
+3. **Pipeline latency** -- "Since only used TSPs are kept in the
+   pipeline in IPSA, not only the power consumption but also the
+   pipeline latency is reduced, which offsets the extra ... latency
+   introduced by the crossbar and distributed parser."
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.hw.calibration import IPSA_CAL, PISA_CAL, HwCalibration
+
+
+# -- (1) multi-pipeline table sharing ---------------------------------------
+
+
+def pisa_effective_capacity(total_blocks: int, n_pipelines: int) -> int:
+    """Blocks of *distinct* table state with per-pipeline replication.
+
+    The chip's memory is spread evenly over the pipelines, and each
+    pipeline needs its own copy of (most of) the tables, so effective
+    capacity is one pipeline's share.
+    """
+    if n_pipelines <= 0:
+        raise ValueError("n_pipelines must be positive")
+    return total_blocks // n_pipelines
+
+
+def ipsa_effective_capacity(
+    total_blocks: int, n_pipelines: int, port_overhead: float = 0.05
+) -> int:
+    """Shared-pool capacity with multi-ported blocks.
+
+    Multi-porting a block for ``n`` pipelines costs area; we charge
+    ``port_overhead`` of capacity per extra pipeline rather than a
+    full copy.
+    """
+    if n_pipelines <= 0:
+        raise ValueError("n_pipelines must be positive")
+    overhead = 1.0 + port_overhead * (n_pipelines - 1)
+    return int(total_blocks / overhead)
+
+
+def capacity_vs_pipelines(
+    total_blocks: int = 112, max_pipelines: int = 4
+) -> List[Tuple[int, int, int]]:
+    """(pipelines, PISA effective blocks, IPSA effective blocks) series."""
+    return [
+        (
+            n,
+            pisa_effective_capacity(total_blocks, n),
+            ipsa_effective_capacity(total_blocks, n),
+        )
+        for n in range(1, max_pipelines + 1)
+    ]
+
+
+# -- (2) logical stage expansion ---------------------------------------------
+
+
+def pisa_effective_stages(
+    n_stages: int, table_blocks: int, blocks_per_stage: int
+) -> int:
+    """Pipeline stages left after one table expands across stages.
+
+    A table needing more memory than one stage owns consumes
+    ``ceil(table_blocks / blocks_per_stage)`` consecutive stages whose
+    processing logic is replicated -- all but one stop being usable
+    for other logic.
+    """
+    if blocks_per_stage <= 0:
+        raise ValueError("blocks_per_stage must be positive")
+    consumed = math.ceil(table_blocks / blocks_per_stage)
+    return max(0, n_stages - (consumed - 1))
+
+
+def ipsa_effective_stages(n_stages: int, table_blocks: int, pool_blocks: int) -> int:
+    """IPSA: the table lives in the pool; one TSP hosts the logic.
+
+    The pipeline loses stages only if the pool itself cannot hold the
+    table.
+    """
+    if table_blocks > pool_blocks:
+        return 0  # does not fit at all
+    return n_stages
+
+
+def stages_vs_table_size(
+    n_stages: int = 8,
+    blocks_per_stage: int = 12,
+    pool_blocks: int = 96,
+    sizes: Optional[List[int]] = None,
+) -> List[Tuple[int, int, int]]:
+    """(table blocks, PISA effective stages, IPSA effective stages)."""
+    sizes = sizes or [6, 12, 24, 48, 96]
+    return [
+        (
+            blocks,
+            pisa_effective_stages(n_stages, blocks, blocks_per_stage),
+            ipsa_effective_stages(n_stages, blocks, pool_blocks),
+        )
+        for blocks in sizes
+    ]
+
+
+# -- (3) pipeline latency ------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Per-component latencies in clock cycles."""
+
+    parser_cycles: int = 4  # PISA front parser depth
+    deparser_cycles: int = 2
+    stage_cycles: int = 3  # match+action latency of one stage/TSP
+    tsp_extra_cycles: int = 1  # template load + distributed parse
+    crossbar_cycles: int = 2  # pool access round trip
+
+
+def pisa_latency(
+    n_physical_stages: int = 8, model: Optional[LatencyModel] = None
+) -> int:
+    """Every physical stage is on the path, used or not (Sec. 2.3)."""
+    m = model or LatencyModel()
+    return (
+        m.parser_cycles
+        + n_physical_stages * m.stage_cycles
+        + m.deparser_cycles
+    )
+
+
+def ipsa_latency(
+    active_tsps: int, model: Optional[LatencyModel] = None
+) -> int:
+    """Only active TSPs are on the path; each pays the crossbar."""
+    m = model or LatencyModel()
+    return active_tsps * (
+        m.stage_cycles + m.tsp_extra_cycles + m.crossbar_cycles
+    )
+
+
+def latency_vs_stages(
+    n_physical_stages: int = 8, model: Optional[LatencyModel] = None
+) -> List[Tuple[int, int, int]]:
+    """(effective stages, PISA cycles, IPSA cycles) series."""
+    return [
+        (k, pisa_latency(n_physical_stages, model), ipsa_latency(k, model))
+        for k in range(1, n_physical_stages + 1)
+    ]

@@ -1,0 +1,94 @@
+"""Power model (reproduces Table 3 and Fig. 6).
+
+The architectural story: PISA powers every physical stage all the
+time; IPSA powers only the active TSPs and idles the bypassed ones,
+paying a crossbar tax.  At full occupancy IPSA costs ~10% more; with
+few effective stages it crosses below PISA -- Fig. 6's curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.hw.calibration import IPSA_CAL, PISA_CAL, HwCalibration
+
+
+@dataclass
+class PowerReport:
+    """Watts, broken down as in Table 3."""
+
+    architecture: str
+    components: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total(self) -> float:
+        return sum(self.components.values())
+
+
+def pisa_power(
+    n_stages: int = 8,
+    cal: Optional[HwCalibration] = None,
+) -> PowerReport:
+    """PISA power: base + parser + *all* physical stages.
+
+    There is no per-stage clock gating in the prototype: a stage not
+    used by the design still sits in the pipeline and burns power
+    ("non-functional stages remain in the pipeline, costing extra
+    latency and power", Sec. 2.3).
+    """
+    cal = cal or PISA_CAL
+    report = PowerReport(architecture="PISA")
+    report.components["Base"] = cal.p_base
+    report.components["Parser"] = cal.p_parser
+    report.components["Stages"] = cal.p_stage_active * n_stages
+    return report
+
+
+def ipsa_power(
+    active_tsps: int,
+    n_tsps: int = 8,
+    cal: Optional[HwCalibration] = None,
+) -> PowerReport:
+    """IPSA power: base + active TSPs + idle TSPs + crossbar."""
+    cal = cal or IPSA_CAL
+    if not 0 <= active_tsps <= n_tsps:
+        raise ValueError(
+            f"active_tsps {active_tsps} out of range for {n_tsps} TSPs"
+        )
+    report = PowerReport(architecture="IPSA")
+    report.components["Base"] = cal.p_base
+    report.components["Active TSPs"] = cal.p_tsp_active * active_tsps
+    report.components["Idle TSPs"] = cal.p_tsp_idle * (n_tsps - active_tsps)
+    report.components["Crossbar"] = cal.p_xbar
+    return report
+
+
+def power_vs_stages(
+    n_tsps: int = 8,
+    pisa_cal: Optional[HwCalibration] = None,
+    ipsa_cal: Optional[HwCalibration] = None,
+) -> List[Tuple[int, float, float]]:
+    """Fig. 6's series: (effective stages, PISA W, IPSA W).
+
+    PISA's curve is flat (all physical stages powered regardless of
+    how many the application uses); IPSA's grows with active TSPs.
+    """
+    rows = []
+    for effective in range(1, n_tsps + 1):
+        rows.append(
+            (
+                effective,
+                pisa_power(n_tsps, pisa_cal).total,
+                ipsa_power(effective, n_tsps, ipsa_cal).total,
+            )
+        )
+    return rows
+
+
+def crossover_stage(n_tsps: int = 8) -> Optional[int]:
+    """First effective-stage count where IPSA consumes more than PISA."""
+    for effective, pisa_w, ipsa_w in power_vs_stages(n_tsps):
+        if ipsa_w > pisa_w:
+            return effective
+    return None

@@ -1,0 +1,104 @@
+"""FPGA resource model (reproduces Table 2's structure).
+
+Costs attach to structures of the *actual* design:
+
+* PISA pays for a front parser sized by its parse graph, plus fixed
+  stage processors.
+* IPSA pays for TSPs (stage processor + distributed-parser slice +
+  template store sized by real template words) plus crossbar
+  crosspoints (full vs. clustered crossbars genuinely differ here).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.compiler.rp4bc import CompiledDesign
+from repro.hw.calibration import IPSA_CAL, PISA_CAL, HwCalibration
+from repro.ipsa.tsp import StageRuntime
+from repro.p4.hlir import Hlir
+
+
+@dataclass
+class ResourceReport:
+    """Percent of device resources, broken down as in Table 2."""
+
+    architecture: str
+    lut: Dict[str, float] = field(default_factory=dict)
+    ff: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def lut_total(self) -> float:
+        return sum(self.lut.values())
+
+    @property
+    def ff_total(self) -> float:
+        return sum(self.ff.values())
+
+    def rows(self):
+        """(component, lut%, ff%) rows plus the total."""
+        components = sorted(set(self.lut) | set(self.ff))
+        out = [
+            (c, self.lut.get(c, 0.0), self.ff.get(c, 0.0)) for c in components
+        ]
+        out.append(("Total", self.lut_total, self.ff_total))
+        return out
+
+
+def pisa_resources(
+    hlir: Hlir,
+    n_stages: int = 8,
+    cal: Optional[HwCalibration] = None,
+) -> ResourceReport:
+    """Resource estimate for a PISA chip running this design."""
+    cal = cal or PISA_CAL
+    edges = sum(1 for e in hlir.parse_edges if e.tag >= 0)
+    report = ResourceReport(architecture="PISA")
+    report.lut["Front parser"] = cal.lut_parser_per_edge * edges
+    report.ff["Front parser"] = cal.ff_parser_per_edge * edges
+    report.lut["Processors"] = cal.lut_stage_base * n_stages
+    report.ff["Processors"] = cal.ff_stage_base * n_stages
+    return report
+
+
+def _template_words(design: CompiledDesign) -> int:
+    """Total template-store words across the design's templates."""
+    words = 0
+    for template in design.templates:
+        for stage_json in template["stages"]:
+            words += StageRuntime.from_json(stage_json).template_words()
+    return words
+
+
+def ipsa_resources(
+    design: CompiledDesign,
+    cal: Optional[HwCalibration] = None,
+) -> ResourceReport:
+    """Resource estimate for an IPSA chip running this compiled design.
+
+    Every physical TSP is implemented (it must be programmable at
+    runtime), so processor cost scales with ``n_tsps``, not with the
+    currently active subset -- exactly why Table 2 charges IPSA more.
+    """
+    cal = cal or IPSA_CAL
+    n_tsps = design.target.n_tsps
+    # The distributed parser must understand the whole linkage the
+    # device can be asked to parse (all declared implicit-parser edges).
+    edges = sum(len(h.links) for h in design.program.headers.values())
+    words_per_tsp = max(
+        1, _template_words(design) // max(1, len(design.templates))
+    )
+    pool = design.pool
+    ports = pool.crossbar.port_count(n_tsps, len(pool.blocks))
+
+    report = ResourceReport(architecture="IPSA")
+    report.lut["Processors"] = n_tsps * (
+        cal.lut_stage_base + cal.lut_tsp_parser_per_edge * edges
+    )
+    report.ff["Processors"] = n_tsps * (
+        cal.ff_stage_base + cal.ff_template_per_word * words_per_tsp
+    )
+    report.lut["Crossbar"] = cal.lut_xbar_per_port * ports
+    report.ff["Crossbar"] = cal.ff_xbar_per_port * ports
+    return report

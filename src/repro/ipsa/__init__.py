@@ -1,0 +1,29 @@
+"""ipbm: the IPSA behavioral switch (paper Sec. 4.1).
+
+Mirrors the paper's module structure:
+
+* Pipeline Module (PM)      -> :mod:`repro.ipsa.tsp`, :mod:`repro.ipsa.pipeline`
+* Storage Module (SM)       -> the :class:`repro.memory.pool.MemoryPool`
+  attached to the switch
+* Control Channel (CCM)     -> :meth:`IpsaSwitch.load_config` /
+  :meth:`IpsaSwitch.apply_update` (driven by :mod:`repro.runtime`)
+* Communication Module (CM) -> :meth:`IpsaSwitch.inject` (in-memory
+  packet I/O; the kernel-bypass substrate cancels out of the paper's
+  relative measurements)
+"""
+
+from repro.ipsa.pipeline import ElasticPipeline, SelectorConfig
+from repro.ipsa.switch import IpsaSwitch, UpdateStats
+from repro.ipsa.tm import TrafficManager
+from repro.ipsa.tsp import StageRuntime, Tsp, TspState
+
+__all__ = [
+    "ElasticPipeline",
+    "IpsaSwitch",
+    "SelectorConfig",
+    "StageRuntime",
+    "TrafficManager",
+    "Tsp",
+    "TspState",
+    "UpdateStats",
+]

@@ -1,0 +1,293 @@
+"""IpsaSwitch: the complete ipbm behavioral device.
+
+Consumes rp4bc's JSON outputs -- nothing else crosses the boundary:
+
+* :meth:`load_config` performs the initial full load;
+* :meth:`apply_update` performs an in-service update: drain the
+  pipeline via back pressure, write the new TSP templates, patch the
+  header linkage (``link_header``), create/recycle tables, and
+  reconfigure the selector.  Existing table entries survive; only new
+  tables need population -- the rP4 flow's key advantage in Table 1.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.compiler.lowering import action_from_json, builtin_actions, lower_table
+from repro.ipsa.pipeline import ElasticPipeline, SelectorConfig
+from repro.net.headers import FieldDef, HeaderType
+from repro.net.linkage import HeaderLinkageTable
+from repro.net.packet import Packet
+from repro.tables.actions import ActionDef
+from repro.tables.meters import MeterBank
+from repro.tables.registers import ExternStore
+from repro.tables.table import Table
+
+
+class SwitchError(Exception):
+    """Raised on malformed configuration."""
+
+
+@dataclass
+class UpdateStats:
+    """What an in-service update cost."""
+
+    drained_packets: int = 0
+    held_packets: int = 0  # waiting upstream during the stall
+    templates_written: int = 0
+    template_words: int = 0
+    links_added: int = 0
+    links_removed: int = 0
+    tables_created: List[str] = field(default_factory=list)
+    tables_removed: List[str] = field(default_factory=list)
+    stall_seconds: float = 0.0
+
+
+@dataclass
+class PortOut:
+    """One packet leaving the device."""
+
+    port: int
+    data: bytes
+    to_cpu: bool = False
+
+
+class IpsaSwitch:
+    """The ipbm reference software switch."""
+
+    def __init__(self, n_tsps: int = 8) -> None:
+        self.pipeline = ElasticPipeline(n_tsps)
+        self.header_types: Dict[str, HeaderType] = {}
+        self.linkage = HeaderLinkageTable()
+        self.actions: Dict[str, ActionDef] = builtin_actions()
+        self.tables: Dict[str, Table] = {}
+        self.metadata_defaults: Dict[str, int] = {}
+        self.first_header = "ethernet"
+        self.packets_in = 0
+        self.packets_out = 0
+        self.packets_dropped = 0
+        self.punted = 0
+        # Back-pressure machinery: while an update is in progress the
+        # intake is paused and arriving packets wait upstream.
+        self.rx_queue: "deque[Tuple[bytes, int]]" = deque()
+        self.paused = False
+        self.externs = ExternStore()
+        self.meters = MeterBank()
+        self.clock = 0  # logical time: one tick per injected packet
+
+    # -- configuration (the Control Channel Module) -----------------------
+
+    def _register_header(self, name: str, spec: dict) -> None:
+        fields = [FieldDef(fname, width) for fname, width in spec["fields"]]
+        self.header_types[name] = HeaderType(name, fields)
+        selector = spec.get("selector")
+        if selector is not None:
+            self.linkage.set_selector(name, selector)
+        for tag, nxt in spec.get("links", []):
+            self._ensure_instance(nxt)
+            self.linkage.add_link(name, nxt, tag)
+
+    def _ensure_instance(self, instance: str) -> None:
+        """Resolve an instance name to a header type, aliasing
+        ``inner_<type>`` instances onto their base type (the standard
+        P4 idiom for encapsulated headers)."""
+        if instance in self.header_types:
+            return
+        if instance.startswith("inner_"):
+            base = instance[len("inner_") :]
+            base_type = self.header_types.get(base)
+            if base_type is not None:
+                self.header_types[instance] = base_type
+                selector = self.linkage.selector(base)
+                if selector is not None:
+                    self.linkage.set_selector(instance, selector)
+                return
+        # Unknown instance: tolerated -- parsing simply stops there
+        # until the type is loaded (matches the JIT parser contract).
+
+    def load_config(self, config: dict) -> None:
+        """Initial full load of an rp4bc device configuration."""
+        self.header_types.clear()
+        self.linkage = HeaderLinkageTable()
+        self.actions = builtin_actions()
+        self.tables.clear()
+        for name, spec in config.get("headers", {}).items():
+            self._register_header(name, spec)
+        # Re-run link resolution now every type exists.
+        for name, spec in config.get("headers", {}).items():
+            for tag, nxt in spec.get("links", []):
+                self._ensure_instance(nxt)
+        self.metadata_defaults = {
+            name: 0 for name, _width in config.get("metadata", [])
+        }
+        for name, spec in config.get("actions", {}).items():
+            self.actions[name] = action_from_json(spec)
+        for name, spec in config.get("tables", {}).items():
+            self._create_table(name, spec)
+        self.pipeline.write_templates(config.get("templates", []))
+        self.pipeline.configure_selector(
+            SelectorConfig.from_json(config.get("selector", {}))
+        )
+
+    def _create_table(self, name: str, spec: dict) -> None:
+        if "keys" not in spec:
+            raise SwitchError(f"table {name!r} spec carries no key layout")
+        self.tables[name] = lower_table(
+            name,
+            [tuple(k) for k in spec["keys"]],
+            int(spec.get("size", spec.get("depth", 1024))),
+            default_action=spec.get("default_action", "NoAction"),
+        )
+
+    # -- traffic ------------------------------------------------------------
+
+    def inject(self, data: bytes, port: int = 0, meter=None) -> Optional[PortOut]:
+        """Push one packet through the device."""
+        self.packets_in += 1
+        self.clock += 1
+        packet = Packet(data, first_header=self.first_header, ingress_port=port)
+        for name, value in self.metadata_defaults.items():
+            packet.metadata.setdefault(name, value)
+        result = self.pipeline.process(packet, self, meter)
+        if result is None:
+            self.packets_dropped += 1
+            return None
+        self.packets_out += 1
+        out = PortOut(
+            port=int(result.metadata.get("egress_spec", 0)),  # type: ignore[arg-type]
+            data=result.emit(),
+            to_cpu=bool(result.metadata.get("to_cpu")),
+        )
+        if out.to_cpu:
+            self.punted += 1
+        return out
+
+    def inject_multi(self, data: bytes, port: int = 0) -> List[PortOut]:
+        """Like :meth:`inject`, but returns every copy a multicast
+        group produced (unicast packets return a one-element list)."""
+        self.packets_in += 1
+        self.clock += 1
+        packet = Packet(data, first_header=self.first_header, ingress_port=port)
+        for name, value in self.metadata_defaults.items():
+            packet.metadata.setdefault(name, value)
+        results = self.pipeline.process_multi(packet, self)
+        if not results:
+            self.packets_dropped += 1
+            return []
+        outs: List[PortOut] = []
+        for result in results:
+            self.packets_out += 1
+            out = PortOut(
+                port=int(result.metadata.get("egress_spec", 0)),  # type: ignore[arg-type]
+                data=result.emit(),
+                to_cpu=bool(result.metadata.get("to_cpu")),
+            )
+            if out.to_cpu:
+                self.punted += 1
+            outs.append(out)
+        return outs
+
+    # -- queued intake (back-pressure semantics) -----------------------------
+
+    def enqueue(self, data: bytes, port: int = 0) -> None:
+        """Queue a packet at the intake (processed by :meth:`pump`)."""
+        self.rx_queue.append((data, port))
+
+    def pump(self, limit: Optional[int] = None) -> List[PortOut]:
+        """Process queued packets; a paused intake processes nothing.
+
+        Returns the forwarded outputs (drops are counted, not returned).
+        """
+        outputs: List[PortOut] = []
+        processed = 0
+        while self.rx_queue and not self.paused:
+            if limit is not None and processed >= limit:
+                break
+            data, port = self.rx_queue.popleft()
+            out = self.inject(data, port)
+            processed += 1
+            if out is not None:
+                outputs.append(out)
+        return outputs
+
+    # -- in-service update ---------------------------------------------------
+
+    def drain(self) -> int:
+        """Back-pressure drain: flush the TM so no packet is in flight.
+
+        Packets in the rx queue stay there (they are *upstream* of the
+        pipeline; back pressure makes them wait out the update).
+        """
+        return len(self.pipeline.tm.drain())
+
+    def apply_update(self, update: dict) -> UpdateStats:
+        """In-service update from an rp4bc UpdatePlan JSON.
+
+        Expected keys: ``templates`` (for rewritten TSPs only),
+        ``selector``, ``link_headers`` [[pre, tag, next]],
+        ``unlink_headers`` [[pre, tag]], ``new_actions`` {name: spec},
+        ``new_tables`` {name: {keys, size}}, ``freed_tables`` [name].
+        """
+        stats = UpdateStats()
+        started = time.perf_counter()
+
+        self.paused = True  # back pressure: intake waits out the update
+        stats.drained_packets = self.drain()
+        stats.held_packets = len(self.rx_queue)
+
+        # New metadata members get zero defaults so predicates can read
+        # them before any action writes them.
+        for name, _width in update.get("new_metadata", []):
+            self.metadata_defaults.setdefault(name, 0)
+
+        # New header types must exist before links can point at (or
+        # out of) them -- the SRv6 script both loads `srh` and links it.
+        for name, spec in update.get("new_headers", {}).items():
+            self._register_header(name, spec)
+
+        for pre, tag, nxt in update.get("link_headers", []):
+            self._ensure_instance(nxt)
+            self.linkage.add_link(pre, nxt, tag)
+            stats.links_added += 1
+        for pre, tag in update.get("unlink_headers", []):
+            self.linkage.del_link(pre, tag)
+            stats.links_removed += 1
+        for name, spec in update.get("new_actions", {}).items():
+            self.actions[name] = action_from_json(spec)
+        for name, spec in update.get("new_tables", {}).items():
+            self._create_table(name, spec)
+            stats.tables_created.append(name)
+        for name in update.get("freed_tables", []):
+            self.tables.pop(name, None)
+            stats.tables_removed.append(name)
+
+        templates = update.get("templates", [])
+        stats.template_words = self.pipeline.write_templates(templates)
+        stats.templates_written = len(templates)
+
+        # Any TSP no longer referenced by the selector drops its stale
+        # template and powers down.
+        selector = SelectorConfig.from_json(update.get("selector", {}))
+        for tsp in self.pipeline.tsps:
+            if tsp.index not in selector.active and tsp.stages:
+                tsp.clear()
+        self.pipeline.configure_selector(selector)
+
+        self.paused = False  # release back pressure
+        stats.stall_seconds = time.perf_counter() - started
+        return stats
+
+    # -- introspection ---------------------------------------------------------
+
+    def table(self, name: str) -> Table:
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise KeyError(f"switch has no table {name!r}") from None
+
+    def active_tsp_count(self) -> int:
+        return len(self.pipeline.active_tsps())

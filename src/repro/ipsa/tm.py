@@ -1,0 +1,109 @@
+"""The traffic manager sitting between ingress and egress (Sec. 2.3).
+
+A behavioral TM: per-output-port FIFO queues with occupancy stats.
+The selector decides *which* TSP feeds it and which TSP drains it;
+the TM itself only buffers and schedules.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.net.packet import Packet
+
+
+@dataclass
+class TmStats:
+    enqueued: int = 0
+    dequeued: int = 0
+    dropped: int = 0
+    max_occupancy: int = 0
+
+
+class TrafficManager:
+    """Per-port FIFOs with a shared buffer budget and multicast groups."""
+
+    def __init__(self, buffer_packets: int = 4096) -> None:
+        if buffer_packets <= 0:
+            raise ValueError("buffer_packets must be positive")
+        self.buffer_packets = buffer_packets
+        self._queues: Dict[int, Deque[Packet]] = {}
+        self._groups: Dict[int, List[int]] = {}
+        self.stats = TmStats()
+
+    # -- multicast group table ------------------------------------------
+
+    def set_group(self, group_id: int, ports: List[int]) -> None:
+        """Install (or replace) a multicast group's member ports."""
+        if group_id <= 0:
+            raise ValueError("multicast group ids must be positive")
+        if not ports:
+            raise ValueError(f"multicast group {group_id} needs members")
+        self._groups[group_id] = list(ports)
+
+    def del_group(self, group_id: int) -> None:
+        try:
+            del self._groups[group_id]
+        except KeyError:
+            raise KeyError(f"no multicast group {group_id}") from None
+
+    def group(self, group_id: int) -> List[int]:
+        return list(self._groups.get(group_id, []))
+
+    def occupancy(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+    def enqueue(self, packet: Packet) -> bool:
+        """Queue a packet toward its egress port; False if tail-dropped."""
+        if self.occupancy() >= self.buffer_packets:
+            self.stats.dropped += 1
+            return False
+        port = int(packet.metadata.get("egress_spec", 0))  # type: ignore[arg-type]
+        self._queues.setdefault(port, deque()).append(packet)
+        self.stats.enqueued += 1
+        self.stats.max_occupancy = max(self.stats.max_occupancy, self.occupancy())
+        return True
+
+    def enqueue_or_replicate(self, packet: Packet) -> int:
+        """Unicast enqueue, or per-member replication for multicast.
+
+        A nonzero ``meta.mcast_grp`` selects a group; each member gets
+        an independent clone with its ``egress_spec`` set (so egress
+        stages can rewrite per copy).  Returns the number of packets
+        queued (0 = dropped / unknown group).
+        """
+        group_id = int(packet.metadata.get("mcast_grp", 0))  # type: ignore[arg-type]
+        if group_id == 0:
+            return 1 if self.enqueue(packet) else 0
+        members = self._groups.get(group_id)
+        if not members:
+            self.stats.dropped += 1
+            return 0
+        queued = 0
+        for port in members:
+            clone = packet.clone()
+            clone.metadata["egress_spec"] = port
+            clone.metadata["mcast_grp"] = 0
+            if self.enqueue(clone):
+                queued += 1
+        return queued
+
+    def dequeue(self) -> Optional[Packet]:
+        """Round-robin service across ports."""
+        for port in sorted(self._queues):
+            queue = self._queues[port]
+            if queue:
+                self.stats.dequeued += 1
+                return queue.popleft()
+        return None
+
+    def drain(self) -> List[Packet]:
+        """Empty every queue (used by the update drain protocol)."""
+        out: List[Packet] = []
+        while True:
+            packet = self.dequeue()
+            if packet is None:
+                return out
+            out.append(packet)

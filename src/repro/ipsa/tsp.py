@@ -1,0 +1,169 @@
+"""Templated Stage Processors (paper Sec. 2.2).
+
+A TSP is a container programmed by downloading template parameters.
+Each hosted stage is a parser-matcher-executor triad:
+
+* the **parser** sub-module JIT-parses the header instances the stage
+  needs (results travel with the packet -- no re-parsing);
+* the **matcher** evaluates predicate arms in order and applies the
+  first matching arm's table;
+* the **executor** maps the lookup's tag to an action and runs it.
+
+Writing a new template into a TSP takes "a few clock cycles"; the
+behavioral model counts template words written so the loading-time
+model has a physical quantity to charge.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.compiler.json_ir import stage_from_json
+from repro.compiler.lowering import compile_predicate
+from repro.lang.expr import Expr
+from repro.net.packet import Packet
+from repro.rp4.ast import StageDecl
+
+
+@dataclass
+class StageRuntime:
+    """One hosted stage, ready to execute."""
+
+    name: str
+    parser_headers: List[str]
+    #: (compiled predicate, source expr, table name or None)
+    arms: List[Tuple[Callable[[Packet], bool], Optional[Expr], Optional[str]]]
+    executor: Dict[object, str]
+
+    @classmethod
+    def from_decl(cls, decl: StageDecl) -> "StageRuntime":
+        return cls(
+            name=decl.name,
+            parser_headers=list(decl.parser),
+            arms=[
+                (compile_predicate(arm.cond), arm.cond, arm.table)
+                for arm in decl.matcher
+            ],
+            executor=dict(decl.executor),
+        )
+
+    @classmethod
+    def from_json(cls, data: dict) -> "StageRuntime":
+        return cls.from_decl(stage_from_json(data))
+
+    def template_words(self) -> int:
+        """Rough size of this stage's template (for load-cost stats)."""
+        return (
+            1
+            + len(self.parser_headers)
+            + 2 * len(self.arms)
+            + len(self.executor)
+        )
+
+
+class TspState(enum.Enum):
+    """Power/activity state (bypassed TSPs idle in low power)."""
+
+    ACTIVE = "active"
+    BYPASSED = "bypassed"
+
+
+@dataclass
+class TspStats:
+    """Per-TSP counters the throughput/power models read."""
+
+    packets: int = 0
+    lookups: int = 0
+    headers_parsed: int = 0
+    actions_run: int = 0
+    templates_written: int = 0
+    template_words_written: int = 0
+
+
+class Tsp:
+    """One physical templated stage processor."""
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.side = "ingress"
+        self.stages: List[StageRuntime] = []
+        self.state = TspState.BYPASSED
+        self.stats = TspStats()
+
+    @property
+    def active(self) -> bool:
+        return self.state is TspState.ACTIVE and bool(self.stages)
+
+    def write_template(self, template: dict) -> int:
+        """Download template parameters; returns words written.
+
+        This is the whole runtime-programming story: no recompile, no
+        bitstream -- just new parameters in the TSP's template store.
+        """
+        self.side = template.get("side", "ingress")
+        self.stages = [StageRuntime.from_json(s) for s in template["stages"]]
+        words = sum(s.template_words() for s in self.stages)
+        self.stats.templates_written += 1
+        self.stats.template_words_written += words
+        self.state = TspState.ACTIVE
+        return words
+
+    def clear(self) -> None:
+        """Erase the template and drop to the low-power state."""
+        self.stages = []
+        self.state = TspState.BYPASSED
+
+    def signature(self) -> str:
+        """Group key of the hosted stages (layout bookkeeping)."""
+        return "+".join(s.name for s in self.stages)
+
+    def process(
+        self, packet: Packet, device: "DeviceFacade", meter=None
+    ) -> None:
+        """Run every hosted stage against the packet, in order.
+
+        ``meter`` (if given) receives per-TSP parse/lookup events; the
+        hardware throughput model uses it to price cycles without
+        duplicating the execution semantics.
+        """
+        self.stats.packets += 1
+        for stage in self.stages:
+            if packet.metadata.get("drop"):
+                return
+            parsed = packet.ensure_parsed(
+                stage.parser_headers, device.header_types, device.linkage
+            )
+            self.stats.headers_parsed += parsed
+            if meter is not None and parsed:
+                meter.parsed(self.index, parsed)
+            for predicate, _expr, table_name in stage.arms:
+                if not predicate(packet):
+                    continue
+                if table_name is None:
+                    break  # empty arm: explicit no-op
+                table = device.tables[table_name]
+                result = table.lookup(packet)
+                self.stats.lookups += 1
+                if meter is not None:
+                    meter.lookup(self.index, table_name)
+                action_name = stage.executor.get(result.tag)
+                if action_name is None:
+                    action_name = stage.executor.get("default", "NoAction")
+                action = device.actions[action_name]
+                action.execute(
+                    packet, result.action_data, entry=result.entry,
+                    device=device,
+                )
+                self.stats.actions_run += 1
+                break  # first matching arm wins
+
+
+class DeviceFacade:
+    """What a TSP needs from the device (ducks as IpsaSwitch)."""
+
+    header_types: dict
+    linkage: object
+    tables: dict
+    actions: dict

@@ -1,0 +1,13 @@
+"""Shared language infrastructure for the rP4 and mini-P4 front ends."""
+
+from repro.lang.errors import LangError, ParseDiagnostic
+from repro.lang.lexer import Lexer, Token, TokenKind, tokenize
+
+__all__ = [
+    "LangError",
+    "Lexer",
+    "ParseDiagnostic",
+    "Token",
+    "TokenKind",
+    "tokenize",
+]

@@ -1,0 +1,25 @@
+"""Diagnostics shared by the rP4 and mini-P4 front ends."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ParseDiagnostic:
+    """A located message (for error listings in compiler output)."""
+
+    message: str
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.column}: {self.message}"
+
+
+class LangError(Exception):
+    """Raised for lexing, parsing, and semantic errors."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        super().__init__(f"{line}:{column}: {message}" if line else message)
+        self.diagnostic = ParseDiagnostic(message, line, column)

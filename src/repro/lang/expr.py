@@ -1,0 +1,188 @@
+"""Expression and statement AST shared by the rP4 and mini-P4 parsers,
+plus a precedence-climbing expression parser over :class:`Lexer`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+from repro.lang.lexer import Lexer, TokenKind
+
+
+# -- expressions -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EConst:
+    value: int
+    width: Optional[int] = None  # from P4 `8w255` literals, when given
+
+
+@dataclass(frozen=True)
+class ERef:
+    """A dotted reference (``ipv4.ttl``, ``meta.bd``) or a bare name
+    (an action parameter)."""
+
+    ref: str
+
+    @property
+    def is_dotted(self) -> bool:
+        return "." in self.ref
+
+
+@dataclass(frozen=True)
+class EValid:
+    """``hdr.isValid()``"""
+
+    header: str
+
+
+@dataclass(frozen=True)
+class EUnary:
+    op: str  # "!" or "-"
+    operand: "Expr"
+
+
+@dataclass(frozen=True)
+class EBin:
+    op: str  # arithmetic/bitwise/comparison/logical
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass(frozen=True)
+class ECall:
+    """A call expression such as ``hash(meta.nexthop, ipv4.dst_addr)``."""
+
+    name: str
+    args: Tuple["Expr", ...] = ()
+
+
+Expr = Union[EConst, ERef, EValid, EUnary, EBin, ECall]
+
+
+# -- statements ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SAssign:
+    dest: str  # dotted reference
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class SCall:
+    """A primitive/extern call statement: ``drop();``"""
+
+    name: str
+    args: Tuple[Expr, ...] = ()
+
+
+@dataclass
+class SIf:
+    """P4 control-flow (the rP4 matcher uses its own arm structure)."""
+
+    cond: Expr
+    then_body: List["Stmt"] = field(default_factory=list)
+    else_body: List["Stmt"] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class SApply:
+    """``table.apply();`` inside a P4 apply block."""
+
+    table: str
+
+
+Stmt = Union[SAssign, SCall, SIf, SApply]
+
+
+# -- expression parsing --------------------------------------------------------
+
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "==": 3,
+    "!=": 3,
+    "<": 4,
+    ">": 4,
+    "<=": 4,
+    ">=": 4,
+    "|": 5,
+    "^": 6,
+    "&": 7,
+    "<<": 8,
+    ">>": 8,
+    "+": 9,
+    "-": 9,
+    "*": 10,
+}
+
+
+def parse_dotted(lex: Lexer) -> str:
+    """Parse ``a`` or ``a.b`` or ``a.b.c`` into a dotted string."""
+    parts = [lex.expect_ident().text]
+    while lex.current.is_punct(".") and lex.peek().kind is TokenKind.IDENT:
+        # Do not swallow `.isValid()` -- the caller handles method calls.
+        if lex.peek().text == "isValid":
+            break
+        lex.advance()
+        parts.append(lex.expect_ident().text)
+    return ".".join(parts)
+
+
+def parse_primary(lex: Lexer) -> Expr:
+    if lex.accept_punct("("):
+        inner = parse_expr(lex)
+        lex.expect_punct(")")
+        return inner
+    if lex.accept_punct("!"):
+        return EUnary("!", parse_primary(lex))
+    if lex.accept_punct("-"):
+        return EUnary("-", parse_primary(lex))
+    if lex.current.kind is TokenKind.INT:
+        first = lex.advance()
+        # P4 width literal: `8w255` lexes as INT(8), IDENT(w255)? No --
+        # `8w255` lexes as INT(8) then IDENT("w255"); stitch it back.
+        if lex.current.kind is TokenKind.IDENT and lex.current.text.startswith("w"):
+            suffix = lex.current.text[1:]
+            if suffix.isdigit() or suffix.lower().startswith("0x"):
+                lex.advance()
+                return EConst(int(suffix, 0), width=first.value)
+        return EConst(first.value)
+    if lex.current.kind is TokenKind.IDENT:
+        ref = parse_dotted(lex)
+        if lex.current.is_punct(".") and lex.peek().is_ident("isValid"):
+            lex.advance()  # .
+            lex.advance()  # isValid
+            lex.expect_punct("(")
+            lex.expect_punct(")")
+            return EValid(ref)
+        if lex.current.is_punct("(") and "." not in ref:
+            lex.advance()
+            args: List[Expr] = []
+            if not lex.current.is_punct(")"):
+                args.append(parse_expr(lex))
+                while lex.accept_punct(","):
+                    args.append(parse_expr(lex))
+            lex.expect_punct(")")
+            return ECall(ref, tuple(args))
+        return ERef(ref)
+    raise lex.error(f"expected an expression, found {lex.current}")
+
+
+def parse_expr(lex: Lexer, min_precedence: int = 1) -> Expr:
+    """Precedence-climbing binary expression parser."""
+    left = parse_primary(lex)
+    while True:
+        token = lex.current
+        if token.kind is not TokenKind.PUNCT:
+            return left
+        prec = _PRECEDENCE.get(token.text)
+        if prec is None or prec < min_precedence:
+            return left
+        op = token.text
+        lex.advance()
+        right = parse_expr(lex, prec + 1)
+        left = EBin(op, left, right)

@@ -1,0 +1,36 @@
+"""Disaggregated memory pool (paper Sec. 2.4, after dRMT).
+
+IPSA pools SRAM/TCAM into shared blocks reached through a crossbar.
+This package models the blocks, the pool with allocation/recycling,
+the crossbar reachability constraint (full vs. clustered), the
+set-packing allocation solvers (exact branch-and-bound and greedy),
+and the logical-table-to-physical-blocks virtualization rule
+``ceil(W/w) * ceil(D/d)``.
+"""
+
+from repro.memory.blocks import MemoryBlock, MemoryKind
+from repro.memory.crossbar import ClusteredCrossbar, Crossbar, FullCrossbar
+from repro.memory.packing import (
+    Demand,
+    PackingResult,
+    pack_branch_and_bound,
+    pack_greedy,
+)
+from repro.memory.pool import AllocationError, MemoryPool
+from repro.memory.virtualization import LogicalTableMapping, blocks_required
+
+__all__ = [
+    "AllocationError",
+    "ClusteredCrossbar",
+    "Crossbar",
+    "Demand",
+    "FullCrossbar",
+    "LogicalTableMapping",
+    "MemoryBlock",
+    "MemoryKind",
+    "MemoryPool",
+    "PackingResult",
+    "blocks_required",
+    "pack_branch_and_bound",
+    "pack_greedy",
+]

@@ -1,0 +1,57 @@
+"""Physical memory block models (the pool's unit of allocation)."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class MemoryKind(enum.Enum):
+    """Block technology: SRAM for exact/hash/LPM tables, TCAM for ternary."""
+
+    SRAM = "sram"
+    TCAM = "tcam"
+
+
+@dataclass
+class MemoryBlock:
+    """One physical block of ``width_bits`` x ``depth`` cells.
+
+    ``cluster`` is the crossbar cluster the block belongs to;
+    ``owner`` is the logical table currently holding it (None = free).
+    """
+
+    block_id: int
+    kind: MemoryKind
+    width_bits: int
+    depth: int
+    cluster: int = 0
+    owner: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.width_bits <= 0 or self.depth <= 0:
+            raise ValueError(
+                f"block {self.block_id}: width and depth must be positive"
+            )
+
+    @property
+    def free(self) -> bool:
+        return self.owner is None
+
+    @property
+    def bits(self) -> int:
+        """Total capacity in bits."""
+        return self.width_bits * self.depth
+
+    def allocate(self, owner: str) -> None:
+        if self.owner is not None:
+            raise RuntimeError(
+                f"block {self.block_id} already owned by {self.owner!r}"
+            )
+        self.owner = owner
+
+    def release(self) -> None:
+        if self.owner is None:
+            raise RuntimeError(f"block {self.block_id} is already free")
+        self.owner = None

@@ -1,0 +1,101 @@
+"""Crossbar reachability between TSP clusters and memory clusters.
+
+The paper (Sec. 2.4) allows different crossbar types as a
+flexibility/resource trade-off: a full crossbar lets any TSP reach any
+block; a clustered crossbar only wires a cluster of TSPs to a cluster
+of memory blocks, so moving a logical stage across clusters forces a
+table migration.  The hardware model charges LUT/FF for crossbar ports
+(see :mod:`repro.hw.resources`), making the trade-off measurable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+
+class Crossbar:
+    """Base class: answers which memory clusters a TSP can reach."""
+
+    def reachable_clusters(self, tsp_index: int) -> Set[int]:
+        raise NotImplementedError
+
+    def port_count(self, tsp_count: int, block_count: int) -> int:
+        """Number of crosspoints (drives the resource model)."""
+        raise NotImplementedError
+
+    def tsp_cluster(self, tsp_index: int) -> int:
+        """Cluster id of a TSP (full crossbar: everything is cluster 0)."""
+        raise NotImplementedError
+
+
+class FullCrossbar(Crossbar):
+    """Any TSP reaches any memory cluster (maximal flexibility)."""
+
+    def __init__(self, memory_clusters: int = 1) -> None:
+        if memory_clusters <= 0:
+            raise ValueError("memory_clusters must be positive")
+        self.memory_clusters = memory_clusters
+
+    def reachable_clusters(self, tsp_index: int) -> Set[int]:
+        return set(range(self.memory_clusters))
+
+    def port_count(self, tsp_count: int, block_count: int) -> int:
+        return tsp_count * block_count
+
+    def tsp_cluster(self, tsp_index: int) -> int:
+        return 0
+
+
+class ClusteredCrossbar(Crossbar):
+    """TSPs grouped into clusters, each wired to a subset of memory clusters.
+
+    ``tsp_cluster_size`` TSPs share a cluster; ``mapping`` gives the
+    memory clusters each TSP cluster can reach (defaults to the
+    identity mapping, i.e. TSP cluster *i* reaches memory cluster *i*).
+    """
+
+    def __init__(
+        self,
+        tsp_cluster_size: int,
+        memory_clusters: int,
+        mapping: "Dict[int, Set[int]] | None" = None,
+    ) -> None:
+        if tsp_cluster_size <= 0:
+            raise ValueError("tsp_cluster_size must be positive")
+        if memory_clusters <= 0:
+            raise ValueError("memory_clusters must be positive")
+        self.tsp_cluster_size = tsp_cluster_size
+        self.memory_clusters = memory_clusters
+        self.mapping: Dict[int, Set[int]] = mapping or {}
+
+    def tsp_cluster(self, tsp_index: int) -> int:
+        return tsp_index // self.tsp_cluster_size
+
+    def reachable_clusters(self, tsp_index: int) -> Set[int]:
+        cluster = self.tsp_cluster(tsp_index)
+        if cluster in self.mapping:
+            return set(self.mapping[cluster])
+        return {cluster % self.memory_clusters}
+
+    def port_count(self, tsp_count: int, block_count: int) -> int:
+        # Each TSP only has crosspoints to the blocks of its reachable
+        # clusters; assume blocks are spread evenly across clusters.
+        blocks_per_cluster = max(1, block_count // self.memory_clusters)
+        total = 0
+        for tsp in range(tsp_count):
+            total += len(self.reachable_clusters(tsp)) * blocks_per_cluster
+        return total
+
+
+def clusters_reachable_by_all(crossbar: Crossbar, tsp_indices: List[int]) -> Set[int]:
+    """Memory clusters reachable by *every* TSP in ``tsp_indices``.
+
+    A table shared by several stages must live where all of them can
+    reach it.
+    """
+    if not tsp_indices:
+        return set()
+    result = crossbar.reachable_clusters(tsp_indices[0])
+    for tsp in tsp_indices[1:]:
+        result &= crossbar.reachable_clusters(tsp)
+    return result

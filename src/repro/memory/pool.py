@@ -1,0 +1,229 @@
+"""The disaggregated memory pool (the ipbm Storage Module analogue).
+
+The pool owns every physical block, allocates block sets to logical
+tables under crossbar reachability constraints, and recycles blocks
+when a logical stage is deleted (paper: "if a logical stage is
+deleted, the associated memory blocks are also recycled").
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.memory.blocks import MemoryBlock, MemoryKind
+from repro.memory.crossbar import Crossbar, FullCrossbar
+from repro.memory.packing import (
+    Demand,
+    FreeMap,
+    PackingResult,
+    pack_branch_and_bound,
+    pack_greedy,
+)
+from repro.memory.virtualization import LogicalTableMapping, blocks_required
+
+
+class AllocationError(Exception):
+    """Raised when a table cannot be placed in the pool."""
+
+
+class MemoryPool:
+    """A pool of SRAM/TCAM blocks behind a crossbar."""
+
+    def __init__(
+        self,
+        sram_blocks: int = 64,
+        tcam_blocks: int = 16,
+        block_width: int = 128,
+        block_depth: int = 1024,
+        clusters: int = 1,
+        crossbar: Optional[Crossbar] = None,
+    ) -> None:
+        if clusters <= 0:
+            raise ValueError("clusters must be positive")
+        self.block_width = block_width
+        self.block_depth = block_depth
+        self.clusters = clusters
+        self.crossbar = crossbar or FullCrossbar(memory_clusters=clusters)
+        self.blocks: List[MemoryBlock] = []
+        self._mappings: Dict[str, LogicalTableMapping] = {}
+        next_id = 0
+        for kind, count in ((MemoryKind.SRAM, sram_blocks), (MemoryKind.TCAM, tcam_blocks)):
+            for i in range(count):
+                self.blocks.append(
+                    MemoryBlock(
+                        block_id=next_id,
+                        kind=kind,
+                        width_bits=block_width,
+                        depth=block_depth,
+                        cluster=i % clusters,
+                    )
+                )
+                next_id += 1
+
+    def clone(self) -> "MemoryPool":
+        """Independent copy (incremental compiles work on a clone so a
+        failed update leaves the running design's pool untouched)."""
+        import copy
+
+        twin = MemoryPool.__new__(MemoryPool)
+        twin.block_width = self.block_width
+        twin.block_depth = self.block_depth
+        twin.clusters = self.clusters
+        twin.crossbar = self.crossbar  # stateless; safe to share
+        twin.blocks = [copy.copy(b) for b in self.blocks]
+        twin._mappings = {
+            name: copy.deepcopy(mapping)
+            for name, mapping in self._mappings.items()
+        }
+        return twin
+
+    # -- inventory -----------------------------------------------------
+
+    def free_map(self) -> FreeMap:
+        """Free block counts keyed by ``(cluster, kind)``."""
+        free: FreeMap = {}
+        for block in self.blocks:
+            if block.free:
+                key = (block.cluster, block.kind)
+                free[key] = free.get(key, 0) + 1
+        return free
+
+    def free_count(self, kind: MemoryKind) -> int:
+        return sum(1 for b in self.blocks if b.free and b.kind is kind)
+
+    def mapping(self, table: str) -> LogicalTableMapping:
+        try:
+            return self._mappings[table]
+        except KeyError:
+            raise KeyError(f"table {table!r} has no allocation") from None
+
+    def mappings(self) -> Dict[str, LogicalTableMapping]:
+        return dict(self._mappings)
+
+    def utilization(self) -> float:
+        """Fraction of blocks currently owned by tables."""
+        if not self.blocks:
+            return 0.0
+        return sum(1 for b in self.blocks if not b.free) / len(self.blocks)
+
+    # -- allocation ------------------------------------------------------
+
+    def demand_for(
+        self,
+        table: str,
+        kind: MemoryKind,
+        table_width: int,
+        table_depth: int,
+        allowed_clusters: Sequence[int],
+    ) -> Demand:
+        """Build the packing demand for one logical table."""
+        count = blocks_required(
+            table_width, table_depth, self.block_width, self.block_depth
+        )
+        return Demand(
+            table=table,
+            kind=kind,
+            count=count,
+            allowed_clusters=tuple(sorted(allowed_clusters)),
+        )
+
+    def allocate_tables(
+        self,
+        specs: Sequence[Tuple[str, MemoryKind, int, int, Sequence[int]]],
+        exact: bool = True,
+    ) -> PackingResult:
+        """Allocate several tables atomically.
+
+        ``specs`` rows are ``(table, kind, width_bits, depth, clusters)``.
+        All-or-nothing: on infeasibility nothing is allocated and
+        :class:`AllocationError` is raised.
+        """
+        demands = [
+            self.demand_for(name, kind, w, d, clusters)
+            for name, kind, w, d, clusters in specs
+        ]
+        for name, *_ in specs:
+            if name in self._mappings:
+                raise AllocationError(f"table {name!r} is already allocated")
+        solver = pack_branch_and_bound if exact else pack_greedy
+        result = solver(demands, self.free_map())
+        if not result.feasible:
+            raise AllocationError(
+                f"cannot place tables {[d.table for d in demands]} "
+                f"in the pool (free: {self.free_map()})"
+            )
+        for (name, kind, w, d, _clusters), demand in zip(specs, demands):
+            block_ids = self._claim_blocks(name, kind, result.assignment[name])
+            self._mappings[name] = LogicalTableMapping(
+                table=name,
+                kind=kind,
+                table_width=w,
+                table_depth=d,
+                block_width=self.block_width,
+                block_depth=self.block_depth,
+                block_ids=block_ids,
+            )
+            # Virtualization may round the demand up; claim exactly
+            # what the mapping needs (demand == mapping.total_blocks).
+            assert len(block_ids) == demand.count
+        return result
+
+    def _claim_blocks(
+        self, owner: str, kind: MemoryKind, per_cluster: Dict[int, int]
+    ) -> List[int]:
+        claimed: List[int] = []
+        for cluster, count in sorted(per_cluster.items()):
+            picked = [
+                b
+                for b in self.blocks
+                if b.free and b.kind is kind and b.cluster == cluster
+            ][:count]
+            if len(picked) < count:
+                raise AllocationError(
+                    f"pool inconsistency: packing promised {count} free "
+                    f"{kind.value} blocks in cluster {cluster}"
+                )
+            for block in picked:
+                block.allocate(owner)
+                claimed.append(block.block_id)
+        return claimed
+
+    def release_table(self, table: str) -> int:
+        """Recycle a deleted table's blocks; returns how many were freed."""
+        mapping = self.mapping(table)
+        freed = 0
+        by_id = {b.block_id: b for b in self.blocks}
+        for block_id in mapping.block_ids:
+            by_id[block_id].release()
+            freed += 1
+        del self._mappings[table]
+        return freed
+
+    def migrate_table(self, table: str, target_clusters: Sequence[int]) -> int:
+        """Move a table to other clusters (stage moved across the crossbar).
+
+        Returns the number of blocks copied -- the migration cost the
+        clustered-crossbar ablation measures.
+        """
+        old = self.mapping(table)
+        self.release_table(table)
+        try:
+            self.allocate_tables(
+                [(table, old.kind, old.table_width, old.table_depth, target_clusters)]
+            )
+        except AllocationError:
+            # Roll back: re-place where it was (full cluster choice).
+            self.allocate_tables(
+                [
+                    (
+                        table,
+                        old.kind,
+                        old.table_width,
+                        old.table_depth,
+                        list(range(self.clusters)),
+                    )
+                ]
+            )
+            raise
+        return old.total_blocks

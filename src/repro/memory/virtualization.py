@@ -1,0 +1,95 @@
+"""Logical-table to physical-block virtualization (paper Sec. 2.4).
+
+Given a memory block of size ``w x d`` (width bits x depth), a logical
+table of ``W x D`` requires ``ceil(W/w) * ceil(D/d)`` blocks, arranged
+as a grid: each *row group* of ``ceil(W/w)`` blocks stores one slice of
+``d`` entries.  SRAM blocks can be non-adjacent; TCAM virtualization
+follows the same rule (after RMT/dRMT).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.memory.blocks import MemoryKind
+
+
+def blocks_required(
+    table_width: int, table_depth: int, block_width: int, block_depth: int
+) -> int:
+    """``ceil(W/w) * ceil(D/d)`` -- the paper's virtualization cost rule."""
+    if table_width <= 0 or table_depth <= 0:
+        raise ValueError("table width and depth must be positive")
+    if block_width <= 0 or block_depth <= 0:
+        raise ValueError("block width and depth must be positive")
+    return math.ceil(table_width / block_width) * math.ceil(
+        table_depth / block_depth
+    )
+
+
+@dataclass
+class LogicalTableMapping:
+    """Where one logical table physically lives.
+
+    ``block_ids`` is ordered row-group-major: the first
+    ``width_blocks`` ids hold entries ``0..d-1``, the next group holds
+    ``d..2d-1``, and so on.
+    """
+
+    table: str
+    kind: MemoryKind
+    table_width: int
+    table_depth: int
+    block_width: int
+    block_depth: int
+    block_ids: List[int] = field(default_factory=list)
+
+    @property
+    def width_blocks(self) -> int:
+        return math.ceil(self.table_width / self.block_width)
+
+    @property
+    def depth_blocks(self) -> int:
+        return math.ceil(self.table_depth / self.block_depth)
+
+    @property
+    def total_blocks(self) -> int:
+        return self.width_blocks * self.depth_blocks
+
+    def validate(self) -> None:
+        if len(self.block_ids) != self.total_blocks:
+            raise ValueError(
+                f"table {self.table!r}: mapping has {len(self.block_ids)} "
+                f"blocks, needs {self.total_blocks}"
+            )
+
+    def blocks_for_entry(self, entry_index: int) -> List[int]:
+        """Physical blocks an entry's bits are spread across."""
+        if not 0 <= entry_index < self.table_depth:
+            raise IndexError(
+                f"entry {entry_index} out of range for depth {self.table_depth}"
+            )
+        self.validate()
+        group = entry_index // self.block_depth
+        start = group * self.width_blocks
+        return self.block_ids[start : start + self.width_blocks]
+
+    def memory_accesses_per_lookup(self, bus_width: int) -> int:
+        """Cycles to fetch one entry over a ``bus_width``-bit data bus.
+
+        This is the quantity behind the paper's throughput discussion:
+        "the declined throughput for IPSA is mainly due to the memory
+        access, especially when the table entry size exceeds the data
+        bus width".
+        """
+        if bus_width <= 0:
+            raise ValueError("bus width must be positive")
+        return max(1, math.ceil(self.table_width / bus_width))
+
+    def utilization(self) -> float:
+        """Fraction of allocated block bits the logical table uses."""
+        used = self.table_width * self.table_depth
+        allocated = self.total_blocks * self.block_width * self.block_depth
+        return used / allocated

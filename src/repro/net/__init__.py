@@ -1,0 +1,74 @@
+"""Packet substrate: bit-accurate headers, addresses, and parsing.
+
+This package provides the low-level machinery both behavioral switches
+(:mod:`repro.pisa` and :mod:`repro.ipsa`) are built on:
+
+* :mod:`repro.net.fields` -- bit-accurate field arithmetic.
+* :mod:`repro.net.addresses` -- MAC/IPv4/IPv6 address codecs.
+* :mod:`repro.net.checksum` -- Internet checksum helpers.
+* :mod:`repro.net.headers` -- header type definitions and instances,
+  including the standard header library (Ethernet, VLAN, IPv4, IPv6,
+  SRH, TCP, UDP).
+* :mod:`repro.net.linkage` -- the *header linkage table*, the
+  runtime-modifiable parse graph behind the paper's ``link_header``
+  controller command.
+* :mod:`repro.net.packet` -- the packet object carrying raw bytes,
+  parsed header instances, and per-packet metadata, with the
+  just-in-time incremental parser used by IPSA's distributed parsing.
+"""
+
+from repro.net.addresses import (
+    format_ipv4,
+    format_ipv6,
+    format_mac,
+    parse_ipv4,
+    parse_ipv6,
+    parse_mac,
+)
+from repro.net.checksum import internet_checksum, ipv4_header_checksum
+from repro.net.fields import field_max, mask_to_width, to_signed
+from repro.net.headers import (
+    ETHERNET,
+    IPV4,
+    IPV6,
+    SRH,
+    TCP,
+    UDP,
+    VLAN,
+    FieldDef,
+    HeaderInstance,
+    HeaderType,
+    standard_header_types,
+)
+from repro.net.linkage import HeaderLink, HeaderLinkageTable, standard_linkage
+from repro.net.packet import Packet, ParseError
+
+__all__ = [
+    "ETHERNET",
+    "IPV4",
+    "IPV6",
+    "SRH",
+    "TCP",
+    "UDP",
+    "VLAN",
+    "FieldDef",
+    "HeaderInstance",
+    "HeaderLink",
+    "HeaderLinkageTable",
+    "HeaderType",
+    "Packet",
+    "ParseError",
+    "field_max",
+    "format_ipv4",
+    "format_ipv6",
+    "format_mac",
+    "internet_checksum",
+    "ipv4_header_checksum",
+    "mask_to_width",
+    "parse_ipv4",
+    "parse_ipv6",
+    "parse_mac",
+    "standard_header_types",
+    "standard_linkage",
+    "to_signed",
+]

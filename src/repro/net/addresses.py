@@ -1,0 +1,70 @@
+"""MAC, IPv4, and IPv6 address codecs.
+
+Addresses are stored as plain integers inside packets and table keys
+(matching how the behavioral switch treats every field as a bit
+string); these helpers convert between integers and the usual textual
+notations for configuration files, controller scripts, and debugging
+output.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+
+
+def parse_mac(text: str) -> int:
+    """Parse ``aa:bb:cc:dd:ee:ff`` into a 48-bit integer."""
+    parts = text.split(":")
+    if len(parts) != 6:
+        raise ValueError(f"malformed MAC address: {text!r}")
+    value = 0
+    for part in parts:
+        if not 1 <= len(part) <= 2:
+            raise ValueError(f"malformed MAC address: {text!r}")
+        value = (value << 8) | int(part, 16)
+    return value
+
+
+def format_mac(value: int) -> str:
+    """Format a 48-bit integer as ``aa:bb:cc:dd:ee:ff``."""
+    if not 0 <= value < 1 << 48:
+        raise ValueError(f"MAC address out of range: {value:#x}")
+    octets = value.to_bytes(6, "big")
+    return ":".join(f"{octet:02x}" for octet in octets)
+
+
+def parse_ipv4(text: str) -> int:
+    """Parse dotted-quad IPv4 notation into a 32-bit integer."""
+    return int(ipaddress.IPv4Address(text))
+
+
+def format_ipv4(value: int) -> str:
+    """Format a 32-bit integer as dotted-quad IPv4 notation."""
+    return str(ipaddress.IPv4Address(value))
+
+
+def parse_ipv6(text: str) -> int:
+    """Parse IPv6 notation into a 128-bit integer."""
+    return int(ipaddress.IPv6Address(text))
+
+
+def format_ipv6(value: int) -> str:
+    """Format a 128-bit integer as canonical IPv6 notation."""
+    return str(ipaddress.IPv6Address(value))
+
+
+def parse_prefix(text: str, *, v6: bool = False) -> "tuple[int, int]":
+    """Parse ``addr/len`` into ``(address_int, prefix_len)``.
+
+    A bare address is treated as a host prefix (/32 or /128).
+    """
+    if "/" in text:
+        addr, _, plen = text.partition("/")
+        length = int(plen)
+    else:
+        addr, length = text, 128 if v6 else 32
+    max_len = 128 if v6 else 32
+    if not 0 <= length <= max_len:
+        raise ValueError(f"prefix length out of range: {text!r}")
+    value = parse_ipv6(addr) if v6 else parse_ipv4(addr)
+    return value, length

@@ -1,0 +1,27 @@
+"""Internet checksum (RFC 1071) helpers used by the IPv4 header."""
+
+from __future__ import annotations
+
+
+def internet_checksum(data: bytes) -> int:
+    """Compute the 16-bit one's-complement Internet checksum of ``data``."""
+    if len(data) % 2:
+        data = data + b"\x00"
+    total = 0
+    for i in range(0, len(data), 2):
+        total += (data[i] << 8) | data[i + 1]
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return ~total & 0xFFFF
+
+
+def ipv4_header_checksum(header: bytes) -> int:
+    """Checksum an IPv4 header with its checksum field zeroed.
+
+    ``header`` must be the full on-wire header; bytes 10-11 (the
+    checksum field) are ignored regardless of their current value.
+    """
+    if len(header) < 20:
+        raise ValueError(f"IPv4 header too short: {len(header)} bytes")
+    zeroed = header[:10] + b"\x00\x00" + header[12:]
+    return internet_checksum(zeroed)

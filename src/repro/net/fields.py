@@ -1,0 +1,79 @@
+"""Bit-accurate field arithmetic helpers.
+
+Header fields in both P4 and rP4 are fixed-width unsigned bit strings
+(``bit<W>``).  All arithmetic on them wraps modulo ``2**W``.  These
+helpers centralize the masking rules so every module treats widths the
+same way.
+"""
+
+from __future__ import annotations
+
+
+def field_max(width: int) -> int:
+    """Return the maximum value representable in ``width`` bits."""
+    if width <= 0:
+        raise ValueError(f"field width must be positive, got {width}")
+    return (1 << width) - 1
+
+
+def mask_to_width(value: int, width: int) -> int:
+    """Truncate ``value`` to ``width`` bits (models bit<W> wrap-around)."""
+    return value & field_max(width)
+
+
+def to_signed(value: int, width: int) -> int:
+    """Interpret a ``width``-bit unsigned value as two's-complement."""
+    value = mask_to_width(value, width)
+    if value >= 1 << (width - 1):
+        return value - (1 << width)
+    return value
+
+
+def extract_bits(data: bytes, bit_offset: int, width: int) -> int:
+    """Extract ``width`` bits starting at ``bit_offset`` from ``data``.
+
+    Bits are numbered MSB-first within the byte string, matching
+    network wire order.
+    """
+    if width <= 0:
+        raise ValueError(f"field width must be positive, got {width}")
+    end_bit = bit_offset + width
+    if end_bit > len(data) * 8:
+        raise ValueError(
+            f"extract of {width} bits at offset {bit_offset} "
+            f"overruns {len(data)}-byte buffer"
+        )
+    first_byte = bit_offset // 8
+    last_byte = (end_bit + 7) // 8
+    chunk = int.from_bytes(data[first_byte:last_byte], "big")
+    shift = last_byte * 8 - end_bit
+    return (chunk >> shift) & field_max(width)
+
+
+def deposit_bits(data: bytearray, bit_offset: int, width: int, value: int) -> None:
+    """Write ``width`` bits of ``value`` into ``data`` at ``bit_offset``."""
+    if width <= 0:
+        raise ValueError(f"field width must be positive, got {width}")
+    end_bit = bit_offset + width
+    if end_bit > len(data) * 8:
+        raise ValueError(
+            f"deposit of {width} bits at offset {bit_offset} "
+            f"overruns {len(data)}-byte buffer"
+        )
+    value = mask_to_width(value, width)
+    first_byte = bit_offset // 8
+    last_byte = (end_bit + 7) // 8
+    span = last_byte - first_byte
+    chunk = int.from_bytes(data[first_byte:last_byte], "big")
+    shift = last_byte * 8 - end_bit
+    mask = field_max(width) << shift
+    chunk = (chunk & ~mask) | (value << shift)
+    data[first_byte:last_byte] = chunk.to_bytes(span, "big")
+
+
+def concat_fields(parts: "list[tuple[int, int]]") -> int:
+    """Concatenate ``(value, width)`` pairs MSB-first into one integer."""
+    out = 0
+    for value, width in parts:
+        out = (out << width) | mask_to_width(value, width)
+    return out

@@ -1,0 +1,332 @@
+"""Header type definitions and the standard header library.
+
+A :class:`HeaderType` is an ordered list of bit-accurate fields, with
+optional support for one variable-length trailing byte field whose
+length is computed from already-decoded fields (used by the SRv6 SRH
+segment list).  A :class:`HeaderInstance` is a concrete parsed header:
+a type plus field values.
+
+Both the PISA front-end parser and IPSA's distributed per-stage
+parsers decode packets into these instances; the instances (not the
+raw bytes) are what match-action stages read and write, mirroring the
+paper's "parsed headers are passed to later pipeline stages" design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.net.fields import deposit_bits, extract_bits, mask_to_width
+
+
+@dataclass(frozen=True)
+class FieldDef:
+    """One fixed-width field inside a header type."""
+
+    name: str
+    width: int  # bits
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise ValueError(f"field {self.name!r} must have positive width")
+
+
+class HeaderType:
+    """An ordered, bit-accurate header layout.
+
+    Parameters
+    ----------
+    name:
+        Type name (e.g. ``"ipv4"``); also the default instance name.
+    fields:
+        Fixed-width fields in wire order.  Their total width must be a
+        multiple of 8 bits when a variable-length field is present.
+    varlen_field:
+        Optional name of a trailing byte-string field.
+    varlen_bytes:
+        Callable mapping the decoded fixed-field values to the length
+        in bytes of the variable part.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        fields: List[FieldDef],
+        varlen_field: Optional[str] = None,
+        varlen_bytes: Optional[Callable[[Dict[str, int]], int]] = None,
+    ) -> None:
+        if not fields:
+            raise ValueError(f"header type {name!r} needs at least one field")
+        if (varlen_field is None) != (varlen_bytes is None):
+            raise ValueError("varlen_field and varlen_bytes must be given together")
+        self.name = name
+        self.fields = list(fields)
+        self.varlen_field = varlen_field
+        self.varlen_bytes = varlen_bytes
+        self._widths = {f.name: f.width for f in fields}
+        if len(self._widths) != len(fields):
+            raise ValueError(f"duplicate field name in header type {name!r}")
+        if varlen_field is not None and varlen_field in self._widths:
+            raise ValueError(
+                f"varlen field {varlen_field!r} collides with a fixed field"
+            )
+        self.fixed_bits = sum(f.width for f in fields)
+        if varlen_field is not None and self.fixed_bits % 8:
+            raise ValueError(
+                f"header type {name!r}: fixed part must be byte aligned "
+                "when a varlen field is present"
+            )
+
+    def field_width(self, field_name: str) -> int:
+        """Return the bit width of ``field_name``."""
+        try:
+            return self._widths[field_name]
+        except KeyError:
+            raise KeyError(
+                f"header type {self.name!r} has no field {field_name!r}"
+            ) from None
+
+    def field_names(self) -> List[str]:
+        """All field names, fixed fields first, in wire order."""
+        names = [f.name for f in self.fields]
+        if self.varlen_field is not None:
+            names.append(self.varlen_field)
+        return names
+
+    def unpack(self, data: bytes, bit_offset: int = 0) -> Tuple[Dict[str, object], int]:
+        """Decode one header at ``bit_offset``; return ``(values, bits_consumed)``."""
+        values: Dict[str, object] = {}
+        cursor = bit_offset
+        for fdef in self.fields:
+            values[fdef.name] = extract_bits(data, cursor, fdef.width)
+            cursor += fdef.width
+        if self.varlen_field is not None:
+            assert self.varlen_bytes is not None
+            nbytes = self.varlen_bytes({k: v for k, v in values.items() if isinstance(v, int)})
+            if nbytes < 0:
+                raise ValueError(
+                    f"header type {self.name!r}: negative varlen length {nbytes}"
+                )
+            if cursor % 8:
+                raise ValueError(
+                    f"header type {self.name!r}: varlen part not byte aligned"
+                )
+            start = cursor // 8
+            if start + nbytes > len(data):
+                raise ValueError(
+                    f"header type {self.name!r}: varlen part overruns packet"
+                )
+            values[self.varlen_field] = bytes(data[start : start + nbytes])
+            cursor += nbytes * 8
+        return values, cursor - bit_offset
+
+    def pack(self, values: Dict[str, object]) -> bytes:
+        """Encode field values back to wire bytes."""
+        varlen = b""
+        if self.varlen_field is not None:
+            raw = values.get(self.varlen_field, b"")
+            if not isinstance(raw, (bytes, bytearray)):
+                raise TypeError(
+                    f"field {self.varlen_field!r} of {self.name!r} must be bytes"
+                )
+            varlen = bytes(raw)
+        total_bits = self.fixed_bits
+        buf = bytearray((total_bits + 7) // 8)
+        cursor = 0
+        for fdef in self.fields:
+            value = values.get(fdef.name, 0)
+            if not isinstance(value, int):
+                raise TypeError(
+                    f"field {fdef.name!r} of {self.name!r} must be an int"
+                )
+            deposit_bits(buf, cursor, fdef.width, value)
+            cursor += fdef.width
+        return bytes(buf) + varlen
+
+    def bit_length(self, values: Dict[str, object]) -> int:
+        """Total encoded length in bits for the given field values."""
+        extra = 0
+        if self.varlen_field is not None:
+            raw = values.get(self.varlen_field, b"")
+            extra = len(raw) * 8  # type: ignore[arg-type]
+        return self.fixed_bits + extra
+
+    def __repr__(self) -> str:
+        return f"HeaderType({self.name!r}, {len(self.fields)} fields)"
+
+
+@dataclass
+class HeaderInstance:
+    """A parsed (or synthesized) header: a type plus field values."""
+
+    htype: HeaderType
+    values: Dict[str, object] = field(default_factory=dict)
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            self.name = self.htype.name
+
+    def get(self, field_name: str) -> object:
+        """Read a field value (fixed fields default to 0 if unset)."""
+        if field_name == self.htype.varlen_field:
+            return self.values.get(field_name, b"")
+        width = self.htype.field_width(field_name)  # validates the name
+        value = self.values.get(field_name, 0)
+        if isinstance(value, int):
+            return mask_to_width(value, width)
+        return value
+
+    def set(self, field_name: str, value: object) -> None:
+        """Write a field value, truncating integers to the field width."""
+        if field_name == self.htype.varlen_field:
+            if not isinstance(value, (bytes, bytearray)):
+                raise TypeError(f"field {field_name!r} must be bytes")
+            self.values[field_name] = bytes(value)
+            return
+        width = self.htype.field_width(field_name)
+        if not isinstance(value, int):
+            raise TypeError(f"field {field_name!r} must be an int")
+        self.values[field_name] = mask_to_width(value, width)
+
+    def pack(self) -> bytes:
+        """Wire encoding of this instance."""
+        return self.htype.pack(self.values)
+
+    def clone(self) -> "HeaderInstance":
+        """Deep-enough copy (values dict is copied; the type is shared)."""
+        return HeaderInstance(self.htype, dict(self.values), self.name)
+
+    def __repr__(self) -> str:
+        return f"HeaderInstance({self.name!r})"
+
+
+def _srh_seglist_bytes(values: Dict[str, int]) -> int:
+    # RFC 8754: total ext header length is (hdr_ext_len + 1) * 8 bytes,
+    # of which the first 8 are the fixed part.
+    return values.get("hdr_ext_len", 0) * 8
+
+
+ETHERNET = HeaderType(
+    "ethernet",
+    [FieldDef("dst_addr", 48), FieldDef("src_addr", 48), FieldDef("ethertype", 16)],
+)
+
+VLAN = HeaderType(
+    "vlan",
+    [
+        FieldDef("pcp", 3),
+        FieldDef("dei", 1),
+        FieldDef("vid", 12),
+        FieldDef("ethertype", 16),
+    ],
+)
+
+IPV4 = HeaderType(
+    "ipv4",
+    [
+        FieldDef("version", 4),
+        FieldDef("ihl", 4),
+        FieldDef("dscp", 6),
+        FieldDef("ecn", 2),
+        FieldDef("total_len", 16),
+        FieldDef("identification", 16),
+        FieldDef("flags", 3),
+        FieldDef("frag_offset", 13),
+        FieldDef("ttl", 8),
+        FieldDef("protocol", 8),
+        FieldDef("hdr_checksum", 16),
+        FieldDef("src_addr", 32),
+        FieldDef("dst_addr", 32),
+    ],
+)
+
+IPV6 = HeaderType(
+    "ipv6",
+    [
+        FieldDef("version", 4),
+        FieldDef("traffic_class", 8),
+        FieldDef("flow_label", 20),
+        FieldDef("payload_len", 16),
+        FieldDef("next_hdr", 8),
+        FieldDef("hop_limit", 8),
+        FieldDef("src_addr", 128),
+        FieldDef("dst_addr", 128),
+    ],
+)
+
+SRH = HeaderType(
+    "srh",
+    [
+        FieldDef("next_hdr", 8),
+        FieldDef("hdr_ext_len", 8),
+        FieldDef("routing_type", 8),
+        FieldDef("segments_left", 8),
+        FieldDef("last_entry", 8),
+        FieldDef("flags", 8),
+        FieldDef("tag", 16),
+    ],
+    varlen_field="segment_list",
+    varlen_bytes=_srh_seglist_bytes,
+)
+
+TCP = HeaderType(
+    "tcp",
+    [
+        FieldDef("src_port", 16),
+        FieldDef("dst_port", 16),
+        FieldDef("seq_no", 32),
+        FieldDef("ack_no", 32),
+        FieldDef("data_offset", 4),
+        FieldDef("reserved", 4),
+        FieldDef("flags", 8),
+        FieldDef("window", 16),
+        FieldDef("checksum", 16),
+        FieldDef("urgent_ptr", 16),
+    ],
+)
+
+UDP = HeaderType(
+    "udp",
+    [
+        FieldDef("src_port", 16),
+        FieldDef("dst_port", 16),
+        FieldDef("length", 16),
+        FieldDef("checksum", 16),
+    ],
+)
+
+
+def standard_header_types() -> Dict[str, HeaderType]:
+    """The built-in header library keyed by type name."""
+    return {
+        h.name: h
+        for h in (ETHERNET, VLAN, IPV4, IPV6, SRH, TCP, UDP)
+    }
+
+
+def srh_segment(instance: HeaderInstance, index: int) -> int:
+    """Read segment ``index`` (a 128-bit IPv6 address) from an SRH instance."""
+    seglist = instance.get("segment_list")
+    assert isinstance(seglist, bytes)
+    start = index * 16
+    if start + 16 > len(seglist):
+        raise IndexError(
+            f"segment {index} out of range for SRH with {len(seglist) // 16} segments"
+        )
+    return int.from_bytes(seglist[start : start + 16], "big")
+
+
+def srh_set_segment(instance: HeaderInstance, index: int, address: int) -> None:
+    """Write segment ``index`` of an SRH instance."""
+    seglist = instance.get("segment_list")
+    assert isinstance(seglist, bytes)
+    start = index * 16
+    if start + 16 > len(seglist):
+        raise IndexError(
+            f"segment {index} out of range for SRH with {len(seglist) // 16} segments"
+        )
+    buf = bytearray(seglist)
+    buf[start : start + 16] = address.to_bytes(16, "big")
+    instance.set("segment_list", bytes(buf))

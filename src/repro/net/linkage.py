@@ -1,0 +1,156 @@
+"""The header linkage table: a runtime-modifiable parse graph.
+
+rP4 headers carry an ``implicit parser`` clause naming the *selector
+field* (e.g. ``ethertype`` for Ethernet) and the tag values that lead
+to successor headers.  The paper's controller commands::
+
+    link_header --pre IPv6 --next SRH --tag 43
+    link_header --pre SRH  --next IPv6 --tag 41
+
+mutate exactly this structure at runtime, which is what lets IPSA
+start parsing a brand-new protocol header (SRv6's SRH) without
+recompiling or reloading the switch.  We therefore model the parse
+graph as data -- a table of :class:`HeaderLink` rows -- rather than as
+code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class HeaderLink:
+    """One edge of the parse graph: ``pre --tag--> next``."""
+
+    pre: str
+    tag: int
+    next: str
+
+
+class HeaderLinkageTable:
+    """Selector fields plus (header, tag) -> next-header edges.
+
+    The table is shared by the PISA front-end parser and every IPSA
+    TSP parser sub-module; IPSA additionally mutates it at runtime via
+    :meth:`add_link` / :meth:`del_link`.
+    """
+
+    def __init__(self) -> None:
+        self._selector: Dict[str, str] = {}
+        self._edges: Dict[Tuple[str, int], str] = {}
+
+    # -- construction -------------------------------------------------
+
+    def set_selector(self, header: str, field_name: str) -> None:
+        """Declare which field of ``header`` selects the next header."""
+        self._selector[header] = field_name
+
+    def selector(self, header: str) -> Optional[str]:
+        """Selector field of ``header``, or ``None`` for terminal headers."""
+        return self._selector.get(header)
+
+    def add_link(self, pre: str, next_header: str, tag: int) -> None:
+        """Add (or replace) the edge ``pre --tag--> next_header``.
+
+        ``pre`` must already have a selector field declared; this is
+        the invariant the controller's ``link_header`` command relies
+        on (the new header's *own* selector is declared when its type
+        is loaded).
+        """
+        if pre not in self._selector:
+            raise KeyError(
+                f"header {pre!r} has no selector field; cannot link from it"
+            )
+        self._edges[(pre, tag)] = next_header
+
+    def del_link(self, pre: str, tag: int) -> None:
+        """Remove the edge keyed by ``(pre, tag)``."""
+        try:
+            del self._edges[(pre, tag)]
+        except KeyError:
+            raise KeyError(f"no link from {pre!r} with tag {tag}") from None
+
+    # -- queries ------------------------------------------------------
+
+    def next_header(self, header: str, tag: int) -> Optional[str]:
+        """Successor of ``header`` for selector value ``tag`` (or None)."""
+        return self._edges.get((header, tag))
+
+    def links(self) -> List[HeaderLink]:
+        """All edges as a stable, sorted list (for display and tests)."""
+        return sorted(
+            (HeaderLink(pre, tag, nxt) for (pre, tag), nxt in self._edges.items()),
+            key=lambda l: (l.pre, l.tag),
+        )
+
+    def links_from(self, header: str) -> List[HeaderLink]:
+        """All edges whose predecessor is ``header``."""
+        return [l for l in self.links() if l.pre == header]
+
+    def reachable(self, root: str) -> List[str]:
+        """Headers reachable from ``root`` (root included), BFS order."""
+        seen = [root]
+        frontier = [root]
+        while frontier:
+            current = frontier.pop(0)
+            for link in self.links_from(current):
+                if link.next not in seen:
+                    seen.append(link.next)
+                    frontier.append(link.next)
+        return seen
+
+    def clone(self) -> "HeaderLinkageTable":
+        """Independent copy (controller snapshots use this)."""
+        copy = HeaderLinkageTable()
+        copy._selector = dict(self._selector)
+        copy._edges = dict(self._edges)
+        return copy
+
+    def merge(self, other: "HeaderLinkageTable") -> None:
+        """Fold another linkage table's selectors and edges into this one."""
+        self._selector.update(other._selector)
+        self._edges.update(other._edges)
+
+    def __len__(self) -> int:
+        return len(self._edges)
+
+
+# Well-known tag values.
+ETHERTYPE_IPV4 = 0x0800
+ETHERTYPE_IPV6 = 0x86DD
+ETHERTYPE_VLAN = 0x8100
+IPPROTO_TCP = 6
+IPPROTO_UDP = 17
+IPPROTO_IPV4 = 4
+IPPROTO_IPV6 = 41
+IPPROTO_ROUTING = 43
+
+
+def standard_linkage(links: Optional[Iterable[HeaderLink]] = None) -> HeaderLinkageTable:
+    """Linkage for the base L2/L3 design (no SRH -- that is loaded at runtime).
+
+    ``links`` optionally appends extra edges on top of the standard set.
+    """
+    table = HeaderLinkageTable()
+    table.set_selector("ethernet", "ethertype")
+    table.set_selector("vlan", "ethertype")
+    table.set_selector("ipv4", "protocol")
+    table.set_selector("ipv6", "next_hdr")
+    table.set_selector("srh", "next_hdr")
+
+    table.add_link("ethernet", "ipv4", ETHERTYPE_IPV4)
+    table.add_link("ethernet", "ipv6", ETHERTYPE_IPV6)
+    table.add_link("ethernet", "vlan", ETHERTYPE_VLAN)
+    table.add_link("vlan", "ipv4", ETHERTYPE_IPV4)
+    table.add_link("vlan", "ipv6", ETHERTYPE_IPV6)
+    table.add_link("ipv4", "tcp", IPPROTO_TCP)
+    table.add_link("ipv4", "udp", IPPROTO_UDP)
+    table.add_link("ipv6", "tcp", IPPROTO_TCP)
+    table.add_link("ipv6", "udp", IPPROTO_UDP)
+
+    if links is not None:
+        for link in links:
+            table.add_link(link.pre, link.next, link.tag)
+    return table

@@ -1,0 +1,258 @@
+"""The packet object and the just-in-time incremental parser.
+
+IPSA has no front-end parser: each Templated Stage Processor parses
+only the headers it needs, and parse results travel with the packet so
+later stages never re-parse (paper Sec. 2.1).  :class:`Packet` holds:
+
+* the raw bytes,
+* an ordered list of parsed :class:`~repro.net.headers.HeaderInstance`
+  objects,
+* the *parse cursor* (bit offset of the first unparsed byte and the
+  name of the header type expected there), and
+* a per-packet metadata dict (the analogue of P4 standard/user
+  metadata).
+
+:meth:`Packet.ensure_parsed` is the JIT entry point used by TSP parser
+sub-modules; the PISA front-end parser simply calls it once for every
+header in its parse graph.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.net.headers import HeaderInstance, HeaderType
+from repro.net.linkage import HeaderLinkageTable
+
+
+class ParseError(Exception):
+    """Raised when a packet cannot be decoded as the expected header."""
+
+
+#: Metadata keys every packet starts with (the "intrinsic metadata").
+INTRINSIC_METADATA = {
+    "ingress_port": 0,
+    "egress_spec": 0,
+    "egress_port": 0,
+    "drop": 0,
+    "to_cpu": 0,
+    "mcast_grp": 0,
+    "packet_length": 0,
+}
+
+
+class Packet:
+    """A packet in flight through a behavioral switch."""
+
+    def __init__(
+        self,
+        data: bytes,
+        first_header: str = "ethernet",
+        ingress_port: int = 0,
+    ) -> None:
+        self.data = bytes(data)
+        self.headers: List[HeaderInstance] = []
+        self._by_name: Dict[str, HeaderInstance] = {}
+        self.cursor_bits = 0
+        self.next_header_name: Optional[str] = first_header
+        self.metadata: Dict[str, object] = dict(INTRINSIC_METADATA)
+        self.metadata["ingress_port"] = ingress_port
+        self.metadata["packet_length"] = len(data)
+
+    # -- header bookkeeping --------------------------------------------
+
+    def is_valid(self, name: str) -> bool:
+        """Has a header instance called ``name`` been parsed or added?"""
+        return name in self._by_name
+
+    def header(self, name: str) -> HeaderInstance:
+        """Return the header instance called ``name``."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"packet has no parsed header {name!r}") from None
+
+    def header_names(self) -> List[str]:
+        """Names of parsed headers in wire order."""
+        return [h.name for h in self.headers]
+
+    def _register(self, instance: HeaderInstance, index: Optional[int] = None) -> str:
+        base = instance.name
+        name = base
+        suffix = 2
+        while name in self._by_name:
+            name = f"{base}.{suffix}"
+            suffix += 1
+        instance.name = name
+        if index is None:
+            self.headers.append(instance)
+        else:
+            self.headers.insert(index, instance)
+        self._by_name[name] = instance
+        return name
+
+    # -- parsing ---------------------------------------------------------
+
+    def parse_one(
+        self,
+        header_types: Dict[str, HeaderType],
+        linkage: HeaderLinkageTable,
+    ) -> Optional[str]:
+        """Parse the next header at the cursor; return its instance name.
+
+        Returns ``None`` when the parse frontier is exhausted (no
+        expected next header, or the expected header type is unknown
+        to this device).  Raises :class:`ParseError` when the bytes on
+        the wire are too short for the expected header.
+        """
+        expected = self.next_header_name
+        if expected is None:
+            return None
+        htype = header_types.get(expected)
+        if htype is None:
+            # The device does not know this protocol (yet): stop here.
+            self.next_header_name = None
+            return None
+        try:
+            values, consumed = htype.unpack(self.data, self.cursor_bits)
+        except ValueError as exc:
+            raise ParseError(
+                f"cannot parse {expected!r} at bit {self.cursor_bits}: {exc}"
+            ) from exc
+        instance = HeaderInstance(htype, values, expected)
+        name = self._register(instance)
+        self.cursor_bits += consumed
+
+        selector = linkage.selector(expected)
+        if selector is None:
+            self.next_header_name = None
+        else:
+            tag = instance.get(selector)
+            assert isinstance(tag, int)
+            self.next_header_name = linkage.next_header(expected, tag)
+        return name
+
+    def ensure_parsed(
+        self,
+        names: List[str],
+        header_types: Dict[str, HeaderType],
+        linkage: HeaderLinkageTable,
+    ) -> int:
+        """JIT-parse until every name in ``names`` is available, or no
+        remaining name is reachable from the parse frontier.  Returns
+        the number of headers newly parsed (the IPSA throughput model
+        charges for these).
+
+        Stopping on reachability is what makes "parser { ipv4, ipv6 }"
+        mean *parse ipv4 or ipv6* (Fig. 5(a)): once the frontier can no
+        longer lead to a requested header, parsing stops instead of
+        running to the end of the packet.
+        """
+        parsed = 0
+        remaining = {n for n in names if not self.is_valid(n)}
+        while remaining and self.next_header_name is not None:
+            frontier = self.next_header_name
+            if frontier not in remaining and not (
+                remaining & set(linkage.reachable(frontier))
+            ):
+                break
+            got = self.parse_one(header_types, linkage)
+            if got is None:
+                break
+            parsed += 1
+            remaining.discard(got)
+        return parsed
+
+    def parse_all(
+        self,
+        header_types: Dict[str, HeaderType],
+        linkage: HeaderLinkageTable,
+    ) -> int:
+        """Parse every reachable header (PISA front-end parser behaviour)."""
+        parsed = 0
+        while self.next_header_name is not None:
+            if self.parse_one(header_types, linkage) is None:
+                break
+            parsed += 1
+        return parsed
+
+    # -- header mutation (push/pop for encap protocols) -------------------
+
+    def insert_header(
+        self,
+        instance: HeaderInstance,
+        after: Optional[str] = None,
+        before: Optional[str] = None,
+    ) -> str:
+        """Insert a synthesized header instance into the parsed stack."""
+        if after is not None and before is not None:
+            raise ValueError("give at most one of after/before")
+        index: Optional[int] = None
+        if after is not None:
+            index = self.headers.index(self.header(after)) + 1
+        elif before is not None:
+            index = self.headers.index(self.header(before))
+        return self._register(instance, index)
+
+    def remove_header(self, name: str) -> HeaderInstance:
+        """Remove (invalidate) a parsed header instance."""
+        instance = self.header(name)
+        self.headers.remove(instance)
+        del self._by_name[name]
+        return instance
+
+    # -- serialization ----------------------------------------------------
+
+    def payload(self) -> bytes:
+        """Bytes beyond the parse cursor (never reparsed or rewritten)."""
+        if self.cursor_bits % 8:
+            raise ValueError("parse cursor is not byte aligned")
+        return self.data[self.cursor_bits // 8 :]
+
+    def emit(self) -> bytes:
+        """Serialize: packed parsed headers followed by the payload.
+
+        IPSA needs no egress deparser because the full header stack is
+        maintained in flight; this method is that "already deparsed"
+        view (the PISA model calls it from its explicit deparser).
+        """
+        return b"".join(h.pack() for h in self.headers) + self.payload()
+
+    def clone(self) -> "Packet":
+        """Deep copy used by multicast and by the drain protocol tests."""
+        twin = Packet(self.data, first_header="ethernet")
+        twin.headers = [h.clone() for h in self.headers]
+        twin._by_name = {h.name: h for h in twin.headers}
+        twin.cursor_bits = self.cursor_bits
+        twin.next_header_name = self.next_header_name
+        twin.metadata = dict(self.metadata)
+        return twin
+
+    # -- convenience accessors used by the action VM ----------------------
+
+    def read(self, ref: str) -> object:
+        """Read ``"meta.x"`` or ``"header.field"`` by dotted reference."""
+        scope, _, field_name = ref.partition(".")
+        if not field_name:
+            raise ValueError(f"malformed field reference {ref!r}")
+        if scope == "meta":
+            if field_name not in self.metadata:
+                raise KeyError(f"unknown metadata field {field_name!r}")
+            return self.metadata[field_name]
+        return self.header(scope).get(field_name)
+
+    def write(self, ref: str, value: object) -> None:
+        """Write ``"meta.x"`` or ``"header.field"`` by dotted reference."""
+        scope, _, field_name = ref.partition(".")
+        if not field_name:
+            raise ValueError(f"malformed field reference {ref!r}")
+        if scope == "meta":
+            self.metadata[field_name] = value
+        else:
+            self.header(scope).set(field_name, value)
+
+    def __repr__(self) -> str:
+        return (
+            f"Packet(headers={self.header_names()}, "
+            f"len={len(self.data)}, port={self.metadata['ingress_port']})"
+        )

@@ -1,0 +1,108 @@
+"""Minimal pcap file I/O (the CM module's trace interface).
+
+The real ipbm bypasses the OS stack for packet I/O; the behavioral
+reproduction reads and writes classic libpcap files (magic
+``0xa1b2c3d4``, LINKTYPE_ETHERNET) so traces interoperate with
+tcpdump/wireshark.  Timestamps carry a synthetic microsecond clock.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import BinaryIO, Iterator, List, Tuple
+
+_MAGIC = 0xA1B2C3D4
+_VERSION = (2, 4)
+_LINKTYPE_ETHERNET = 1
+_GLOBAL_HDR = struct.Struct("<IHHiIII")
+_RECORD_HDR = struct.Struct("<IIII")
+
+
+class PcapError(Exception):
+    """Raised on malformed pcap input."""
+
+
+@dataclass(frozen=True)
+class PcapRecord:
+    """One captured packet."""
+
+    ts_sec: int
+    ts_usec: int
+    data: bytes
+
+
+class PcapWriter:
+    """Write packets to a classic pcap stream."""
+
+    def __init__(self, stream: BinaryIO, snaplen: int = 65535) -> None:
+        self._stream = stream
+        self._clock_usec = 0
+        stream.write(
+            _GLOBAL_HDR.pack(
+                _MAGIC, _VERSION[0], _VERSION[1], 0, 0, snaplen,
+                _LINKTYPE_ETHERNET,
+            )
+        )
+
+    def write(self, data: bytes, ts_usec: "int | None" = None) -> None:
+        """Append one packet; timestamps auto-advance by 1 us."""
+        if ts_usec is None:
+            ts_usec = self._clock_usec
+            self._clock_usec += 1
+        sec, usec = divmod(ts_usec, 1_000_000)
+        self._stream.write(
+            _RECORD_HDR.pack(sec, usec, len(data), len(data))
+        )
+        self._stream.write(data)
+
+    def write_trace(self, trace: List[Tuple[bytes, int]]) -> int:
+        """Write a (data, port) workload trace; ports are not encoded
+        (pcap has no port column) -- use one file per port if needed."""
+        for data, _port in trace:
+            self.write(data)
+        return len(trace)
+
+
+class PcapReader:
+    """Iterate packets of a classic pcap stream."""
+
+    def __init__(self, stream: BinaryIO) -> None:
+        self._stream = stream
+        header = stream.read(_GLOBAL_HDR.size)
+        if len(header) != _GLOBAL_HDR.size:
+            raise PcapError("truncated pcap global header")
+        magic = struct.unpack("<I", header[:4])[0]
+        if magic != _MAGIC:
+            raise PcapError(f"unsupported pcap magic {magic:#x}")
+        fields = _GLOBAL_HDR.unpack(header)
+        if fields[6] != _LINKTYPE_ETHERNET:
+            raise PcapError(f"unsupported link type {fields[6]}")
+
+    def __iter__(self) -> Iterator[PcapRecord]:
+        while True:
+            header = self._stream.read(_RECORD_HDR.size)
+            if not header:
+                return
+            if len(header) != _RECORD_HDR.size:
+                raise PcapError("truncated pcap record header")
+            ts_sec, ts_usec, caplen, origlen = _RECORD_HDR.unpack(header)
+            data = self._stream.read(caplen)
+            if len(data) != caplen:
+                raise PcapError("truncated pcap record body")
+            yield PcapRecord(ts_sec, ts_usec, data)
+
+    def read_all(self) -> List[PcapRecord]:
+        return list(self)
+
+
+def save_trace(path: str, trace: List[Tuple[bytes, int]]) -> int:
+    """Write a workload trace to a pcap file; returns packet count."""
+    with open(path, "wb") as fh:
+        return PcapWriter(fh).write_trace(trace)
+
+
+def load_trace(path: str, port: int = 0) -> List[Tuple[bytes, int]]:
+    """Read a pcap file back as a (data, port) workload trace."""
+    with open(path, "rb") as fh:
+        return [(record.data, port) for record in PcapReader(fh)]

@@ -1,0 +1,30 @@
+"""Mini-P4 front end (the ``p4c`` substitute).
+
+Parses the P4_16 subset the paper's base design and use cases need --
+header types, instance structs, a parser state machine with
+``select`` transitions, actions, tables, and ingress/egress controls
+with apply blocks -- and lowers it to an HLIR, the target-independent
+IR that rp4fc (P4 -> rP4) and the PISA back end both consume.
+"""
+
+from repro.p4.ast import (
+    ControlDecl,
+    P4HeaderType,
+    P4Program,
+    ParserState,
+    Transition,
+)
+from repro.p4.hlir import Hlir, HlirTable, build_hlir
+from repro.p4.parser import parse_p4
+
+__all__ = [
+    "ControlDecl",
+    "Hlir",
+    "HlirTable",
+    "P4HeaderType",
+    "P4Program",
+    "ParserState",
+    "Transition",
+    "build_hlir",
+    "parse_p4",
+]

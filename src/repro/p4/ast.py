@@ -1,0 +1,68 @@
+"""Abstract syntax for the mini-P4 subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.lang.expr import Stmt
+from repro.rp4.ast import Rp4Action, Rp4Table
+
+
+@dataclass
+class P4HeaderType:
+    """``header ipv4_t { bit<4> version; ... }``"""
+
+    name: str
+    fields: List[Tuple[str, int]] = field(default_factory=list)
+
+
+@dataclass
+class Transition:
+    """One row of a ``select`` transition (or the unconditional one).
+
+    ``tag is None`` means unconditional or the ``default`` row.
+    """
+
+    tag: Optional[int]
+    target: str  # next state name, or "accept"/"reject"
+
+
+@dataclass
+class ParserState:
+    """``state parse_x { pkt.extract(hdr.x); transition select(...) {...} }``"""
+
+    name: str
+    extracts: List[str] = field(default_factory=list)  # header instance names
+    select_field: Optional[str] = None  # normalized ref, e.g. "ethernet.ethertype"
+    transitions: List[Transition] = field(default_factory=list)
+
+
+@dataclass
+class ControlDecl:
+    """An ingress or egress control: local actions/tables + apply block."""
+
+    name: str
+    actions: Dict[str, Rp4Action] = field(default_factory=dict)
+    tables: Dict[str, Rp4Table] = field(default_factory=dict)
+    apply_body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class P4Program:
+    """A mini-P4 compilation unit."""
+
+    header_types: Dict[str, P4HeaderType] = field(default_factory=dict)
+    # struct headers { ethernet_t ethernet; ... }: instance -> type name
+    header_instances: Dict[str, str] = field(default_factory=dict)
+    metadata: List[Tuple[str, int]] = field(default_factory=list)
+    parser_states: Dict[str, ParserState] = field(default_factory=dict)
+    parser_start: Optional[str] = None
+    ingress: Optional[ControlDecl] = None
+    egress: Optional[ControlDecl] = None
+
+    def instance_fields(self, instance: str) -> List[Tuple[str, int]]:
+        type_name = self.header_instances.get(instance)
+        if type_name is None:
+            raise KeyError(f"unknown header instance {instance!r}")
+        return self.header_types[type_name].fields

@@ -1,0 +1,385 @@
+"""Recursive-descent parser for the mini-P4 subset.
+
+References are normalized while parsing: ``hdr.ipv4.dst_addr`` becomes
+``ipv4.dst_addr`` and ``standard_metadata.x`` becomes ``meta.x``, so
+the HLIR and everything downstream share one naming scheme with rP4.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.lang.expr import (
+    EBin,
+    ECall,
+    EConst,
+    ERef,
+    EUnary,
+    EValid,
+    Expr,
+    SApply,
+    SAssign,
+    SCall,
+    SIf,
+    Stmt,
+    parse_expr,
+)
+from repro.lang.lexer import Lexer, TokenKind
+from repro.p4.ast import (
+    ControlDecl,
+    P4HeaderType,
+    P4Program,
+    ParserState,
+    Transition,
+)
+from repro.rp4.ast import Rp4Action, Rp4Table
+
+_MATCH_KINDS = {"exact", "lpm", "ternary", "hash", "selector"}
+
+
+def normalize_ref(ref: str) -> str:
+    """Strip the ``hdr.`` prefix and fold standard metadata into ``meta``."""
+    if ref.startswith("hdr."):
+        return ref[len("hdr.") :]
+    if ref.startswith("standard_metadata."):
+        return "meta." + ref[len("standard_metadata.") :]
+    return ref
+
+
+def _normalize_expr(expr: Expr) -> Expr:
+    if isinstance(expr, ERef):
+        return ERef(normalize_ref(expr.ref))
+    if isinstance(expr, EValid):
+        return EValid(normalize_ref(expr.header))
+    if isinstance(expr, EUnary):
+        return EUnary(expr.op, _normalize_expr(expr.operand))
+    if isinstance(expr, EBin):
+        return EBin(expr.op, _normalize_expr(expr.left), _normalize_expr(expr.right))
+    if isinstance(expr, ECall):
+        return ECall(expr.name, tuple(_normalize_expr(a) for a in expr.args))
+    return expr
+
+
+def parse_p4(source: str) -> P4Program:
+    """Parse mini-P4 source text into a :class:`P4Program`."""
+    return _Parser(source).parse_program()
+
+
+class _Parser:
+    def __init__(self, source: str) -> None:
+        self.lex = Lexer(source)
+        self.program = P4Program()
+
+    def parse_program(self) -> P4Program:
+        lex = self.lex
+        while not lex.at_eof():
+            tok = lex.current
+            if tok.is_ident("header"):
+                self._header_type()
+            elif tok.is_ident("struct"):
+                self._struct()
+            elif tok.is_ident("parser"):
+                self._parser_decl()
+            elif tok.is_ident("control"):
+                self._control_decl()
+            elif tok.is_punct("@"):
+                self._pragma()
+            else:
+                raise lex.error(f"unexpected top-level token {tok}")
+        return self.program
+
+    # -- helpers ---------------------------------------------------------
+
+    def _bit_type(self) -> int:
+        self.lex.expect_ident("bit")
+        self.lex.expect_punct("<")
+        width = self.lex.expect_int().value
+        self.lex.expect_punct(">")
+        return width
+
+    def _skip_parens(self) -> None:
+        """Consume a balanced parenthesized parameter list."""
+        self.lex.expect_punct("(")
+        depth = 1
+        while depth:
+            tok = self.lex.advance()
+            if tok.kind is TokenKind.EOF:
+                raise self.lex.error("unterminated parameter list")
+            if tok.is_punct("("):
+                depth += 1
+            elif tok.is_punct(")"):
+                depth -= 1
+
+    def _pragma(self) -> None:
+        # `@pragma ...` annotations are accepted and ignored (the paper
+        # notes PISA's `@pragma stage i` needs low-level chip knowledge;
+        # our PISA back end does its own placement).
+        self.lex.expect_punct("@")
+        self.lex.expect_ident()
+        line = self.lex.current.line
+        while not self.lex.at_eof() and self.lex.current.line == line:
+            self.lex.advance()
+
+    def _dotted(self) -> str:
+        parts = [self.lex.expect_ident().text]
+        while self.lex.current.is_punct(".") and self.lex.peek().kind is TokenKind.IDENT:
+            if self.lex.peek().text in ("apply", "isValid", "extract"):
+                break
+            self.lex.advance()
+            parts.append(self.lex.expect_ident().text)
+        return normalize_ref(".".join(parts))
+
+    # -- declarations -------------------------------------------------------
+
+    def _header_type(self) -> None:
+        lex = self.lex
+        lex.expect_ident("header")
+        name = lex.expect_ident().text
+        decl = P4HeaderType(name=name)
+        lex.expect_punct("{")
+        while not lex.accept_punct("}"):
+            width = self._bit_type()
+            fname = lex.expect_ident().text
+            lex.expect_punct(";")
+            decl.fields.append((fname, width))
+        self.program.header_types[name] = decl
+
+    def _struct(self) -> None:
+        lex = self.lex
+        lex.expect_ident("struct")
+        name = lex.expect_ident().text
+        lex.expect_punct("{")
+        while not lex.accept_punct("}"):
+            if lex.current.is_ident("bit"):
+                width = self._bit_type()
+                mname = lex.expect_ident().text
+                lex.expect_punct(";")
+                self.program.metadata.append((mname, width))
+            else:
+                type_name = lex.expect_ident().text
+                instance = lex.expect_ident().text
+                lex.expect_punct(";")
+                if type_name not in self.program.header_types:
+                    raise lex.error(
+                        f"struct {name!r}: unknown header type {type_name!r}"
+                    )
+                self.program.header_instances[instance] = type_name
+        lex.accept_punct(";")
+
+    # -- parser ------------------------------------------------------------
+
+    def _parser_decl(self) -> None:
+        lex = self.lex
+        lex.expect_ident("parser")
+        lex.expect_ident()  # parser name
+        self._skip_parens()
+        lex.expect_punct("{")
+        while not lex.accept_punct("}"):
+            self._parser_state()
+        if "start" not in self.program.parser_states:
+            raise lex.error("parser has no start state")
+        self.program.parser_start = "start"
+
+    def _parser_state(self) -> None:
+        lex = self.lex
+        lex.expect_ident("state")
+        name = lex.expect_ident().text
+        state = ParserState(name=name)
+        lex.expect_punct("{")
+        while not lex.current.is_ident("transition"):
+            # pkt.extract(hdr.x);
+            lex.expect_ident()  # pkt / packet
+            lex.expect_punct(".")
+            lex.expect_ident("extract")
+            lex.expect_punct("(")
+            instance = self._dotted()
+            lex.expect_punct(")")
+            lex.expect_punct(";")
+            state.extracts.append(instance)
+        lex.expect_ident("transition")
+        if lex.current.is_ident("select"):
+            lex.advance()
+            lex.expect_punct("(")
+            state.select_field = self._dotted()
+            lex.expect_punct(")")
+            lex.expect_punct("{")
+            while not lex.accept_punct("}"):
+                if lex.current.is_ident("default"):
+                    lex.advance()
+                    tag: Optional[int] = None
+                else:
+                    tag = lex.expect_int().value
+                lex.expect_punct(":")
+                target = lex.expect_ident().text
+                lex.expect_punct(";")
+                state.transitions.append(Transition(tag, target))
+        else:
+            target = lex.expect_ident().text
+            lex.expect_punct(";")
+            state.transitions.append(Transition(None, target))
+        lex.expect_punct("}")
+        self.program.parser_states[name] = state
+
+    # -- controls -----------------------------------------------------------
+
+    def _control_decl(self) -> None:
+        lex = self.lex
+        lex.expect_ident("control")
+        name = lex.expect_ident().text
+        self._skip_parens()
+        decl = ControlDecl(name=name)
+        lex.expect_punct("{")
+        while not lex.accept_punct("}"):
+            if lex.current.is_ident("action"):
+                action = self._action()
+                decl.actions[action.name] = action
+            elif lex.current.is_ident("table"):
+                table = self._table()
+                decl.tables[table.name] = table
+            elif lex.current.is_ident("apply"):
+                lex.advance()
+                lex.expect_punct("{")
+                decl.apply_body = self._apply_block()
+            else:
+                raise lex.error(f"unexpected token in control: {lex.current}")
+        lowered = name.lower()
+        if "ingress" in lowered:
+            self.program.ingress = decl
+        elif "egress" in lowered:
+            self.program.egress = decl
+        else:
+            raise lex.error(
+                f"control {name!r} must be an ingress or egress control"
+            )
+
+    def _action(self) -> Rp4Action:
+        lex = self.lex
+        lex.expect_ident("action")
+        name = lex.expect_ident().text
+        decl = Rp4Action(name=name)
+        lex.expect_punct("(")
+        if not lex.current.is_punct(")"):
+            decl.params.append(self._param())
+            while lex.accept_punct(","):
+                decl.params.append(self._param())
+        lex.expect_punct(")")
+        lex.expect_punct("{")
+        while not lex.accept_punct("}"):
+            decl.body.append(self._action_stmt())
+        return decl
+
+    def _param(self) -> Tuple[str, int]:
+        # Accept `bit<W> name` and P4 directions (`in`, `out`, `inout`).
+        while self.lex.current.is_ident("in") or self.lex.current.is_ident(
+            "out"
+        ) or self.lex.current.is_ident("inout"):
+            self.lex.advance()
+        width = self._bit_type()
+        return self.lex.expect_ident().text, width
+
+    def _action_stmt(self) -> Stmt:
+        lex = self.lex
+        ref = self._dotted()
+        if lex.current.is_punct("(") and "." not in ref:
+            lex.advance()
+            args: List[Expr] = []
+            if not lex.current.is_punct(")"):
+                args.append(_normalize_expr(parse_expr(lex)))
+                while lex.accept_punct(","):
+                    args.append(_normalize_expr(parse_expr(lex)))
+            lex.expect_punct(")")
+            lex.expect_punct(";")
+            return SCall(ref, tuple(args))
+        lex.expect_punct("=")
+        expr = _normalize_expr(parse_expr(lex))
+        lex.expect_punct(";")
+        return SAssign(ref, expr)
+
+    def _table(self) -> Rp4Table:
+        lex = self.lex
+        lex.expect_ident("table")
+        name = lex.expect_ident().text
+        decl = Rp4Table(name=name)
+        lex.expect_punct("{")
+        while not lex.accept_punct("}"):
+            prop = lex.expect_ident().text
+            lex.expect_punct("=")
+            if prop == "key":
+                lex.expect_punct("{")
+                while not lex.accept_punct("}"):
+                    ref = self._dotted()
+                    lex.expect_punct(":")
+                    kind = lex.expect_ident().text
+                    if kind not in _MATCH_KINDS:
+                        raise lex.error(f"unknown match kind {kind!r}")
+                    if kind == "selector":
+                        kind = "hash"  # P4 selector ~ rP4 hash match
+                    lex.expect_punct(";")
+                    decl.keys.append((ref, kind))
+                lex.accept_punct(";")
+            elif prop == "size":
+                decl.size = lex.expect_int().value
+                lex.expect_punct(";")
+            elif prop == "actions":
+                lex.expect_punct("{")
+                while not lex.accept_punct("}"):
+                    decl.actions.append(lex.expect_ident().text)
+                    lex.accept_punct(";")
+                lex.accept_punct(";")
+            elif prop == "default_action":
+                decl.default_action = lex.expect_ident().text
+                if lex.current.is_punct("("):
+                    self._skip_parens()
+                lex.expect_punct(";")
+            else:
+                raise lex.error(f"unknown table property {prop!r}")
+        return decl
+
+    def _apply_block(self) -> List[Stmt]:
+        """Parse statements until the matching close brace (consumed)."""
+        lex = self.lex
+        body: List[Stmt] = []
+        while not lex.accept_punct("}"):
+            body.append(self._apply_stmt())
+        return body
+
+    def _apply_stmt(self) -> Stmt:
+        lex = self.lex
+        if lex.current.is_ident("if"):
+            lex.advance()
+            lex.expect_punct("(")
+            cond = _normalize_expr(parse_expr(lex))
+            lex.expect_punct(")")
+            stmt = SIf(cond=cond)
+            lex.expect_punct("{")
+            stmt.then_body = self._apply_block()
+            if lex.current.is_ident("else"):
+                lex.advance()
+                if lex.current.is_ident("if"):
+                    stmt.else_body = [self._apply_stmt()]
+                else:
+                    lex.expect_punct("{")
+                    stmt.else_body = self._apply_block()
+            return stmt
+        ref = self._dotted()
+        if lex.current.is_punct(".") and lex.peek().is_ident("apply"):
+            lex.advance()
+            lex.expect_ident("apply")
+            lex.expect_punct("(")
+            lex.expect_punct(")")
+            lex.expect_punct(";")
+            return SApply(ref)
+        if lex.current.is_punct("(") and "." not in ref:
+            lex.advance()
+            args: List[Expr] = []
+            if not lex.current.is_punct(")"):
+                args.append(_normalize_expr(parse_expr(lex)))
+                while lex.accept_punct(","):
+                    args.append(_normalize_expr(parse_expr(lex)))
+            lex.expect_punct(")")
+            lex.expect_punct(";")
+            return SCall(ref, tuple(args))
+        lex.expect_punct("=")
+        expr = _normalize_expr(parse_expr(lex))
+        lex.expect_punct(";")
+        return SAssign(ref, expr)

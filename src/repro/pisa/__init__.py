@@ -1,0 +1,26 @@
+"""The PISA baseline: a bmv2-like behavioral switch.
+
+PISA's architectural constraints -- the ones IPSA removes -- are
+modeled faithfully:
+
+* a monolithic front-end parser extracts *every* header up front;
+* the match-action pipeline is fixed at design time; any change means
+  a full recompile of the whole program;
+* loading swaps the entire configuration and **repopulates every
+  table**, not just the new ones;
+* an explicit deparser reserializes at egress.
+"""
+
+from repro.pisa.deparser import Deparser
+from repro.pisa.parser import FrontEndParser
+from repro.pisa.pipeline import FixedPipeline, PisaStage
+from repro.pisa.switch import PisaSwitch, ReloadStats
+
+__all__ = [
+    "Deparser",
+    "FixedPipeline",
+    "FrontEndParser",
+    "PisaStage",
+    "PisaSwitch",
+    "ReloadStats",
+]

@@ -1,0 +1,32 @@
+"""The PISA egress deparser.
+
+IPSA needs none ("the complete packet headers are maintained
+throughout the pipeline"); PISA reserializes explicitly.  The
+behavioral deparser is thin, but it exists as a distinct component so
+the hardware model can charge resources to it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.packet import Packet
+
+
+@dataclass
+class DeparserStats:
+    packets: int = 0
+    bytes_emitted: int = 0
+
+
+class Deparser:
+    """Reserialize the parsed representation onto the wire."""
+
+    def __init__(self) -> None:
+        self.stats = DeparserStats()
+
+    def deparse(self, packet: Packet) -> bytes:
+        data = packet.emit()
+        self.stats.packets += 1
+        self.stats.bytes_emitted += len(data)
+        return data

@@ -1,0 +1,55 @@
+"""The PISA front-end parser (paper Sec. 2.1's foil).
+
+One standalone parser extracts the complete header stack before any
+match-action stage runs.  Because it is generated from the program's
+parse graph at compile time, adding a protocol (SRv6's SRH) requires
+a full recompile -- there is no runtime ``link_header`` here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.net.headers import FieldDef, HeaderType
+from repro.net.linkage import HeaderLinkageTable
+from repro.net.packet import Packet
+from repro.p4.hlir import Hlir
+
+
+@dataclass
+class ParserStats:
+    packets: int = 0
+    headers_extracted: int = 0
+
+
+class FrontEndParser:
+    """Compile-time-fixed full-stack parser."""
+
+    def __init__(self, hlir: Hlir) -> None:
+        self.header_types: Dict[str, HeaderType] = {}
+        for instance, fields in hlir.headers.items():
+            self.header_types[instance] = HeaderType(
+                instance, [FieldDef(n, w) for n, w in fields]
+            )
+        self.linkage = HeaderLinkageTable()
+        selectors: Dict[str, str] = {}
+        for edge in hlir.parse_edges:
+            if edge.tag < 0:
+                continue
+            selectors.setdefault(edge.instance, edge.selector)
+        for instance, selector in selectors.items():
+            self.linkage.set_selector(instance, selector)
+        for edge in hlir.parse_edges:
+            if edge.tag < 0:
+                continue
+            self.linkage.add_link(edge.instance, edge.next_instance, edge.tag)
+        self.first_header = hlir.first_header or "ethernet"
+        self.stats = ParserStats()
+
+    def parse(self, packet: Packet) -> int:
+        """Extract the full reachable header stack (no JIT here)."""
+        self.stats.packets += 1
+        extracted = packet.parse_all(self.header_types, self.linkage)
+        self.stats.headers_extracted += extracted
+        return extracted

@@ -1,0 +1,126 @@
+"""The fixed PISA match-action pipeline.
+
+Execution interprets the compiled control flow; placement packs the
+program's tables into the fixed number of physical stages (the PISA
+back-end compiler's job).  Unlike IPSA there is no elastic boundary:
+ingress and egress stage budgets are silicon properties, and a design
+that needs more stages than the chip has simply fails to fit (one of
+the two drawbacks Sec. 2.3 lists).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.compiler.dependency import analyze_dependencies
+from repro.compiler.lowering import eval_predicate
+from repro.compiler.merge import MergeMode, plan_merge
+from repro.compiler.rp4fc import rp4fc
+from repro.lang.expr import SApply, SIf, Stmt
+from repro.net.packet import Packet
+from repro.p4.hlir import Hlir
+from repro.tables.actions import ActionDef
+from repro.tables.table import Table
+
+
+class FitError(Exception):
+    """The design needs more physical stages than the chip has."""
+
+
+@dataclass
+class PisaStage:
+    """One physical stage and the tables packed into it."""
+
+    index: int
+    side: str
+    tables: List[str] = field(default_factory=list)
+
+
+@dataclass
+class PipelineStats:
+    packets: int = 0
+    lookups: int = 0
+    actions_run: int = 0
+
+
+class FixedPipeline:
+    """Interprets the ingress/egress flows against packed stages."""
+
+    def __init__(
+        self,
+        hlir: Hlir,
+        tables: Dict[str, Table],
+        actions: Dict[str, ActionDef],
+        n_stages: Optional[int] = None,
+    ) -> None:
+        self.hlir = hlir
+        self.tables = tables
+        self.actions = actions
+        self.stats = PipelineStats()
+        self.stages = self._place(n_stages)
+        #: Set by the owning switch so stateful externs can resolve.
+        self.device = None
+
+    # -- placement --------------------------------------------------------
+
+    def _place(self, n_stages: Optional[int]) -> List[PisaStage]:
+        """Pack tables into physical stages via the same dependency
+        machinery the rP4 flow uses (a stand-in for the proprietary
+        PISA back-end compiler)."""
+        program = rp4fc(self.hlir).program
+        ingress = list(program.ingress_stages)
+        egress = list(program.egress_stages)
+        deps = analyze_dependencies(program, ingress + egress)
+        plan = plan_merge(ingress, egress, deps, mode=MergeMode.FULL)
+        if n_stages is not None and plan.tsp_count > n_stages:
+            raise FitError(
+                f"design needs {plan.tsp_count} stages but the chip has "
+                f"{n_stages} (PISA cannot elastically rebalance)"
+            )
+        stages = []
+        for index, (side, group) in enumerate(plan.all_groups()):
+            stages.append(PisaStage(index=index, side=side, tables=group))
+        return stages
+
+    def stage_count(self, side: Optional[str] = None) -> int:
+        if side is None:
+            return len(self.stages)
+        return sum(1 for s in self.stages if s.side == side)
+
+    # -- execution -----------------------------------------------------------
+
+    def run_ingress(self, packet: Packet) -> None:
+        self.stats.packets += 1
+        self._run(self.hlir.ingress_flow, packet)
+
+    def run_egress(self, packet: Packet) -> None:
+        self._run(self.hlir.egress_flow, packet)
+
+    def _run(self, flow: List[Stmt], packet: Packet) -> None:
+        for stmt in flow:
+            if packet.metadata.get("drop"):
+                return
+            if isinstance(stmt, SApply):
+                self._apply(stmt.table, packet)
+            elif isinstance(stmt, SIf):
+                if eval_predicate(stmt.cond, packet):
+                    self._run(stmt.then_body, packet)
+                else:
+                    self._run(stmt.else_body, packet)
+            else:
+                raise TypeError(f"unsupported flow statement {stmt!r}")
+
+    def _apply(self, table_name: str, packet: Packet) -> None:
+        table = self.tables[table_name]
+        result = table.lookup(packet)
+        self.stats.lookups += 1
+        action = self.actions.get(result.action)
+        if action is None:
+            raise KeyError(
+                f"table {table_name!r} selected unknown action {result.action!r}"
+            )
+        action.execute(
+            packet, result.action_data, entry=result.entry, device=self.device,
+        )
+        self.stats.actions_run += 1

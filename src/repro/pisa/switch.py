@@ -1,0 +1,155 @@
+"""PisaSwitch: the bmv2-analog baseline device.
+
+The crucial contrast with :class:`repro.ipsa.switch.IpsaSwitch` is
+:meth:`reload`: PISA cannot patch a running pipeline, so *any* change
+-- even one new table -- swaps the entire configuration and
+repopulates **every** table.  Table 1's loading-time gap comes from
+exactly this difference.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from repro.compiler.lowering import builtin_actions, lower_action, lower_table
+from repro.net.packet import Packet
+from repro.p4.hlir import Hlir, build_hlir
+from repro.p4.parser import parse_p4
+from repro.pisa.deparser import Deparser
+from repro.pisa.parser import FrontEndParser
+from repro.pisa.pipeline import FixedPipeline
+from repro.tables.meters import MeterBank
+from repro.tables.registers import ExternStore
+from repro.tables.table import Table, TableEntry
+
+
+@dataclass
+class ReloadStats:
+    """Cost of a full configuration swap."""
+
+    tables_repopulated: int = 0
+    entries_repopulated: int = 0
+    seconds: float = 0.0
+
+
+@dataclass
+class PortOut:
+    port: int
+    data: bytes
+    to_cpu: bool = False
+
+
+class PisaSwitch:
+    """A PISA behavioral switch configured from HLIR."""
+
+    def __init__(self, n_stages: Optional[int] = None) -> None:
+        self.n_stages = n_stages
+        self.parser: Optional[FrontEndParser] = None
+        self.pipeline: Optional[FixedPipeline] = None
+        self.deparser = Deparser()
+        self.tables: Dict[str, Table] = {}
+        self.actions = builtin_actions()
+        self.metadata_defaults: Dict[str, int] = {}
+        self.packets_in = 0
+        self.packets_out = 0
+        self.packets_dropped = 0
+        self.punted = 0
+        self.externs = ExternStore()
+        self.meters = MeterBank()
+        self.clock = 0
+
+    # -- configuration ----------------------------------------------------
+
+    def load(self, program: Union[str, Hlir]) -> None:
+        """Full (re)load from P4 source or HLIR. Drops every table."""
+        hlir = build_hlir(parse_p4(program)) if isinstance(program, str) else program
+        self.parser = FrontEndParser(hlir)
+        self.actions = builtin_actions()
+        for name, action in hlir.actions.items():
+            self.actions[name] = lower_action(action)
+        self.tables = {}
+        for name, table in hlir.tables.items():
+            self.tables[name] = lower_table(
+                name,
+                list(table.keys),
+                table.size,
+                default_action=table.default_action,
+            )
+        self.metadata_defaults = {name: 0 for name, _ in hlir.metadata}
+        self.pipeline = FixedPipeline(
+            hlir, self.tables, self.actions, n_stages=self.n_stages
+        )
+        self.pipeline.device = self
+
+    def reload(
+        self,
+        program: Union[str, Hlir],
+        entries: Dict[str, List[TableEntry]],
+    ) -> ReloadStats:
+        """Swap the whole design in and repopulate every table.
+
+        ``entries`` is the controller's shadow copy of the desired
+        table state -- PISA loses all entries on reload, so they must
+        all be pushed again (the paper: "the P4 design flow also needs
+        to populate all the tables after loading the design").
+        """
+        stats = ReloadStats()
+        started = time.perf_counter()
+        self.load(program)
+        for table_name, rows in entries.items():
+            table = self.tables.get(table_name)
+            if table is None:
+                continue
+            for entry in rows:
+                table.add_entry(
+                    TableEntry(
+                        key=entry.key,
+                        action=entry.action,
+                        action_data=dict(entry.action_data),
+                        tag=entry.tag,
+                        priority=entry.priority,
+                    )
+                )
+                stats.entries_repopulated += 1
+            stats.tables_repopulated += 1
+        stats.seconds = time.perf_counter() - started
+        return stats
+
+    # -- traffic --------------------------------------------------------------
+
+    def inject(self, data: bytes, port: int = 0) -> Optional[PortOut]:
+        if self.parser is None or self.pipeline is None:
+            raise RuntimeError("switch has no design loaded")
+        self.packets_in += 1
+        self.clock += 1
+        packet = Packet(
+            data, first_header=self.parser.first_header, ingress_port=port
+        )
+        for name, value in self.metadata_defaults.items():
+            packet.metadata.setdefault(name, value)
+        self.parser.parse(packet)
+        self.pipeline.run_ingress(packet)
+        if packet.metadata.get("drop"):
+            self.packets_dropped += 1
+            return None
+        self.pipeline.run_egress(packet)
+        if packet.metadata.get("drop"):
+            self.packets_dropped += 1
+            return None
+        self.packets_out += 1
+        out = PortOut(
+            port=int(packet.metadata.get("egress_spec", 0)),  # type: ignore[arg-type]
+            data=self.deparser.deparse(packet),
+            to_cpu=bool(packet.metadata.get("to_cpu")),
+        )
+        if out.to_cpu:
+            self.punted += 1
+        return out
+
+    def table(self, name: str) -> Table:
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise KeyError(f"switch has no table {name!r}") from None

@@ -1,0 +1,71 @@
+"""The paper's programs: the L2/L3 base design and the three use cases.
+
+Each module exposes the program source text (P4 and/or rP4), the
+controller load script (Fig. 5(b)/(c)), and helpers that populate the
+tables with a small reference topology so examples, tests, and benches
+share one configuration.
+"""
+
+from repro.programs.acl import acl_load_script, acl_rp4_source, populate_acl_tables
+from repro.programs.base_l2l3 import (
+    BASE_STAGE_LETTERS,
+    base_p4_source,
+    base_rp4_source,
+    populate_base_tables,
+)
+from repro.programs.ecmp import ecmp_load_script, ecmp_rp4_source, populate_ecmp_tables
+from repro.programs.flowprobe import (
+    flowprobe_load_script,
+    flowprobe_rp4_source,
+    populate_flowprobe_tables,
+)
+from repro.programs.hhsketch import (
+    hhsketch_load_script,
+    hhsketch_rp4_source,
+    populate_hhsketch_tables,
+)
+from repro.programs.int_telemetry import (
+    int_load_script,
+    int_rp4_source,
+    populate_int_tables,
+)
+from repro.programs.qos import (
+    configure_meters,
+    populate_qos_tables,
+    qos_load_script,
+    qos_rp4_source,
+)
+from repro.programs.srv6 import (
+    populate_srv6_tables,
+    srv6_load_script,
+    srv6_rp4_source,
+)
+
+__all__ = [
+    "BASE_STAGE_LETTERS",
+    "acl_load_script",
+    "acl_rp4_source",
+    "populate_acl_tables",
+    "base_p4_source",
+    "base_rp4_source",
+    "ecmp_load_script",
+    "ecmp_rp4_source",
+    "flowprobe_load_script",
+    "flowprobe_rp4_source",
+    "hhsketch_load_script",
+    "hhsketch_rp4_source",
+    "int_load_script",
+    "int_rp4_source",
+    "populate_hhsketch_tables",
+    "populate_int_tables",
+    "populate_base_tables",
+    "populate_ecmp_tables",
+    "populate_flowprobe_tables",
+    "populate_qos_tables",
+    "populate_srv6_tables",
+    "qos_load_script",
+    "qos_rp4_source",
+    "configure_meters",
+    "srv6_load_script",
+    "srv6_rp4_source",
+]

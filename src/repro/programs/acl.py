@@ -1,0 +1,99 @@
+"""Use case C6 (extension): a runtime-loadable ACL.
+
+The paper's flow-probe story ends with "the controller may apply some
+ACL or QoS rules to the flow" -- this is that ACL, loaded in service.
+Its ternary table is the only consumer of **TCAM** blocks in the
+repository, so this use case exercises the memory pool's second block
+kind end to end: ternary allocation, priority matching, and recycling
+on offload.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.net.addresses import parse_ipv4, parse_prefix
+from repro.tables.table import Table, TableEntry
+
+_ACL_RP4 = """
+// rP4 code for the runtime ACL function (extension use case).
+table acl {
+    key = {
+        ipv4.src_addr: ternary;
+        ipv4.dst_addr: ternary;
+        ipv4.protocol: ternary;
+    }
+    size = 512;
+}
+
+action acl_deny() {
+    drop();
+}
+action acl_punt() {
+    mark_to_cpu();
+}
+
+stage acl {
+    parser { ipv4 };
+    matcher {
+        if (ipv4.isValid()) acl.apply();
+        else;
+    };
+    executor {
+        1: acl_deny;
+        2: acl_punt;
+        default: NoAction;
+    }
+}
+
+user_funcs {
+    func acl { acl }
+}
+"""
+
+_ACL_SCRIPT = """
+load acl.rp4 --func_name acl
+add_link port_map acl
+del_link port_map bridge_vrf
+add_link acl bridge_vrf
+"""
+
+
+def acl_rp4_source() -> str:
+    """The rP4 snippet for the ACL function."""
+    return _ACL_RP4
+
+
+def acl_load_script() -> str:
+    """Insert the ACL right after port mapping (first-match security)."""
+    return _ACL_SCRIPT
+
+
+def _mask_of(prefix: str) -> Tuple[int, int]:
+    value, plen = parse_prefix(prefix)
+    mask = 0 if plen == 0 else (~0 << (32 - plen)) & 0xFFFFFFFF
+    return value & mask, mask
+
+
+#: (src prefix, dst prefix, proto or None, action, priority)
+DEFAULT_RULES: List[tuple] = [
+    ("10.1.0.66/32", "0.0.0.0/0", None, "acl_deny", 100),
+    ("10.1.0.0/16", "10.2.0.99/32", 17, "acl_punt", 50),
+]
+
+
+def populate_acl_tables(
+    tables: Dict[str, Table], rules: "List[tuple] | None" = None
+) -> None:
+    """Install ACL rules (highest priority wins, as in TCAM)."""
+    tag_of = {"acl_deny": 1, "acl_punt": 2}
+    for src, dst, proto, action, priority in rules or DEFAULT_RULES:
+        proto_key = (proto, 0xFF) if proto is not None else (0, 0)
+        tables["acl"].add_entry(
+            TableEntry(
+                key=(_mask_of(src), _mask_of(dst), proto_key),
+                action=action,
+                tag=tag_of[action],
+                priority=priority,
+            )
+        )

@@ -1,0 +1,712 @@
+"""The L2/L3 forwarding base design (paper Sec. 4.2, Fig. 4).
+
+Ten logical stages lettered A..J:
+
+== =================  =========================================================
+A  port_map           interface index via the port mapping table
+B  bridge_vrf         bind bridge domain (BD) and VRF
+C  l2_l3              determine L2 or L3 forwarding (router-MAC check per BD)
+D  ipv4_lpm           IPv4 FIB, longest prefix match
+E  ipv6_lpm           IPv6 FIB, longest prefix match
+F  ipv4_host          IPv4 FIB, host routes
+G  ipv6_host          IPv6 FIB, host routes
+H  nexthop            bind egress BD and set DMAC via the nexthop table
+I  l2_l3_rewrite      process the IPv4/v6 header and set SMAC
+J  dmac               retrieve the egress interface via the DMAC table
+== =================  =========================================================
+
+rp4bc maps these onto seven TSPs: D+E and F+G merge (mutually
+exclusive ipv4/ipv6 predicates) and the independent egress pair I+J
+shares a TSP.
+
+The module provides the design in both languages -- P4 for the
+PISA/bmv2 flow, rP4 for the IPSA/ipbm flow -- plus a reference table
+population shared by examples, tests, and benches.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.net.addresses import parse_ipv4, parse_ipv6, parse_mac
+from repro.tables.table import Table, TableEntry
+
+#: Fig. 4 stage letters -> stage names.
+BASE_STAGE_LETTERS: Dict[str, str] = {
+    "A": "port_map",
+    "B": "bridge_vrf",
+    "C": "l2_l3",
+    "D": "ipv4_lpm",
+    "E": "ipv6_lpm",
+    "F": "ipv4_host",
+    "G": "ipv6_host",
+    "H": "nexthop",
+    "I": "l2_l3_rewrite",
+    "J": "dmac",
+}
+
+_RP4_SOURCE = """
+// rP4 base design: simple L2/L3 forwarding (paper Fig. 4, stages A-J).
+headers {
+    header ethernet {
+        bit<48> dst_addr;
+        bit<48> src_addr;
+        bit<16> ethertype;
+        implicit parser(ethertype) {
+            0x0800: ipv4;
+            0x86DD: ipv6;
+        }
+    }
+    header ipv4 {
+        bit<4> version;
+        bit<4> ihl;
+        bit<6> dscp;
+        bit<2> ecn;
+        bit<16> total_len;
+        bit<16> identification;
+        bit<3> flags;
+        bit<13> frag_offset;
+        bit<8> ttl;
+        bit<8> protocol;
+        bit<16> hdr_checksum;
+        bit<32> src_addr;
+        bit<32> dst_addr;
+        implicit parser(protocol) {
+            6: tcp;
+            17: udp;
+        }
+    }
+    header ipv6 {
+        bit<4> version;
+        bit<8> traffic_class;
+        bit<20> flow_label;
+        bit<16> payload_len;
+        bit<8> next_hdr;
+        bit<8> hop_limit;
+        bit<128> src_addr;
+        bit<128> dst_addr;
+        implicit parser(next_hdr) {
+            6: tcp;
+            17: udp;
+        }
+    }
+    header tcp {
+        bit<16> src_port;
+        bit<16> dst_port;
+        bit<32> seq_no;
+        bit<32> ack_no;
+        bit<4> data_offset;
+        bit<4> reserved;
+        bit<8> flags;
+        bit<16> window;
+        bit<16> checksum;
+        bit<16> urgent_ptr;
+    }
+    header udp {
+        bit<16> src_port;
+        bit<16> dst_port;
+        bit<16> length;
+        bit<16> checksum;
+    }
+}
+
+structs {
+    struct metadata {
+        bit<16> intf;
+        bit<16> bd;
+        bit<16> vrf;
+        bit<16> nexthop;
+        bit<1> l3_fwd;
+    } meta;
+}
+
+action set_intf(bit<16> intf) {
+    meta.intf = intf;
+}
+action set_bd_vrf(bit<16> bd, bit<16> vrf) {
+    meta.bd = bd;
+    meta.vrf = vrf;
+}
+action set_l3() {
+    meta.l3_fwd = 1;
+}
+action set_nexthop(bit<16> nexthop) {
+    meta.nexthop = nexthop;
+}
+action set_bd_dmac(bit<16> bd, bit<48> dmac) {
+    meta.bd = bd;
+    ethernet.dst_addr = dmac;
+}
+action rewrite_smac(bit<48> smac) {
+    ethernet.src_addr = smac;
+    decrement_ttl();
+}
+action set_egress_port(bit<16> port) {
+    meta.egress_spec = port;
+}
+
+table port_map {
+    key = { meta.ingress_port: exact; }
+    size = 64;
+}
+table bridge_vrf {
+    key = { meta.intf: exact; }
+    size = 256;
+}
+table l2_l3 {
+    key = {
+        meta.bd: exact;
+        ethernet.dst_addr: exact;
+    }
+    size = 1024;
+}
+table ipv4_lpm {
+    key = {
+        meta.vrf: exact;
+        ipv4.dst_addr: lpm;
+    }
+    size = 4096;
+}
+table ipv6_lpm {
+    key = {
+        meta.vrf: exact;
+        ipv6.dst_addr: lpm;
+    }
+    size = 2048;
+}
+table ipv4_host {
+    key = {
+        meta.vrf: exact;
+        ipv4.dst_addr: exact;
+    }
+    size = 8192;
+}
+table ipv6_host {
+    key = {
+        meta.vrf: exact;
+        ipv6.dst_addr: exact;
+    }
+    size = 4096;
+}
+table nexthop {
+    key = { meta.nexthop: exact; }
+    size = 4096;
+}
+table smac_rewrite {
+    key = { meta.bd: exact; }
+    size = 256;
+}
+table dmac {
+    key = {
+        meta.bd: exact;
+        ethernet.dst_addr: exact;
+    }
+    size = 8192;
+}
+
+control rP4_Ingress {
+    stage port_map {
+        parser { ethernet };
+        matcher { port_map.apply(); };
+        executor {
+            1: set_intf;
+            default: drop;
+        }
+    }
+    stage bridge_vrf {
+        parser { ethernet };
+        matcher { bridge_vrf.apply(); };
+        executor {
+            1: set_bd_vrf;
+            default: drop;
+        }
+    }
+    stage l2_l3 {
+        parser { ethernet };
+        matcher { l2_l3.apply(); };
+        executor {
+            1: set_l3;
+            default: NoAction;
+        }
+    }
+    stage ipv4_lpm {
+        parser { ipv4 };
+        matcher {
+            if (ipv4.isValid() && meta.l3_fwd == 1) ipv4_lpm.apply();
+            else;
+        };
+        executor {
+            1: set_nexthop;
+            default: NoAction;
+        }
+    }
+    stage ipv6_lpm {
+        parser { ipv6 };
+        matcher {
+            if (ipv6.isValid() && meta.l3_fwd == 1) ipv6_lpm.apply();
+            else;
+        };
+        executor {
+            1: set_nexthop;
+            default: NoAction;
+        }
+    }
+    stage ipv4_host {
+        parser { ipv4 };
+        matcher {
+            if (ipv4.isValid() && meta.l3_fwd == 1) ipv4_host.apply();
+            else;
+        };
+        executor {
+            1: set_nexthop;
+            default: NoAction;
+        }
+    }
+    stage ipv6_host {
+        parser { ipv6 };
+        matcher {
+            if (ipv6.isValid() && meta.l3_fwd == 1) ipv6_host.apply();
+            else;
+        };
+        executor {
+            1: set_nexthop;
+            default: NoAction;
+        }
+    }
+    stage nexthop {
+        parser { ethernet };
+        matcher {
+            if (meta.l3_fwd == 1) nexthop.apply();
+            else;
+        };
+        executor {
+            1: set_bd_dmac;
+            default: drop;
+        }
+    }
+}
+
+control rP4_Egress {
+    stage l2_l3_rewrite {
+        parser { ipv4, ipv6 };
+        matcher {
+            if (meta.l3_fwd == 1) smac_rewrite.apply();
+            else;
+        };
+        executor {
+            1: rewrite_smac;
+            default: NoAction;
+        }
+    }
+    stage dmac {
+        parser { ethernet };
+        matcher { dmac.apply(); };
+        executor {
+            1: set_egress_port;
+            default: drop;
+        }
+    }
+}
+
+user_funcs {
+    func l2l3_fwd {
+        port_map bridge_vrf l2_l3 ipv4_lpm ipv6_lpm
+        ipv4_host ipv6_host nexthop
+    }
+    func rewrite { l2_l3_rewrite dmac }
+    ingress_entry: port_map;
+    egress_entry: l2_l3_rewrite;
+}
+"""
+
+_P4_SOURCE = """
+// Mini-P4 base design: the same L2/L3 forwarding pipeline for the
+// PISA/bmv2 flow.
+header ethernet_t {
+    bit<48> dst_addr;
+    bit<48> src_addr;
+    bit<16> ethertype;
+}
+header ipv4_t {
+    bit<4> version;
+    bit<4> ihl;
+    bit<6> dscp;
+    bit<2> ecn;
+    bit<16> total_len;
+    bit<16> identification;
+    bit<3> flags;
+    bit<13> frag_offset;
+    bit<8> ttl;
+    bit<8> protocol;
+    bit<16> hdr_checksum;
+    bit<32> src_addr;
+    bit<32> dst_addr;
+}
+header ipv6_t {
+    bit<4> version;
+    bit<8> traffic_class;
+    bit<20> flow_label;
+    bit<16> payload_len;
+    bit<8> next_hdr;
+    bit<8> hop_limit;
+    bit<128> src_addr;
+    bit<128> dst_addr;
+}
+header tcp_t {
+    bit<16> src_port;
+    bit<16> dst_port;
+    bit<32> seq_no;
+    bit<32> ack_no;
+    bit<4> data_offset;
+    bit<4> reserved;
+    bit<8> flags;
+    bit<16> window;
+    bit<16> checksum;
+    bit<16> urgent_ptr;
+}
+header udp_t {
+    bit<16> src_port;
+    bit<16> dst_port;
+    bit<16> length;
+    bit<16> checksum;
+}
+//@SLOT:extra_header_types
+
+struct headers {
+    ethernet_t ethernet;
+    ipv4_t ipv4;
+    ipv6_t ipv6;
+    tcp_t tcp;
+    udp_t udp;
+    //@SLOT:extra_header_instances
+}
+struct metadata {
+    bit<16> intf;
+    bit<16> bd;
+    bit<16> vrf;
+    bit<16> nexthop;
+    bit<1> l3_fwd;
+    //@SLOT:extra_metadata
+}
+
+parser MyParser(packet_in pkt, out headers hdr, inout metadata meta) {
+    state start {
+        transition parse_ethernet;
+    }
+    state parse_ethernet {
+        pkt.extract(hdr.ethernet);
+        transition select(hdr.ethernet.ethertype) {
+            0x0800: parse_ipv4;
+            0x86DD: parse_ipv6;
+            default: accept;
+        }
+    }
+    state parse_ipv4 {
+        pkt.extract(hdr.ipv4);
+        transition select(hdr.ipv4.protocol) {
+            6: parse_tcp;
+            17: parse_udp;
+            default: accept;
+        }
+    }
+    state parse_ipv6 {
+        pkt.extract(hdr.ipv6);
+        transition select(hdr.ipv6.next_hdr) {
+            6: parse_tcp;
+            17: parse_udp;
+            //@SLOT:ipv6_select_rows
+            default: accept;
+        }
+    }
+    //@SLOT:extra_parser_states
+    state parse_tcp {
+        pkt.extract(hdr.tcp);
+        transition accept;
+    }
+    state parse_udp {
+        pkt.extract(hdr.udp);
+        transition accept;
+    }
+}
+
+control MyIngress(inout headers hdr, inout metadata meta) {
+    action set_intf(bit<16> intf) {
+        meta.intf = intf;
+    }
+    action set_bd_vrf(bit<16> bd, bit<16> vrf) {
+        meta.bd = bd;
+        meta.vrf = vrf;
+    }
+    action set_l3() {
+        meta.l3_fwd = 1;
+    }
+    action set_nexthop(bit<16> nexthop) {
+        meta.nexthop = nexthop;
+    }
+    action set_bd_dmac(bit<16> bd, bit<48> dmac) {
+        meta.bd = bd;
+        hdr.ethernet.dst_addr = dmac;
+    }
+    table port_map {
+        key = { standard_metadata.ingress_port: exact; }
+        actions = { set_intf; drop; }
+        size = 64;
+        default_action = drop;
+    }
+    table bridge_vrf {
+        key = { meta.intf: exact; }
+        actions = { set_bd_vrf; drop; }
+        size = 256;
+        default_action = drop;
+    }
+    table l2_l3 {
+        key = {
+            meta.bd: exact;
+            hdr.ethernet.dst_addr: exact;
+        }
+        actions = { set_l3; NoAction; }
+        size = 1024;
+    }
+    table ipv4_lpm {
+        key = {
+            meta.vrf: exact;
+            hdr.ipv4.dst_addr: lpm;
+        }
+        actions = { set_nexthop; NoAction; }
+        size = 4096;
+    }
+    table ipv6_lpm {
+        key = {
+            meta.vrf: exact;
+            hdr.ipv6.dst_addr: lpm;
+        }
+        actions = { set_nexthop; NoAction; }
+        size = 2048;
+    }
+    table ipv4_host {
+        key = {
+            meta.vrf: exact;
+            hdr.ipv4.dst_addr: exact;
+        }
+        actions = { set_nexthop; NoAction; }
+        size = 8192;
+    }
+    table ipv6_host {
+        key = {
+            meta.vrf: exact;
+            hdr.ipv6.dst_addr: exact;
+        }
+        actions = { set_nexthop; NoAction; }
+        size = 4096;
+    }
+    table nexthop {
+        key = { meta.nexthop: exact; }
+        actions = { set_bd_dmac; drop; }
+        size = 4096;
+        default_action = drop;
+    }
+    //@SLOT:extra_ingress_decls
+    apply {
+        port_map.apply();
+        bridge_vrf.apply();
+        l2_l3.apply();
+        //@SLOT:ingress_apply_after_l2l3
+        if (hdr.ipv4.isValid() && meta.l3_fwd == 1) {
+            ipv4_lpm.apply();
+            ipv4_host.apply();
+        } else if (hdr.ipv6.isValid() && meta.l3_fwd == 1) {
+            ipv6_lpm.apply();
+            ipv6_host.apply();
+        }
+        //@SLOT:ingress_apply_fib_post
+        if (meta.l3_fwd == 1) {
+            //@SLOT:ingress_nexthop
+        }
+    }
+}
+
+control MyEgress(inout headers hdr, inout metadata meta) {
+    action rewrite_smac(bit<48> smac) {
+        hdr.ethernet.src_addr = smac;
+        decrement_ttl();
+    }
+    action set_egress_port(bit<16> port) {
+        standard_metadata.egress_spec = port;
+    }
+    table smac_rewrite {
+        key = { meta.bd: exact; }
+        actions = { rewrite_smac; NoAction; }
+        size = 256;
+    }
+    table dmac {
+        key = {
+            meta.bd: exact;
+            hdr.ethernet.dst_addr: exact;
+        }
+        actions = { set_egress_port; drop; }
+        size = 8192;
+        default_action = drop;
+    }
+    apply {
+        if (meta.l3_fwd == 1) {
+            smac_rewrite.apply();
+        }
+        dmac.apply();
+    }
+}
+"""
+
+
+def base_rp4_source() -> str:
+    """The hand-written rP4 base design (also the rp4fc golden reference)."""
+    return _RP4_SOURCE
+
+
+#: Default slot fillers for the P4 template.  Use-case variants
+#: (see :mod:`repro.programs.p4_variants`) override slots to produce
+#: the *full updated* P4 program the PISA flow must recompile.
+_P4_DEFAULT_SLOTS: Dict[str, str] = {
+    "ingress_nexthop": "nexthop.apply();",
+}
+
+#: Slot names accepted by :func:`render_p4_source`.
+P4_SLOTS = (
+    "extra_header_types",
+    "extra_header_instances",
+    "extra_metadata",
+    "ipv6_select_rows",
+    "extra_parser_states",
+    "extra_ingress_decls",
+    "ingress_apply_after_l2l3",
+    "ingress_apply_fib_post",
+    "ingress_nexthop",
+)
+
+
+def render_p4_source(slots: "Dict[str, str] | None" = None) -> str:
+    """Fill the ``//@SLOT:`` markers of the P4 template.
+
+    Unspecified slots take their defaults (empty for most; the
+    ``ingress_nexthop`` slot defaults to ``nexthop.apply();``).
+    """
+    merged = dict(_P4_DEFAULT_SLOTS)
+    if slots:
+        unknown = set(slots) - set(P4_SLOTS)
+        if unknown:
+            raise KeyError(f"unknown P4 slots: {sorted(unknown)}")
+        merged.update(slots)
+    source = _P4_SOURCE
+    for name in P4_SLOTS:
+        source = source.replace(f"//@SLOT:{name}", merged.get(name, ""))
+    return source
+
+
+def base_p4_source() -> str:
+    """The same design in mini-P4 for the PISA/bmv2 flow."""
+    return render_p4_source()
+
+
+#: Reference topology constants shared by examples, tests, and benches.
+ROUTER_MAC = "02:00:00:00:00:fe"
+NEXTHOP_MACS = {
+    1: "02:00:00:01:00:aa",
+    2: "02:00:00:02:00:bb",
+    3: "02:00:00:03:00:cc",
+}
+BD_SMACS = {1: "02:00:00:00:01:01", 2: "02:00:00:00:02:02"}
+HOST_MACS = {1: "02:00:00:0a:00:01", 2: "02:00:00:0a:00:02"}
+
+
+def populate_base_tables(tables: Dict[str, Table]) -> None:
+    """Install the reference topology into base-design tables.
+
+    Four ports: 0-1 in BD 1, 2-3 in BD 2, everything in VRF 1.  IPv4
+    prefixes 10.1/16 and 10.2/16 plus a default route; IPv6 prefixes
+    2001:db8:1::/48 and 2001:db8:2::/48; host routes for the .1/::1
+    hosts.  Next hops 1..3 resolve to distinct DMACs and egress ports.
+    """
+    for port in range(4):
+        tables["port_map"].add_entry(
+            TableEntry(key=(port,), action="set_intf", action_data={"intf": port}, tag=1)
+        )
+    for intf in range(4):
+        bd = 1 if intf < 2 else 2
+        tables["bridge_vrf"].add_entry(
+            TableEntry(
+                key=(intf,),
+                action="set_bd_vrf",
+                action_data={"bd": bd, "vrf": 1},
+                tag=1,
+            )
+        )
+    router_mac = parse_mac(ROUTER_MAC)
+    for bd in (1, 2):
+        tables["l2_l3"].add_entry(
+            TableEntry(key=(bd, router_mac), action="set_l3", action_data={}, tag=1)
+        )
+
+    def nh(n):
+        return {"nexthop": n}
+
+    tables["ipv4_lpm"].add_entry(
+        TableEntry(key=(1, (parse_ipv4("10.1.0.0"), 16)), action="set_nexthop",
+                   action_data=nh(1), tag=1)
+    )
+    tables["ipv4_lpm"].add_entry(
+        TableEntry(key=(1, (parse_ipv4("10.2.0.0"), 16)), action="set_nexthop",
+                   action_data=nh(2), tag=1)
+    )
+    tables["ipv4_lpm"].add_entry(
+        TableEntry(key=(1, (0, 0)), action="set_nexthop", action_data=nh(3), tag=1)
+    )
+    tables["ipv4_host"].add_entry(
+        TableEntry(key=(1, parse_ipv4("10.1.0.1")), action="set_nexthop",
+                   action_data=nh(1), tag=1)
+    )
+    tables["ipv6_lpm"].add_entry(
+        TableEntry(key=(1, (parse_ipv6("2001:db8:1::"), 48)), action="set_nexthop",
+                   action_data=nh(1), tag=1)
+    )
+    tables["ipv6_lpm"].add_entry(
+        TableEntry(key=(1, (parse_ipv6("2001:db8:2::"), 48)), action="set_nexthop",
+                   action_data=nh(2), tag=1)
+    )
+    tables["ipv6_host"].add_entry(
+        TableEntry(key=(1, parse_ipv6("2001:db8:1::1")), action="set_nexthop",
+                   action_data=nh(1), tag=1)
+    )
+    for nh_id, mac in NEXTHOP_MACS.items():
+        egress_bd = 2 if nh_id != 3 else 1
+        tables["nexthop"].add_entry(
+            TableEntry(
+                key=(nh_id,),
+                action="set_bd_dmac",
+                action_data={"bd": egress_bd, "dmac": parse_mac(mac)},
+                tag=1,
+            )
+        )
+    for bd, smac in BD_SMACS.items():
+        tables["smac_rewrite"].add_entry(
+            TableEntry(
+                key=(bd,),
+                action="rewrite_smac",
+                action_data={"smac": parse_mac(smac)},
+                tag=1,
+            )
+        )
+    dmac_rows = [
+        (2, NEXTHOP_MACS[1], 2),
+        (2, NEXTHOP_MACS[2], 3),
+        (1, NEXTHOP_MACS[3], 1),
+        (1, HOST_MACS[1], 0),
+        (1, HOST_MACS[2], 1),
+    ]
+    for bd, mac, port in dmac_rows:
+        tables["dmac"].add_entry(
+            TableEntry(
+                key=(bd, parse_mac(mac)),
+                action="set_egress_port",
+                action_data={"port": port},
+                tag=1,
+            )
+        )

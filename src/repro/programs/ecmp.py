@@ -1,0 +1,116 @@
+"""Use case C1: Equal-Cost Multi-Path routing (paper Fig. 5(a)/(b)).
+
+ECMP takes effect after the FIB lookup: a member link is chosen from
+the next-hop and flow-ID hash.  One new stage hosts the two hash
+tables (``ecmp_ipv4`` and ``ecmp_ipv6`` are mutually exclusive, so a
+single TSP suffices -- "only one stage is needed for the function").
+The ECMP entries bind ``set_bd_dmac`` directly, so the function
+*covers and therefore replaces* the nexthop stage H.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.net.addresses import parse_mac
+from repro.tables.table import Table, TableEntry
+
+_ECMP_RP4 = """
+// rP4 code for the ECMP function (paper Fig. 5(a)).
+table ecmp_ipv4 {
+    key = {
+        meta.nexthop: hash;
+        ipv4.dst_addr: hash; // similar with P4's selector
+    }
+    size = 4096;
+}
+table ecmp_ipv6 {
+    key = {
+        meta.nexthop: hash;
+        ipv6.dst_addr: hash;
+    }
+    size = 4096;
+}
+// parse ipv4 or ipv6, match table
+stage ecmp { /* parser-matcher-executor */
+    parser { ipv4, ipv6 };
+    matcher {
+        if (ipv4.isValid()) ecmp_ipv4.apply();
+        else if (ipv6.isValid()) ecmp_ipv6.apply();
+        else;
+    };
+    executor {
+        1: set_bd_dmac;
+        default: NoAction;
+    }
+}
+// set egress bridge and dmac
+action set_bd_dmac(bit<16> bd, bit<48> dmac) {
+    meta.bd = bd;
+    ethernet.dst_addr = dmac;
+}
+
+user_funcs {
+    func ecmp { ecmp }
+}
+"""
+
+_ECMP_SCRIPT = """
+load ecmp.rp4 --func_name ecmp
+add_link ipv6_host ecmp
+del_link ipv6_host nexthop
+add_link ecmp l2_l3_rewrite
+del_link nexthop l2_l3_rewrite
+"""
+
+
+def ecmp_rp4_source() -> str:
+    """The rP4 snippet for the ECMP function."""
+    return _ECMP_RP4
+
+
+def ecmp_load_script() -> str:
+    """The rp4bc load script (paper Fig. 5(b), adapted to the base
+    design's stage names: the FIB host stages feed ECMP, which
+    replaces the nexthop stage)."""
+    return _ECMP_SCRIPT
+
+
+#: Four equal-cost members: (egress bd, dmac, egress port).
+ECMP_MEMBERS = [
+    (2, "02:00:00:01:00:aa", 2),
+    (2, "02:00:00:02:00:bb", 3),
+    (2, "02:00:00:04:00:dd", 2),
+    (2, "02:00:00:05:00:ee", 3),
+]
+
+
+def populate_ecmp_tables(tables: Dict[str, Table]) -> None:
+    """Install the ECMP members and the DMAC rows that resolve them.
+
+    Only the *new* tables (plus rows that resolve the new next hops)
+    need population -- the paper notes the rP4 flow repopulates new
+    tables only, unlike the P4 flow which must repopulate everything.
+    """
+    for table_name in ("ecmp_ipv4", "ecmp_ipv6"):
+        for bd, mac, _port in ECMP_MEMBERS:
+            tables[table_name].add_entry(
+                TableEntry(
+                    key=(),
+                    action="set_bd_dmac",
+                    action_data={"bd": bd, "dmac": parse_mac(mac)},
+                    tag=1,
+                )
+            )
+    for bd, mac, port in ECMP_MEMBERS:
+        entry = TableEntry(
+            key=(bd, parse_mac(mac)),
+            action="set_egress_port",
+            action_data={"port": port},
+            tag=1,
+        )
+        dmac = tables["dmac"]
+        # The first two members are already resolvable in the base design.
+        existing = {e.key for e in dmac.entries()}
+        if entry.key not in existing:
+            dmac.add_entry(entry)

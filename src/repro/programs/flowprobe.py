@@ -1,0 +1,83 @@
+"""Use case C3: event-triggered flow probe (paper Sec. 4.2).
+
+A runtime-installed probe counts packets of particular IPv4 flows
+({SIP, DIP} key).  Once a flow's counter exceeds its threshold the
+packets are marked (``meta.flow_marked``) for further processing,
+e.g. the controller applying ACL/QoS rules.  No new protocol header
+is involved -- only a new flow table and one stage.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.net.addresses import parse_ipv4
+from repro.tables.table import Table, TableEntry
+
+_FLOWPROBE_RP4 = """
+// rP4 code for the event-triggered flow probe.
+table flow_probe {
+    key = {
+        ipv4.src_addr: exact;
+        ipv4.dst_addr: exact;
+    }
+    size = 1024;
+}
+
+action probe_count(bit<32> threshold) {
+    count_and_mark(threshold, meta.flow_marked);
+}
+
+stage flow_probe {
+    parser { ipv4 };
+    matcher {
+        if (ipv4.isValid()) flow_probe.apply();
+        else;
+    };
+    executor {
+        1: probe_count;
+        default: NoAction;
+    }
+}
+
+user_funcs {
+    func flow_probe { flow_probe }
+}
+"""
+
+_FLOWPROBE_SCRIPT = """
+load flowprobe.rp4 --func_name flow_probe
+add_link l2_l3 flow_probe
+del_link l2_l3 ipv4_lpm
+add_link flow_probe ipv4_lpm
+"""
+
+
+def flowprobe_rp4_source() -> str:
+    """The rP4 snippet for the flow probe function."""
+    return _FLOWPROBE_RP4
+
+
+def flowprobe_load_script() -> str:
+    """The rp4bc load script inserting the probe after the L2/L3 stage."""
+    return _FLOWPROBE_SCRIPT
+
+
+#: (src, dst) -> threshold for the probed flows.
+PROBED_FLOWS: Dict[Tuple[str, str], int] = {
+    ("10.1.0.1", "10.2.0.1"): 5,
+    ("10.1.0.2", "10.2.0.2"): 100,
+}
+
+
+def populate_flowprobe_tables(tables: Dict[str, Table]) -> None:
+    """Install the probed flows with their thresholds."""
+    for (src, dst), threshold in PROBED_FLOWS.items():
+        tables["flow_probe"].add_entry(
+            TableEntry(
+                key=(parse_ipv4(src), parse_ipv4(dst)),
+                action="probe_count",
+                action_data={"threshold": threshold},
+                tag=1,
+            )
+        )

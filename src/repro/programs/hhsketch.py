@@ -1,0 +1,91 @@
+"""Use case C4 (extension): transitory heavy-hitter detection.
+
+Not one of the paper's three demos, but exactly the workload its
+introduction motivates: "*Transitory in-network computing* -- the
+pluggable functions are temporally enabled at runtime to boost
+application performance" and "*Dynamic network visibility* --
+temporary and customized telemetry ... too resource-consuming to keep
+permanent".  A count-min sketch is loaded at runtime; flows whose
+estimate exceeds a table-configured threshold are marked and punted
+metadata-first to the controller.  Offloading the function recycles
+both the filter table and the sketch state.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.tables.table import Table, TableEntry
+
+_HHSKETCH_RP4 = """
+// rP4 code for the heavy-hitter sketch function (extension use case).
+// Extends the base design's metadata struct (same struct name, so
+// the members union on merge).
+structs {
+    struct metadata {
+        bit<32> hh_count;
+    } meta;
+}
+
+table hh_filter {
+    key = { ipv4.protocol: ternary; }
+    size = 16;
+}
+
+action hh_update(bit<32> threshold) {
+    sketch_update(ipv4.src_addr, ipv4.dst_addr, meta.hh_count);
+    mark_above(meta.hh_count, threshold, meta.flow_marked);
+}
+
+stage hh_sketch {
+    parser { ipv4 };
+    matcher {
+        if (ipv4.isValid()) hh_filter.apply();
+        else;
+    };
+    executor {
+        1: hh_update;
+        default: NoAction;
+    }
+}
+
+user_funcs {
+    func hh_sketch { hh_sketch }
+}
+"""
+
+_HHSKETCH_SCRIPT = """
+load hhsketch.rp4 --func_name hh_sketch
+add_link l2_l3 hh_sketch
+del_link l2_l3 ipv4_lpm
+add_link hh_sketch ipv4_lpm
+"""
+
+
+def hhsketch_rp4_source() -> str:
+    """The rP4 snippet for the heavy-hitter sketch function."""
+    return _HHSKETCH_RP4
+
+
+def hhsketch_load_script() -> str:
+    """Insert the sketch stage after the L2/L3 decision."""
+    return _HHSKETCH_SCRIPT
+
+
+#: Default threshold installed by :func:`populate_hhsketch_tables`.
+DEFAULT_THRESHOLD = 50
+
+
+def populate_hhsketch_tables(
+    tables: Dict[str, Table], threshold: int = DEFAULT_THRESHOLD
+) -> None:
+    """Sketch every IPv4 protocol (wildcard filter row)."""
+    tables["hh_filter"].add_entry(
+        TableEntry(
+            key=((0, 0),),  # value/mask wildcard on ipv4.protocol
+            action="hh_update",
+            action_data={"threshold": threshold},
+            tag=1,
+            priority=1,
+        )
+    )

@@ -1,0 +1,102 @@
+"""Use case C5 (extension): in-band telemetry insertion (INT-style).
+
+The paper cites the INT dataplane spec among the telemetry workloads
+motivating runtime programmability.  This function, loaded in service,
+inserts a telemetry shim between Ethernet and L3 for selected flows --
+a brand-new header pushed onto live traffic, with its parse linkage
+(`link_header`) installed at runtime exactly like SRv6's SRH.  A
+downstream collector (or the paired ``int_strip`` function) restores
+the original EtherType from the shim.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.net.addresses import parse_ipv4
+from repro.tables.table import Table, TableEntry
+
+_INT_RP4 = """
+// rP4 code for the INT insertion function (extension use case).
+headers {
+    // Telemetry shim between Ethernet and L3 (INT-over-L2 flavor).
+    header int_shim {
+        bit<16> orig_ethertype;
+        bit<16> switch_id;
+        bit<32> hop_latency;
+        implicit parser(orig_ethertype) {
+            // restored linkage installed at runtime via link_header
+        }
+    }
+}
+
+table int_watch {
+    key = {
+        ipv4.src_addr: exact;
+        ipv4.dst_addr: exact;
+    }
+    size = 256;
+}
+
+action int_add(bit<16> switch_id, bit<32> hop_latency) {
+    push_int();
+    int_shim.switch_id = switch_id;
+    int_shim.hop_latency = hop_latency;
+}
+
+stage int_insert {
+    parser { ipv4 };
+    matcher {
+        if (ipv4.isValid()) int_watch.apply();
+        else;
+    };
+    executor {
+        1: int_add;
+        default: NoAction;
+    }
+}
+
+user_funcs {
+    func int_insert { int_insert }
+}
+"""
+
+_INT_SCRIPT = """
+load int.rp4 --func_name int_insert
+add_link l2_l3 int_insert
+del_link l2_l3 ipv4_lpm
+add_link int_insert ipv4_lpm
+link_header --pre int_shim --next ipv4 --tag 0x0800
+link_header --pre int_shim --next ipv6 --tag 0x86DD
+"""
+
+
+def int_rp4_source() -> str:
+    """The rP4 snippet for the INT insertion function."""
+    return _INT_RP4
+
+
+def int_load_script() -> str:
+    """Insert the INT stage after L2/L3 and restore the shim's linkage."""
+    return _INT_SCRIPT
+
+
+#: Flows to instrument: (src, dst) -> switch id reported.
+WATCHED_FLOWS: Dict[tuple, int] = {
+    ("10.1.0.1", "10.2.0.1"): 7,
+}
+
+
+def populate_int_tables(
+    tables: Dict[str, Table], hop_latency: int = 350
+) -> None:
+    """Instrument the watched flows."""
+    for (src, dst), switch_id in WATCHED_FLOWS.items():
+        tables["int_watch"].add_entry(
+            TableEntry(
+                key=(parse_ipv4(src), parse_ipv4(dst)),
+                action="int_add",
+                action_data={"switch_id": switch_id, "hop_latency": hop_latency},
+                tag=1,
+            )
+        )

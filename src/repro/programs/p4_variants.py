@@ -1,0 +1,173 @@
+"""Full updated P4 programs for the three use cases.
+
+The PISA/bmv2 design flow cannot patch a running pipeline: "each time
+the updated source code is compiled by p4c and a PISA-based back-end
+compiler, and the FPGA prototype is loaded with the updated design"
+(paper Sec. 4.3).  These functions return the *complete* P4 program
+with a use case folded in, which is what that flow must recompile and
+reload -- the denominators of Table 1.
+"""
+
+from __future__ import annotations
+
+from repro.programs.base_l2l3 import render_p4_source
+
+_ECMP_DECLS = """
+    table ecmp_ipv4 {
+        key = {
+            meta.nexthop: selector;
+            hdr.ipv4.dst_addr: selector;
+        }
+        actions = { set_bd_dmac; NoAction; }
+        size = 4096;
+    }
+    table ecmp_ipv6 {
+        key = {
+            meta.nexthop: selector;
+            hdr.ipv6.dst_addr: selector;
+        }
+        actions = { set_bd_dmac; NoAction; }
+        size = 4096;
+    }
+"""
+
+_ECMP_NEXTHOP = """
+            if (hdr.ipv4.isValid()) {
+                ecmp_ipv4.apply();
+            } else if (hdr.ipv6.isValid()) {
+                ecmp_ipv6.apply();
+            }
+"""
+
+
+def ecmp_p4_source() -> str:
+    """Base design with the ECMP tables replacing the nexthop stage."""
+    return render_p4_source(
+        {
+            "extra_ingress_decls": _ECMP_DECLS,
+            "ingress_nexthop": _ECMP_NEXTHOP.strip(),
+        }
+    )
+
+
+_SRV6_HEADER = """
+header srh_t {
+    bit<8> next_hdr;
+    bit<8> hdr_ext_len;
+    bit<8> routing_type;
+    bit<8> segments_left;
+    bit<8> last_entry;
+    bit<8> flags;
+    bit<16> tag;
+    bit<128> seg0;
+    bit<128> seg1;
+}
+"""
+
+_SRV6_INSTANCES = """
+    srh_t srh;
+    ipv6_t inner_ipv6;
+    ipv4_t inner_ipv4;
+"""
+
+_SRV6_SELECT_ROWS = """
+            43: parse_srh;
+"""
+
+_SRV6_PARSER_STATES = """
+    state parse_srh {
+        pkt.extract(hdr.srh);
+        transition select(hdr.srh.next_hdr) {
+            41: parse_inner_ipv6;
+            4: parse_inner_ipv4;
+            6: parse_tcp;
+            17: parse_udp;
+            default: accept;
+        }
+    }
+    state parse_inner_ipv6 {
+        pkt.extract(hdr.inner_ipv6);
+        transition accept;
+    }
+    state parse_inner_ipv4 {
+        pkt.extract(hdr.inner_ipv4);
+        transition accept;
+    }
+"""
+
+_SRV6_DECLS = """
+    action srv6_end_act() {
+        srv6_end();
+    }
+    action srv6_transit_act() {
+        srv6_transit();
+    }
+    table local_sid {
+        key = { hdr.ipv6.dst_addr: exact; }
+        actions = { srv6_end_act; NoAction; }
+        size = 1024;
+    }
+    table end_transit {
+        key = { hdr.ipv6.dst_addr: lpm; }
+        actions = { srv6_transit_act; NoAction; }
+        size = 1024;
+    }
+"""
+
+_SRV6_APPLY = """
+        if (hdr.srh.isValid()) {
+            local_sid.apply();
+        } else if (hdr.ipv6.isValid() && meta.l3_fwd == 1) {
+            end_transit.apply();
+        }
+"""
+
+
+def srv6_p4_source() -> str:
+    """Base design with SRH parsing and SR endpoint/transit tables."""
+    return render_p4_source(
+        {
+            "extra_header_types": _SRV6_HEADER,
+            "extra_header_instances": _SRV6_INSTANCES.strip(),
+            "ipv6_select_rows": _SRV6_SELECT_ROWS.strip(),
+            "extra_parser_states": _SRV6_PARSER_STATES,
+            "extra_ingress_decls": _SRV6_DECLS,
+            "ingress_apply_after_l2l3": _SRV6_APPLY.strip(),
+        }
+    )
+
+
+_PROBE_METADATA = """
+    bit<1> flow_marked;
+"""
+
+_PROBE_DECLS = """
+    action probe_count(bit<32> threshold) {
+        count_and_mark(threshold, meta.flow_marked);
+    }
+    table flow_probe {
+        key = {
+            hdr.ipv4.src_addr: exact;
+            hdr.ipv4.dst_addr: exact;
+        }
+        actions = { probe_count; NoAction; }
+        size = 1024;
+    }
+"""
+
+_PROBE_APPLY = """
+        if (hdr.ipv4.isValid()) {
+            flow_probe.apply();
+        }
+"""
+
+
+def flowprobe_p4_source() -> str:
+    """Base design with the event-triggered flow probe."""
+    return render_p4_source(
+        {
+            "extra_metadata": _PROBE_METADATA.strip(),
+            "extra_ingress_decls": _PROBE_DECLS,
+            "ingress_apply_after_l2l3": _PROBE_APPLY.strip(),
+        }
+    )

@@ -1,0 +1,97 @@
+"""Use case C7 (extension): runtime QoS policing.
+
+The paper's C3 narrative: once the flow probe marks a heavy flow,
+"the controller may apply some ACL or QoS rules to the flow".  The
+ACL half is :mod:`repro.programs.acl`; this is the QoS half -- a
+policer loaded at runtime that token-bucket-meters selected flows and
+drops the excess.  Meter parameters are configured out of band
+through the device's meter bank (rate/burst are controller state, not
+table entries, matching how real ASIC meters are provisioned).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.net.addresses import parse_ipv4
+from repro.tables.table import Table, TableEntry
+
+_QOS_RP4 = """
+// rP4 code for the runtime policer (extension use case).
+table qos_classifier {
+    key = {
+        ipv4.src_addr: exact;
+        ipv4.dst_addr: exact;
+    }
+    size = 256;
+}
+
+action qos_police() {
+    police(meta.drop); // red packets are dropped (single-rate policer)
+}
+action qos_mark() {
+    police(meta.flow_marked); // red packets only get marked
+}
+
+stage qos {
+    parser { ipv4 };
+    matcher {
+        if (ipv4.isValid()) qos_classifier.apply();
+        else;
+    };
+    executor {
+        1: qos_police;
+        2: qos_mark;
+        default: NoAction;
+    }
+}
+
+user_funcs {
+    func qos { qos }
+}
+"""
+
+_QOS_SCRIPT = """
+load qos.rp4 --func_name qos
+add_link l2_l3 qos
+del_link l2_l3 ipv4_lpm
+add_link qos ipv4_lpm
+"""
+
+
+def qos_rp4_source() -> str:
+    """The rP4 snippet for the policer function."""
+    return _QOS_RP4
+
+
+def qos_load_script() -> str:
+    """Insert the policer after the L2/L3 decision."""
+    return _QOS_SCRIPT
+
+
+#: Flows to police: (src, dst) -> "police" (drop red) or "mark".
+POLICED_FLOWS: Dict[tuple, str] = {
+    ("10.1.0.1", "10.2.0.1"): "police",
+    ("10.1.0.2", "10.2.0.2"): "mark",
+}
+
+_TAG = {"police": 1, "mark": 2}
+_ACTION = {"police": "qos_police", "mark": "qos_mark"}
+
+
+def populate_qos_tables(tables: Dict[str, Table]) -> None:
+    """Classify the policed flows."""
+    for (src, dst), mode in POLICED_FLOWS.items():
+        tables["qos_classifier"].add_entry(
+            TableEntry(
+                key=(parse_ipv4(src), parse_ipv4(dst)),
+                action=_ACTION[mode],
+                tag=_TAG[mode],
+            )
+        )
+
+
+def configure_meters(switch, rate: float = 0.5, burst: float = 4) -> None:
+    """Provision the policer's token buckets on a live device."""
+    switch.meters.configure("qos_police", rate, burst)
+    switch.meters.configure("qos_mark", rate, burst)

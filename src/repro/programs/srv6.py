@@ -1,0 +1,118 @@
+"""Use case C2: IPv6 Segment Routing (paper Fig. 5(c)).
+
+SRv6 defines a brand-new protocol header (the SRH), so the load
+script also links the header into the original header list at runtime
+with ``link_header`` commands -- the capability PISA fundamentally
+lacks.  Two tables serve SR processing: ``local_sid`` (endpoint /
+End behavior) and ``end_transit`` (transit nodes).  The linkage
+between routable and ipvx is reserved so plain L3 forwarding keeps
+working.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.net.addresses import parse_ipv6
+from repro.tables.table import Table, TableEntry
+
+_SRV6_RP4 = """
+// rP4 code for the SRv6 function: SRH header + endpoint/transit tables.
+headers {
+    // SRH with a bounded two-entry segment list (the usual P4 idiom
+    // for variable-length lists; the behavioral SRv6 workloads carry
+    // exactly two segments, hdr_ext_len = 4).
+    header srh {
+        bit<8> next_hdr;
+        bit<8> hdr_ext_len;
+        bit<8> routing_type;
+        bit<8> segments_left;
+        bit<8> last_entry;
+        bit<8> flags;
+        bit<16> tag;
+        bit<128> seg0;
+        bit<128> seg1;
+        implicit parser(next_hdr) {
+            // populated at runtime by link_header commands
+        }
+    }
+}
+
+table local_sid {
+    key = { ipv6.dst_addr: exact; }
+    size = 1024;
+}
+table end_transit {
+    key = { ipv6.dst_addr: lpm; }
+    size = 1024;
+}
+
+action srv6_end_act() {
+    srv6_end();
+}
+action srv6_transit_act() {
+    srv6_transit();
+}
+
+stage srv6 {
+    parser { ipv6, srh };
+    matcher {
+        if (srh.isValid()) local_sid.apply();
+        else if (ipv6.isValid()) end_transit.apply();
+        else;
+    };
+    executor {
+        1: srv6_end_act;
+        2: srv6_transit_act;
+        default: NoAction;
+    }
+}
+
+user_funcs {
+    func srv6 { srv6 }
+}
+"""
+
+_SRV6_SCRIPT = """
+load srv6.rp4 --func_name srv6
+add_link l2_l3 srv6
+del_link l2_l3 ipv4_lpm
+add_link srv6 ipv4_lpm
+link_header --pre ipv6 --next srh --tag 43
+link_header --pre srh --next inner_ipv6 --tag 41 // inner IPv6
+link_header --pre srh --next inner_ipv4 --tag 4 // inner IPv4
+"""
+
+
+def srv6_rp4_source() -> str:
+    """The rP4 snippet for the SRv6 function."""
+    return _SRV6_RP4
+
+
+def srv6_load_script() -> str:
+    """The rp4bc load script (paper Fig. 5(c)): stage topology change
+    plus the three runtime header links."""
+    return _SRV6_SCRIPT
+
+
+#: Local SIDs this node terminates (End behavior).
+LOCAL_SIDS = ["2001:db8:100::1", "2001:db8:100::2"]
+
+#: Prefixes treated as SR transit traffic.
+TRANSIT_PREFIXES = [("2001:db8::", 32)]
+
+
+def populate_srv6_tables(tables: Dict[str, Table]) -> None:
+    """Install the node's SIDs and the transit prefixes."""
+    for sid in LOCAL_SIDS:
+        tables["local_sid"].add_entry(
+            TableEntry(key=(parse_ipv6(sid),), action="srv6_end_act", tag=1)
+        )
+    for prefix, plen in TRANSIT_PREFIXES:
+        tables["end_transit"].add_entry(
+            TableEntry(
+                key=((parse_ipv6(prefix), plen),),
+                action="srv6_transit_act",
+                tag=2,
+            )
+        )

@@ -1,0 +1,156 @@
+"""Synthetic rP4 base designs of arbitrary size.
+
+Used by the scaling ablation: the full (P4-style) flow recompiles the
+whole program, so its compile time grows with base-design size; the
+incremental (rP4) flow compiles only the snippet, so its time stays
+flat.  ``synthetic_base(n)`` produces a valid chained design with
+``n`` dependent match-action stages.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+_HEADER_BLOCK = """
+headers {
+    header ethernet {
+        bit<48> dst_addr;
+        bit<48> src_addr;
+        bit<16> ethertype;
+        implicit parser(ethertype) {
+            0x0800: ipv4;
+        }
+    }
+    header ipv4 {
+        bit<4> version;
+        bit<4> ihl;
+        bit<8> tos;
+        bit<16> total_len;
+        bit<16> identification;
+        bit<16> frag;
+        bit<8> ttl;
+        bit<8> protocol;
+        bit<16> hdr_checksum;
+        bit<32> src_addr;
+        bit<32> dst_addr;
+    }
+}
+"""
+
+
+def synthetic_base(n_stages: int) -> str:
+    """A valid rP4 design with ``n_stages`` chained ingress stages.
+
+    Each stage's table keys on the previous stage's output metadata
+    field, so the stages form a dependency chain (no merging) and the
+    program's size scales linearly in ``n_stages``.
+    """
+    if n_stages < 1:
+        raise ValueError("n_stages must be >= 1")
+    parts: List[str] = [_HEADER_BLOCK]
+
+    members = "\n".join(
+        f"        bit<16> f{i};" for i in range(n_stages + 1)
+    )
+    parts.append(f"structs {{\n    struct metadata {{\n{members}\n    }} meta;\n}}")
+
+    for i in range(n_stages):
+        parts.append(
+            f"action set_f{i + 1}(bit<16> v) {{\n    meta.f{i + 1} = v;\n}}"
+        )
+        parts.append(
+            f"table t{i} {{\n"
+            f"    key = {{ meta.f{i}: exact; }}\n"
+            f"    size = 256;\n"
+            f"}}"
+        )
+
+    stage_blocks = []
+    for i in range(n_stages):
+        stage_blocks.append(
+            f"    stage s{i} {{\n"
+            f"        parser {{ ethernet }};\n"
+            f"        matcher {{ t{i}.apply(); }};\n"
+            f"        executor {{\n"
+            f"            1: set_f{i + 1};\n"
+            f"            default: NoAction;\n"
+            f"        }}\n"
+            f"    }}"
+        )
+    parts.append("control rP4_Ingress {\n" + "\n".join(stage_blocks) + "\n}")
+
+    parts.append(
+        "control rP4_Egress {\n"
+        "    stage out {\n"
+        "        parser { ethernet };\n"
+        "        matcher { t_out.apply(); };\n"
+        "        executor {\n"
+        "            1: set_port;\n"
+        "            default: drop;\n"
+        "        }\n"
+        "    }\n"
+        "}"
+    )
+    parts.append(
+        "action set_port(bit<16> port) {\n    meta.egress_spec = port;\n}"
+    )
+    parts.append(
+        f"table t_out {{\n    key = {{ meta.f{n_stages}: exact; }}\n"
+        f"    size = 256;\n}}"
+    )
+
+    funcs = " ".join(f"s{i}" for i in range(n_stages))
+    parts.append(
+        "user_funcs {\n"
+        f"    func chain {{ {funcs} }}\n"
+        "    func output { out }\n"
+        "    ingress_entry: s0;\n"
+        "    egress_entry: out;\n"
+        "}"
+    )
+    return "\n".join(parts)
+
+
+SNIPPET = """
+table probe_t {
+    key = {
+        ipv4.src_addr: exact;
+        ipv4.dst_addr: exact;
+    }
+    size = 1024;
+}
+action probe_mark(bit<32> threshold) {
+    count_and_mark(threshold, meta.flow_marked);
+}
+stage probe {
+    parser { ipv4 };
+    matcher {
+        if (ipv4.isValid()) probe_t.apply();
+        else;
+    };
+    executor {
+        1: probe_mark;
+        default: NoAction;
+    }
+}
+user_funcs {
+    func probe { probe }
+}
+"""
+
+
+def synthetic_snippet() -> str:
+    """A fixed-size snippet to load into synthetic bases of any size."""
+    return SNIPPET
+
+
+def synthetic_script(n_stages: int) -> str:
+    """Insert the probe after the first stage of the chain."""
+    return (
+        "load probe.rp4 --func_name probe\n"
+        "add_link s0 probe\n"
+        "del_link s0 s1\n"
+        "add_link probe s1\n"
+        if n_stages > 1
+        else "load probe.rp4 --func_name probe\nadd_link s0 probe\n"
+    )

@@ -1,0 +1,37 @@
+"""The rP4 language (paper Sec. 3.1, EBNF in Fig. 2).
+
+rP4 is a stage-oriented P4 extension: each *function* contains one or
+more *stages*, each stage a parser-matcher-executor triad.  Headers
+carry an ``implicit parser`` clause (the header linkage), and a
+``user_funcs`` block names the functions plus the pipeline entry
+stages.
+"""
+
+from repro.rp4.ast import (
+    HeaderDecl,
+    MatcherArm,
+    Rp4Action,
+    Rp4Program,
+    Rp4Table,
+    StageDecl,
+    StructDecl,
+    UserFunc,
+)
+from repro.rp4.parser import parse_rp4
+from repro.rp4.printer import print_rp4
+from repro.rp4.semantic import SemanticError, analyze
+
+__all__ = [
+    "HeaderDecl",
+    "MatcherArm",
+    "Rp4Action",
+    "Rp4Program",
+    "Rp4Table",
+    "SemanticError",
+    "StageDecl",
+    "StructDecl",
+    "UserFunc",
+    "analyze",
+    "parse_rp4",
+    "print_rp4",
+]

@@ -1,0 +1,211 @@
+"""rP4 abstract syntax, mirroring the Fig. 2 EBNF.
+
+Top level:  ``<rp4_def> ::= <header_defs> <struct_def> <action_def>
+<table_def> <ingress_pipe> <egress_pipe> <user_funcs>``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.lang.expr import Expr, Stmt
+
+
+@dataclass
+class HeaderDecl:
+    """``header X { fields...  implicit parser(sel) { tag: next; } }``"""
+
+    name: str
+    fields: List[Tuple[str, int]] = field(default_factory=list)  # (name, width)
+    selector: Optional[str] = None  # field named in `implicit parser(...)`
+    links: List[Tuple[int, str]] = field(default_factory=list)  # (tag, next header)
+
+    def field_width(self, name: str) -> int:
+        for fname, width in self.fields:
+            if fname == name:
+                return width
+        raise KeyError(f"header {self.name!r} has no field {name!r}")
+
+
+@dataclass
+class StructDecl:
+    """``struct metadata { bit<16> bd; ... } meta;``"""
+
+    name: str
+    members: List[Tuple[str, int]] = field(default_factory=list)  # (name, width)
+    alias: Optional[str] = None  # instance alias after the closing brace
+
+    def member_width(self, name: str) -> int:
+        for mname, width in self.members:
+            if mname == name:
+                return width
+        raise KeyError(f"struct {self.name!r} has no member {name!r}")
+
+
+@dataclass
+class Rp4Action:
+    """``action set_bd_dmac(bit<16> bd, bit<48> dmac) { ... }``"""
+
+    name: str
+    params: List[Tuple[str, int]] = field(default_factory=list)
+    body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class Rp4Table:
+    """``table t { key = { ref: kind; ... } size = N; }``"""
+
+    name: str
+    keys: List[Tuple[str, str]] = field(default_factory=list)  # (ref, match kind)
+    size: int = 1024
+    actions: List[str] = field(default_factory=list)
+    default_action: str = "NoAction"
+
+
+@dataclass
+class MatcherArm:
+    """One arm of the matcher if/else chain.
+
+    ``cond is None`` for the final ``else``; ``table is None`` for an
+    empty arm (the paper's bare ``else;``).
+    """
+
+    cond: Optional[Expr]
+    table: Optional[str]
+
+
+@dataclass
+class StageDecl:
+    """``stage name { parser {...}; matcher {...}; executor {...} }``"""
+
+    name: str
+    parser: List[str] = field(default_factory=list)  # header instance names
+    matcher: List[MatcherArm] = field(default_factory=list)
+    executor: Dict[object, str] = field(default_factory=dict)  # tag|'default' -> action
+
+
+@dataclass
+class UserFunc:
+    """``func l2l3 { stage_a stage_b ... }``"""
+
+    name: str
+    stages: List[str] = field(default_factory=list)
+
+
+@dataclass
+class Rp4Program:
+    """A complete rP4 compilation unit (or an incremental snippet --
+    snippets simply leave pipes/user_funcs sparse)."""
+
+    headers: Dict[str, HeaderDecl] = field(default_factory=dict)
+    structs: Dict[str, StructDecl] = field(default_factory=dict)
+    actions: Dict[str, Rp4Action] = field(default_factory=dict)
+    tables: Dict[str, Rp4Table] = field(default_factory=dict)
+    ingress_stages: Dict[str, StageDecl] = field(default_factory=dict)
+    egress_stages: Dict[str, StageDecl] = field(default_factory=dict)
+    user_funcs: Dict[str, UserFunc] = field(default_factory=dict)
+    ingress_entry: Optional[str] = None
+    egress_entry: Optional[str] = None
+
+    # -- lookups shared by the semantic pass and the compilers ------------
+
+    def stage(self, name: str) -> StageDecl:
+        if name in self.ingress_stages:
+            return self.ingress_stages[name]
+        if name in self.egress_stages:
+            return self.egress_stages[name]
+        raise KeyError(f"no stage named {name!r}")
+
+    def all_stages(self) -> Dict[str, StageDecl]:
+        merged = dict(self.ingress_stages)
+        merged.update(self.egress_stages)
+        return merged
+
+    def struct_alias(self, alias: str) -> Optional[StructDecl]:
+        for struct in self.structs.values():
+            if struct.alias == alias:
+                return struct
+        return None
+
+    def ref_width(self, ref: str) -> int:
+        """Width in bits of a dotted reference (header field or struct
+        member via its alias)."""
+        scope, _, fname = ref.partition(".")
+        if not fname:
+            raise ValueError(f"malformed reference {ref!r}")
+        if scope in self.headers:
+            return self.headers[scope].field_width(fname)
+        struct = self.struct_alias(scope)
+        if struct is not None:
+            try:
+                return struct.member_width(fname)
+            except KeyError:
+                if scope == "meta":
+                    return 16  # intrinsic metadata default width
+                raise
+        if scope == "meta":
+            return 16  # intrinsic metadata without a declared struct
+        raise KeyError(f"unknown scope {scope!r} in reference {ref!r}")
+
+    def shallow_clone(self) -> "Rp4Program":
+        """O(size) structural copy sharing immutable declaration bodies.
+
+        Header declarations are copied one level deep because runtime
+        ``link_header`` commands mutate their ``links`` lists; stages,
+        actions, and tables are immutable after parsing and are shared.
+        This is what lets incremental compiles avoid re-copying (and
+        re-analyzing) the whole base design.
+        """
+        twin = Rp4Program()
+        twin.headers = {
+            name: HeaderDecl(
+                name=h.name,
+                fields=h.fields,
+                selector=h.selector,
+                links=list(h.links),
+            )
+            for name, h in self.headers.items()
+        }
+        twin.structs = {
+            name: StructDecl(
+                name=s.name, members=list(s.members), alias=s.alias
+            )
+            for name, s in self.structs.items()
+        }
+        twin.actions = dict(self.actions)
+        twin.tables = dict(self.tables)
+        twin.ingress_stages = dict(self.ingress_stages)
+        twin.egress_stages = dict(self.egress_stages)
+        twin.user_funcs = {
+            name: UserFunc(f.name, list(f.stages))
+            for name, f in self.user_funcs.items()
+        }
+        twin.ingress_entry = self.ingress_entry
+        twin.egress_entry = self.egress_entry
+        return twin
+
+    def merge(self, snippet: "Rp4Program") -> None:
+        """Fold an incremental snippet into this base design.
+
+        This is the first rp4bc output for an update: "the updated
+        base design" (paper Sec. 3.2).
+        """
+        for name, header in snippet.headers.items():
+            if name in self.headers:
+                existing = self.headers[name]
+                existing.links = sorted(set(existing.links) | set(header.links))
+            else:
+                self.headers[name] = header
+        for name, struct in snippet.structs.items():
+            if name in self.structs:
+                merged = dict(self.structs[name].members)
+                merged.update(dict(struct.members))
+                self.structs[name].members = list(merged.items())
+            else:
+                self.structs[name] = struct
+        self.actions.update(snippet.actions)
+        self.tables.update(snippet.tables)
+        self.ingress_stages.update(snippet.ingress_stages)
+        self.egress_stages.update(snippet.egress_stages)
+        self.user_funcs.update(snippet.user_funcs)

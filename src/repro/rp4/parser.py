@@ -1,0 +1,347 @@
+"""Recursive-descent parser for rP4 (Fig. 2 EBNF).
+
+The grammar is accepted liberally: wrapper blocks (``headers { ... }``,
+``structs { ... }``) are optional so incremental snippets can declare
+bare ``table`` / ``action`` / ``stage`` items, exactly like the ECMP
+snippet in Fig. 5(a).  Bare stages outside a ``control`` block default
+to the ingress pipe.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.lang.errors import LangError
+from repro.lang.expr import (
+    ECall,
+    SAssign,
+    SCall,
+    Stmt,
+    parse_dotted,
+    parse_expr,
+)
+from repro.lang.lexer import Lexer, TokenKind
+from repro.rp4.ast import (
+    HeaderDecl,
+    MatcherArm,
+    Rp4Action,
+    Rp4Program,
+    Rp4Table,
+    StageDecl,
+    StructDecl,
+    UserFunc,
+)
+
+_MATCH_KINDS = {"exact", "lpm", "ternary", "hash"}
+
+
+def parse_rp4(source: str) -> Rp4Program:
+    """Parse rP4 source text into an :class:`Rp4Program`."""
+    return _Parser(source).parse_program()
+
+
+class _Parser:
+    def __init__(self, source: str) -> None:
+        self.lex = Lexer(source)
+        self.program = Rp4Program()
+
+    # -- entry point ---------------------------------------------------
+
+    def parse_program(self) -> Rp4Program:
+        lex = self.lex
+        while not lex.at_eof():
+            tok = lex.current
+            if tok.is_ident("headers"):
+                lex.advance()
+                lex.expect_punct("{")
+                while not lex.accept_punct("}"):
+                    self._header_def()
+            elif tok.is_ident("header"):
+                self._header_def()
+            elif tok.is_ident("structs"):
+                lex.advance()
+                lex.expect_punct("{")
+                while not lex.accept_punct("}"):
+                    self._struct_dec()
+            elif tok.is_ident("struct"):
+                self._struct_dec()
+            elif tok.is_ident("action"):
+                self._action_def()
+            elif tok.is_ident("table"):
+                self._table_def()
+            elif tok.is_ident("control"):
+                self._control()
+            elif tok.is_ident("stage"):
+                stage = self._stage_def()
+                self.program.ingress_stages[stage.name] = stage
+            elif tok.is_ident("user_funcs"):
+                self._user_funcs()
+            else:
+                raise lex.error(f"unexpected top-level token {tok}")
+        return self.program
+
+    # -- declarations ----------------------------------------------------
+
+    def _bit_type(self) -> int:
+        self.lex.expect_ident("bit")
+        self.lex.expect_punct("<")
+        width = self.lex.expect_int().value
+        self.lex.expect_punct(">")
+        if width <= 0:
+            raise self.lex.error("bit width must be positive")
+        return width
+
+    def _header_def(self) -> None:
+        lex = self.lex
+        lex.expect_ident("header")
+        name = lex.expect_ident().text
+        if name in self.program.headers:
+            raise lex.error(f"duplicate header {name!r}")
+        decl = HeaderDecl(name=name)
+        lex.expect_punct("{")
+        while not lex.accept_punct("}"):
+            if lex.current.is_ident("implicit"):
+                lex.advance()
+                lex.expect_ident("parser")
+                lex.expect_punct("(")
+                decl.selector = lex.expect_ident().text
+                lex.expect_punct(")")
+                lex.expect_punct("{")
+                while not lex.accept_punct("}"):
+                    tag = lex.expect_int().value
+                    lex.expect_punct(":")
+                    nxt = lex.expect_ident().text
+                    lex.accept_punct(";")
+                    decl.links.append((tag, nxt))
+                lex.accept_punct(";")
+            else:
+                width = self._bit_type()
+                fname = lex.expect_ident().text
+                lex.expect_punct(";")
+                decl.fields.append((fname, width))
+        if decl.selector is not None and decl.selector not in dict(decl.fields):
+            raise lex.error(
+                f"header {name!r}: selector {decl.selector!r} is not a field"
+            )
+        self.program.headers[name] = decl
+
+    def _struct_dec(self) -> None:
+        lex = self.lex
+        lex.expect_ident("struct")
+        name = lex.expect_ident().text
+        decl = StructDecl(name=name)
+        lex.expect_punct("{")
+        while not lex.accept_punct("}"):
+            width = self._bit_type()
+            mname = lex.expect_ident().text
+            lex.expect_punct(";")
+            decl.members.append((mname, width))
+        if lex.current.kind is TokenKind.IDENT:
+            decl.alias = lex.advance().text
+        lex.accept_punct(";")
+        self.program.structs[name] = decl
+
+    def _action_def(self) -> None:
+        lex = self.lex
+        lex.expect_ident("action")
+        name = lex.expect_ident().text
+        decl = Rp4Action(name=name)
+        lex.expect_punct("(")
+        if not lex.current.is_punct(")"):
+            decl.params.append(self._param())
+            while lex.accept_punct(","):
+                decl.params.append(self._param())
+        lex.expect_punct(")")
+        lex.expect_punct("{")
+        while not lex.accept_punct("}"):
+            decl.body.append(self._statement())
+        self.program.actions[name] = decl
+
+    def _param(self) -> Tuple[str, int]:
+        width = self._bit_type()
+        return self.lex.expect_ident().text, width
+
+    def _statement(self) -> Stmt:
+        lex = self.lex
+        ref = parse_dotted(lex)
+        if lex.current.is_punct("(") and "." not in ref:
+            lex.advance()
+            args = []
+            if not lex.current.is_punct(")"):
+                args.append(parse_expr(lex))
+                while lex.accept_punct(","):
+                    args.append(parse_expr(lex))
+            lex.expect_punct(")")
+            lex.expect_punct(";")
+            return SCall(ref, tuple(args))
+        lex.expect_punct("=")
+        expr = parse_expr(lex)
+        lex.expect_punct(";")
+        return SAssign(ref, expr)
+
+    def _table_def(self) -> None:
+        lex = self.lex
+        lex.expect_ident("table")
+        name = lex.expect_ident().text
+        decl = Rp4Table(name=name)
+        lex.expect_punct("{")
+        while not lex.accept_punct("}"):
+            prop = lex.expect_ident().text
+            lex.expect_punct("=")
+            if prop == "key":
+                lex.expect_punct("{")
+                while not lex.accept_punct("}"):
+                    ref = parse_dotted(lex)
+                    lex.expect_punct(":")
+                    kind = lex.expect_ident().text
+                    if kind not in _MATCH_KINDS:
+                        raise lex.error(f"unknown match kind {kind!r}")
+                    lex.accept_punct(";")
+                    decl.keys.append((ref, kind))
+                lex.accept_punct(";")
+            elif prop == "size":
+                decl.size = lex.expect_int().value
+                lex.expect_punct(";")
+            elif prop == "actions":
+                lex.expect_punct("{")
+                while not lex.accept_punct("}"):
+                    decl.actions.append(lex.expect_ident().text)
+                    lex.accept_punct(";")
+                lex.accept_punct(";")
+            elif prop == "default_action":
+                decl.default_action = lex.expect_ident().text
+                lex.expect_punct(";")
+            else:
+                raise lex.error(f"unknown table property {prop!r}")
+        if not decl.keys:
+            raise lex.error(f"table {name!r} has no key")
+        self.program.tables[name] = decl
+
+    # -- pipes and stages ---------------------------------------------------
+
+    def _control(self) -> None:
+        lex = self.lex
+        lex.expect_ident("control")
+        which = lex.expect_ident().text
+        if which not in ("rP4_Ingress", "rP4_Egress"):
+            raise lex.error(
+                f"expected rP4_Ingress or rP4_Egress, found {which!r}"
+            )
+        target = (
+            self.program.ingress_stages
+            if which == "rP4_Ingress"
+            else self.program.egress_stages
+        )
+        lex.expect_punct("{")
+        while not lex.accept_punct("}"):
+            stage = self._stage_def()
+            if stage.name in target:
+                raise lex.error(f"duplicate stage {stage.name!r}")
+            target[stage.name] = stage
+
+    def _stage_def(self) -> StageDecl:
+        lex = self.lex
+        lex.expect_ident("stage")
+        name = lex.expect_ident().text
+        stage = StageDecl(name=name)
+        lex.expect_punct("{")
+
+        lex.expect_ident("parser")
+        lex.expect_punct("{")
+        while not lex.accept_punct("}"):
+            stage.parser.append(lex.expect_ident().text)
+            if not lex.accept_punct(",") and not lex.accept_punct(";"):
+                if not lex.current.is_punct("}"):
+                    raise lex.error("expected ',' or ';' in parser list")
+        lex.accept_punct(";")
+
+        lex.expect_ident("matcher")
+        lex.expect_punct("{")
+        stage.matcher = self._matcher_body()
+        lex.expect_punct("}")
+        lex.accept_punct(";")
+
+        lex.expect_ident("executor")
+        lex.expect_punct("{")
+        while not lex.accept_punct("}"):
+            tag: object
+            if lex.current.is_ident("default"):
+                lex.advance()
+                tag = "default"
+            else:
+                tag = lex.expect_int().value
+            lex.expect_punct(":")
+            action = lex.expect_ident().text
+            lex.accept_punct(";")
+            if tag in stage.executor:
+                raise lex.error(f"duplicate executor tag {tag!r}")
+            stage.executor[tag] = action
+        lex.accept_punct(";")
+
+        lex.expect_punct("}")
+        return stage
+
+    def _apply_stmt(self) -> str:
+        lex = self.lex
+        table = lex.expect_ident().text
+        lex.expect_punct(".")
+        lex.expect_ident("apply")
+        lex.expect_punct("(")
+        lex.expect_punct(")")
+        lex.expect_punct(";")
+        return table
+
+    def _matcher_body(self) -> List[MatcherArm]:
+        lex = self.lex
+        arms: List[MatcherArm] = []
+        while not lex.current.is_punct("}"):
+            if lex.current.is_ident("if"):
+                lex.advance()
+                lex.expect_punct("(")
+                cond = parse_expr(lex)
+                lex.expect_punct(")")
+                arms.append(MatcherArm(cond, self._apply_stmt()))
+            elif lex.current.is_ident("else"):
+                lex.advance()
+                if lex.current.is_ident("if"):
+                    lex.advance()
+                    lex.expect_punct("(")
+                    cond = parse_expr(lex)
+                    lex.expect_punct(")")
+                    arms.append(MatcherArm(cond, self._apply_stmt()))
+                elif lex.accept_punct(";"):
+                    arms.append(MatcherArm(None, None))
+                else:
+                    arms.append(MatcherArm(None, self._apply_stmt()))
+            else:
+                # Unconditional apply (single-table stage).
+                arms.append(MatcherArm(None, self._apply_stmt()))
+        return arms
+
+    def _user_funcs(self) -> None:
+        lex = self.lex
+        lex.expect_ident("user_funcs")
+        lex.expect_punct("{")
+        while not lex.accept_punct("}"):
+            if lex.current.is_ident("func"):
+                lex.advance()
+                name = lex.expect_ident().text
+                func = UserFunc(name=name)
+                lex.expect_punct("{")
+                while not lex.accept_punct("}"):
+                    func.stages.append(lex.expect_ident().text)
+                    lex.accept_punct(",")
+                self.program.user_funcs[name] = func
+                lex.accept_punct(";")
+            elif lex.current.is_ident("ingress_entry"):
+                lex.advance()
+                lex.expect_punct(":")
+                self.program.ingress_entry = lex.expect_ident().text
+                lex.accept_punct(";")
+            elif lex.current.is_ident("egress_entry"):
+                lex.advance()
+                lex.expect_punct(":")
+                self.program.egress_entry = lex.expect_ident().text
+                lex.accept_punct(";")
+            else:
+                raise lex.error(f"unexpected token in user_funcs: {lex.current}")

@@ -1,0 +1,150 @@
+"""Pretty-printer: rP4 AST back to source text.
+
+rp4fc emits its output through this module, and ``parse(print(ast))``
+round-trips (property-tested in the suite).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.lang.expr import (
+    EBin,
+    ECall,
+    EConst,
+    ERef,
+    EUnary,
+    EValid,
+    Expr,
+    SAssign,
+    SCall,
+    Stmt,
+)
+from repro.rp4.ast import Rp4Program, StageDecl
+
+
+def print_expr(expr: Expr) -> str:
+    if isinstance(expr, EConst):
+        if expr.width is not None:
+            return f"{expr.width}w{expr.value}"
+        return str(expr.value)
+    if isinstance(expr, ERef):
+        return expr.ref
+    if isinstance(expr, EValid):
+        return f"{expr.header}.isValid()"
+    if isinstance(expr, EUnary):
+        return f"{expr.op}({print_expr(expr.operand)})"
+    if isinstance(expr, EBin):
+        return f"({print_expr(expr.left)} {expr.op} {print_expr(expr.right)})"
+    if isinstance(expr, ECall):
+        args = ", ".join(print_expr(a) for a in expr.args)
+        return f"{expr.name}({args})"
+    raise TypeError(f"not an expression: {expr!r}")
+
+
+def print_stmt(stmt: Stmt, indent: str = "        ") -> str:
+    if isinstance(stmt, SAssign):
+        return f"{indent}{stmt.dest} = {print_expr(stmt.expr)};"
+    if isinstance(stmt, SCall):
+        args = ", ".join(print_expr(a) for a in stmt.args)
+        return f"{indent}{stmt.name}({args});"
+    raise TypeError(f"cannot print statement {stmt!r} in rP4")
+
+
+def _print_stage(stage: StageDecl, out: List[str]) -> None:
+    out.append(f"    stage {stage.name} {{")
+    out.append("        parser { " + ", ".join(stage.parser) + " };")
+    out.append("        matcher {")
+    for i, arm in enumerate(stage.matcher):
+        if arm.cond is not None:
+            kw = "if" if i == 0 else "else if"
+            body = f"{arm.table}.apply();" if arm.table else ";"
+            out.append(f"            {kw} ({print_expr(arm.cond)}) {body}")
+        elif arm.table is not None:
+            prefix = "else " if i > 0 else ""
+            out.append(f"            {prefix}{arm.table}.apply();")
+        else:
+            out.append("            else;")
+    out.append("        };")
+    out.append("        executor {")
+    for tag, action in stage.executor.items():
+        out.append(f"            {tag}: {action};")
+    out.append("        }")
+    out.append("    }")
+
+
+def print_rp4(program: Rp4Program) -> str:
+    """Serialize a program (or snippet) to rP4 source."""
+    out: List[str] = []
+
+    if program.headers:
+        out.append("headers {")
+        for header in program.headers.values():
+            out.append(f"    header {header.name} {{")
+            for fname, width in header.fields:
+                out.append(f"        bit<{width}> {fname};")
+            if header.selector is not None:
+                out.append(f"        implicit parser({header.selector}) {{")
+                for tag, nxt in header.links:
+                    out.append(f"            {tag}: {nxt};")
+                out.append("        }")
+            out.append("    }")
+        out.append("}")
+
+    if program.structs:
+        out.append("structs {")
+        for struct in program.structs.values():
+            out.append(f"    struct {struct.name} {{")
+            for mname, width in struct.members:
+                out.append(f"        bit<{width}> {mname};")
+            alias = f" {struct.alias}" if struct.alias else ""
+            out.append(f"    }}{alias};")
+        out.append("}")
+
+    for action in program.actions.values():
+        params = ", ".join(f"bit<{w}> {n}" for n, w in action.params)
+        out.append(f"action {action.name}({params}) {{")
+        for stmt in action.body:
+            out.append(print_stmt(stmt, indent="    "))
+        out.append("}")
+
+    for table in program.tables.values():
+        out.append(f"table {table.name} {{")
+        out.append("    key = {")
+        for ref, kind in table.keys:
+            out.append(f"        {ref}: {kind};")
+        out.append("    }")
+        out.append(f"    size = {table.size};")
+        if table.actions:
+            out.append(
+                "    actions = { " + "; ".join(table.actions) + "; }"
+            )
+        if table.default_action != "NoAction":
+            out.append(f"    default_action = {table.default_action};")
+        out.append("}")
+
+    if program.ingress_stages:
+        out.append("control rP4_Ingress {")
+        for stage in program.ingress_stages.values():
+            _print_stage(stage, out)
+        out.append("}")
+
+    if program.egress_stages:
+        out.append("control rP4_Egress {")
+        for stage in program.egress_stages.values():
+            _print_stage(stage, out)
+        out.append("}")
+
+    if program.user_funcs or program.ingress_entry or program.egress_entry:
+        out.append("user_funcs {")
+        for func in program.user_funcs.values():
+            out.append(
+                f"    func {func.name} {{ " + " ".join(func.stages) + " }"
+            )
+        if program.ingress_entry:
+            out.append(f"    ingress_entry: {program.ingress_entry};")
+        if program.egress_entry:
+            out.append(f"    egress_entry: {program.egress_entry};")
+        out.append("}")
+
+    return "\n".join(out) + "\n"

@@ -1,0 +1,314 @@
+"""Semantic analysis for rP4 programs.
+
+Validates that every cross-reference in the program resolves (tables,
+actions, headers, fields, user funcs, entry stages) and computes the
+resolved key layouts rp4bc needs for table allocation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.lang.expr import (
+    EBin,
+    ECall,
+    EConst,
+    ERef,
+    EUnary,
+    EValid,
+    Expr,
+    SAssign,
+    SCall,
+    Stmt,
+)
+from repro.net.packet import INTRINSIC_METADATA
+from repro.rp4.ast import Rp4Program, StageDecl
+
+#: Actions available without declaration.
+BUILTIN_ACTIONS = {"NoAction", "drop", "mark_to_cpu"}
+
+#: Primitive (extern) call statements the behavioral model implements.
+KNOWN_PRIMITIVES = {
+    "drop",
+    "mark_to_cpu",
+    "count_and_mark",
+    "sketch_update",
+    "mark_above",
+    "police",
+    "srv6_end",
+    "srv6_transit",
+    "push_srh",
+    "pop_srh",
+    "push_int",
+    "pop_int",
+    "decrement_ttl",
+    "no_op",
+}
+
+#: Metadata fields that exist on every packet without declaration.
+INTRINSIC_FIELDS = set(INTRINSIC_METADATA) | {"flow_marked", "l2_fwd", "l3_fwd"}
+
+
+class SemanticError(Exception):
+    """Raised with every collected diagnostic when analysis fails."""
+
+    def __init__(self, errors: List[str]) -> None:
+        super().__init__("; ".join(errors))
+        self.errors = list(errors)
+
+
+@dataclass
+class TableInfo:
+    """Resolved layout of one table (feeds memory allocation)."""
+
+    name: str
+    key_fields: List[Tuple[str, str, int]] = field(default_factory=list)
+    key_width: int = 0
+    size: int = 0
+    match_kind: str = "exact"
+
+
+@dataclass
+class SemanticInfo:
+    """Outputs of a successful analysis."""
+
+    tables: Dict[str, TableInfo] = field(default_factory=dict)
+    stage_order: List[str] = field(default_factory=list)
+    warnings: List[str] = field(default_factory=list)
+
+
+def analyze(program: Rp4Program, require_entries: bool = True) -> SemanticInfo:
+    """Analyze ``program``; raises :class:`SemanticError` on any error.
+
+    ``require_entries=False`` relaxes the entry-stage requirement for
+    incremental snippets, which carry stages but no ``user_funcs``
+    entry declarations of their own.
+    """
+    return _Analyzer(program, require_entries).run()
+
+
+def analyze_incremental(
+    program: Rp4Program,
+    old_info: SemanticInfo,
+    added_stages: List[str],
+    new_tables: List[str],
+) -> SemanticInfo:
+    """Incremental analysis for runtime updates (rp4bc's fast path).
+
+    Only the *added* stages and *new* tables are re-checked and
+    resolved; surviving tables inherit their :class:`TableInfo` from
+    ``old_info``.  This is what keeps snippet compiles independent of
+    base-design size -- the asymmetry behind Table 1's compile times.
+    """
+    analyzer = _Analyzer(
+        program,
+        require_entries=False,
+        stage_filter=set(added_stages),
+        table_filter=set(new_tables),
+    )
+    fresh = analyzer.run()
+    merged = SemanticInfo()
+    merged.tables = {
+        name: info
+        for name, info in old_info.tables.items()
+        if name in program.tables
+    }
+    merged.tables.update(fresh.tables)
+    merged.stage_order = list(program.all_stages())
+    merged.warnings = fresh.warnings
+    return merged
+
+
+class _Analyzer:
+    def __init__(
+        self,
+        program: Rp4Program,
+        require_entries: bool,
+        stage_filter: Optional[Set[str]] = None,
+        table_filter: Optional[Set[str]] = None,
+    ) -> None:
+        self.program = program
+        self.require_entries = require_entries
+        self.stage_filter = stage_filter
+        self.table_filter = table_filter
+        self.errors: List[str] = []
+        self.info = SemanticInfo()
+
+    def run(self) -> SemanticInfo:
+        self._check_headers()
+        self._check_tables()
+        self._check_actions()
+        self._check_stages()
+        self._check_user_funcs()
+        if self.errors:
+            raise SemanticError(self.errors)
+        return self.info
+
+    def _error(self, message: str) -> None:
+        self.errors.append(message)
+
+    # -- reference resolution --------------------------------------------
+
+    def _ref_ok(self, ref: str, params: Optional[Set[str]] = None) -> bool:
+        if "." not in ref:
+            return params is not None and ref in params
+        scope, _, fname = ref.partition(".")
+        if scope == "meta":
+            struct = self.program.struct_alias("meta")
+            if struct is not None and fname in dict(struct.members):
+                return True
+            return fname in INTRINSIC_FIELDS
+        if scope in self.program.headers:
+            return fname in dict(self.program.headers[scope].fields)
+        struct = self.program.struct_alias(scope)
+        if struct is not None:
+            return fname in dict(struct.members)
+        return False
+
+    def _check_expr(
+        self, expr: Expr, where: str, params: Optional[Set[str]] = None
+    ) -> None:
+        if isinstance(expr, EConst):
+            return
+        if isinstance(expr, ERef):
+            if not self._ref_ok(expr.ref, params):
+                self._error(f"{where}: unresolved reference {expr.ref!r}")
+        elif isinstance(expr, EValid):
+            if expr.header not in self.program.headers:
+                self._error(f"{where}: isValid on unknown header {expr.header!r}")
+        elif isinstance(expr, EUnary):
+            self._check_expr(expr.operand, where, params)
+        elif isinstance(expr, EBin):
+            self._check_expr(expr.left, where, params)
+            self._check_expr(expr.right, where, params)
+        elif isinstance(expr, ECall):
+            if expr.name != "hash":
+                self._error(f"{where}: unknown function {expr.name!r}")
+            for arg in expr.args:
+                self._check_expr(arg, where, params)
+
+    # -- per-construct checks -----------------------------------------------
+
+    def _check_headers(self) -> None:
+        for header in self.program.headers.values():
+            for tag, nxt in header.links:
+                if nxt not in self.program.headers:
+                    self.info.warnings.append(
+                        f"header {header.name!r}: link tag {tag} targets "
+                        f"undeclared header {nxt!r} (resolved at load time)"
+                    )
+
+    def _check_tables(self) -> None:
+        for table in self.program.tables.values():
+            if self.table_filter is not None and table.name not in self.table_filter:
+                continue
+            kinds = [k for _, k in table.keys]
+            info = TableInfo(name=table.name, size=table.size)
+            if "ternary" in kinds:
+                info.match_kind = "ternary"
+            elif "lpm" in kinds:
+                info.match_kind = "lpm"
+            elif "hash" in kinds:
+                info.match_kind = "hash"
+            for ref, kind in table.keys:
+                if not self._ref_ok(ref):
+                    self._error(
+                        f"table {table.name!r}: unresolved key field {ref!r}"
+                    )
+                    continue
+                width = self.program.ref_width(ref)
+                info.key_fields.append((ref, kind, width))
+                info.key_width += width
+            if kinds.count("lpm") > 1:
+                self._error(f"table {table.name!r}: more than one lpm key")
+            for action in table.actions:
+                if action not in self.program.actions and action not in BUILTIN_ACTIONS:
+                    self._error(
+                        f"table {table.name!r}: unknown action {action!r}"
+                    )
+            self.info.tables[table.name] = info
+
+    def _relevant_actions(self) -> Optional[Set[str]]:
+        """In incremental mode, only actions the new stages use."""
+        if self.stage_filter is None:
+            return None
+        names: Set[str] = set()
+        for sname in self.stage_filter:
+            try:
+                stage = self.program.stage(sname)
+            except KeyError:
+                continue
+            names |= set(stage.executor.values())
+        return names
+
+    def _check_actions(self) -> None:
+        relevant = self._relevant_actions()
+        for action in self.program.actions.values():
+            if relevant is not None and action.name not in relevant:
+                continue
+            params = {name for name, _ in action.params}
+            where = f"action {action.name!r}"
+            for stmt in action.body:
+                if isinstance(stmt, SAssign):
+                    if not self._ref_ok(stmt.dest):
+                        self._error(f"{where}: unresolved destination {stmt.dest!r}")
+                    self._check_expr(stmt.expr, where, params)
+                elif isinstance(stmt, SCall):
+                    if stmt.name not in KNOWN_PRIMITIVES:
+                        self._error(f"{where}: unknown primitive {stmt.name!r}")
+                    for arg in stmt.args:
+                        if isinstance(arg, ERef) and not arg.is_dotted:
+                            if arg.ref not in params:
+                                self._error(
+                                    f"{where}: unresolved argument {arg.ref!r}"
+                                )
+                        else:
+                            self._check_expr(arg, where, params)
+
+    def _check_stages(self) -> None:
+        for name, stage in self.program.all_stages().items():
+            if self.stage_filter is not None and name not in self.stage_filter:
+                continue
+            self.info.stage_order.append(name)
+            where = f"stage {name!r}"
+            for instance in stage.parser:
+                if instance not in self.program.headers:
+                    self._error(f"{where}: parses undeclared header {instance!r}")
+            for arm in stage.matcher:
+                if arm.cond is not None:
+                    self._check_expr(arm.cond, where)
+                if arm.table is not None and arm.table not in self.program.tables:
+                    self._error(f"{where}: applies unknown table {arm.table!r}")
+            for tag, action in stage.executor.items():
+                if action not in self.program.actions and action not in BUILTIN_ACTIONS:
+                    self._error(
+                        f"{where}: executor tag {tag!r} maps to unknown "
+                        f"action {action!r}"
+                    )
+
+    def _check_user_funcs(self) -> None:
+        stages = self.program.all_stages()
+        for func in self.program.user_funcs.values():
+            if self.stage_filter is not None and not (
+                set(func.stages) & self.stage_filter
+            ):
+                continue
+            for sname in func.stages:
+                if sname not in stages:
+                    self._error(
+                        f"func {func.name!r}: unknown stage {sname!r}"
+                    )
+        if self.require_entries:
+            if self.program.ingress_entry is None:
+                self._error("missing ingress_entry in user_funcs")
+            elif self.program.ingress_entry not in stages:
+                self._error(
+                    f"ingress_entry {self.program.ingress_entry!r} is not a stage"
+                )
+            if self.program.egress_entry is None:
+                self._error("missing egress_entry in user_funcs")
+            elif self.program.egress_entry not in stages:
+                self._error(
+                    f"egress_entry {self.program.egress_entry!r} is not a stage"
+                )

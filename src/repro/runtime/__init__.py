@@ -1,0 +1,29 @@
+"""The controller (paper Sec. 4.1): runtime configuration and in-situ
+programming.
+
+:class:`~repro.runtime.controller.Controller` drives the full rP4
+design flow against a live :class:`~repro.ipsa.switch.IpsaSwitch`:
+compile the base design, download it, then load/offload functions at
+runtime from Fig.-5-style scripts.  Everything crosses a
+:class:`~repro.runtime.channel.ControlChannel` that actually
+serializes the JSON, so loading time includes the communication cost
+the paper mentions.
+"""
+
+from repro.runtime.channel import ControlChannel
+from repro.runtime.controller import Controller, FlowTiming
+from repro.runtime.fabric import Delivery, Fabric
+from repro.runtime.stats import diff, format_stats, snapshot
+from repro.runtime.table_api import TableApi
+
+__all__ = [
+    "ControlChannel",
+    "Controller",
+    "Delivery",
+    "Fabric",
+    "FlowTiming",
+    "TableApi",
+    "diff",
+    "format_stats",
+    "snapshot",
+]

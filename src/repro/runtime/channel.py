@@ -1,0 +1,36 @@
+"""The control channel between controller and device (the CCM analogue).
+
+Messages are genuinely serialized to JSON text and parsed back on the
+"device side", so the measured loading time includes the
+communication/marshalling cost -- the paper notes t_L "contains the
+communication time with the device" and that the true pipeline stall
+is shorter.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import List
+
+
+@dataclass
+class ChannelStats:
+    messages: int = 0
+    bytes_sent: int = 0
+
+
+class ControlChannel:
+    """A serializing in-process channel."""
+
+    def __init__(self) -> None:
+        self.stats = ChannelStats()
+        self.log: List[str] = []
+
+    def send(self, message: dict) -> dict:
+        """Serialize, 'transmit', and deserialize a message."""
+        text = json.dumps(message, sort_keys=True)
+        self.stats.messages += 1
+        self.stats.bytes_sent += len(text)
+        self.log.append(text[:120])
+        return json.loads(text)

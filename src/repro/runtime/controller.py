@@ -1,0 +1,240 @@
+"""The controller: compile, download, and in-situ program a live switch.
+
+The rP4 design flow (paper Fig. 3) end to end:
+
+1. ``load_base``   -- rp4bc compiles the base design; the full config
+   crosses the control channel and the device performs its initial
+   load (compile time ``t_C`` and loading time ``t_L`` are measured
+   separately, as in Table 1).
+2. ``run_script``  -- an incremental update: rp4bc compiles only the
+   snippet + commands; only the *delta* (new templates, selector,
+   header links, new tables) crosses the channel; the device drains,
+   patches, and resumes.  Existing entries survive; only new tables
+   need population.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.compiler.validate import check_config
+from repro.compiler.rp4bc import (
+    CompiledDesign,
+    TargetSpec,
+    UpdatePlan,
+    compile_base,
+    compile_update,
+)
+from repro.ipsa.switch import IpsaSwitch, UpdateStats
+from repro.runtime.channel import ControlChannel
+from repro.runtime.table_api import TableApi
+
+
+class ControllerError(Exception):
+    """Raised on misuse (e.g. scripting before a base design loads)."""
+
+
+@dataclass
+class FlowTiming:
+    """One design-flow step's measured costs (a Table 1 cell)."""
+
+    compile_seconds: float = 0.0
+    load_seconds: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        return self.compile_seconds + self.load_seconds
+
+
+class Controller:
+    """CLI-less core of the paper's controller."""
+
+    def __init__(
+        self,
+        target: Optional[TargetSpec] = None,
+        switch: Optional[IpsaSwitch] = None,
+    ) -> None:
+        self.target = target or TargetSpec()
+        self.switch = switch or IpsaSwitch(n_tsps=self.target.n_tsps)
+        self.channel = ControlChannel()
+        self.design: Optional[CompiledDesign] = None
+        self.history: List[str] = []
+        self._undo: List[CompiledDesign] = []
+
+    # -- base design flow ------------------------------------------------
+
+    def load_base(self, rp4_source: str) -> FlowTiming:
+        """Compile and download a complete base design."""
+        timing = FlowTiming()
+        started = time.perf_counter()
+        design = compile_base(rp4_source, self.target)
+        timing.compile_seconds = time.perf_counter() - started
+
+        check_config(design.config, n_tsps=self.target.n_tsps)
+        started = time.perf_counter()
+        config = self.channel.send(design.config)
+        self.switch.load_config(config)
+        timing.load_seconds = time.perf_counter() - started
+
+        self.design = design
+        self.history.append("load_base")
+        return timing
+
+    # -- incremental flow ----------------------------------------------------
+
+    def run_script(
+        self,
+        script_text: str,
+        sources: Optional[Dict[str, str]] = None,
+    ) -> Tuple[UpdatePlan, UpdateStats, FlowTiming]:
+        """Compile and apply an in-situ update script."""
+        if self.design is None:
+            raise ControllerError("no base design loaded")
+        timing = FlowTiming()
+        started = time.perf_counter()
+        plan = compile_update(self.design, script_text, sources)
+        timing.compile_seconds = time.perf_counter() - started
+
+        update_message = self._update_message(plan)
+        started = time.perf_counter()
+        update = self.channel.send(update_message)
+        stats = self.switch.apply_update(update)
+        timing.load_seconds = time.perf_counter() - started
+
+        self._undo.append(self.design)
+        self.design = plan.design
+        self.history.append(f"script:{len(script_text)}B")
+        return plan, stats, timing
+
+    # -- failback ---------------------------------------------------------
+
+    def rollback(self) -> List[str]:
+        """Fail back to the design before the last update.
+
+        The intro's live-trial story: "live trials in production
+        networks can be conducted with reliable failback procedure."
+        Rollback is itself an in-situ update -- drain, rewrite the
+        differing templates, undo the header links, recreate the
+        tables the trial removed, free the ones it added.
+
+        Returns the names of restored tables, which come back **empty**
+        (the trial's update recycled their blocks) and must be
+        repopulated by the caller -- the same new-tables-only rule
+        every update follows.
+        """
+        if not self._undo:
+            raise ControllerError("nothing to roll back")
+        if self.design is None:
+            raise ControllerError("no design loaded")
+        previous = self._undo.pop()
+        current = self.design
+
+        old_templates = {t["tsp"]: t for t in current.templates}
+        templates = [
+            t for t in previous.templates if old_templates.get(t["tsp"]) != t
+        ]
+
+        def links_of(config):
+            return {
+                (name, tag, nxt)
+                for name, spec in config.get("headers", {}).items()
+                for tag, nxt in spec.get("links", [])
+            }
+
+        prev_links = links_of(previous.config)
+        cur_links = links_of(current.config)
+        prev_tables = previous.config.get("tables", {})
+        cur_tables = set(current.config.get("tables", {}))
+        restored = sorted(set(prev_tables) - cur_tables)
+
+        message = {
+            "templates": templates,
+            "selector": previous.config.get("selector", {}),
+            "link_headers": [list(l) for l in sorted(prev_links - cur_links)],
+            "unlink_headers": [
+                [pre, tag] for pre, tag, _ in sorted(cur_links - prev_links)
+            ],
+            "new_metadata": previous.config.get("metadata", []),
+            "new_headers": {
+                name: spec
+                for name, spec in previous.config.get("headers", {}).items()
+                if name not in current.config.get("headers", {})
+            },
+            "new_actions": {
+                name: spec
+                for name, spec in previous.config.get("actions", {}).items()
+                if name not in current.config.get("actions", {})
+            },
+            "new_tables": {name: prev_tables[name] for name in restored},
+            "freed_tables": sorted(cur_tables - set(prev_tables)),
+        }
+        update = self.channel.send(message)
+        self.switch.apply_update(update)
+        self.design = previous
+        self.history.append("rollback")
+        return restored
+
+    def _update_message(self, plan: UpdatePlan) -> dict:
+        """The delta that crosses the control channel."""
+        old_config = {} if self.design is None else self.design.config
+        new_config = plan.design.config
+        old_tables = set(old_config.get("tables", {}))
+        old_metadata = {tuple(m) for m in old_config.get("metadata", [])}
+        old_actions = set(old_config.get("actions", {}))
+        old_headers = set(old_config.get("headers", {}))
+        return {
+            "templates": plan.new_templates,
+            "selector": plan.selector,
+            "link_headers": [
+                [l.pre, l.tag, l.next] for l in plan.link_headers
+            ],
+            "unlink_headers": [list(u) for u in plan.unlink_headers],
+            "new_metadata": [
+                list(m)
+                for m in new_config.get("metadata", [])
+                if tuple(m) not in old_metadata
+            ],
+            "new_headers": {
+                name: spec
+                for name, spec in new_config.get("headers", {}).items()
+                if name not in old_headers
+            },
+            "new_actions": {
+                name: spec
+                for name, spec in new_config.get("actions", {}).items()
+                if name not in old_actions
+            },
+            "new_tables": {
+                name: spec
+                for name, spec in new_config.get("tables", {}).items()
+                if name not in old_tables
+            },
+            "freed_tables": plan.freed_tables,
+        }
+
+    # -- table access ------------------------------------------------------------
+
+    def action_tags(self, table_name: str) -> Dict[str, int]:
+        """action name -> executor tag, from the stage applying the table."""
+        if self.design is None:
+            return {}
+        for stage in self.design.program.all_stages().values():
+            if any(arm.table == table_name for arm in stage.matcher):
+                return {
+                    action: tag
+                    for tag, action in stage.executor.items()
+                    if isinstance(tag, int)
+                }
+        return {}
+
+    def api(self, table_name: str) -> TableApi:
+        """A validated runtime API for one table (rp4fc's output bound
+        to the live device)."""
+        table = self.switch.table(table_name)
+        return TableApi(table, action_tags=self.action_tags(table_name))
+
+    def tables(self) -> Dict[str, TableApi]:
+        """APIs for every table on the device."""
+        return {name: self.api(name) for name in self.switch.tables}

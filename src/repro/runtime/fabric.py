@@ -1,0 +1,137 @@
+"""A multi-switch fabric: wire ipbm instances into a topology.
+
+Each switch port is either an edge port (packets exit the fabric) or
+wired to a peer switch's port.  ``send`` walks a packet hop by hop --
+every hop is a full pipeline traversal on that device -- until it
+exits at an edge or is dropped.  With every node independently
+runtime-programmable, this is the "autonomous networks" setting the
+paper's introduction sketches: functions can be rolled out node by
+node while traffic keeps flowing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.runtime.controller import Controller
+
+
+class FabricError(Exception):
+    """Raised on malformed topologies."""
+
+
+@dataclass(frozen=True)
+class Delivery:
+    """Where a packet left the fabric."""
+
+    node: str
+    port: int
+    data: bytes
+    hops: int
+    path: Tuple[str, ...]
+
+
+@dataclass
+class FabricStats:
+    injected: int = 0
+    delivered: int = 0
+    dropped: int = 0
+    loops_cut: int = 0
+
+
+class Fabric:
+    """Named controllers plus a port-level wiring table."""
+
+    def __init__(self, max_hops: int = 16) -> None:
+        if max_hops <= 0:
+            raise ValueError("max_hops must be positive")
+        self.max_hops = max_hops
+        self.nodes: Dict[str, Controller] = {}
+        # (node, egress port) -> (peer node, peer ingress port)
+        self._wires: Dict[Tuple[str, int], Tuple[str, int]] = {}
+        self.stats = FabricStats()
+
+    # -- topology -------------------------------------------------------
+
+    def add_node(self, name: str, controller: Controller) -> Controller:
+        if name in self.nodes:
+            raise FabricError(f"node {name!r} already exists")
+        self.nodes[name] = controller
+        return controller
+
+    def node(self, name: str) -> Controller:
+        try:
+            return self.nodes[name]
+        except KeyError:
+            raise FabricError(f"no node named {name!r}") from None
+
+    def wire(self, a: str, port_a: int, b: str, port_b: int) -> None:
+        """Connect two ports bidirectionally."""
+        self.node(a)
+        self.node(b)
+        for end, peer in (
+            ((a, port_a), (b, port_b)),
+            ((b, port_b), (a, port_a)),
+        ):
+            if end in self._wires:
+                raise FabricError(f"port {end} is already wired")
+            self._wires[end] = peer
+
+    def peer(self, node: str, port: int) -> Optional[Tuple[str, int]]:
+        return self._wires.get((node, port))
+
+    # -- traffic ------------------------------------------------------------
+
+    def send(self, node: str, data: bytes, port: int = 0) -> Optional[Delivery]:
+        """Walk a packet through the fabric; None if dropped."""
+        self.stats.injected += 1
+        path: List[str] = []
+        current, in_port = node, port
+        for hop in range(self.max_hops):
+            controller = self.node(current)
+            path.append(current)
+            out = controller.switch.inject(data, in_port)
+            if out is None:
+                self.stats.dropped += 1
+                return None
+            wire = self.peer(current, out.port)
+            if wire is None:
+                self.stats.delivered += 1
+                return Delivery(
+                    node=current,
+                    port=out.port,
+                    data=out.data,
+                    hops=hop + 1,
+                    path=tuple(path),
+                )
+            data = out.data
+            current, in_port = wire
+        self.stats.loops_cut += 1
+        return None
+
+    def send_many(
+        self, node: str, trace: List[Tuple[bytes, int]]
+    ) -> List[Optional[Delivery]]:
+        return [self.send(node, data, port) for data, port in trace]
+
+    # -- fleet-wide updates ----------------------------------------------------
+
+    def rollout(
+        self,
+        script_text: str,
+        sources: Optional[Dict[str, str]] = None,
+        nodes: Optional[List[str]] = None,
+    ) -> Dict[str, float]:
+        """Apply one in-situ update script across (some) nodes.
+
+        Returns per-node total stall+compile seconds.  Nodes are
+        updated one at a time -- traffic through the others keeps
+        flowing, which is the whole point of in-situ programmability.
+        """
+        timings: Dict[str, float] = {}
+        for name in nodes if nodes is not None else list(self.nodes):
+            controller = self.node(name)
+            _plan, _stats, timing = controller.run_script(script_text, sources)
+            timings[name] = timing.total_seconds
+        return timings

@@ -1,0 +1,125 @@
+"""Device introspection: structured statistics snapshots.
+
+The controller reads these over the control channel to monitor a live
+switch -- per-TSP activity, per-table occupancy/hit rates, TM queue
+behavior, and device-level packet counters.  Snapshots are plain
+dicts (JSON-serializable) and support diffing, so a monitoring loop
+can report *rates* between polls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.ipsa.switch import IpsaSwitch
+
+
+def snapshot(switch: IpsaSwitch) -> dict:
+    """A JSON-serializable statistics snapshot of a live device."""
+    tsps = []
+    for tsp in switch.pipeline.tsps:
+        tsps.append(
+            {
+                "index": tsp.index,
+                "side": tsp.side,
+                "state": tsp.state.value,
+                "stages": [s.name for s in tsp.stages],
+                "packets": tsp.stats.packets,
+                "lookups": tsp.stats.lookups,
+                "headers_parsed": tsp.stats.headers_parsed,
+                "actions_run": tsp.stats.actions_run,
+                "templates_written": tsp.stats.templates_written,
+            }
+        )
+    tables = {}
+    for name, table in switch.tables.items():
+        tables[name] = {
+            "entries": len(table),
+            "size": table.size,
+            "hits": table.hit_count,
+            "misses": table.miss_count,
+        }
+    tm = switch.pipeline.tm
+    sketches = {
+        name: {"updates": sk.updates, "columns": sk.columns, "rows": len(sk.rows)}
+        for name, sk in switch.externs.sketches.items()
+    }
+    meters = {
+        name: {
+            "rate": bucket.rate,
+            "burst": bucket.burst,
+            "conforming": bucket.stats.conforming,
+            "exceeding": bucket.stats.exceeding,
+        }
+        for name, bucket in switch.meters._meters.items()
+    }
+    return {
+        "device": {
+            "packets_in": switch.packets_in,
+            "packets_out": switch.packets_out,
+            "packets_dropped": switch.packets_dropped,
+            "punted": switch.punted,
+            "active_tsps": switch.active_tsp_count(),
+        },
+        "tsps": tsps,
+        "tables": tables,
+        "tm": {
+            "enqueued": tm.stats.enqueued,
+            "dequeued": tm.stats.dequeued,
+            "dropped": tm.stats.dropped,
+            "max_occupancy": tm.stats.max_occupancy,
+        },
+        "sketches": sketches,
+        "meters": meters,
+    }
+
+
+def diff(before: dict, after: dict) -> dict:
+    """Counter deltas between two snapshots (same shape, ints diffed).
+
+    Non-counter fields (names, states) are taken from ``after``.
+    """
+
+    def diff_value(b, a):
+        if isinstance(a, int) and isinstance(b, int) and not isinstance(a, bool):
+            return a - b
+        if isinstance(a, dict) and isinstance(b, dict):
+            return {k: diff_value(b.get(k, 0 if isinstance(v, int) else v), v)
+                    for k, v in a.items()}
+        if isinstance(a, list) and isinstance(b, list) and len(a) == len(b):
+            return [diff_value(x, y) for x, y in zip(b, a)]
+        return a
+
+    return diff_value(before, after)
+
+
+def format_stats(stats: dict) -> str:
+    """Human-readable rendering of a snapshot (or a diff)."""
+    lines: List[str] = []
+    device = stats.get("device", {})
+    lines.append(
+        "device: in={packets_in} out={packets_out} drop={packets_dropped} "
+        "punt={punted} active_tsps={active_tsps}".format(**device)
+    )
+    for tsp in stats.get("tsps", []):
+        if not tsp["stages"] and not tsp["packets"]:
+            continue
+        lines.append(
+            f"  TSP {tsp['index']} [{tsp['side']:7s} {tsp['state']:8s}] "
+            f"{'+'.join(tsp['stages']) or '-':32s} "
+            f"pkts={tsp['packets']:<6d} lookups={tsp['lookups']:<6d} "
+            f"parsed={tsp['headers_parsed']}"
+        )
+    for name, table in sorted(stats.get("tables", {}).items()):
+        lines.append(
+            f"  table {name:16s} {table['entries']}/{table['size']} entries, "
+            f"hits={table['hits']} misses={table['misses']}"
+        )
+    tm = stats.get("tm", {})
+    if tm:
+        lines.append(
+            f"  TM: enq={tm['enqueued']} deq={tm['dequeued']} "
+            f"drop={tm['dropped']} max_occ={tm['max_occupancy']}"
+        )
+    return "\n".join(lines)

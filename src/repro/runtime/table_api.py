@@ -1,0 +1,98 @@
+"""Runtime table access APIs (the machinery rp4fc's generated classes
+bind to).
+
+A :class:`TableApi` validates key shape and match kinds, assigns the
+executor tag from the action name, and installs entries into the live
+table object -- what a controller would do over P4Runtime/gRPC in a
+production deployment.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.tables.table import Table, TableEntry
+
+KeyPart = Union[int, Tuple[int, int]]
+
+
+class TableApiError(Exception):
+    """Raised on malformed API calls."""
+
+
+class TableApi:
+    """Validated access to one logical table."""
+
+    #: Overridden by generated subclasses.
+    TABLE: str = ""
+    KEY_FIELDS: List[str] = []
+    MATCH_KINDS: List[str] = []
+    SIZE: int = 0
+
+    def __init__(
+        self,
+        table: Table,
+        action_tags: Optional[Dict[str, int]] = None,
+    ) -> None:
+        self._table = table
+        self._action_tags = dict(action_tags or {})
+        if not self.TABLE:
+            self.TABLE = table.name
+        if not self.KEY_FIELDS:
+            self.KEY_FIELDS = [k.ref for k in table.key]
+            self.MATCH_KINDS = [k.kind.value for k in table.key]
+            self.SIZE = table.size
+
+    # -- entry management ---------------------------------------------------
+
+    def install(
+        self,
+        key: Sequence[KeyPart],
+        action: str,
+        action_data: Optional[Dict[str, int]] = None,
+        priority: int = 0,
+        tag: Optional[int] = None,
+    ) -> TableEntry:
+        """Validate and install one entry; returns it for bookkeeping."""
+        kinds = self.MATCH_KINDS
+        is_hash = bool(kinds) and all(k == "hash" for k in kinds)
+        key_tuple = tuple(key)
+        if not is_hash and len(key_tuple) != len(kinds):
+            raise TableApiError(
+                f"table {self.TABLE!r}: key has {len(key_tuple)} parts, "
+                f"expected {len(kinds)}"
+            )
+        if not is_hash:
+            for part, kind in zip(key_tuple, kinds):
+                if kind == "lpm" and not (
+                    isinstance(part, tuple) and len(part) == 2
+                ):
+                    raise TableApiError(
+                        f"table {self.TABLE!r}: lpm key part must be "
+                        "(value, prefix_len)"
+                    )
+                if kind == "exact" and not isinstance(part, int):
+                    raise TableApiError(
+                        f"table {self.TABLE!r}: exact key part must be an int"
+                    )
+        entry = TableEntry(
+            key=() if is_hash else key_tuple,
+            action=action,
+            action_data=dict(action_data or {}),
+            tag=tag if tag is not None else self._action_tags.get(action, 1),
+            priority=priority,
+        )
+        self._table.add_entry(entry)
+        return entry
+
+    def remove(self, entry: TableEntry) -> None:
+        self._table.remove_entry(entry)
+
+    def clear(self) -> None:
+        self._table.clear()
+
+    def entries(self) -> List[TableEntry]:
+        return self._table.entries()
+
+    def __len__(self) -> int:
+        return len(self._table)

@@ -1,0 +1,180 @@
+"""Match engines: exact, LPM, ternary (TCAM), and hash (ECMP selector).
+
+Each engine stores :class:`~repro.tables.table.TableEntry` objects and
+answers point lookups against a tuple of key-field values.  The
+:class:`~repro.tables.table.Table` facade picks the engine from the
+declared match kinds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.tables.actions import flow_hash
+
+
+class ExactEngine:
+    """All key fields matched exactly: a plain hash map."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[Tuple[int, ...], object] = {}
+
+    def insert(self, key: Tuple[int, ...], entry: object) -> None:
+        self._entries[key] = entry
+
+    def remove(self, key: Tuple[int, ...]) -> object:
+        try:
+            return self._entries.pop(key)
+        except KeyError:
+            raise KeyError(f"no exact entry for key {key}") from None
+
+    def lookup(self, values: Tuple[int, ...]) -> Optional[object]:
+        return self._entries.get(values)
+
+    def entries(self) -> List[object]:
+        return list(self._entries.values())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class LpmEngine:
+    """One longest-prefix-match field, optionally preceded by exact fields.
+
+    The LPM field's key is a ``(value, prefix_len)`` pair.  Lookup
+    scans installed prefix lengths from longest to shortest; within a
+    length the match is a hash lookup, so cost is O(#distinct lengths).
+    """
+
+    def __init__(self, exact_count: int, lpm_width: int) -> None:
+        self.exact_count = exact_count
+        self.lpm_width = lpm_width
+        # prefix_len -> {(exact..., masked_value): entry}
+        self._by_len: Dict[int, Dict[Tuple[int, ...], object]] = {}
+
+    def _mask(self, value: int, prefix_len: int) -> int:
+        if prefix_len == 0:
+            return 0
+        shift = self.lpm_width - prefix_len
+        return (value >> shift) << shift
+
+    def insert(
+        self, exact: Tuple[int, ...], value: int, prefix_len: int, entry: object
+    ) -> None:
+        if not 0 <= prefix_len <= self.lpm_width:
+            raise ValueError(
+                f"prefix length {prefix_len} out of range for "
+                f"{self.lpm_width}-bit LPM field"
+            )
+        if len(exact) != self.exact_count:
+            raise ValueError(
+                f"expected {self.exact_count} exact key parts, got {len(exact)}"
+            )
+        bucket = self._by_len.setdefault(prefix_len, {})
+        bucket[exact + (self._mask(value, prefix_len),)] = entry
+
+    def remove(self, exact: Tuple[int, ...], value: int, prefix_len: int) -> object:
+        bucket = self._by_len.get(prefix_len, {})
+        key = exact + (self._mask(value, prefix_len),)
+        try:
+            entry = bucket.pop(key)
+        except KeyError:
+            raise KeyError(f"no LPM entry for {value:#x}/{prefix_len}") from None
+        if not bucket:
+            del self._by_len[prefix_len]
+        return entry
+
+    def lookup(self, values: Tuple[int, ...]) -> Optional[object]:
+        exact, lpm_value = values[:-1], values[-1]
+        for plen in sorted(self._by_len, reverse=True):
+            key = exact + (self._mask(lpm_value, plen),)
+            entry = self._by_len[plen].get(key)
+            if entry is not None:
+                return entry
+        return None
+
+    def entries(self) -> List[object]:
+        return [e for bucket in self._by_len.values() for e in bucket.values()]
+
+    def __len__(self) -> int:
+        return sum(len(b) for b in self._by_len.values())
+
+
+class TernaryEngine:
+    """TCAM model: value/mask per field, highest priority wins."""
+
+    def __init__(self, field_count: int) -> None:
+        self.field_count = field_count
+        # (values, masks, priority, entry), kept sorted by priority desc.
+        self._rows: List[Tuple[Tuple[int, ...], Tuple[int, ...], int, object]] = []
+
+    def insert(
+        self,
+        values: Tuple[int, ...],
+        masks: Tuple[int, ...],
+        priority: int,
+        entry: object,
+    ) -> None:
+        if len(values) != self.field_count or len(masks) != self.field_count:
+            raise ValueError(
+                f"expected {self.field_count} values and masks, got "
+                f"{len(values)}/{len(masks)}"
+            )
+        row = (tuple(v & m for v, m in zip(values, masks)), tuple(masks), priority, entry)
+        self._rows.append(row)
+        self._rows.sort(key=lambda r: -r[2])
+
+    def remove(self, values: Tuple[int, ...], masks: Tuple[int, ...]) -> object:
+        masked = tuple(v & m for v, m in zip(values, masks))
+        for i, row in enumerate(self._rows):
+            if row[0] == masked and row[1] == tuple(masks):
+                return self._rows.pop(i)[3]
+        raise KeyError(f"no ternary entry for {values}/{masks}")
+
+    def lookup(self, values: Tuple[int, ...]) -> Optional[object]:
+        for masked, masks, _prio, entry in self._rows:
+            if all((v & m) == mv for v, m, mv in zip(values, masks, masked)):
+                return entry
+        return None
+
+    def entries(self) -> List[object]:
+        return [row[3] for row in self._rows]
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+
+class HashEngine:
+    """ECMP-style selector: a flow hash picks one of the member entries.
+
+    The paper's ``key = { meta.nexthop: hash; ipv4.dst_addr: hash; }``
+    means the key fields feed a flow hash whose value selects among the
+    installed member entries (next-hop group members).  Members are
+    kept in insertion order; the hash is reduced modulo the member
+    count, so a fixed flow always picks the same member while distinct
+    flows spread across members.
+    """
+
+    def __init__(self) -> None:
+        self._members: List[object] = []
+
+    def insert(self, entry: object) -> None:
+        self._members.append(entry)
+
+    def remove_member(self, index: int) -> object:
+        try:
+            return self._members.pop(index)
+        except IndexError:
+            raise KeyError(f"no hash member at index {index}") from None
+
+    def lookup(self, values: Tuple[int, ...]) -> Optional[object]:
+        if not self._members:
+            return None
+        index = flow_hash(list(values)) % len(self._members)
+        return self._members[index]
+
+    def entries(self) -> List[object]:
+        return list(self._members)
+
+    def __len__(self) -> int:
+        return len(self._members)

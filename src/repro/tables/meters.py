@@ -1,0 +1,91 @@
+"""Token-bucket meters (the QoS policing extern).
+
+The flow-probe story ends with "the controller may apply some ACL or
+QoS rules to the flow"; the ACL is :mod:`repro.programs.acl`, the QoS
+rule is this.  The behavioral model has no wall clock, so meters run
+on the device's *logical clock*: one tick per injected packet.  Rates
+are therefore expressed in permitted-packets-per-tick window -- fully
+deterministic and testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+class MeterError(Exception):
+    """Raised on invalid meter configuration."""
+
+
+@dataclass
+class MeterStats:
+    conforming: int = 0
+    exceeding: int = 0
+
+
+class TokenBucket:
+    """A single-rate two-color token bucket on a logical clock.
+
+    ``rate`` tokens arrive per tick (fractional rates allowed);
+    ``burst`` caps the bucket.  Each metered packet costs one token:
+    green (conforming) if a token is available, red (exceeding)
+    otherwise.
+    """
+
+    def __init__(self, name: str, rate: float, burst: float) -> None:
+        if rate <= 0:
+            raise MeterError(f"meter {name!r}: rate must be positive")
+        if burst < 1:
+            raise MeterError(f"meter {name!r}: burst must be >= 1")
+        self.name = name
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._tokens = float(burst)
+        self._last_tick = 0
+        self.stats = MeterStats()
+
+    def color(self, tick: int) -> str:
+        """Meter one packet at logical time ``tick``: 'green' or 'red'."""
+        if tick < self._last_tick:
+            raise MeterError(
+                f"meter {self.name!r}: logical clock went backwards "
+                f"({tick} < {self._last_tick})"
+            )
+        elapsed = tick - self._last_tick
+        self._last_tick = tick
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            self.stats.conforming += 1
+            return "green"
+        self.stats.exceeding += 1
+        return "red"
+
+    def reset(self) -> None:
+        self._tokens = self.burst
+        self._last_tick = 0
+        self.stats = MeterStats()
+
+
+class MeterBank:
+    """Named meters, created on demand (like the extern store)."""
+
+    def __init__(self) -> None:
+        self._meters: Dict[str, TokenBucket] = {}
+
+    def meter(self, name: str, rate: float = 0.5, burst: float = 4) -> TokenBucket:
+        if name not in self._meters:
+            self._meters[name] = TokenBucket(name, rate, burst)
+        return self._meters[name]
+
+    def configure(self, name: str, rate: float, burst: float) -> TokenBucket:
+        """Install (or replace) a meter with explicit parameters."""
+        self._meters[name] = TokenBucket(name, rate, burst)
+        return self._meters[name]
+
+    def drop(self, name: str) -> bool:
+        return self._meters.pop(name, None) is not None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._meters

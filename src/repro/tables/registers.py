@@ -1,0 +1,135 @@
+"""Stateful extern objects: register arrays and a count-min sketch.
+
+The paper's intro motivates *transitory in-network computing* and
+*dynamic network visibility*: functions with per-device state that are
+loaded only while needed.  These externs supply that state.  They live
+on the device (not in a table entry), are created on demand when a
+template references them, and are destroyed when the owning function
+is offloaded -- the same lifecycle as the memory-pool tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.tables.actions import flow_hash
+
+
+class RegisterArray:
+    """A fixed-size array of ``width``-bit counters."""
+
+    def __init__(self, name: str, size: int, width: int = 32) -> None:
+        if size <= 0:
+            raise ValueError(f"register {name!r}: size must be positive")
+        if width <= 0:
+            raise ValueError(f"register {name!r}: width must be positive")
+        self.name = name
+        self.size = size
+        self.width = width
+        self._mask = (1 << width) - 1
+        self._cells: List[int] = [0] * size
+
+    def read(self, index: int) -> int:
+        return self._cells[self._check(index)]
+
+    def write(self, index: int, value: int) -> None:
+        self._cells[self._check(index)] = value & self._mask
+
+    def add(self, index: int, delta: int = 1) -> int:
+        """Saturating add; returns the new value."""
+        index = self._check(index)
+        value = min(self._cells[index] + delta, self._mask)
+        self._cells[index] = value
+        return value
+
+    def clear(self) -> None:
+        self._cells = [0] * self.size
+
+    def _check(self, index: int) -> int:
+        if not 0 <= index < self.size:
+            raise IndexError(
+                f"register {self.name!r}: index {index} out of range "
+                f"[0, {self.size})"
+            )
+        return index
+
+    def __len__(self) -> int:
+        return self.size
+
+
+class CountMinSketch:
+    """A count-min sketch over ``rows`` independent hash rows.
+
+    ``update`` increments every row's counter for the key and returns
+    the min estimate -- the classic heavy-hitter building block (the
+    paper cites Elastic Sketch et al. as the telemetry workloads IPSA
+    should host transiently).
+    """
+
+    def __init__(
+        self, name: str, rows: int = 4, columns: int = 1024, width: int = 32
+    ) -> None:
+        if rows <= 0 or columns <= 0:
+            raise ValueError(f"sketch {name!r}: rows/columns must be positive")
+        self.name = name
+        self.rows = [
+            RegisterArray(f"{name}[{r}]", columns, width) for r in range(rows)
+        ]
+        self.columns = columns
+        self.updates = 0
+
+    def _indices(self, key_values: Sequence[int]) -> List[int]:
+        return [
+            flow_hash([r + 1, *key_values]) % self.columns
+            for r in range(len(self.rows))
+        ]
+
+    def update(self, key_values: Sequence[int], delta: int = 1) -> int:
+        """Count one occurrence; returns the min-estimate after update."""
+        self.updates += 1
+        return min(
+            row.add(index, delta)
+            for row, index in zip(self.rows, self._indices(key_values))
+        )
+
+    def estimate(self, key_values: Sequence[int]) -> int:
+        """Read the current min-estimate without counting."""
+        return min(
+            row.read(index)
+            for row, index in zip(self.rows, self._indices(key_values))
+        )
+
+    def clear(self) -> None:
+        for row in self.rows:
+            row.clear()
+        self.updates = 0
+
+
+class ExternStore:
+    """Per-device store of named extern objects (lazily created)."""
+
+    def __init__(self) -> None:
+        self.registers: Dict[str, RegisterArray] = {}
+        self.sketches: Dict[str, CountMinSketch] = {}
+
+    def register_array(
+        self, name: str, size: int = 1024, width: int = 32
+    ) -> RegisterArray:
+        if name not in self.registers:
+            self.registers[name] = RegisterArray(name, size, width)
+        return self.registers[name]
+
+    def sketch(
+        self, name: str, rows: int = 4, columns: int = 1024
+    ) -> CountMinSketch:
+        if name not in self.sketches:
+            self.sketches[name] = CountMinSketch(name, rows, columns)
+        return self.sketches[name]
+
+    def drop(self, name: str) -> bool:
+        """Destroy an extern when its function is offloaded."""
+        return (
+            self.registers.pop(name, None) is not None
+            or self.sketches.pop(name, None) is not None
+        )

@@ -1,0 +1,173 @@
+"""Bit-correct packet builders (Ethernet / IPv4 / IPv6 / SRv6 / L4)."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+from repro.net.addresses import parse_ipv4, parse_ipv6, parse_mac
+from repro.net.checksum import ipv4_header_checksum
+from repro.programs.base_l2l3 import ROUTER_MAC
+
+IPPROTO_TCP = 6
+IPPROTO_UDP = 17
+IPPROTO_IPV6 = 41
+IPPROTO_ROUTING = 43
+
+
+def _mac(value: Union[str, int]) -> bytes:
+    if isinstance(value, str):
+        value = parse_mac(value)
+    return value.to_bytes(6, "big")
+
+
+def _v4(value: Union[str, int]) -> int:
+    return parse_ipv4(value) if isinstance(value, str) else value
+
+
+def _v6(value: Union[str, int]) -> int:
+    return parse_ipv6(value) if isinstance(value, str) else value
+
+
+def _udp(sport: int, dport: int, payload: bytes) -> bytes:
+    return (
+        sport.to_bytes(2, "big")
+        + dport.to_bytes(2, "big")
+        + (8 + len(payload)).to_bytes(2, "big")
+        + b"\x00\x00"
+        + payload
+    )
+
+
+def _tcp(sport: int, dport: int, payload: bytes) -> bytes:
+    header = (
+        sport.to_bytes(2, "big")
+        + dport.to_bytes(2, "big")
+        + (0).to_bytes(4, "big")
+        + (0).to_bytes(4, "big")
+        + bytes([5 << 4, 0x02])  # data offset 5, SYN
+        + (0xFFFF).to_bytes(2, "big")
+        + b"\x00\x00"
+        + b"\x00\x00"
+    )
+    return header + payload
+
+
+def _ethernet(dst_mac, src_mac, ethertype: int) -> bytes:
+    return _mac(dst_mac) + _mac(src_mac) + ethertype.to_bytes(2, "big")
+
+
+def _ipv4_header(src: int, dst: int, payload_len: int, proto: int, ttl: int) -> bytes:
+    header = bytearray(20)
+    header[0] = 0x45
+    total = 20 + payload_len
+    header[2:4] = total.to_bytes(2, "big")
+    header[8] = ttl
+    header[9] = proto
+    header[12:16] = src.to_bytes(4, "big")
+    header[16:20] = dst.to_bytes(4, "big")
+    checksum = ipv4_header_checksum(bytes(header))
+    header[10:12] = checksum.to_bytes(2, "big")
+    return bytes(header)
+
+
+def _ipv6_header(
+    src: int, dst: int, payload_len: int, next_hdr: int, hop_limit: int
+) -> bytes:
+    return (
+        bytes([0x60, 0, 0, 0])
+        + payload_len.to_bytes(2, "big")
+        + bytes([next_hdr, hop_limit])
+        + src.to_bytes(16, "big")
+        + dst.to_bytes(16, "big")
+    )
+
+
+def ipv4_packet(
+    src: Union[str, int],
+    dst: Union[str, int],
+    sport: int = 1234,
+    dport: int = 80,
+    proto: str = "udp",
+    ttl: int = 64,
+    dst_mac: Union[str, int] = ROUTER_MAC,
+    src_mac: Union[str, int] = "02:00:00:0a:00:01",
+    payload: bytes = b"",
+) -> bytes:
+    """A routable IPv4 packet aimed at the router MAC by default."""
+    l4 = _udp(sport, dport, payload) if proto == "udp" else _tcp(sport, dport, payload)
+    ip_proto = IPPROTO_UDP if proto == "udp" else IPPROTO_TCP
+    ip = _ipv4_header(_v4(src), _v4(dst), len(l4), ip_proto, ttl)
+    return _ethernet(dst_mac, src_mac, 0x0800) + ip + l4
+
+
+def ipv6_packet(
+    src: Union[str, int],
+    dst: Union[str, int],
+    sport: int = 1234,
+    dport: int = 80,
+    proto: str = "udp",
+    hop_limit: int = 64,
+    dst_mac: Union[str, int] = ROUTER_MAC,
+    src_mac: Union[str, int] = "02:00:00:0a:00:01",
+    payload: bytes = b"",
+) -> bytes:
+    """A routable IPv6 packet aimed at the router MAC by default."""
+    l4 = _udp(sport, dport, payload) if proto == "udp" else _tcp(sport, dport, payload)
+    next_hdr = IPPROTO_UDP if proto == "udp" else IPPROTO_TCP
+    ip = _ipv6_header(_v6(src), _v6(dst), len(l4), next_hdr, hop_limit)
+    return _ethernet(dst_mac, src_mac, 0x86DD) + ip + l4
+
+
+def l2_packet(
+    dst_mac: Union[str, int],
+    src_mac: Union[str, int] = "02:00:00:0a:00:09",
+    payload_dst: str = "10.99.0.1",
+) -> bytes:
+    """A bridged (non-router-MAC) IPv4 packet for the L2 path."""
+    return ipv4_packet(
+        "10.99.0.2", payload_dst, dst_mac=dst_mac, src_mac=src_mac
+    )
+
+
+def srv6_packet(
+    src: Union[str, int],
+    active_sid: Union[str, int],
+    segments: Sequence[Union[str, int]],
+    segments_left: int = 1,
+    inner_dst: Union[str, int] = "2001:db8:2::99",
+    inner_src: Union[str, int] = "2001:db8:1::1",
+    dst_mac: Union[str, int] = ROUTER_MAC,
+    src_mac: Union[str, int] = "02:00:00:0a:00:01",
+    payload: bytes = b"",
+) -> bytes:
+    """An IPv6-in-SRv6 packet with a two-entry segment list.
+
+    The outer destination is ``active_sid`` (the SID currently being
+    visited); ``segments`` is the full list with ``segments[0]`` the
+    final segment (RFC 8754 reversed order).
+    """
+    if len(segments) != 2:
+        raise ValueError("the behavioral SRH layout carries exactly 2 segments")
+    l4 = _udp(40000, 80, payload)
+    inner = _ipv6_header(
+        _v6(inner_src), _v6(inner_dst), len(l4), IPPROTO_UDP, 64
+    ) + l4
+    seg_bytes = b"".join(_v6(s).to_bytes(16, "big") for s in segments)
+    srh = (
+        bytes(
+            [
+                IPPROTO_IPV6,  # next header: inner IPv6
+                4,  # hdr_ext_len: 2 segments * 2
+                4,  # routing type: SRH
+                segments_left,
+                1,  # last entry
+                0,  # flags
+            ]
+        )
+        + b"\x00\x00"  # tag
+        + seg_bytes
+    )
+    outer = _ipv6_header(
+        _v6(src), _v6(active_sid), len(srh) + len(inner), IPPROTO_ROUTING, 64
+    )
+    return _ethernet(dst_mac, src_mac, 0x86DD) + outer + srh + inner

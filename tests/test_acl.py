@@ -1,0 +1,92 @@
+"""Tests for the C6 runtime ACL use case (the TCAM path end to end)."""
+
+import pytest
+
+from repro.memory.blocks import MemoryKind
+from repro.programs import base_rp4_source, populate_base_tables
+from repro.programs.acl import (
+    acl_load_script,
+    acl_rp4_source,
+    populate_acl_tables,
+)
+from repro.runtime import Controller
+from repro.workloads import ipv4_packet, ipv6_packet
+
+
+@pytest.fixture
+def controller():
+    ctl = Controller()
+    ctl.load_base(base_rp4_source())
+    populate_base_tables(ctl.switch.tables)
+    ctl.run_script(acl_load_script(), {"acl.rp4": acl_rp4_source()})
+    populate_acl_tables(ctl.switch.tables)
+    return ctl
+
+
+class TestAclCompilation:
+    def test_tcam_blocks_allocated(self, controller):
+        pool = controller.design.pool
+        acl_mapping = pool.mapping("acl")
+        assert acl_mapping.kind is MemoryKind.TCAM
+        tcam_owned = [
+            b for b in pool.blocks
+            if b.owner == "acl" and b.kind is MemoryKind.TCAM
+        ]
+        assert len(tcam_owned) == acl_mapping.total_blocks > 0
+
+    def test_layout_kind(self, controller):
+        assert controller.design.table_layouts["acl"].kind is MemoryKind.TCAM
+
+    def test_fits_pipeline(self, controller):
+        assert controller.design.plan.tsp_count <= 8
+
+
+class TestAclBehavior:
+    def test_denied_host_dropped(self, controller):
+        out = controller.switch.inject(
+            ipv4_packet("10.1.0.66", "10.2.0.5"), 0
+        )
+        assert out is None
+        assert controller.switch.packets_dropped == 1
+
+    def test_punt_rule_marks_to_cpu(self, controller):
+        out = controller.switch.inject(
+            ipv4_packet("10.1.0.7", "10.2.0.99", proto="udp"), 0
+        )
+        assert out is not None and out.to_cpu
+        # TCP to the same host does not match the UDP rule.
+        out = controller.switch.inject(
+            ipv4_packet("10.1.0.7", "10.2.0.99", proto="tcp"), 0
+        )
+        assert out is not None and not out.to_cpu
+
+    def test_priority_order(self, controller):
+        # 10.1.0.66 matches BOTH rules for udp to 10.2.0.99; the deny
+        # rule's higher priority must win.
+        out = controller.switch.inject(
+            ipv4_packet("10.1.0.66", "10.2.0.99", proto="udp"), 0
+        )
+        assert out is None
+
+    def test_unmatched_traffic_forwards(self, controller):
+        out = controller.switch.inject(
+            ipv4_packet("10.1.0.9", "10.2.0.5"), 0
+        )
+        assert out is not None and out.port == 3
+
+    def test_non_ipv4_bypasses_acl(self, controller):
+        out = controller.switch.inject(
+            ipv6_packet("2001:db8:1::1", "2001:db8:2::9"), 0
+        )
+        assert out is not None and out.port == 3
+
+    def test_offload_recycles_tcam(self, controller):
+        pool_before = controller.design.pool.free_count(MemoryKind.TCAM)
+        controller.run_script("unload --func_name acl")
+        pool_after = controller.design.pool.free_count(MemoryKind.TCAM)
+        assert pool_after > pool_before
+        assert "acl" not in controller.switch.tables
+        out = controller.switch.inject(
+            ipv4_packet("10.1.0.66", "10.2.0.5"), 0
+        )
+        assert out is not None  # the deny rule is gone

@@ -1,0 +1,150 @@
+"""Tests for the three command-line tools (rp4fc, rp4bc, ipbm-ctl)."""
+
+import json
+
+import pytest
+
+from repro.compiler.cli import rp4bc_main, rp4fc_main
+from repro.runtime.cli import main as ipbm_ctl_main
+from repro.programs import (
+    base_p4_source,
+    base_rp4_source,
+    ecmp_load_script,
+    ecmp_rp4_source,
+)
+
+
+@pytest.fixture
+def files(tmp_path):
+    base_p4 = tmp_path / "base.p4"
+    base_p4.write_text(base_p4_source())
+    base_rp4 = tmp_path / "base.rp4"
+    base_rp4.write_text(base_rp4_source())
+    ecmp_rp4 = tmp_path / "ecmp.rp4"
+    ecmp_rp4.write_text(ecmp_rp4_source())
+    script = tmp_path / "update.txt"
+    script.write_text(ecmp_load_script())
+    return tmp_path
+
+
+class TestRp4fcCli:
+    def test_writes_rp4_and_api(self, files):
+        out = files / "out.rp4"
+        api = files / "api.py"
+        code = rp4fc_main(
+            [str(files / "base.p4"), "-o", str(out), "--api", str(api)]
+        )
+        assert code == 0
+        from repro.rp4 import parse_rp4
+
+        prog = parse_rp4(out.read_text())
+        assert "ipv4_lpm" in prog.tables
+        compile(api.read_text(), "<api>", "exec")
+
+    def test_stdout_default(self, files, capsys):
+        rp4fc_main([str(files / "base.p4")])
+        assert "table ipv4_lpm" in capsys.readouterr().out
+
+
+class TestRp4bcCli:
+    def test_base_config(self, files):
+        out = files / "config.json"
+        code = rp4bc_main([str(files / "base.rp4"), "-o", str(out)])
+        assert code == 0
+        config = json.loads(out.read_text())
+        assert len(config["templates"]) == 7
+
+    def test_with_update_script(self, files):
+        out = files / "config.json"
+        code = rp4bc_main(
+            [
+                str(files / "base.rp4"),
+                "-o", str(out),
+                "--script", str(files / "update.txt"),
+                "--snippet", f"ecmp.rp4={files / 'ecmp.rp4'}",
+            ]
+        )
+        assert code == 0
+        config = json.loads(out.read_text())
+        assert config["update"]["new_tables"] == ["ecmp_ipv4", "ecmp_ipv6"]
+        assert config["update"]["removed_stages"] == ["nexthop"]
+
+    def test_greedy_layout_flag(self, files, capsys):
+        code = rp4bc_main([str(files / "base.rp4"), "--layout", "greedy"])
+        assert code == 0
+        assert "templates" in capsys.readouterr().out
+
+    def test_bad_snippet_spec(self, files):
+        with pytest.raises(SystemExit):
+            rp4bc_main(
+                [
+                    str(files / "base.rp4"),
+                    "--script", str(files / "update.txt"),
+                    "--snippet", "missing-equals-sign",
+                ]
+            )
+
+
+class TestIpbmCtl:
+    def test_base_only(self, files, capsys):
+        code = ipbm_ctl_main([str(files / "base.rp4")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "base design loaded" in out
+        assert "TSP 0" in out
+
+    def test_with_script(self, files, capsys):
+        code = ipbm_ctl_main(
+            [
+                str(files / "base.rp4"),
+                "--script", str(files / "update.txt"),
+                "--snippet", f"ecmp.rp4={files / 'ecmp.rp4'}",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "update applied" in out
+        assert "ecmp" in out
+
+
+class TestIpbmCtlExtended:
+    def test_populate_and_stats(self, files, capsys):
+        code = ipbm_ctl_main([str(files / "base.rp4"), "--populate", "--stats"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "populated: populate_base_tables" in out
+        assert "device: in=0" in out
+
+    def test_pcap_replay(self, files, capsys):
+        from repro.net.pcap import load_trace, save_trace
+        from repro.workloads import mixed_l3_trace
+
+        pcap_in = files / "in.pcap"
+        pcap_out = files / "out.pcap"
+        save_trace(str(pcap_in), mixed_l3_trace(20, seed=8))
+        code = ipbm_ctl_main(
+            [
+                str(files / "base.rp4"),
+                "--populate",
+                "--pcap-in", str(pcap_in),
+                "--pcap-out", str(pcap_out),
+            ]
+        )
+        assert code == 0
+        assert "replayed 20 packets: 20 forwarded" in capsys.readouterr().out
+        assert len(load_trace(str(pcap_out))) == 20
+
+    def test_script_with_populate(self, files, capsys):
+        code = ipbm_ctl_main(
+            [
+                str(files / "base.rp4"),
+                "--populate",
+                "--script", str(files / "update.txt"),
+                "--snippet", f"ecmp.rp4={files / 'ecmp.rp4'}",
+                "--stats",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "populate_ecmp_tables" in out
+        assert "table ecmp_ipv4" in out

@@ -1,0 +1,122 @@
+"""Unit tests for stage dependency and exclusivity analysis."""
+
+import pytest
+
+from repro.compiler.dependency import (
+    analyze_dependencies,
+    expr_reads,
+    guard_headers,
+    stage_effects,
+)
+from repro.lang.expr import EBin, EConst, ERef, EValid
+from repro.rp4 import parse_rp4
+from repro.programs import base_rp4_source
+
+
+@pytest.fixture(scope="module")
+def base():
+    return parse_rp4(base_rp4_source())
+
+
+@pytest.fixture(scope="module")
+def deps(base):
+    return analyze_dependencies(base)
+
+
+class TestExprHelpers:
+    def test_expr_reads_dotted_only(self):
+        expr = EBin("&&", ERef("meta.l3_fwd"), ERef("bareparam"))
+        assert expr_reads(expr) == {"meta.l3_fwd"}
+
+    def test_expr_reads_none(self):
+        assert expr_reads(None) == set()
+        assert expr_reads(EConst(1)) == set()
+
+    def test_guard_headers_conjunction(self):
+        expr = EBin("&&", EValid("ipv4"), EBin("==", ERef("meta.l3_fwd"), EConst(1)))
+        assert guard_headers(expr) == {"ipv4"}
+
+    def test_guard_headers_disjunction_not_guarding(self):
+        expr = EBin("||", EValid("ipv4"), EValid("ipv6"))
+        assert guard_headers(expr) == set()
+
+
+class TestStageEffects:
+    def test_fib_stage(self, base):
+        eff = stage_effects(base.ingress_stages["ipv4_lpm"], base)
+        assert "meta.vrf" in eff.reads
+        assert "ipv4.dst_addr" in eff.reads
+        assert "meta.l3_fwd" in eff.reads  # predicate read
+        assert eff.writes == {"meta.nexthop"}
+        assert eff.arm_guards == [frozenset({"ipv4"})]
+
+    def test_nexthop_stage(self, base):
+        eff = stage_effects(base.ingress_stages["nexthop"], base)
+        assert "meta.nexthop" in eff.reads
+        assert {"meta.bd", "ethernet.dst_addr"} <= eff.writes
+        # drop default action writes the drop flag
+        assert "meta.drop" in eff.writes
+
+    def test_rewrite_stage_includes_primitive_effects(self, base):
+        eff = stage_effects(base.egress_stages["l2_l3_rewrite"], base)
+        assert "ipv4.ttl" in eff.writes  # decrement_ttl primitive
+        assert "ipv6.hop_limit" in eff.writes
+
+
+class TestExclusivity:
+    def test_ipv4_ipv6_exclusive(self, deps):
+        assert deps.headers_exclusive("ipv4", "ipv6")
+
+    def test_chain_not_exclusive(self, deps):
+        assert not deps.headers_exclusive("ethernet", "ipv4")
+        assert not deps.headers_exclusive("ipv4", "udp")
+
+    def test_fib_stages_mutually_exclusive(self, deps):
+        assert deps.mutually_exclusive("ipv4_lpm", "ipv6_lpm")
+        assert deps.mutually_exclusive("ipv4_host", "ipv6_host")
+
+    def test_same_family_not_exclusive(self, deps):
+        assert not deps.mutually_exclusive("ipv4_lpm", "ipv4_host")
+
+    def test_unguarded_stage_never_exclusive(self, deps):
+        assert not deps.mutually_exclusive("port_map", "ipv4_lpm")
+
+
+class TestDependsAndMergeable:
+    def test_raw_dependency(self, deps):
+        # bridge_vrf reads meta.intf written by port_map
+        assert deps.depends("port_map", "bridge_vrf")
+
+    def test_predicate_raw(self, deps):
+        # l2_l3 writes meta.l3_fwd; FIB predicates read it
+        assert deps.depends("l2_l3", "ipv4_lpm")
+
+    def test_waw_dependency(self, deps):
+        # both FIB v4 stages write meta.nexthop
+        assert deps.depends("ipv4_lpm", "ipv4_host")
+
+    def test_idempotent_flags_exempt(self, deps):
+        # l2_l3_rewrite and dmac both (potentially) write meta.drop,
+        # but that WAW is exempt, so they are independent.
+        assert deps.mergeable("l2_l3_rewrite", "dmac")
+
+    def test_exclusive_overrides_waw(self, deps):
+        # v4/v6 lpm both write meta.nexthop but are exclusive
+        assert deps.mergeable("ipv4_lpm", "ipv6_lpm")
+
+    def test_dependent_not_mergeable(self, deps):
+        assert not deps.mergeable("port_map", "bridge_vrf")
+        assert not deps.mergeable("ipv4_host", "nexthop")
+
+    def test_srh_runtime_link_breaks_nothing(self, base):
+        # Inner instances are distinct names, so outer ipv4/ipv6 stay
+        # exclusive even after the SRv6 links are merged in.
+        from repro.programs import srv6_rp4_source
+
+        merged = parse_rp4(base_rp4_source())
+        merged.merge(parse_rp4(srv6_rp4_source()))
+        merged.headers["ipv6"].links.append((43, "srh"))
+        merged.headers["srh"].links.append((41, "inner_ipv6"))
+        merged.headers["srh"].links.append((4, "inner_ipv4"))
+        deps2 = analyze_dependencies(merged)
+        assert deps2.headers_exclusive("ipv4", "ipv6")

@@ -1,0 +1,177 @@
+"""Unit tests for lowering and the template JSON round-trip."""
+
+import pytest
+
+from repro.compiler.lowering import (
+    LoweringError,
+    action_from_json,
+    action_to_json,
+    builtin_actions,
+    compile_predicate,
+    eval_predicate,
+    expr_from_json,
+    expr_to_json,
+    lower_action,
+    lower_table,
+)
+from repro.lang.expr import EBin, EConst, ERef, EUnary, EValid
+from repro.net.headers import IPV4, HeaderInstance
+from repro.net.packet import Packet
+from repro.rp4 import parse_rp4
+from repro.tables.actions import CountAndMark, HashExpr, PyPrimitive, SetField
+from repro.tables.table import MatchKind
+
+
+def packet_with(valid_ipv4=False, **meta):
+    p = Packet(b"\x00" * 64)
+    if valid_ipv4:
+        p.insert_header(HeaderInstance(IPV4))
+    for k, v in meta.items():
+        p.metadata[k] = v
+    return p
+
+
+class TestLowerAction:
+    def _action(self, body, name="a", params="bit<16> x"):
+        prog = parse_rp4(f"action {name}({params}) {{ {body} }}")
+        return lower_action(prog.actions[name])
+
+    def test_assignment(self):
+        act = self._action("meta.bd = x;")
+        assert isinstance(act.ops[0], SetField)
+        p = packet_with()
+        act.execute(p, {"x": 9})
+        assert p.read("meta.bd") == 9
+
+    def test_hash_call(self):
+        prog = parse_rp4(
+            "action a() { meta.h = hash(ipv4.src_addr, ipv4.dst_addr); }"
+        )
+        act = lower_action(prog.actions["a"])
+        assert isinstance(act.ops[0].expr, HashExpr)
+
+    def test_primitive_call(self):
+        act = self._action("drop();", params="")
+        assert isinstance(act.ops[0], PyPrimitive)
+        p = packet_with()
+        act.execute(p, {})
+        assert p.metadata["drop"] == 1
+
+    def test_count_and_mark_lowering(self):
+        prog = parse_rp4(
+            "action a(bit<32> threshold) "
+            "{ count_and_mark(threshold, meta.flow_marked); }"
+        )
+        act = lower_action(prog.actions["a"])
+        op = act.ops[0]
+        assert isinstance(op, CountAndMark)
+        assert op.threshold_param == "threshold"
+        assert op.dest == "meta.flow_marked"
+
+    def test_count_and_mark_requires_param(self):
+        prog = parse_rp4("action a() { count_and_mark(5, meta.x); }")
+        with pytest.raises(LoweringError):
+            lower_action(prog.actions["a"])
+
+    def test_unknown_primitive(self):
+        prog = parse_rp4("action a() { beam_me_up(); }")
+        with pytest.raises(LoweringError):
+            lower_action(prog.actions["a"])
+
+    def test_unresolved_bare_ref(self):
+        prog = parse_rp4("action a() { meta.x = ghostparam; }")
+        with pytest.raises(LoweringError):
+            lower_action(prog.actions["a"])
+
+    def test_builtins(self):
+        builtins = builtin_actions()
+        assert set(builtins) == {"NoAction", "drop", "mark_to_cpu"}
+        p = packet_with()
+        builtins["NoAction"].execute(p, {})
+        assert p.metadata["drop"] == 0
+
+
+class TestLowerTable:
+    def test_kinds(self):
+        t = lower_table(
+            "fib",
+            [("meta.vrf", "exact", 16), ("ipv4.dst_addr", "lpm", 32)],
+            1024,
+        )
+        assert t.match_kind is MatchKind.LPM
+        assert t.key_width() == 48
+
+    def test_default_action(self):
+        t = lower_table("t", [("meta.x", "exact", 8)], 16, default_action="drop")
+        res = t.lookup(packet_with(x=5))
+        assert res.action == "drop"
+
+
+class TestPredicates:
+    def test_valid(self):
+        pred = compile_predicate(EValid("ipv4"))
+        assert pred(packet_with(valid_ipv4=True))
+        assert not pred(packet_with())
+
+    def test_none_is_always_true(self):
+        assert compile_predicate(None)(packet_with())
+
+    def test_conjunction(self):
+        expr = EBin("&&", EValid("ipv4"), EBin("==", ERef("meta.l3_fwd"), EConst(1)))
+        pred = compile_predicate(expr)
+        assert pred(packet_with(valid_ipv4=True, l3_fwd=1))
+        assert not pred(packet_with(valid_ipv4=True, l3_fwd=0))
+
+    def test_negation(self):
+        pred = compile_predicate(EUnary("!", EValid("ipv4")))
+        assert pred(packet_with())
+
+    def test_comparisons(self):
+        p = packet_with(x=5)
+        assert eval_predicate(EBin("<", ERef("meta.x"), EConst(9)), p) == 1
+        assert eval_predicate(EBin(">=", ERef("meta.x"), EConst(5)), p) == 1
+        assert eval_predicate(EBin("!=", ERef("meta.x"), EConst(5)), p) == 0
+
+    def test_arithmetic_in_predicate(self):
+        p = packet_with(x=6)
+        expr = EBin("==", EBin("&", ERef("meta.x"), EConst(2)), EConst(2))
+        assert eval_predicate(expr, p) == 1
+
+    def test_short_circuit(self):
+        # Right side reads an unknown field; && must not evaluate it.
+        expr = EBin("&&", EConst(0), ERef("meta.not_there"))
+        assert eval_predicate(expr, packet_with()) == 0
+
+
+class TestJsonRoundTrip:
+    def test_expr_roundtrip(self):
+        expr = EBin(
+            "&&",
+            EValid("ipv4"),
+            EBin("==", ERef("meta.l3_fwd"), EConst(1)),
+        )
+        assert expr_from_json(expr_to_json(expr)) == expr
+
+    def test_none_expr(self):
+        assert expr_to_json(None) is None
+        assert expr_from_json(None) is None
+
+    def test_action_roundtrip_executes(self):
+        prog = parse_rp4(
+            "action a(bit<16> bd) { meta.bd = bd; decrement_ttl(); }"
+        )
+        act = lower_action(prog.actions["a"])
+        clone = action_from_json(action_to_json(act))
+        p = packet_with(valid_ipv4=True)
+        p.header("ipv4").set("ttl", 9)
+        clone.execute(p, {"bd": 3})
+        assert p.read("meta.bd") == 3
+        assert p.read("ipv4.ttl") == 8
+
+    def test_count_and_mark_roundtrip(self):
+        prog = parse_rp4(
+            "action a(bit<32> threshold) "
+            "{ count_and_mark(threshold, meta.flow_marked); }"
+        )
+        act = action_from_json(action_to_json(lower_action(prog.actions["a"])))
+        assert isinstance(act.ops[0], CountAndMark)

@@ -1,0 +1,181 @@
+"""Unit tests for stage merging and physical layout."""
+
+import pytest
+
+from repro.compiler.dependency import analyze_dependencies
+from repro.compiler.layout import LayoutError, layout_dp, layout_greedy
+from repro.compiler.merge import MergeMode, MergePlan, group_key, plan_merge
+from repro.compiler.stage_graph import StageGraph
+from repro.rp4 import parse_rp4
+from repro.programs import base_rp4_source
+
+
+@pytest.fixture(scope="module")
+def base_plan():
+    program = parse_rp4(base_rp4_source())
+    graph = StageGraph.from_program(program)
+    deps = analyze_dependencies(program)
+    return plan_merge(graph.linearize("ingress"), graph.linearize("egress"), deps)
+
+
+class TestMerge:
+    def test_base_design_fits_seven_tsps(self, base_plan):
+        """The paper's headline: the base design needs seven TSPs."""
+        assert base_plan.tsp_count == 7
+
+    def test_expected_groups(self, base_plan):
+        assert base_plan.ingress_groups == [
+            ["port_map"],
+            ["bridge_vrf"],
+            ["l2_l3"],
+            ["ipv4_lpm", "ipv6_lpm"],
+            ["ipv4_host", "ipv6_host"],
+            ["nexthop"],
+        ]
+        assert base_plan.egress_groups == [["l2_l3_rewrite", "dmac"]]
+
+    def test_merge_mode_none(self):
+        program = parse_rp4(base_rp4_source())
+        graph = StageGraph.from_program(program)
+        deps = analyze_dependencies(program)
+        plan = plan_merge(
+            graph.linearize("ingress"),
+            graph.linearize("egress"),
+            deps,
+            mode=MergeMode.NONE,
+        )
+        assert plan.tsp_count == 10  # one stage per TSP
+
+    def test_merge_mode_exclusive_only(self):
+        program = parse_rp4(base_rp4_source())
+        graph = StageGraph.from_program(program)
+        deps = analyze_dependencies(program)
+        plan = plan_merge(
+            graph.linearize("ingress"),
+            graph.linearize("egress"),
+            deps,
+            mode=MergeMode.EXCLUSIVE,
+        )
+        # v4/v6 pairs merge; independent egress pair does not.
+        assert plan.tsp_count == 8
+
+    def test_max_stages_per_tsp(self):
+        program = parse_rp4(base_rp4_source())
+        graph = StageGraph.from_program(program)
+        deps = analyze_dependencies(program)
+        plan = plan_merge(
+            graph.linearize("ingress"),
+            graph.linearize("egress"),
+            deps,
+            max_stages_per_tsp=1,
+        )
+        assert plan.tsp_count == 10
+
+    def test_group_of(self, base_plan):
+        assert base_plan.group_of("ipv6_lpm") == ["ipv4_lpm", "ipv6_lpm"]
+        with pytest.raises(KeyError):
+            base_plan.group_of("ghost")
+
+    def test_group_key(self):
+        assert group_key(["a", "b"]) == "a+b"
+
+
+class TestInitialLayout:
+    def test_ingress_left_egress_right(self, base_plan):
+        layout = layout_dp(base_plan, 8)
+        assert layout.slot_of("port_map") == 0
+        assert layout.slot_of("l2_l3_rewrite+dmac") == 7
+        assert layout.bypassed_tsps == [6]
+        assert layout.tm_input == 5
+        assert layout.tm_output == 7
+
+    def test_does_not_fit(self, base_plan):
+        with pytest.raises(LayoutError):
+            layout_dp(base_plan, 6)
+
+    def test_initial_all_rewrites(self, base_plan):
+        layout = layout_dp(base_plan, 8)
+        assert len(layout.rewrites) == base_plan.tsp_count
+
+
+class TestIncrementalLayout:
+    def _old(self, base_plan):
+        return dict(layout_dp(base_plan, 8).slots)
+
+    def test_unchanged_design_zero_rewrites(self, base_plan):
+        old = self._old(base_plan)
+        again = layout_dp(base_plan, 8, old)
+        assert again.rewrites == []
+
+    def test_tail_replacement_one_rewrite(self, base_plan):
+        old = self._old(base_plan)
+        modified = MergePlan(
+            ingress_groups=[g for g in base_plan.ingress_groups[:-1]] + [["ecmp"]],
+            egress_groups=list(base_plan.egress_groups),
+        )
+        layout = layout_dp(modified, 8, old)
+        assert layout.rewrites == [5]
+
+    def test_middle_insertion_dp_uses_free_slot(self, base_plan):
+        old = self._old(base_plan)
+        modified = MergePlan(
+            ingress_groups=(
+                base_plan.ingress_groups[:3]
+                + [["inserted"]]
+                + base_plan.ingress_groups[3:]
+            ),
+            egress_groups=list(base_plan.egress_groups),
+        )
+        layout = layout_dp(modified, 8, old)
+        # DP must shift the tail into the free TSP 6, rewriting the
+        # minimum number of templates.
+        greedy = layout_greedy(modified, 8, old)
+        assert len(layout.rewrites) <= len(greedy.rewrites)
+        assert set(layout.slots.values()) == {
+            group_key(g) for g in modified.ingress_groups
+        } | {group_key(g) for g in modified.egress_groups}
+
+    def test_greedy_matches_on_simple_cases(self, base_plan):
+        old = self._old(base_plan)
+        greedy = layout_greedy(base_plan, 8, old)
+        assert greedy.rewrites == []
+
+    def test_order_preserved(self, base_plan):
+        layout = layout_dp(base_plan, 8)
+        slots = [layout.slot_of(group_key(g)) for g in base_plan.ingress_groups]
+        assert slots == sorted(slots)
+
+
+class TestCofireBound:
+    def test_cofire_one_equals_exclusive_merging(self):
+        from repro.compiler.merge import plan_merge as pm
+
+        program = parse_rp4(base_rp4_source())
+        graph = StageGraph.from_program(program)
+        deps = analyze_dependencies(program)
+        bounded = pm(
+            graph.linearize("ingress"), graph.linearize("egress"), deps,
+            mode=MergeMode.FULL, max_cofire_per_tsp=1,
+        )
+        exclusive = pm(
+            graph.linearize("ingress"), graph.linearize("egress"), deps,
+            mode=MergeMode.EXCLUSIVE,
+        )
+        assert bounded.tsp_count == exclusive.tsp_count == 8
+
+    def test_cofire_validation(self):
+        from repro.compiler.merge import plan_merge as pm
+        from repro.compiler.dependency import DependencyInfo
+
+        with pytest.raises(ValueError):
+            pm([], [], DependencyInfo(), max_cofire_per_tsp=0)
+
+    def test_cofire_count(self):
+        from repro.compiler.merge import cofire_count
+
+        program = parse_rp4(base_rp4_source())
+        deps = analyze_dependencies(program)
+        # Exclusive pair shares one lookup.
+        assert cofire_count(["ipv4_lpm"], "ipv6_lpm", deps) == 1
+        # Independent pair co-fires.
+        assert cofire_count(["l2_l3_rewrite"], "dmac", deps) == 2

@@ -1,0 +1,207 @@
+"""Unit tests for rp4bc: base compile, incremental updates, allocation."""
+
+import pytest
+
+from repro.compiler.merge import MergeMode, group_key
+from repro.compiler.rp4bc import (
+    CompileError,
+    TargetSpec,
+    compile_base,
+    compile_update,
+)
+from repro.compiler.layout import LayoutError
+from repro.memory.blocks import MemoryKind
+from repro.programs import (
+    BASE_STAGE_LETTERS,
+    base_rp4_source,
+    ecmp_load_script,
+    ecmp_rp4_source,
+    flowprobe_load_script,
+    flowprobe_rp4_source,
+    srv6_load_script,
+    srv6_rp4_source,
+)
+
+
+@pytest.fixture(scope="module")
+def base():
+    return compile_base(base_rp4_source())
+
+
+class TestCompileBase:
+    def test_seven_tsps(self, base):
+        assert base.plan.tsp_count == 7
+
+    def test_stage_letters(self, base):
+        letters = base.stage_letters(BASE_STAGE_LETTERS)
+        assert letters["A"] == 0
+        assert letters["D"] == letters["E"]  # v4/v6 lpm share a TSP
+        assert letters["I"] == letters["J"]  # egress pair shares a TSP
+
+    def test_selector(self, base):
+        selector = base.config["selector"]
+        assert selector["tm_input"] == 5
+        assert selector["tm_output"] == 7
+        assert selector["bypassed"] == [6]
+
+    def test_tables_allocated(self, base):
+        mappings = base.pool.mappings()
+        assert set(mappings) == set(base.table_layouts)
+        # ipv4_host: 16+32 key + 8 tag + 16 data = 72 bits, 8192 deep
+        host = base.table_layouts["ipv4_host"]
+        assert host.entry_width == 72
+        assert mappings["ipv4_host"].total_blocks == 8  # 1 wide x 8 deep
+
+    def test_table_kinds(self, base):
+        assert base.table_layouts["ipv4_lpm"].kind is MemoryKind.SRAM
+
+    def test_config_complete(self, base):
+        config = base.config
+        assert set(config["tables"]) == set(base.table_layouts)
+        assert "ethernet" in config["headers"]
+        assert "set_bd_dmac" in config["actions"]
+        assert len(config["templates"]) == 7
+
+    def test_too_few_tsps(self):
+        with pytest.raises(LayoutError):
+            compile_base(base_rp4_source(), TargetSpec(n_tsps=5))
+
+    def test_merge_mode_none_needs_ten(self):
+        target = TargetSpec(n_tsps=10, merge_mode=MergeMode.NONE)
+        design = compile_base(base_rp4_source(), target)
+        assert design.plan.tsp_count == 10
+
+    def test_greedy_layout_target(self):
+        design = compile_base(
+            base_rp4_source(), TargetSpec(layout_algorithm="greedy")
+        )
+        assert design.plan.tsp_count == 7
+
+    def test_bad_layout_algorithm(self):
+        with pytest.raises(CompileError):
+            compile_base(
+                base_rp4_source(), TargetSpec(layout_algorithm="quantum")
+            )
+
+
+class TestEcmpUpdate:
+    @pytest.fixture(scope="class")
+    def plan(self):
+        base = compile_base(base_rp4_source())
+        return compile_update(
+            base, ecmp_load_script(), {"ecmp.rp4": ecmp_rp4_source()}
+        )
+
+    def test_one_tsp_rewritten(self, plan):
+        assert plan.rewritten_tsps == [5]
+        assert len(plan.new_templates) == 1
+        assert plan.new_templates[0]["tsp"] == 5
+
+    def test_replaces_nexthop(self, plan):
+        assert plan.removed_stages == ["nexthop"]
+        assert plan.freed_tables == ["nexthop"]
+        assert "nexthop" not in plan.design.program.tables
+
+    def test_new_tables_allocated(self, plan):
+        assert plan.new_tables == ["ecmp_ipv4", "ecmp_ipv6"]
+        assert "ecmp_ipv4" in plan.design.pool.mappings()
+        assert "nexthop" not in plan.design.pool.mappings()
+
+    def test_blocks_recycled(self, plan):
+        base = compile_base(base_rp4_source())
+        # nexthop blocks were freed before ecmp blocks were claimed
+        assert plan.design.pool.free_count(MemoryKind.SRAM) <= base.pool.free_count(
+            MemoryKind.SRAM
+        )
+
+    def test_old_design_untouched(self):
+        base = compile_base(base_rp4_source())
+        snapshot_tables = set(base.program.tables)
+        compile_update(base, ecmp_load_script(), {"ecmp.rp4": ecmp_rp4_source()})
+        assert set(base.program.tables) == snapshot_tables
+        assert "ecmp" not in base.graph.nodes
+        assert "nexthop" in base.pool.mappings()
+
+    def test_unchanged_templates_reused(self, plan):
+        base = compile_base(base_rp4_source())
+        old_by_slot = {t["tsp"]: t for t in base.templates}
+        for template in plan.design.templates:
+            if template["tsp"] != 5:
+                assert template == old_by_slot[template["tsp"]]
+
+
+class TestSrv6Update:
+    @pytest.fixture(scope="class")
+    def plan(self):
+        base = compile_base(base_rp4_source())
+        return compile_update(
+            base, srv6_load_script(), {"srv6.rp4": srv6_rp4_source()}
+        )
+
+    def test_header_links(self, plan):
+        pairs = {(l.pre, l.tag, l.next) for l in plan.link_headers}
+        assert ("ipv6", 43, "srh") in pairs
+        assert ("srh", 41, "inner_ipv6") in pairs
+        assert ("srh", 4, "inner_ipv4") in pairs
+
+    def test_merges_without_extra_tsp(self, plan):
+        # srv6 shares a TSP with an independent base stage, so the
+        # update still fits in 7 TSPs and rewrites exactly one template.
+        group = plan.design.plan.group_of("srv6")
+        assert len(group) == 2 and "srv6" in group
+        assert plan.design.plan.tsp_count == 7
+        assert len(plan.rewritten_tsps) == 1
+        # Ordering constraint: srv6 (writes ipv6.dst_addr) must be
+        # placed before the FIB stages that read it.
+        order = [
+            name
+            for _, g in plan.design.plan.all_groups()
+            for name in g
+        ]
+        assert order.index("srv6") < order.index("ipv6_lpm")
+
+    def test_srh_header_in_config(self, plan):
+        assert "srh" in plan.design.config["headers"]
+        assert ("seg0", 128) in [
+            tuple(f) for f in plan.design.config["headers"]["srh"]["fields"]
+        ]
+
+    def test_exclusivity_preserved(self, plan):
+        deps = plan.design.deps
+        assert deps.headers_exclusive("ipv4", "ipv6")
+
+    def test_unload_restores(self, plan):
+        after = compile_update(plan.design, "unload --func_name srv6")
+        assert after.removed_stages == ["srv6"]
+        assert sorted(after.freed_tables) == ["end_transit", "local_sid"]
+        assert after.design.plan.tsp_count == 7
+        assert "srv6" not in after.design.program.all_stages()
+
+
+class TestErrors:
+    def test_missing_snippet_source(self):
+        base = compile_base(base_rp4_source())
+        with pytest.raises(CompileError, match="no source"):
+            compile_update(base, "load ghost.rp4 --func_name g", {})
+
+    def test_update_failure_leaves_design_intact(self):
+        base = compile_base(base_rp4_source())
+        before = dict(base.layout.slots)
+        with pytest.raises(Exception):
+            compile_update(base, "del_link port_map nexthop")
+        assert base.layout.slots == before
+
+
+class TestChainedUpdates:
+    def test_probe_then_ecmp(self):
+        base = compile_base(base_rp4_source())
+        step1 = compile_update(
+            base, flowprobe_load_script(), {"flowprobe.rp4": flowprobe_rp4_source()}
+        )
+        step2 = compile_update(
+            step1.design, ecmp_load_script(), {"ecmp.rp4": ecmp_rp4_source()}
+        )
+        stages = step2.design.program.all_stages()
+        assert "flow_probe" in stages and "ecmp" in stages
+        assert "nexthop" not in stages
+        assert step2.design.plan.tsp_count == 7

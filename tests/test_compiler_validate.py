@@ -1,0 +1,139 @@
+"""Tests for the device-config validator."""
+
+import pytest
+
+from repro.compiler.rp4bc import compile_base
+from repro.compiler.validate import ConfigError, check_config, validate_config
+from repro.programs import base_rp4_source
+
+
+@pytest.fixture(scope="module")
+def good():
+    return compile_base(base_rp4_source()).config
+
+
+class TestValidConfig:
+    def test_compiled_config_is_clean(self, good):
+        assert validate_config(good) == []
+        check_config(good)  # must not raise
+
+    def test_non_dict(self):
+        assert validate_config([]) == ["config must be a JSON object"]
+
+
+class TestHeaderChecks:
+    def test_fieldless_header(self, good):
+        bad = dict(good, headers={"x": {"fields": []}})
+        assert any("no fields" in e for e in validate_config(bad))
+
+    def test_bad_selector(self, good):
+        bad = dict(
+            good,
+            headers={"x": {"fields": [["a", 8]], "selector": "ghost", "links": []}},
+        )
+        assert any("selector" in e for e in validate_config(bad))
+
+    def test_bad_field_width(self, good):
+        bad = dict(good, headers={"x": {"fields": [["a", 0]]}})
+        assert any("malformed field" in e for e in validate_config(bad))
+
+    def test_malformed_link(self, good):
+        bad = dict(
+            good,
+            headers={"x": {"fields": [["a", 8]], "links": [["tag", "y", 3]]}},
+        )
+        assert any("malformed link" in e for e in validate_config(bad))
+
+
+class TestTableChecks:
+    def test_keyless_table(self, good):
+        bad = dict(good)
+        bad["tables"] = dict(good["tables"], broken={"keys": [], "size": 8})
+        assert any("no keys" in e for e in validate_config(bad))
+
+    def test_unknown_match_kind(self, good):
+        bad = dict(good)
+        bad["tables"] = dict(
+            good["tables"],
+            broken={"keys": [["meta.x", "fuzzy", 8]], "size": 8},
+        )
+        assert any("fuzzy" in e for e in validate_config(bad))
+
+    def test_bad_size(self, good):
+        bad = dict(good)
+        bad["tables"] = dict(
+            good["tables"],
+            broken={"keys": [["meta.x", "exact", 8]], "size": 0},
+        )
+        assert any("bad size" in e for e in validate_config(bad))
+
+
+class TestTemplateChecks:
+    def test_out_of_range_tsp(self, good):
+        bad = dict(good)
+        bad["templates"] = good["templates"] + [
+            {"tsp": 99, "side": "ingress", "stages": []}
+        ]
+        assert any("invalid TSP" in e for e in validate_config(bad))
+
+    def test_duplicate_slot(self, good):
+        bad = dict(good)
+        bad["templates"] = good["templates"] + [good["templates"][0]]
+        assert any("two templates" in e for e in validate_config(bad))
+
+    def test_undeclared_table_reference(self, good):
+        bad = dict(good)
+        template = {
+            "tsp": 6,
+            "side": "ingress",
+            "stages": [
+                {
+                    "name": "s",
+                    "parser": [],
+                    "matcher": [{"cond": None, "table": "ghost"}],
+                    "executor": {"default": "NoAction"},
+                }
+            ],
+        }
+        bad["templates"] = good["templates"] + [template]
+        assert any("ghost" in e for e in validate_config(bad))
+
+    def test_undeclared_action_reference(self, good):
+        bad = dict(good)
+        template = {
+            "tsp": 6,
+            "side": "ingress",
+            "stages": [
+                {
+                    "name": "s",
+                    "parser": [],
+                    "matcher": [],
+                    "executor": {"1": "ghost_action"},
+                }
+            ],
+        }
+        bad["templates"] = good["templates"] + [template]
+        assert any("ghost_action" in e for e in validate_config(bad))
+
+
+class TestSelectorChecks:
+    def test_inverted_boundary(self, good):
+        bad = dict(good, selector={"tm_input": 7, "tm_output": 2, "active": []})
+        assert any("precede" in e for e in validate_config(bad))
+
+    def test_overlap(self, good):
+        bad = dict(
+            good, selector={"tm_input": 1, "tm_output": 2,
+                            "active": [1], "bypassed": [1]}
+        )
+        assert any("both active and bypassed" in e for e in validate_config(bad))
+
+    def test_errors_collected(self, good):
+        bad = dict(
+            good,
+            headers={"x": {"fields": []}},
+            selector={"tm_input": 7, "tm_output": 2, "active": []},
+        )
+        with pytest.raises(ConfigError) as exc:
+            check_config(bad)
+        assert len(exc.value.errors) >= 2

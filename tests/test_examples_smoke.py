@@ -1,0 +1,56 @@
+"""Smoke tests: every example script must run to completion.
+
+Examples are documentation that executes; breaking one is breaking
+the README's promises.  Each runs in-process (fast) with stdout
+captured.
+"""
+
+import pathlib
+import runpy
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 5
+    assert "quickstart.py" in EXAMPLES
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name, capsys):
+    runpy.run_path(str(EXAMPLES_DIR / name), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{name} produced no output"
+
+
+class TestExampleOutputs:
+    def test_quickstart_shows_mapping(self, capsys):
+        runpy.run_path(str(EXAMPLES_DIR / "quickstart.py"), run_name="__main__")
+        out = capsys.readouterr().out
+        assert "TSP mapping" in out
+        assert "out port 3" in out
+
+    def test_ecmp_example_spreads(self, capsys):
+        runpy.run_path(
+            str(EXAMPLES_DIR / "ecmp_runtime_update.py"), run_name="__main__"
+        )
+        out = capsys.readouterr().out
+        assert "egress distribution" in out
+        assert "blocks recycled" in out
+
+    def test_srv6_example_end_behavior(self, capsys):
+        runpy.run_path(
+            str(EXAMPLES_DIR / "srv6_insertion.py"), run_name="__main__"
+        )
+        out = capsys.readouterr().out
+        assert "2001:db8:2::1" in out
+
+    def test_two_node_chain(self, capsys):
+        runpy.run_path(
+            str(EXAMPLES_DIR / "srv6_two_node_chain.py"), run_name="__main__"
+        )
+        out = capsys.readouterr().out
+        assert "2001:db8:2::42" in out

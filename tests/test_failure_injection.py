@@ -1,0 +1,154 @@
+"""Failure-injection tests: malformed inputs and resource exhaustion
+must fail loudly and leave running state intact."""
+
+import pytest
+
+from repro.compiler.rp4bc import (
+    CompileError,
+    TargetSpec,
+    compile_base,
+    compile_update,
+)
+from repro.ipsa.switch import IpsaSwitch, SwitchError
+from repro.memory.pool import AllocationError
+from repro.net.packet import ParseError
+from repro.programs import (
+    base_rp4_source,
+    ecmp_load_script,
+    ecmp_rp4_source,
+    populate_base_tables,
+)
+from repro.runtime import Controller
+from repro.workloads import ipv4_packet
+
+
+class TestMalformedConfigs:
+    def test_table_without_keys(self):
+        switch = IpsaSwitch()
+        with pytest.raises(SwitchError):
+            switch.load_config(
+                {"tables": {"broken": {"size": 8}}, "templates": []}
+            )
+
+    def test_template_to_missing_tsp(self):
+        design = compile_base(base_rp4_source())
+        switch = IpsaSwitch(n_tsps=4)  # too small for the layout
+        with pytest.raises(Exception):
+            switch.load_config(design.config)
+
+    def test_empty_config_is_inert(self):
+        switch = IpsaSwitch()
+        switch.load_config({})
+        assert switch.inject(ipv4_packet("10.0.0.1", "10.0.0.2"), 0) is not None
+
+
+class TestMalformedUpdates:
+    def test_link_from_unknown_header(self):
+        controller = Controller()
+        controller.load_base(base_rp4_source())
+        with pytest.raises(KeyError):
+            controller.switch.apply_update(
+                {"link_headers": [["ghost", 7, "ipv4"]]}
+            )
+
+    def test_unlink_missing_edge(self):
+        controller = Controller()
+        controller.load_base(base_rp4_source())
+        with pytest.raises(KeyError):
+            controller.switch.apply_update({"unlink_headers": [["ipv4", 99]]})
+
+    def test_freeing_unknown_table_is_tolerated(self):
+        controller = Controller()
+        controller.load_base(base_rp4_source())
+        stats = controller.switch.apply_update({"freed_tables": ["ghost"]})
+        assert stats.tables_removed == ["ghost"]
+
+
+class TestResourceExhaustion:
+    def test_pool_too_small_fails_at_compile(self):
+        target = TargetSpec(sram_blocks=4, tcam_blocks=0)
+        with pytest.raises(AllocationError):
+            compile_base(base_rp4_source(), target)
+
+    def test_exhausted_update_leaves_design_usable(self):
+        # A pool just big enough for the base design; the ECMP tables
+        # cannot be placed.
+        base = compile_base(base_rp4_source())
+        needed = sum(
+            m.total_blocks for m in base.pool.mappings().values()
+        )
+        target = TargetSpec(sram_blocks=needed, tcam_blocks=0)
+        design = compile_base(base_rp4_source(), target)
+        with pytest.raises(AllocationError):
+            compile_update(
+                design, ecmp_load_script(), {"ecmp.rp4": ecmp_rp4_source()}
+            )
+        # The running design's pool is untouched (clone semantics).
+        assert set(design.pool.mappings()) == set(base.pool.mappings())
+
+    def test_table_overflow_is_loud(self):
+        controller = Controller()
+        controller.load_base(base_rp4_source())
+        api = controller.api("port_map")
+        for i in range(64):
+            api.install((100 + i,), "set_intf", {"intf": i})
+        with pytest.raises(OverflowError):
+            api.install((999,), "set_intf", {"intf": 0})
+
+
+class TestMalformedPackets:
+    @pytest.fixture
+    def switch(self):
+        controller = Controller()
+        controller.load_base(base_rp4_source())
+        populate_base_tables(controller.switch.tables)
+        return controller.switch
+
+    def test_truncated_ethernet(self, switch):
+        with pytest.raises(ParseError):
+            switch.inject(b"\x00" * 8, 0)
+
+    def test_truncated_ipv4(self, switch):
+        data = ipv4_packet("10.1.0.1", "10.2.0.5")[:20]
+        with pytest.raises(ParseError):
+            switch.inject(data, 0)
+
+    def test_runt_but_parseable_forwards(self, switch):
+        # Ethernet claims IPv4 but the packet ends exactly after the
+        # IP header: legal parse, empty L4.
+        full = ipv4_packet("10.1.0.1", "10.2.0.5")
+        runt = full[: 14 + 20]
+        out = switch.inject(runt, 0)
+        assert out is not None
+
+    def test_unknown_ethertype_bridges(self, switch):
+        from repro.programs.base_l2l3 import HOST_MACS
+        from repro.net.addresses import parse_mac
+
+        data = (
+            parse_mac(HOST_MACS[2]).to_bytes(6, "big")
+            + b"\x02" + b"\x00" * 5
+            + (0x88B5).to_bytes(2, "big")
+            + b"payload-of-an-experimental-protocol"
+        )
+        out = switch.inject(data, 0)
+        assert out is not None and out.port == 1  # L2 path still works
+
+
+class TestScriptFailuresAtomicity:
+    def test_failed_script_changes_nothing(self):
+        controller = Controller()
+        controller.load_base(base_rp4_source())
+        populate_base_tables(controller.switch.tables)
+        design_before = controller.design
+        tables_before = set(controller.switch.tables)
+
+        with pytest.raises(Exception):
+            controller.run_script(
+                "load ecmp.rp4 --func_name ecmp\nadd_link ghost ecmp",
+                {"ecmp.rp4": ecmp_rp4_source()},
+            )
+        assert controller.design is design_before
+        assert set(controller.switch.tables) == tables_before
+        out = controller.switch.inject(ipv4_packet("10.1.0.1", "10.2.0.5"), 0)
+        assert out is not None and out.port == 3

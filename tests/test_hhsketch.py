@@ -1,0 +1,155 @@
+"""Tests for register/sketch externs and the C4 heavy-hitter use case."""
+
+import pytest
+
+from repro.programs import base_rp4_source, populate_base_tables
+from repro.programs.hhsketch import (
+    hhsketch_load_script,
+    hhsketch_rp4_source,
+    populate_hhsketch_tables,
+)
+from repro.runtime import Controller
+from repro.tables.registers import CountMinSketch, ExternStore, RegisterArray
+from repro.workloads import ipv4_packet
+
+
+class TestRegisterArray:
+    def test_read_write(self):
+        reg = RegisterArray("r", 8, width=16)
+        reg.write(3, 0x1FFFF)
+        assert reg.read(3) == 0xFFFF  # truncated to width
+
+    def test_add_saturates(self):
+        reg = RegisterArray("r", 2, width=4)
+        for _ in range(20):
+            reg.add(0)
+        assert reg.read(0) == 15
+
+    def test_bounds(self):
+        reg = RegisterArray("r", 4)
+        with pytest.raises(IndexError):
+            reg.read(4)
+        with pytest.raises(IndexError):
+            reg.write(-1, 0)
+
+    def test_clear(self):
+        reg = RegisterArray("r", 4)
+        reg.add(1, 5)
+        reg.clear()
+        assert reg.read(1) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RegisterArray("r", 0)
+        with pytest.raises(ValueError):
+            RegisterArray("r", 4, width=0)
+
+
+class TestCountMinSketch:
+    def test_counts_monotone(self):
+        sketch = CountMinSketch("s", rows=4, columns=64)
+        estimates = [sketch.update([1, 2]) for _ in range(10)]
+        assert estimates == list(range(1, 11))
+
+    def test_estimate_never_undercounts(self):
+        sketch = CountMinSketch("s", rows=4, columns=32)
+        truth = {}
+        for key in range(50):
+            for _ in range(key % 5 + 1):
+                sketch.update([key])
+                truth[key] = truth.get(key, 0) + 1
+        for key, count in truth.items():
+            assert sketch.estimate([key]) >= count
+
+    def test_distinct_keys_mostly_independent(self):
+        sketch = CountMinSketch("s", rows=4, columns=1024)
+        for _ in range(100):
+            sketch.update([42, 43])
+        assert sketch.estimate([7, 8]) <= 5  # tiny collision noise at most
+
+    def test_clear(self):
+        sketch = CountMinSketch("s")
+        sketch.update([1])
+        sketch.clear()
+        assert sketch.estimate([1]) == 0
+        assert sketch.updates == 0
+
+
+class TestExternStore:
+    def test_lazy_creation_and_reuse(self):
+        store = ExternStore()
+        a = store.sketch("x")
+        assert store.sketch("x") is a
+        r = store.register_array("y", size=8)
+        assert store.register_array("y") is r
+
+    def test_drop(self):
+        store = ExternStore()
+        store.sketch("x")
+        assert store.drop("x")
+        assert not store.drop("x")
+
+
+class TestHeavyHitterUseCase:
+    @pytest.fixture
+    def controller(self):
+        ctl = Controller()
+        ctl.load_base(base_rp4_source())
+        populate_base_tables(ctl.switch.tables)
+        ctl.run_script(
+            hhsketch_load_script(), {"hhsketch.rp4": hhsketch_rp4_source()}
+        )
+        return ctl
+
+    def test_loads_in_service(self, controller):
+        assert "hh_filter" in controller.switch.tables
+        assert controller.design.plan.tsp_count == 7
+
+    def test_detects_heavy_flow(self, controller):
+        populate_hhsketch_tables(controller.switch.tables, threshold=10)
+        # A heavy flow: 15 packets; marked once past the threshold.
+        for i in range(15):
+            out = controller.switch.inject(
+                ipv4_packet("10.1.0.1", "10.2.0.1", sport=7000), 0
+            )
+            assert out is not None
+        sketch = controller.switch.externs.sketches["hh_update"]
+        assert sketch.updates == 15
+        from repro.net.addresses import parse_ipv4
+
+        estimate = sketch.estimate(
+            [parse_ipv4("10.1.0.1"), parse_ipv4("10.2.0.1")]
+        )
+        assert estimate == 15
+
+    def test_light_flows_not_marked(self, controller):
+        populate_hhsketch_tables(controller.switch.tables, threshold=10)
+        for i in range(30):
+            controller.switch.inject(
+                ipv4_packet("10.1.0.1", f"10.2.3.{i + 1}"), 0
+            )
+        sketch = controller.switch.externs.sketches["hh_update"]
+        from repro.net.addresses import parse_ipv4
+
+        assert (
+            sketch.estimate(
+                [parse_ipv4("10.1.0.1"), parse_ipv4("10.2.3.1")]
+            )
+            <= 3
+        )
+
+    def test_offload_recycles_state(self, controller):
+        populate_hhsketch_tables(controller.switch.tables)
+        controller.switch.inject(ipv4_packet("10.1.0.1", "10.2.0.1"), 0)
+        controller.run_script("unload --func_name hh_sketch")
+        assert "hh_filter" not in controller.switch.tables
+        # Extern cleanup is the controller's job on offload.
+        controller.switch.externs.drop("hh_update")
+        assert "hh_update" not in controller.switch.externs.sketches
+
+    def test_json_roundtrip_of_sketch_action(self, controller):
+        from repro.compiler.lowering import action_from_json, action_to_json
+
+        action = controller.switch.actions["hh_update"]
+        clone = action_from_json(action_to_json(action))
+        assert len(clone.ops) == 2

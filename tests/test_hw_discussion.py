@@ -1,0 +1,91 @@
+"""Unit tests for the Sec. 5 Discussion models."""
+
+import pytest
+
+from repro.hw.discussion import (
+    LatencyModel,
+    capacity_vs_pipelines,
+    ipsa_effective_capacity,
+    ipsa_effective_stages,
+    ipsa_latency,
+    latency_vs_stages,
+    pisa_effective_capacity,
+    pisa_effective_stages,
+    pisa_latency,
+    stages_vs_table_size,
+)
+
+
+class TestMultiPipelineCapacity:
+    def test_single_pipeline_equal(self):
+        assert pisa_effective_capacity(112, 1) == 112
+        assert ipsa_effective_capacity(112, 1) == 112
+
+    def test_pisa_divides_by_pipelines(self):
+        assert pisa_effective_capacity(112, 4) == 28
+
+    def test_ipsa_pays_only_port_overhead(self):
+        assert ipsa_effective_capacity(112, 4) > pisa_effective_capacity(112, 4)
+        assert ipsa_effective_capacity(112, 4) < 112  # multi-porting not free
+
+    def test_series_shape(self):
+        rows = capacity_vs_pipelines(112, 4)
+        assert len(rows) == 4
+        # Gap widens with pipeline count.
+        gaps = [ipsa - pisa for _, pisa, ipsa in rows]
+        assert gaps[0] == 0 and gaps[-1] > gaps[1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pisa_effective_capacity(10, 0)
+        with pytest.raises(ValueError):
+            ipsa_effective_capacity(10, 0)
+
+
+class TestStageExpansion:
+    def test_small_table_no_cost(self):
+        assert pisa_effective_stages(8, 6, 12) == 8
+        assert ipsa_effective_stages(8, 6, 96) == 8
+
+    def test_pisa_loses_stages(self):
+        # A 48-block table over 12-block stages eats 4 stages (3 extra).
+        assert pisa_effective_stages(8, 48, 12) == 5
+
+    def test_ipsa_always_one_tsp(self):
+        assert ipsa_effective_stages(8, 48, 96) == 8
+        assert ipsa_effective_stages(8, 96, 96) == 8
+
+    def test_ipsa_pool_limit(self):
+        assert ipsa_effective_stages(8, 97, 96) == 0
+
+    def test_series_shape(self):
+        rows = stages_vs_table_size()
+        pisa_series = [p for _, p, _ in rows]
+        ipsa_series = [i for _, _, i in rows]
+        assert pisa_series == sorted(pisa_series, reverse=True)
+        assert all(i == 8 for i in ipsa_series)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pisa_effective_stages(8, 4, 0)
+
+
+class TestLatency:
+    def test_pisa_flat_in_effective_stages(self):
+        rows = latency_vs_stages()
+        assert len({p for _, p, _ in rows}) == 1
+
+    def test_ipsa_grows_with_active(self):
+        rows = latency_vs_stages()
+        ipsa_series = [i for _, _, i in rows]
+        assert ipsa_series == sorted(ipsa_series)
+
+    def test_crossover(self):
+        # Short designs: IPSA's path is shorter despite the crossbar tax.
+        assert ipsa_latency(3) < pisa_latency(8)
+        # Full occupancy: the crossbar + distributed parser tax shows.
+        assert ipsa_latency(8) > pisa_latency(8)
+
+    def test_custom_model(self):
+        model = LatencyModel(crossbar_cycles=0, tsp_extra_cycles=0)
+        assert ipsa_latency(8, model) < pisa_latency(8, model)

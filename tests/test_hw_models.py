@@ -1,0 +1,132 @@
+"""Unit tests for the hardware resource/power/throughput models."""
+
+import pytest
+
+from repro.compiler.rp4bc import TargetSpec, compile_base
+from repro.hw import (
+    ipsa_power,
+    ipsa_resources,
+    ipsa_throughput,
+    pisa_power,
+    pisa_resources,
+    pisa_throughput,
+    power_vs_stages,
+)
+from repro.hw.power import crossover_stage
+from repro.ipsa.switch import IpsaSwitch
+from repro.memory.crossbar import ClusteredCrossbar
+from repro.p4 import build_hlir, parse_p4
+from repro.pisa.switch import PisaSwitch
+from repro.programs import base_p4_source, base_rp4_source
+from repro.programs.base_l2l3 import populate_base_tables
+from repro.workloads import mixed_l3_trace
+
+
+@pytest.fixture(scope="module")
+def base_design():
+    return compile_base(base_rp4_source())
+
+
+@pytest.fixture(scope="module")
+def base_hlir():
+    return build_hlir(parse_p4(base_p4_source()))
+
+
+class TestResources:
+    def test_pisa_breakdown_matches_paper(self, base_hlir):
+        report = pisa_resources(base_hlir, n_stages=8)
+        assert report.lut["Front parser"] == pytest.approx(0.88, abs=0.05)
+        assert report.lut_total == pytest.approx(6.20, abs=0.1)
+        assert report.ff_total == pytest.approx(0.57, abs=0.05)
+
+    def test_ipsa_breakdown_matches_paper(self, base_design):
+        report = ipsa_resources(base_design)
+        assert report.lut["Crossbar"] == pytest.approx(1.29, abs=0.1)
+        assert report.lut_total == pytest.approx(7.12, abs=0.2)
+        assert 0.75 <= report.ff_total <= 1.0  # paper: 0.92
+
+    def test_ipsa_costs_more_than_pisa(self, base_design, base_hlir):
+        ipsa = ipsa_resources(base_design)
+        pisa = pisa_resources(base_hlir)
+        assert ipsa.lut_total > pisa.lut_total
+        assert ipsa.ff_total > pisa.ff_total
+        # FF penalty proportionally larger (template stores are FF-heavy)
+        assert (ipsa.ff_total / pisa.ff_total) > (ipsa.lut_total / pisa.lut_total)
+
+    def test_clustered_crossbar_cheaper(self):
+        target = TargetSpec(
+            memory_clusters=4,
+            crossbar=ClusteredCrossbar(tsp_cluster_size=2, memory_clusters=4),
+        )
+        clustered = ipsa_resources(compile_base(base_rp4_source(), target))
+        full = ipsa_resources(compile_base(base_rp4_source()))
+        assert clustered.lut["Crossbar"] < full.lut["Crossbar"]
+
+    def test_rows_include_total(self, base_hlir):
+        rows = pisa_resources(base_hlir).rows()
+        assert rows[-1][0] == "Total"
+
+
+class TestPower:
+    def test_pisa_flat(self):
+        assert pisa_power(8).total == pytest.approx(2.95, abs=0.01)
+
+    def test_ipsa_about_ten_percent_more(self):
+        ratio = ipsa_power(8).total / pisa_power(8).total
+        assert 1.05 <= ratio <= 1.20
+
+    def test_ipsa_scales_with_active(self):
+        totals = [ipsa_power(k).total for k in range(1, 9)]
+        assert totals == sorted(totals)
+        assert totals[0] < pisa_power(8).total
+
+    def test_fig6_series(self):
+        rows = power_vs_stages()
+        assert len(rows) == 8
+        pisa_values = {p for _, p, _ in rows}
+        assert len(pisa_values) == 1  # PISA is flat
+        assert rows[0][2] < rows[0][1]  # IPSA wins at low occupancy
+        assert rows[-1][2] > rows[-1][1]  # and loses at full occupancy
+
+    def test_crossover_exists(self):
+        cross = crossover_stage()
+        assert cross is not None and 2 <= cross <= 8
+
+    def test_active_bounds(self):
+        with pytest.raises(ValueError):
+            ipsa_power(9, n_tsps=8)
+
+
+class TestThroughput:
+    @pytest.fixture(scope="class")
+    def reports(self, base_design):
+        ipsa = IpsaSwitch()
+        ipsa.load_config(base_design.config)
+        populate_base_tables(ipsa.tables)
+        pisa = PisaSwitch(n_stages=8)
+        pisa.load(base_p4_source())
+        populate_base_tables(pisa.tables)
+        trace = mixed_l3_trace(200)
+        return (
+            pisa_throughput(pisa, trace),
+            ipsa_throughput(ipsa, base_design, trace),
+        )
+
+    def test_pisa_faster(self, reports):
+        pisa, ipsa = reports
+        assert pisa.model_mpps > ipsa.model_mpps
+        assert 1.5 <= pisa.model_mpps / ipsa.model_mpps <= 5.0
+
+    def test_magnitudes(self, reports):
+        pisa, ipsa = reports
+        assert 90 <= pisa.model_mpps <= 210
+        assert 30 <= ipsa.model_mpps <= 110
+
+    def test_all_forwarded(self, reports):
+        pisa, ipsa = reports
+        assert pisa.forwarded == pisa.packets
+        assert ipsa.forwarded == ipsa.packets
+
+    def test_software_pps_measured(self, reports):
+        pisa, ipsa = reports
+        assert pisa.software_pps > 0 and ipsa.software_pps > 0

@@ -1,0 +1,237 @@
+"""Integration tests: in-service updates under live traffic.
+
+These exercise the paper's headline claim end to end: traffic flows,
+a function is loaded/offloaded at runtime, existing table state
+survives, and traffic (including the new protocol) flows again.
+"""
+
+import pytest
+
+from repro.runtime import Controller
+from repro.programs import (
+    base_rp4_source,
+    ecmp_load_script,
+    ecmp_rp4_source,
+    flowprobe_load_script,
+    flowprobe_rp4_source,
+    populate_base_tables,
+    populate_ecmp_tables,
+    populate_flowprobe_tables,
+    populate_srv6_tables,
+    srv6_load_script,
+    srv6_rp4_source,
+)
+from repro.workloads import ipv4_packet, ipv6_packet, srv6_packet
+
+
+@pytest.fixture
+def controller():
+    ctl = Controller()
+    ctl.load_base(base_rp4_source())
+    populate_base_tables(ctl.switch.tables)
+    return ctl
+
+
+def v4_probe(ctl, dst="10.2.0.5", sport=1234):
+    return ctl.switch.inject(ipv4_packet("10.1.0.1", dst, sport=sport), 0)
+
+
+class TestEcmpLifecycle:
+    def test_full_lifecycle(self, controller):
+        # 1. Traffic flows before the update.
+        assert v4_probe(controller).port == 3
+
+        # 2. Load ECMP in service.
+        plan, stats, _ = controller.run_script(
+            ecmp_load_script(), {"ecmp.rp4": ecmp_rp4_source()}
+        )
+        populate_ecmp_tables(controller.switch.tables)
+
+        # 3. Flows (distinct destinations -- the Fig. 5(a) key hashes
+        #    nexthop + dst_addr) spread across the member links,
+        #    deterministically per flow.
+        ports = {
+            v4_probe(controller, dst=f"10.2.0.{i + 1}").port for i in range(40)
+        }
+        assert ports == {2, 3}
+        first = v4_probe(controller, dst="10.2.0.7").port
+        assert all(
+            v4_probe(controller, dst="10.2.0.7").port == first for _ in range(5)
+        )
+
+        # 4. The replaced stage's table is gone, base tables intact.
+        assert "nexthop" not in controller.switch.tables
+        assert len(controller.switch.table("ipv4_lpm")) == 3
+
+    def test_ipv6_ecmp_too(self, controller):
+        controller.run_script(ecmp_load_script(), {"ecmp.rp4": ecmp_rp4_source()})
+        populate_ecmp_tables(controller.switch.tables)
+        ports = set()
+        for i in range(40):
+            out = controller.switch.inject(
+                ipv6_packet("2001:db8:1::1", f"2001:db8:2::{i + 1:x}"), 0
+            )
+            assert out is not None
+            ports.add(out.port)
+        assert ports == {2, 3}
+
+
+class TestSrv6Lifecycle:
+    def test_new_protocol_at_runtime(self, controller):
+        endpoint_packet = srv6_packet(
+            src="2001:db8:9::1",
+            active_sid="2001:db8:100::1",
+            segments=["2001:db8:2::1", "2001:db8:100::1"],
+            segments_left=1,
+        )
+        # Before the update the switch cannot interpret the SRH: the
+        # packet is treated as an unroutable IPv6 destination.
+        before = controller.switch.inject(endpoint_packet, 0)
+        assert before is None or before.port == 1  # default-route fallback
+
+        controller.run_script(srv6_load_script(), {"srv6.rp4": srv6_rp4_source()})
+        populate_srv6_tables(controller.switch.tables)
+
+        out = controller.switch.inject(endpoint_packet, 0)
+        assert out is not None and out.port == 3
+        # End behavior: segments_left decremented, DA = next segment.
+        srh_off = 14 + 40
+        assert out.data[srh_off + 3] == 0
+        assert out.data[14 + 24 : 14 + 40] == bytes.fromhex(
+            "20010db8000200000000000000000001"
+        )
+
+    def test_plain_l3_still_works(self, controller):
+        """'the linkage between routable and ipvx is reserved'"""
+        controller.run_script(srv6_load_script(), {"srv6.rp4": srv6_rp4_source()})
+        populate_srv6_tables(controller.switch.tables)
+        assert v4_probe(controller).port == 3
+        out = controller.switch.inject(
+            ipv6_packet("2001:db8:1::1", "2001:db8:2::9"), 0
+        )
+        assert out is not None and out.port == 3
+
+    def test_offload_srv6(self, controller):
+        controller.run_script(srv6_load_script(), {"srv6.rp4": srv6_rp4_source()})
+        populate_srv6_tables(controller.switch.tables)
+        controller.run_script("unload --func_name srv6")
+        assert "local_sid" not in controller.switch.tables
+        assert v4_probe(controller).port == 3
+
+
+class TestFlowProbeLifecycle:
+    def test_threshold_marks_to_cpu_path(self, controller):
+        controller.run_script(
+            flowprobe_load_script(), {"flowprobe.rp4": flowprobe_rp4_source()}
+        )
+        populate_flowprobe_tables(controller.switch.tables)
+        # Threshold for (10.1.0.1, 10.2.0.1) is 5.
+        marks = []
+        for _ in range(8):
+            out = controller.switch.inject(
+                ipv4_packet("10.1.0.1", "10.2.0.1", sport=5000), 0
+            )
+            assert out is not None
+        entry = controller.switch.table("flow_probe").entries()[0]
+        assert entry.counter == 8
+
+    def test_unprobed_flows_unaffected(self, controller):
+        controller.run_script(
+            flowprobe_load_script(), {"flowprobe.rp4": flowprobe_rp4_source()}
+        )
+        populate_flowprobe_tables(controller.switch.tables)
+        out = v4_probe(controller, dst="10.2.9.9")
+        assert out is not None
+        for entry in controller.switch.table("flow_probe").entries():
+            assert entry.counter == 0
+
+
+class TestChainedLifecycles:
+    def test_probe_then_ecmp_then_offload(self, controller):
+        controller.run_script(
+            flowprobe_load_script(), {"flowprobe.rp4": flowprobe_rp4_source()}
+        )
+        populate_flowprobe_tables(controller.switch.tables)
+        controller.run_script(ecmp_load_script(), {"ecmp.rp4": ecmp_rp4_source()})
+        populate_ecmp_tables(controller.switch.tables)
+
+        out = v4_probe(controller, dst="10.2.0.1", sport=5000)
+        assert out is not None and out.port in (2, 3)
+        assert controller.switch.table("flow_probe").entries()[0].counter == 1
+
+        controller.run_script("unload --func_name flow_probe")
+        assert "flow_probe" not in controller.switch.tables
+        assert v4_probe(controller).port in (2, 3)
+
+    def test_update_preserves_counters(self, controller):
+        v4_probe(controller)
+        hits_before = controller.switch.table("ipv4_lpm").hit_count
+        controller.run_script(
+            flowprobe_load_script(), {"flowprobe.rp4": flowprobe_rp4_source()}
+        )
+        # Table objects survive in place: stats are not reset.
+        assert controller.switch.table("ipv4_lpm").hit_count == hits_before
+
+
+class TestFunctionUpdateInPlace:
+    """The paper mentions function *update* (replace in place); a
+    single script with unload + load does it atomically."""
+
+    def test_replace_probe_with_wider_probe(self, controller):
+        controller.run_script(
+            flowprobe_load_script(), {"flowprobe.rp4": flowprobe_rp4_source()}
+        )
+        populate_flowprobe_tables(controller.switch.tables)
+
+        # v2 of the probe: bigger table, keyed on dst only.
+        probe_v2 = """
+        table flow_probe_v2 {
+            key = { ipv4.dst_addr: exact; }
+            size = 4096;
+        }
+        action probe_count2(bit<32> threshold) {
+            count_and_mark(threshold, meta.flow_marked);
+        }
+        stage flow_probe_v2 {
+            parser { ipv4 };
+            matcher {
+                if (ipv4.isValid()) flow_probe_v2.apply();
+                else;
+            };
+            executor {
+                1: probe_count2;
+                default: NoAction;
+            }
+        }
+        user_funcs { func flow_probe_v2 { flow_probe_v2 } }
+        """
+        replace_script = """
+        unload --func_name flow_probe
+        load probe2.rp4 --func_name flow_probe_v2
+        add_link l2_l3 flow_probe_v2
+        del_link l2_l3 ipv4_lpm
+        add_link flow_probe_v2 ipv4_lpm
+        """
+        plan, stats, _ = controller.run_script(
+            replace_script, {"probe2.rp4": probe_v2}
+        )
+        assert "flow_probe" in plan.removed_stages
+        assert "flow_probe_v2" in plan.added_stages
+        assert plan.freed_tables == ["flow_probe"]
+        assert plan.new_tables == ["flow_probe_v2"]
+        assert "flow_probe" not in controller.switch.tables
+
+        from repro.net.addresses import parse_ipv4
+        from repro.tables.table import TableEntry
+
+        controller.switch.table("flow_probe_v2").add_entry(
+            TableEntry(
+                key=(parse_ipv4("10.2.0.1"),),
+                action="probe_count2",
+                action_data={"threshold": 1},
+                tag=1,
+            )
+        )
+        out = v4_probe(controller, dst="10.2.0.1")
+        assert out is not None
+        assert controller.switch.table("flow_probe_v2").entries()[0].counter == 1

@@ -1,0 +1,182 @@
+"""Unit tests for the IPSA behavioral switch (ipbm)."""
+
+import pytest
+
+from repro.compiler.rp4bc import compile_base
+from repro.ipsa.pipeline import ElasticPipeline, PipelineError, SelectorConfig
+from repro.ipsa.switch import IpsaSwitch
+from repro.ipsa.tm import TrafficManager
+from repro.ipsa.tsp import Tsp, TspState
+from repro.net.packet import Packet
+from repro.programs import base_rp4_source
+from repro.programs.base_l2l3 import populate_base_tables
+from repro.workloads import ipv4_packet, ipv6_packet, l2_packet
+
+
+@pytest.fixture
+def switch():
+    design = compile_base(base_rp4_source())
+    device = IpsaSwitch(n_tsps=8)
+    device.load_config(design.config)
+    populate_base_tables(device.tables)
+    return device
+
+
+class TestLoadConfig:
+    def test_templates_distributed(self, switch):
+        active = switch.pipeline.active_tsps()
+        assert len(active) == 7
+        assert switch.pipeline.tsps[6].state is TspState.BYPASSED
+
+    def test_tables_created(self, switch):
+        assert "ipv4_lpm" in switch.tables
+        assert switch.table("dmac").size == 8192
+
+    def test_unknown_table_raises(self, switch):
+        with pytest.raises(KeyError):
+            switch.table("ghost")
+
+    def test_linkage_loaded(self, switch):
+        assert switch.linkage.next_header("ethernet", 0x0800) == "ipv4"
+        assert switch.linkage.next_header("ipv6", 43) is None  # no SRH yet
+
+    def test_selector_boundary(self, switch):
+        assert switch.pipeline.selector.tm_input == 5
+        assert switch.pipeline.selector.tm_output == 7
+
+
+class TestForwarding:
+    def test_ipv4_routed(self, switch):
+        out = switch.inject(ipv4_packet("10.1.0.1", "10.2.0.5"), port=0)
+        assert out is not None and out.port == 3
+        assert out.data[14 + 8] == 63  # TTL decremented
+
+    def test_ipv6_routed(self, switch):
+        out = switch.inject(ipv6_packet("2001:db8:1::1", "2001:db8:2::9"), port=0)
+        assert out is not None and out.port == 3
+        assert out.data[14 + 7] == 63  # hop limit decremented
+
+    def test_host_route_preferred(self, switch):
+        # 10.1.0.1 has a host route to nexthop 1 -> port 2
+        out = switch.inject(ipv4_packet("10.2.0.9", "10.1.0.1"), port=2)
+        assert out is not None and out.port == 2
+
+    def test_default_route(self, switch):
+        out = switch.inject(ipv4_packet("10.1.0.1", "192.0.2.1"), port=0)
+        assert out is not None and out.port == 1  # nexthop 3 -> bd1 -> port 1
+
+    def test_l2_bridged(self, switch):
+        from repro.programs.base_l2l3 import HOST_MACS
+
+        out = switch.inject(l2_packet(HOST_MACS[2]), port=0)
+        assert out is not None and out.port == 1
+        # L2 path must not rewrite MACs or decrement TTL
+        assert out.data[14 + 8] == 64
+
+    def test_unknown_port_dropped(self, switch):
+        out = switch.inject(ipv4_packet("10.1.0.1", "10.2.0.5"), port=42)
+        assert out is None
+        assert switch.packets_dropped == 1
+
+    def test_ttl_expiry_drops(self, switch):
+        out = switch.inject(ipv4_packet("10.1.0.1", "10.2.0.5", ttl=1), port=0)
+        assert out is None
+
+    def test_counters(self, switch):
+        switch.inject(ipv4_packet("10.1.0.1", "10.2.0.5"), port=0)
+        assert switch.packets_in == 1
+        assert switch.packets_out == 1
+        assert switch.table("ipv4_lpm").hit_count == 1
+
+
+class TestDistributedParsing:
+    def test_early_tsps_parse_lazily(self, switch):
+        switch.inject(ipv4_packet("10.1.0.1", "10.2.0.5"), port=0)
+        # TSP 0 (port_map) parses ethernet only.
+        assert switch.pipeline.tsps[0].stats.headers_parsed == 1
+        # The FIB TSP pulls in ipv4 on demand.
+        assert switch.pipeline.tsps[3].stats.headers_parsed >= 1
+
+    def test_no_reparsing_downstream(self, switch):
+        switch.inject(ipv4_packet("10.1.0.1", "10.2.0.5"), port=0)
+        total = sum(t.stats.headers_parsed for t in switch.pipeline.tsps)
+        assert total == 2  # ethernet + ipv4, each parsed exactly once
+
+
+class TestTsp:
+    def test_template_write_counts_words(self):
+        tsp = Tsp(0)
+        words = tsp.write_template(
+            {
+                "tsp": 0,
+                "side": "ingress",
+                "stages": [
+                    {
+                        "name": "s",
+                        "parser": ["ethernet"],
+                        "matcher": [{"cond": None, "table": None}],
+                        "executor": {"default": "NoAction"},
+                    }
+                ],
+            }
+        )
+        assert words == tsp.stats.template_words_written > 0
+        assert tsp.active
+
+    def test_clear_powers_down(self):
+        tsp = Tsp(0)
+        tsp.write_template({"tsp": 0, "side": "ingress", "stages": []})
+        tsp.clear()
+        assert tsp.state is TspState.BYPASSED
+        assert not tsp.active
+
+
+class TestPipelineSelector:
+    def test_validate_rejects_bad_boundary(self):
+        pipeline = ElasticPipeline(4)
+        with pytest.raises(PipelineError):
+            pipeline.configure_selector(
+                SelectorConfig(tm_input=3, tm_output=1, active={0, 1, 2, 3})
+            )
+
+    def test_validate_rejects_out_of_range(self):
+        pipeline = ElasticPipeline(4)
+        with pytest.raises(PipelineError):
+            pipeline.configure_selector(SelectorConfig(active={9}))
+
+    def test_template_to_unknown_tsp(self):
+        pipeline = ElasticPipeline(2)
+        with pytest.raises(PipelineError):
+            pipeline.write_templates(
+                [{"tsp": 5, "side": "ingress", "stages": []}]
+            )
+
+
+class TestTrafficManager:
+    def test_fifo_per_port(self):
+        tm = TrafficManager()
+        a, b = Packet(b"a"), Packet(b"b")
+        a.metadata["egress_spec"] = 1
+        b.metadata["egress_spec"] = 1
+        tm.enqueue(a)
+        tm.enqueue(b)
+        assert tm.dequeue() is a
+        assert tm.dequeue() is b
+        assert tm.dequeue() is None
+
+    def test_tail_drop(self):
+        tm = TrafficManager(buffer_packets=1)
+        assert tm.enqueue(Packet(b"a"))
+        assert not tm.enqueue(Packet(b"b"))
+        assert tm.stats.dropped == 1
+
+    def test_drain(self):
+        tm = TrafficManager()
+        for i in range(3):
+            tm.enqueue(Packet(bytes([i])))
+        assert len(tm.drain()) == 3
+        assert tm.occupancy() == 0
+
+    def test_bad_buffer(self):
+        with pytest.raises(ValueError):
+            TrafficManager(buffer_packets=0)

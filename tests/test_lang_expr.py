@@ -1,0 +1,94 @@
+"""Unit tests for the shared expression parser."""
+
+import pytest
+
+from repro.lang.errors import LangError
+from repro.lang.expr import (
+    EBin,
+    ECall,
+    EConst,
+    ERef,
+    EUnary,
+    EValid,
+    parse_expr,
+)
+from repro.lang.lexer import Lexer
+
+
+def parse(text):
+    return parse_expr(Lexer(text))
+
+
+class TestPrimary:
+    def test_const(self):
+        assert parse("42") == EConst(42)
+
+    def test_hex_const(self):
+        assert parse("0x800") == EConst(0x800)
+
+    def test_width_literal(self):
+        assert parse("8w255") == EConst(255, width=8)
+
+    def test_hex_width_literal(self):
+        assert parse("16w0x1F") == EConst(0x1F, width=16)
+
+    def test_bare_ref(self):
+        assert parse("bd") == ERef("bd")
+
+    def test_dotted_ref(self):
+        assert parse("ipv4.dst_addr") == ERef("ipv4.dst_addr")
+
+    def test_is_valid(self):
+        assert parse("ipv4.isValid()") == EValid("ipv4")
+
+    def test_call(self):
+        expr = parse("hash(meta.nexthop, ipv4.dst_addr)")
+        assert expr == ECall(
+            "hash", (ERef("meta.nexthop"), ERef("ipv4.dst_addr"))
+        )
+
+    def test_not(self):
+        assert parse("!x") == EUnary("!", ERef("x"))
+
+    def test_parens(self):
+        assert parse("(1)") == EConst(1)
+
+    def test_error_on_garbage(self):
+        with pytest.raises(LangError):
+            parse(";")
+
+
+class TestPrecedence:
+    def test_arith_precedence(self):
+        assert parse("1 + 2 * 3") == EBin(
+            "+", EConst(1), EBin("*", EConst(2), EConst(3))
+        )
+
+    def test_comparison_binds_tighter_than_logic(self):
+        expr = parse("a == 1 && b == 2")
+        assert isinstance(expr, EBin) and expr.op == "&&"
+        assert expr.left == EBin("==", ERef("a"), EConst(1))
+
+    def test_left_associativity(self):
+        assert parse("1 - 2 - 3") == EBin(
+            "-", EBin("-", EConst(1), EConst(2)), EConst(3)
+        )
+
+    def test_valid_in_conjunction(self):
+        expr = parse("ipv4.isValid() && meta.l3_fwd == 1")
+        assert expr == EBin(
+            "&&",
+            EValid("ipv4"),
+            EBin("==", ERef("meta.l3_fwd"), EConst(1)),
+        )
+
+    def test_parens_override(self):
+        assert parse("(1 + 2) * 3") == EBin(
+            "*", EBin("+", EConst(1), EConst(2)), EConst(3)
+        )
+
+    def test_shift_binds_tighter_than_mask(self):
+        expr = parse("x >> 4 & 0xF")
+        assert expr == EBin(
+            "&", EBin(">>", ERef("x"), EConst(4)), EConst(0xF)
+        )

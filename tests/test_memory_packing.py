@@ -1,0 +1,160 @@
+"""Unit tests for the set-packing allocation solvers."""
+
+import pytest
+
+from repro.memory.blocks import MemoryKind
+from repro.memory.crossbar import (
+    ClusteredCrossbar,
+    FullCrossbar,
+    clusters_reachable_by_all,
+)
+from repro.memory.packing import Demand, pack_branch_and_bound, pack_greedy
+
+SRAM = MemoryKind.SRAM
+TCAM = MemoryKind.TCAM
+
+
+def free(**clusters):
+    """free(c0=4, c1=2) -> {(0, SRAM): 4, (1, SRAM): 2}"""
+    return {(int(k[1:]), SRAM): v for k, v in clusters.items()}
+
+
+class TestDemand:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Demand("t", SRAM, 0, (0,))
+        with pytest.raises(ValueError):
+            Demand("t", SRAM, 1, ())
+
+
+class TestGreedy:
+    def test_single_table(self):
+        result = pack_greedy([Demand("a", SRAM, 2, (0,))], free(c0=4))
+        assert result.feasible
+        assert result.assignment["a"] == {0: 2}
+        assert result.spread == 1
+
+    def test_infeasible(self):
+        result = pack_greedy([Demand("a", SRAM, 5, (0,))], free(c0=4))
+        assert not result.feasible
+
+    def test_prefers_single_cluster(self):
+        result = pack_greedy([Demand("a", SRAM, 3, (0, 1))], free(c0=2, c1=3))
+        assert result.assignment["a"] == {1: 3}
+
+    def test_spills_when_needed(self):
+        result = pack_greedy([Demand("a", SRAM, 4, (0, 1))], free(c0=2, c1=3))
+        assert result.feasible
+        assert sum(result.assignment["a"].values()) == 4
+        assert result.spread == 2
+
+    def test_constrained_tables_first(self):
+        # "b" can only use cluster 0; greedy must not let "a" squat there.
+        demands = [
+            Demand("a", SRAM, 2, (0, 1)),
+            Demand("b", SRAM, 2, (0,)),
+        ]
+        result = pack_greedy(demands, free(c0=2, c1=2))
+        assert result.feasible
+        assert result.assignment["b"] == {0: 2}
+        assert result.assignment["a"] == {1: 2}
+
+    def test_kind_separation(self):
+        demands = [Demand("acl", TCAM, 1, (0,))]
+        result = pack_greedy(demands, {(0, SRAM): 8})
+        assert not result.feasible
+
+
+class TestBranchAndBound:
+    def test_matches_greedy_on_easy_case(self):
+        demands = [Demand("a", SRAM, 2, (0,))]
+        g = pack_greedy(demands, free(c0=4))
+        b = pack_branch_and_bound(demands, free(c0=4))
+        assert b.feasible and b.spread == g.spread == 1
+
+    def test_finds_true_optimum(self):
+        # 3+3+2 into 4+4: the two 3-block tables cannot share a
+        # cluster, so the 2-block table must split -- optimum spread 4.
+        demands = [
+            Demand("a", SRAM, 3, (0, 1)),
+            Demand("b", SRAM, 3, (0, 1)),
+            Demand("c", SRAM, 2, (0, 1)),
+        ]
+        pool = free(c0=4, c1=4)
+        exact = pack_branch_and_bound(demands, pool)
+        assert exact.feasible
+        assert exact.spread == 4
+        greedy = pack_greedy(demands, pool)
+        assert not greedy.feasible or exact.spread <= greedy.spread
+
+    def test_infeasible_reported(self):
+        result = pack_branch_and_bound([Demand("a", SRAM, 9, (0,))], free(c0=4))
+        assert not result.feasible
+
+    def test_node_limit_falls_back_to_greedy(self):
+        demands = [Demand(f"t{i}", SRAM, 1, (0, 1)) for i in range(8)]
+        result = pack_branch_and_bound(demands, free(c0=8, c1=8), node_limit=3)
+        assert result.feasible  # greedy bound survives
+        assert result.spread >= 8
+
+    def test_spread_never_worse_than_greedy(self):
+        demands = [
+            Demand("a", SRAM, 4, (0, 1, 2)),
+            Demand("b", SRAM, 3, (0, 1)),
+            Demand("c", SRAM, 5, (1, 2)),
+        ]
+        pool = free(c0=5, c1=5, c2=5)
+        g = pack_greedy(demands, pool)
+        b = pack_branch_and_bound(demands, pool)
+        assert b.feasible and g.feasible
+        assert b.spread <= g.spread
+
+    def test_counts_preserved(self):
+        demands = [Demand("a", SRAM, 4, (0, 1))]
+        result = pack_branch_and_bound(demands, free(c0=2, c1=2))
+        assert result.feasible
+        assert sum(result.assignment["a"].values()) == 4
+
+
+class TestCrossbars:
+    def test_full_crossbar_reaches_everything(self):
+        xb = FullCrossbar(memory_clusters=4)
+        assert xb.reachable_clusters(0) == {0, 1, 2, 3}
+        assert xb.reachable_clusters(7) == {0, 1, 2, 3}
+        assert xb.tsp_cluster(5) == 0
+
+    def test_full_crossbar_port_count(self):
+        xb = FullCrossbar(memory_clusters=1)
+        assert xb.port_count(8, 64) == 512
+
+    def test_clustered_identity_mapping(self):
+        xb = ClusteredCrossbar(tsp_cluster_size=2, memory_clusters=4)
+        assert xb.tsp_cluster(0) == 0
+        assert xb.tsp_cluster(3) == 1
+        assert xb.reachable_clusters(0) == {0}
+        assert xb.reachable_clusters(2) == {1}
+
+    def test_clustered_custom_mapping(self):
+        xb = ClusteredCrossbar(
+            tsp_cluster_size=4, memory_clusters=2, mapping={0: {0, 1}}
+        )
+        assert xb.reachable_clusters(0) == {0, 1}
+
+    def test_clustered_fewer_ports_than_full(self):
+        full = FullCrossbar(memory_clusters=4)
+        clustered = ClusteredCrossbar(tsp_cluster_size=2, memory_clusters=4)
+        assert clustered.port_count(8, 64) < full.port_count(8, 64)
+
+    def test_reachable_by_all(self):
+        xb = ClusteredCrossbar(
+            tsp_cluster_size=2, memory_clusters=2, mapping={0: {0, 1}, 1: {1}}
+        )
+        assert clusters_reachable_by_all(xb, [0, 2]) == {1}
+        assert clusters_reachable_by_all(xb, [0]) == {0, 1}
+        assert clusters_reachable_by_all(xb, []) == set()
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            FullCrossbar(0)
+        with pytest.raises(ValueError):
+            ClusteredCrossbar(0, 1)

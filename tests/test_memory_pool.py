@@ -1,0 +1,176 @@
+"""Unit tests for blocks, virtualization, and the memory pool."""
+
+import pytest
+
+from repro.memory.blocks import MemoryBlock, MemoryKind
+from repro.memory.pool import AllocationError, MemoryPool
+from repro.memory.virtualization import LogicalTableMapping, blocks_required
+
+
+class TestMemoryBlock:
+    def test_allocate_release(self):
+        b = MemoryBlock(0, MemoryKind.SRAM, 128, 1024)
+        assert b.free
+        b.allocate("fib")
+        assert not b.free and b.owner == "fib"
+        b.release()
+        assert b.free
+
+    def test_double_allocate_raises(self):
+        b = MemoryBlock(0, MemoryKind.SRAM, 128, 1024)
+        b.allocate("a")
+        with pytest.raises(RuntimeError):
+            b.allocate("b")
+
+    def test_double_release_raises(self):
+        b = MemoryBlock(0, MemoryKind.SRAM, 128, 1024)
+        with pytest.raises(RuntimeError):
+            b.release()
+
+    def test_bits(self):
+        assert MemoryBlock(0, MemoryKind.SRAM, 128, 1024).bits == 128 * 1024
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            MemoryBlock(0, MemoryKind.SRAM, 0, 1024)
+
+
+class TestBlocksRequired:
+    def test_paper_rule(self):
+        # ceil(W/w) * ceil(D/d)
+        assert blocks_required(128, 1024, 128, 1024) == 1
+        assert blocks_required(129, 1024, 128, 1024) == 2
+        assert blocks_required(128, 1025, 128, 1024) == 2
+        assert blocks_required(200, 3000, 128, 1024) == 2 * 3
+
+    def test_small_table_still_needs_one(self):
+        assert blocks_required(1, 1, 128, 1024) == 1
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            blocks_required(0, 1, 128, 1024)
+        with pytest.raises(ValueError):
+            blocks_required(1, 1, 0, 1024)
+
+
+class TestLogicalTableMapping:
+    def make(self, width=200, depth=3000):
+        m = LogicalTableMapping(
+            table="fib",
+            kind=MemoryKind.SRAM,
+            table_width=width,
+            table_depth=depth,
+            block_width=128,
+            block_depth=1024,
+        )
+        m.block_ids = list(range(m.total_blocks))
+        return m
+
+    def test_shape(self):
+        m = self.make()
+        assert m.width_blocks == 2 and m.depth_blocks == 3
+        assert m.total_blocks == 6
+
+    def test_validate(self):
+        m = self.make()
+        m.block_ids = [1]
+        with pytest.raises(ValueError):
+            m.validate()
+
+    def test_blocks_for_entry(self):
+        m = self.make()
+        assert m.blocks_for_entry(0) == [0, 1]
+        assert m.blocks_for_entry(1024) == [2, 3]
+        assert m.blocks_for_entry(2999) == [4, 5]
+
+    def test_entry_out_of_range(self):
+        with pytest.raises(IndexError):
+            self.make().blocks_for_entry(3000)
+
+    def test_memory_accesses_per_lookup(self):
+        # The Sec. 5 throughput penalty: entry wider than the bus.
+        m = self.make(width=200)
+        assert m.memory_accesses_per_lookup(256) == 1
+        assert m.memory_accesses_per_lookup(128) == 2
+        assert m.memory_accesses_per_lookup(64) == 4
+
+    def test_utilization(self):
+        m = self.make(width=128, depth=1024)
+        assert m.utilization() == 1.0
+        m2 = self.make(width=129, depth=1024)
+        assert 0 < m2.utilization() < 1
+
+
+class TestMemoryPool:
+    def test_initial_inventory(self):
+        pool = MemoryPool(sram_blocks=8, tcam_blocks=2)
+        assert pool.free_count(MemoryKind.SRAM) == 8
+        assert pool.free_count(MemoryKind.TCAM) == 2
+        assert pool.utilization() == 0.0
+
+    def test_allocate_and_release(self):
+        pool = MemoryPool(sram_blocks=8, tcam_blocks=2, block_width=128, block_depth=1024)
+        pool.allocate_tables([("fib", MemoryKind.SRAM, 200, 2000, [0])])
+        mapping = pool.mapping("fib")
+        assert mapping.total_blocks == 4
+        assert pool.free_count(MemoryKind.SRAM) == 4
+        freed = pool.release_table("fib")
+        assert freed == 4
+        assert pool.free_count(MemoryKind.SRAM) == 8
+
+    def test_all_or_nothing(self):
+        pool = MemoryPool(sram_blocks=2, tcam_blocks=0)
+        with pytest.raises(AllocationError):
+            pool.allocate_tables(
+                [
+                    ("a", MemoryKind.SRAM, 128, 1024, [0]),
+                    ("b", MemoryKind.SRAM, 128, 3 * 1024, [0]),
+                ]
+            )
+        assert pool.free_count(MemoryKind.SRAM) == 2
+
+    def test_duplicate_allocation_rejected(self):
+        pool = MemoryPool(sram_blocks=8, tcam_blocks=0)
+        pool.allocate_tables([("fib", MemoryKind.SRAM, 128, 1024, [0])])
+        with pytest.raises(AllocationError):
+            pool.allocate_tables([("fib", MemoryKind.SRAM, 128, 1024, [0])])
+
+    def test_tcam_and_sram_independent(self):
+        pool = MemoryPool(sram_blocks=4, tcam_blocks=4)
+        pool.allocate_tables([("acl", MemoryKind.TCAM, 128, 1024, [0])])
+        assert pool.free_count(MemoryKind.SRAM) == 4
+        assert pool.free_count(MemoryKind.TCAM) == 3
+
+    def test_clustered_allocation(self):
+        pool = MemoryPool(sram_blocks=8, tcam_blocks=0, clusters=2)
+        pool.allocate_tables([("fib", MemoryKind.SRAM, 128, 2048, [1])])
+        assert all(
+            b.cluster == 1 for b in pool.blocks if b.owner == "fib"
+        )
+
+    def test_migrate_table(self):
+        pool = MemoryPool(sram_blocks=8, tcam_blocks=0, clusters=2)
+        pool.allocate_tables([("fib", MemoryKind.SRAM, 128, 2048, [0])])
+        moved = pool.migrate_table("fib", [1])
+        assert moved == 2
+        assert all(b.cluster == 1 for b in pool.blocks if b.owner == "fib")
+
+    def test_migrate_rolls_back_on_failure(self):
+        pool = MemoryPool(sram_blocks=4, tcam_blocks=0, clusters=2)
+        # Cluster 1 has 2 blocks; fill them so migration must fail.
+        pool.allocate_tables([("big", MemoryKind.SRAM, 128, 2048, [1])])
+        pool.allocate_tables([("fib", MemoryKind.SRAM, 128, 2048, [0])])
+        with pytest.raises(AllocationError):
+            pool.migrate_table("fib", [1])
+        assert "fib" in pool.mappings()
+
+    def test_unknown_table_mapping_raises(self):
+        with pytest.raises(KeyError):
+            MemoryPool().mapping("nope")
+
+    def test_greedy_mode(self):
+        pool = MemoryPool(sram_blocks=8, tcam_blocks=0)
+        pool.allocate_tables(
+            [("a", MemoryKind.SRAM, 128, 1024, [0])], exact=False
+        )
+        assert pool.mapping("a").total_blocks == 1

@@ -1,0 +1,172 @@
+"""Tests for TM multicast replication."""
+
+import pytest
+
+from repro.compiler.rp4bc import compile_base
+from repro.ipsa.switch import IpsaSwitch
+from repro.ipsa.tm import TrafficManager
+from repro.net.packet import Packet
+from repro.programs import base_rp4_source, populate_base_tables
+from repro.rp4 import parse_rp4
+from repro.runtime import Controller
+from repro.tables.table import TableEntry
+from repro.workloads import ipv4_packet
+
+
+class TestTmGroups:
+    def test_group_management(self):
+        tm = TrafficManager()
+        tm.set_group(1, [2, 3])
+        assert tm.group(1) == [2, 3]
+        tm.del_group(1)
+        assert tm.group(1) == []
+
+    def test_group_validation(self):
+        tm = TrafficManager()
+        with pytest.raises(ValueError):
+            tm.set_group(0, [1])
+        with pytest.raises(ValueError):
+            tm.set_group(1, [])
+        with pytest.raises(KeyError):
+            tm.del_group(9)
+
+    def test_unicast_passthrough(self):
+        tm = TrafficManager()
+        p = Packet(b"x")
+        assert tm.enqueue_or_replicate(p) == 1
+        assert tm.dequeue() is p
+
+    def test_replication_clones_per_member(self):
+        tm = TrafficManager()
+        tm.set_group(5, [1, 2, 3])
+        p = Packet(b"x")
+        p.metadata["mcast_grp"] = 5
+        assert tm.enqueue_or_replicate(p) == 3
+        copies = tm.drain()
+        assert sorted(c.metadata["egress_spec"] for c in copies) == [1, 2, 3]
+        assert all(c.metadata["mcast_grp"] == 0 for c in copies)
+        assert all(c is not p for c in copies)
+
+    def test_unknown_group_drops(self):
+        tm = TrafficManager()
+        p = Packet(b"x")
+        p.metadata["mcast_grp"] = 7
+        assert tm.enqueue_or_replicate(p) == 0
+        assert tm.stats.dropped == 1
+
+
+#: Minimal design: the INGRESS stage decides unicast vs flood (the
+#: multicast decision must precede the TM, which does the replication);
+#: the egress stage stamps a per-copy field so clones are observable.
+_MCAST_RP4 = """
+headers {
+    header ethernet {
+        bit<48> dst_addr;
+        bit<48> src_addr;
+        bit<16> ethertype;
+    }
+}
+structs {
+    struct metadata {
+        bit<16> stamp;
+    } meta;
+}
+action set_port(bit<16> port) {
+    meta.egress_spec = port;
+}
+action flood(bit<16> group) {
+    meta.mcast_grp = group;
+}
+action stamp_copy(bit<48> mac) {
+    ethernet.src_addr = mac;
+}
+table fwd {
+    key = { ethernet.dst_addr: exact; }
+    size = 64;
+}
+table per_copy {
+    key = { meta.egress_spec: exact; }
+    size = 16;
+}
+control rP4_Ingress {
+    stage fwd {
+        parser { ethernet };
+        matcher { fwd.apply(); };
+        executor {
+            1: set_port;
+            2: flood;
+            default: drop;
+        }
+    }
+}
+control rP4_Egress {
+    stage rewrite {
+        parser { ethernet };
+        matcher { per_copy.apply(); };
+        executor {
+            1: stamp_copy;
+            default: NoAction;
+        }
+    }
+}
+user_funcs {
+    func fwd { fwd }
+    func rewrite { rewrite }
+    ingress_entry: fwd;
+    egress_entry: rewrite;
+}
+"""
+
+
+class TestSwitchMulticast:
+    @pytest.fixture
+    def switch(self):
+        design = compile_base(_MCAST_RP4)
+        device = IpsaSwitch()
+        device.load_config(design.config)
+        device.table("fwd").add_entry(
+            TableEntry(key=(0xAA,), action="set_port", action_data={"port": 2}, tag=1)
+        )
+        device.table("fwd").add_entry(
+            TableEntry(key=(0xBB,), action="flood", action_data={"group": 9}, tag=2)
+        )
+        for port in (1, 2, 3):
+            device.table("per_copy").add_entry(
+                TableEntry(
+                    key=(port,),
+                    action="stamp_copy",
+                    action_data={"mac": 0x020000000000 + port},
+                    tag=1,
+                )
+            )
+        device.pipeline.tm.set_group(9, [1, 2, 3])
+        return device
+
+    @staticmethod
+    def _eth(dst):
+        return dst.to_bytes(6, "big") + b"\x02" + b"\x00" * 5 + b"\x88\xb5" + b"pay"
+
+    def test_unicast_unaffected(self, switch):
+        outs = switch.inject_multi(self._eth(0xAA), 0)
+        assert len(outs) == 1 and outs[0].port == 2
+
+    def test_flooded_flow_replicates(self, switch):
+        outs = switch.inject_multi(self._eth(0xBB), 0)
+        assert sorted(o.port for o in outs) == [1, 2, 3]
+        assert switch.packets_out == 3
+
+    def test_egress_runs_per_copy(self, switch):
+        outs = switch.inject_multi(self._eth(0xBB), 0)
+        smacs = sorted(int.from_bytes(o.data[6:12], "big") for o in outs)
+        assert smacs == [0x020000000001, 0x020000000002, 0x020000000003]
+
+    def test_inject_returns_first_copy(self, switch):
+        out = switch.inject(self._eth(0xBB), 0)
+        assert out is not None and out.port == 1
+
+    def test_unknown_group_drops(self, switch):
+        switch.table("fwd").add_entry(
+            TableEntry(key=(0xCC,), action="flood", action_data={"group": 77}, tag=2)
+        )
+        assert switch.inject_multi(self._eth(0xCC), 0) == []
+        assert switch.packets_dropped == 1

@@ -1,0 +1,73 @@
+"""Unit tests for address codecs."""
+
+import pytest
+
+from repro.net.addresses import (
+    format_ipv4,
+    format_ipv6,
+    format_mac,
+    parse_ipv4,
+    parse_ipv6,
+    parse_mac,
+    parse_prefix,
+)
+
+
+class TestMac:
+    def test_roundtrip(self):
+        text = "00:11:22:33:44:55"
+        assert format_mac(parse_mac(text)) == text
+
+    def test_parse_value(self):
+        assert parse_mac("00:00:00:00:00:01") == 1
+        assert parse_mac("ff:ff:ff:ff:ff:ff") == (1 << 48) - 1
+
+    def test_malformed(self):
+        with pytest.raises(ValueError):
+            parse_mac("00:11:22:33:44")
+        with pytest.raises(ValueError):
+            parse_mac("001:1:22:33:44:55")
+
+    def test_format_range_check(self):
+        with pytest.raises(ValueError):
+            format_mac(1 << 48)
+
+
+class TestIpv4:
+    def test_roundtrip(self):
+        assert format_ipv4(parse_ipv4("192.168.0.1")) == "192.168.0.1"
+
+    def test_value(self):
+        assert parse_ipv4("10.0.0.1") == 0x0A000001
+
+    def test_malformed(self):
+        with pytest.raises(ValueError):
+            parse_ipv4("256.0.0.1")
+
+
+class TestIpv6:
+    def test_roundtrip(self):
+        assert format_ipv6(parse_ipv6("2001:db8::1")) == "2001:db8::1"
+
+    def test_value(self):
+        assert parse_ipv6("::1") == 1
+
+
+class TestPrefix:
+    def test_v4_prefix(self):
+        assert parse_prefix("10.0.0.0/8") == (0x0A000000, 8)
+
+    def test_v4_host_default(self):
+        assert parse_prefix("10.0.0.1") == (0x0A000001, 32)
+
+    def test_v6_prefix(self):
+        value, plen = parse_prefix("2001:db8::/32", v6=True)
+        assert plen == 32
+        assert value >> 96 == 0x20010DB8
+
+    def test_v6_host_default(self):
+        assert parse_prefix("::1", v6=True) == (1, 128)
+
+    def test_length_out_of_range(self):
+        with pytest.raises(ValueError):
+            parse_prefix("10.0.0.0/33")

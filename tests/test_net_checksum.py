@@ -1,0 +1,42 @@
+"""Unit tests for Internet checksum helpers."""
+
+import pytest
+
+from repro.net.checksum import internet_checksum, ipv4_header_checksum
+
+
+class TestInternetChecksum:
+    def test_known_vector(self):
+        # RFC 1071 worked example.
+        data = bytes.fromhex("0001f203f4f5f6f7")
+        assert internet_checksum(data) == 0x220D
+
+    def test_odd_length_padded(self):
+        assert internet_checksum(b"\x01") == internet_checksum(b"\x01\x00")
+
+    def test_all_zero(self):
+        assert internet_checksum(b"\x00" * 20) == 0xFFFF
+
+    def test_verification_property(self):
+        # A header containing its own checksum sums to zero.
+        header = bytearray(bytes.fromhex(
+            "450000730000400040110000c0a80001c0a800c7"
+        ))
+        csum = ipv4_header_checksum(bytes(header))
+        header[10:12] = csum.to_bytes(2, "big")
+        assert internet_checksum(bytes(header)) == 0
+
+
+class TestIpv4HeaderChecksum:
+    def test_wikipedia_vector(self):
+        header = bytes.fromhex("450000730000400040110000c0a80001c0a800c7")
+        assert ipv4_header_checksum(header) == 0xB861
+
+    def test_checksum_field_ignored(self):
+        base = bytes.fromhex("450000730000400040110000c0a80001c0a800c7")
+        poisoned = base[:10] + b"\xde\xad" + base[12:]
+        assert ipv4_header_checksum(base) == ipv4_header_checksum(poisoned)
+
+    def test_short_header_rejected(self):
+        with pytest.raises(ValueError):
+            ipv4_header_checksum(b"\x45\x00")

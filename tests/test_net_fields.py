@@ -1,0 +1,107 @@
+"""Unit tests for bit-accurate field arithmetic."""
+
+import pytest
+
+from repro.net.fields import (
+    concat_fields,
+    deposit_bits,
+    extract_bits,
+    field_max,
+    mask_to_width,
+    to_signed,
+)
+
+
+class TestFieldMax:
+    def test_small_widths(self):
+        assert field_max(1) == 1
+        assert field_max(8) == 255
+        assert field_max(16) == 0xFFFF
+
+    def test_wide_field(self):
+        assert field_max(128) == (1 << 128) - 1
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            field_max(0)
+        with pytest.raises(ValueError):
+            field_max(-3)
+
+
+class TestMaskToWidth:
+    def test_passthrough_when_in_range(self):
+        assert mask_to_width(0xAB, 8) == 0xAB
+
+    def test_truncates_overflow(self):
+        assert mask_to_width(0x1FF, 8) == 0xFF
+        assert mask_to_width(256, 8) == 0
+
+    def test_negative_wraps(self):
+        assert mask_to_width(-1, 8) == 255
+
+
+class TestToSigned:
+    def test_positive(self):
+        assert to_signed(5, 8) == 5
+
+    def test_negative(self):
+        assert to_signed(0xFF, 8) == -1
+        assert to_signed(0x80, 8) == -128
+
+
+class TestExtractBits:
+    def test_byte_aligned(self):
+        assert extract_bits(b"\xab\xcd", 0, 8) == 0xAB
+        assert extract_bits(b"\xab\xcd", 8, 8) == 0xCD
+
+    def test_unaligned_nibbles(self):
+        # IPv4 version/ihl live in the same byte.
+        assert extract_bits(b"\x45", 0, 4) == 4
+        assert extract_bits(b"\x45", 4, 4) == 5
+
+    def test_cross_byte(self):
+        assert extract_bits(b"\x12\x34", 4, 8) == 0x23
+
+    def test_wide_field(self):
+        data = bytes(range(16))
+        assert extract_bits(data, 0, 128) == int.from_bytes(data, "big")
+
+    def test_overrun_raises(self):
+        with pytest.raises(ValueError):
+            extract_bits(b"\x00", 0, 16)
+
+    def test_zero_width_raises(self):
+        with pytest.raises(ValueError):
+            extract_bits(b"\x00", 0, 0)
+
+
+class TestDepositBits:
+    def test_roundtrip_aligned(self):
+        buf = bytearray(2)
+        deposit_bits(buf, 8, 8, 0xCD)
+        assert bytes(buf) == b"\x00\xcd"
+
+    def test_unaligned_preserves_neighbours(self):
+        buf = bytearray(b"\xff\xff")
+        deposit_bits(buf, 4, 8, 0)
+        assert bytes(buf) == b"\xf0\x0f"
+
+    def test_truncates_to_width(self):
+        buf = bytearray(1)
+        deposit_bits(buf, 0, 4, 0xFF)
+        assert bytes(buf) == b"\xf0"
+
+    def test_overrun_raises(self):
+        with pytest.raises(ValueError):
+            deposit_bits(bytearray(1), 4, 8, 1)
+
+
+class TestConcatFields:
+    def test_concat(self):
+        assert concat_fields([(0xA, 4), (0xB, 4)]) == 0xAB
+
+    def test_concat_truncates_parts(self):
+        assert concat_fields([(0x1F, 4), (0x1, 4)]) == 0xF1
+
+    def test_empty(self):
+        assert concat_fields([]) == 0

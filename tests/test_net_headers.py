@@ -1,0 +1,168 @@
+"""Unit tests for header types and instances."""
+
+import pytest
+
+from repro.net.headers import (
+    ETHERNET,
+    IPV4,
+    IPV6,
+    SRH,
+    TCP,
+    UDP,
+    VLAN,
+    FieldDef,
+    HeaderInstance,
+    HeaderType,
+    srh_segment,
+    srh_set_segment,
+    standard_header_types,
+)
+
+
+class TestHeaderTypeDefinition:
+    def test_fixed_bits(self):
+        assert ETHERNET.fixed_bits == 112
+        assert IPV4.fixed_bits == 160
+        assert IPV6.fixed_bits == 320
+        assert TCP.fixed_bits == 160
+        assert UDP.fixed_bits == 64
+        assert VLAN.fixed_bits == 32
+
+    def test_field_width_lookup(self):
+        assert IPV4.field_width("ttl") == 8
+        assert IPV6.field_width("dst_addr") == 128
+
+    def test_unknown_field_raises(self):
+        with pytest.raises(KeyError):
+            IPV4.field_width("nope")
+
+    def test_duplicate_field_rejected(self):
+        with pytest.raises(ValueError):
+            HeaderType("bad", [FieldDef("x", 8), FieldDef("x", 8)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            HeaderType("bad", [])
+
+    def test_varlen_needs_byte_aligned_prefix(self):
+        with pytest.raises(ValueError):
+            HeaderType(
+                "bad",
+                [FieldDef("x", 4)],
+                varlen_field="rest",
+                varlen_bytes=lambda v: 0,
+            )
+
+    def test_standard_library_names(self):
+        lib = standard_header_types()
+        assert set(lib) == {"ethernet", "vlan", "ipv4", "ipv6", "srh", "tcp", "udp"}
+
+
+class TestPackUnpack:
+    def test_ethernet_roundtrip(self):
+        wire = bytes.fromhex("ffffffffffff00112233445508 00".replace(" ", ""))
+        values, bits = ETHERNET.unpack(wire)
+        assert bits == 112
+        assert values["dst_addr"] == (1 << 48) - 1
+        assert values["ethertype"] == 0x0800
+        assert ETHERNET.pack(values) == wire
+
+    def test_ipv4_unaligned_fields(self):
+        wire = bytes.fromhex("450000730000400040110000c0a80001c0a800c7")
+        values, bits = IPV4.unpack(wire)
+        assert bits == 160
+        assert values["version"] == 4
+        assert values["ihl"] == 5
+        assert values["ttl"] == 0x40
+        assert values["protocol"] == 17
+        assert IPV4.pack(values) == wire
+
+    def test_unpack_at_offset(self):
+        wire = b"\xaa" * 3 + bytes.fromhex("450000730000400040110000c0a80001c0a800c7")
+        values, _ = IPV4.unpack(wire, 24)
+        assert values["version"] == 4
+
+    def test_short_buffer_raises(self):
+        with pytest.raises(ValueError):
+            IPV4.unpack(b"\x45\x00")
+
+    def test_pack_defaults_missing_to_zero(self):
+        wire = UDP.pack({"src_port": 53})
+        assert wire == b"\x00\x35" + b"\x00" * 6
+
+    def test_pack_rejects_non_int(self):
+        with pytest.raises(TypeError):
+            UDP.pack({"src_port": "53"})
+
+
+class TestSrhVarlen:
+    def _srh_wire(self, nsegs):
+        fixed = bytes([41, 2 * nsegs, 4, nsegs, nsegs - 1, 0]) + b"\x00\x00"
+        segs = b"".join(i.to_bytes(16, "big") for i in range(1, nsegs + 1))
+        return fixed + segs
+
+    def test_unpack_two_segments(self):
+        wire = self._srh_wire(2)
+        values, bits = SRH.unpack(wire)
+        assert bits == len(wire) * 8
+        assert values["hdr_ext_len"] == 4
+        assert len(values["segment_list"]) == 32
+
+    def test_roundtrip(self):
+        wire = self._srh_wire(3)
+        values, _ = SRH.unpack(wire)
+        assert SRH.pack(values) == wire
+
+    def test_segment_accessors(self):
+        values, _ = SRH.unpack(self._srh_wire(2))
+        inst = HeaderInstance(SRH, values)
+        assert srh_segment(inst, 0) == 1
+        assert srh_segment(inst, 1) == 2
+        srh_set_segment(inst, 0, 0xDEAD)
+        assert srh_segment(inst, 0) == 0xDEAD
+
+    def test_segment_out_of_range(self):
+        values, _ = SRH.unpack(self._srh_wire(1))
+        inst = HeaderInstance(SRH, values)
+        with pytest.raises(IndexError):
+            srh_segment(inst, 1)
+
+    def test_truncated_segment_list_raises(self):
+        wire = self._srh_wire(2)[:-1]
+        with pytest.raises(ValueError):
+            SRH.unpack(wire)
+
+    def test_bit_length_includes_varlen(self):
+        values, _ = SRH.unpack(self._srh_wire(2))
+        assert SRH.bit_length(values) == 64 + 256
+
+
+class TestHeaderInstance:
+    def test_get_masks_to_width(self):
+        inst = HeaderInstance(IPV4, {"ttl": 300})
+        # set() would truncate; get() must also mask raw values.
+        assert inst.get("ttl") == 300 & 0xFF
+
+    def test_set_truncates(self):
+        inst = HeaderInstance(IPV4)
+        inst.set("ttl", 0x1FF)
+        assert inst.get("ttl") == 0xFF
+
+    def test_unset_defaults_zero(self):
+        assert HeaderInstance(IPV4).get("ttl") == 0
+
+    def test_set_varlen_requires_bytes(self):
+        inst = HeaderInstance(SRH)
+        with pytest.raises(TypeError):
+            inst.set("segment_list", 1)
+        inst.set("segment_list", b"\x00" * 16)
+        assert inst.get("segment_list") == b"\x00" * 16
+
+    def test_clone_is_independent(self):
+        inst = HeaderInstance(IPV4, {"ttl": 64})
+        twin = inst.clone()
+        twin.set("ttl", 1)
+        assert inst.get("ttl") == 64
+
+    def test_default_name_is_type_name(self):
+        assert HeaderInstance(IPV4).name == "ipv4"

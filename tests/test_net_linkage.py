@@ -1,0 +1,106 @@
+"""Unit tests for the runtime-modifiable header linkage table."""
+
+import pytest
+
+from repro.net.linkage import (
+    ETHERTYPE_IPV4,
+    ETHERTYPE_IPV6,
+    IPPROTO_IPV6,
+    IPPROTO_ROUTING,
+    HeaderLink,
+    HeaderLinkageTable,
+    standard_linkage,
+)
+
+
+class TestStandardLinkage:
+    def test_core_edges(self):
+        t = standard_linkage()
+        assert t.next_header("ethernet", ETHERTYPE_IPV4) == "ipv4"
+        assert t.next_header("ethernet", ETHERTYPE_IPV6) == "ipv6"
+        assert t.next_header("ipv4", 6) == "tcp"
+        assert t.next_header("ipv6", 17) == "udp"
+
+    def test_no_srh_by_default(self):
+        # SRH is linked at runtime by the SRv6 use case, not at base load.
+        t = standard_linkage()
+        assert t.next_header("ipv6", IPPROTO_ROUTING) is None
+
+    def test_extra_links_parameter(self):
+        t = standard_linkage([HeaderLink("ipv6", IPPROTO_ROUTING, "srh")])
+        assert t.next_header("ipv6", IPPROTO_ROUTING) == "srh"
+
+    def test_selectors(self):
+        t = standard_linkage()
+        assert t.selector("ethernet") == "ethertype"
+        assert t.selector("srh") == "next_hdr"
+        assert t.selector("tcp") is None
+
+
+class TestRuntimeMutation:
+    """The paper's link_header command semantics (Fig. 5(c))."""
+
+    def test_srv6_loading_script(self):
+        t = standard_linkage()
+        t.add_link("ipv6", "srh", IPPROTO_ROUTING)
+        t.add_link("srh", "ipv6", IPPROTO_IPV6)
+        t.add_link("srh", "ipv4", 4)
+        assert t.next_header("ipv6", IPPROTO_ROUTING) == "srh"
+        assert t.next_header("srh", IPPROTO_IPV6) == "ipv6"
+        assert t.next_header("srh", 4) == "ipv4"
+        # "the linkage between routable and ipvx is reserved"
+        assert t.next_header("ipv6", 6) == "tcp"
+
+    def test_add_link_requires_selector(self):
+        t = HeaderLinkageTable()
+        with pytest.raises(KeyError):
+            t.add_link("mystery", "ipv4", 1)
+
+    def test_del_link(self):
+        t = standard_linkage()
+        t.del_link("ipv4", 6)
+        assert t.next_header("ipv4", 6) is None
+
+    def test_del_missing_link_raises(self):
+        t = standard_linkage()
+        with pytest.raises(KeyError):
+            t.del_link("ipv4", 99)
+
+    def test_replace_link(self):
+        t = standard_linkage()
+        t.add_link("ipv4", "udp", 6)  # re-point tag 6
+        assert t.next_header("ipv4", 6) == "udp"
+
+
+class TestQueries:
+    def test_links_sorted(self):
+        t = standard_linkage()
+        links = t.links()
+        assert links == sorted(links, key=lambda l: (l.pre, l.tag))
+        assert len(t) == len(links)
+
+    def test_links_from(self):
+        t = standard_linkage()
+        eth = t.links_from("ethernet")
+        assert {l.next for l in eth} == {"ipv4", "ipv6", "vlan"}
+
+    def test_reachable(self):
+        t = standard_linkage()
+        reach = t.reachable("ethernet")
+        assert set(reach) >= {"ethernet", "vlan", "ipv4", "ipv6", "tcp", "udp"}
+        assert "srh" not in reach
+
+    def test_clone_independent(self):
+        t = standard_linkage()
+        c = t.clone()
+        c.add_link("ipv6", "srh", IPPROTO_ROUTING)
+        assert t.next_header("ipv6", IPPROTO_ROUTING) is None
+        assert c.next_header("ipv6", IPPROTO_ROUTING) == "srh"
+
+    def test_merge(self):
+        t = standard_linkage()
+        extra = HeaderLinkageTable()
+        extra.set_selector("srh", "next_hdr")
+        extra.add_link("srh", "ipv6", IPPROTO_IPV6)
+        t.merge(extra)
+        assert t.next_header("srh", IPPROTO_IPV6) == "ipv6"

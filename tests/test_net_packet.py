@@ -1,0 +1,195 @@
+"""Unit tests for the packet object and the JIT incremental parser."""
+
+import pytest
+
+from repro.net.headers import (
+    IPV6,
+    SRH,
+    HeaderInstance,
+    standard_header_types,
+)
+from repro.net.linkage import IPPROTO_IPV6, IPPROTO_ROUTING, standard_linkage
+from repro.net.packet import Packet, ParseError
+
+
+def eth_ipv4_udp(payload=b"\xde\xad"):
+    eth = bytes.fromhex("ffffffffffff001122334455") + (0x0800).to_bytes(2, "big")
+    ipv4 = bytes.fromhex("450000730000400040110000c0a80001c0a800c7")
+    udp = bytes.fromhex("003500350010aaaa")
+    return eth + ipv4 + udp + payload
+
+
+def eth_ipv6_tcp():
+    eth = bytes.fromhex("ffffffffffff001122334455") + (0x86DD).to_bytes(2, "big")
+    ipv6 = bytes([0x60, 0, 0, 0]) + (20).to_bytes(2, "big") + bytes([6, 64])
+    ipv6 += (1).to_bytes(16, "big") + (2).to_bytes(16, "big")
+    tcp = b"\x00" * 20
+    return eth + ipv6 + tcp
+
+
+def eth_ipv6_srh(nsegs=2, inner_proto=IPPROTO_IPV6):
+    eth = bytes.fromhex("ffffffffffff001122334455") + (0x86DD).to_bytes(2, "big")
+    srh = bytes([inner_proto, 2 * nsegs, 4, nsegs - 1, nsegs - 1, 0, 0, 0])
+    srh += b"".join(i.to_bytes(16, "big") for i in range(1, nsegs + 1))
+    inner = bytes([0x60, 0, 0, 0, 0, 0, 59, 64]) + (9).to_bytes(16, "big") + (10).to_bytes(16, "big")
+    body = srh + inner
+    ipv6 = bytes([0x60, 0, 0, 0]) + len(body).to_bytes(2, "big")
+    ipv6 += bytes([IPPROTO_ROUTING, 64])
+    ipv6 += (1).to_bytes(16, "big") + (2).to_bytes(16, "big")
+    return eth + ipv6 + body
+
+
+@pytest.fixture
+def env():
+    return standard_header_types(), standard_linkage()
+
+
+class TestParseAll:
+    def test_v4_stack(self, env):
+        types, linkage = env
+        p = Packet(eth_ipv4_udp())
+        assert p.parse_all(types, linkage) == 3
+        assert p.header_names() == ["ethernet", "ipv4", "udp"]
+
+    def test_v6_stack(self, env):
+        types, linkage = env
+        p = Packet(eth_ipv6_tcp())
+        p.parse_all(types, linkage)
+        assert p.header_names() == ["ethernet", "ipv6", "tcp"]
+
+    def test_unknown_protocol_stops(self, env):
+        types, linkage = env
+        p = Packet(eth_ipv6_srh())
+        p.parse_all(types, linkage)
+        # Base design has no SRH link: parsing stops after IPv6.
+        assert p.header_names() == ["ethernet", "ipv6"]
+        assert p.next_header_name is None
+
+    def test_srv6_after_runtime_link(self, env):
+        types, linkage = env
+        linkage.add_link("ipv6", "srh", IPPROTO_ROUTING)
+        linkage.add_link("srh", "ipv6", IPPROTO_IPV6)
+        p = Packet(eth_ipv6_srh())
+        p.parse_all(types, linkage)
+        assert p.header_names() == ["ethernet", "ipv6", "srh", "ipv6.2"]
+
+    def test_truncated_packet_raises(self, env):
+        types, linkage = env
+        data = eth_ipv4_udp()[:20]  # cuts the IPv4 header short
+        p = Packet(data)
+        with pytest.raises(ParseError):
+            p.parse_all(types, linkage)
+
+
+class TestEnsureParsed:
+    def test_parses_only_to_requested_header(self, env):
+        types, linkage = env
+        p = Packet(eth_ipv4_udp())
+        assert p.ensure_parsed(["ipv4"], types, linkage) == 2
+        assert p.header_names() == ["ethernet", "ipv4"]
+
+    def test_idempotent(self, env):
+        types, linkage = env
+        p = Packet(eth_ipv4_udp())
+        p.ensure_parsed(["ipv4"], types, linkage)
+        assert p.ensure_parsed(["ipv4"], types, linkage) == 0
+
+    def test_missing_header_does_not_raise(self, env):
+        types, linkage = env
+        p = Packet(eth_ipv4_udp())
+        # ipv6 never appears; parse frontier drains without error.
+        p.ensure_parsed(["ipv6"], types, linkage)
+        assert not p.is_valid("ipv6")
+
+
+class TestHeaderMutation:
+    def test_insert_and_remove(self, env):
+        types, linkage = env
+        p = Packet(eth_ipv6_tcp())
+        p.parse_all(types, linkage)
+        srh = HeaderInstance(SRH, {"next_hdr": 6, "segment_list": b""})
+        p.insert_header(srh, after="ipv6")
+        assert p.header_names() == ["ethernet", "ipv6", "srh", "tcp"]
+        p.remove_header("srh")
+        assert p.header_names() == ["ethernet", "ipv6", "tcp"]
+
+    def test_insert_before(self, env):
+        types, linkage = env
+        p = Packet(eth_ipv6_tcp())
+        p.parse_all(types, linkage)
+        inner = HeaderInstance(IPV6, {"version": 6})
+        p.insert_header(inner, before="tcp")
+        assert p.header_names()[2] == "ipv6.2"
+
+    def test_insert_with_both_anchors_rejected(self, env):
+        types, linkage = env
+        p = Packet(eth_ipv6_tcp())
+        p.parse_all(types, linkage)
+        with pytest.raises(ValueError):
+            p.insert_header(HeaderInstance(IPV6), after="ipv6", before="tcp")
+
+    def test_remove_unparsed_raises(self, env):
+        p = Packet(eth_ipv6_tcp())
+        with pytest.raises(KeyError):
+            p.remove_header("ipv6")
+
+
+class TestEmit:
+    def test_emit_unmodified_equals_wire(self, env):
+        types, linkage = env
+        p = Packet(eth_ipv4_udp())
+        p.parse_all(types, linkage)
+        assert p.emit() == p.data
+
+    def test_emit_reflects_field_writes(self, env):
+        types, linkage = env
+        p = Packet(eth_ipv4_udp())
+        p.parse_all(types, linkage)
+        p.write("ipv4.ttl", 1)
+        out = p.emit()
+        assert out[14 + 8] == 1
+        assert out != p.data
+
+    def test_partial_parse_keeps_tail(self, env):
+        types, linkage = env
+        p = Packet(eth_ipv4_udp(payload=b"PAYLOAD"))
+        p.ensure_parsed(["ipv4"], types, linkage)
+        assert p.emit() == p.data  # unparsed UDP+payload carried as bytes
+
+
+class TestMetadataAndRefs:
+    def test_intrinsic_metadata(self):
+        p = Packet(b"\x00" * 64, ingress_port=3)
+        assert p.metadata["ingress_port"] == 3
+        assert p.metadata["packet_length"] == 64
+
+    def test_read_write_meta(self):
+        p = Packet(b"\x00" * 64)
+        p.write("meta.bd", 7)
+        assert p.read("meta.bd") == 7
+
+    def test_read_unknown_meta_raises(self):
+        with pytest.raises(KeyError):
+            Packet(b"").read("meta.nope")
+
+    def test_malformed_ref_raises(self):
+        with pytest.raises(ValueError):
+            Packet(b"").read("justaname")
+
+    def test_read_header_field(self, env):
+        types, linkage = env
+        p = Packet(eth_ipv4_udp())
+        p.parse_all(types, linkage)
+        assert p.read("ipv4.ttl") == 0x40
+        p.write("ipv4.ttl", 0x3F)
+        assert p.read("ipv4.ttl") == 0x3F
+
+    def test_clone_deep(self, env):
+        types, linkage = env
+        p = Packet(eth_ipv4_udp())
+        p.parse_all(types, linkage)
+        c = p.clone()
+        c.write("ipv4.ttl", 1)
+        c.metadata["egress_spec"] = 9
+        assert p.read("ipv4.ttl") == 0x40
+        assert p.metadata["egress_spec"] == 0

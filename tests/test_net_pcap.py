@@ -1,0 +1,97 @@
+"""Unit tests for pcap trace I/O."""
+
+import io
+
+import pytest
+
+from repro.net.pcap import (
+    PcapError,
+    PcapReader,
+    PcapWriter,
+    load_trace,
+    save_trace,
+)
+from repro.workloads import ipv4_packet, mixed_l3_trace
+
+
+class TestRoundTrip:
+    def test_single_packet(self):
+        buf = io.BytesIO()
+        writer = PcapWriter(buf)
+        data = ipv4_packet("10.0.0.1", "10.0.0.2")
+        writer.write(data, ts_usec=1_500_000)
+        buf.seek(0)
+        records = PcapReader(buf).read_all()
+        assert len(records) == 1
+        assert records[0].data == data
+        assert records[0].ts_sec == 1 and records[0].ts_usec == 500_000
+
+    def test_auto_timestamps_monotone(self):
+        buf = io.BytesIO()
+        writer = PcapWriter(buf)
+        for i in range(5):
+            writer.write(bytes([i]))
+        buf.seek(0)
+        stamps = [(r.ts_sec, r.ts_usec) for r in PcapReader(buf)]
+        assert stamps == sorted(stamps)
+        assert len(set(stamps)) == 5
+
+    def test_trace_roundtrip(self, tmp_path):
+        path = str(tmp_path / "trace.pcap")
+        trace = mixed_l3_trace(50, seed=9)
+        assert save_trace(path, trace) == 50
+        loaded = load_trace(path, port=2)
+        assert [d for d, _ in loaded] == [d for d, _ in trace]
+        assert all(port == 2 for _, port in loaded)
+
+    def test_empty_file(self):
+        buf = io.BytesIO()
+        PcapWriter(buf)
+        buf.seek(0)
+        assert PcapReader(buf).read_all() == []
+
+
+class TestErrors:
+    def test_bad_magic(self):
+        with pytest.raises(PcapError):
+            PcapReader(io.BytesIO(b"\x00" * 24))
+
+    def test_truncated_header(self):
+        with pytest.raises(PcapError):
+            PcapReader(io.BytesIO(b"\x12"))
+
+    def test_truncated_record(self):
+        buf = io.BytesIO()
+        writer = PcapWriter(buf)
+        writer.write(b"\xaa" * 60)
+        truncated = io.BytesIO(buf.getvalue()[:-10])
+        reader = PcapReader(truncated)
+        with pytest.raises(PcapError):
+            reader.read_all()
+
+
+class TestSwitchInterop:
+    def test_replay_through_switch(self, tmp_path):
+        from repro.compiler.rp4bc import compile_base
+        from repro.ipsa.switch import IpsaSwitch
+        from repro.programs import base_rp4_source
+        from repro.programs.base_l2l3 import populate_base_tables
+
+        path = str(tmp_path / "in.pcap")
+        save_trace(path, mixed_l3_trace(40, seed=12))
+
+        switch = IpsaSwitch()
+        switch.load_config(compile_base(base_rp4_source()).config)
+        populate_base_tables(switch.tables)
+
+        out_path = str(tmp_path / "out.pcap")
+        with open(out_path, "wb") as fh:
+            writer = PcapWriter(fh)
+            forwarded = 0
+            for data, port in load_trace(path):
+                out = switch.inject(data, port)
+                if out is not None:
+                    writer.write(out.data)
+                    forwarded += 1
+        assert forwarded == 40
+        assert len(load_trace(out_path)) == 40

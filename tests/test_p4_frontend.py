@@ -1,0 +1,133 @@
+"""Unit tests for the mini-P4 parser and HLIR builder."""
+
+import pytest
+
+from repro.lang.errors import LangError
+from repro.lang.expr import SApply, SIf
+from repro.p4 import build_hlir, parse_p4
+from repro.p4.hlir import HlirError
+from repro.programs import base_p4_source
+from repro.programs.p4_variants import (
+    ecmp_p4_source,
+    flowprobe_p4_source,
+    srv6_p4_source,
+)
+
+
+@pytest.fixture(scope="module")
+def base_hlir():
+    return build_hlir(parse_p4(base_p4_source()))
+
+
+class TestParser:
+    def test_header_types(self):
+        prog = parse_p4(base_p4_source())
+        assert "ethernet_t" in prog.header_types
+        assert prog.header_types["ipv6_t"].fields[-1] == ("dst_addr", 128)
+
+    def test_instances(self):
+        prog = parse_p4(base_p4_source())
+        assert prog.header_instances["ethernet"] == "ethernet_t"
+        assert prog.instance_fields("ipv4")[0] == ("version", 4)
+
+    def test_metadata(self):
+        prog = parse_p4(base_p4_source())
+        assert ("l3_fwd", 1) in prog.metadata
+
+    def test_parser_states(self):
+        prog = parse_p4(base_p4_source())
+        eth = prog.parser_states["parse_ethernet"]
+        assert eth.extracts == ["ethernet"]
+        assert eth.select_field == "ethernet.ethertype"
+        assert any(t.tag == 0x0800 for t in eth.transitions)
+
+    def test_controls_detected(self):
+        prog = parse_p4(base_p4_source())
+        assert prog.ingress is not None and prog.egress is not None
+        assert "port_map" in prog.ingress.tables
+        assert "dmac" in prog.egress.tables
+
+    def test_unknown_instance_type_rejected(self):
+        with pytest.raises(LangError):
+            parse_p4("struct headers { ghost_t g; }")
+
+    def test_pragma_ignored(self):
+        prog = parse_p4("@pragma stage 3\n" + base_p4_source())
+        assert prog.ingress is not None
+
+    def test_ref_normalization(self):
+        prog = parse_p4(base_p4_source())
+        lpm = prog.ingress.tables["ipv4_lpm"]
+        assert lpm.keys == [("meta.vrf", "exact"), ("ipv4.dst_addr", "lpm")]
+
+    def test_selector_becomes_hash(self):
+        prog = parse_p4(ecmp_p4_source())
+        ecmp = prog.ingress.tables["ecmp_ipv4"]
+        assert all(kind == "hash" for _, kind in ecmp.keys)
+
+
+class TestHlir:
+    def test_headers_flattened(self, base_hlir):
+        assert set(base_hlir.headers) == {
+            "ethernet", "ipv4", "ipv6", "tcp", "udp"
+        }
+
+    def test_parse_edges(self, base_hlir):
+        edges = {
+            (e.instance, e.tag): e.next_instance for e in base_hlir.parse_edges
+        }
+        assert edges[("ethernet", 0x0800)] == "ipv4"
+        assert edges[("ipv6", 17)] == "udp"
+
+    def test_first_header(self, base_hlir):
+        assert base_hlir.first_header == "ethernet"
+
+    def test_table_widths(self, base_hlir):
+        assert base_hlir.tables["ipv6_lpm"].key_width == 16 + 128
+        assert base_hlir.tables["ipv4_lpm"].control == "ingress"
+        assert base_hlir.tables["dmac"].control == "egress"
+
+    def test_applied_tables_order(self, base_hlir):
+        order = base_hlir.applied_tables("ingress")
+        assert order[:3] == ["port_map", "bridge_vrf", "l2_l3"]
+        assert order[-1] == "nexthop"
+
+    def test_flow_structure(self, base_hlir):
+        assert isinstance(base_hlir.ingress_flow[0], SApply)
+        conditionals = [s for s in base_hlir.ingress_flow if isinstance(s, SIf)]
+        assert conditionals, "FIB section must be conditional"
+
+    def test_srv6_variant(self):
+        hlir = build_hlir(parse_p4(srv6_p4_source()))
+        assert "srh" in hlir.headers
+        assert "inner_ipv6" in hlir.headers
+        edges = {(e.instance, e.tag): e.next_instance for e in hlir.parse_edges}
+        assert edges[("ipv6", 43)] == "srh"
+        assert edges[("srh", 41)] == "inner_ipv6"
+        assert "local_sid" in hlir.tables
+
+    def test_flowprobe_variant(self):
+        hlir = build_hlir(parse_p4(flowprobe_p4_source()))
+        assert "flow_probe" in hlir.tables
+        assert ("flow_marked", 1) in hlir.metadata
+
+    def test_select_on_foreign_instance_rejected(self):
+        src = """
+        header a_t { bit<8> x; }
+        header b_t { bit<8> y; }
+        struct headers { a_t a; b_t b; }
+        struct metadata { bit<1> m; }
+        parser P(packet_in pkt, out headers hdr) {
+            state start { pkt.extract(hdr.a); transition select(hdr.b.y) { 1: accept; } }
+        }
+        control MyIngress(inout headers hdr) { apply { } }
+        control MyEgress(inout headers hdr) { apply { } }
+        """
+        with pytest.raises(HlirError):
+            build_hlir(parse_p4(src))
+
+    def test_ref_width_errors(self, base_hlir):
+        with pytest.raises(KeyError):
+            base_hlir.ref_width("ghost.field")
+        with pytest.raises(KeyError):
+            base_hlir.ref_width("ipv4.ghost")

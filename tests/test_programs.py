@@ -1,0 +1,124 @@
+"""Unit tests for the program sources and reference populations."""
+
+import pytest
+
+from repro.compiler.lowering import lower_table
+from repro.p4 import build_hlir, parse_p4
+from repro.programs import (
+    BASE_STAGE_LETTERS,
+    base_p4_source,
+    base_rp4_source,
+    ecmp_rp4_source,
+    flowprobe_rp4_source,
+    populate_base_tables,
+    populate_ecmp_tables,
+    populate_flowprobe_tables,
+    populate_srv6_tables,
+    srv6_rp4_source,
+)
+from repro.programs.base_l2l3 import P4_SLOTS, render_p4_source
+from repro.programs.p4_variants import (
+    ecmp_p4_source,
+    flowprobe_p4_source,
+    srv6_p4_source,
+)
+from repro.rp4 import analyze, parse_rp4
+
+
+def make_tables(rp4_sources):
+    """Lower every table declared across the given rP4 sources."""
+    tables = {}
+    program = parse_rp4(base_rp4_source())
+    for src in rp4_sources:
+        program.merge(parse_rp4(src))
+    info = analyze(program)
+    for name, tinfo in info.tables.items():
+        tables[name] = lower_table(name, tinfo.key_fields, tinfo.size)
+    return tables
+
+
+class TestBaseDesign:
+    def test_letters_cover_all_stages(self):
+        prog = parse_rp4(base_rp4_source())
+        assert set(BASE_STAGE_LETTERS.values()) == set(prog.all_stages())
+
+    def test_populate_base(self):
+        tables = make_tables([])
+        populate_base_tables(tables)
+        assert len(tables["port_map"]) == 4
+        assert len(tables["ipv4_lpm"]) == 3
+        assert len(tables["nexthop"]) == 3
+        assert len(tables["dmac"]) == 5
+
+    def test_p4_and_rp4_declare_same_tables(self):
+        rp4 = parse_rp4(base_rp4_source())
+        hlir = build_hlir(parse_p4(base_p4_source()))
+        assert set(rp4.tables) == set(hlir.tables)
+
+    def test_p4_and_rp4_same_key_widths(self):
+        rp4 = analyze(parse_rp4(base_rp4_source()))
+        hlir = build_hlir(parse_p4(base_p4_source()))
+        for name, info in rp4.tables.items():
+            assert hlir.tables[name].key_width == info.key_width, name
+
+
+class TestSlots:
+    def test_defaults_render_clean(self):
+        source = render_p4_source()
+        assert "//@SLOT:" not in source
+        assert "nexthop.apply();" in source
+
+    def test_unknown_slot_rejected(self):
+        with pytest.raises(KeyError):
+            render_p4_source({"bogus_slot": "x"})
+
+    def test_all_slots_exist_in_template(self):
+        from repro.programs.base_l2l3 import _P4_SOURCE
+
+        for slot in P4_SLOTS:
+            assert f"//@SLOT:{slot}" in _P4_SOURCE, slot
+
+
+class TestUseCaseSources:
+    @pytest.mark.parametrize(
+        "source_fn",
+        [ecmp_rp4_source, srv6_rp4_source, flowprobe_rp4_source],
+    )
+    def test_rp4_snippets_parse(self, source_fn):
+        prog = parse_rp4(source_fn())
+        assert prog.all_stages()
+
+    @pytest.mark.parametrize(
+        "source_fn",
+        [ecmp_p4_source, srv6_p4_source, flowprobe_p4_source],
+    )
+    def test_p4_variants_compile(self, source_fn):
+        hlir = build_hlir(parse_p4(source_fn()))
+        assert hlir.tables
+
+    def test_ecmp_replaces_nexthop_in_p4(self):
+        hlir = build_hlir(parse_p4(ecmp_p4_source()))
+        assert "nexthop" not in hlir.applied_tables("ingress")
+        assert "ecmp_ipv4" in hlir.applied_tables("ingress")
+
+    def test_populate_ecmp(self):
+        tables = make_tables([ecmp_rp4_source()])
+        populate_base_tables(tables)
+        populate_ecmp_tables(tables)
+        assert len(tables["ecmp_ipv4"]) == 4
+        assert len(tables["ecmp_ipv6"]) == 4
+        # new member DMACs resolvable
+        assert len(tables["dmac"]) == 7
+
+    def test_populate_srv6(self):
+        tables = make_tables([srv6_rp4_source()])
+        populate_srv6_tables(tables)
+        assert len(tables["local_sid"]) == 2
+        assert len(tables["end_transit"]) == 1
+
+    def test_populate_flowprobe(self):
+        tables = make_tables([flowprobe_rp4_source()])
+        populate_flowprobe_tables(tables)
+        assert len(tables["flow_probe"]) == 2
+        entry = tables["flow_probe"].entries()[0]
+        assert "threshold" in entry.action_data

@@ -1,0 +1,169 @@
+"""Property-based tests: compiler invariants over randomized designs.
+
+For arbitrary generated pipelines, rp4bc must (a) place every stage in
+exactly one TSP, (b) never violate a data dependency with its merging
+and reordering, (c) produce templates that cover exactly the layout,
+and (d) allocate exactly the blocks the virtualization rule demands.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler.merge import group_key
+from repro.compiler.rp4bc import TargetSpec, compile_base
+from repro.lang.expr import EBin, EConst, ERef, EValid
+from repro.memory.virtualization import blocks_required
+from repro.rp4.ast import (
+    HeaderDecl,
+    MatcherArm,
+    Rp4Action,
+    Rp4Program,
+    Rp4Table,
+    StageDecl,
+    StructDecl,
+    UserFunc,
+)
+from repro.lang.expr import SAssign
+
+
+@st.composite
+def pipelines(draw):
+    """A random but valid rP4 program: chained ingress stages with
+    random guards and random read-dependencies on earlier stages."""
+    n_stages = draw(st.integers(min_value=1, max_value=8))
+    program = Rp4Program()
+    program.headers["ethernet"] = HeaderDecl(
+        "ethernet",
+        fields=[("dst_addr", 48), ("src_addr", 48), ("ethertype", 16)],
+        selector="ethertype",
+        links=[(0x0800, "ipv4"), (0x86DD, "ipv6")],
+    )
+    program.headers["ipv4"] = HeaderDecl(
+        "ipv4", fields=[("protocol", 8), ("src_addr", 32), ("dst_addr", 32)]
+    )
+    program.headers["ipv6"] = HeaderDecl(
+        "ipv6", fields=[("next_hdr", 8), ("dst_addr", 128)]
+    )
+    members = [(f"f{i}", 16) for i in range(n_stages + 1)]
+    program.structs["metadata"] = StructDecl("metadata", members, alias="meta")
+
+    for i in range(n_stages):
+        # Key on a random earlier field (creates a RAW dependency) or
+        # on a header field (independent).
+        depends_on = draw(
+            st.one_of(st.none(), st.integers(min_value=0, max_value=i))
+        )
+        if depends_on is None:
+            key_ref = draw(
+                st.sampled_from(["ipv4.dst_addr", "ipv6.dst_addr",
+                                 "ethernet.dst_addr"])
+            )
+        else:
+            key_ref = f"meta.f{depends_on}"
+        guard = draw(st.sampled_from([None, "ipv4", "ipv6"]))
+
+        program.tables[f"t{i}"] = Rp4Table(
+            name=f"t{i}",
+            keys=[(key_ref, "exact")],
+            size=draw(st.sampled_from([128, 1024, 4096])),
+        )
+        program.actions[f"a{i}"] = Rp4Action(
+            name=f"a{i}",
+            params=[("v", 16)],
+            body=[SAssign(f"meta.f{i + 1}", ERef("v"))],
+        )
+        cond = None
+        if guard is not None:
+            cond = EValid(guard)
+        arms = [MatcherArm(cond, f"t{i}")]
+        if cond is not None:
+            arms.append(MatcherArm(None, None))
+        program.ingress_stages[f"s{i}"] = StageDecl(
+            name=f"s{i}",
+            parser=[guard] if guard else ["ethernet"],
+            matcher=arms,
+            executor={1: f"a{i}", "default": "NoAction"},
+        )
+
+    program.egress_stages["out"] = StageDecl(
+        name="out",
+        parser=["ethernet"],
+        matcher=[MatcherArm(None, None)],
+        executor={"default": "NoAction"},
+    )
+    program.user_funcs["main"] = UserFunc(
+        "main", [f"s{i}" for i in range(n_stages)]
+    )
+    program.user_funcs["output"] = UserFunc("output", ["out"])
+    program.ingress_entry = "s0"
+    program.egress_entry = "out"
+    return program
+
+
+def _target(program):
+    n = len(program.all_stages())
+    return TargetSpec(n_tsps=n + 2, sram_blocks=16 * n + 16, tcam_blocks=4)
+
+
+class TestCompileInvariants:
+    @given(program=pipelines())
+    @settings(max_examples=40, deadline=None)
+    def test_every_stage_placed_once(self, program):
+        design = compile_base(program, _target(program))
+        placed = [
+            name for _, group in design.plan.all_groups() for name in group
+        ]
+        assert sorted(placed) == sorted(program.all_stages())
+        assert len(placed) == len(set(placed))
+
+    @given(program=pipelines())
+    @settings(max_examples=40, deadline=None)
+    def test_dependencies_respected(self, program):
+        design = compile_base(program, _target(program))
+        order = [
+            name for _, group in design.plan.all_groups() for name in group
+        ]
+        position = {name: i for i, name in enumerate(order)}
+        names = list(program.all_stages())
+        original = {name: i for i, name in enumerate(names)}
+        for a in names:
+            for b in names:
+                if original[a] < original[b] and design.deps.depends(a, b):
+                    if not design.deps.mutually_exclusive(a, b):
+                        assert position[a] < position[b], (a, b)
+
+    @given(program=pipelines())
+    @settings(max_examples=40, deadline=None)
+    def test_templates_match_layout(self, program):
+        design = compile_base(program, _target(program))
+        template_slots = {t["tsp"] for t in design.templates}
+        assert template_slots == set(design.layout.slots)
+        for side, group in design.plan.all_groups():
+            slot = design.layout.slot_of(group_key(group))
+            template = next(t for t in design.templates if t["tsp"] == slot)
+            assert [s["name"] for s in template["stages"]] == group
+            assert template["side"] == side
+
+    @given(program=pipelines())
+    @settings(max_examples=40, deadline=None)
+    def test_allocation_matches_virtualization_rule(self, program):
+        design = compile_base(program, _target(program))
+        pool = design.pool
+        for name, layout in design.table_layouts.items():
+            mapping = pool.mapping(name)
+            assert len(mapping.block_ids) == blocks_required(
+                layout.entry_width,
+                layout.depth,
+                pool.block_width,
+                pool.block_depth,
+            )
+        owners = [b.owner for b in pool.blocks if b.owner is not None]
+        assert sorted(set(owners)) == sorted(design.table_layouts)
+
+    @given(program=pipelines())
+    @settings(max_examples=40, deadline=None)
+    def test_selector_well_formed(self, program):
+        design = compile_base(program, _target(program))
+        selector = design.config["selector"]
+        assert selector["tm_input"] < selector["tm_output"]
+        assert set(selector["active"]).isdisjoint(selector["bypassed"])

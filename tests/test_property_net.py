@@ -1,0 +1,131 @@
+"""Property-based tests (hypothesis) for the packet substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.addresses import (
+    format_ipv4,
+    format_ipv6,
+    format_mac,
+    parse_ipv4,
+    parse_ipv6,
+    parse_mac,
+)
+from repro.net.checksum import internet_checksum
+from repro.net.fields import deposit_bits, extract_bits, mask_to_width
+from repro.net.headers import ETHERNET, IPV4, IPV6, SRH, UDP, HeaderType
+
+
+widths = st.integers(min_value=1, max_value=128)
+
+
+class TestFieldProperties:
+    @given(value=st.integers(min_value=0), width=widths)
+    def test_mask_idempotent(self, value, width):
+        once = mask_to_width(value, width)
+        assert mask_to_width(once, width) == once
+        assert 0 <= once < (1 << width)
+
+    @given(
+        offset=st.integers(min_value=0, max_value=64),
+        width=widths,
+        value=st.integers(min_value=0),
+    )
+    def test_deposit_extract_roundtrip(self, offset, width, value):
+        buf = bytearray((offset + width + 7) // 8 + 2)
+        deposit_bits(buf, offset, width, value)
+        assert extract_bits(bytes(buf), offset, width) == mask_to_width(
+            value, width
+        )
+
+    @given(
+        offset=st.integers(min_value=8, max_value=32),
+        width=st.integers(min_value=1, max_value=16),
+        value=st.integers(min_value=0),
+    )
+    def test_deposit_preserves_neighbours(self, offset, width, value):
+        buf = bytearray(b"\xa5" * 8)
+        before = bytes(buf)
+        deposit_bits(buf, offset, width, value)
+        # Bits before the window are untouched.
+        assert extract_bits(bytes(buf), 0, offset) == extract_bits(
+            before, 0, offset
+        )
+        tail_offset = offset + width
+        tail_width = len(buf) * 8 - tail_offset
+        assert extract_bits(bytes(buf), tail_offset, tail_width) == extract_bits(
+            before, tail_offset, tail_width
+        )
+
+
+class TestAddressProperties:
+    @given(st.integers(min_value=0, max_value=(1 << 48) - 1))
+    def test_mac_roundtrip(self, value):
+        assert parse_mac(format_mac(value)) == value
+
+    @given(st.integers(min_value=0, max_value=(1 << 32) - 1))
+    def test_ipv4_roundtrip(self, value):
+        assert parse_ipv4(format_ipv4(value)) == value
+
+    @given(st.integers(min_value=0, max_value=(1 << 128) - 1))
+    def test_ipv6_roundtrip(self, value):
+        assert parse_ipv6(format_ipv6(value)) == value
+
+
+class TestChecksumProperties:
+    @given(st.binary(min_size=0, max_size=128))
+    def test_checksum_verifies(self, data):
+        csum = internet_checksum(data)
+        padded = data + b"\x00" if len(data) % 2 else data
+        assert internet_checksum(padded + csum.to_bytes(2, "big")) == 0
+
+    @given(st.binary(max_size=64))
+    def test_checksum_range(self, data):
+        assert 0 <= internet_checksum(data) <= 0xFFFF
+
+
+def header_values(htype: HeaderType):
+    """Strategy for random field values of a header type."""
+    fixed = {
+        f.name: st.integers(min_value=0, max_value=(1 << f.width) - 1)
+        for f in htype.fields
+    }
+    return st.fixed_dictionaries(fixed)
+
+
+class TestHeaderRoundTrip:
+    @given(values=header_values(ETHERNET))
+    def test_ethernet(self, values):
+        wire = ETHERNET.pack(values)
+        decoded, bits = ETHERNET.unpack(wire)
+        assert decoded == values and bits == len(wire) * 8
+
+    @given(values=header_values(IPV4))
+    def test_ipv4(self, values):
+        decoded, _ = IPV4.unpack(IPV4.pack(values))
+        assert decoded == values
+
+    @given(values=header_values(IPV6))
+    def test_ipv6(self, values):
+        decoded, _ = IPV6.unpack(IPV6.pack(values))
+        assert decoded == values
+
+    @given(values=header_values(UDP))
+    def test_udp(self, values):
+        decoded, _ = UDP.unpack(UDP.pack(values))
+        assert decoded == values
+
+    @given(
+        values=header_values(SRH),
+        nsegs=st.integers(min_value=0, max_value=4),
+        seg_data=st.binary(min_size=64, max_size=64),
+    )
+    @settings(max_examples=50)
+    def test_srh_with_varlen(self, values, nsegs, seg_data):
+        values = dict(values)
+        values["hdr_ext_len"] = 2 * nsegs
+        values["segment_list"] = (seg_data * 2)[: nsegs * 16]
+        wire = SRH.pack(values)
+        decoded, bits = SRH.unpack(wire)
+        assert decoded == values
+        assert bits == 64 + nsegs * 128

@@ -1,0 +1,126 @@
+"""Property-based tests for the rP4 printer/parser round trip."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang.expr import EBin, EConst, ERef, EValid
+from repro.rp4 import parse_rp4, print_rp4
+from repro.rp4.ast import (
+    HeaderDecl,
+    MatcherArm,
+    Rp4Action,
+    Rp4Program,
+    Rp4Table,
+    StageDecl,
+)
+
+ident = st.from_regex(r"[a-z][a-z0-9_]{0,10}", fullmatch=True).filter(
+    lambda s: s
+    not in {
+        # keywords of the grammar
+        "headers", "header", "structs", "struct", "action", "table",
+        "control", "stage", "parser", "matcher", "executor", "user_funcs",
+        "func", "if", "else", "default", "implicit", "bit", "key", "size",
+        "actions", "in", "out", "inout",
+    }
+)
+
+field_def = st.tuples(ident, st.integers(min_value=1, max_value=128))
+
+
+@st.composite
+def header_decls(draw):
+    name = draw(ident)
+    fields = draw(st.lists(field_def, min_size=1, max_size=5, unique_by=lambda f: f[0]))
+    decl = HeaderDecl(name=name, fields=fields)
+    if draw(st.booleans()):
+        decl.selector = fields[0][0]
+        decl.links = sorted(
+            draw(
+                st.dictionaries(
+                    st.integers(min_value=0, max_value=0xFFFF),
+                    ident,
+                    max_size=3,
+                )
+            ).items()
+        )
+    return decl
+
+
+@st.composite
+def table_decls(draw, field_refs):
+    name = draw(ident)
+    n_keys = draw(st.integers(min_value=1, max_value=3))
+    kind = draw(st.sampled_from(["exact", "ternary", "hash"]))
+    keys = [(draw(st.sampled_from(field_refs)), kind) for _ in range(n_keys)]
+    return Rp4Table(name=name, keys=keys, size=draw(st.integers(1, 65536)))
+
+
+@st.composite
+def programs(draw):
+    program = Rp4Program()
+    headers = draw(
+        st.lists(header_decls(), min_size=1, max_size=3, unique_by=lambda h: h.name)
+    )
+    for header in headers:
+        program.headers[header.name] = header
+    refs = [
+        f"{h.name}.{fname}" for h in headers for fname, _ in h.fields
+    ] + ["meta.x"]
+    tables = draw(
+        st.lists(table_decls(refs), min_size=1, max_size=3, unique_by=lambda t: t.name)
+    )
+    for table in tables:
+        program.tables[table.name] = table
+    action = Rp4Action(name=draw(ident), params=[("p0", 8)])
+    program.actions[action.name] = action
+    stage_name = draw(ident)
+    program.ingress_stages[stage_name] = StageDecl(
+        name=stage_name,
+        parser=[headers[0].name],
+        matcher=[
+            MatcherArm(EValid(headers[0].name), tables[0].name),
+            MatcherArm(None, None),
+        ],
+        executor={1: action.name, "default": "NoAction"},
+    )
+    return program
+
+
+class TestRoundTrip:
+    @given(program=programs())
+    @settings(max_examples=60, deadline=None)
+    def test_print_parse_preserves_structure(self, program):
+        text = print_rp4(program)
+        again = parse_rp4(text)
+        assert set(again.headers) == set(program.headers)
+        assert set(again.tables) == set(program.tables)
+        assert set(again.actions) == set(program.actions)
+        assert set(again.ingress_stages) == set(program.ingress_stages)
+        for name, header in program.headers.items():
+            assert again.headers[name].fields == header.fields
+            assert again.headers[name].selector == header.selector
+            assert sorted(again.headers[name].links) == sorted(header.links)
+        for name, table in program.tables.items():
+            assert again.tables[name].keys == table.keys
+            assert again.tables[name].size == table.size
+        for name, stage in program.ingress_stages.items():
+            twin = again.ingress_stages[name]
+            assert twin.parser == stage.parser
+            assert twin.executor == stage.executor
+            assert [a.table for a in twin.matcher] == [
+                a.table for a in stage.matcher
+            ]
+
+    @given(
+        left=st.integers(min_value=0, max_value=100),
+        right=st.integers(min_value=0, max_value=100),
+        op=st.sampled_from(["+", "-", "&", "|", "^", "==", "!="]),
+    )
+    def test_expression_roundtrip(self, left, right, op):
+        from repro.lang.expr import parse_expr
+        from repro.lang.lexer import Lexer
+        from repro.rp4.printer import print_expr
+
+        expr = EBin(op, EConst(left), EConst(right))
+        assert parse_expr(Lexer(print_expr(expr))) == expr

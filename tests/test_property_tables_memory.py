@@ -1,0 +1,188 @@
+"""Property-based tests for tables and memory-pool invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory.blocks import MemoryKind
+from repro.memory.packing import Demand, pack_branch_and_bound, pack_greedy
+from repro.memory.virtualization import blocks_required
+from repro.net.packet import Packet
+from repro.tables.engines import LpmEngine, TernaryEngine
+from repro.tables.table import KeyField, MatchKind, Table, TableEntry
+
+
+class TestLpmProperties:
+    @given(
+        prefixes=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=(1 << 32) - 1),
+                st.integers(min_value=0, max_value=32),
+            ),
+            min_size=1,
+            max_size=20,
+            unique=True,
+        ),
+        probe=st.integers(min_value=0, max_value=(1 << 32) - 1),
+    )
+    @settings(max_examples=100)
+    def test_lpm_returns_longest_matching(self, prefixes, probe):
+        """The engine's answer must equal a brute-force scan."""
+        engine = LpmEngine(0, 32)
+        for value, plen in prefixes:
+            engine.insert((), value, plen, (value, plen))
+        result = engine.lookup((probe,))
+
+        def matches(value, plen):
+            if plen == 0:
+                return True
+            shift = 32 - plen
+            return (value >> shift) == (probe >> shift)
+
+        candidates = [(v, p) for v, p in prefixes if matches(v, p)]
+        if not candidates:
+            assert result is None
+        else:
+            best_len = max(p for _, p in candidates)
+            assert result is not None
+            assert result[1] == best_len
+
+    @given(
+        value=st.integers(min_value=0, max_value=(1 << 32) - 1),
+        plen=st.integers(min_value=0, max_value=32),
+    )
+    def test_prefix_matches_itself(self, value, plen):
+        engine = LpmEngine(0, 32)
+        engine.insert((), value, plen, "hit")
+        assert engine.lookup((value,)) == "hit"
+
+
+class TestTernaryProperties:
+    @given(
+        rows=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=255),
+                st.integers(min_value=0, max_value=255),
+                st.integers(min_value=0, max_value=100),
+            ),
+            min_size=1,
+            max_size=15,
+        ),
+        probe=st.integers(min_value=0, max_value=255),
+    )
+    @settings(max_examples=100)
+    def test_highest_priority_match_wins(self, rows, probe):
+        engine = TernaryEngine(1)
+        for i, (value, mask, prio) in enumerate(rows):
+            engine.insert((value,), (mask,), prio, (i, prio))
+        result = engine.lookup((probe,))
+        matching = [
+            (i, prio)
+            for i, (value, mask, prio) in enumerate(rows)
+            if (probe & mask) == (value & mask)
+        ]
+        if not matching:
+            assert result is None
+        else:
+            assert result is not None
+            assert result[1] == max(p for _, p in matching)
+
+
+class TestTableProperties:
+    @given(
+        keys=st.lists(
+            st.integers(min_value=0, max_value=(1 << 16) - 1),
+            min_size=1,
+            max_size=30,
+            unique=True,
+        )
+    )
+    def test_exact_insert_then_hit(self, keys):
+        table = Table("t", [KeyField("meta.k", MatchKind.EXACT, 16)], size=64)
+        for k in keys:
+            table.add_entry(TableEntry(key=(k,), action="a", action_data={"v": k}))
+        for k in keys:
+            packet = Packet(b"")
+            packet.metadata["k"] = k
+            result = table.lookup(packet)
+            assert result.hit and result.action_data["v"] == k
+
+    @given(
+        keys=st.lists(
+            st.integers(min_value=0, max_value=255),
+            min_size=1,
+            max_size=20,
+            unique=True,
+        )
+    )
+    def test_remove_restores_miss(self, keys):
+        table = Table("t", [KeyField("meta.k", MatchKind.EXACT, 16)], size=64)
+        entries = []
+        for k in keys:
+            e = TableEntry(key=(k,), action="a")
+            table.add_entry(e)
+            entries.append(e)
+        for e in entries:
+            table.remove_entry(e)
+        assert len(table) == 0
+
+
+class TestVirtualizationProperties:
+    @given(
+        tw=st.integers(min_value=1, max_value=2048),
+        td=st.integers(min_value=1, max_value=100_000),
+        bw=st.integers(min_value=1, max_value=512),
+        bd=st.integers(min_value=1, max_value=8192),
+    )
+    def test_blocks_cover_table(self, tw, td, bw, bd):
+        n = blocks_required(tw, td, bw, bd)
+        assert n * bw * bd >= tw * td
+        # Minimality along each axis
+        assert (n // -(-td // bd)) * bw >= tw  # width groups cover width
+
+
+class TestPackingProperties:
+    demands_strategy = st.lists(
+        st.builds(
+            Demand,
+            table=st.uuids().map(str),
+            kind=st.just(MemoryKind.SRAM),
+            count=st.integers(min_value=1, max_value=6),
+            allowed_clusters=st.sets(
+                st.integers(min_value=0, max_value=3), min_size=1
+            ).map(tuple),
+        ),
+        min_size=1,
+        max_size=6,
+    )
+    free_strategy = st.fixed_dictionaries(
+        {
+            (c, MemoryKind.SRAM): st.integers(min_value=0, max_value=10)
+            for c in range(4)
+        }
+    )
+
+    @given(demands=demands_strategy, free=free_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_solutions_respect_capacity_and_demands(self, demands, free):
+        for solver in (pack_greedy, pack_branch_and_bound):
+            result = solver(demands, dict(free))
+            if not result.feasible:
+                continue
+            used = {}
+            for demand in demands:
+                placed = result.assignment[demand.table]
+                assert sum(placed.values()) == demand.count
+                assert set(placed) <= set(demand.allowed_clusters)
+                for cluster, take in placed.items():
+                    used[cluster] = used.get(cluster, 0) + take
+            for cluster, total in used.items():
+                assert total <= free[(cluster, MemoryKind.SRAM)]
+
+    @given(demands=demands_strategy, free=free_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_exact_never_worse_than_greedy(self, demands, free):
+        greedy = pack_greedy(demands, dict(free))
+        exact = pack_branch_and_bound(demands, dict(free))
+        if greedy.feasible:
+            assert exact.feasible
+            assert exact.spread <= greedy.spread

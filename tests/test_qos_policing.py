@@ -1,0 +1,144 @@
+"""Tests for token-bucket meters and the C7 policing use case."""
+
+import pytest
+
+from repro.programs import base_rp4_source, populate_base_tables
+from repro.programs.qos import (
+    configure_meters,
+    populate_qos_tables,
+    qos_load_script,
+    qos_rp4_source,
+)
+from repro.runtime import Controller
+from repro.tables.meters import MeterBank, MeterError, TokenBucket
+from repro.workloads import ipv4_packet
+
+
+class TestTokenBucket:
+    def test_burst_then_red(self):
+        bucket = TokenBucket("m", rate=0.0001, burst=3)
+        colors = [bucket.color(tick) for tick in range(1, 6)]
+        assert colors == ["green", "green", "green", "red", "red"]
+
+    def test_refill_over_time(self):
+        bucket = TokenBucket("m", rate=1.0, burst=1)
+        assert bucket.color(1) == "green"
+        assert bucket.color(1) == "red"  # same tick: no refill
+        assert bucket.color(2) == "green"  # one tick later: one token
+
+    def test_fractional_rate(self):
+        bucket = TokenBucket("m", rate=0.5, burst=1)
+        assert bucket.color(0) == "green"
+        assert bucket.color(1) == "red"  # only half a token back
+        assert bucket.color(2) == "green"
+
+    def test_burst_cap(self):
+        bucket = TokenBucket("m", rate=10, burst=2)
+        bucket.color(0)
+        # A long idle period cannot bank more than `burst` tokens.
+        assert [bucket.color(100) for _ in range(3)].count("green") == 2
+
+    def test_clock_must_be_monotone(self):
+        bucket = TokenBucket("m", rate=1, burst=1)
+        bucket.color(5)
+        with pytest.raises(MeterError):
+            bucket.color(4)
+
+    def test_stats(self):
+        bucket = TokenBucket("m", rate=0.0001, burst=1)
+        bucket.color(1)
+        bucket.color(1)
+        assert bucket.stats.conforming == 1
+        assert bucket.stats.exceeding == 1
+
+    def test_validation(self):
+        with pytest.raises(MeterError):
+            TokenBucket("m", rate=0, burst=1)
+        with pytest.raises(MeterError):
+            TokenBucket("m", rate=1, burst=0)
+
+    def test_reset(self):
+        bucket = TokenBucket("m", rate=0.0001, burst=1)
+        bucket.color(1)
+        bucket.reset()
+        assert bucket.color(0) == "green"
+
+
+class TestMeterBank:
+    def test_lazy_and_configured(self):
+        bank = MeterBank()
+        default = bank.meter("x")
+        assert "x" in bank
+        replaced = bank.configure("x", rate=2, burst=8)
+        assert replaced is not default
+        assert bank.meter("x") is replaced
+
+    def test_drop(self):
+        bank = MeterBank()
+        bank.meter("x")
+        assert bank.drop("x")
+        assert not bank.drop("x")
+
+
+class TestQosUseCase:
+    @pytest.fixture
+    def controller(self):
+        ctl = Controller()
+        ctl.load_base(base_rp4_source())
+        populate_base_tables(ctl.switch.tables)
+        ctl.run_script(qos_load_script(), {"qos.rp4": qos_rp4_source()})
+        populate_qos_tables(ctl.switch.tables)
+        configure_meters(ctl.switch, rate=0.5, burst=2)
+        return ctl
+
+    def _flood(self, controller, src, dst, n=20):
+        delivered = 0
+        for i in range(n):
+            out = controller.switch.inject(
+                ipv4_packet(src, dst, sport=4000 + i), 0
+            )
+            if out is not None:
+                delivered += 1
+        return delivered
+
+    def test_policed_flow_loses_excess(self, controller):
+        delivered = self._flood(controller, "10.1.0.1", "10.2.0.1")
+        # rate 0.5/tick: roughly half the back-to-back burst conforms.
+        assert 8 <= delivered <= 14
+        meter = controller.switch.meters.meter("qos_police")
+        assert meter.stats.exceeding > 0
+        assert meter.stats.conforming + meter.stats.exceeding == 20
+
+    def test_marked_flow_passes_but_colored(self, controller):
+        delivered = self._flood(controller, "10.1.0.2", "10.2.0.2")
+        assert delivered == 20  # marking never drops
+        meter = controller.switch.meters.meter("qos_mark")
+        assert meter.stats.exceeding > 0
+
+    def test_unpoliced_traffic_unmetered(self, controller):
+        delivered = self._flood(controller, "10.1.0.9", "10.2.0.9")
+        assert delivered == 20
+        assert controller.switch.meters.meter("qos_police").stats.conforming + \
+            controller.switch.meters.meter("qos_police").stats.exceeding == 0
+
+    def test_idle_gaps_refill(self, controller):
+        # Interleave the policed flow with other traffic: the logical
+        # clock advances between policed packets, so most conform.
+        delivered = 0
+        for i in range(10):
+            out = controller.switch.inject(
+                ipv4_packet("10.1.0.1", "10.2.0.1", sport=6000 + i), 0
+            )
+            if out is not None:
+                delivered += 1
+            for j in range(3):  # background traffic advances the clock
+                controller.switch.inject(
+                    ipv4_packet("10.1.0.9", f"10.2.7.{j + 1}"), 0
+                )
+        assert delivered == 10
+
+    def test_offload(self, controller):
+        controller.run_script("unload --func_name qos")
+        controller.switch.meters.drop("qos_police")
+        assert "qos_classifier" not in controller.switch.tables
+        assert self._flood(controller, "10.1.0.1", "10.2.0.1") == 20

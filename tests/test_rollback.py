@@ -1,0 +1,125 @@
+"""Tests for the failback procedure (controller rollback)."""
+
+import pytest
+
+from repro.programs import (
+    base_rp4_source,
+    ecmp_load_script,
+    ecmp_rp4_source,
+    flowprobe_load_script,
+    flowprobe_rp4_source,
+    populate_base_tables,
+    populate_ecmp_tables,
+    srv6_load_script,
+    srv6_rp4_source,
+)
+from repro.runtime import Controller
+from repro.runtime.controller import ControllerError
+from repro.tables.table import TableEntry
+from repro.workloads import ipv4_packet
+
+
+@pytest.fixture
+def controller():
+    ctl = Controller()
+    ctl.load_base(base_rp4_source())
+    populate_base_tables(ctl.switch.tables)
+    return ctl
+
+
+def repopulate_nexthop(controller):
+    """Restore the nexthop entries a rollback cannot bring back."""
+    from repro.net.addresses import parse_mac
+    from repro.programs.base_l2l3 import NEXTHOP_MACS
+
+    table = controller.switch.table("nexthop")
+    for nh_id, mac in NEXTHOP_MACS.items():
+        table.add_entry(
+            TableEntry(
+                key=(nh_id,),
+                action="set_bd_dmac",
+                action_data={
+                    "bd": 2 if nh_id != 3 else 1,
+                    "dmac": parse_mac(mac),
+                },
+                tag=1,
+            )
+        )
+
+
+class TestEcmpTrialFailback:
+    def test_rollback_restores_behavior(self, controller):
+        before = controller.switch.inject(
+            ipv4_packet("10.1.0.1", "10.2.0.5"), 0
+        )
+        assert before is not None and before.port == 3
+
+        # Live trial: ECMP replaces the nexthop stage.
+        controller.run_script(ecmp_load_script(), {"ecmp.rp4": ecmp_rp4_source()})
+        populate_ecmp_tables(controller.switch.tables)
+
+        # Trial verdict: fail back.
+        restored = controller.rollback()
+        assert restored == ["nexthop"]
+        assert "ecmp_ipv4" not in controller.switch.tables
+        assert "nexthop" in controller.switch.tables
+        repopulate_nexthop(controller)
+
+        after = controller.switch.inject(
+            ipv4_packet("10.1.0.1", "10.2.0.5"), 0
+        )
+        assert after is not None
+        assert after.port == before.port
+        assert after.data == before.data
+
+    def test_design_state_restored(self, controller):
+        base_design = controller.design
+        controller.run_script(ecmp_load_script(), {"ecmp.rp4": ecmp_rp4_source()})
+        controller.rollback()
+        assert controller.design is base_design
+        assert "ecmp" not in controller.design.program.all_stages()
+
+    def test_base_tables_survive_rollback(self, controller):
+        routes = len(controller.switch.table("ipv4_lpm"))
+        controller.run_script(ecmp_load_script(), {"ecmp.rp4": ecmp_rp4_source()})
+        controller.rollback()
+        assert len(controller.switch.table("ipv4_lpm")) == routes
+
+
+class TestSrv6TrialFailback:
+    def test_header_links_undone(self, controller):
+        controller.run_script(srv6_load_script(), {"srv6.rp4": srv6_rp4_source()})
+        assert controller.switch.linkage.next_header("ipv6", 43) == "srh"
+        controller.rollback()
+        assert controller.switch.linkage.next_header("ipv6", 43) is None
+        assert "local_sid" not in controller.switch.tables
+
+    def test_plain_forwarding_after_failback(self, controller):
+        controller.run_script(srv6_load_script(), {"srv6.rp4": srv6_rp4_source()})
+        controller.rollback()
+        out = controller.switch.inject(ipv4_packet("10.1.0.1", "10.2.0.5"), 0)
+        assert out is not None and out.port == 3
+
+
+class TestRollbackStack:
+    def test_two_updates_two_rollbacks(self, controller):
+        controller.run_script(
+            flowprobe_load_script(), {"flowprobe.rp4": flowprobe_rp4_source()}
+        )
+        controller.run_script(ecmp_load_script(), {"ecmp.rp4": ecmp_rp4_source()})
+        controller.rollback()  # undo ecmp
+        assert "flow_probe" in controller.switch.tables
+        assert "ecmp_ipv4" not in controller.switch.tables
+        controller.rollback()  # undo probe
+        assert "flow_probe" not in controller.switch.tables
+
+    def test_rollback_without_update(self, controller):
+        with pytest.raises(ControllerError):
+            controller.rollback()
+
+    def test_history_records_rollback(self, controller):
+        controller.run_script(
+            flowprobe_load_script(), {"flowprobe.rp4": flowprobe_rp4_source()}
+        )
+        controller.rollback()
+        assert controller.history[-1] == "rollback"

@@ -1,0 +1,95 @@
+"""Stress test: behavioral switch correctness at routing-table scale.
+
+Install thousands of random prefixes through the runtime API and
+verify (sampled) lookups against a brute-force longest-prefix scan --
+the whole pipeline, not just the LPM engine.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compiler.rp4bc import TargetSpec
+from repro.net.addresses import format_ipv4
+from repro.programs import base_rp4_source, populate_base_tables
+from repro.runtime import Controller
+from repro.workloads import ipv4_packet
+
+N_ROUTES = 3000
+N_PROBES = 150
+
+
+@pytest.fixture(scope="module")
+def loaded():
+    # A pool big enough for the base design (table sizes unchanged --
+    # entries, not capacity, are what we scale here).
+    controller = Controller(TargetSpec(sram_blocks=128))
+    controller.load_base(base_rp4_source())
+    populate_base_tables(controller.switch.tables)
+
+    rng = np.random.default_rng(77)
+    api = controller.api("ipv4_lpm")
+    routes = []
+    seen = set()
+    while len(routes) < N_ROUTES:
+        plen = int(rng.integers(8, 29))
+        value = int(rng.integers(0, 1 << 32)) & (~0 << (32 - plen)) & 0xFFFFFFFF
+        if (value, plen) in seen:
+            continue
+        seen.add((value, plen))
+        nh = 1 + (len(routes) % 3)  # spread over the 3 next hops
+        api.install((1, (value, plen)), "set_nexthop", {"nexthop": nh})
+        routes.append((value, plen, nh))
+    return controller, routes, rng
+
+
+def brute_force(routes, probe):
+    best = None
+    for value, plen, nh in routes:
+        shift = 32 - plen
+        if (probe >> shift) == (value >> shift):
+            if best is None or plen > best[0]:
+                best = (plen, nh)
+    return best
+
+
+class TestRouteScale:
+    def test_table_occupancy(self, loaded):
+        controller, routes, _ = loaded
+        # +3 base routes installed by populate_base_tables
+        assert len(controller.switch.table("ipv4_lpm")) == N_ROUTES + 3
+
+    def test_sampled_lookups_match_brute_force(self, loaded):
+        controller, routes, rng = loaded
+        # Include the base-design routes in the oracle.
+        from repro.net.addresses import parse_ipv4
+
+        oracle_routes = routes + [
+            (parse_ipv4("10.1.0.0"), 16, 1),
+            (parse_ipv4("10.2.0.0"), 16, 2),
+            (0, 0, 3),
+        ]
+        nexthop_ports = {1: 2, 2: 3, 3: 1}
+        checked = 0
+        for _ in range(N_PROBES):
+            probe = int(rng.integers(0, 1 << 32))
+            expected = brute_force(oracle_routes, probe)
+            assert expected is not None  # default route always matches
+            # Host routes (10.1.0.1) would shadow; skip that address.
+            if probe == parse_ipv4("10.1.0.1"):
+                continue
+            out = controller.switch.inject(
+                ipv4_packet("10.1.0.9", format_ipv4(probe)), 0
+            )
+            assert out is not None, format_ipv4(probe)
+            assert out.port == nexthop_ports[expected[1]], format_ipv4(probe)
+            checked += 1
+        assert checked > N_PROBES * 0.9
+
+    def test_pipeline_throughput_survives_scale(self, loaded):
+        controller, _, _ = loaded
+        before = controller.switch.packets_out
+        for i in range(100):
+            controller.switch.inject(
+                ipv4_packet("10.1.0.9", f"10.2.0.{i + 1}"), 0
+            )
+        assert controller.switch.packets_out == before + 100

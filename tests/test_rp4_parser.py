@@ -1,0 +1,160 @@
+"""Unit tests for the rP4 parser (Fig. 2 EBNF) and printer."""
+
+import pytest
+
+from repro.lang.errors import LangError
+from repro.lang.expr import EBin, EValid, SAssign, SCall
+from repro.rp4 import parse_rp4, print_rp4
+from repro.programs import base_rp4_source, ecmp_rp4_source
+
+
+FIG5A = """
+table ecmp_ipv4 {
+    key = {
+        meta.nexthop: hash;
+        ipv4.dst_addr: hash; // similar with P4's selector
+    }
+    size = 4096;
+}
+stage ecmp { /* parser-matcher-executor */
+    parser { ipv4, ipv6 };
+    matcher {
+        if (ipv4.isValid()) ecmp_ipv4.apply();
+        else;
+    };
+    executor {
+        1: set_bd_dmac;
+        default: NoAction;
+    }
+}
+action set_bd_dmac(bit<16> bd, bit<48> dmac) {
+    meta.bd = bd;
+    ethernet.dst_addr = dmac;
+}
+"""
+
+
+class TestPaperSnippet:
+    """The Fig. 5(a) code must parse as published."""
+
+    def test_table(self):
+        prog = parse_rp4(FIG5A)
+        table = prog.tables["ecmp_ipv4"]
+        assert table.keys == [("meta.nexthop", "hash"), ("ipv4.dst_addr", "hash")]
+        assert table.size == 4096
+
+    def test_stage_triad(self):
+        stage = parse_rp4(FIG5A).ingress_stages["ecmp"]
+        assert stage.parser == ["ipv4", "ipv6"]
+        assert stage.matcher[0].cond == EValid("ipv4")
+        assert stage.matcher[0].table == "ecmp_ipv4"
+        assert stage.matcher[1].cond is None and stage.matcher[1].table is None
+        assert stage.executor == {1: "set_bd_dmac", "default": "NoAction"}
+
+    def test_action(self):
+        action = parse_rp4(FIG5A).actions["set_bd_dmac"]
+        assert action.params == [("bd", 16), ("dmac", 48)]
+        assert isinstance(action.body[0], SAssign)
+        assert action.body[0].dest == "meta.bd"
+
+
+class TestHeadersAndStructs:
+    def test_implicit_parser(self):
+        prog = parse_rp4(base_rp4_source())
+        eth = prog.headers["ethernet"]
+        assert eth.selector == "ethertype"
+        assert (0x0800, "ipv4") in eth.links
+        assert (0x86DD, "ipv6") in eth.links
+
+    def test_struct_alias(self):
+        prog = parse_rp4(base_rp4_source())
+        meta = prog.structs["metadata"]
+        assert meta.alias == "meta"
+        assert ("bd", 16) in meta.members
+
+    def test_selector_must_be_a_field(self):
+        with pytest.raises(LangError):
+            parse_rp4(
+                "header h { bit<8> x; implicit parser(nope) { 1: y; } }"
+            )
+
+    def test_duplicate_header_rejected(self):
+        with pytest.raises(LangError):
+            parse_rp4("header h { bit<8> x; } header h { bit<8> y; }")
+
+    def test_ref_width(self):
+        prog = parse_rp4(base_rp4_source())
+        assert prog.ref_width("ipv6.dst_addr") == 128
+        assert prog.ref_width("meta.bd") == 16
+        assert prog.ref_width("meta.ingress_port") == 16  # intrinsic default
+
+
+class TestPipesAndFuncs:
+    def test_base_design_shape(self):
+        prog = parse_rp4(base_rp4_source())
+        assert len(prog.ingress_stages) == 8
+        assert len(prog.egress_stages) == 2
+        assert prog.ingress_entry == "port_map"
+        assert prog.egress_entry == "l2_l3_rewrite"
+        assert set(prog.user_funcs) == {"l2l3_fwd", "rewrite"}
+
+    def test_duplicate_stage_rejected(self):
+        src = """
+        control rP4_Ingress {
+            stage s { parser { }; matcher { }; executor { } }
+            stage s { parser { }; matcher { }; executor { } }
+        }
+        """
+        with pytest.raises(LangError):
+            parse_rp4(src)
+
+    def test_bare_stage_defaults_to_ingress(self):
+        prog = parse_rp4(ecmp_rp4_source())
+        assert "ecmp" in prog.ingress_stages
+
+    def test_executor_duplicate_tag_rejected(self):
+        src = """
+        stage s { parser { }; matcher { }; executor { 1: a; 1: b; } }
+        """
+        with pytest.raises(LangError):
+            parse_rp4(src)
+
+    def test_action_call_statement(self):
+        prog = parse_rp4("action a() { drop(); }")
+        assert prog.actions["a"].body == [SCall("drop", ())]
+
+    def test_table_without_key_rejected(self):
+        with pytest.raises(LangError):
+            parse_rp4("table t { size = 8; }")
+
+    def test_unknown_match_kind_rejected(self):
+        with pytest.raises(LangError):
+            parse_rp4("table t { key = { meta.x: fuzzy; } }")
+
+
+class TestRoundTrip:
+    """print -> parse must preserve the program structure."""
+
+    @pytest.mark.parametrize(
+        "source_fn", [base_rp4_source, ecmp_rp4_source]
+    )
+    def test_roundtrip(self, source_fn):
+        prog = parse_rp4(source_fn())
+        text = print_rp4(prog)
+        again = parse_rp4(text)
+        assert set(again.tables) == set(prog.tables)
+        assert set(again.actions) == set(prog.actions)
+        assert set(again.all_stages()) == set(prog.all_stages())
+        assert again.ingress_entry == prog.ingress_entry
+        for name, stage in prog.all_stages().items():
+            twin = again.all_stages()[name]
+            assert twin.parser == stage.parser
+            assert twin.executor == stage.executor
+            assert len(twin.matcher) == len(stage.matcher)
+
+    def test_headers_roundtrip(self):
+        prog = parse_rp4(base_rp4_source())
+        again = parse_rp4(print_rp4(prog))
+        for name, header in prog.headers.items():
+            assert again.headers[name].fields == header.fields
+            assert again.headers[name].links == header.links

@@ -1,0 +1,113 @@
+"""Unit tests for rP4 semantic analysis."""
+
+import pytest
+
+from repro.rp4 import analyze, parse_rp4
+from repro.rp4.semantic import SemanticError, analyze_incremental
+from repro.programs import base_rp4_source, ecmp_rp4_source
+
+
+@pytest.fixture
+def base():
+    return parse_rp4(base_rp4_source())
+
+
+class TestBaseDesign:
+    def test_analyzes_clean(self, base):
+        info = analyze(base)
+        assert not info.warnings
+        assert len(info.stage_order) == 10
+
+    def test_table_info(self, base):
+        info = analyze(base)
+        fib = info.tables["ipv4_lpm"]
+        assert fib.key_width == 16 + 32
+        assert fib.match_kind == "lpm"
+        assert fib.size == 4096
+        assert info.tables["ipv6_host"].key_width == 16 + 128
+        assert info.tables["dmac"].match_kind == "exact"
+
+
+class TestErrors:
+    def test_unknown_table_in_matcher(self):
+        src = """
+        stage s { parser { }; matcher { ghost.apply(); }; executor { } }
+        """
+        with pytest.raises(SemanticError, match="ghost"):
+            analyze(parse_rp4(src), require_entries=False)
+
+    def test_unknown_action_in_executor(self):
+        src = """
+        table t { key = { meta.drop: exact; } }
+        stage s { parser { }; matcher { t.apply(); }; executor { 1: ghost; } }
+        """
+        with pytest.raises(SemanticError, match="ghost"):
+            analyze(parse_rp4(src), require_entries=False)
+
+    def test_unresolved_key_field(self):
+        src = "table t { key = { nowhere.x: exact; } }"
+        with pytest.raises(SemanticError, match="nowhere.x"):
+            analyze(parse_rp4(src), require_entries=False)
+
+    def test_unknown_primitive(self):
+        src = "action a() { teleport(); }"
+        with pytest.raises(SemanticError, match="teleport"):
+            analyze(parse_rp4(src), require_entries=False)
+
+    def test_undeclared_parser_header(self):
+        src = "stage s { parser { mystery }; matcher { }; executor { } }"
+        with pytest.raises(SemanticError, match="mystery"):
+            analyze(parse_rp4(src), require_entries=False)
+
+    def test_missing_entries_flagged(self):
+        src = """
+        control rP4_Ingress {
+            stage s { parser { }; matcher { }; executor { } }
+        }
+        """
+        with pytest.raises(SemanticError, match="ingress_entry"):
+            analyze(parse_rp4(src))
+
+    def test_entries_not_required_for_snippets(self):
+        prog = parse_rp4("stage s { parser { }; matcher { }; executor { } }")
+        analyze(prog, require_entries=False)  # must not raise
+
+    def test_builtin_actions_allowed(self):
+        src = """
+        table t { key = { meta.drop: exact; } }
+        stage s { parser { }; matcher { t.apply(); };
+                  executor { 1: drop; default: NoAction; } }
+        """
+        analyze(parse_rp4(src), require_entries=False)
+
+    def test_errors_are_collected(self):
+        src = """
+        table t { key = { nowhere.x: exact; nowhere.y: exact; } }
+        """
+        with pytest.raises(SemanticError) as exc:
+            analyze(parse_rp4(src), require_entries=False)
+        assert len(exc.value.errors) == 2
+
+
+class TestIncremental:
+    def test_merged_snippet(self, base):
+        old_info = analyze(base)
+        snippet = parse_rp4(ecmp_rp4_source())
+        base.merge(snippet)
+        info = analyze_incremental(
+            base, old_info, ["ecmp"], ["ecmp_ipv4", "ecmp_ipv6"]
+        )
+        assert "ecmp_ipv4" in info.tables
+        assert info.tables["ecmp_ipv4"].match_kind == "hash"
+        # Surviving tables keep their old resolution objects.
+        assert info.tables["ipv4_lpm"] is old_info.tables["ipv4_lpm"]
+
+    def test_incremental_catches_bad_snippet(self, base):
+        old_info = analyze(base)
+        snippet = parse_rp4(
+            "table bad { key = { ghost.x: exact; } }"
+            "stage s2 { parser { }; matcher { bad.apply(); }; executor { } }"
+        )
+        base.merge(snippet)
+        with pytest.raises(SemanticError, match="ghost"):
+            analyze_incremental(base, old_info, ["s2"], ["bad"])

@@ -1,0 +1,142 @@
+"""Unit tests for the controller, control channel, and table APIs."""
+
+import pytest
+
+from repro.runtime import ControlChannel, Controller
+from repro.runtime.controller import ControllerError
+from repro.runtime.table_api import TableApi, TableApiError
+from repro.compiler.lowering import lower_table
+from repro.programs import (
+    base_rp4_source,
+    ecmp_load_script,
+    ecmp_rp4_source,
+    populate_base_tables,
+    populate_ecmp_tables,
+    srv6_load_script,
+    srv6_rp4_source,
+)
+from repro.workloads import ipv4_packet
+
+
+@pytest.fixture
+def controller():
+    ctl = Controller()
+    ctl.load_base(base_rp4_source())
+    populate_base_tables(ctl.switch.tables)
+    return ctl
+
+
+class TestControlChannel:
+    def test_messages_serialized(self):
+        channel = ControlChannel()
+        message = {"a": [1, 2], "b": {"c": True}}
+        echoed = channel.send(message)
+        assert echoed == message
+        assert echoed is not message  # genuinely round-tripped
+        assert channel.stats.messages == 1
+        assert channel.stats.bytes_sent > 0
+
+    def test_non_serializable_rejected(self):
+        with pytest.raises(TypeError):
+            ControlChannel().send({"fn": lambda: 0})
+
+
+class TestControllerBaseFlow:
+    def test_load_base_timings(self, controller):
+        timing = controller.history
+        assert timing == ["load_base"]
+        assert controller.design is not None
+        assert controller.switch.active_tsp_count() == 7
+
+    def test_script_before_base_rejected(self):
+        with pytest.raises(ControllerError):
+            Controller().run_script("unload --func_name x")
+
+    def test_traffic_flows(self, controller):
+        out = controller.switch.inject(ipv4_packet("10.1.0.1", "10.2.0.5"), 0)
+        assert out is not None and out.port == 3
+
+
+class TestControllerUpdates:
+    def test_ecmp_update_message_is_a_delta(self, controller):
+        plan, stats, timing = controller.run_script(
+            ecmp_load_script(), {"ecmp.rp4": ecmp_rp4_source()}
+        )
+        # Only one template crossed the channel.
+        assert stats.templates_written == 1
+        assert stats.tables_created == ["ecmp_ipv4", "ecmp_ipv6"]
+        assert stats.tables_removed == ["nexthop"]
+        assert "nexthop" not in controller.switch.tables
+
+    def test_base_entries_survive_update(self, controller):
+        before = len(controller.switch.table("ipv4_lpm"))
+        controller.run_script(ecmp_load_script(), {"ecmp.rp4": ecmp_rp4_source()})
+        assert len(controller.switch.table("ipv4_lpm")) == before
+
+    def test_traffic_resumes_after_update(self, controller):
+        controller.run_script(ecmp_load_script(), {"ecmp.rp4": ecmp_rp4_source()})
+        populate_ecmp_tables(controller.switch.tables)
+        out = controller.switch.inject(ipv4_packet("10.1.0.1", "10.2.0.5"), 0)
+        assert out is not None and out.port in (2, 3)
+
+    def test_srv6_links_applied(self, controller):
+        controller.run_script(srv6_load_script(), {"srv6.rp4": srv6_rp4_source()})
+        linkage = controller.switch.linkage
+        assert linkage.next_header("ipv6", 43) == "srh"
+        assert linkage.next_header("srh", 41) == "inner_ipv6"
+        # inner instances alias the base types
+        assert controller.switch.header_types["inner_ipv6"].fixed_bits == 320
+
+    def test_design_advances(self, controller):
+        old = controller.design
+        controller.run_script(ecmp_load_script(), {"ecmp.rp4": ecmp_rp4_source()})
+        assert controller.design is not old
+        assert "ecmp" in controller.design.program.all_stages()
+
+
+class TestTableApi:
+    def test_action_tags_inferred(self, controller):
+        api = controller.api("nexthop")
+        entry = api.install((9,), "set_bd_dmac", {"bd": 2, "dmac": 5})
+        assert entry.tag == 1
+
+    def test_key_arity_checked(self, controller):
+        api = controller.api("dmac")
+        with pytest.raises(TableApiError):
+            api.install((1,), "set_egress_port", {"port": 1})
+
+    def test_lpm_shape_checked(self, controller):
+        api = controller.api("ipv4_lpm")
+        with pytest.raises(TableApiError):
+            api.install((1, 0x0A000000), "set_nexthop", {"nexthop": 1})
+        api.install((1, (0x0A000000, 8)), "set_nexthop", {"nexthop": 1})
+
+    def test_exact_type_checked(self, controller):
+        api = controller.api("port_map")
+        with pytest.raises(TableApiError):
+            api.install(((1, 2),), "set_intf", {"intf": 0})
+
+    def test_hash_table_ignores_key(self, controller):
+        controller.run_script(ecmp_load_script(), {"ecmp.rp4": ecmp_rp4_source()})
+        api = controller.api("ecmp_ipv4")
+        api.install((), "set_bd_dmac", {"bd": 2, "dmac": 7})
+        assert len(api) == 1
+
+    def test_entries_and_clear(self):
+        table = lower_table("t", [("meta.x", "exact", 8)], 8)
+        api = TableApi(table)
+        api.install((1,), "NoAction")
+        assert len(api.entries()) == 1
+        api.clear()
+        assert len(api) == 0
+
+    def test_remove(self):
+        table = lower_table("t", [("meta.x", "exact", 8)], 8)
+        api = TableApi(table)
+        entry = api.install((1,), "NoAction")
+        api.remove(entry)
+        assert len(api) == 0
+
+    def test_tables_listing(self, controller):
+        apis = controller.tables()
+        assert "ipv4_lpm" in apis and "dmac" in apis

@@ -1,0 +1,183 @@
+"""Tests for the multi-switch fabric."""
+
+import pytest
+
+from repro.net.addresses import parse_ipv6, parse_mac
+from repro.programs import (
+    base_rp4_source,
+    populate_base_tables,
+    srv6_load_script,
+    srv6_rp4_source,
+)
+from repro.programs.base_l2l3 import NEXTHOP_MACS, ROUTER_MAC
+from repro.runtime import Controller
+from repro.runtime.fabric import Delivery, Fabric, FabricError
+from repro.tables.table import TableEntry
+from repro.workloads import ipv4_packet, srv6_packet
+
+
+def base_node():
+    controller = Controller()
+    controller.load_base(base_rp4_source())
+    populate_base_tables(controller.switch.tables)
+    return controller
+
+
+def two_node_fabric():
+    """A <-> B on A's port 3 / B's port 0.
+
+    A's next hop 2 resolves to a DMAC that must be B's router MAC for
+    routing to continue at B, so A's nexthop entry is repointed.
+    """
+    fabric = Fabric()
+    a = fabric.add_node("A", base_node())
+    fabric.add_node("B", base_node())
+    fabric.wire("A", 3, "B", 0)
+
+    # Repoint A's nexthop 2 at B's router MAC (port 3 -> the wire).
+    nexthop = a.switch.table("nexthop")
+    old = next(e for e in nexthop.entries() if e.key == (2,))
+    nexthop.remove_entry(old)
+    nexthop.add_entry(
+        TableEntry(
+            key=(2,),
+            action="set_bd_dmac",
+            action_data={"bd": 2, "dmac": parse_mac(ROUTER_MAC)},
+            tag=1,
+        )
+    )
+    a.switch.table("dmac").add_entry(
+        TableEntry(
+            key=(2, parse_mac(ROUTER_MAC)),
+            action="set_egress_port",
+            action_data={"port": 3},
+            tag=1,
+        )
+    )
+    return fabric
+
+
+class TestTopology:
+    def test_duplicate_node_rejected(self):
+        fabric = Fabric()
+        fabric.add_node("A", base_node())
+        with pytest.raises(FabricError):
+            fabric.add_node("A", base_node())
+
+    def test_unknown_node(self):
+        with pytest.raises(FabricError):
+            Fabric().node("ghost")
+
+    def test_double_wire_rejected(self):
+        fabric = Fabric()
+        fabric.add_node("A", base_node())
+        fabric.add_node("B", base_node())
+        fabric.wire("A", 3, "B", 0)
+        with pytest.raises(FabricError):
+            fabric.wire("A", 3, "B", 1)
+
+    def test_wiring_is_bidirectional(self):
+        fabric = Fabric()
+        fabric.add_node("A", base_node())
+        fabric.add_node("B", base_node())
+        fabric.wire("A", 3, "B", 0)
+        assert fabric.peer("A", 3) == ("B", 0)
+        assert fabric.peer("B", 0) == ("A", 3)
+
+    def test_max_hops_validation(self):
+        with pytest.raises(ValueError):
+            Fabric(max_hops=0)
+
+
+class TestForwarding:
+    def test_single_node_edge_delivery(self):
+        fabric = Fabric()
+        fabric.add_node("A", base_node())
+        delivery = fabric.send("A", ipv4_packet("10.1.0.1", "10.2.0.5"), 0)
+        assert isinstance(delivery, Delivery)
+        assert delivery.node == "A" and delivery.port == 3
+        assert delivery.hops == 1 and delivery.path == ("A",)
+
+    def test_two_hop_path(self):
+        fabric = two_node_fabric()
+        delivery = fabric.send("A", ipv4_packet("10.1.0.1", "10.2.0.5"), 0)
+        assert delivery is not None
+        assert delivery.path == ("A", "B")
+        assert delivery.hops == 2
+        # TTL decremented once per routing hop.
+        assert delivery.data[14 + 8] == 62
+
+    def test_drop_counted(self):
+        fabric = Fabric()
+        fabric.add_node("A", base_node())
+        assert fabric.send("A", ipv4_packet("10.1.0.1", "10.2.0.5"), 42) is None
+        assert fabric.stats.dropped == 1
+
+    def test_loop_cut(self):
+        # Repoint A's next hop at its own router MAC and wire its
+        # egress back into itself: every traversal re-routes the
+        # packet, TTL (64) will not save us within max_hops=3 -- the
+        # hop bound must.
+        fabric = Fabric(max_hops=3)
+        a = fabric.add_node("A", base_node())
+        nexthop = a.switch.table("nexthop")
+        old = next(e for e in nexthop.entries() if e.key == (2,))
+        nexthop.remove_entry(old)
+        nexthop.add_entry(
+            TableEntry(
+                key=(2,),
+                action="set_bd_dmac",
+                action_data={"bd": 2, "dmac": parse_mac(ROUTER_MAC)},
+                tag=1,
+            )
+        )
+        a.switch.table("dmac").add_entry(
+            TableEntry(
+                key=(2, parse_mac(ROUTER_MAC)),
+                action="set_egress_port",
+                action_data={"port": 3},
+                tag=1,
+            )
+        )
+        fabric.wire("A", 3, "A", 0)
+        result = fabric.send("A", ipv4_packet("10.1.0.1", "10.2.0.5"), 0)
+        assert result is None
+        assert fabric.stats.loops_cut == 1
+
+
+class TestRollout:
+    def test_srv6_rollout_node_by_node(self):
+        fabric = two_node_fabric()
+        timings = fabric.rollout(
+            srv6_load_script(), {"srv6.rp4": srv6_rp4_source()}
+        )
+        assert set(timings) == {"A", "B"}
+        for name in ("A", "B"):
+            from repro.programs import populate_srv6_tables
+
+            populate_srv6_tables(fabric.node(name).switch.tables)
+        # SRv6 chain across the fabric: A Ends (SID ours), routes the
+        # next segment toward B via nexthop 2 (= the wire), B routes on.
+        controller_a = fabric.node("A")
+        controller_a.api("local_sid")  # exists on both
+        packet = srv6_packet(
+            src="2001:db8:9::1",
+            active_sid="2001:db8:100::1",
+            segments=["2001:db8:2::1", "2001:db8:100::1"],
+            segments_left=1,
+        )
+        delivery = fabric.send("A", packet, 0)
+        assert delivery is not None
+        assert delivery.path == ("A", "B")
+        # Outer DA advanced to the final segment by A's End behavior.
+        da = delivery.data[14 + 24 : 14 + 40]
+        assert da == parse_ipv6("2001:db8:2::1").to_bytes(16, "big")
+
+    def test_partial_rollout(self):
+        fabric = two_node_fabric()
+        timings = fabric.rollout(
+            srv6_load_script(), {"srv6.rp4": srv6_rp4_source()}, nodes=["A"]
+        )
+        assert set(timings) == {"A"}
+        assert "local_sid" in fabric.node("A").switch.tables
+        assert "local_sid" not in fabric.node("B").switch.tables

@@ -1,0 +1,136 @@
+"""Tests for statistics snapshots and the back-pressure drain protocol."""
+
+import json
+
+import pytest
+
+from repro.programs import (
+    base_rp4_source,
+    ecmp_load_script,
+    ecmp_rp4_source,
+    populate_base_tables,
+    populate_ecmp_tables,
+)
+from repro.runtime import Controller
+from repro.runtime.stats import diff, format_stats, snapshot
+from repro.workloads import ipv4_packet
+
+
+@pytest.fixture
+def controller():
+    ctl = Controller()
+    ctl.load_base(base_rp4_source())
+    populate_base_tables(ctl.switch.tables)
+    return ctl
+
+
+class TestSnapshot:
+    def test_json_serializable(self, controller):
+        stats = snapshot(controller.switch)
+        json.dumps(stats)
+
+    def test_device_counters(self, controller):
+        controller.switch.inject(ipv4_packet("10.1.0.1", "10.2.0.5"), 0)
+        stats = snapshot(controller.switch)
+        assert stats["device"]["packets_in"] == 1
+        assert stats["device"]["packets_out"] == 1
+        assert stats["device"]["active_tsps"] == 7
+
+    def test_per_tsp_rows(self, controller):
+        stats = snapshot(controller.switch)
+        assert len(stats["tsps"]) == 8
+        bypassed = [t for t in stats["tsps"] if t["state"] == "bypassed"]
+        assert len(bypassed) == 1 and bypassed[0]["index"] == 6
+
+    def test_table_rows(self, controller):
+        stats = snapshot(controller.switch)
+        assert stats["tables"]["ipv4_lpm"]["entries"] == 3
+        assert stats["tables"]["ipv4_lpm"]["size"] == 4096
+
+    def test_diff_counts_deltas(self, controller):
+        before = snapshot(controller.switch)
+        for _ in range(3):
+            controller.switch.inject(ipv4_packet("10.1.0.1", "10.2.0.5"), 0)
+        delta = diff(before, snapshot(controller.switch))
+        assert delta["device"]["packets_in"] == 3
+        assert delta["tables"]["ipv4_lpm"]["hits"] == 3
+        assert delta["tables"]["ipv6_lpm"]["hits"] == 0
+
+    def test_format(self, controller):
+        controller.switch.inject(ipv4_packet("10.1.0.1", "10.2.0.5"), 0)
+        text = format_stats(snapshot(controller.switch))
+        assert "device: in=1" in text
+        assert "table ipv4_lpm" in text
+        assert "TM:" in text
+
+
+class TestBackPressureDrain:
+    def test_queued_packets_wait_out_the_update(self, controller):
+        switch = controller.switch
+        for i in range(5):
+            switch.enqueue(ipv4_packet("10.1.0.1", f"10.2.0.{i + 1}"), 0)
+        assert len(switch.rx_queue) == 5
+
+        _, stats, _ = controller.run_script(
+            ecmp_load_script(), {"ecmp.rp4": ecmp_rp4_source()}
+        )
+        # Held upstream during the stall, not lost and not processed.
+        assert stats.held_packets == 5
+        assert len(switch.rx_queue) == 5
+        assert switch.packets_in == 0
+
+        populate_ecmp_tables(switch.tables)
+        outputs = switch.pump()
+        # The held packets were processed by the NEW pipeline.
+        assert len(outputs) == 5
+        assert {o.port for o in outputs} <= {2, 3}
+        assert switch.tables["ecmp_ipv4"].hit_count == 5
+
+    def test_pump_respects_pause(self, controller):
+        switch = controller.switch
+        switch.enqueue(ipv4_packet("10.1.0.1", "10.2.0.5"), 0)
+        switch.paused = True
+        assert switch.pump() == []
+        switch.paused = False
+        assert len(switch.pump()) == 1
+
+    def test_pump_limit(self, controller):
+        switch = controller.switch
+        for i in range(4):
+            switch.enqueue(ipv4_packet("10.1.0.1", "10.2.0.5", sport=i + 1), 0)
+        assert len(switch.pump(limit=3)) == 3
+        assert len(switch.rx_queue) == 1
+
+    def test_update_stall_is_bounded(self, controller):
+        _, stats, _ = controller.run_script(
+            ecmp_load_script(), {"ecmp.rp4": ecmp_rp4_source()}
+        )
+        assert stats.stall_seconds < 0.1
+        assert not controller.switch.paused
+
+
+class TestExternStats:
+    def test_sketch_and_meter_sections(self, controller):
+        from repro.programs import (
+            hhsketch_load_script,
+            hhsketch_rp4_source,
+            populate_hhsketch_tables,
+        )
+
+        controller.run_script(
+            hhsketch_load_script(), {"hhsketch.rp4": hhsketch_rp4_source()}
+        )
+        populate_hhsketch_tables(controller.switch.tables)
+        controller.switch.meters.configure("demo", rate=1, burst=2)
+        controller.switch.inject(ipv4_packet("10.1.0.1", "10.2.0.5"), 0)
+        stats = snapshot(controller.switch)
+        assert stats["sketches"]["hh_update"]["updates"] == 1
+        assert stats["meters"]["demo"]["rate"] == 1
+        import json
+
+        json.dumps(stats)
+
+    def test_empty_extern_sections(self, controller):
+        stats = snapshot(controller.switch)
+        assert stats["sketches"] == {}
+        assert stats["meters"] == {}

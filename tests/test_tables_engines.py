@@ -1,0 +1,144 @@
+"""Unit tests for the match engines."""
+
+import pytest
+
+from repro.tables.engines import ExactEngine, HashEngine, LpmEngine, TernaryEngine
+
+
+class TestExactEngine:
+    def test_insert_lookup(self):
+        e = ExactEngine()
+        e.insert((1, 2), "a")
+        assert e.lookup((1, 2)) == "a"
+        assert e.lookup((2, 1)) is None
+
+    def test_overwrite(self):
+        e = ExactEngine()
+        e.insert((1,), "a")
+        e.insert((1,), "b")
+        assert e.lookup((1,)) == "b"
+        assert len(e) == 1
+
+    def test_remove(self):
+        e = ExactEngine()
+        e.insert((1,), "a")
+        assert e.remove((1,)) == "a"
+        assert e.lookup((1,)) is None
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(KeyError):
+            ExactEngine().remove((5,))
+
+
+class TestLpmEngine:
+    def test_longest_prefix_wins(self):
+        e = LpmEngine(exact_count=0, lpm_width=32)
+        e.insert((), 0x0A000000, 8, "short")
+        e.insert((), 0x0A010000, 16, "long")
+        assert e.lookup((0x0A010203,)) == "long"
+        assert e.lookup((0x0A990203,)) == "short"
+
+    def test_default_route(self):
+        e = LpmEngine(0, 32)
+        e.insert((), 0, 0, "default")
+        assert e.lookup((0xDEADBEEF,)) == "default"
+
+    def test_exact_prefix_fields(self):
+        # VRF id (exact) + destination (lpm), as in the FIB stages.
+        e = LpmEngine(exact_count=1, lpm_width=32)
+        e.insert((1,), 0x0A000000, 8, "vrf1")
+        e.insert((2,), 0x0A000000, 8, "vrf2")
+        assert e.lookup((1, 0x0A000001)) == "vrf1"
+        assert e.lookup((2, 0x0A000001)) == "vrf2"
+        assert e.lookup((3, 0x0A000001)) is None
+
+    def test_host_route(self):
+        e = LpmEngine(0, 32)
+        e.insert((), 0x0A000001, 32, "host")
+        e.insert((), 0x0A000000, 24, "net")
+        assert e.lookup((0x0A000001,)) == "host"
+        assert e.lookup((0x0A000002,)) == "net"
+
+    def test_remove(self):
+        e = LpmEngine(0, 32)
+        e.insert((), 0x0A000000, 8, "a")
+        e.remove((), 0x0A000000, 8)
+        assert e.lookup((0x0A000001,)) is None
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(KeyError):
+            LpmEngine(0, 32).remove((), 0, 8)
+
+    def test_prefix_len_bounds(self):
+        e = LpmEngine(0, 32)
+        with pytest.raises(ValueError):
+            e.insert((), 0, 33, "x")
+
+    def test_ipv6_width(self):
+        e = LpmEngine(0, 128)
+        e.insert((), 0x20010DB8 << 96, 32, "doc")
+        assert e.lookup(((0x20010DB8 << 96) + 5,)) == "doc"
+
+    def test_value_bits_beyond_prefix_ignored(self):
+        e = LpmEngine(0, 32)
+        e.insert((), 0x0A0000FF, 24, "net")  # host bits set in the value
+        assert e.lookup((0x0A000001,)) == "net"
+
+
+class TestTernaryEngine:
+    def test_priority_order(self):
+        e = TernaryEngine(1)
+        e.insert((0x10,), (0xF0,), 1, "low")
+        e.insert((0x12,), (0xFF,), 10, "high")
+        assert e.lookup((0x12,)) == "high"
+        assert e.lookup((0x13,)) == "low"
+
+    def test_wildcard_field(self):
+        e = TernaryEngine(2)
+        e.insert((5, 0), (0xFF, 0), 1, "any-second")
+        assert e.lookup((5, 123)) == "any-second"
+        assert e.lookup((6, 123)) is None
+
+    def test_remove(self):
+        e = TernaryEngine(1)
+        e.insert((5,), (0xFF,), 1, "x")
+        assert e.remove((5,), (0xFF,)) == "x"
+        assert e.lookup((5,)) is None
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(KeyError):
+            TernaryEngine(1).remove((5,), (0xFF,))
+
+    def test_field_count_enforced(self):
+        with pytest.raises(ValueError):
+            TernaryEngine(2).insert((1,), (1,), 0, "x")
+
+
+class TestHashEngine:
+    def test_deterministic_selection(self):
+        e = HashEngine()
+        for name in ("m0", "m1", "m2"):
+            e.insert(name)
+        first = e.lookup((42, 1))
+        assert all(e.lookup((42, 1)) == first for _ in range(10))
+
+    def test_distribution_covers_members(self):
+        e = HashEngine()
+        for name in ("m0", "m1", "m2", "m3"):
+            e.insert(name)
+        picks = {e.lookup((flow, 99)) for flow in range(200)}
+        assert picks == {"m0", "m1", "m2", "m3"}
+
+    def test_empty_misses(self):
+        assert HashEngine().lookup((1,)) is None
+
+    def test_remove_member(self):
+        e = HashEngine()
+        e.insert("a")
+        e.insert("b")
+        assert e.remove_member(0) == "a"
+        assert e.lookup((7,)) == "b"
+
+    def test_remove_bad_index(self):
+        with pytest.raises(KeyError):
+            HashEngine().remove_member(0)

@@ -1,0 +1,241 @@
+"""Unit tests for the logical table facade."""
+
+import pytest
+
+from repro.net.packet import Packet
+from repro.tables.table import KeyField, MatchKind, Table, TableEntry
+
+
+def meta_packet(**meta):
+    p = Packet(b"\x00" * 64)
+    for k, v in meta.items():
+        p.metadata[k] = v
+    return p
+
+
+def exact_table(name="t", size=16):
+    return Table(name, [KeyField("meta.a", MatchKind.EXACT, 16)], size=size)
+
+
+class TestEngineSelection:
+    def test_exact(self):
+        t = exact_table()
+        assert t.match_kind is MatchKind.EXACT
+
+    def test_lpm_must_be_last(self):
+        with pytest.raises(ValueError):
+            Table(
+                "t",
+                [
+                    KeyField("meta.a", MatchKind.LPM, 32),
+                    KeyField("meta.b", MatchKind.EXACT, 8),
+                ],
+            )
+
+    def test_single_lpm_only(self):
+        with pytest.raises(ValueError):
+            Table(
+                "t",
+                [
+                    KeyField("meta.a", MatchKind.LPM, 32),
+                    KeyField("meta.b", MatchKind.LPM, 32),
+                ],
+            )
+
+    def test_hash_cannot_mix(self):
+        with pytest.raises(ValueError):
+            Table(
+                "t",
+                [
+                    KeyField("meta.a", MatchKind.HASH, 32),
+                    KeyField("meta.b", MatchKind.EXACT, 8),
+                ],
+            )
+
+    def test_ternary_dominates(self):
+        t = Table(
+            "t",
+            [
+                KeyField("meta.a", MatchKind.EXACT, 8),
+                KeyField("meta.b", MatchKind.TERNARY, 8),
+            ],
+        )
+        assert t.match_kind is MatchKind.TERNARY
+
+    def test_no_key_rejected(self):
+        with pytest.raises(ValueError):
+            Table("t", [])
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(ValueError):
+            exact_table(size=0)
+
+    def test_key_width(self):
+        t = Table(
+            "t",
+            [
+                KeyField("meta.a", MatchKind.EXACT, 16),
+                KeyField("meta.b", MatchKind.EXACT, 32),
+            ],
+        )
+        assert t.key_width() == 48
+
+
+class TestExactLookup:
+    def test_hit(self):
+        t = exact_table()
+        t.add_entry(TableEntry(key=(5,), action="act", action_data={"x": 1}, tag=2))
+        res = t.lookup(meta_packet(a=5))
+        assert res.hit and res.tag == 2 and res.action == "act"
+        assert res.action_data == {"x": 1}
+
+    def test_miss_default(self):
+        t = Table(
+            "t",
+            [KeyField("meta.a", MatchKind.EXACT, 16)],
+            default_action="drop",
+        )
+        res = t.lookup(meta_packet(a=5))
+        assert not res.hit and res.tag == 0 and res.action == "drop"
+
+    def test_counters(self):
+        t = exact_table()
+        e = TableEntry(key=(5,), action="act")
+        t.add_entry(e)
+        t.lookup(meta_packet(a=5))
+        t.lookup(meta_packet(a=6))
+        assert t.hit_count == 1 and t.miss_count == 1 and e.hits == 1
+
+    def test_capacity_enforced(self):
+        t = exact_table(size=1)
+        t.add_entry(TableEntry(key=(1,), action="a"))
+        with pytest.raises(OverflowError):
+            t.add_entry(TableEntry(key=(2,), action="a"))
+
+    def test_remove_entry(self):
+        t = exact_table()
+        e = TableEntry(key=(5,), action="a")
+        t.add_entry(e)
+        t.remove_entry(e)
+        assert not t.lookup(meta_packet(a=5)).hit
+
+    def test_clear(self):
+        t = exact_table()
+        t.add_entry(TableEntry(key=(5,), action="a"))
+        t.clear()
+        assert len(t) == 0
+
+    def test_key_arity_enforced(self):
+        t = exact_table()
+        with pytest.raises(ValueError):
+            t.add_entry(TableEntry(key=(1, 2), action="a"))
+
+
+class TestLpmLookup:
+    def test_fib_style(self):
+        t = Table(
+            "fib",
+            [
+                KeyField("meta.vrf", MatchKind.EXACT, 16),
+                KeyField("meta.dst", MatchKind.LPM, 32),
+            ],
+        )
+        t.add_entry(TableEntry(key=(1, (0x0A000000, 8)), action="nh1", tag=1))
+        t.add_entry(TableEntry(key=(1, (0x0A010000, 16)), action="nh2", tag=1))
+        res = t.lookup(meta_packet(vrf=1, dst=0x0A010101))
+        assert res.action == "nh2"
+        res = t.lookup(meta_packet(vrf=1, dst=0x0A990101))
+        assert res.action == "nh1"
+
+    def test_lpm_key_shape_enforced(self):
+        t = Table("fib", [KeyField("meta.dst", MatchKind.LPM, 32)])
+        with pytest.raises(TypeError):
+            t.add_entry(TableEntry(key=(0x0A000000,), action="x"))
+
+
+class TestTernaryLookup:
+    def test_acl_style(self):
+        t = Table(
+            "acl",
+            [
+                KeyField("meta.sip", MatchKind.TERNARY, 32),
+                KeyField("meta.dip", MatchKind.TERNARY, 32),
+            ],
+        )
+        t.add_entry(
+            TableEntry(
+                key=((0x0A000000, 0xFF000000), (0, 0)),
+                action="permit",
+                priority=1,
+            )
+        )
+        t.add_entry(
+            TableEntry(
+                key=((0x0A000005, 0xFFFFFFFF), (0, 0)),
+                action="deny",
+                priority=10,
+            )
+        )
+        assert t.lookup(meta_packet(sip=0x0A000005, dip=1)).action == "deny"
+        assert t.lookup(meta_packet(sip=0x0A000006, dip=1)).action == "permit"
+
+    def test_int_key_part_means_full_mask(self):
+        t = Table("acl", [KeyField("meta.sip", MatchKind.TERNARY, 32)])
+        t.add_entry(TableEntry(key=(7,), action="hit"))
+        assert t.lookup(meta_packet(sip=7)).hit
+        assert not t.lookup(meta_packet(sip=8)).hit
+
+
+class TestHashLookup:
+    def test_ecmp_spread_and_stability(self):
+        t = Table(
+            "ecmp_ipv4",
+            [
+                KeyField("meta.nexthop", MatchKind.HASH, 16),
+                KeyField("meta.dst", MatchKind.HASH, 32),
+            ],
+            size=8,
+        )
+        for i in range(4):
+            t.add_entry(
+                TableEntry(key=(), action="set_bd_dmac", action_data={"bd": i}, tag=1)
+            )
+        picks = set()
+        for flow in range(100):
+            res = t.lookup(meta_packet(nexthop=9, dst=flow))
+            assert res.hit and res.action == "set_bd_dmac"
+            picks.add(res.action_data["bd"])
+        assert picks == {0, 1, 2, 3}
+        # Stability: same flow always picks the same member.
+        a = t.lookup(meta_packet(nexthop=9, dst=42)).action_data["bd"]
+        b = t.lookup(meta_packet(nexthop=9, dst=42)).action_data["bd"]
+        assert a == b
+
+    def test_remove_hash_member(self):
+        t = Table("e", [KeyField("meta.x", MatchKind.HASH, 8)], size=4)
+        e1 = TableEntry(key=(), action="a")
+        t.add_entry(e1)
+        t.remove_entry(e1)
+        assert not t.lookup(meta_packet(x=1)).hit
+
+
+class TestDirectCounters:
+    def test_byte_counter_accumulates(self):
+        t = exact_table()
+        e = TableEntry(key=(5,), action="a")
+        t.add_entry(e)
+        p = meta_packet(a=5)
+        p.metadata["packet_length"] = 100
+        t.lookup(p)
+        t.lookup(p)
+        assert e.hits == 2
+        assert e.bytes == 200
+
+    def test_miss_counts_no_bytes(self):
+        t = exact_table()
+        e = TableEntry(key=(5,), action="a")
+        t.add_entry(e)
+        p = meta_packet(a=6)
+        p.metadata["packet_length"] = 100
+        t.lookup(p)
+        assert e.bytes == 0

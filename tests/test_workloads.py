@@ -1,0 +1,139 @@
+"""Unit tests for packet builders and trace generators."""
+
+import pytest
+
+from repro.net.headers import standard_header_types
+from repro.net.linkage import standard_linkage
+from repro.net.packet import Packet
+from repro.workloads import (
+    ecmp_trace,
+    ipv4_packet,
+    ipv6_packet,
+    l2_packet,
+    mixed_l3_trace,
+    probe_trace,
+    srv6_packet,
+    srv6_trace,
+    use_case_trace,
+)
+from repro.net.checksum import internet_checksum
+
+
+def parsed(data):
+    p = Packet(data)
+    p.parse_all(standard_header_types(), standard_linkage())
+    return p
+
+
+class TestBuilders:
+    def test_ipv4_packet_parses(self):
+        p = parsed(ipv4_packet("10.0.0.1", "10.0.0.2", sport=53, dport=80))
+        assert p.header_names() == ["ethernet", "ipv4", "udp"]
+        assert p.read("ipv4.ttl") == 64
+        assert p.read("udp.src_port") == 53
+
+    def test_ipv4_checksum_valid(self):
+        data = ipv4_packet("10.0.0.1", "10.0.0.2")
+        assert internet_checksum(data[14:34]) == 0
+
+    def test_ipv4_total_len_consistent(self):
+        data = ipv4_packet("10.0.0.1", "10.0.0.2", payload=b"xyz")
+        total_len = int.from_bytes(data[16:18], "big")
+        assert total_len == len(data) - 14
+
+    def test_tcp_variant(self):
+        p = parsed(ipv4_packet("10.0.0.1", "10.0.0.2", proto="tcp"))
+        assert p.header_names() == ["ethernet", "ipv4", "tcp"]
+
+    def test_ipv6_packet_parses(self):
+        p = parsed(ipv6_packet("2001:db8::1", "2001:db8::2"))
+        assert p.header_names() == ["ethernet", "ipv6", "udp"]
+        assert p.read("ipv6.hop_limit") == 64
+
+    def test_ipv6_payload_len(self):
+        data = ipv6_packet("2001:db8::1", "2001:db8::2", payload=b"hi")
+        payload_len = int.from_bytes(data[18:20], "big")
+        assert payload_len == len(data) - 14 - 40
+
+    def test_l2_packet_not_router_mac(self):
+        from repro.programs.base_l2l3 import ROUTER_MAC
+        from repro.net.addresses import parse_mac
+
+        data = l2_packet("02:00:00:0a:00:02")
+        dst = int.from_bytes(data[:6], "big")
+        assert dst != parse_mac(ROUTER_MAC)
+
+    def test_srv6_packet_structure(self):
+        from repro.net.linkage import HeaderLink
+
+        linkage = standard_linkage(
+            [HeaderLink("ipv6", 43, "srh"), HeaderLink("srh", 41, "ipv6")]
+        )
+        data = srv6_packet(
+            "2001:db8::1",
+            "2001:db8:100::1",
+            segments=["2001:db8:2::1", "2001:db8:100::1"],
+        )
+        p = Packet(data)
+        p.parse_all(standard_header_types(), linkage)
+        assert p.header_names()[:3] == ["ethernet", "ipv6", "srh"]
+        assert p.read("srh.segments_left") == 1
+        assert p.read("srh.hdr_ext_len") == 4
+
+    def test_srv6_requires_two_segments(self):
+        with pytest.raises(ValueError):
+            srv6_packet("::1", "::2", segments=["::3"])
+
+
+class TestTraces:
+    def test_mixed_trace_deterministic(self):
+        assert mixed_l3_trace(50, seed=3) == mixed_l3_trace(50, seed=3)
+        assert mixed_l3_trace(50, seed=3) != mixed_l3_trace(50, seed=4)
+
+    def test_mixed_trace_ratio(self):
+        trace = mixed_l3_trace(400, v4_ratio=0.75, seed=1)
+        v4 = sum(1 for data, _ in trace if data[12:14] == b"\x08\x00")
+        assert 0.65 <= v4 / len(trace) <= 0.85
+
+    def test_mixed_trace_bad_ratio(self):
+        with pytest.raises(ValueError):
+            mixed_l3_trace(10, v4_ratio=1.5)
+
+    def test_ecmp_trace_all_v4(self):
+        trace = ecmp_trace(100)
+        assert all(data[12:14] == b"\x08\x00" for data, _ in trace)
+
+    def test_srv6_trace_mix(self):
+        trace = srv6_trace(100, endpoint_ratio=0.5, seed=2)
+        assert len(trace) == 100
+        assert all(data[12:14] == b"\x86\xdd" for data, _ in trace)
+
+    def test_probe_trace_contains_probed_flow(self):
+        from repro.net.addresses import parse_ipv4
+
+        trace = probe_trace(200, probed_ratio=0.4, seed=5)
+        probed = sum(
+            1
+            for data, _ in trace
+            if int.from_bytes(data[30:34], "big") == parse_ipv4("10.2.0.1")
+        )
+        assert 0.25 <= probed / len(trace) <= 0.55
+
+    def test_use_case_dispatch(self):
+        assert len(use_case_trace("C1", 10)) == 10
+        assert len(use_case_trace("C2", 10)) == 10
+        assert len(use_case_trace("C3", 10)) == 10
+        with pytest.raises(ValueError):
+            use_case_trace("C9")
+
+    def test_traces_forward_through_base_switch(self):
+        from repro.compiler.rp4bc import compile_base
+        from repro.ipsa.switch import IpsaSwitch
+        from repro.programs import base_rp4_source
+        from repro.programs.base_l2l3 import populate_base_tables
+
+        switch = IpsaSwitch()
+        switch.load_config(compile_base(base_rp4_source()).config)
+        populate_base_tables(switch.tables)
+        for data, port in mixed_l3_trace(100):
+            assert switch.inject(data, port) is not None
