@@ -8,6 +8,11 @@ marks its packets (``meta.flow_marked``) so the controller can react
 and its table blocks are recycled -- the "too resource-consuming to
 keep permanent" telemetry story from the paper's introduction.
 
+As a finale, the device's own telemetry (``repro.obs``) is turned on
+to trace one probed packet end to end: which TSPs it traversed, what
+each stage parsed, matched, and executed -- including the probe's own
+``flow_probe`` hit.
+
 Run:  python examples/flow_probe_telemetry.py
 """
 
@@ -62,6 +67,22 @@ def main() -> None:
     # Background traffic of other flows is not counted.
     controller.switch.inject(ipv4_packet("10.1.0.1", "10.2.7.7"), 0)
     assert entry.counter == 8
+
+    # Watch the device watch the flow: trace one probed packet through
+    # every TSP (parse/match/execute spans, TM events, the egress port).
+    print("\ntracing one probed packet through the pipeline:")
+    from repro.obs.trace import format_trace
+
+    controller.switch.enable_tracing(capacity=1)
+    controller.switch.inject(ipv4_packet("10.1.0.1", "10.2.0.1", sport=5000), 0)
+    tracer = controller.switch.disable_tracing()
+    (trace,) = tracer.traces
+    print("  " + format_trace(trace).replace("\n", "\n  "))
+    probe_hits = [
+        s for s in trace.root.find("match")
+        if s.attrs.get("table") == "flow_probe"
+    ]
+    assert probe_hits and probe_hits[0].attrs["hit"]
 
     print("\ninvestigation over -- offloading the probe:")
     plan, stats, _ = controller.run_script("unload --func_name flow_probe")

@@ -14,6 +14,7 @@ from typing import List, Optional, Set
 from repro.ipsa.tm import TrafficManager
 from repro.ipsa.tsp import Tsp, TspState
 from repro.net.packet import Packet
+from repro.obs.trace import DropReason
 
 
 class PipelineError(Exception):
@@ -96,24 +97,55 @@ class ElasticPipeline:
     def process_multi(self, packet: Packet, device, meter=None) -> List[Packet]:
         """Run one packet through ingress, the TM (with multicast
         replication), and egress.  Returns every surviving copy."""
+        tracer = getattr(device, "tracer", None)
+        if tracer is not None and tracer.current is None:
+            tracer = None
         for tsp in self.ingress_tsps():
             tsp.process(packet, device, meter)
             if packet.metadata.get("drop"):
+                self._note_drop(device, tracer, DropReason.INGRESS_ACTION)
                 return []
         queued_count = self.tm.enqueue_or_replicate(packet)
+        if tracer is not None:
+            tracer.event(
+                "tm.enqueue",
+                kind="tm",
+                queued=queued_count,
+                occupancy=self.tm.occupancy(),
+            )
+        if queued_count == 0:
+            group_id = int(packet.metadata.get("mcast_grp", 0))  # type: ignore[arg-type]
+            if group_id and not self.tm.group(group_id):
+                self._note_drop(
+                    device, tracer, DropReason.MCAST_UNKNOWN_GROUP
+                )
+            else:
+                self._note_drop(device, tracer, DropReason.TM_TAIL_DROP)
+            return []
         outputs: List[Packet] = []
         for _ in range(queued_count):
             queued = self.tm.dequeue()
             assert queued is not None
+            if tracer is not None:
+                tracer.event("tm.dequeue", kind="tm")
             dropped = False
             for tsp in self.egress_tsps():
                 tsp.process(queued, device, meter)
                 if queued.metadata.get("drop"):
+                    self._note_drop(device, tracer, DropReason.EGRESS_ACTION)
                     dropped = True
                     break
             if not dropped:
                 outputs.append(queued)
         return outputs
+
+    @staticmethod
+    def _note_drop(device, tracer, reason: DropReason) -> None:
+        note = getattr(device, "note_drop", None)
+        if note is not None:
+            note(reason)
+        if tracer is not None:
+            tracer.note_drop(reason)
 
     def process(self, packet: Packet, device, meter=None) -> Optional[Packet]:
         """Unicast view of :meth:`process_multi` (first surviving copy)."""

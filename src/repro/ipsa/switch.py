@@ -12,7 +12,6 @@ Consumes rp4bc's JSON outputs -- nothing else crosses the boundary:
 
 from __future__ import annotations
 
-import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
@@ -22,10 +21,16 @@ from repro.ipsa.pipeline import ElasticPipeline, SelectorConfig
 from repro.net.headers import FieldDef, HeaderType
 from repro.net.linkage import HeaderLinkageTable
 from repro.net.packet import Packet
+from repro.obs.metrics import MetricsRegistry, Sample
+from repro.obs.timeline import TimelineRecorder
+from repro.obs.trace import DropReason, PacketTracer
 from repro.tables.actions import ActionDef
 from repro.tables.meters import MeterBank
 from repro.tables.registers import ExternStore
 from repro.tables.table import Table
+
+#: Packet-size histogram edges (bytes): the classic wire ladder.
+PACKET_BYTES_BOUNDS = (64, 128, 256, 512, 1024, 1518)
 
 
 class SwitchError(Exception):
@@ -78,6 +83,74 @@ class IpsaSwitch:
         self.externs = ExternStore()
         self.meters = MeterBank()
         self.clock = 0  # logical time: one tick per injected packet
+        # Observability: the registry is the canonical export surface
+        # (collectors read the live counters above at collect time);
+        # the tracer is opt-in and None on the hot path by default.
+        self.drop_reasons: Dict[str, int] = {}
+        self.tracer: Optional[PacketTracer] = None
+        self.timelines = TimelineRecorder()
+        self.metrics = MetricsRegistry()
+        self._packet_bytes = self.metrics.histogram(
+            "device.packet_bytes", PACKET_BYTES_BOUNDS
+        )
+        self._register_metrics()
+
+    # -- observability -----------------------------------------------------
+
+    def _register_metrics(self) -> None:
+        metrics = self.metrics
+        metrics.add_collector("device", self._device_samples)
+        metrics.add_collector(
+            "tsps",
+            lambda: (
+                s for tsp in self.pipeline.tsps for s in tsp.metrics_samples()
+            ),
+        )
+        metrics.add_collector("tm", lambda: self.pipeline.tm.metrics_samples())
+        metrics.add_collector(
+            "tables",
+            lambda: (
+                s
+                for table in list(self.tables.values())
+                for s in table.metrics_samples()
+            ),
+        )
+        metrics.add_collector("sketches", self._sketch_samples)
+        metrics.add_collector("meters", lambda: self.meters.metrics_samples())
+
+    def _device_samples(self):
+        yield Sample("device.packets_in", self.packets_in)
+        yield Sample("device.packets_out", self.packets_out)
+        yield Sample("device.packets_dropped", self.packets_dropped)
+        yield Sample("device.punted", self.punted)
+        yield Sample("device.rx_queue_depth", len(self.rx_queue), {}, "gauge")
+        yield Sample("device.active_tsps", self.active_tsp_count(), {}, "gauge")
+        for reason, count in self.drop_reasons.items():
+            yield Sample("device.drops", count, {"reason": reason})
+
+    def _sketch_samples(self):
+        for name, sketch in self.externs.sketches.items():
+            labels = {"sketch": name}
+            yield Sample("sketch.updates", sketch.updates, dict(labels))
+            yield Sample("sketch.columns", sketch.columns, dict(labels), "gauge")
+            yield Sample("sketch.rows", len(sketch.rows), dict(labels), "gauge")
+
+    def note_drop(self, reason: DropReason) -> None:
+        """Attribute one (copy-level) drop to a taxonomy reason."""
+        key = reason.value
+        self.drop_reasons[key] = self.drop_reasons.get(key, 0) + 1
+
+    def enable_tracing(self, capacity: int = 256) -> PacketTracer:
+        """Attach (and return) a per-packet tracer; idempotent."""
+        if self.tracer is None:
+            self.tracer = PacketTracer(capacity=capacity)
+        return self.tracer
+
+    def disable_tracing(self) -> Optional[PacketTracer]:
+        """Detach the tracer (hot path returns to the untraced fast
+        path); returns it so captured traces stay readable."""
+        tracer, self.tracer = self.tracer, None
+        return tracer
 
     # -- configuration (the Control Channel Module) -----------------------
 
@@ -149,12 +222,19 @@ class IpsaSwitch:
         """Push one packet through the device."""
         self.packets_in += 1
         self.clock += 1
+        self._packet_bytes.observe(len(data))
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.begin(clock=self.clock, port=port, length=len(data))
         packet = Packet(data, first_header=self.first_header, ingress_port=port)
         for name, value in self.metadata_defaults.items():
             packet.metadata.setdefault(name, value)
         result = self.pipeline.process(packet, self, meter)
         if result is None:
             self.packets_dropped += 1
+            if tracer is not None:
+                tracer.note_drop(DropReason.UNKNOWN)
+                tracer.end("drop")
             return None
         self.packets_out += 1
         out = PortOut(
@@ -164,6 +244,9 @@ class IpsaSwitch:
         )
         if out.to_cpu:
             self.punted += 1
+        if tracer is not None:
+            tracer.note_egress(out.port)
+            tracer.end("punt" if out.to_cpu else "emit")
         return out
 
     def inject_multi(self, data: bytes, port: int = 0) -> List[PortOut]:
@@ -171,12 +254,19 @@ class IpsaSwitch:
         group produced (unicast packets return a one-element list)."""
         self.packets_in += 1
         self.clock += 1
+        self._packet_bytes.observe(len(data))
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.begin(clock=self.clock, port=port, length=len(data))
         packet = Packet(data, first_header=self.first_header, ingress_port=port)
         for name, value in self.metadata_defaults.items():
             packet.metadata.setdefault(name, value)
         results = self.pipeline.process_multi(packet, self)
         if not results:
             self.packets_dropped += 1
+            if tracer is not None:
+                tracer.note_drop(DropReason.UNKNOWN)
+                tracer.end("drop")
             return []
         outs: List[PortOut] = []
         for result in results:
@@ -188,7 +278,11 @@ class IpsaSwitch:
             )
             if out.to_cpu:
                 self.punted += 1
+            if tracer is not None:
+                tracer.note_egress(out.port)
             outs.append(out)
+        if tracer is not None:
+            tracer.end("multicast" if len(outs) > 1 else "emit", copies=len(outs))
         return outs
 
     # -- queued intake (back-pressure semantics) -----------------------------
@@ -233,11 +327,16 @@ class IpsaSwitch:
         ``new_tables`` {name: {keys, size}}, ``freed_tables`` [name].
         """
         stats = UpdateStats()
-        started = time.perf_counter()
+        timeline = self.timelines.begin("apply_update")
 
         self.paused = True  # back pressure: intake waits out the update
         stats.drained_packets = self.drain()
         stats.held_packets = len(self.rx_queue)
+        timeline.phase(
+            "drain",
+            drained_packets=stats.drained_packets,
+            held_packets=stats.held_packets,
+        )
 
         # New metadata members get zero defaults so predicates can read
         # them before any action writes them.
@@ -248,6 +347,11 @@ class IpsaSwitch:
         # out of) them -- the SRv6 script both loads `srh` and links it.
         for name, spec in update.get("new_headers", {}).items():
             self._register_header(name, spec)
+        timeline.phase(
+            "schema",
+            new_metadata=len(update.get("new_metadata", [])),
+            new_headers=len(update.get("new_headers", {})),
+        )
 
         for pre, tag, nxt in update.get("link_headers", []):
             self._ensure_instance(nxt)
@@ -256,6 +360,12 @@ class IpsaSwitch:
         for pre, tag in update.get("unlink_headers", []):
             self.linkage.del_link(pre, tag)
             stats.links_removed += 1
+        timeline.phase(
+            "linkage",
+            links_added=stats.links_added,
+            links_removed=stats.links_removed,
+        )
+
         for name, spec in update.get("new_actions", {}).items():
             self.actions[name] = action_from_json(spec)
         for name, spec in update.get("new_tables", {}).items():
@@ -264,10 +374,21 @@ class IpsaSwitch:
         for name in update.get("freed_tables", []):
             self.tables.pop(name, None)
             stats.tables_removed.append(name)
+        timeline.phase(
+            "tables",
+            new_actions=len(update.get("new_actions", {})),
+            tables_created=list(stats.tables_created),
+            tables_removed=list(stats.tables_removed),
+        )
 
         templates = update.get("templates", [])
         stats.template_words = self.pipeline.write_templates(templates)
         stats.templates_written = len(templates)
+        timeline.phase(
+            "templates",
+            templates_written=stats.templates_written,
+            template_words=stats.template_words,
+        )
 
         # Any TSP no longer referenced by the selector drops its stale
         # template and powers down.
@@ -278,7 +399,9 @@ class IpsaSwitch:
         self.pipeline.configure_selector(selector)
 
         self.paused = False  # release back pressure
-        stats.stall_seconds = time.perf_counter() - started
+        timeline.phase("selector", active_tsps=len(selector.active))
+        timeline.finish()
+        stats.stall_seconds = timeline.total_seconds
         return stats
 
     # -- introspection ---------------------------------------------------------

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.net.packet import Packet
+from repro.obs.metrics import Sample
 
 
 @dataclass
@@ -54,6 +55,17 @@ class TrafficManager:
 
     def occupancy(self) -> int:
         return sum(len(q) for q in self._queues.values())
+
+    def metrics_samples(self):
+        yield Sample("tm.enqueued", self.stats.enqueued, {}, "counter")
+        yield Sample("tm.dequeued", self.stats.dequeued, {}, "counter")
+        yield Sample("tm.dropped", self.stats.dropped, {}, "counter")
+        yield Sample("tm.max_occupancy", self.stats.max_occupancy, {}, "gauge")
+        yield Sample("tm.occupancy", self.occupancy(), {}, "gauge")
+        for port, queue in sorted(self._queues.items()):
+            yield Sample(
+                "tm.queue_depth", len(queue), {"port": str(port)}, "gauge"
+            )
 
     def enqueue(self, packet: Packet) -> bool:
         """Queue a packet toward its egress port; False if tail-dropped."""

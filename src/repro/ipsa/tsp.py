@@ -119,6 +119,30 @@ class Tsp:
         """Group key of the hosted stages (layout bookkeeping)."""
         return "+".join(s.name for s in self.stages)
 
+    def metrics_samples(self):
+        """This TSP's registry samples (labels carry the TSP index)."""
+        from repro.obs.metrics import Sample
+
+        labels = {"tsp": str(self.index)}
+        stats = self.stats
+        yield Sample("tsp.packets", stats.packets, dict(labels))
+        yield Sample("tsp.lookups", stats.lookups, dict(labels))
+        yield Sample("tsp.headers_parsed", stats.headers_parsed, dict(labels))
+        yield Sample("tsp.actions_run", stats.actions_run, dict(labels))
+        yield Sample(
+            "tsp.templates_written", stats.templates_written, dict(labels)
+        )
+        yield Sample(
+            "tsp.template_words_written",
+            stats.template_words_written,
+            dict(labels),
+        )
+        info = dict(labels)
+        info["side"] = self.side
+        info["state"] = self.state.value
+        info["stages"] = self.signature() or "-"
+        yield Sample("tsp.info", 1, info, "gauge")
+
     def process(
         self, packet: Packet, device: "DeviceFacade", meter=None
     ) -> None:
@@ -126,8 +150,14 @@ class Tsp:
 
         ``meter`` (if given) receives per-TSP parse/lookup events; the
         hardware throughput model uses it to price cycles without
-        duplicating the execution semantics.
+        duplicating the execution semantics.  When the device carries
+        an active packet tracer the traced twin of this loop runs
+        instead; the untraced path pays only this one check.
         """
+        tracer = getattr(device, "tracer", None)
+        if tracer is not None and tracer.current is not None:
+            self._process_traced(packet, device, tracer, meter)
+            return
         self.stats.packets += 1
         for stage in self.stages:
             if packet.metadata.get("drop"):
@@ -158,6 +188,83 @@ class Tsp:
                 )
                 self.stats.actions_run += 1
                 break  # first matching arm wins
+
+    def _process_traced(
+        self, packet: Packet, device: "DeviceFacade", tracer, meter=None
+    ) -> None:
+        """Traced twin of :meth:`process`: identical semantics, plus a
+        ``tsp`` span with parse/match/execute children per stage."""
+        self.stats.packets += 1
+        tsp_span = tracer.start_span(
+            f"tsp{self.index}", kind="tsp", tsp=self.index, side=self.side
+        )
+        try:
+            for stage in self.stages:
+                if packet.metadata.get("drop"):
+                    return
+                parse_span = tracer.start_span(
+                    "parse",
+                    kind="parse",
+                    stage=stage.name,
+                    headers=list(stage.parser_headers),
+                )
+                parsed = packet.ensure_parsed(
+                    stage.parser_headers, device.header_types, device.linkage
+                )
+                parse_span.attrs["parsed"] = parsed
+                tracer.end_span(parse_span)
+                self.stats.headers_parsed += parsed
+                if meter is not None and parsed:
+                    meter.parsed(self.index, parsed)
+                for arm_index, (predicate, _expr, table_name) in enumerate(
+                    stage.arms
+                ):
+                    if not predicate(packet):
+                        continue
+                    if table_name is None:
+                        tracer.event(
+                            "match",
+                            kind="match",
+                            stage=stage.name,
+                            arm=arm_index,
+                            matched=False,
+                        )
+                        break  # empty arm: explicit no-op
+                    table = device.tables[table_name]
+                    match_span = tracer.start_span(
+                        "match",
+                        kind="match",
+                        stage=stage.name,
+                        arm=arm_index,
+                        table=table_name,
+                    )
+                    result = table.lookup(packet)
+                    match_span.attrs["hit"] = result.hit
+                    match_span.attrs["tag"] = result.tag
+                    tracer.end_span(match_span)
+                    self.stats.lookups += 1
+                    if meter is not None:
+                        meter.lookup(self.index, table_name)
+                    action_name = stage.executor.get(result.tag)
+                    if action_name is None:
+                        action_name = stage.executor.get("default", "NoAction")
+                    action = device.actions[action_name]
+                    execute_span = tracer.start_span(
+                        "execute",
+                        kind="execute",
+                        stage=stage.name,
+                        action=action_name,
+                        ops=len(action.ops),
+                    )
+                    action.execute(
+                        packet, result.action_data, entry=result.entry,
+                        device=device,
+                    )
+                    tracer.end_span(execute_span)
+                    self.stats.actions_run += 1
+                    break  # first matching arm wins
+        finally:
+            tracer.end_span(tsp_span)
 
 
 class DeviceFacade:

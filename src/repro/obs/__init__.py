@@ -1,0 +1,54 @@
+"""Observability layer: metrics registry, packet tracer, update timelines.
+
+The paper's whole pitch is *runtime* reprogrammability, and runtime
+behavior needs runtime visibility.  This package provides the three
+instruments the rest of the tree threads through:
+
+* :mod:`repro.obs.metrics` -- a device-level registry of counters,
+  gauges, and bounded-bucket histograms.  Components publish their
+  live counters through collectors, so the hot path pays nothing and
+  the registry is the single enumeration/export surface
+  (``runtime.stats.snapshot()`` is a compatibility view over it).
+* :mod:`repro.obs.trace` -- an opt-in per-packet tracer recording a
+  span tree for a packet's lifecycle (parse/match/execute per TSP,
+  TM enqueue/dequeue, emit/drop with a drop-reason taxonomy).
+* :mod:`repro.obs.timeline` -- timestamped phase timelines for
+  control-plane operations (``load_base``, ``run_script``,
+  ``apply_update``, ``rollback``), so Table-1-style numbers decompose
+  into phases.
+* :mod:`repro.obs.export` -- JSON-lines sinks and loaders plus the
+  Prometheus-style text exposition.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Sample,
+)
+from repro.obs.timeline import Phase, Timeline, TimelineRecorder, format_timeline
+from repro.obs.trace import (
+    DropReason,
+    PacketTrace,
+    PacketTracer,
+    Span,
+    format_trace,
+)
+
+__all__ = [
+    "Counter",
+    "DropReason",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "PacketTrace",
+    "PacketTracer",
+    "Phase",
+    "Sample",
+    "Span",
+    "Timeline",
+    "TimelineRecorder",
+    "format_timeline",
+    "format_trace",
+]

@@ -1,0 +1,68 @@
+"""Exporters: JSON-lines event sinks and their loaders.
+
+Everything the obs layer records is a plain dict, so the export
+format is one JSON object per line -- appendable, greppable, and
+streamable.  The loaders reverse the exporters exactly, which is
+what the ``ipbm-ctl trace`` / ``timeline`` subcommands rely on.
+The Prometheus text exposition lives on
+:meth:`repro.obs.metrics.MetricsRegistry.to_prometheus`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable, List, Union
+
+from repro.obs.timeline import Timeline, TimelineRecorder
+from repro.obs.trace import PacketTrace, PacketTracer
+
+PathOrFile = Union[str, IO[str]]
+
+
+def write_jsonl(dest: PathOrFile, records: Iterable[dict]) -> int:
+    """Write one JSON object per line; returns the record count."""
+    count = 0
+    if isinstance(dest, str):
+        with open(dest, "w") as fh:
+            return write_jsonl(fh, records)
+    for record in records:
+        dest.write(json.dumps(record, sort_keys=True) + "\n")
+        count += 1
+    return count
+
+
+def read_jsonl(source: PathOrFile) -> List[dict]:
+    if isinstance(source, str):
+        with open(source) as fh:
+            return read_jsonl(fh)
+    return [json.loads(line) for line in source if line.strip()]
+
+
+# -- traces ----------------------------------------------------------------
+
+
+def export_traces(tracer: PacketTracer, dest: PathOrFile) -> int:
+    """Dump every captured trace (oldest first) as JSON lines."""
+    return write_jsonl(dest, (t.to_dict() for t in tracer.traces))
+
+
+def load_traces(source: PathOrFile) -> List[PacketTrace]:
+    return [PacketTrace.from_dict(d) for d in read_jsonl(source)]
+
+
+# -- timelines -------------------------------------------------------------
+
+
+def export_timelines(
+    recorders: Union[TimelineRecorder, Iterable[TimelineRecorder]],
+    dest: PathOrFile,
+) -> int:
+    """Dump one or several recorders' timelines as JSON lines."""
+    if isinstance(recorders, TimelineRecorder):
+        recorders = [recorders]
+    records = [t for r in recorders for t in r.to_dicts()]
+    return write_jsonl(dest, records)
+
+
+def load_timelines(source: PathOrFile) -> List[Timeline]:
+    return [Timeline.from_dict(d) for d in read_jsonl(source)]

@@ -1,0 +1,149 @@
+"""Phase timelines for control-plane operations.
+
+``load_base``, ``run_script``, ``rollback``, and the device's own
+``apply_update`` each record a :class:`Timeline`: an ordered list of
+**contiguous** phases (each phase starts where the previous one
+ended), so phase durations tile the operation and sum to its total.
+That is what lets a Table-1-style compile/load number decompose: how
+long the drain took, how long template writes took, where the stall
+actually went.
+
+Timelines round-trip through JSON (:meth:`Timeline.to_dict` /
+:meth:`Timeline.from_dict`) and render with :func:`format_timeline`.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional
+
+
+@dataclass
+class Phase:
+    """One timed phase of an operation."""
+
+    name: str
+    start: float
+    end: float
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "duration_seconds": self.duration,
+            "attrs": dict(self.attrs),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Phase":
+        return cls(
+            name=data["name"],
+            start=data.get("start", 0.0),
+            end=data.get("end", 0.0),
+            attrs=dict(data.get("attrs", {})),
+        )
+
+
+class Timeline:
+    """Contiguous phases of one operation on a shared clock."""
+
+    def __init__(self, label: str, **attrs: object) -> None:
+        self.label = label
+        self.attrs: Dict[str, object] = dict(attrs)
+        self.start = time.perf_counter()
+        self._cursor = self.start
+        self.end: Optional[float] = None
+        self.phases: List[Phase] = []
+
+    def phase(self, name: str, **attrs: object) -> Phase:
+        """Close the phase that has been running since the previous
+        boundary (or since ``start``) under ``name``."""
+        now = time.perf_counter()
+        phase = Phase(name=name, start=self._cursor, end=now, attrs=dict(attrs))
+        self.phases.append(phase)
+        self._cursor = now
+        return phase
+
+    def finish(self) -> "Timeline":
+        """Seal the timeline; the end is the last phase boundary, so
+        phase durations sum to :attr:`total_seconds` exactly."""
+        self.end = self._cursor if self.phases else time.perf_counter()
+        return self
+
+    @property
+    def total_seconds(self) -> float:
+        end = self.end if self.end is not None else self._cursor
+        return end - self.start
+
+    def durations(self) -> Dict[str, float]:
+        return {p.name: p.duration for p in self.phases}
+
+    def to_dict(self) -> dict:
+        return {
+            "label": self.label,
+            "attrs": dict(self.attrs),
+            "start": self.start,
+            "end": self.end if self.end is not None else self._cursor,
+            "total_seconds": self.total_seconds,
+            "phases": [p.to_dict() for p in self.phases],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Timeline":
+        timeline = cls.__new__(cls)
+        timeline.label = data["label"]
+        timeline.attrs = dict(data.get("attrs", {}))
+        timeline.start = data.get("start", 0.0)
+        timeline.end = data.get("end", timeline.start)
+        timeline._cursor = timeline.end
+        timeline.phases = [Phase.from_dict(p) for p in data.get("phases", [])]
+        return timeline
+
+
+class TimelineRecorder:
+    """Bounded history of finished (and in-flight) timelines."""
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.timelines: Deque[Timeline] = deque(maxlen=capacity)
+
+    def begin(self, label: str, **attrs: object) -> Timeline:
+        timeline = Timeline(label, **attrs)
+        self.timelines.append(timeline)
+        return timeline
+
+    def latest(self, label: Optional[str] = None) -> Optional[Timeline]:
+        for timeline in reversed(self.timelines):
+            if label is None or timeline.label == label:
+                return timeline
+        return None
+
+    def to_dicts(self) -> List[dict]:
+        return [t.to_dict() for t in self.timelines]
+
+
+def format_timeline(timeline: Timeline) -> str:
+    """Human-readable phase breakdown of one timeline."""
+    total = timeline.total_seconds
+    attrs = " ".join(f"{k}={v}" for k, v in timeline.attrs.items())
+    lines = [
+        f"{timeline.label}: total {total * 1e3:.3f}ms"
+        + (f" [{attrs}]" if attrs else "")
+    ]
+    for phase in timeline.phases:
+        share = (phase.duration / total * 100) if total > 0 else 0.0
+        detail = " ".join(f"{k}={v}" for k, v in phase.attrs.items())
+        lines.append(
+            f"  {phase.name:12s} {phase.duration * 1e3:8.3f}ms {share:5.1f}%"
+            + (f"  {detail}" if detail else "")
+        )
+    return "\n".join(lines)

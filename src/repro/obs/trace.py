@@ -1,0 +1,250 @@
+"""Per-packet tracing: a span tree for one packet's device lifecycle.
+
+When a :class:`PacketTracer` is attached to a switch
+(``switch.tracer = PacketTracer()``), every injected packet records:
+
+* a root ``packet`` span;
+* one ``tsp`` span per TSP traversed (or ``stage`` spans on the PISA
+  baseline), each with ``parse`` / ``match`` / ``execute`` children
+  carrying header names, table hit/miss + executor tag, and the
+  action fired;
+* ``tm.enqueue`` / ``tm.dequeue`` events around the traffic manager;
+* a terminal outcome (``emit`` with the egress port, ``punt``, or
+  ``drop`` with a :class:`DropReason`).
+
+Tracing is **off by default**: the forwarding hot path pays a single
+``is None`` check per packet/TSP when no tracer is attached.  Traces
+are JSON-round-trippable (:meth:`PacketTrace.to_dict` /
+:meth:`PacketTrace.from_dict`) and human-renderable
+(:func:`format_trace`).
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional
+
+
+class DropReason(enum.Enum):
+    """Why a packet (or one multicast copy) died inside the device."""
+
+    #: An ingress action set ``meta.drop`` (ACL deny, table-miss
+    #: default ``drop``, policer pointing at ``meta.drop``...).
+    INGRESS_ACTION = "ingress_action"
+    #: An egress action set ``meta.drop``.
+    EGRESS_ACTION = "egress_action"
+    #: The TM's shared buffer was full (tail drop).
+    TM_TAIL_DROP = "tm_tail_drop"
+    #: ``meta.mcast_grp`` named a group with no installed members.
+    MCAST_UNKNOWN_GROUP = "mcast_unknown_group"
+    #: The device could not attribute the drop (defensive fallback).
+    UNKNOWN = "unknown"
+
+
+@dataclass
+class Span:
+    """One timed node in a packet's trace tree."""
+
+    name: str
+    kind: str = ""
+    start: float = 0.0
+    end: float = 0.0
+    attrs: Dict[str, object] = field(default_factory=dict)
+    children: List["Span"] = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        return max(0.0, self.end - self.start)
+
+    def child(self, name: str, kind: str = "", **attrs: object) -> "Span":
+        span = Span(name=name, kind=kind, attrs=dict(attrs))
+        self.children.append(span)
+        return span
+
+    def find(self, kind: str) -> List["Span"]:
+        """Every descendant (depth-first) of the given kind."""
+        found = []
+        for child in self.children:
+            if child.kind == kind:
+                found.append(child)
+            found.extend(child.find(kind))
+        return found
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "start": self.start,
+            "end": self.end,
+            "attrs": dict(self.attrs),
+            "children": [c.to_dict() for c in self.children],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Span":
+        return cls(
+            name=data["name"],
+            kind=data.get("kind", ""),
+            start=data.get("start", 0.0),
+            end=data.get("end", 0.0),
+            attrs=dict(data.get("attrs", {})),
+            children=[cls.from_dict(c) for c in data.get("children", [])],
+        )
+
+
+@dataclass
+class PacketTrace:
+    """The full record of one packet's traversal."""
+
+    seq: int
+    clock: int = 0
+    ingress_port: int = 0
+    length: int = 0
+    root: Span = field(default_factory=lambda: Span("packet", kind="packet"))
+    outcome: str = ""  # "emit" | "punt" | "drop" | "multicast"
+    drop_reason: Optional[str] = None
+    egress_ports: List[int] = field(default_factory=list)
+
+    def tsp_spans(self) -> List[Span]:
+        return [s for s in self.root.children if s.kind == "tsp"]
+
+    def to_dict(self) -> dict:
+        return {
+            "seq": self.seq,
+            "clock": self.clock,
+            "ingress_port": self.ingress_port,
+            "length": self.length,
+            "outcome": self.outcome,
+            "drop_reason": self.drop_reason,
+            "egress_ports": list(self.egress_ports),
+            "root": self.root.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PacketTrace":
+        return cls(
+            seq=data["seq"],
+            clock=data.get("clock", 0),
+            ingress_port=data.get("ingress_port", 0),
+            length=data.get("length", 0),
+            root=Span.from_dict(data["root"]),
+            outcome=data.get("outcome", ""),
+            drop_reason=data.get("drop_reason"),
+            egress_ports=list(data.get("egress_ports", [])),
+        )
+
+
+class PacketTracer:
+    """Records one :class:`PacketTrace` per injected packet.
+
+    Holds the last ``capacity`` finished traces in a bounded deque.
+    The tracer is single-flight by construction: the behavioral
+    switches process one packet to completion per ``inject``.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.traces: Deque[PacketTrace] = deque(maxlen=capacity)
+        self.current: Optional[PacketTrace] = None
+        self._stack: List[Span] = []
+        self._seq = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def begin(self, clock: int = 0, port: int = 0, length: int = 0) -> PacketTrace:
+        trace = PacketTrace(
+            seq=self._seq, clock=clock, ingress_port=port, length=length
+        )
+        self._seq += 1
+        trace.root.start = time.perf_counter()
+        self.current = trace
+        self._stack = [trace.root]
+        return trace
+
+    def end(self, outcome: str, **attrs: object) -> Optional[PacketTrace]:
+        trace = self.current
+        if trace is None:
+            return None
+        now = time.perf_counter()
+        # Close anything a mid-pipeline exception left open.
+        for span in self._stack[1:]:
+            if not span.end:
+                span.end = now
+        trace.root.end = now
+        trace.root.attrs.update(attrs)
+        trace.outcome = outcome
+        self.traces.append(trace)
+        self.current = None
+        self._stack = []
+        return trace
+
+    # -- span construction -------------------------------------------------
+
+    def start_span(self, name: str, kind: str = "", **attrs: object) -> Span:
+        span = self._stack[-1].child(name, kind=kind, **attrs)
+        span.start = time.perf_counter()
+        self._stack.append(span)
+        return span
+
+    def end_span(self, span: Span) -> None:
+        span.end = time.perf_counter()
+        while self._stack and self._stack[-1] is not span:
+            self._stack.pop()
+        if self._stack:
+            self._stack.pop()
+
+    def event(self, name: str, kind: str = "event", **attrs: object) -> Span:
+        """A zero-duration child of the innermost open span."""
+        span = self._stack[-1].child(name, kind=kind, **attrs)
+        span.start = span.end = time.perf_counter()
+        return span
+
+    def note_drop(self, reason: DropReason) -> None:
+        if self.current is not None and self.current.drop_reason is None:
+            self.current.drop_reason = reason.value
+
+    def note_egress(self, port: int) -> None:
+        if self.current is not None:
+            self.current.egress_ports.append(port)
+
+
+def format_trace(trace: PacketTrace) -> str:
+    """Human-readable tree dump of one packet trace."""
+    header = (
+        f"packet #{trace.seq} clock={trace.clock} "
+        f"in_port={trace.ingress_port} len={trace.length}B"
+    )
+    if trace.outcome == "drop":
+        tail = f"DROP ({trace.drop_reason or 'unknown'})"
+    elif trace.outcome:
+        ports = ",".join(str(p) for p in trace.egress_ports) or "-"
+        tail = f"{trace.outcome.upper()} -> port {ports}"
+    else:
+        tail = "(unfinished)"
+    lines = [f"{header}  {tail}"]
+
+    def render(span: Span, depth: int) -> None:
+        attrs = " ".join(f"{k}={_short(v)}" for k, v in span.attrs.items())
+        us = span.duration * 1e6
+        lines.append(
+            f"{'  ' * depth}- {span.name}"
+            + (f" [{attrs}]" if attrs else "")
+            + (f" ({us:.1f}us)" if span.end else "")
+        )
+        for child in span.children:
+            render(child, depth + 1)
+
+    for child in trace.root.children:
+        render(child, 1)
+    return "\n".join(lines)
+
+
+def _short(value: object) -> str:
+    if isinstance(value, (list, tuple)):
+        return "+".join(str(v) for v in value)
+    return str(value)

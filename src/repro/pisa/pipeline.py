@@ -112,6 +112,10 @@ class FixedPipeline:
                 raise TypeError(f"unsupported flow statement {stmt!r}")
 
     def _apply(self, table_name: str, packet: Packet) -> None:
+        tracer = getattr(self.device, "tracer", None)
+        if tracer is not None and tracer.current is not None:
+            self._apply_traced(table_name, packet, tracer)
+            return
         table = self.tables[table_name]
         result = table.lookup(packet)
         self.stats.lookups += 1
@@ -124,3 +128,34 @@ class FixedPipeline:
             packet, result.action_data, entry=result.entry, device=self.device,
         )
         self.stats.actions_run += 1
+
+    def _apply_traced(self, table_name: str, packet: Packet, tracer) -> None:
+        """Traced twin of :meth:`_apply`: a ``stage`` span with match
+        and execute children (the PISA analogue of a TSP span)."""
+        stage_span = tracer.start_span(table_name, kind="stage", table=table_name)
+        try:
+            table = self.tables[table_name]
+            match_span = tracer.start_span("match", kind="match", table=table_name)
+            result = table.lookup(packet)
+            match_span.attrs["hit"] = result.hit
+            match_span.attrs["tag"] = result.tag
+            tracer.end_span(match_span)
+            self.stats.lookups += 1
+            action = self.actions.get(result.action)
+            if action is None:
+                raise KeyError(
+                    f"table {table_name!r} selected unknown action "
+                    f"{result.action!r}"
+                )
+            execute_span = tracer.start_span(
+                "execute", kind="execute", action=result.action,
+                ops=len(action.ops),
+            )
+            action.execute(
+                packet, result.action_data, entry=result.entry,
+                device=self.device,
+            )
+            tracer.end_span(execute_span)
+            self.stats.actions_run += 1
+        finally:
+            tracer.end_span(stage_span)

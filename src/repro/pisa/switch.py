@@ -15,6 +15,9 @@ from typing import Dict, List, Optional, Union
 
 from repro.compiler.lowering import builtin_actions, lower_action, lower_table
 from repro.net.packet import Packet
+from repro.obs.metrics import MetricsRegistry, Sample
+from repro.obs.timeline import TimelineRecorder
+from repro.obs.trace import DropReason, PacketTracer
 from repro.p4.hlir import Hlir, build_hlir
 from repro.p4.parser import parse_p4
 from repro.pisa.deparser import Deparser
@@ -59,6 +62,58 @@ class PisaSwitch:
         self.externs = ExternStore()
         self.meters = MeterBank()
         self.clock = 0
+        self.drop_reasons: Dict[str, int] = {}
+        self.tracer: Optional[PacketTracer] = None
+        self.timelines = TimelineRecorder()
+        self.metrics = MetricsRegistry()
+        self._register_metrics()
+
+    # -- observability -----------------------------------------------------
+
+    def _register_metrics(self) -> None:
+        metrics = self.metrics
+        metrics.add_collector("device", self._device_samples)
+        metrics.add_collector(
+            "tables",
+            lambda: (
+                s
+                for table in list(self.tables.values())
+                for s in table.metrics_samples()
+            ),
+        )
+        metrics.add_collector("meters", lambda: self.meters.metrics_samples())
+
+    def _device_samples(self):
+        yield Sample("device.packets_in", self.packets_in)
+        yield Sample("device.packets_out", self.packets_out)
+        yield Sample("device.packets_dropped", self.packets_dropped)
+        yield Sample("device.punted", self.punted)
+        for reason, count in self.drop_reasons.items():
+            yield Sample("device.drops", count, {"reason": reason})
+        if self.parser is not None:
+            yield Sample("parser.packets", self.parser.stats.packets)
+            yield Sample(
+                "parser.headers_extracted", self.parser.stats.headers_extracted
+            )
+        if self.pipeline is not None:
+            yield Sample("pipeline.packets", self.pipeline.stats.packets)
+            yield Sample("pipeline.lookups", self.pipeline.stats.lookups)
+            yield Sample("pipeline.actions_run", self.pipeline.stats.actions_run)
+        for name, sketch in self.externs.sketches.items():
+            yield Sample("sketch.updates", sketch.updates, {"sketch": name})
+
+    def note_drop(self, reason: DropReason) -> None:
+        key = reason.value
+        self.drop_reasons[key] = self.drop_reasons.get(key, 0) + 1
+
+    def enable_tracing(self, capacity: int = 256) -> PacketTracer:
+        if self.tracer is None:
+            self.tracer = PacketTracer(capacity=capacity)
+        return self.tracer
+
+    def disable_tracing(self) -> Optional[PacketTracer]:
+        tracer, self.tracer = self.tracer, None
+        return tracer
 
     # -- configuration ----------------------------------------------------
 
@@ -96,8 +151,10 @@ class PisaSwitch:
         to populate all the tables after loading the design").
         """
         stats = ReloadStats()
+        timeline = self.timelines.begin("reload")
         started = time.perf_counter()
         self.load(program)
+        timeline.phase("load")
         for table_name, rows in entries.items():
             table = self.tables.get(table_name)
             if table is None:
@@ -114,6 +171,12 @@ class PisaSwitch:
                 )
                 stats.entries_repopulated += 1
             stats.tables_repopulated += 1
+        timeline.phase(
+            "populate",
+            tables=stats.tables_repopulated,
+            entries=stats.entries_repopulated,
+        )
+        timeline.finish()
         stats.seconds = time.perf_counter() - started
         return stats
 
@@ -124,19 +187,36 @@ class PisaSwitch:
             raise RuntimeError("switch has no design loaded")
         self.packets_in += 1
         self.clock += 1
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.begin(clock=self.clock, port=port, length=len(data))
         packet = Packet(
             data, first_header=self.parser.first_header, ingress_port=port
         )
         for name, value in self.metadata_defaults.items():
             packet.metadata.setdefault(name, value)
-        self.parser.parse(packet)
+        if tracer is not None:
+            parse_span = tracer.start_span("parse", kind="parse")
+            parse_span.attrs["parsed"] = self.parser.parse(packet)
+            parse_span.attrs["headers"] = [h.name for h in packet.headers]
+            tracer.end_span(parse_span)
+        else:
+            self.parser.parse(packet)
         self.pipeline.run_ingress(packet)
         if packet.metadata.get("drop"):
             self.packets_dropped += 1
+            self.note_drop(DropReason.INGRESS_ACTION)
+            if tracer is not None:
+                tracer.note_drop(DropReason.INGRESS_ACTION)
+                tracer.end("drop")
             return None
         self.pipeline.run_egress(packet)
         if packet.metadata.get("drop"):
             self.packets_dropped += 1
+            self.note_drop(DropReason.EGRESS_ACTION)
+            if tracer is not None:
+                tracer.note_drop(DropReason.EGRESS_ACTION)
+                tracer.end("drop")
             return None
         self.packets_out += 1
         out = PortOut(
@@ -146,6 +226,9 @@ class PisaSwitch:
         )
         if out.to_cpu:
             self.punted += 1
+        if tracer is not None:
+            tracer.note_egress(out.port)
+            tracer.end("punt" if out.to_cpu else "emit")
         return out
 
     def table(self, name: str) -> Table:

@@ -7,17 +7,29 @@ offload on-demand protocols and functions at runtime"::
     ipbm-ctl base.rp4 --script updates.txt --snippet ecmp.rp4=./ecmp.rp4
 
 prints the compile/load timings and the resulting TSP mapping.
+
+Observability flags capture what a run recorded (``--trace N`` +
+``--trace-out``, ``--timeline-out``, ``--metrics-out``,
+``--stats-out``), and three offline subcommands render those exports
+back into human-readable form::
+
+    ipbm-ctl stats stats.json            # snapshot/diff -> text
+    ipbm-ctl trace traces.jsonl          # packet trace trees
+    ipbm-ctl timeline timelines.jsonl    # update phase breakdowns
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Dict, List, Optional
 
 from repro.compiler.merge import group_key
 from repro.compiler.rp4bc import TargetSpec
 from repro.runtime.controller import Controller
+
+OBS_COMMANDS = ("stats", "trace", "timeline")
 
 
 def _load_snippets(pairs: List[str]) -> Dict[str, str]:
@@ -46,6 +58,9 @@ def _print_mapping(controller: Controller, out) -> None:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] in OBS_COMMANDS:
+        return _obs_main(argv)
     parser = argparse.ArgumentParser(
         prog="ipbm-ctl", description="controller for the ipbm software switch"
     )
@@ -67,6 +82,23 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "--stats", action="store_true", help="print device statistics at exit"
+    )
+    parser.add_argument(
+        "--stats-out", help="write the final statistics snapshot (JSON)"
+    )
+    parser.add_argument(
+        "--trace", type=int, default=0, metavar="N",
+        help="trace the first N replayed packets (needs --pcap-in)",
+    )
+    parser.add_argument(
+        "--trace-out", help="write captured packet traces (JSON lines)"
+    )
+    parser.add_argument(
+        "--timeline-out",
+        help="write controller + device update timelines (JSON lines)",
+    )
+    parser.add_argument(
+        "--metrics-out", help="write Prometheus-style metrics exposition"
     )
     args = parser.parse_args(argv)
     out = sys.stdout
@@ -100,13 +132,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.populate:
             _populate(controller, out)
 
+    captured_tracer = None
     if args.pcap_in:
-        _replay(controller, args, out)
+        captured_tracer = _replay(controller, args, out)
 
     if args.stats:
         from repro.runtime.stats import format_stats, snapshot
 
         out.write(format_stats(snapshot(controller.switch)) + "\n")
+    _write_exports(controller, args, out, captured_tracer)
     return 0
 
 
@@ -129,7 +163,8 @@ def _populate(controller: Controller, out) -> None:
     out.write(f"populated: {', '.join(installed) or 'nothing'}\n")
 
 
-def _replay(controller: Controller, args, out) -> None:
+def _replay(controller: Controller, args, out):
+    """Replay the pcap; returns the packet tracer if tracing was on."""
     from repro.net.pcap import PcapWriter, load_trace
 
     trace = load_trace(args.pcap_in, port=args.port)
@@ -138,9 +173,14 @@ def _replay(controller: Controller, args, out) -> None:
     if args.pcap_out:
         sink = open(args.pcap_out, "wb")
         writer = PcapWriter(sink)
+    tracer = None
+    if args.trace > 0:
+        tracer = controller.switch.enable_tracing(capacity=args.trace)
     forwarded = dropped = 0
     try:
-        for data, port in trace:
+        for i, (data, port) in enumerate(trace):
+            if tracer is not None and i == args.trace:
+                controller.switch.disable_tracing()  # captured enough
             result = controller.switch.inject(data, port)
             if result is None:
                 dropped += 1
@@ -155,3 +195,111 @@ def _replay(controller: Controller, args, out) -> None:
         f"replayed {len(trace)} packets: {forwarded} forwarded, "
         f"{dropped} dropped\n"
     )
+    return tracer
+
+
+def _write_exports(controller: Controller, args, out, captured_tracer=None) -> None:
+    """Persist whatever observability sinks the flags asked for."""
+    from repro.obs.export import export_timelines, export_traces
+
+    if args.trace_out:
+        tracer = captured_tracer or controller.switch.tracer
+        if tracer is None:
+            from repro.obs.trace import PacketTracer
+
+            tracer = PacketTracer()  # empty export: still a valid file
+        count = export_traces(tracer, args.trace_out)
+        out.write(f"wrote {count} packet traces to {args.trace_out}\n")
+    if args.timeline_out:
+        count = export_timelines(
+            [controller.timelines, controller.switch.timelines],
+            args.timeline_out,
+        )
+        out.write(f"wrote {count} timelines to {args.timeline_out}\n")
+    if args.metrics_out:
+        with open(args.metrics_out, "w") as fh:
+            fh.write(controller.switch.metrics.to_prometheus())
+            fh.write(controller.metrics.to_prometheus())
+        out.write(f"wrote metrics exposition to {args.metrics_out}\n")
+    if args.stats_out:
+        from repro.runtime.stats import snapshot
+
+        with open(args.stats_out, "w") as fh:
+            json.dump(snapshot(controller.switch), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        out.write(f"wrote statistics snapshot to {args.stats_out}\n")
+
+
+# -- offline observability subcommands ------------------------------------
+
+
+def _obs_main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="ipbm-ctl", description="render exported observability data"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    stats_p = sub.add_parser("stats", help="render a snapshot/diff JSON file")
+    stats_p.add_argument("file", help="snapshot JSON (see --stats-out)")
+
+    trace_p = sub.add_parser("trace", help="render packet traces (JSON lines)")
+    trace_p.add_argument("file", help="trace JSONL (see --trace-out)")
+    trace_p.add_argument(
+        "--seq", type=int, default=None, help="render only this packet seq"
+    )
+    trace_p.add_argument(
+        "--json", action="store_true", help="re-emit as JSON (round-trip check)"
+    )
+
+    timeline_p = sub.add_parser(
+        "timeline", help="render update timelines (JSON lines)"
+    )
+    timeline_p.add_argument("file", help="timeline JSONL (see --timeline-out)")
+    timeline_p.add_argument(
+        "--label", help="only timelines with this label (e.g. apply_update)"
+    )
+    timeline_p.add_argument(
+        "--json", action="store_true", help="re-emit as JSON (round-trip check)"
+    )
+
+    args = parser.parse_args(argv)
+    out = sys.stdout
+
+    if args.command == "stats":
+        from repro.runtime.stats import format_stats
+
+        with open(args.file) as fh:
+            out.write(format_stats(json.load(fh)) + "\n")
+        return 0
+
+    if args.command == "trace":
+        from repro.obs.export import load_traces
+        from repro.obs.trace import format_trace
+
+        traces = load_traces(args.file)
+        if args.seq is not None:
+            traces = [t for t in traces if t.seq == args.seq]
+        if args.json:
+            for trace in traces:
+                out.write(json.dumps(trace.to_dict(), sort_keys=True) + "\n")
+        else:
+            for trace in traces:
+                out.write(format_trace(trace) + "\n")
+        return 0
+
+    if args.command == "timeline":
+        from repro.obs.export import load_timelines
+        from repro.obs.timeline import format_timeline
+
+        timelines = load_timelines(args.file)
+        if args.label:
+            timelines = [t for t in timelines if t.label == args.label]
+        if args.json:
+            for timeline in timelines:
+                out.write(json.dumps(timeline.to_dict(), sort_keys=True) + "\n")
+        else:
+            for timeline in timelines:
+                out.write(format_timeline(timeline) + "\n")
+        return 0
+
+    return 2

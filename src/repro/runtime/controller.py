@@ -15,7 +15,6 @@ The rP4 design flow (paper Fig. 3) end to end:
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -28,8 +27,13 @@ from repro.compiler.rp4bc import (
     compile_update,
 )
 from repro.ipsa.switch import IpsaSwitch, UpdateStats
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeline import TimelineRecorder
 from repro.runtime.channel import ControlChannel
 from repro.runtime.table_api import TableApi
+
+#: Histogram edges (seconds) for compile/load flow timings.
+FLOW_SECONDS_BOUNDS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0)
 
 
 class ControllerError(Exception):
@@ -62,24 +66,43 @@ class Controller:
         self.design: Optional[CompiledDesign] = None
         self.history: List[str] = []
         self._undo: List[CompiledDesign] = []
+        self.timelines = TimelineRecorder()
+        self.metrics = MetricsRegistry()
+        self._n_base_loads = self.metrics.counter("controller.base_loads")
+        self._n_updates = self.metrics.counter("controller.updates_applied")
+        self._n_rollbacks = self.metrics.counter("controller.rollbacks")
+        self._h_compile = self.metrics.histogram(
+            "controller.compile_seconds", FLOW_SECONDS_BOUNDS
+        )
+        self._h_load = self.metrics.histogram(
+            "controller.load_seconds", FLOW_SECONDS_BOUNDS
+        )
 
     # -- base design flow ------------------------------------------------
 
     def load_base(self, rp4_source: str) -> FlowTiming:
         """Compile and download a complete base design."""
         timing = FlowTiming()
-        started = time.perf_counter()
+        timeline = self.timelines.begin("load_base", source_bytes=len(rp4_source))
         design = compile_base(rp4_source, self.target)
-        timing.compile_seconds = time.perf_counter() - started
+        timing.compile_seconds = timeline.phase(
+            "compile", templates=len(design.templates)
+        ).duration
 
         check_config(design.config, n_tsps=self.target.n_tsps)
-        started = time.perf_counter()
+        timeline.phase("validate")
         config = self.channel.send(design.config)
         self.switch.load_config(config)
-        timing.load_seconds = time.perf_counter() - started
+        timing.load_seconds = timeline.phase(
+            "load", tables=len(config.get("tables", {}))
+        ).duration
+        timeline.finish()
 
         self.design = design
         self.history.append("load_base")
+        self._n_base_loads.inc()
+        self._h_compile.observe(timing.compile_seconds)
+        self._h_load.observe(timing.load_seconds)
         return timing
 
     # -- incremental flow ----------------------------------------------------
@@ -93,19 +116,32 @@ class Controller:
         if self.design is None:
             raise ControllerError("no base design loaded")
         timing = FlowTiming()
-        started = time.perf_counter()
+        timeline = self.timelines.begin(
+            "run_script", script_bytes=len(script_text)
+        )
         plan = compile_update(self.design, script_text, sources)
-        timing.compile_seconds = time.perf_counter() - started
+        timing.compile_seconds = timeline.phase(
+            "compile", rewritten_tsps=list(plan.rewritten_tsps)
+        ).duration
 
         update_message = self._update_message(plan)
-        started = time.perf_counter()
         update = self.channel.send(update_message)
+        transfer = timeline.phase("transfer")
         stats = self.switch.apply_update(update)
-        timing.load_seconds = time.perf_counter() - started
+        apply_phase = timeline.phase(
+            "apply",
+            drained_packets=stats.drained_packets,
+            templates_written=stats.templates_written,
+        )
+        timing.load_seconds = transfer.duration + apply_phase.duration
+        timeline.finish()
 
         self._undo.append(self.design)
         self.design = plan.design
         self.history.append(f"script:{len(script_text)}B")
+        self._n_updates.inc()
+        self._h_compile.observe(timing.compile_seconds)
+        self._h_load.observe(timing.load_seconds)
         return plan, stats, timing
 
     # -- failback ---------------------------------------------------------
@@ -128,6 +164,7 @@ class Controller:
             raise ControllerError("nothing to roll back")
         if self.design is None:
             raise ControllerError("no design loaded")
+        timeline = self.timelines.begin("rollback")
         previous = self._undo.pop()
         current = self.design
 
@@ -170,10 +207,17 @@ class Controller:
             "new_tables": {name: prev_tables[name] for name in restored},
             "freed_tables": sorted(cur_tables - set(prev_tables)),
         }
+        timeline.phase(
+            "plan", templates=len(templates), restored_tables=list(restored)
+        )
         update = self.channel.send(message)
+        timeline.phase("transfer")
         self.switch.apply_update(update)
+        timeline.phase("apply")
+        timeline.finish()
         self.design = previous
         self.history.append("rollback")
+        self._n_rollbacks.inc()
         return restored
 
     def _update_message(self, plan: UpdatePlan) -> dict:

@@ -5,18 +5,57 @@ switch -- per-TSP activity, per-table occupancy/hit rates, TM queue
 behavior, and device-level packet counters.  Snapshots are plain
 dicts (JSON-serializable) and support diffing, so a monitoring loop
 can report *rates* between polls.
+
+Since the obs layer landed, every numeric field here is sourced from
+the switch's :class:`repro.obs.metrics.MetricsRegistry` -- this module
+is a *compatibility view* that pivots the registry's flat samples
+back into the legacy nested snapshot shape (plus the non-numeric
+structure -- TSP sides/states/stage names -- which is configuration,
+not metrics).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.ipsa.switch import IpsaSwitch
+from repro.obs.metrics import Sample
+
+_SampleIndex = Dict[str, Dict[Tuple[Tuple[str, str], ...], float]]
+
+
+def _index(samples: List[Sample]) -> _SampleIndex:
+    indexed: _SampleIndex = {}
+    for sample in samples:
+        indexed.setdefault(sample.name, {})[
+            tuple(sorted(sample.labels.items()))
+        ] = sample.value
+    return indexed
+
+
+def _value(indexed: _SampleIndex, name: str, **labels: object):
+    key = tuple(sorted((k, str(v)) for k, v in labels.items()))
+    return indexed.get(name, {}).get(key, 0)
+
+
+def _labelled(indexed: _SampleIndex, name: str, label: str) -> Dict[str, float]:
+    """Every sample of ``name``, keyed by its ``label`` value."""
+    out = {}
+    for label_items, value in indexed.get(name, {}).items():
+        labels = dict(label_items)
+        if label in labels:
+            out[labels[label]] = value
+    return out
 
 
 def snapshot(switch: IpsaSwitch) -> dict:
-    """A JSON-serializable statistics snapshot of a live device."""
+    """A JSON-serializable statistics snapshot of a live device.
+
+    A thin pivot of ``switch.metrics.collect()`` into the legacy
+    nested shape (the registry is the source of truth).
+    """
+    indexed = _index(switch.metrics.collect())
+
     tsps = []
     for tsp in switch.pipeline.tsps:
         tsps.append(
@@ -25,50 +64,60 @@ def snapshot(switch: IpsaSwitch) -> dict:
                 "side": tsp.side,
                 "state": tsp.state.value,
                 "stages": [s.name for s in tsp.stages],
-                "packets": tsp.stats.packets,
-                "lookups": tsp.stats.lookups,
-                "headers_parsed": tsp.stats.headers_parsed,
-                "actions_run": tsp.stats.actions_run,
-                "templates_written": tsp.stats.templates_written,
+                "packets": _value(indexed, "tsp.packets", tsp=tsp.index),
+                "lookups": _value(indexed, "tsp.lookups", tsp=tsp.index),
+                "headers_parsed": _value(
+                    indexed, "tsp.headers_parsed", tsp=tsp.index
+                ),
+                "actions_run": _value(
+                    indexed, "tsp.actions_run", tsp=tsp.index
+                ),
+                "templates_written": _value(
+                    indexed, "tsp.templates_written", tsp=tsp.index
+                ),
             }
         )
     tables = {}
-    for name, table in switch.tables.items():
+    for name in switch.tables:
         tables[name] = {
-            "entries": len(table),
-            "size": table.size,
-            "hits": table.hit_count,
-            "misses": table.miss_count,
+            "entries": _value(indexed, "table.entries", table=name),
+            "size": _value(indexed, "table.size", table=name),
+            "hits": _value(indexed, "table.hits", table=name),
+            "misses": _value(indexed, "table.misses", table=name),
         }
-    tm = switch.pipeline.tm
     sketches = {
-        name: {"updates": sk.updates, "columns": sk.columns, "rows": len(sk.rows)}
-        for name, sk in switch.externs.sketches.items()
+        name: {
+            "updates": _value(indexed, "sketch.updates", sketch=name),
+            "columns": _value(indexed, "sketch.columns", sketch=name),
+            "rows": _value(indexed, "sketch.rows", sketch=name),
+        }
+        for name in switch.externs.sketches
     }
     meters = {
         name: {
-            "rate": bucket.rate,
-            "burst": bucket.burst,
-            "conforming": bucket.stats.conforming,
-            "exceeding": bucket.stats.exceeding,
+            "rate": _value(indexed, "meter.rate", meter=name),
+            "burst": _value(indexed, "meter.burst", meter=name),
+            "conforming": _value(indexed, "meter.conforming", meter=name),
+            "exceeding": _value(indexed, "meter.exceeding", meter=name),
         }
-        for name, bucket in switch.meters._meters.items()
+        for name in switch.meters.names()
     }
     return {
         "device": {
-            "packets_in": switch.packets_in,
-            "packets_out": switch.packets_out,
-            "packets_dropped": switch.packets_dropped,
-            "punted": switch.punted,
-            "active_tsps": switch.active_tsp_count(),
+            "packets_in": _value(indexed, "device.packets_in"),
+            "packets_out": _value(indexed, "device.packets_out"),
+            "packets_dropped": _value(indexed, "device.packets_dropped"),
+            "punted": _value(indexed, "device.punted"),
+            "active_tsps": _value(indexed, "device.active_tsps"),
+            "drop_reasons": _labelled(indexed, "device.drops", "reason"),
         },
         "tsps": tsps,
         "tables": tables,
         "tm": {
-            "enqueued": tm.stats.enqueued,
-            "dequeued": tm.stats.dequeued,
-            "dropped": tm.stats.dropped,
-            "max_occupancy": tm.stats.max_occupancy,
+            "enqueued": _value(indexed, "tm.enqueued"),
+            "dequeued": _value(indexed, "tm.dequeued"),
+            "dropped": _value(indexed, "tm.dropped"),
+            "max_occupancy": _value(indexed, "tm.max_occupancy"),
         },
         "sketches": sketches,
         "meters": meters,
@@ -79,6 +128,10 @@ def diff(before: dict, after: dict) -> dict:
     """Counter deltas between two snapshots (same shape, ints diffed).
 
     Non-counter fields (names, states) are taken from ``after``.
+    Lists whose lengths differ (e.g. a TSP list that changed across an
+    elastic-pipeline resize) are aligned by each element's ``index``
+    key when present, otherwise positionally; elements present only in
+    ``after`` pass through unchanged.
     """
 
     def diff_value(b, a):
@@ -87,39 +140,81 @@ def diff(before: dict, after: dict) -> dict:
         if isinstance(a, dict) and isinstance(b, dict):
             return {k: diff_value(b.get(k, 0 if isinstance(v, int) else v), v)
                     for k, v in a.items()}
-        if isinstance(a, list) and isinstance(b, list) and len(a) == len(b):
-            return [diff_value(x, y) for x, y in zip(b, a)]
+        if isinstance(a, list) and isinstance(b, list):
+            return diff_list(b, a)
         return a
+
+    def diff_list(b, a):
+        def indexable(items):
+            return all(
+                isinstance(item, dict) and "index" in item for item in items
+            )
+
+        if indexable(a) and indexable(b):
+            by_index = {item["index"]: item for item in b}
+            return [
+                diff_value(by_index[item["index"]], item)
+                if item["index"] in by_index
+                else item
+                for item in a
+            ]
+        return [
+            diff_value(b[i], item) if i < len(b) else item
+            for i, item in enumerate(a)
+        ]
 
     return diff_value(before, after)
 
 
 def format_stats(stats: dict) -> str:
-    """Human-readable rendering of a snapshot (or a diff)."""
+    """Human-readable rendering of a snapshot (or a diff).
+
+    Tolerates partial snapshots: sections or fields a filtered diff
+    dropped are skipped (or rendered with zero defaults) rather than
+    raising ``KeyError``.
+    """
     lines: List[str] = []
-    device = stats.get("device", {})
-    lines.append(
-        "device: in={packets_in} out={packets_out} drop={packets_dropped} "
-        "punt={punted} active_tsps={active_tsps}".format(**device)
-    )
+    device = stats.get("device") or {}
+    if device:
+        lines.append(
+            "device: in={packets_in} out={packets_out} drop={packets_dropped} "
+            "punt={punted} active_tsps={active_tsps}".format(
+                packets_in=device.get("packets_in", 0),
+                packets_out=device.get("packets_out", 0),
+                packets_dropped=device.get("packets_dropped", 0),
+                punted=device.get("punted", 0),
+                active_tsps=device.get("active_tsps", 0),
+            )
+        )
+        reasons = device.get("drop_reasons") or {}
+        if any(reasons.values()):
+            rendered = " ".join(
+                f"{reason}={count}"
+                for reason, count in sorted(reasons.items())
+                if count
+            )
+            lines.append(f"  drops by reason: {rendered}")
     for tsp in stats.get("tsps", []):
-        if not tsp["stages"] and not tsp["packets"]:
+        if not tsp.get("stages") and not tsp.get("packets"):
             continue
         lines.append(
-            f"  TSP {tsp['index']} [{tsp['side']:7s} {tsp['state']:8s}] "
-            f"{'+'.join(tsp['stages']) or '-':32s} "
-            f"pkts={tsp['packets']:<6d} lookups={tsp['lookups']:<6d} "
-            f"parsed={tsp['headers_parsed']}"
+            f"  TSP {tsp.get('index', '?')} "
+            f"[{tsp.get('side', '?'):7s} {tsp.get('state', '?'):8s}] "
+            f"{'+'.join(tsp.get('stages', [])) or '-':32s} "
+            f"pkts={tsp.get('packets', 0):<6d} "
+            f"lookups={tsp.get('lookups', 0):<6d} "
+            f"parsed={tsp.get('headers_parsed', 0)}"
         )
-    for name, table in sorted(stats.get("tables", {}).items()):
+    for name, table in sorted((stats.get("tables") or {}).items()):
         lines.append(
-            f"  table {name:16s} {table['entries']}/{table['size']} entries, "
-            f"hits={table['hits']} misses={table['misses']}"
+            f"  table {name:16s} "
+            f"{table.get('entries', 0)}/{table.get('size', 0)} entries, "
+            f"hits={table.get('hits', 0)} misses={table.get('misses', 0)}"
         )
-    tm = stats.get("tm", {})
+    tm = stats.get("tm") or {}
     if tm:
         lines.append(
-            f"  TM: enq={tm['enqueued']} deq={tm['dequeued']} "
-            f"drop={tm['dropped']} max_occ={tm['max_occupancy']}"
+            f"  TM: enq={tm.get('enqueued', 0)} deq={tm.get('dequeued', 0)} "
+            f"drop={tm.get('dropped', 0)} max_occ={tm.get('max_occupancy', 0)}"
         )
     return "\n".join(lines)

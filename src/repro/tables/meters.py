@@ -11,7 +11,9 @@ deterministic and testable.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Iterable, Iterator, List, Tuple
+
+from repro.obs.metrics import Sample
 
 
 class MeterError(Exception):
@@ -89,3 +91,31 @@ class MeterBank:
 
     def __contains__(self, name: str) -> bool:
         return name in self._meters
+
+    # -- public iteration (the introspection surface) ----------------------
+
+    def __len__(self) -> int:
+        return len(self._meters)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._meters)
+
+    def names(self) -> List[str]:
+        return list(self._meters)
+
+    def items(self) -> List[Tuple[str, TokenBucket]]:
+        """(name, bucket) pairs -- stats/exporters iterate this, not
+        the private store."""
+        return list(self._meters.items())
+
+    def metrics_samples(self) -> Iterable[Sample]:
+        for name, bucket in self._meters.items():
+            labels = {"meter": name}
+            yield Sample("meter.rate", bucket.rate, dict(labels), "gauge")
+            yield Sample("meter.burst", bucket.burst, dict(labels), "gauge")
+            yield Sample(
+                "meter.conforming", bucket.stats.conforming, dict(labels)
+            )
+            yield Sample(
+                "meter.exceeding", bucket.stats.exceeding, dict(labels)
+            )

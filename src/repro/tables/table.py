@@ -200,6 +200,16 @@ class Table:
     def __len__(self) -> int:
         return len(self._engine)
 
+    def metrics_samples(self):
+        """This table's registry samples (labels carry the table name)."""
+        from repro.obs.metrics import Sample
+
+        labels = {"table": self.name}
+        yield Sample("table.entries", len(self._engine), dict(labels), "gauge")
+        yield Sample("table.size", self.size, dict(labels), "gauge")
+        yield Sample("table.hits", self.hit_count, dict(labels))
+        yield Sample("table.misses", self.miss_count, dict(labels))
+
     # -- lookup -------------------------------------------------------------
 
     def lookup(self, packet: Packet) -> LookupResult:

@@ -1,0 +1,222 @@
+"""Exporter round-trips and the ipbm-ctl observability surface."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.export import (
+    export_timelines,
+    export_traces,
+    load_timelines,
+    load_traces,
+    read_jsonl,
+    write_jsonl,
+)
+from repro.obs.timeline import TimelineRecorder
+from repro.programs import (
+    base_rp4_source,
+    ecmp_load_script,
+    ecmp_rp4_source,
+    populate_base_tables,
+)
+from repro.runtime import Controller
+from repro.runtime.cli import main as ipbm_ctl_main
+from repro.workloads import ipv4_packet
+
+
+@pytest.fixture
+def controller():
+    ctl = Controller()
+    ctl.load_base(base_rp4_source())
+    populate_base_tables(ctl.switch.tables)
+    return ctl
+
+
+class TestJsonl:
+    def test_write_read_round_trip(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        records = [{"a": 1}, {"b": [1, 2]}, {}]
+        assert write_jsonl(path, records) == 3
+        assert read_jsonl(path) == records
+
+    def test_file_object_sink(self):
+        sink = io.StringIO()
+        write_jsonl(sink, [{"x": 1}])
+        assert read_jsonl(io.StringIO(sink.getvalue())) == [{"x": 1}]
+
+    def test_blank_lines_skipped(self):
+        assert read_jsonl(io.StringIO('{"a": 1}\n\n{"b": 2}\n')) == [
+            {"a": 1},
+            {"b": 2},
+        ]
+
+
+class TestTraceExport:
+    def test_round_trip(self, controller, tmp_path):
+        switch = controller.switch
+        switch.enable_tracing()
+        switch.inject(ipv4_packet("10.1.0.1", "10.2.0.5"), port=0)
+        switch.inject(ipv4_packet("10.1.0.1", "10.2.0.5"), port=9)  # drop
+        path = str(tmp_path / "traces.jsonl")
+        assert export_traces(switch.tracer, path) == 2
+        loaded = load_traces(path)
+        assert [t.outcome for t in loaded] == ["emit", "drop"]
+        assert loaded[0].egress_ports == [3]
+        assert loaded[1].drop_reason == "ingress_action"
+        assert [t.to_dict() for t in loaded] == [
+            t.to_dict() for t in switch.tracer.traces
+        ]
+
+    def test_timeline_round_trip(self, controller, tmp_path):
+        controller.run_script(ecmp_load_script(), {"ecmp.rp4": ecmp_rp4_source()})
+        path = str(tmp_path / "timelines.jsonl")
+        count = export_timelines(
+            [controller.timelines, controller.switch.timelines], path
+        )
+        assert count == len(controller.timelines.timelines) + len(
+            controller.switch.timelines.timelines
+        )
+        labels = {t.label for t in load_timelines(path)}
+        assert {"load_base", "run_script", "apply_update"} <= labels
+
+    def test_single_recorder_accepted(self, tmp_path):
+        recorder = TimelineRecorder()
+        recorder.begin("op").finish()
+        path = str(tmp_path / "one.jsonl")
+        assert export_timelines(recorder, path) == 1
+        assert load_timelines(path)[0].label == "op"
+
+
+@pytest.fixture
+def files(tmp_path):
+    from repro.net.pcap import save_trace
+    from repro.workloads import mixed_l3_trace
+
+    (tmp_path / "base.rp4").write_text(base_rp4_source())
+    (tmp_path / "ecmp.rp4").write_text(ecmp_rp4_source())
+    (tmp_path / "update.txt").write_text(ecmp_load_script())
+    save_trace(str(tmp_path / "in.pcap"), mixed_l3_trace(10, seed=8))
+    return tmp_path
+
+
+class TestCliExports:
+    def test_trace_capture_and_render(self, files, capsys):
+        trace_file = files / "traces.jsonl"
+        code = ipbm_ctl_main(
+            [
+                str(files / "base.rp4"),
+                "--populate",
+                "--pcap-in", str(files / "in.pcap"),
+                "--trace", "3",
+                "--trace-out", str(trace_file),
+            ]
+        )
+        assert code == 0
+        assert "wrote 3 packet traces" in capsys.readouterr().out
+
+        # Offline subcommand renders what the run exported.
+        assert ipbm_ctl_main(["trace", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "packet #0" in out and "- tsp0" in out
+
+        # --json re-emits exactly what the exporter wrote (round-trip).
+        assert ipbm_ctl_main(["trace", str(trace_file), "--json"]) == 0
+        reemitted = capsys.readouterr().out
+        assert reemitted == trace_file.read_text()
+
+    def test_trace_seq_filter(self, files, capsys):
+        trace_file = files / "traces.jsonl"
+        ipbm_ctl_main(
+            [
+                str(files / "base.rp4"),
+                "--populate",
+                "--pcap-in", str(files / "in.pcap"),
+                "--trace", "3",
+                "--trace-out", str(trace_file),
+            ]
+        )
+        capsys.readouterr()
+        assert ipbm_ctl_main(["trace", str(trace_file), "--seq", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "packet #1" in out and "packet #0" not in out
+
+    def test_timeline_export_and_render(self, files, capsys):
+        timeline_file = files / "timelines.jsonl"
+        code = ipbm_ctl_main(
+            [
+                str(files / "base.rp4"),
+                "--script", str(files / "update.txt"),
+                "--snippet", f"ecmp.rp4={files / 'ecmp.rp4'}",
+                "--timeline-out", str(timeline_file),
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+
+        assert ipbm_ctl_main(["timeline", str(timeline_file)]) == 0
+        out = capsys.readouterr().out
+        assert "load_base: total" in out
+        assert "apply_update: total" in out
+        assert "drain" in out
+
+        # Round-trip: re-emitted JSON matches the exported file.
+        assert ipbm_ctl_main(["timeline", str(timeline_file), "--json"]) == 0
+        assert capsys.readouterr().out == timeline_file.read_text()
+
+    def test_timeline_label_filter(self, files, capsys):
+        timeline_file = files / "timelines.jsonl"
+        ipbm_ctl_main(
+            [str(files / "base.rp4"), "--timeline-out", str(timeline_file)]
+        )
+        capsys.readouterr()
+        code = ipbm_ctl_main(
+            ["timeline", str(timeline_file), "--label", "load_base"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "load_base: total" in out and "apply_update" not in out
+
+    def test_stats_out_and_render(self, files, capsys):
+        stats_file = files / "stats.json"
+        code = ipbm_ctl_main(
+            [
+                str(files / "base.rp4"),
+                "--populate",
+                "--pcap-in", str(files / "in.pcap"),
+                "--stats-out", str(stats_file),
+            ]
+        )
+        assert code == 0
+        snapshot = json.loads(stats_file.read_text())
+        assert snapshot["device"]["packets_in"] == 10
+        capsys.readouterr()
+
+        assert ipbm_ctl_main(["stats", str(stats_file)]) == 0
+        out = capsys.readouterr().out
+        assert "device: in=10" in out
+
+    def test_metrics_out_prometheus(self, files, capsys):
+        metrics_file = files / "metrics.prom"
+        code = ipbm_ctl_main(
+            [
+                str(files / "base.rp4"),
+                "--populate",
+                "--pcap-in", str(files / "in.pcap"),
+                "--metrics-out", str(metrics_file),
+            ]
+        )
+        assert code == 0
+        text = metrics_file.read_text()
+        assert "device_packets_in 10" in text
+        assert "# TYPE device_packets_in counter" in text
+        assert "controller_base_loads 1" in text
+
+    def test_trace_out_without_tracing_is_empty_file(self, files, capsys):
+        trace_file = files / "traces.jsonl"
+        code = ipbm_ctl_main(
+            [str(files / "base.rp4"), "--trace-out", str(trace_file)]
+        )
+        assert code == 0
+        assert "wrote 0 packet traces" in capsys.readouterr().out
+        assert trace_file.read_text() == ""

@@ -1,0 +1,212 @@
+"""Unit tests for the metrics registry (repro.obs.metrics)."""
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Sample,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = Counter("pkts")
+        assert c.value == 0
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_cannot_decrease(self):
+        c = Counter("pkts")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_samples_carry_labels(self):
+        c = Counter("table.hits", labels={"table": "ipv4_lpm"})
+        c.inc(3)
+        (sample,) = list(c.samples())
+        assert sample.name == "table.hits"
+        assert sample.value == 3
+        assert sample.labels == {"table": "ipv4_lpm"}
+        assert sample.kind == "counter"
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("depth")
+        g.set(10)
+        g.inc(2)
+        g.dec(5)
+        assert g.value == 7
+
+    def test_callback_gauge_reads_at_collect_time(self):
+        state = {"v": 1}
+        g = Gauge("live", fn=lambda: state["v"])
+        assert list(g.samples())[0].value == 1
+        state["v"] = 42
+        assert list(g.samples())[0].value == 42
+
+
+class TestHistogram:
+    def test_needs_increasing_edges(self):
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=())
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=(1, 1))
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=(2, 1))
+        Histogram("h", bounds=(64, 128, 256))  # strictly increasing: fine
+
+    def test_observation_on_edge_lands_in_that_bucket(self):
+        # Prometheus `le` semantics: value == edge counts in the edge's
+        # bucket, not the next one up.
+        h = Histogram("bytes", bounds=(64, 128, 256))
+        h.observe(64)
+        assert h.bucket_counts == [1, 0, 0, 0]
+        h.observe(65)
+        assert h.bucket_counts == [1, 1, 0, 0]
+        h.observe(128)
+        assert h.bucket_counts == [1, 2, 0, 0]
+        h.observe(1000)  # beyond the last edge: +Inf bucket
+        assert h.bucket_counts == [1, 2, 0, 1]
+
+    def test_cumulative_counts_and_edges(self):
+        h = Histogram("bytes", bounds=(64, 128))
+        for v in (10, 70, 70, 500):
+            h.observe(v)
+        assert h.bucket_edges() == ["64.0", "128.0", "+Inf"]
+        assert h.cumulative_counts() == [1, 3, 4]
+        assert h.count == 4
+        assert h.sum == 10 + 70 + 70 + 500
+
+    def test_samples_expand_to_bucket_count_sum(self):
+        h = Histogram("lat", bounds=(1,))
+        h.observe(0.5)
+        h.observe(2.0)
+        samples = {(s.name, s.labels.get("le")): s.value for s in h.samples()}
+        assert samples[("lat_bucket", "1.0")] == 1
+        assert samples[("lat_bucket", "+Inf")] == 2
+        assert samples[("lat_count", None)] == 2
+        assert samples[("lat_sum", None)] == 2.5
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        reg = MetricsRegistry()
+        a = reg.counter("device.packets_in")
+        b = reg.counter("device.packets_in")
+        assert a is b
+
+    def test_labels_distinguish_instruments(self):
+        reg = MetricsRegistry()
+        a = reg.counter("table.hits", table="a")
+        b = reg.counter("table.hits", table="b")
+        assert a is not b
+        a.inc(2)
+        assert reg.value("table.hits", table="a") == 2
+        assert reg.value("table.hits", table="b") == 0
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+        with pytest.raises(TypeError):
+            reg.histogram("x", bounds=(1,))
+
+    def test_collectors_merge_into_collect(self):
+        reg = MetricsRegistry()
+        reg.counter("owned").inc(1)
+        reg.add_collector(
+            "tm", lambda: [Sample("tm.enqueued", 7, {}, "counter")]
+        )
+        names = {s.name for s in reg.collect()}
+        assert {"owned", "tm.enqueued"} <= names
+        assert reg.value("tm.enqueued") == 7
+        reg.remove_collector("tm")
+        assert reg.value("tm.enqueued", default=-1) == -1
+
+    def test_value_default(self):
+        reg = MetricsRegistry()
+        assert reg.value("ghost") == 0
+        assert reg.value("ghost", default=99) == 99
+
+    def test_to_dict_flat_mapping(self):
+        reg = MetricsRegistry()
+        reg.counter("device.packets_in").inc(3)
+        reg.counter("table.hits", table="lpm").inc(1)
+        flat = reg.to_dict()
+        assert flat["device_packets_in"] == 3
+        assert flat['table_hits{table="lpm"}'] == 1
+
+    def test_prometheus_exposition(self):
+        reg = MetricsRegistry()
+        reg.counter("device.packets_in").inc(3)
+        reg.gauge("tm.occupancy").set(2)
+        h = reg.histogram("device.packet_bytes", (64, 128))
+        h.observe(100)
+        text = reg.to_prometheus()
+        assert "# TYPE device_packets_in counter" in text
+        assert "device_packets_in 3" in text
+        assert "# TYPE tm_occupancy gauge" in text
+        assert 'device_packet_bytes_bucket{le="+Inf"} 1' in text
+        assert "device_packet_bytes_count 1" in text
+        assert "device_packet_bytes_sum 100" in text
+        assert text.endswith("\n")
+
+
+class TestSwitchRegistry:
+    """The switch's registry is the source of truth for snapshot()."""
+
+    @pytest.fixture
+    def switch(self):
+        from repro.compiler.rp4bc import compile_base
+        from repro.ipsa.switch import IpsaSwitch
+        from repro.programs import base_rp4_source, populate_base_tables
+
+        device = IpsaSwitch(n_tsps=8)
+        device.load_config(compile_base(base_rp4_source()).config)
+        populate_base_tables(device.tables)
+        return device
+
+    def test_registry_matches_legacy_snapshot(self, switch):
+        from repro.runtime.stats import snapshot
+        from repro.workloads import ipv4_packet
+
+        for _ in range(3):
+            switch.inject(ipv4_packet("10.1.0.1", "10.2.0.5"), port=0)
+        stats = snapshot(switch)
+        reg = switch.metrics
+        assert reg.value("device.packets_in") == stats["device"]["packets_in"] == 3
+        assert reg.value("device.packets_out") == stats["device"]["packets_out"]
+        assert reg.value("tm.enqueued") == stats["tm"]["enqueued"] == 3
+        assert (
+            reg.value("table.hits", table="ipv4_lpm")
+            == stats["tables"]["ipv4_lpm"]["hits"]
+        )
+        tsp0 = next(t for t in stats["tsps"] if t["index"] == 0)
+        assert reg.value("tsp.packets", tsp=0) == tsp0["packets"] == 3
+
+    def test_packet_size_histogram_observes_injections(self, switch):
+        from repro.workloads import ipv4_packet
+
+        data = ipv4_packet("10.1.0.1", "10.2.0.5")
+        switch.inject(data, port=0)
+        hist = switch.metrics.histogram(
+            "device.packet_bytes", switch._packet_bytes.bounds
+        )
+        assert hist.count == 1
+        assert hist.sum == len(data)
+
+    def test_prometheus_export_covers_subsystems(self, switch):
+        from repro.workloads import ipv4_packet
+
+        switch.inject(ipv4_packet("10.1.0.1", "10.2.0.5"), port=0)
+        text = switch.metrics.to_prometheus()
+        assert "device_packets_in 1" in text
+        assert 'tsp_packets{tsp="0"} 1' in text
+        assert 'table_entries{table="ipv4_lpm"}' in text
+        assert "tm_enqueued 1" in text

@@ -1,0 +1,229 @@
+"""Packet-tracer tests: span nesting, drop taxonomy, round-trips."""
+
+import pytest
+
+from repro.compiler.rp4bc import compile_base
+from repro.ipsa.switch import IpsaSwitch
+from repro.net.packet import Packet
+from repro.obs.trace import DropReason, PacketTrace, PacketTracer, format_trace
+from repro.programs import base_rp4_source, populate_base_tables
+from repro.workloads import ipv4_packet
+
+
+@pytest.fixture
+def switch():
+    device = IpsaSwitch(n_tsps=8)
+    device.load_config(compile_base(base_rp4_source()).config)
+    populate_base_tables(device.tables)
+    return device
+
+
+class TestTracerLifecycle:
+    def test_off_by_default(self, switch):
+        assert switch.tracer is None
+        out = switch.inject(ipv4_packet("10.1.0.1", "10.2.0.5"), port=0)
+        assert out is not None and out.port == 3  # forwarding unaffected
+
+    def test_enable_is_idempotent(self, switch):
+        tracer = switch.enable_tracing(capacity=4)
+        assert switch.enable_tracing() is tracer
+
+    def test_disable_returns_captured_traces(self, switch):
+        tracer = switch.enable_tracing()
+        switch.inject(ipv4_packet("10.1.0.1", "10.2.0.5"), port=0)
+        detached = switch.disable_tracing()
+        assert detached is tracer
+        assert switch.tracer is None
+        assert len(detached.traces) == 1
+        # Further traffic records nothing.
+        switch.inject(ipv4_packet("10.1.0.1", "10.2.0.5"), port=0)
+        assert len(detached.traces) == 1
+
+    def test_capacity_bounds_history(self, switch):
+        switch.enable_tracing(capacity=2)
+        for _ in range(5):
+            switch.inject(ipv4_packet("10.1.0.1", "10.2.0.5"), port=0)
+        assert len(switch.tracer.traces) == 2
+        assert [t.seq for t in switch.tracer.traces] == [3, 4]
+
+    def test_traced_run_forwards_identically(self, switch):
+        data = ipv4_packet("10.1.0.1", "10.2.0.5")
+        untraced = switch.inject(data, port=0)
+        switch.enable_tracing()
+        traced = switch.inject(data, port=0)
+        assert traced.port == untraced.port
+        assert traced.data == untraced.data
+
+
+class TestSpanTree:
+    """Acceptance: one span per active TSP with correct children."""
+
+    def test_one_span_per_active_tsp(self, switch):
+        switch.enable_tracing()
+        out = switch.inject(ipv4_packet("10.1.0.1", "10.2.0.5"), port=0)
+        assert out.port == 3
+        (trace,) = switch.tracer.traces
+        spans = trace.tsp_spans()
+        # Base design: 7 active TSPs of 8 (TSP 6 is bypassed).
+        active = [t.index for t in switch.pipeline.active_tsps()]
+        assert len(active) == 7
+        assert [s.attrs["tsp"] for s in spans] == active
+        assert [s.name for s in spans] == [f"tsp{i}" for i in active]
+
+    def test_parse_match_execute_children(self, switch):
+        switch.enable_tracing()
+        switch.inject(ipv4_packet("10.1.0.1", "10.2.0.5"), port=0)
+        (trace,) = switch.tracer.traces
+        for span in trace.tsp_spans():
+            kinds = [c.kind for c in span.children]
+            # Every TSP parses then matches; stages that fire an action
+            # also execute.  Order within each stage is fixed.
+            assert kinds[0] == "parse"
+            assert "match" in kinds
+            assert set(kinds) <= {"parse", "match", "execute"}
+            for child in span.children:
+                if child.kind == "parse":
+                    assert "headers" in child.attrs
+                if child.kind == "match" and child.attrs.get("matched", True):
+                    assert "hit" in child.attrs and "table" in child.attrs
+                if child.kind == "execute":
+                    assert "action" in child.attrs
+
+    def test_first_tsp_parses_ethernet(self, switch):
+        switch.enable_tracing()
+        switch.inject(ipv4_packet("10.1.0.1", "10.2.0.5"), port=0)
+        (trace,) = switch.tracer.traces
+        first = trace.tsp_spans()[0]
+        parse = next(c for c in first.children if c.kind == "parse")
+        assert "ethernet" in parse.attrs["headers"]
+
+    def test_ingress_and_egress_sides_recorded(self, switch):
+        switch.enable_tracing()
+        switch.inject(ipv4_packet("10.1.0.1", "10.2.0.5"), port=0)
+        (trace,) = switch.tracer.traces
+        sides = [s.attrs["side"] for s in trace.tsp_spans()]
+        assert "ingress" in sides and "egress" in sides
+        # The selector boundary: every ingress span precedes every egress.
+        assert sides == sorted(sides, key=lambda s: s == "egress")
+
+    def test_tm_events_bracket_the_boundary(self, switch):
+        switch.enable_tracing()
+        switch.inject(ipv4_packet("10.1.0.1", "10.2.0.5"), port=0)
+        (trace,) = switch.tracer.traces
+        tm_events = [c for c in trace.root.children if c.kind == "tm"]
+        names = [e.name for e in tm_events]
+        assert "tm.enqueue" in names and "tm.dequeue" in names
+        enqueue = next(e for e in tm_events if e.name == "tm.enqueue")
+        assert enqueue.attrs["queued"] == 1
+
+    def test_find_walks_depth_first(self, switch):
+        switch.enable_tracing()
+        switch.inject(ipv4_packet("10.1.0.1", "10.2.0.5"), port=0)
+        (trace,) = switch.tracer.traces
+        matches = trace.root.find("match")
+        assert len(matches) >= 7  # at least one lookup per active TSP
+        assert all(m.kind == "match" for m in matches)
+
+
+class TestDropTaxonomy:
+    def test_ingress_action_drop(self, switch):
+        # Port 9 misses port_map, whose default action is drop.
+        switch.enable_tracing()
+        out = switch.inject(ipv4_packet("10.1.0.1", "10.2.0.5"), port=9)
+        assert out is None
+        (trace,) = switch.tracer.traces
+        assert trace.outcome == "drop"
+        assert trace.drop_reason == DropReason.INGRESS_ACTION.value
+        assert switch.drop_reasons == {"ingress_action": 1}
+
+    def test_tm_tail_drop(self, switch):
+        switch.enable_tracing()
+        switch.pipeline.tm.buffer_packets = 1
+        switch.pipeline.tm.enqueue_or_replicate(Packet(b"x" * 64))  # fill it
+        out = switch.inject(ipv4_packet("10.1.0.1", "10.2.0.5"), port=0)
+        assert out is None
+        (trace,) = switch.tracer.traces
+        assert trace.drop_reason == DropReason.TM_TAIL_DROP.value
+        assert switch.drop_reasons.get("tm_tail_drop") == 1
+
+    def test_drop_reasons_reach_the_registry(self, switch):
+        switch.inject(ipv4_packet("10.1.0.1", "10.2.0.5"), port=9)
+        assert (
+            switch.metrics.value("device.drops", reason="ingress_action") == 1
+        )
+
+    def test_drop_reasons_counted_without_tracer(self, switch):
+        assert switch.tracer is None
+        switch.inject(ipv4_packet("10.1.0.1", "10.2.0.5"), port=9)
+        assert switch.drop_reasons == {"ingress_action": 1}
+
+    def test_note_drop_keeps_first_reason(self):
+        tracer = PacketTracer()
+        tracer.begin()
+        tracer.note_drop(DropReason.TM_TAIL_DROP)
+        tracer.note_drop(DropReason.EGRESS_ACTION)
+        trace = tracer.end("drop")
+        assert trace.drop_reason == DropReason.TM_TAIL_DROP.value
+
+
+class TestRoundTrip:
+    def test_trace_json_round_trip(self, switch):
+        switch.enable_tracing()
+        switch.inject(ipv4_packet("10.1.0.1", "10.2.0.5"), port=0)
+        (trace,) = switch.tracer.traces
+        clone = PacketTrace.from_dict(trace.to_dict())
+        assert clone.to_dict() == trace.to_dict()
+        assert clone.seq == trace.seq
+        assert clone.outcome == "emit"
+        assert clone.egress_ports == [3]
+        assert len(clone.tsp_spans()) == len(trace.tsp_spans())
+
+    def test_format_trace_renders_the_tree(self, switch):
+        switch.enable_tracing()
+        switch.inject(ipv4_packet("10.1.0.1", "10.2.0.5"), port=0)
+        (trace,) = switch.tracer.traces
+        text = format_trace(trace)
+        assert "EMIT -> port 3" in text
+        assert "- tsp0" in text
+        assert "- parse" in text and "- match" in text and "- execute" in text
+
+    def test_format_trace_renders_drops(self, switch):
+        switch.enable_tracing()
+        switch.inject(ipv4_packet("10.1.0.1", "10.2.0.5"), port=9)
+        (trace,) = switch.tracer.traces
+        assert "DROP (ingress_action)" in format_trace(trace)
+
+
+class TestPisaTracing:
+    @pytest.fixture
+    def bmv2(self):
+        from repro.pisa.switch import PisaSwitch
+        from repro.programs import base_p4_source
+
+        device = PisaSwitch(n_stages=8)
+        device.load(base_p4_source())
+        populate_base_tables(device.tables)
+        return device
+
+    def test_stage_spans_with_match_execute(self, bmv2):
+        bmv2.enable_tracing()
+        out = bmv2.inject(ipv4_packet("10.1.0.1", "10.2.0.5"), port=0)
+        assert out is not None and out.port == 3
+        (trace,) = bmv2.tracer.traces
+        stages = [s for s in trace.root.children if s.kind == "stage"]
+        assert stages, "PISA trace should contain stage spans"
+        for stage in stages:
+            kinds = [c.kind for c in stage.children]
+            assert kinds[0] == "match"
+        # The full front-end parse happens once, before the pipeline.
+        parses = [s for s in trace.root.children if s.kind == "parse"]
+        assert len(parses) == 1
+        assert "ethernet" in parses[0].attrs["headers"]
+
+    def test_traced_run_forwards_identically(self, bmv2):
+        data = ipv4_packet("10.1.0.1", "10.2.0.5")
+        untraced = bmv2.inject(data, port=0)
+        bmv2.enable_tracing()
+        traced = bmv2.inject(data, port=0)
+        assert traced.port == untraced.port
+        assert traced.data == untraced.data

@@ -1,0 +1,145 @@
+"""Regression tests: diff alignment, partial-snapshot formatting,
+and the MeterBank public iteration API."""
+
+import pytest
+
+from repro.runtime.stats import diff, format_stats
+from repro.tables.meters import MeterBank
+
+
+class TestDiffListAlignment:
+    def test_tsp_lists_align_by_index(self):
+        # An elastic-pipeline resize between polls: the after snapshot
+        # has a TSP the before one lacked.  Pre-fix this raised
+        # IndexError (positional zip past the shorter list).
+        before = {
+            "tsps": [
+                {"index": 0, "packets": 5},
+                {"index": 1, "packets": 2},
+            ]
+        }
+        after = {
+            "tsps": [
+                {"index": 0, "packets": 9},
+                {"index": 1, "packets": 2},
+                {"index": 2, "packets": 4},
+            ]
+        }
+        delta = diff(before, after)
+        assert delta["tsps"][0] == {"index": 0, "packets": 4}
+        assert delta["tsps"][1] == {"index": 0, "packets": 0}
+        # Present only in after: passes through unchanged.
+        assert delta["tsps"][2] == {"index": 2, "packets": 4}
+
+    def test_alignment_survives_reordering(self):
+        before = {"tsps": [{"index": 1, "packets": 1}, {"index": 0, "packets": 7}]}
+        after = {"tsps": [{"index": 0, "packets": 8}, {"index": 1, "packets": 1}]}
+        delta = diff(before, after)
+        assert delta["tsps"][0]["packets"] == 1
+        assert delta["tsps"][1]["packets"] == 0
+
+    def test_shrunk_list_keeps_surviving_elements(self):
+        before = {
+            "tsps": [{"index": 0, "packets": 3}, {"index": 1, "packets": 5}]
+        }
+        after = {"tsps": [{"index": 1, "packets": 6}]}
+        delta = diff(before, after)
+        assert delta["tsps"] == [{"index": 0, "packets": 1}]
+
+    def test_positional_fallback_with_extras(self):
+        # Plain value lists have no "index" key: diff positionally,
+        # pass after-extras through.
+        before = {"depths": [1, 2]}
+        after = {"depths": [4, 2, 9]}
+        assert diff(before, after)["depths"] == [3, 0, 9]
+
+    def test_equal_length_diff_unchanged(self):
+        before = {"tsps": [{"index": 0, "packets": 1, "state": "active"}]}
+        after = {"tsps": [{"index": 0, "packets": 4, "state": "active"}]}
+        delta = diff(before, after)
+        assert delta["tsps"][0]["packets"] == 3
+        assert delta["tsps"][0]["state"] == "active"  # non-counter passthrough
+
+    def test_missing_dict_keys_default_to_zero(self):
+        before = {"device": {"packets_in": 1}}
+        after = {"device": {"packets_in": 3, "punted": 2}}
+        assert diff(before, after)["device"] == {"packets_in": 2, "punted": 2}
+
+
+class TestFormatStatsPartial:
+    def test_missing_device_section(self):
+        text = format_stats({"tables": {"lpm": {"entries": 1}}})
+        assert "device:" not in text
+        assert "table lpm" in text
+
+    def test_missing_tm_section(self):
+        text = format_stats({"device": {"packets_in": 1}})
+        assert "device: in=1" in text
+        assert "TM:" not in text
+
+    def test_empty_snapshot(self):
+        assert format_stats({}) == ""
+
+    def test_partial_table_fields(self):
+        text = format_stats({"tables": {"lpm": {}}})
+        assert "table lpm" in text and "0/0 entries" in text
+
+    def test_partial_tsp_row(self):
+        text = format_stats(
+            {"tsps": [{"index": 2, "packets": 3, "stages": ["lpm"]}]}
+        )
+        assert "TSP 2" in text and "pkts=3" in text
+
+    def test_drop_reasons_rendered(self):
+        text = format_stats(
+            {
+                "device": {
+                    "packets_in": 2,
+                    "packets_dropped": 2,
+                    "drop_reasons": {"ingress_action": 1, "tm_tail_drop": 1},
+                }
+            }
+        )
+        assert "drops by reason: ingress_action=1 tm_tail_drop=1" in text
+
+    def test_zero_drop_reasons_hidden(self):
+        text = format_stats(
+            {"device": {"packets_in": 2, "drop_reasons": {"unknown": 0}}}
+        )
+        assert "drops by reason" not in text
+
+
+class TestMeterBankIteration:
+    @pytest.fixture
+    def bank(self):
+        bank = MeterBank()
+        bank.configure("police_a", rate=100, burst=10)
+        bank.configure("police_b", rate=200, burst=20)
+        return bank
+
+    def test_len_and_iter(self, bank):
+        assert len(bank) == 2
+        assert sorted(bank) == ["police_a", "police_b"]
+
+    def test_names(self, bank):
+        assert bank.names() == ["police_a", "police_b"]
+
+    def test_items_pairs_names_with_meters(self, bank):
+        items = dict(bank.items())
+        assert set(items) == {"police_a", "police_b"}
+        assert items["police_a"].rate == 100
+
+    def test_empty_bank(self):
+        bank = MeterBank()
+        assert len(bank) == 0
+        assert list(bank) == []
+        assert bank.names() == []
+
+    def test_metrics_samples(self, bank):
+        samples = {
+            (s.name, s.labels.get("meter")): s.value
+            for s in bank.metrics_samples()
+        }
+        assert samples[("meter.rate", "police_a")] == 100
+        assert samples[("meter.burst", "police_b")] == 20
+        assert samples[("meter.conforming", "police_a")] == 0
