@@ -5,9 +5,26 @@ One module per paper artifact:
 * :mod:`repro.bench.table1`  -- compile/load time comparison
 * :mod:`repro.bench.mapping` -- Fig. 4 TSP mappings
 * :mod:`repro.bench.report`  -- plain-text table rendering
+
+plus the continuous performance layer:
+
+* :mod:`repro.bench.scenarios` -- the workload matrix (cases x switches)
+* :mod:`repro.bench.harness`   -- ``python -m repro.bench.harness``,
+  emits schema-versioned ``BENCH_<stamp>.json`` trajectory documents
+* :mod:`repro.bench.schema`    -- document validation + regression compare
 """
 
 from repro.bench.mapping import fig4_mapping, format_mapping
+from repro.bench.scenarios import (
+    CASES,
+    SWITCHES,
+    case_trace,
+    make_ipsa,
+    make_ipsa_controller,
+    make_pisa,
+    make_switch,
+)
+from repro.bench.schema import compare_documents, validate_bench
 from repro.bench.report import format_table
 from repro.bench.table1 import (
     USE_CASES,
@@ -19,13 +36,22 @@ from repro.bench.table1 import (
 )
 
 __all__ = [
+    "CASES",
+    "SWITCHES",
     "Table1Row",
     "USE_CASES",
+    "case_trace",
+    "compare_documents",
     "fig4_mapping",
     "format_mapping",
     "format_table",
     "hardware_flow_model",
+    "make_ipsa",
+    "make_ipsa_controller",
+    "make_pisa",
+    "make_switch",
     "measure_bmv2_flow",
     "measure_ipbm_flow",
     "table1",
+    "validate_bench",
 ]

@@ -1,0 +1,294 @@
+"""The continuous benchmark harness: ``python -m repro.bench.harness``.
+
+Runs the workload matrix (programs x trace sizes x both switches),
+measuring each cell twice -- once plain for pps / ns-per-packet, once
+under the :class:`repro.obs.prof.Profiler` for per-stage shares and
+the profiler's own overhead -- and emits one schema-versioned
+``BENCH_<stamp>.json`` (see :mod:`repro.bench.schema`).  The committed
+sequence of those files is the repo's performance trajectory; CI runs
+``--smoke`` and ``--compare``s against the latest committed baseline.
+
+Modes::
+
+    python -m repro.bench.harness                 # full matrix -> BENCH_<stamp>.json
+    python -m repro.bench.harness --smoke         # tiny traces, same coverage
+    python -m repro.bench.harness --validate F    # schema-check an emitted file
+    python -m repro.bench.harness --compare A B   # regression report, old vs new
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.bench.scenarios import (
+    CASES,
+    SWITCHES,
+    case_trace,
+    make_switch,
+)
+from repro.bench.schema import (
+    DEFAULT_OVERHEAD_TOLERANCE_PCT,
+    DEFAULT_RELATIVE_TOLERANCE,
+    DOCUMENT_KIND,
+    SCHEMA_VERSION,
+    compare_documents,
+    format_comparison,
+    validate_bench,
+)
+from repro.obs.clock import Clock, MONOTONIC
+
+#: Trace sizes per mode.  Full is sized for a quiet workstation run
+#: (seconds, not minutes); smoke for a CI gate (sub-second per cell).
+FULL_SIZES = (300, 1000)
+SMOKE_SIZES = (60,)
+#: Packets injected before the timed window (JIT-parse caches, branch
+#: warm-up) -- charged to nobody.
+WARMUP_PACKETS = 16
+
+
+def measure_cell(
+    arch: str,
+    case: str,
+    n_packets: int,
+    seed: int = 23,
+    clock: Optional[Clock] = None,
+) -> dict:
+    """One matrix cell: plain timed run, then profiled run, one dict."""
+    clock = clock or MONOTONIC
+    switch = make_switch(arch, case)
+    trace = case_trace(case, n_packets, seed=seed)
+
+    for data, port in trace[:WARMUP_PACKETS]:
+        switch.inject(data, port)
+
+    forwarded = dropped = 0
+    started = clock.now()
+    for data, port in trace:
+        if switch.inject(data, port) is None:
+            dropped += 1
+        else:
+            forwarded += 1
+    plain_seconds = clock.now() - started
+
+    profiler = switch.enable_profiling()
+    started = clock.now()
+    for data, port in trace:
+        switch.inject(data, port)
+    profiled_seconds = clock.now() - started
+    switch.disable_profiling()
+
+    packets = len(trace)
+    plain_seconds = max(plain_seconds, 1e-12)
+    overhead_pct = (profiled_seconds - plain_seconds) / plain_seconds * 100.0
+    prof_packets = max(1, profiler.packets)
+    phase_ns_per_pkt = {
+        phase: seconds / prof_packets * 1e9
+        for phase, seconds in sorted(profiler.phase_seconds().items())
+    }
+    work_per_pkt = {
+        key: round(total / prof_packets, 4)
+        for key, total in sorted(profiler.work_totals().items())
+    }
+    return {
+        "switch": arch,
+        "case": case,
+        "packets": packets,
+        "forwarded": forwarded,
+        "dropped": dropped,
+        "seconds": plain_seconds,
+        "pps": packets / plain_seconds,
+        "ns_per_pkt": plain_seconds / packets * 1e9,
+        "profile": {
+            "profiled_seconds": profiled_seconds,
+            "profiled_ns_per_pkt": profiled_seconds / packets * 1e9,
+            "overhead_pct": overhead_pct,
+            "phase_shares": dict(sorted(profiler.phase_shares().items())),
+            "phase_ns_per_pkt": phase_ns_per_pkt,
+            "work_per_pkt": work_per_pkt,
+            "engine_lookups": dict(sorted(profiler.engine_lookups.items())),
+        },
+    }
+
+
+def run_matrix(
+    mode: str = "full",
+    sizes: Optional[Sequence[int]] = None,
+    cases: Optional[Sequence[str]] = None,
+    switches: Optional[Sequence[str]] = None,
+    seed: int = 23,
+    clock: Optional[Clock] = None,
+    log=None,
+) -> dict:
+    """Run the whole matrix; returns the BENCH document (validated)."""
+    if mode not in ("smoke", "full"):
+        raise ValueError(f"mode must be smoke or full, got {mode!r}")
+    sizes = tuple(sizes) if sizes else (SMOKE_SIZES if mode == "smoke" else FULL_SIZES)
+    cases = tuple(cases) if cases else CASES
+    switches = tuple(switches) if switches else SWITCHES
+    results: List[dict] = []
+    for case in cases:
+        for arch in switches:
+            for n_packets in sizes:
+                result = measure_cell(
+                    arch, case, n_packets, seed=seed, clock=clock
+                )
+                results.append(result)
+                if log is not None:
+                    profile = result["profile"]
+                    log(
+                        f"{arch}/{case} n={n_packets}: "
+                        f"{result['pps']:.0f} pps "
+                        f"({result['ns_per_pkt']:.0f} ns/pkt), "
+                        f"profile overhead {profile['overhead_pct']:+.1f}%"
+                    )
+    doc = {
+        "schema_version": SCHEMA_VERSION,
+        "kind": DOCUMENT_KIND,
+        "created_unix": time.time(),
+        "stamp": time.strftime("%Y%m%d-%H%M%S"),
+        "mode": mode,
+        "environment": {
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "platform": platform.platform(),
+            "machine": platform.machine(),
+        },
+        "matrix": {
+            "cases": list(cases),
+            "switches": list(switches),
+            "sizes": list(sizes),
+        },
+        "results": results,
+    }
+    problems = validate_bench(doc)
+    if problems:  # a harness bug, not a user error -- fail loudly
+        raise AssertionError(
+            "harness emitted a schema-invalid document: "
+            + "; ".join(problems)
+        )
+    return doc
+
+
+def default_output_path(stamp: str) -> str:
+    return f"BENCH_{stamp}.json"
+
+
+def _parse_csv(text: Optional[str], cast=str) -> Optional[list]:
+    if not text:
+        return None
+    return [cast(part.strip()) for part in text.split(",") if part.strip()]
+
+
+def build_parser(prog: str = "repro.bench.harness") -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog=prog,
+        description="workload-matrix benchmark harness (BENCH_*.json)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny traces, full matrix coverage (the CI gate)",
+    )
+    parser.add_argument(
+        "--out",
+        help="output path (default: BENCH_<stamp>.json in the cwd)",
+    )
+    parser.add_argument(
+        "--sizes", help="comma-separated trace sizes (overrides the mode)"
+    )
+    parser.add_argument(
+        "--cases", help=f"comma-separated subset of {','.join(CASES)}"
+    )
+    parser.add_argument(
+        "--switches", help="comma-separated subset of ipsa,pisa"
+    )
+    parser.add_argument("--seed", type=int, default=23)
+    parser.add_argument("--quiet", action="store_true")
+    parser.add_argument(
+        "--validate", metavar="FILE",
+        help="schema-check an emitted BENCH file and exit",
+    )
+    parser.add_argument(
+        "--compare", nargs=2, metavar=("OLD", "NEW"),
+        help="regression report: new run vs baseline",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=DEFAULT_RELATIVE_TOLERANCE,
+        help="relative tolerance on pps / ns-per-pkt for --compare",
+    )
+    parser.add_argument(
+        "--overhead-tolerance", type=float,
+        default=DEFAULT_OVERHEAD_TOLERANCE_PCT,
+        help="absolute tolerance (pct points) on profile overhead",
+    )
+    parser.add_argument(
+        "--report-only", action="store_true",
+        help="--compare prints the report but always exits 0",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    out = sys.stdout
+
+    if args.validate:
+        with open(args.validate) as fh:
+            doc = json.load(fh)
+        problems = validate_bench(doc)
+        if problems:
+            for problem in problems:
+                out.write(f"INVALID: {problem}\n")
+            return 1
+        out.write(
+            f"{args.validate}: valid {DOCUMENT_KIND} v{doc['schema_version']} "
+            f"({len(doc['results'])} results)\n"
+        )
+        return 0
+
+    if args.compare:
+        old_path, new_path = args.compare
+        with open(old_path) as fh:
+            old = json.load(fh)
+        with open(new_path) as fh:
+            new = json.load(fh)
+        for label, doc in (("old", old), ("new", new)):
+            problems = validate_bench(doc)
+            if problems:
+                out.write(f"INVALID {label} document: {problems[0]}\n")
+                return 2
+        comparison = compare_documents(
+            old,
+            new,
+            relative_tolerance=args.tolerance,
+            overhead_tolerance_pct=args.overhead_tolerance,
+        )
+        out.write(format_comparison(comparison) + "\n")
+        if not comparison.ok and not args.report_only:
+            return 1
+        return 0
+
+    mode = "smoke" if args.smoke else "full"
+    log = None if args.quiet else (lambda line: out.write(line + "\n"))
+    doc = run_matrix(
+        mode=mode,
+        sizes=_parse_csv(args.sizes, int),
+        cases=_parse_csv(args.cases),
+        switches=_parse_csv(args.switches),
+        seed=args.seed,
+        log=log,
+    )
+    path = args.out or default_output_path(doc["stamp"])
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    out.write(f"wrote {len(doc['results'])} results to {path}\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

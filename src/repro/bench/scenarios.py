@@ -1,0 +1,125 @@
+"""The workload matrix shared by the bench harness, the CLI's
+``profile`` subcommand, and the evaluation benchmarks.
+
+A *scenario* is (switch architecture, use case): the IPSA device with
+the base L2/L3 design plus (optionally) one in-situ-loaded use case,
+or the PISA baseline running the equivalent monolithic P4 variant --
+the same pairing the paper's Sec. 5 evaluation measures.  Each case
+also names its natural traffic shape (``case_trace``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.ipsa.switch import IpsaSwitch
+from repro.pisa.switch import PisaSwitch
+from repro.programs import (
+    base_p4_source,
+    base_rp4_source,
+    ecmp_load_script,
+    ecmp_rp4_source,
+    flowprobe_load_script,
+    flowprobe_rp4_source,
+    populate_base_tables,
+    populate_ecmp_tables,
+    populate_flowprobe_tables,
+    populate_srv6_tables,
+    srv6_load_script,
+    srv6_rp4_source,
+)
+from repro.programs.p4_variants import (
+    ecmp_p4_source,
+    flowprobe_p4_source,
+    srv6_p4_source,
+)
+from repro.runtime.controller import Controller
+from repro.workloads.traces import mixed_l3_trace, use_case_trace
+
+Trace = List[Tuple[bytes, int]]
+
+#: Everything the matrix runs: the base design plus the paper's three
+#: runtime-loaded use cases.
+CASES = ("base", "C1", "C2", "C3")
+SWITCHES = ("ipsa", "pisa")
+
+#: case -> (load script, rp4 snippet, snippet name, populate, p4 variant)
+CASE_ARTIFACTS = {
+    "C1": (
+        ecmp_load_script,
+        ecmp_rp4_source,
+        "ecmp.rp4",
+        populate_ecmp_tables,
+        ecmp_p4_source,
+    ),
+    "C2": (
+        srv6_load_script,
+        srv6_rp4_source,
+        "srv6.rp4",
+        populate_srv6_tables,
+        srv6_p4_source,
+    ),
+    "C3": (
+        flowprobe_load_script,
+        flowprobe_rp4_source,
+        "flowprobe.rp4",
+        populate_flowprobe_tables,
+        flowprobe_p4_source,
+    ),
+}
+
+
+def check_case(case: str) -> str:
+    if case not in CASES:
+        raise ValueError(f"unknown case {case!r} (expected one of {CASES})")
+    return case
+
+
+def make_ipsa_controller(case: str = "base") -> Controller:
+    """A controller driving an IPSA device with the base design
+    (plus ``case`` loaded in-situ)."""
+    check_case(case)
+    controller = Controller()
+    controller.load_base(base_rp4_source())
+    populate_base_tables(controller.switch.tables)
+    if case != "base":
+        script, snippet, name, populate, _ = CASE_ARTIFACTS[case]
+        controller.run_script(script(), {name: snippet()})
+        populate(controller.switch.tables)
+    return controller
+
+
+def make_ipsa(case: str = "base") -> IpsaSwitch:
+    """An IPSA device with the base design (plus ``case`` live)."""
+    return make_ipsa_controller(case).switch
+
+
+def make_pisa(case: str = "base") -> PisaSwitch:
+    """A PISA device running the equivalent full P4 program."""
+    check_case(case)
+    switch = PisaSwitch(n_stages=8)
+    if case == "base":
+        switch.load(base_p4_source())
+        populate_base_tables(switch.tables)
+    else:
+        _, _, _, populate, p4_variant = CASE_ARTIFACTS[case]
+        switch.load(p4_variant())
+        populate_base_tables(switch.tables)
+        populate(switch.tables)
+    return switch
+
+
+def make_switch(arch: str, case: str = "base"):
+    if arch == "ipsa":
+        return make_ipsa(case)
+    if arch == "pisa":
+        return make_pisa(case)
+    raise ValueError(f"unknown switch {arch!r} (expected ipsa or pisa)")
+
+
+def case_trace(case: str, n_packets: int, seed: int = 23) -> Trace:
+    """The traffic shape that exercises a case's hot path."""
+    check_case(case)
+    if case == "base":
+        return mixed_l3_trace(n_packets, seed=seed)
+    return use_case_trace(case, n_packets, seed=seed)

@@ -1,0 +1,282 @@
+"""The ``BENCH_*.json`` document: schema, validation, comparison.
+
+Every harness run emits one schema-versioned JSON document; the
+sequence of committed ``BENCH_*.json`` files at the repo root is the
+project's performance trajectory.  Validation is dependency-free (a
+structural checker, not jsonschema) so CI can gate on it with nothing
+installed beyond the test stack; :func:`compare_documents` is the
+regression reporter behind ``--compare``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+SCHEMA_VERSION = 1
+DOCUMENT_KIND = "repro-bench"
+
+#: Default relative tolerance on throughput metrics (pps, ns/pkt).
+#: Generous on purpose: shared CI boxes jitter far more than a quiet
+#: workstation, and the gate should start report-only anyway.
+DEFAULT_RELATIVE_TOLERANCE = 0.35
+#: Default absolute tolerance (percentage points) on profile overhead.
+DEFAULT_OVERHEAD_TOLERANCE_PCT = 25.0
+
+_TOP_KEYS = {
+    "schema_version": int,
+    "kind": str,
+    "created_unix": (int, float),
+    "stamp": str,
+    "mode": str,
+    "environment": dict,
+    "matrix": dict,
+    "results": list,
+}
+
+_RESULT_KEYS = {
+    "switch": str,
+    "case": str,
+    "packets": int,
+    "forwarded": int,
+    "dropped": int,
+    "seconds": (int, float),
+    "pps": (int, float),
+    "ns_per_pkt": (int, float),
+    "profile": dict,
+}
+
+_PROFILE_KEYS = {
+    "profiled_seconds": (int, float),
+    "profiled_ns_per_pkt": (int, float),
+    "overhead_pct": (int, float),
+    "phase_shares": dict,
+    "phase_ns_per_pkt": dict,
+    "work_per_pkt": dict,
+    "engine_lookups": dict,
+}
+
+
+def validate_bench(doc: object) -> List[str]:
+    """Structural validation; returns problems (empty list = valid)."""
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return [f"document must be an object, got {type(doc).__name__}"]
+    for key, types in _TOP_KEYS.items():
+        if key not in doc:
+            problems.append(f"missing top-level key {key!r}")
+        elif not isinstance(doc[key], types):
+            problems.append(
+                f"{key!r} must be {types}, got {type(doc[key]).__name__}"
+            )
+    if problems:
+        return problems
+    if doc["schema_version"] != SCHEMA_VERSION:
+        problems.append(
+            f"schema_version {doc['schema_version']} != {SCHEMA_VERSION}"
+        )
+    if doc["kind"] != DOCUMENT_KIND:
+        problems.append(f"kind {doc['kind']!r} != {DOCUMENT_KIND!r}")
+    if doc["mode"] not in ("smoke", "full"):
+        problems.append(f"mode {doc['mode']!r} not smoke/full")
+    if not doc["results"]:
+        problems.append("results must not be empty")
+    switches = set()
+    for i, result in enumerate(doc["results"]):
+        where = f"results[{i}]"
+        if not isinstance(result, dict):
+            problems.append(f"{where} must be an object")
+            continue
+        for key, types in _RESULT_KEYS.items():
+            if key not in result:
+                problems.append(f"{where} missing {key!r}")
+            elif not isinstance(result[key], types):
+                problems.append(
+                    f"{where}.{key} must be {types}, "
+                    f"got {type(result[key]).__name__}"
+                )
+        if problems:
+            continue
+        switches.add(result["switch"])
+        if result["switch"] not in ("ipsa", "pisa"):
+            problems.append(f"{where}.switch {result['switch']!r} unknown")
+        if result["packets"] <= 0:
+            problems.append(f"{where}.packets must be positive")
+        if result["forwarded"] + result["dropped"] != result["packets"]:
+            problems.append(
+                f"{where}: forwarded+dropped != packets "
+                f"({result['forwarded']}+{result['dropped']} != "
+                f"{result['packets']})"
+            )
+        if result["pps"] <= 0 or result["ns_per_pkt"] <= 0:
+            problems.append(f"{where}: pps and ns_per_pkt must be positive")
+        profile = result["profile"]
+        for key, types in _PROFILE_KEYS.items():
+            if key not in profile:
+                problems.append(f"{where}.profile missing {key!r}")
+            elif not isinstance(profile[key], types):
+                problems.append(f"{where}.profile.{key} must be {types}")
+        shares = profile.get("phase_shares")
+        if isinstance(shares, dict) and shares:
+            total = 0.0
+            for phase, share in shares.items():
+                if not isinstance(share, (int, float)) or not (
+                    -1e-9 <= share <= 1 + 1e-9
+                ):
+                    problems.append(
+                        f"{where}.profile.phase_shares[{phase!r}] "
+                        f"out of [0, 1]"
+                    )
+                else:
+                    total += share
+            if abs(total - 1.0) > 1e-6:
+                problems.append(
+                    f"{where}.profile.phase_shares sum to {total:.6f}, not 1"
+                )
+    declared = doc["matrix"].get("switches")
+    if not isinstance(declared, list) or not declared:
+        problems.append("matrix.switches must be a non-empty list")
+    elif not problems and switches != set(declared):
+        problems.append(
+            f"results cover {sorted(switches)} but matrix.switches "
+            f"declares {sorted(declared)}"
+        )
+    return problems
+
+
+# -- regression comparison -------------------------------------------------
+
+
+@dataclass
+class MetricDelta:
+    """One metric's old-vs-new movement for one matrix cell."""
+
+    cell: str  # "ipsa/C1"
+    metric: str
+    old: float
+    new: float
+    tolerance: float
+    regressed: bool
+
+    @property
+    def change_pct(self) -> float:
+        if self.old == 0:
+            return 0.0
+        return (self.new - self.old) / self.old * 100.0
+
+
+@dataclass
+class Comparison:
+    """The full old-vs-new report."""
+
+    deltas: List[MetricDelta] = field(default_factory=list)
+    missing_cells: List[str] = field(default_factory=list)
+    new_cells: List[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[MetricDelta]:
+        return [d for d in self.deltas if d.regressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+
+def _index_results(doc: dict) -> Dict[Tuple[str, str], dict]:
+    """Best (largest-trace) result per (switch, case) cell."""
+    index: Dict[Tuple[str, str], dict] = {}
+    for result in doc.get("results", []):
+        key = (result["switch"], result["case"])
+        best = index.get(key)
+        if best is None or result["packets"] > best["packets"]:
+            index[key] = result
+    return index
+
+
+def compare_documents(
+    old: dict,
+    new: dict,
+    relative_tolerance: float = DEFAULT_RELATIVE_TOLERANCE,
+    overhead_tolerance_pct: float = DEFAULT_OVERHEAD_TOLERANCE_PCT,
+) -> Comparison:
+    """Per-metric regression check of ``new`` against baseline ``old``.
+
+    A cell regresses when its throughput falls more than
+    ``relative_tolerance`` below the baseline (pps down / ns-per-pkt
+    up), or when profile overhead grows by more than
+    ``overhead_tolerance_pct`` percentage points.  Cells are matched
+    on (switch, case) using each document's largest trace.
+    """
+    comparison = Comparison()
+    old_index = _index_results(old)
+    new_index = _index_results(new)
+    comparison.missing_cells = [
+        "/".join(key) for key in sorted(old_index.keys() - new_index.keys())
+    ]
+    comparison.new_cells = [
+        "/".join(key) for key in sorted(new_index.keys() - old_index.keys())
+    ]
+    for key in sorted(old_index.keys() & new_index.keys()):
+        cell = "/".join(key)
+        old_result, new_result = old_index[key], new_index[key]
+        old_pps, new_pps = old_result["pps"], new_result["pps"]
+        comparison.deltas.append(
+            MetricDelta(
+                cell=cell,
+                metric="pps",
+                old=old_pps,
+                new=new_pps,
+                tolerance=relative_tolerance,
+                regressed=new_pps < old_pps * (1.0 - relative_tolerance),
+            )
+        )
+        old_ns = old_result["ns_per_pkt"]
+        new_ns = new_result["ns_per_pkt"]
+        comparison.deltas.append(
+            MetricDelta(
+                cell=cell,
+                metric="ns_per_pkt",
+                old=old_ns,
+                new=new_ns,
+                tolerance=relative_tolerance,
+                regressed=new_ns > old_ns * (1.0 + relative_tolerance),
+            )
+        )
+        old_ovh = old_result["profile"]["overhead_pct"]
+        new_ovh = new_result["profile"]["overhead_pct"]
+        comparison.deltas.append(
+            MetricDelta(
+                cell=cell,
+                metric="overhead_pct",
+                old=old_ovh,
+                new=new_ovh,
+                tolerance=overhead_tolerance_pct,
+                regressed=new_ovh > old_ovh + overhead_tolerance_pct,
+            )
+        )
+    return comparison
+
+
+def format_comparison(comparison: Comparison) -> str:
+    """Human-readable regression report."""
+    lines = [
+        f"{'cell':12s} {'metric':12s} {'old':>12s} {'new':>12s} "
+        f"{'change':>8s}  verdict"
+    ]
+    for delta in comparison.deltas:
+        verdict = "REGRESSED" if delta.regressed else "ok"
+        lines.append(
+            f"{delta.cell:12s} {delta.metric:12s} {delta.old:12.1f} "
+            f"{delta.new:12.1f} {delta.change_pct:+7.1f}%  {verdict}"
+        )
+    for cell in comparison.missing_cells:
+        lines.append(f"{cell}: present in baseline, MISSING in new run")
+    for cell in comparison.new_cells:
+        lines.append(f"{cell}: new cell (no baseline)")
+    count = len(comparison.regressions)
+    lines.append(
+        "no regressions"
+        if count == 0
+        else f"{count} metric(s) regressed beyond tolerance"
+    )
+    return "\n".join(lines)

@@ -22,7 +22,6 @@ bmv2-vs-ipbm style comparison.
 from __future__ import annotations
 
 import math
-import time
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
@@ -31,6 +30,7 @@ from repro.compiler.rp4bc import CompiledDesign
 from repro.hw.calibration import IPSA_CAL, PISA_CAL, HwCalibration
 from repro.ipsa.switch import IpsaSwitch
 from repro.net.packet import Packet
+from repro.obs.clock import Clock, MONOTONIC
 from repro.pisa.switch import PisaSwitch
 
 Trace = List[Tuple[bytes, int]]
@@ -68,15 +68,17 @@ def ipsa_throughput(
     design: CompiledDesign,
     trace: Trace,
     cal: Optional[HwCalibration] = None,
+    clock: Optional[Clock] = None,
 ) -> ThroughputReport:
     """Run the trace through ipbm, pricing the bottleneck TSP."""
     cal = cal or IPSA_CAL
+    clock = clock or MONOTONIC
     report = ThroughputReport(architecture="IPSA", packets=len(trace))
     entry_widths = {
         name: layout.entry_width for name, layout in design.table_layouts.items()
     }
     total_bottleneck = 0.0
-    started = time.perf_counter()
+    started = clock.now()
     for data, port in trace:
         meter = _TspMeter()
         out = switch.inject(data, port, meter=meter)
@@ -94,7 +96,7 @@ def ipsa_throughput(
                 cycles += max(1, math.ceil(width / cal.mem_bus_bits))
             bottleneck = max(bottleneck, cycles)
         total_bottleneck += bottleneck
-    elapsed = time.perf_counter() - started
+    elapsed = clock.now() - started
     report.cycles_per_packet = total_bottleneck / max(1, len(trace))
     report.model_mpps = cal.clock_mhz / report.cycles_per_packet
     report.software_pps = len(trace) / elapsed if elapsed > 0 else 0.0
@@ -105,14 +107,16 @@ def pisa_throughput(
     switch: PisaSwitch,
     trace: Trace,
     cal: Optional[HwCalibration] = None,
+    clock: Optional[Clock] = None,
 ) -> ThroughputReport:
     """Run the trace through the PISA model, pricing the front parser."""
     cal = cal or PISA_CAL
+    clock = clock or MONOTONIC
     if switch.parser is None:
         raise RuntimeError("switch has no design loaded")
     report = ThroughputReport(architecture="PISA", packets=len(trace))
     total_cycles = 0.0
-    started = time.perf_counter()
+    started = clock.now()
     for data, port in trace:
         # Pre-measure the parse depth the front parser must extract.
         probe = Packet(data, first_header=switch.parser.first_header)
@@ -126,7 +130,7 @@ def pisa_throughput(
             report.dropped += 1
         else:
             report.forwarded += 1
-    elapsed = time.perf_counter() - started
+    elapsed = clock.now() - started
     report.cycles_per_packet = total_cycles / max(1, len(trace))
     report.model_mpps = cal.clock_mhz / report.cycles_per_packet
     report.software_pps = len(trace) / elapsed if elapsed > 0 else 0.0

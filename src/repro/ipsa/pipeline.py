@@ -100,12 +100,18 @@ class ElasticPipeline:
         tracer = getattr(device, "tracer", None)
         if tracer is not None and tracer.current is None:
             tracer = None
+        profiler = getattr(device, "profiler", None)
         for tsp in self.ingress_tsps():
             tsp.process(packet, device, meter)
             if packet.metadata.get("drop"):
                 self._note_drop(device, tracer, DropReason.INGRESS_ACTION)
                 return []
-        queued_count = self.tm.enqueue_or_replicate(packet)
+        if profiler is not None:
+            started = profiler.now()
+            queued_count = self.tm.enqueue_or_replicate(packet)
+            profiler.add(("tm", "enqueue"), started, enqueues=queued_count)
+        else:
+            queued_count = self.tm.enqueue_or_replicate(packet)
         if tracer is not None:
             tracer.event(
                 "tm.enqueue",
@@ -124,7 +130,12 @@ class ElasticPipeline:
             return []
         outputs: List[Packet] = []
         for _ in range(queued_count):
-            queued = self.tm.dequeue()
+            if profiler is not None:
+                started = profiler.now()
+                queued = self.tm.dequeue()
+                profiler.add(("tm", "dequeue"), started, dequeues=1)
+            else:
+                queued = self.tm.dequeue()
             assert queued is not None
             if tracer is not None:
                 tracer.event("tm.dequeue", kind="tm")

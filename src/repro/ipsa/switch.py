@@ -21,7 +21,9 @@ from repro.ipsa.pipeline import ElasticPipeline, SelectorConfig
 from repro.net.headers import FieldDef, HeaderType
 from repro.net.linkage import HeaderLinkageTable
 from repro.net.packet import Packet
+from repro.obs.clock import Clock
 from repro.obs.metrics import MetricsRegistry, Sample
+from repro.obs.prof import Profiler
 from repro.obs.timeline import TimelineRecorder
 from repro.obs.trace import DropReason, PacketTracer
 from repro.tables.actions import ActionDef
@@ -88,6 +90,7 @@ class IpsaSwitch:
         # the tracer is opt-in and None on the hot path by default.
         self.drop_reasons: Dict[str, int] = {}
         self.tracer: Optional[PacketTracer] = None
+        self.profiler: Optional[Profiler] = None
         self.timelines = TimelineRecorder()
         self.metrics = MetricsRegistry()
         self._packet_bytes = self.metrics.histogram(
@@ -151,6 +154,18 @@ class IpsaSwitch:
         path); returns it so captured traces stay readable."""
         tracer, self.tracer = self.tracer, None
         return tracer
+
+    def enable_profiling(self, clock: Optional[Clock] = None) -> Profiler:
+        """Attach (and return) the wall-time profiler; idempotent."""
+        if self.profiler is None:
+            self.profiler = Profiler(clock=clock)
+        return self.profiler
+
+    def disable_profiling(self) -> Optional[Profiler]:
+        """Detach the profiler (hot path returns to the unprofiled
+        fast path); returns it so accumulated records stay readable."""
+        profiler, self.profiler = self.profiler, None
+        return profiler
 
     # -- configuration (the Control Channel Module) -----------------------
 
@@ -223,6 +238,8 @@ class IpsaSwitch:
         self.packets_in += 1
         self.clock += 1
         self._packet_bytes.observe(len(data))
+        if self.profiler is not None:
+            self.profiler.packets += 1
         tracer = self.tracer
         if tracer is not None:
             tracer.begin(clock=self.clock, port=port, length=len(data))
@@ -255,6 +272,8 @@ class IpsaSwitch:
         self.packets_in += 1
         self.clock += 1
         self._packet_bytes.observe(len(data))
+        if self.profiler is not None:
+            self.profiler.packets += 1
         tracer = self.tracer
         if tracer is not None:
             tracer.begin(clock=self.clock, port=port, length=len(data))

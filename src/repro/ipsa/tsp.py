@@ -151,12 +151,17 @@ class Tsp:
         ``meter`` (if given) receives per-TSP parse/lookup events; the
         hardware throughput model uses it to price cycles without
         duplicating the execution semantics.  When the device carries
-        an active packet tracer the traced twin of this loop runs
-        instead; the untraced path pays only this one check.
+        an active packet tracer (or profiler) the traced/profiled twin
+        of this loop runs instead; the plain path pays only these
+        ``is None`` checks.
         """
         tracer = getattr(device, "tracer", None)
         if tracer is not None and tracer.current is not None:
             self._process_traced(packet, device, tracer, meter)
+            return
+        profiler = getattr(device, "profiler", None)
+        if profiler is not None:
+            self._process_profiled(packet, device, profiler, meter)
             return
         self.stats.packets += 1
         for stage in self.stages:
@@ -265,6 +270,55 @@ class Tsp:
                     break  # first matching arm wins
         finally:
             tracer.end_span(tsp_span)
+
+    def _process_profiled(
+        self, packet: Packet, device: "DeviceFacade", prof, meter=None
+    ) -> None:
+        """Profiled twin of :meth:`process`: identical semantics, with
+        parse/match/execute wall-time and work counters attributed to
+        this TSP (predicate evaluation rides untimed -- compiled
+        lambdas, far below the clock's resolution)."""
+        self.stats.packets += 1
+        label = f"tsp{self.index}"
+        for stage in self.stages:
+            if packet.metadata.get("drop"):
+                return
+            started = prof.now()
+            parsed = packet.ensure_parsed(
+                stage.parser_headers, device.header_types, device.linkage
+            )
+            prof.add((label, "parse"), started, headers=parsed)
+            self.stats.headers_parsed += parsed
+            if meter is not None and parsed:
+                meter.parsed(self.index, parsed)
+            for predicate, _expr, table_name in stage.arms:
+                if not predicate(packet):
+                    continue
+                if table_name is None:
+                    break  # empty arm: explicit no-op
+                table = device.tables[table_name]
+                started = prof.now()
+                result = table.lookup(packet)
+                prof.add((label, "match", table_name), started, lookups=1)
+                prof.note_engine(table.engine_kind)
+                self.stats.lookups += 1
+                if meter is not None:
+                    meter.lookup(self.index, table_name)
+                action_name = stage.executor.get(result.tag)
+                if action_name is None:
+                    action_name = stage.executor.get("default", "NoAction")
+                action = device.actions[action_name]
+                started = prof.now()
+                action.execute(
+                    packet, result.action_data, entry=result.entry,
+                    device=device,
+                )
+                prof.add(
+                    (label, "execute", action_name), started,
+                    ops=len(action.ops),
+                )
+                self.stats.actions_run += 1
+                break  # first matching arm wins
 
 
 class DeviceFacade:

@@ -18,14 +18,28 @@ instruments the rest of the tree threads through:
   into phases.
 * :mod:`repro.obs.export` -- JSON-lines sinks and loaders plus the
   Prometheus-style text exposition.
+* :mod:`repro.obs.clock` -- the injectable time source every
+  instrument reads through (tests use :class:`ManualClock` for exact,
+  jitter-free durations).
+* :mod:`repro.obs.prof` -- an opt-in low-overhead profiler that
+  attributes wall-time and work counters (headers parsed, lookups,
+  primitive ops, TM enqueues) to parse/match/execute phases per
+  component; feeds the bench harness and flamegraph tooling.
 """
 
+from repro.obs.clock import Clock, ManualClock, MonotonicClock, MONOTONIC
 from repro.obs.metrics import (
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
     Sample,
+)
+from repro.obs.prof import (
+    PHASES,
+    ProfileRecord,
+    Profiler,
+    format_profile,
 )
 from repro.obs.timeline import Phase, Timeline, TimelineRecorder, format_timeline
 from repro.obs.trace import (
@@ -37,18 +51,26 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "Clock",
     "Counter",
     "DropReason",
     "Gauge",
     "Histogram",
+    "MONOTONIC",
+    "ManualClock",
     "MetricsRegistry",
+    "MonotonicClock",
+    "PHASES",
     "PacketTrace",
     "PacketTracer",
     "Phase",
+    "ProfileRecord",
+    "Profiler",
     "Sample",
     "Span",
     "Timeline",
     "TimelineRecorder",
+    "format_profile",
     "format_timeline",
     "format_trace",
 ]

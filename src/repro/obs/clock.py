@@ -1,0 +1,65 @@
+"""Injectable time sources for every obs instrument.
+
+Everything in ``repro.obs`` that timestamps (the packet tracer, the
+update timelines, the profiler) and every measurement loop in
+``repro.hw`` reads time through a :class:`Clock` instead of calling
+``time.perf_counter()`` directly.  Production code uses the process
+default (:data:`MONOTONIC`); tests inject a :class:`ManualClock` so
+durations are exact and no test sleeps or depends on scheduler jitter.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class Clock:
+    """A monotonic time source: ``now()`` returns seconds as float.
+
+    Only monotonicity matters -- the obs layer works with durations
+    and rebases absolute values on export, so the epoch is arbitrary.
+    """
+
+    def now(self) -> float:
+        raise NotImplementedError
+
+
+class MonotonicClock(Clock):
+    """The real wall clock (``time.perf_counter``)."""
+
+    def now(self) -> float:
+        return time.perf_counter()
+
+
+class ManualClock(Clock):
+    """A deterministic clock for tests.
+
+    Time only moves when told to: either explicitly via
+    :meth:`advance`, or automatically by ``tick`` seconds on every
+    ``now()`` read (handy for code that brackets work with two reads
+    and would otherwise measure zero).
+    """
+
+    def __init__(self, start: float = 0.0, tick: float = 0.0) -> None:
+        if tick < 0:
+            raise ValueError("tick must be non-negative")
+        self._now = float(start)
+        self.tick = float(tick)
+        self.reads = 0
+
+    def now(self) -> float:
+        value = self._now
+        self._now += self.tick
+        self.reads += 1
+        return value
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward; returns the new current time."""
+        if seconds < 0:
+            raise ValueError("time cannot move backwards")
+        self._now += seconds
+        return self._now
+
+
+#: Process-wide default used when no clock is injected.
+MONOTONIC = MonotonicClock()

@@ -41,9 +41,19 @@ def read_jsonl(source: PathOrFile) -> List[dict]:
 # -- traces ----------------------------------------------------------------
 
 
-def export_traces(tracer: PacketTracer, dest: PathOrFile) -> int:
-    """Dump every captured trace (oldest first) as JSON lines."""
-    return write_jsonl(dest, (t.to_dict() for t in tracer.traces))
+def export_traces(
+    tracer: PacketTracer, dest: PathOrFile, rebase: bool = True
+) -> int:
+    """Dump every captured trace (oldest first) as JSON lines.
+
+    By default every trace is **rebased**: span timestamps become
+    trace-relative (the root span starts at 0.0) and each span carries
+    an explicit ``duration``, so two exports are directly comparable
+    even across runs and machines whose monotonic epochs differ.
+    ``rebase=False`` keeps the raw clock values (spans of different
+    traces from one run then share a time axis).
+    """
+    return write_jsonl(dest, (t.to_dict(rebase=rebase) for t in tracer.traces))
 
 
 def load_traces(source: PathOrFile) -> List[PacketTrace]:

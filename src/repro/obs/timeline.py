@@ -14,10 +14,11 @@ Timelines round-trip through JSON (:meth:`Timeline.to_dict` /
 
 from __future__ import annotations
 
-import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional
+
+from repro.obs.clock import Clock, MONOTONIC
 
 
 @dataclass
@@ -55,10 +56,13 @@ class Phase:
 class Timeline:
     """Contiguous phases of one operation on a shared clock."""
 
-    def __init__(self, label: str, **attrs: object) -> None:
+    def __init__(
+        self, label: str, clock: Optional[Clock] = None, **attrs: object
+    ) -> None:
         self.label = label
         self.attrs: Dict[str, object] = dict(attrs)
-        self.start = time.perf_counter()
+        self._clock = clock or MONOTONIC
+        self.start = self._clock.now()
         self._cursor = self.start
         self.end: Optional[float] = None
         self.phases: List[Phase] = []
@@ -66,7 +70,7 @@ class Timeline:
     def phase(self, name: str, **attrs: object) -> Phase:
         """Close the phase that has been running since the previous
         boundary (or since ``start``) under ``name``."""
-        now = time.perf_counter()
+        now = self._clock.now()
         phase = Phase(name=name, start=self._cursor, end=now, attrs=dict(attrs))
         self.phases.append(phase)
         self._cursor = now
@@ -75,7 +79,7 @@ class Timeline:
     def finish(self) -> "Timeline":
         """Seal the timeline; the end is the last phase boundary, so
         phase durations sum to :attr:`total_seconds` exactly."""
-        self.end = self._cursor if self.phases else time.perf_counter()
+        self.end = self._cursor if self.phases else self._clock.now()
         return self
 
     @property
@@ -99,6 +103,7 @@ class Timeline:
     @classmethod
     def from_dict(cls, data: dict) -> "Timeline":
         timeline = cls.__new__(cls)
+        timeline._clock = MONOTONIC
         timeline.label = data["label"]
         timeline.attrs = dict(data.get("attrs", {}))
         timeline.start = data.get("start", 0.0)
@@ -111,13 +116,16 @@ class Timeline:
 class TimelineRecorder:
     """Bounded history of finished (and in-flight) timelines."""
 
-    def __init__(self, capacity: int = 64) -> None:
+    def __init__(
+        self, capacity: int = 64, clock: Optional[Clock] = None
+    ) -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
+        self._clock = clock or MONOTONIC
         self.timelines: Deque[Timeline] = deque(maxlen=capacity)
 
     def begin(self, label: str, **attrs: object) -> Timeline:
-        timeline = Timeline(label, **attrs)
+        timeline = Timeline(label, clock=self._clock, **attrs)
         self.timelines.append(timeline)
         return timeline
 

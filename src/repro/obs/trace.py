@@ -22,10 +22,11 @@ are JSON-round-trippable (:meth:`PacketTrace.to_dict` /
 from __future__ import annotations
 
 import enum
-import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional
+
+from repro.obs.clock import Clock, MONOTONIC
 
 
 class DropReason(enum.Enum):
@@ -73,14 +74,21 @@ class Span:
             found.extend(child.find(kind))
         return found
 
-    def to_dict(self) -> dict:
+    def to_dict(self, origin: float = 0.0) -> dict:
+        """JSON form; a nonzero ``origin`` rebases timestamps onto a
+        trace-relative axis (see :func:`repro.obs.export.export_traces`).
+        ``duration`` is computed from the rebased endpoints so the
+        stored triple is internally consistent bit-for-bit."""
+        start = self.start - origin
+        end = self.end - origin
         return {
             "name": self.name,
             "kind": self.kind,
-            "start": self.start,
-            "end": self.end,
+            "start": start,
+            "end": end,
+            "duration": max(0.0, end - start),
             "attrs": dict(self.attrs),
-            "children": [c.to_dict() for c in self.children],
+            "children": [c.to_dict(origin) for c in self.children],
         }
 
     @classmethod
@@ -111,7 +119,11 @@ class PacketTrace:
     def tsp_spans(self) -> List[Span]:
         return [s for s in self.root.children if s.kind == "tsp"]
 
-    def to_dict(self) -> dict:
+    def to_dict(self, rebase: bool = False) -> dict:
+        """JSON form; ``rebase=True`` shifts every span onto a
+        trace-relative time axis (root span starts at 0.0), making
+        exports comparable across runs and machines."""
+        origin = self.root.start if rebase else 0.0
         return {
             "seq": self.seq,
             "clock": self.clock,
@@ -120,7 +132,7 @@ class PacketTrace:
             "outcome": self.outcome,
             "drop_reason": self.drop_reason,
             "egress_ports": list(self.egress_ports),
-            "root": self.root.to_dict(),
+            "root": self.root.to_dict(origin),
         }
 
     @classmethod
@@ -145,10 +157,13 @@ class PacketTracer:
     switches process one packet to completion per ``inject``.
     """
 
-    def __init__(self, capacity: int = 256) -> None:
+    def __init__(
+        self, capacity: int = 256, clock: Optional[Clock] = None
+    ) -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
+        self._clock = clock or MONOTONIC
         self.traces: Deque[PacketTrace] = deque(maxlen=capacity)
         self.current: Optional[PacketTrace] = None
         self._stack: List[Span] = []
@@ -161,7 +176,7 @@ class PacketTracer:
             seq=self._seq, clock=clock, ingress_port=port, length=length
         )
         self._seq += 1
-        trace.root.start = time.perf_counter()
+        trace.root.start = self._clock.now()
         self.current = trace
         self._stack = [trace.root]
         return trace
@@ -170,7 +185,7 @@ class PacketTracer:
         trace = self.current
         if trace is None:
             return None
-        now = time.perf_counter()
+        now = self._clock.now()
         # Close anything a mid-pipeline exception left open.
         for span in self._stack[1:]:
             if not span.end:
@@ -187,12 +202,12 @@ class PacketTracer:
 
     def start_span(self, name: str, kind: str = "", **attrs: object) -> Span:
         span = self._stack[-1].child(name, kind=kind, **attrs)
-        span.start = time.perf_counter()
+        span.start = self._clock.now()
         self._stack.append(span)
         return span
 
     def end_span(self, span: Span) -> None:
-        span.end = time.perf_counter()
+        span.end = self._clock.now()
         while self._stack and self._stack[-1] is not span:
             self._stack.pop()
         if self._stack:
@@ -201,7 +216,7 @@ class PacketTracer:
     def event(self, name: str, kind: str = "event", **attrs: object) -> Span:
         """A zero-duration child of the innermost open span."""
         span = self._stack[-1].child(name, kind=kind, **attrs)
-        span.start = span.end = time.perf_counter()
+        span.start = span.end = self._clock.now()
         return span
 
     def note_drop(self, reason: DropReason) -> None:

@@ -116,6 +116,10 @@ class FixedPipeline:
         if tracer is not None and tracer.current is not None:
             self._apply_traced(table_name, packet, tracer)
             return
+        profiler = getattr(self.device, "profiler", None)
+        if profiler is not None:
+            self._apply_profiled(table_name, packet, profiler)
+            return
         table = self.tables[table_name]
         result = table.lookup(packet)
         self.stats.lookups += 1
@@ -159,3 +163,31 @@ class FixedPipeline:
             self.stats.actions_run += 1
         finally:
             tracer.end_span(stage_span)
+
+    def _apply_profiled(
+        self, table_name: str, packet: Packet, profiler
+    ) -> None:
+        """Profiled twin of :meth:`_apply`: match/execute wall-time
+        attributed to the applying table (the PISA stage analogue)."""
+        table = self.tables[table_name]
+        started = profiler.now()
+        result = table.lookup(packet)
+        profiler.add((table_name, "match", table_name), started, lookups=1)
+        profiler.note_engine(table.engine_kind)
+        self.stats.lookups += 1
+        action = self.actions.get(result.action)
+        if action is None:
+            raise KeyError(
+                f"table {table_name!r} selected unknown action "
+                f"{result.action!r}"
+            )
+        started = profiler.now()
+        action.execute(
+            packet, result.action_data, entry=result.entry,
+            device=self.device,
+        )
+        profiler.add(
+            (table_name, "execute", result.action), started,
+            ops=len(action.ops),
+        )
+        self.stats.actions_run += 1

@@ -15,7 +15,9 @@ from typing import Dict, List, Optional, Union
 
 from repro.compiler.lowering import builtin_actions, lower_action, lower_table
 from repro.net.packet import Packet
+from repro.obs.clock import Clock
 from repro.obs.metrics import MetricsRegistry, Sample
+from repro.obs.prof import Profiler
 from repro.obs.timeline import TimelineRecorder
 from repro.obs.trace import DropReason, PacketTracer
 from repro.p4.hlir import Hlir, build_hlir
@@ -64,6 +66,7 @@ class PisaSwitch:
         self.clock = 0
         self.drop_reasons: Dict[str, int] = {}
         self.tracer: Optional[PacketTracer] = None
+        self.profiler: Optional[Profiler] = None
         self.timelines = TimelineRecorder()
         self.metrics = MetricsRegistry()
         self._register_metrics()
@@ -114,6 +117,16 @@ class PisaSwitch:
     def disable_tracing(self) -> Optional[PacketTracer]:
         tracer, self.tracer = self.tracer, None
         return tracer
+
+    def enable_profiling(self, clock: Optional[Clock] = None) -> Profiler:
+        """Attach (and return) the wall-time profiler; idempotent."""
+        if self.profiler is None:
+            self.profiler = Profiler(clock=clock)
+        return self.profiler
+
+    def disable_profiling(self) -> Optional[Profiler]:
+        profiler, self.profiler = self.profiler, None
+        return profiler
 
     # -- configuration ----------------------------------------------------
 
@@ -187,6 +200,9 @@ class PisaSwitch:
             raise RuntimeError("switch has no design loaded")
         self.packets_in += 1
         self.clock += 1
+        profiler = self.profiler
+        if profiler is not None:
+            profiler.packets += 1
         tracer = self.tracer
         if tracer is not None:
             tracer.begin(clock=self.clock, port=port, length=len(data))
@@ -200,6 +216,10 @@ class PisaSwitch:
             parse_span.attrs["parsed"] = self.parser.parse(packet)
             parse_span.attrs["headers"] = [h.name for h in packet.headers]
             tracer.end_span(parse_span)
+        elif profiler is not None:
+            started = profiler.now()
+            parsed = self.parser.parse(packet)
+            profiler.add(("parser", "parse"), started, headers=parsed)
         else:
             self.parser.parse(packet)
         self.pipeline.run_ingress(packet)
@@ -219,9 +239,15 @@ class PisaSwitch:
                 tracer.end("drop")
             return None
         self.packets_out += 1
+        if profiler is not None:
+            started = profiler.now()
+            emitted = self.deparser.deparse(packet)
+            profiler.add(("deparser", "deparse"), started, bytes=len(emitted))
+        else:
+            emitted = self.deparser.deparse(packet)
         out = PortOut(
             port=int(packet.metadata.get("egress_spec", 0)),  # type: ignore[arg-type]
-            data=self.deparser.deparse(packet),
+            data=emitted,
             to_cpu=bool(packet.metadata.get("to_cpu")),
         )
         if out.to_cpu:

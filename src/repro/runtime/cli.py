@@ -16,6 +16,15 @@ back into human-readable form::
     ipbm-ctl stats stats.json            # snapshot/diff -> text
     ipbm-ctl trace traces.jsonl          # packet trace trees
     ipbm-ctl timeline timelines.jsonl    # update phase breakdowns
+
+Two performance subcommands run scenarios live: ``profile`` replays a
+workload under the profiler and renders the per-stage cost table (plus
+an optional folded-stack file for flamegraph tooling), and ``bench``
+is a shortcut to the benchmark harness (``python -m
+repro.bench.harness``)::
+
+    ipbm-ctl profile --switch ipsa --case C1 --packets 500
+    ipbm-ctl bench --smoke --out BENCH_ci.json
 """
 
 from __future__ import annotations
@@ -29,7 +38,7 @@ from repro.compiler.merge import group_key
 from repro.compiler.rp4bc import TargetSpec
 from repro.runtime.controller import Controller
 
-OBS_COMMANDS = ("stats", "trace", "timeline")
+OBS_COMMANDS = ("stats", "trace", "timeline", "profile", "bench")
 
 
 def _load_snippets(pairs: List[str]) -> Dict[str, str]:
@@ -234,6 +243,13 @@ def _write_exports(controller: Controller, args, out, captured_tracer=None) -> N
 
 
 def _obs_main(argv: List[str]) -> int:
+    if argv and argv[0] == "bench":
+        # The harness owns its whole flag surface; forward verbatim.
+        from repro.bench.harness import main as bench_main
+
+        return bench_main(argv[1:])
+    if argv and argv[0] == "profile":
+        return _profile_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="ipbm-ctl", description="render exported observability data"
     )
@@ -303,3 +319,50 @@ def _obs_main(argv: List[str]) -> int:
         return 0
 
     return 2
+
+
+def _profile_main(argv: List[str]) -> int:
+    """``ipbm-ctl profile``: run one scenario under the profiler."""
+    from repro.bench.scenarios import CASES, SWITCHES, case_trace, make_switch
+    from repro.obs.prof import format_profile
+
+    parser = argparse.ArgumentParser(
+        prog="ipbm-ctl profile",
+        description="replay a workload under the per-stage profiler",
+    )
+    parser.add_argument("--switch", choices=SWITCHES, default="ipsa")
+    parser.add_argument("--case", choices=CASES, default="base")
+    parser.add_argument("--packets", type=int, default=300)
+    parser.add_argument("--seed", type=int, default=23)
+    parser.add_argument(
+        "--top", type=int, default=0,
+        help="show only the N most expensive rows (0 = all)",
+    )
+    parser.add_argument(
+        "--folded", metavar="PATH",
+        help="also write folded stacks (flamegraph.pl-compatible)",
+    )
+    args = parser.parse_args(argv)
+    out = sys.stdout
+
+    switch = make_switch(args.switch, args.case)
+    trace = case_trace(args.case, args.packets, seed=args.seed)
+    profiler = switch.enable_profiling()
+    forwarded = dropped = 0
+    for data, port in trace:
+        if switch.inject(data, port) is None:
+            dropped += 1
+        else:
+            forwarded += 1
+    switch.disable_profiling()
+
+    out.write(
+        f"{args.switch}/{args.case}: {len(trace)} packets "
+        f"({forwarded} forwarded, {dropped} dropped)\n"
+    )
+    out.write(format_profile(profiler, top=args.top) + "\n")
+    if args.folded:
+        with open(args.folded, "w") as fh:
+            fh.write("\n".join(profiler.folded(root=args.switch)) + "\n")
+        out.write(f"wrote folded stacks to {args.folded}\n")
+    return 0

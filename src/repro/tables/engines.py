@@ -16,6 +16,8 @@ from repro.tables.actions import flow_hash
 class ExactEngine:
     """All key fields matched exactly: a plain hash map."""
 
+    kind = "exact"
+
     def __init__(self) -> None:
         self._entries: Dict[Tuple[int, ...], object] = {}
 
@@ -45,6 +47,8 @@ class LpmEngine:
     scans installed prefix lengths from longest to shortest; within a
     length the match is a hash lookup, so cost is O(#distinct lengths).
     """
+
+    kind = "lpm"
 
     def __init__(self, exact_count: int, lpm_width: int) -> None:
         self.exact_count = exact_count
@@ -103,6 +107,8 @@ class LpmEngine:
 class TernaryEngine:
     """TCAM model: value/mask per field, highest priority wins."""
 
+    kind = "ternary"
+
     def __init__(self, field_count: int) -> None:
         self.field_count = field_count
         # (values, masks, priority, entry), kept sorted by priority desc.
@@ -154,6 +160,8 @@ class HashEngine:
     count, so a fixed flow always picks the same member while distinct
     flows spread across members.
     """
+
+    kind = "hash"
 
     def __init__(self) -> None:
         self._members: List[object] = []

@@ -101,6 +101,11 @@ class Table:
         self.miss_count = 0
         self._engine = self._pick_engine()
 
+    @property
+    def engine_kind(self) -> str:
+        """Which match engine backs this table (exact/lpm/ternary/hash)."""
+        return self._engine.kind
+
     # -- engine selection ------------------------------------------------
 
     def _pick_engine(self):

@@ -1,0 +1,258 @@
+"""The continuous bench harness: scenarios, schema, comparison, CLI."""
+
+import copy
+import json
+
+import pytest
+
+from repro.bench.harness import main as harness_main
+from repro.bench.harness import measure_cell, run_matrix
+from repro.bench.scenarios import (
+    CASES,
+    SWITCHES,
+    case_trace,
+    make_ipsa,
+    make_pisa,
+    make_switch,
+)
+from repro.bench.schema import (
+    SCHEMA_VERSION,
+    compare_documents,
+    format_comparison,
+    validate_bench,
+)
+from repro.obs.clock import ManualClock
+from repro.runtime.cli import main as ipbm_ctl_main
+
+
+class TestScenarios:
+    def test_unknown_arch_and_case_rejected(self):
+        with pytest.raises(ValueError):
+            make_switch("tofino")
+        with pytest.raises(ValueError):
+            case_trace("C9", 10)
+
+    def test_ipsa_case_has_snippet_tables(self):
+        switch = make_ipsa("C1")
+        assert "ecmp_ipv4" in switch.tables
+
+    def test_pisa_case_loads_full_variant(self):
+        switch = make_pisa("C2")
+        assert "local_sid" in switch.tables  # the SRv6 variant's table
+
+    def test_every_cell_forwards_traffic(self):
+        # The matrix is only a benchmark if its packets take the real
+        # fast path; a cell that drops everything measures nothing.
+        for case in CASES:
+            trace = case_trace(case, 12)
+            for arch in SWITCHES:
+                switch = make_switch(arch, case)
+                forwarded = sum(
+                    1 for data, port in trace
+                    if switch.inject(data, port) is not None
+                )
+                assert forwarded > 0, f"{arch}/{case} forwarded nothing"
+
+
+@pytest.fixture(scope="module")
+def smoke_doc():
+    return run_matrix(mode="smoke", sizes=[20])
+
+
+class TestHarness:
+    def test_measure_cell_deterministic_with_manual_clock(self):
+        clock = ManualClock(tick=1.0)
+        result = measure_cell("pisa", "base", 10, clock=clock)
+        # Each timed window is exactly one 1s tick wide.
+        assert result["seconds"] == 1.0
+        assert result["pps"] == float(result["packets"])
+        assert result["profile"]["overhead_pct"] == 0.0
+
+    def test_smoke_doc_is_schema_valid(self, smoke_doc):
+        assert validate_bench(smoke_doc) == []
+        assert smoke_doc["schema_version"] == SCHEMA_VERSION
+        assert smoke_doc["mode"] == "smoke"
+
+    def test_smoke_doc_covers_full_matrix(self, smoke_doc):
+        cells = {(r["switch"], r["case"]) for r in smoke_doc["results"]}
+        assert cells == {(s, c) for s in SWITCHES for c in CASES}
+
+    def test_results_carry_profile_shares(self, smoke_doc):
+        for result in smoke_doc["results"]:
+            shares = result["profile"]["phase_shares"]
+            assert sum(shares.values()) == pytest.approx(1.0)
+            assert result["profile"]["engine_lookups"]
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError):
+            run_matrix(mode="quick")
+
+
+class TestValidation:
+    def test_rejects_non_dict(self):
+        assert validate_bench([]) != []
+
+    def test_missing_key_reported(self, smoke_doc):
+        doc = copy.deepcopy(smoke_doc)
+        del doc["results"][0]["pps"]
+        assert any("pps" in p for p in validate_bench(doc))
+
+    def test_packet_conservation_checked(self, smoke_doc):
+        doc = copy.deepcopy(smoke_doc)
+        doc["results"][0]["dropped"] += 1
+        assert any("forwarded+dropped" in p for p in validate_bench(doc))
+
+    def test_share_sum_checked(self, smoke_doc):
+        doc = copy.deepcopy(smoke_doc)
+        shares = doc["results"][0]["profile"]["phase_shares"]
+        shares[next(iter(shares))] += 0.5
+        assert any("sum" in p for p in validate_bench(doc))
+
+    def test_switch_coverage_vs_matrix(self, smoke_doc):
+        doc = copy.deepcopy(smoke_doc)
+        doc["results"] = [
+            r for r in doc["results"] if r["switch"] == "ipsa"
+        ]
+        assert any("matrix.switches" in p for p in validate_bench(doc))
+
+
+class TestComparison:
+    def test_identical_documents_ok(self, smoke_doc):
+        comparison = compare_documents(smoke_doc, smoke_doc)
+        assert comparison.ok
+        assert "no regressions" in format_comparison(comparison)
+
+    def test_throughput_regression_detected(self, smoke_doc):
+        worse = copy.deepcopy(smoke_doc)
+        for result in worse["results"]:
+            result["pps"] *= 0.5
+            result["ns_per_pkt"] *= 2.0
+        comparison = compare_documents(smoke_doc, worse)
+        assert not comparison.ok
+        metrics = {d.metric for d in comparison.regressions}
+        assert metrics == {"pps", "ns_per_pkt"}
+        assert "REGRESSED" in format_comparison(comparison)
+
+    def test_improvement_is_not_a_regression(self, smoke_doc):
+        better = copy.deepcopy(smoke_doc)
+        for result in better["results"]:
+            result["pps"] *= 2.0
+            result["ns_per_pkt"] *= 0.5
+        assert compare_documents(smoke_doc, better).ok
+
+    def test_overhead_regression_detected(self, smoke_doc):
+        worse = copy.deepcopy(smoke_doc)
+        for result in worse["results"]:
+            result["profile"]["overhead_pct"] += 100.0
+        comparison = compare_documents(smoke_doc, worse)
+        assert {d.metric for d in comparison.regressions} == {
+            "overhead_pct"
+        }
+
+    def test_missing_cell_reported(self, smoke_doc):
+        partial = copy.deepcopy(smoke_doc)
+        partial["results"] = [
+            r for r in partial["results"] if r["case"] != "C3"
+        ]
+        partial["matrix"]["cases"] = ["base", "C1", "C2"]
+        comparison = compare_documents(smoke_doc, partial)
+        assert comparison.missing_cells == ["ipsa/C3", "pisa/C3"]
+
+    def test_largest_trace_wins_per_cell(self, smoke_doc):
+        doubled = copy.deepcopy(smoke_doc)
+        for result in list(doubled["results"]):
+            bigger = copy.deepcopy(result)
+            bigger["packets"] *= 10
+            bigger["pps"] = 1.0  # the cell value comparison should use
+            doubled["results"].append(bigger)
+        comparison = compare_documents(smoke_doc, doubled)
+        assert all(
+            d.new == 1.0 for d in comparison.deltas if d.metric == "pps"
+        )
+
+
+class TestHarnessCli:
+    def test_smoke_run_writes_valid_file(self, tmp_path, capsys):
+        out_path = tmp_path / "BENCH_test.json"
+        code = harness_main(
+            ["--smoke", "--sizes", "20", "--out", str(out_path)]
+        )
+        assert code == 0
+        doc = json.loads(out_path.read_text())
+        assert validate_bench(doc) == []
+        assert "wrote 8 results" in capsys.readouterr().out
+
+    def test_validate_and_compare_flow(self, tmp_path, capsys):
+        out_path = tmp_path / "BENCH_a.json"
+        harness_main(
+            ["--smoke", "--sizes", "20", "--quiet", "--out", str(out_path)]
+        )
+        capsys.readouterr()
+        assert harness_main(["--validate", str(out_path)]) == 0
+        assert "valid repro-bench" in capsys.readouterr().out
+        assert (
+            harness_main(["--compare", str(out_path), str(out_path)]) == 0
+        )
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_compare_regression_exit_codes(self, tmp_path, capsys):
+        base = tmp_path / "old.json"
+        harness_main(
+            ["--smoke", "--sizes", "20", "--quiet", "--out", str(base)]
+        )
+        worse_doc = json.loads(base.read_text())
+        for result in worse_doc["results"]:
+            result["pps"] *= 0.1
+            result["ns_per_pkt"] *= 10.0
+        worse = tmp_path / "new.json"
+        worse.write_text(json.dumps(worse_doc))
+        capsys.readouterr()
+        assert harness_main(["--compare", str(base), str(worse)]) == 1
+        assert (
+            harness_main(
+                ["--compare", str(base), str(worse), "--report-only"]
+            )
+            == 0
+        )
+
+    def test_validate_rejects_garbage(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"kind": "something-else"}')
+        assert harness_main(["--validate", str(bad)]) == 1
+        assert "INVALID" in capsys.readouterr().out
+
+
+class TestIpbmCtlIntegration:
+    def test_profile_subcommand(self, tmp_path, capsys):
+        folded = tmp_path / "stacks.folded"
+        code = ipbm_ctl_main(
+            [
+                "profile",
+                "--switch", "ipsa",
+                "--case", "base",
+                "--packets", "20",
+                "--folded", str(folded),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ipsa/base: 20 packets" in out
+        assert "phases:" in out
+        lines = folded.read_text().strip().splitlines()
+        assert lines and all(
+            line.startswith("ipsa;") and line.rsplit(" ", 1)[1].isdigit()
+            for line in lines
+        )
+
+    def test_bench_subcommand_forwards_to_harness(self, tmp_path, capsys):
+        out_path = tmp_path / "BENCH_cli.json"
+        code = ipbm_ctl_main(
+            [
+                "bench", "--smoke", "--quiet",
+                "--sizes", "20",
+                "--cases", "base",
+                "--out", str(out_path),
+            ]
+        )
+        assert code == 0
+        assert validate_bench(json.loads(out_path.read_text())) == []

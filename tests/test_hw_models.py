@@ -130,3 +130,26 @@ class TestThroughput:
     def test_software_pps_measured(self, reports):
         pisa, ipsa = reports
         assert pisa.software_pps > 0 and ipsa.software_pps > 0
+
+    def test_software_pps_deterministic_with_manual_clock(self, base_design):
+        from repro.obs.clock import ManualClock
+
+        ipsa = IpsaSwitch()
+        ipsa.load_config(base_design.config)
+        populate_base_tables(ipsa.tables)
+        pisa = PisaSwitch(n_stages=8)
+        pisa.load(base_p4_source())
+        populate_base_tables(pisa.tables)
+        trace = mixed_l3_trace(50)
+        # One tick per clock read: the measured window is exactly 1s,
+        # so pps equals the packet count -- no scheduler jitter at all.
+        ipsa_report = ipsa_throughput(
+            ipsa, base_design, trace, clock=ManualClock(tick=1.0)
+        )
+        pisa_report = pisa_throughput(pisa, trace, clock=ManualClock(tick=1.0))
+        assert ipsa_report.software_pps == 50.0
+        assert pisa_report.software_pps == 50.0
+        # The cycle model itself never depends on the wall clock.
+        assert ipsa_report.model_mpps == pytest.approx(
+            ipsa_throughput(ipsa, base_design, trace).model_mpps
+        )

@@ -1,0 +1,82 @@
+"""The injectable clock and the deterministic obs timing it enables."""
+
+import pytest
+
+from repro.obs.clock import MONOTONIC, ManualClock, MonotonicClock
+from repro.obs.timeline import Timeline, TimelineRecorder
+from repro.obs.trace import PacketTracer
+
+
+class TestManualClock:
+    def test_time_only_moves_when_told(self):
+        clock = ManualClock(start=5.0)
+        assert clock.now() == 5.0
+        assert clock.now() == 5.0
+        clock.advance(2.5)
+        assert clock.now() == 7.5
+
+    def test_tick_advances_per_read(self):
+        clock = ManualClock(tick=0.001)
+        assert clock.now() == 0.0
+        assert clock.now() == pytest.approx(0.001)
+        assert clock.now() == pytest.approx(0.002)
+        assert clock.reads == 3
+
+    def test_rejects_backwards_motion(self):
+        clock = ManualClock()
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+        with pytest.raises(ValueError):
+            ManualClock(tick=-0.5)
+
+    def test_monotonic_clock_moves_forward(self):
+        clock = MonotonicClock()
+        a = clock.now()
+        b = clock.now()
+        assert b >= a
+        assert MONOTONIC.now() >= 0
+
+
+class TestDeterministicTracer:
+    def test_span_durations_are_exact(self):
+        clock = ManualClock(tick=1.0)
+        tracer = PacketTracer(clock=clock)
+        tracer.begin(clock=1, port=0, length=64)
+        span = tracer.start_span("parse", kind="parse")
+        tracer.end_span(span)
+        tracer.end("emit")
+        (trace,) = tracer.traces
+        # Every timestamp is one deterministic tick apart.
+        assert span.duration == 1.0
+        assert trace.root.duration == 3.0
+
+    def test_rebase_yields_zero_origin(self):
+        clock = ManualClock(start=100.0, tick=1.0)
+        tracer = PacketTracer(clock=clock)
+        tracer.begin(clock=1, port=0, length=64)
+        tracer.end("emit")
+        data = tracer.traces[0].to_dict(rebase=True)
+        assert data["root"]["start"] == 0.0
+        assert data["root"]["duration"] == 1.0
+
+
+class TestDeterministicTimeline:
+    def test_phase_durations_are_exact(self):
+        clock = ManualClock()
+        timeline = Timeline("update", clock=clock)
+        clock.advance(0.25)
+        timeline.phase("compile")
+        clock.advance(0.75)
+        timeline.phase("load")
+        timeline.finish()
+        assert timeline.durations() == {"compile": 0.25, "load": 0.75}
+        assert timeline.total_seconds == 1.0
+
+    def test_recorder_injects_clock_into_timelines(self):
+        clock = ManualClock()
+        recorder = TimelineRecorder(clock=clock)
+        timeline = recorder.begin("op")
+        clock.advance(2.0)
+        timeline.phase("work")
+        timeline.finish()
+        assert recorder.latest("op").total_seconds == 2.0

@@ -64,9 +64,30 @@ class TestTraceExport:
         assert [t.outcome for t in loaded] == ["emit", "drop"]
         assert loaded[0].egress_ports == [3]
         assert loaded[1].drop_reason == "ingress_action"
+        # Exports are rebased to a trace-relative origin, so loaded
+        # traces compare equal to the rebased view of the live ones.
         assert [t.to_dict() for t in loaded] == [
-            t.to_dict() for t in switch.tracer.traces
+            t.to_dict(rebase=True) for t in switch.tracer.traces
         ]
+        for trace in loaded:
+            assert trace.root.start == 0.0
+            stack = [trace.root]
+            while stack:
+                span = stack.pop()
+                assert span.to_dict()["duration"] >= 0.0
+                stack.extend(span.children)
+
+    def test_export_without_rebase_keeps_raw_clock(
+        self, controller, tmp_path
+    ):
+        switch = controller.switch
+        switch.enable_tracing()
+        switch.inject(ipv4_packet("10.1.0.1", "10.2.0.5"), port=0)
+        path = str(tmp_path / "raw.jsonl")
+        export_traces(switch.tracer, path, rebase=False)
+        raw = load_traces(path)[0]
+        live = switch.tracer.traces[0]
+        assert raw.root.start == pytest.approx(live.root.start)
 
     def test_timeline_round_trip(self, controller, tmp_path):
         controller.run_script(ecmp_load_script(), {"ecmp.rp4": ecmp_rp4_source()})

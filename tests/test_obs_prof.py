@@ -1,0 +1,195 @@
+"""The per-stage profiler: attribution, aggregation, live switches."""
+
+import pytest
+
+from repro.bench.scenarios import case_trace, make_ipsa, make_pisa
+from repro.obs.clock import ManualClock
+from repro.obs.prof import PHASES, Profiler, format_profile
+from repro.programs import base_rp4_source, populate_base_tables
+from repro.runtime import Controller
+from repro.workloads import ipv4_packet
+
+
+class TestProfilerCore:
+    def test_add_accumulates_time_and_work(self):
+        clock = ManualClock(tick=0.5)
+        profiler = Profiler(clock=clock)
+        started = profiler.now()
+        profiler.add(("tsp0", "match", "t"), started, lookups=1)
+        started = profiler.now()
+        profiler.add(("tsp0", "match", "t"), started, lookups=1)
+        record = profiler.records[("tsp0", "match", "t")]
+        assert record.calls == 2
+        assert record.seconds == 1.0  # two regions, one 0.5s tick each
+        assert record.work == {"lookups": 2}
+
+    def test_count_is_untimed(self):
+        profiler = Profiler(clock=ManualClock(tick=1.0))
+        profiler.count(("tm", "enqueue"), enqueues=3)
+        record = profiler.records[("tm", "enqueue")]
+        assert record.seconds == 0.0
+        assert record.work == {"enqueues": 3}
+
+    def test_phase_is_second_path_element(self):
+        profiler = Profiler(clock=ManualClock(tick=1.0))
+        profiler.add(("tsp3", "match", "ipv4_lpm"), profiler.now())
+        profiler.add(("parser", "parse"), profiler.now())
+        phases = profiler.phase_seconds()
+        assert set(phases) == {"match", "parse"}
+        for phase in phases:
+            assert phase in PHASES
+
+    def test_phase_shares_sum_to_one(self):
+        clock = ManualClock()
+        profiler = Profiler(clock=clock)
+        started = profiler.now()
+        clock.advance(3.0)
+        profiler.add(("tsp0", "parse"), started)
+        started = profiler.now()
+        clock.advance(1.0)
+        profiler.add(("tsp0", "match", "t"), started)
+        shares = profiler.phase_shares()
+        assert shares == {"parse": 0.75, "match": 0.25}
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_engine_attribution(self):
+        profiler = Profiler()
+        profiler.note_engine("lpm")
+        profiler.note_engine("lpm")
+        profiler.note_engine("exact")
+        assert profiler.engine_lookups == {"lpm": 2, "exact": 1}
+
+    def test_reset(self):
+        profiler = Profiler(clock=ManualClock(tick=1.0))
+        profiler.add(("tsp0", "parse"), profiler.now())
+        profiler.packets = 5
+        profiler.reset()
+        assert not profiler.records
+        assert profiler.packets == 0
+
+    def test_folded_microsecond_weights(self):
+        clock = ManualClock()
+        profiler = Profiler(clock=clock)
+        started = profiler.now()
+        clock.advance(0.000127)
+        profiler.add(("tsp3", "match", "ipv4_lpm"), started)
+        profiler.count(("tm", "enqueue"), enqueues=2)
+        lines = profiler.folded(root="ipsa")
+        assert "ipsa;tsp3;match;ipv4_lpm 127" in lines
+        # Counter-only paths fall back to call-count weight.
+        assert "ipsa;tm;enqueue 1" in lines
+
+    def test_to_dict_shape(self):
+        profiler = Profiler(clock=ManualClock(tick=1.0))
+        profiler.add(("tsp0", "parse"), profiler.now(), headers=2)
+        profiler.packets = 1
+        data = profiler.to_dict()
+        assert data["packets"] == 1
+        assert data["work"] == {"headers": 2}
+        assert data["records"][0]["path"] == ["tsp0", "parse"]
+
+    def test_format_profile_renders_table(self):
+        profiler = Profiler(clock=ManualClock(tick=0.001))
+        profiler.add(("tsp0", "match", "t"), profiler.now(), lookups=1)
+        profiler.note_engine("exact")
+        profiler.packets = 1
+        text = format_profile(profiler)
+        assert "tsp0;match;t" in text
+        assert "lookups=1" in text
+        assert "phases: match=100.0%" in text
+        assert "engines: exact=1" in text
+
+
+class TestIpsaProfiling:
+    @pytest.fixture
+    def switch(self):
+        return make_ipsa("base")
+
+    def test_off_by_default(self, switch):
+        switch.inject(ipv4_packet("10.1.0.1", "10.2.0.5"), port=0)
+        assert switch.profiler is None
+
+    def test_attributes_every_phase(self, switch):
+        profiler = switch.enable_profiling()
+        out = switch.inject(ipv4_packet("10.1.0.1", "10.2.0.5"), port=0)
+        assert out is not None and out.port == 3
+        phases = set(profiler.phase_seconds())
+        assert {"parse", "match", "execute", "enqueue", "dequeue"} <= phases
+        assert profiler.packets == 1
+        assert profiler.work_totals()["lookups"] >= 1
+
+    def test_profiled_run_forwards_identically(self, switch):
+        data = ipv4_packet("10.1.0.1", "10.2.0.5")
+        plain = switch.inject(data, port=0)
+        switch.enable_profiling()
+        profiled = switch.inject(data, port=0)
+        assert profiled.port == plain.port
+        assert profiled.data == plain.data
+
+    def test_tracer_takes_priority_over_profiler(self, switch):
+        switch.enable_tracing()
+        profiler = switch.enable_profiling()
+        switch.inject(ipv4_packet("10.1.0.1", "10.2.0.5"), port=0)
+        # The traced twin ran; per-TSP profile records stay empty.
+        assert len(switch.tracer.traces) == 1
+        assert not any(p[0].startswith("tsp") for p in profiler.records)
+
+    def test_disable_returns_and_detaches(self, switch):
+        profiler = switch.enable_profiling()
+        assert switch.disable_profiling() is profiler
+        assert switch.profiler is None
+
+    def test_engine_kinds_observed(self):
+        switch = make_ipsa("C1")
+        profiler = switch.enable_profiling()
+        for data, port in case_trace("C1", 20):
+            switch.inject(data, port)
+        assert "lpm" in profiler.engine_lookups
+        assert "hash" in profiler.engine_lookups  # the ECMP selector
+
+
+class TestPisaProfiling:
+    @pytest.fixture
+    def switch(self):
+        return make_pisa("base")
+
+    def test_attributes_parse_match_execute_deparse(self, switch):
+        profiler = switch.enable_profiling()
+        out = switch.inject(ipv4_packet("10.1.0.1", "10.2.0.5"), port=0)
+        assert out is not None
+        phases = set(profiler.phase_seconds())
+        assert {"parse", "match", "execute", "deparse"} <= phases
+        assert ("parser", "parse") in profiler.records
+        assert ("deparser", "deparse") in profiler.records
+
+    def test_profiled_run_forwards_identically(self, switch):
+        data = ipv4_packet("10.1.0.1", "10.2.0.5")
+        plain = switch.inject(data, port=0)
+        switch.enable_profiling()
+        profiled = switch.inject(data, port=0)
+        assert profiled.port == plain.port
+        assert profiled.data == plain.data
+
+
+class TestProfilerSurvivesUpdates:
+    def test_profile_spans_an_in_situ_update(self):
+        from repro.programs import ecmp_load_script, ecmp_rp4_source
+        from repro.programs import populate_ecmp_tables
+
+        controller = Controller()
+        controller.load_base(base_rp4_source())
+        populate_base_tables(controller.switch.tables)
+        profiler = controller.switch.enable_profiling()
+        trace = case_trace("base", 10)
+        for data, port in trace:
+            controller.switch.inject(data, port)
+        controller.run_script(
+            ecmp_load_script(), {"ecmp.rp4": ecmp_rp4_source()}
+        )
+        populate_ecmp_tables(controller.switch.tables)
+        for data, port in case_trace("C1", 10):
+            controller.switch.inject(data, port)
+        # Same profiler object, both before- and after-update packets.
+        assert controller.switch.profiler is profiler
+        assert profiler.packets == 20
+        assert any("ecmp" in ";".join(p) for p in profiler.records)
