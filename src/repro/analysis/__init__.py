@@ -1,0 +1,29 @@
+"""repro.analysis: the rp4lint whole-program static analysis framework.
+
+Runtime programmability removes the monolithic compile-and-verify
+step PISA programs enjoy, so unsound templates and unsafe update
+plans would otherwise hit a live pipeline.  This package answers the
+paper's two pre-deployment questions statically -- "is this header
+parseable before stage N reads it?" and "is this update plan safe to
+apply while traffic flows?" -- plus dead-code and memory-feasibility
+checks, all reported through a diagnostics engine with stable rule
+IDs (``RP4Lxxx``) and text/JSON/SARIF emitters.
+
+Entry points:
+
+* :func:`repro.analysis.linter.lint_design` -- families 1-3 over a
+  compiled design (the ``rp4bc`` pre-compile gate).
+* :func:`repro.analysis.update_safety.lint_update` -- family 4 over a
+  proposed update plan (the controller pre-apply gate).
+* ``rp4lint`` / ``ipbm-ctl lint`` -- the CLI over sources and configs.
+"""
+
+from repro.analysis.diag import (
+    RULES,
+    Diagnostic,
+    Rule,
+    Severity,
+    Span,
+)
+
+__all__ = ["RULES", "Diagnostic", "Rule", "Severity", "Span"]

@@ -1,0 +1,174 @@
+"""``rp4lint``: the static-analysis CLI (also ``ipbm-ctl lint``).
+
+Lints ``.rp4`` source files and device-config ``.json`` documents;
+``--shipped`` runs the whole built-in program suite -- the base
+design, every use-case snippet, and each base+script composition --
+through the same gates the compiler and controller use.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.analysis.diag import Diagnostic, dumps, errors, promote_warnings
+from repro.analysis.linter import lint_config, lint_source
+
+
+def _shipped_diagnostics(target) -> List[Diagnostic]:
+    """Lint every shipped program plus each composed update."""
+    from repro.analysis.linter import lint_design
+    from repro.analysis.update_safety import lint_update
+    from repro.compiler.rp4bc import compile_base, compile_update
+    from repro.programs import (
+        acl_load_script,
+        acl_rp4_source,
+        base_rp4_source,
+        ecmp_load_script,
+        ecmp_rp4_source,
+        flowprobe_load_script,
+        flowprobe_rp4_source,
+        hhsketch_load_script,
+        hhsketch_rp4_source,
+        int_load_script,
+        int_rp4_source,
+        qos_load_script,
+        qos_rp4_source,
+        srv6_load_script,
+        srv6_rp4_source,
+    )
+
+    snippets = {
+        "acl.rp4": (acl_rp4_source(), acl_load_script()),
+        "ecmp.rp4": (ecmp_rp4_source(), ecmp_load_script()),
+        "flowprobe.rp4": (flowprobe_rp4_source(), flowprobe_load_script()),
+        "hhsketch.rp4": (hhsketch_rp4_source(), hhsketch_load_script()),
+        "int.rp4": (int_rp4_source(), int_load_script()),
+        "qos.rp4": (qos_rp4_source(), qos_load_script()),
+        "srv6.rp4": (srv6_rp4_source(), srv6_load_script()),
+    }
+
+    base_source = base_rp4_source()
+    diags = lint_source(base_source, path="base_l2l3.rp4", target=target)
+    for name, (source, _script) in sorted(snippets.items()):
+        diags.extend(lint_source(source, path=name, target=target))
+    # Composed: apply each load script to a freshly compiled base and
+    # run the controller's pre-apply gate on the result.
+    for name, (source, script) in sorted(snippets.items()):
+        design = compile_base(base_source, target, lint="off")
+        sources = {key: source for key in _script_source_names(script)}
+        plan = compile_update(design, script, sources)
+        composed = f"base_l2l3+{name}"
+        diags.extend(lint_update(design, plan, path=composed))
+        diags.extend(lint_design(plan.design, path=composed))
+    return diags
+
+
+def _script_source_names(script: str) -> List[str]:
+    """Snippet file names a load script references."""
+    names = []
+    for line in script.splitlines():
+        parts = line.split()
+        if parts and parts[0] == "load" and len(parts) > 1:
+            names.append(parts[1])
+    return names
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="rp4lint",
+        description=(
+            "Whole-program static analysis for rP4 sources and device "
+            "configs: parse-soundness, dead code, memory feasibility."
+        ),
+    )
+    parser.add_argument(
+        "files",
+        nargs="*",
+        help=".rp4 sources and/or config .json documents to lint",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="promote warnings to errors (info findings stay info)",
+    )
+    parser.add_argument(
+        "--tsps", type=int, default=8, help="TSP count of the target device"
+    )
+    parser.add_argument(
+        "--snippet",
+        action="store_true",
+        help="treat sources as incremental snippets (header-local rules only)",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="force whole-program mode even without entry declarations",
+    )
+    parser.add_argument(
+        "--shipped",
+        action="store_true",
+        help="lint the built-in programs and their composed updates",
+    )
+    parser.add_argument(
+        "-o", "--output", help="write the report to a file instead of stdout"
+    )
+    args = parser.parse_args(argv)
+    if args.snippet and args.full:
+        parser.error("--snippet and --full are mutually exclusive")
+    if not args.files and not args.shipped:
+        parser.error("nothing to lint: pass files or --shipped")
+
+    from repro.compiler.rp4bc import TargetSpec
+
+    target = TargetSpec(n_tsps=args.tsps)
+    mode = "snippet" if args.snippet else "full" if args.full else "auto"
+
+    diags: List[Diagnostic] = []
+    for path in args.files:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError as exc:
+            print(f"rp4lint: cannot read {path}: {exc}", file=sys.stderr)
+            return 2
+        if path.endswith(".json"):
+            try:
+                config = json.loads(text)
+            except json.JSONDecodeError as exc:
+                print(f"rp4lint: {path}: invalid JSON: {exc}", file=sys.stderr)
+                return 2
+            diags.extend(lint_config(config, n_tsps=args.tsps, path=path))
+        else:
+            diags.extend(lint_source(text, path=path, target=target, mode=mode))
+    if args.shipped:
+        diags.extend(_shipped_diagnostics(target))
+
+    if args.strict:
+        diags = promote_warnings(diags)
+    diags.sort(
+        key=lambda d: (
+            d.span.file if d.span else "",
+            d.span.line if d.span else 0,
+            d.rule,
+        )
+    )
+    report = dumps(diags, args.format)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+    else:
+        print(report)
+    return 1 if errors(diags) else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,164 @@
+"""Dead-code passes (rule family RP4L2xx).
+
+On a runtime-programmable device dead code is not just noise: an
+unreachable stage still occupies a TSP template slot and its tables
+still demand pool blocks, so dead constructs shrink the headroom the
+whole in-situ update story depends on.
+
+* RP4L201 -- a stage no packet path from either pipeline entry reaches;
+* RP4L202 -- a table no stage's matcher applies;
+* RP4L203 -- an action no executor maps and no table declares;
+* RP4L204 -- a table-declared action absent from every applying
+  stage's executor (entries bound to it could never execute);
+* RP4L205 -- a matcher arm after the unconditional arm of the chain.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from repro.analysis.diag import Diagnostic, Span, make
+from repro.compiler.stage_graph import StageGraph
+from repro.rp4.ast import Rp4Program
+from repro.rp4.semantic import BUILTIN_ACTIONS
+
+
+def _span(decl, path: str) -> Optional[Span]:
+    line = getattr(decl, "line", 0)
+    if not line:
+        return Span(file=path) if path else None
+    return Span(file=path, line=line, column=getattr(decl, "column", 0))
+
+
+def check_unreachable_stages(
+    program: Rp4Program, graph: StageGraph, path: str = "<rp4>"
+) -> List[Diagnostic]:
+    """RP4L201 over the stage graph's two entries."""
+    live = graph.reachable_from(graph.ingress_entry) | graph.reachable_from(
+        graph.egress_entry
+    )
+    diags: List[Diagnostic] = []
+    for name, stage in program.all_stages().items():
+        if name not in live:
+            diags.append(
+                make(
+                    "RP4L201",
+                    f"stage {name!r} is unreachable from both pipeline "
+                    "entries; its tables would waste pool blocks",
+                    _span(stage, path),
+                )
+            )
+    return diags
+
+
+def check_unapplied_tables(
+    program: Rp4Program, path: str = "<rp4>"
+) -> List[Diagnostic]:
+    """RP4L202: declared tables no matcher applies."""
+    applied: Set[str] = set()
+    for stage in program.all_stages().values():
+        applied |= {arm.table for arm in stage.matcher if arm.table}
+    return [
+        make(
+            "RP4L202",
+            f"table {name!r} is never applied by any stage",
+            _span(table, path),
+        )
+        for name, table in program.tables.items()
+        if name not in applied
+    ]
+
+
+def check_unused_actions(
+    program: Rp4Program, path: str = "<rp4>"
+) -> List[Diagnostic]:
+    """RP4L203: declared actions no executor or table references."""
+    used: Set[str] = set(BUILTIN_ACTIONS)
+    for stage in program.all_stages().values():
+        used |= set(stage.executor.values())
+    for table in program.tables.values():
+        used |= set(table.actions)
+        used.add(table.default_action)
+    return [
+        make(
+            "RP4L203",
+            f"action {name!r} is never used by any executor or table",
+            _span(action, path),
+        )
+        for name, action in program.actions.items()
+        if name not in used
+    ]
+
+
+def check_uninstallable_actions(
+    program: Rp4Program, path: str = "<rp4>"
+) -> List[Diagnostic]:
+    """RP4L204: a table's declared action that no applying stage's
+    executor exposes -- entries bound to it can never run."""
+    diags: List[Diagnostic] = []
+    for name, table in program.tables.items():
+        if not table.actions:
+            continue
+        installable: Set[str] = {table.default_action}
+        applied = False
+        for stage in program.all_stages().values():
+            if any(arm.table == name for arm in stage.matcher):
+                applied = True
+                installable |= set(stage.executor.values())
+        if not applied:
+            continue  # RP4L202 already covers never-applied tables
+        for action in table.actions:
+            if action not in installable:
+                diags.append(
+                    make(
+                        "RP4L204",
+                        f"table {name!r} declares action {action!r} but no "
+                        "applying stage's executor maps it to a tag",
+                        _span(table, path),
+                    )
+                )
+    return diags
+
+
+def check_unreachable_arms(
+    program: Rp4Program, path: str = "<rp4>"
+) -> List[Diagnostic]:
+    """RP4L205: matcher arms after the unconditional arm."""
+    diags: List[Diagnostic] = []
+    for name, stage in program.all_stages().items():
+        unconditional = None
+        for i, arm in enumerate(stage.matcher):
+            if arm.cond is None:
+                unconditional = i
+                break
+        if unconditional is None:
+            continue
+        for arm in stage.matcher[unconditional + 1 :]:
+            diags.append(
+                make(
+                    "RP4L205",
+                    f"stage {name!r}: matcher arm is unreachable (follows "
+                    "the unconditional arm)",
+                    _span(arm, path) or _span(stage, path),
+                )
+            )
+    return diags
+
+
+def lint_deadcode(
+    program: Rp4Program,
+    graph: Optional[StageGraph] = None,
+    path: str = "<rp4>",
+    snippet: bool = False,
+) -> List[Diagnostic]:
+    """Run the whole family.  ``snippet=True`` skips reachability
+    (RP4L201) -- snippet stages attach to the pipeline at load time."""
+    diags = check_unapplied_tables(program, path)
+    diags.extend(check_unused_actions(program, path))
+    diags.extend(check_uninstallable_actions(program, path))
+    diags.extend(check_unreachable_arms(program, path))
+    if not snippet:
+        if graph is None:
+            graph = StageGraph.from_program(program)
+        diags.extend(check_unreachable_stages(program, graph, path))
+    return diags

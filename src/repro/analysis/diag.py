@@ -1,0 +1,395 @@
+"""The rp4lint diagnostics engine.
+
+Every finding is a :class:`Diagnostic`: a stable rule ID (``RP4Lxxx``),
+a severity, a message, and an optional source :class:`Span`.  The rule
+catalogue lives here (one :class:`Rule` per ID, grouped into the four
+pass families plus the front-end ``lint`` family), so emitters, docs,
+and the meta-test that every rule has a firing fixture all share one
+source of truth.
+
+Suppression: a ``// rp4lint: disable=RP4L204`` comment on the flagged
+construct's line silences those rules for that line; ``// rp4lint:
+disable-file=RP4L105`` anywhere in the file silences them file-wide.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+import re
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+
+class Severity(enum.IntEnum):
+    """Orderable severities (``ERROR`` > ``WARNING`` > ``INFO``)."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    @property
+    def label(self) -> str:
+        return self.name.lower()
+
+    @property
+    def sarif_level(self) -> str:
+        return {"info": "note", "warning": "warning", "error": "error"}[self.label]
+
+
+@dataclass(frozen=True)
+class Span:
+    """Where a diagnostic anchors in its source artifact."""
+
+    file: str = "<rp4>"
+    line: int = 0  # 1-based; 0 = unknown (AST built without spans)
+    column: int = 0
+
+    def __str__(self) -> str:
+        if self.line:
+            return f"{self.file}:{self.line}:{self.column or 1}"
+        return self.file
+
+
+@dataclass
+class Diagnostic:
+    """One lint finding."""
+
+    rule: str
+    message: str
+    severity: Severity
+    span: Optional[Span] = None
+
+    def format(self) -> str:
+        where = f"{self.span}: " if self.span is not None else ""
+        return f"{where}{self.severity.label}[{self.rule}]: {self.message}"
+
+    def to_dict(self) -> dict:
+        out = {
+            "rule": self.rule,
+            "severity": self.severity.label,
+            "message": self.message,
+        }
+        if self.span is not None:
+            out["file"] = self.span.file
+            out["line"] = self.span.line
+            out["column"] = self.span.column
+        return out
+
+
+@dataclass(frozen=True)
+class Rule:
+    """Catalogue entry for one rule ID."""
+
+    rule_id: str
+    severity: Severity
+    family: str
+    title: str
+    description: str = ""
+
+
+#: The complete rule catalogue, keyed by rule ID.
+RULES: Dict[str, Rule] = {}
+
+
+def _rule(rule_id: str, severity: Severity, family: str, title: str, description: str) -> None:
+    if rule_id in RULES:
+        raise ValueError(f"duplicate rule id {rule_id!r}")
+    RULES[rule_id] = Rule(rule_id, severity, family, title, description)
+
+
+# -- front-end family ------------------------------------------------------
+_rule(
+    "RP4L001", Severity.ERROR, "lint", "unknown match kind",
+    "A table key uses a match kind absent from the engine registry "
+    "(repro.tables.engines.MATCH_KINDS); no engine could serve lookups.",
+)
+_rule(
+    "RP4L002", Severity.ERROR, "lint", "parse error",
+    "The rP4 source does not parse; nothing else can be checked.",
+)
+_rule(
+    "RP4L003", Severity.ERROR, "lint", "semantic error",
+    "A cross-reference does not resolve (unknown table, action, header, "
+    "field, or entry stage).",
+)
+_rule(
+    "RP4L004", Severity.ERROR, "lint", "config schema violation",
+    "A device-config JSON document violates a structural invariant the "
+    "device relies on.",
+)
+
+# -- parse-soundness family ------------------------------------------------
+_rule(
+    "RP4L101", Severity.WARNING, "parse-soundness", "unreachable header",
+    "No parse path from a root header reaches this header and no action "
+    "constructs it, so it can never become valid.",
+)
+_rule(
+    "RP4L102", Severity.ERROR, "parse-soundness", "conflicting link tag",
+    "One header's implicit parser maps the same selector tag to two "
+    "different next headers; on-demand parsing would be ambiguous.",
+)
+_rule(
+    "RP4L103", Severity.ERROR, "parse-soundness", "header linkage cycle",
+    "The header linkage graph contains a cycle, so on-demand parsing "
+    "could loop forever on a crafted packet.",
+)
+_rule(
+    "RP4L104", Severity.WARNING, "parse-soundness", "read before parse",
+    "A stage reads a field of a header that no upstream parse path can "
+    "have made valid by that stage (the on-demand parsing analogue of "
+    "read-before-def); the read always sees an invalid header.",
+)
+_rule(
+    "RP4L105", Severity.INFO, "parse-soundness", "link to undeclared header",
+    "A header link targets a header not declared in this compilation "
+    "unit; it must be resolved at load time (e.g. by a runtime "
+    "link_header command).",
+)
+
+# -- dead-code family ------------------------------------------------------
+_rule(
+    "RP4L201", Severity.ERROR, "dead-code", "unreachable stage",
+    "No packet path from either pipeline entry reaches this stage; its "
+    "tables would waste memory blocks on the device.",
+)
+_rule(
+    "RP4L202", Severity.WARNING, "dead-code", "table never applied",
+    "No stage's matcher applies this table, so it is never looked up "
+    "(and is silently skipped by allocation).",
+)
+_rule(
+    "RP4L203", Severity.WARNING, "dead-code", "action never used",
+    "No executor maps a tag to this action and no table declares it.",
+)
+_rule(
+    "RP4L204", Severity.WARNING, "dead-code", "action never installable",
+    "A table declares an action that no applying stage's executor maps "
+    "to a tag; entries bound to it could never execute.",
+)
+_rule(
+    "RP4L205", Severity.WARNING, "dead-code", "unreachable matcher arm",
+    "A matcher arm follows an unconditional arm of the if/else chain and "
+    "can never be evaluated.",
+)
+
+# -- memory-feasibility family ---------------------------------------------
+_rule(
+    "RP4L301", Severity.ERROR, "memory", "table set does not fit",
+    "The program's tables demand more blocks (ceil(W/w)*ceil(D/d) per "
+    "table) than the disaggregated pool offers under crossbar "
+    "reachability; loading would fail mid-way.",
+)
+_rule(
+    "RP4L302", Severity.ERROR, "memory", "no reachable memory cluster",
+    "The crossbar gives the table's hosting TSP no memory cluster to "
+    "reach, so the table can never be placed.",
+)
+_rule(
+    "RP4L303", Severity.INFO, "memory", "memory pressure",
+    "The table set fits but consumes >= 90% of the blocks of some "
+    "memory kind, leaving little headroom for runtime updates.",
+)
+_rule(
+    "RP4L304", Severity.ERROR, "memory", "layout infeasible",
+    "The program's merged stage groups cannot be laid out on the "
+    "target's TSPs at all, so no memory demand can even be computed.",
+)
+
+# -- update-safety family --------------------------------------------------
+_rule(
+    "RP4L401", Severity.ERROR, "update-safety", "selector bounds violated",
+    "The update's pipeline-selector configuration is out of bounds "
+    "(TSP index out of range, tm_input not before tm_output, or a TSP "
+    "both active and bypassed).",
+)
+_rule(
+    "RP4L402", Severity.ERROR, "update-safety", "update strands a field",
+    "The update drains stages that were the only writers of a metadata "
+    "field a surviving stage still reads; after the update the reader "
+    "would see uninitialized data.",
+)
+
+#: Family names in catalogue order (drives docs and reports).
+FAMILIES: Tuple[str, ...] = (
+    "lint", "parse-soundness", "dead-code", "memory", "update-safety"
+)
+
+
+def make(rule_id: str, message: str, span: Optional[Span] = None,
+         severity: Optional[Severity] = None) -> Diagnostic:
+    """Build a diagnostic with the catalogue's default severity."""
+    rule = RULES[rule_id]
+    return Diagnostic(
+        rule=rule_id,
+        message=message,
+        severity=severity if severity is not None else rule.severity,
+        span=span,
+    )
+
+
+def max_severity(diags: Iterable[Diagnostic]) -> Optional[Severity]:
+    worst: Optional[Severity] = None
+    for diag in diags:
+        if worst is None or diag.severity > worst:
+            worst = diag.severity
+    return worst
+
+
+def errors(diags: Iterable[Diagnostic]) -> List[Diagnostic]:
+    return [d for d in diags if d.severity is Severity.ERROR]
+
+
+def promote_warnings(diags: Iterable[Diagnostic]) -> List[Diagnostic]:
+    """``--strict``: warnings become errors (info stays info)."""
+    out = []
+    for diag in diags:
+        if diag.severity is Severity.WARNING:
+            diag = Diagnostic(diag.rule, diag.message, Severity.ERROR, diag.span)
+        out.append(diag)
+    return out
+
+
+# -- suppression pragmas ---------------------------------------------------
+
+_PRAGMA = re.compile(r"rp4lint:\s*disable(?P<scope>-file)?\s*=\s*(?P<ids>[A-Z0-9,\s]+)")
+
+
+def source_suppressions(source: str) -> Tuple[Set[str], Dict[int, Set[str]]]:
+    """Parse suppression pragmas from raw source text.
+
+    Returns ``(file_wide_ids, {line_no: ids})``.
+    """
+    file_wide: Set[str] = set()
+    by_line: Dict[int, Set[str]] = {}
+    for line_no, line in enumerate(source.splitlines(), start=1):
+        for match in _PRAGMA.finditer(line):
+            ids = {i.strip() for i in match.group("ids").split(",") if i.strip()}
+            if match.group("scope"):
+                file_wide |= ids
+            else:
+                by_line.setdefault(line_no, set()).update(ids)
+    return file_wide, by_line
+
+
+def filter_suppressed(
+    diags: Sequence[Diagnostic], source: Optional[str]
+) -> Tuple[List[Diagnostic], int]:
+    """Drop diagnostics silenced by pragmas; returns (kept, n_dropped)."""
+    if not source:
+        return list(diags), 0
+    file_wide, by_line = source_suppressions(source)
+    if not file_wide and not by_line:
+        return list(diags), 0
+    kept: List[Diagnostic] = []
+    dropped = 0
+    for diag in diags:
+        line = diag.span.line if diag.span is not None else 0
+        if diag.rule in file_wide or diag.rule in by_line.get(line, ()):
+            dropped += 1
+        else:
+            kept.append(diag)
+    return kept, dropped
+
+
+# -- emitters --------------------------------------------------------------
+
+
+def format_text(diags: Sequence[Diagnostic]) -> str:
+    """Human-readable report, one finding per line plus a summary."""
+    lines = [d.format() for d in diags]
+    n_err = sum(1 for d in diags if d.severity is Severity.ERROR)
+    n_warn = sum(1 for d in diags if d.severity is Severity.WARNING)
+    n_info = len(diags) - n_err - n_warn
+    lines.append(
+        f"{n_err} error(s), {n_warn} warning(s), {n_info} info"
+        if diags
+        else "no findings"
+    )
+    return "\n".join(lines)
+
+
+def to_json(diags: Sequence[Diagnostic]) -> dict:
+    """Machine-readable report (stable schema, version tagged)."""
+    return {
+        "version": 1,
+        "tool": "rp4lint",
+        "diagnostics": [d.to_dict() for d in diags],
+        "counts": {
+            sev.label: sum(1 for d in diags if d.severity is sev)
+            for sev in (Severity.ERROR, Severity.WARNING, Severity.INFO)
+        },
+    }
+
+
+def to_sarif(diags: Sequence[Diagnostic]) -> dict:
+    """SARIF 2.1.0 document (one run, rules from the catalogue)."""
+    used = sorted({d.rule for d in diags})
+    rules = [
+        {
+            "id": rule_id,
+            "name": RULES[rule_id].title.title().replace(" ", ""),
+            "shortDescription": {"text": RULES[rule_id].title},
+            "fullDescription": {"text": RULES[rule_id].description},
+            "defaultConfiguration": {
+                "level": RULES[rule_id].severity.sarif_level
+            },
+        }
+        for rule_id in used
+    ]
+    index_of = {rule_id: i for i, rule_id in enumerate(used)}
+    results = []
+    for diag in diags:
+        result = {
+            "ruleId": diag.rule,
+            "ruleIndex": index_of[diag.rule],
+            "level": diag.severity.sarif_level,
+            "message": {"text": diag.message},
+        }
+        if diag.span is not None:
+            region = {}
+            if diag.span.line:
+                region = {
+                    "startLine": diag.span.line,
+                    "startColumn": diag.span.column or 1,
+                }
+            location = {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": diag.span.file},
+                }
+            }
+            if region:
+                location["physicalLocation"]["region"] = region
+            result["locations"] = [location]
+        results.append(result)
+    return {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+            "Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "rp4lint",
+                        "informationUri": "https://github.com/",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def dumps(diags: Sequence[Diagnostic], fmt: str = "text") -> str:
+    """Render diagnostics in one of the three output formats."""
+    if fmt == "text":
+        return format_text(diags)
+    if fmt == "json":
+        return json.dumps(to_json(diags), indent=2, sort_keys=True)
+    if fmt == "sarif":
+        return json.dumps(to_sarif(diags), indent=2, sort_keys=True)
+    raise ValueError(f"unknown diagnostics format {fmt!r}")

@@ -1,0 +1,218 @@
+"""rp4lint orchestration: run the pass families over sources, compiled
+designs, and device configs.
+
+Three entry points map to the three wiring sites:
+
+* :func:`lint_source` -- parse + analyze a ``.rp4`` text and run every
+  family it supports (the ``rp4lint`` / ``ipbm-ctl lint`` CLI path);
+  snippets (no entry declarations) get the header-local subset, since
+  their cross-references resolve only when composed with a base.
+* :func:`lint_design` -- families 1-3 over an already-compiled design
+  (the ``rp4bc`` pre-compile gate; artifacts are reused, the memory
+  check packs against a fresh pool without allocating).
+* :func:`lint_config` -- schema + match-kind rules over a device
+  config JSON document.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from repro.analysis.deadcode import lint_deadcode
+from repro.analysis.diag import Diagnostic, Span, filter_suppressed, make
+from repro.analysis.memcheck import lint_memory
+from repro.analysis.parse_soundness import lint_parse_soundness
+from repro.compiler.dependency import StageEffects, stage_effects
+from repro.compiler.stage_graph import StageGraph
+from repro.compiler.validate import validate_config
+from repro.lang.errors import LangError
+from repro.rp4.ast import Rp4Program
+from repro.rp4.parser import parse_rp4
+from repro.rp4.semantic import SemanticError, analyze
+from repro.tables.engines import MATCH_KINDS
+
+if TYPE_CHECKING:
+    from repro.compiler.rp4bc import CompiledDesign
+
+
+def is_snippet(program: Rp4Program) -> bool:
+    """Incremental snippets carry no pipeline entry declarations."""
+    return program.ingress_entry is None and program.egress_entry is None
+
+
+def _check_match_kinds(
+    program: Rp4Program, path: str = "<rp4>"
+) -> List[Diagnostic]:
+    """RP4L001 over a program's table keys (the engine registry is the
+    single source of truth; the parser normally rejects these first,
+    but programs can also be built as ASTs)."""
+    diags: List[Diagnostic] = []
+    for name, table in program.tables.items():
+        for ref, kind in table.keys:
+            if kind not in MATCH_KINDS:
+                span = None
+                if getattr(table, "line", 0):
+                    span = Span(file=path, line=table.line, column=table.column)
+                elif path:
+                    span = Span(file=path)
+                diags.append(
+                    make(
+                        "RP4L001",
+                        f"table {name!r}: key {ref!r} uses match kind "
+                        f"{kind!r}, which no registered engine serves "
+                        f"(known: {', '.join(sorted(MATCH_KINDS))})",
+                        span,
+                    )
+                )
+    return diags
+
+
+def _effect_map(
+    program: Rp4Program, cached: Optional[Dict[str, StageEffects]] = None
+) -> Dict[str, StageEffects]:
+    out: Dict[str, StageEffects] = {}
+    for name, stage in program.all_stages().items():
+        eff = cached.get(name) if cached else None
+        out[name] = eff if eff is not None else stage_effects(stage, program)
+    return out
+
+
+def lint_program(
+    program: Rp4Program,
+    graph: Optional[StageGraph] = None,
+    effects: Optional[Dict[str, StageEffects]] = None,
+    path: str = "<rp4>",
+    snippet: bool = False,
+) -> List[Diagnostic]:
+    """Families 1 (parse-soundness) and 2 (dead-code) plus RP4L001."""
+    diags = _check_match_kinds(program, path)
+    if not snippet:
+        if graph is None:
+            graph = StageGraph.from_program(program)
+        if effects is None:
+            effects = _effect_map(program)
+    diags.extend(
+        lint_parse_soundness(program, graph, effects, path, snippet=snippet)
+    )
+    diags.extend(lint_deadcode(program, graph, path, snippet=snippet))
+    return diags
+
+
+def lint_design(
+    design: "CompiledDesign",
+    source: Optional[str] = None,
+    path: str = "<rp4>",
+) -> List[Diagnostic]:
+    """Families 1-3 over a compiled design, reusing its artifacts.
+
+    The memory family packs the design's table layouts against a
+    *fresh* pool from the target spec -- "does the whole program fit
+    an empty device" -- without touching the design's live pool.
+    """
+    effects = _effect_map(design.program, design.deps.effects)
+    diags = lint_program(
+        design.program, design.graph, effects, path, snippet=False
+    )
+    diags.extend(
+        lint_memory(
+            design.table_layouts,
+            design.target.make_pool(),
+            design.program,
+            path,
+        )
+    )
+    kept, _ = filter_suppressed(diags, source)
+    return kept
+
+
+def lint_config(config: dict, n_tsps: int = 8, path: str = "<config>") -> List[Diagnostic]:
+    """RP4L001 + RP4L004 over a device-config JSON document."""
+    span = Span(file=path) if path else None
+    diags: List[Diagnostic] = []
+    for message in validate_config(config, n_tsps=n_tsps):
+        rule = "RP4L001" if "unknown match kind" in message else "RP4L004"
+        diags.append(make(rule, message, span))
+    return diags
+
+
+def lint_source(
+    source: str,
+    path: str = "<rp4>",
+    target=None,
+    mode: str = "auto",
+) -> List[Diagnostic]:
+    """Full lint of one rP4 source text (the CLI path).
+
+    ``mode`` is ``auto`` (snippets detected by the absence of entry
+    declarations), ``full``, or ``snippet``.
+    """
+    try:
+        program = parse_rp4(source)
+    except LangError as exc:
+        d = exc.diagnostic
+        return [
+            make(
+                "RP4L002",
+                d.message,
+                Span(file=path, line=d.line, column=d.column),
+            )
+        ]
+    snippet = is_snippet(program) if mode == "auto" else (mode == "snippet")
+    if snippet:
+        diags = lint_program(program, path=path, snippet=True)
+        kept, _ = filter_suppressed(diags, source)
+        return kept
+
+    diags: List[Diagnostic] = []
+    try:
+        info = analyze(program)
+    except SemanticError as exc:
+        diags.extend(
+            make("RP4L003", message, Span(file=path))
+            for message in exc.errors
+        )
+        diags.extend(lint_program(program, path=path, snippet=False))
+        kept, _ = filter_suppressed(diags, source)
+        return kept
+
+    graph = StageGraph.from_program(program)
+    effects = _effect_map(program)
+    diags.extend(lint_program(program, graph, effects, path, snippet=False))
+
+    # Memory feasibility needs the merge plan and layout; build them
+    # the same way rp4bc does, against a fresh pool, allocating nothing.
+    from repro.compiler.rp4bc import TargetSpec  # deferred: avoids a cycle
+
+    target = target or TargetSpec()
+    try:
+        from repro.compiler.allocation import compute_table_layouts
+        from repro.compiler.dependency import analyze_dependencies
+        from repro.compiler.merge import plan_merge
+
+        ingress_order = graph.linearize("ingress")
+        egress_order = graph.linearize("egress")
+        deps = analyze_dependencies(program, ingress_order + egress_order)
+        plan = plan_merge(
+            ingress_order,
+            egress_order,
+            deps,
+            mode=target.merge_mode,
+            max_stages_per_tsp=target.max_stages_per_tsp,
+            max_cofire_per_tsp=target.max_cofire_per_tsp,
+        )
+        pool = target.make_pool()
+        layout = target.layout_fn()(plan, target.n_tsps, None)
+        layouts = compute_table_layouts(program, info, plan, layout, pool)
+    except Exception as exc:  # cannot stage the program at all
+        diags.append(
+            make(
+                "RP4L304",
+                f"cannot derive a physical layout on {target.n_tsps} "
+                f"TSP(s): {exc}",
+                Span(file=path),
+            )
+        )
+    else:
+        diags.extend(lint_memory(layouts, pool, program, path))
+    kept, _ = filter_suppressed(diags, source)
+    return kept

@@ -1,0 +1,130 @@
+"""Memory-feasibility passes (rule family RP4L3xx).
+
+Pre-checks a program's table set against the disaggregated pool
+*without allocating*: the same ceil(W/w)*ceil(D/d) block math and the
+same exact packing solver the allocator uses, run against a fresh
+free map.  This lets ``rp4bc`` reject won't-fit programs with a
+diagnostic instead of a mid-load failure, and lets the controller
+verify a post-update program would still fit an empty device.
+
+* RP4L301 -- the table set cannot be packed into the pool;
+* RP4L302 -- a table's hosting TSP reaches no memory cluster;
+* RP4L303 -- the set fits but leaves < 10% headroom in some kind.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.analysis.diag import Diagnostic, Span, make
+from repro.memory.blocks import MemoryKind
+from repro.memory.packing import Demand, pack_branch_and_bound
+from repro.memory.pool import MemoryPool
+from repro.rp4.ast import Rp4Program
+
+#: Utilization at or above which RP4L303 flags low update headroom.
+PRESSURE_THRESHOLD = 0.9
+
+
+def _table_span(
+    program: Optional[Rp4Program], name: str, path: str
+) -> Optional[Span]:
+    table = program.tables.get(name) if program is not None else None
+    line = getattr(table, "line", 0)
+    if not line:
+        return Span(file=path) if path else None
+    return Span(file=path, line=line, column=getattr(table, "column", 0))
+
+
+def lint_memory(
+    table_layouts: Dict[str, object],
+    pool: MemoryPool,
+    program: Optional[Rp4Program] = None,
+    path: str = "<rp4>",
+) -> List[Diagnostic]:
+    """Check the full table set against a pool's free blocks.
+
+    ``table_layouts`` maps table name to a
+    :class:`repro.compiler.allocation.TableLayout`; ``pool`` should be
+    fresh (the check asks "does the whole program fit an empty
+    device", the invariant every load and rollback relies on).
+    """
+    diags: List[Diagnostic] = []
+    demands: List[Demand] = []
+    for name in sorted(table_layouts):
+        layout = table_layouts[name]
+        if not layout.clusters:
+            diags.append(
+                make(
+                    "RP4L302",
+                    f"table {name!r}: the crossbar gives its hosting TSP "
+                    "no reachable memory cluster",
+                    _table_span(program, name, path),
+                )
+            )
+            continue
+        try:
+            demands.append(
+                pool.demand_for(
+                    name,
+                    layout.kind,
+                    layout.entry_width,
+                    layout.depth,
+                    layout.clusters,
+                )
+            )
+        except ValueError as exc:
+            diags.append(
+                make(
+                    "RP4L301",
+                    f"table {name!r}: demand cannot be computed ({exc})",
+                    _table_span(program, name, path),
+                )
+            )
+    if not demands:
+        return diags
+
+    free = pool.free_map()
+    result = pack_branch_and_bound(demands, free)
+    if not result.feasible:
+        by_kind: Dict[MemoryKind, int] = {}
+        for demand in demands:
+            by_kind[demand.kind] = by_kind.get(demand.kind, 0) + demand.count
+        need = ", ".join(
+            f"{count} {kind.value}" for kind, count in sorted(
+                by_kind.items(), key=lambda kv: kv[0].value
+            )
+        )
+        have = ", ".join(
+            f"{count} {kind.value} in cluster {cluster}"
+            for (cluster, kind), count in sorted(
+                free.items(), key=lambda kv: (kv[0][0], kv[0][1].value)
+            )
+        )
+        diags.append(
+            make(
+                "RP4L301",
+                f"table set does not fit the memory pool: needs {need} "
+                f"block(s); free: {have or 'none'}",
+                Span(file=path) if path else None,
+            )
+        )
+        return diags
+
+    for kind in (MemoryKind.SRAM, MemoryKind.TCAM):
+        total = sum(
+            count for (_, k), count in free.items() if k is kind
+        )
+        needed = sum(d.count for d in demands if d.kind is kind)
+        if total and needed / total >= PRESSURE_THRESHOLD:
+            diags.append(
+                make(
+                    "RP4L303",
+                    f"{kind.value} pressure: tables demand {needed} of "
+                    f"{total} free block(s) "
+                    f"({100 * needed // total}%), leaving little headroom "
+                    "for runtime updates",
+                    Span(file=path) if path else None,
+                )
+            )
+    return diags

@@ -1,0 +1,283 @@
+"""Parse-soundness passes (rule family RP4L1xx).
+
+The paper's distributed on-demand parsing (Sec. 3.1) replaces the
+monolithic front-end parser with per-header ``implicit parser`` link
+declarations, so whether a header can ever be valid -- and whether a
+stage may read its fields -- becomes a whole-program reachability
+question over the header-linkage graph.  These passes answer it
+statically:
+
+* RP4L101 -- a header no parse path reaches and no action constructs;
+* RP4L102 -- one selector tag mapped to two different next headers;
+* RP4L103 -- a cycle in the linkage graph (unbounded parse loop);
+* RP4L104 -- a stage reads a field of a header that no upstream parse
+  path can have made valid by that stage (read-before-parse);
+* RP4L105 -- a link targeting an undeclared header (load-time bind).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.analysis.diag import Diagnostic, Span, make
+from repro.compiler.dependency import STAR, StageEffects, expr_reads, stage_effects
+from repro.compiler.stage_graph import StageGraph
+from repro.rp4.ast import Rp4Program, StageDecl
+
+
+def _span(decl, path: str) -> Optional[Span]:
+    line = getattr(decl, "line", 0)
+    if not line:
+        return Span(file=path) if path else None
+    return Span(file=path, line=line, column=getattr(decl, "column", 0))
+
+
+def link_map(program: Rp4Program) -> Dict[str, List[str]]:
+    """Header -> linked next headers (declared headers only)."""
+    out: Dict[str, List[str]] = {}
+    for header in program.headers.values():
+        out[header.name] = [
+            nxt for _, nxt in header.links if nxt in program.headers
+        ]
+    return out
+
+
+def root_headers(program: Rp4Program) -> List[str]:
+    """Headers no declared link targets (the wire-format roots)."""
+    targets: Set[str] = set()
+    for header in program.headers.values():
+        targets |= {nxt for _, nxt in header.links}
+    return [name for name in program.headers if name not in targets]
+
+
+def constructed_headers(
+    program: Rp4Program, effects: Dict[str, StageEffects]
+) -> Set[str]:
+    """Headers some action writes into existence (e.g. ``push_int``
+    inserting ``int_shim``): valid without any parse path."""
+    built: Set[str] = set()
+    for eff in effects.values():
+        for ref in eff.writes:
+            scope = ref.partition(".")[0]
+            if scope in program.headers:
+                built.add(scope)
+    return built
+
+
+def _stage_effect_map(program: Rp4Program) -> Dict[str, StageEffects]:
+    return {
+        name: stage_effects(stage, program)
+        for name, stage in program.all_stages().items()
+    }
+
+
+def check_links(
+    program: Rp4Program, path: str = "<rp4>"
+) -> List[Diagnostic]:
+    """RP4L102 (conflicting tags), RP4L103 (cycles), RP4L105
+    (undeclared targets) -- sound for snippets too."""
+    diags: List[Diagnostic] = []
+    for header in program.headers.values():
+        seen: Dict[int, str] = {}
+        for tag, nxt in header.links:
+            prior = seen.get(tag)
+            if prior is not None and prior != nxt:
+                diags.append(
+                    make(
+                        "RP4L102",
+                        f"header {header.name!r}: selector tag {tag} links to "
+                        f"both {prior!r} and {nxt!r}",
+                        _span(header, path),
+                    )
+                )
+            seen.setdefault(tag, nxt)
+            if nxt not in program.headers:
+                diags.append(
+                    make(
+                        "RP4L105",
+                        f"header {header.name!r}: link tag {tag} targets "
+                        f"undeclared header {nxt!r} (must be bound at load "
+                        "time)",
+                        _span(header, path),
+                    )
+                )
+
+    links = link_map(program)
+    # Cycle detection: iterative DFS with colors; report each header
+    # that closes a back edge once.
+    WHITE, GREY, BLACK = 0, 1, 2
+    color = {name: WHITE for name in program.headers}
+    for start in program.headers:
+        if color[start] != WHITE:
+            continue
+        stack: List[tuple] = [(start, iter(links.get(start, [])))]
+        color[start] = GREY
+        trail = [start]
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for nxt in it:
+                if color[nxt] == GREY:
+                    cycle_start = trail.index(nxt)
+                    cycle = trail[cycle_start:] + [nxt]
+                    diags.append(
+                        make(
+                            "RP4L103",
+                            "header linkage cycle: "
+                            + " -> ".join(cycle),
+                            _span(program.headers[nxt], path),
+                        )
+                    )
+                elif color[nxt] == WHITE:
+                    color[nxt] = GREY
+                    stack.append((nxt, iter(links.get(nxt, []))))
+                    trail.append(nxt)
+                    advanced = True
+                    break
+            if not advanced:
+                color[node] = BLACK
+                stack.pop()
+                trail.pop()
+    return diags
+
+
+def check_reachability(
+    program: Rp4Program,
+    effects: Optional[Dict[str, StageEffects]] = None,
+    path: str = "<rp4>",
+) -> List[Diagnostic]:
+    """RP4L101: headers neither parse-reachable nor constructed."""
+    if not program.headers:
+        return []
+    roots = root_headers(program)
+    if not roots:
+        return []  # fully cyclic linkage; RP4L103 already fired
+    if effects is None:
+        effects = _stage_effect_map(program)
+    links = link_map(program)
+    reachable: Set[str] = set()
+    frontier = list(roots)
+    while frontier:
+        name = frontier.pop()
+        if name in reachable:
+            continue
+        reachable.add(name)
+        frontier.extend(links.get(name, []))
+    built = constructed_headers(program, effects)
+    diags: List[Diagnostic] = []
+    for name, header in program.headers.items():
+        if name not in reachable and name not in built:
+            diags.append(
+                make(
+                    "RP4L101",
+                    f"header {name!r} is unreachable: no parse path links "
+                    "to it and no action constructs it",
+                    _span(header, path),
+                )
+            )
+    return diags
+
+
+def _explicit_reads(stage: StageDecl, program: Rp4Program) -> Set[str]:
+    """Dotted refs the stage explicitly reads in source (matcher
+    conditions, applied table keys, action-body right-hand sides).
+    Primitive effect summaries are deliberately excluded -- they
+    describe the behavioral model, not the program text."""
+    reads: Set[str] = set()
+    for arm in stage.matcher:
+        reads |= expr_reads(arm.cond)
+        if arm.table is not None:
+            table = program.tables.get(arm.table)
+            if table is not None:
+                reads |= {ref for ref, _ in table.keys}
+    for action_name in stage.executor.values():
+        action = program.actions.get(action_name)
+        if action is None:
+            continue
+        for stmt in action.body:
+            expr = getattr(stmt, "expr", None)
+            if expr is not None:
+                reads |= expr_reads(expr)
+    return {r for r in reads if r != STAR}
+
+
+def check_read_before_parse(
+    program: Rp4Program,
+    graph: StageGraph,
+    effects: Optional[Dict[str, StageEffects]] = None,
+    path: str = "<rp4>",
+) -> List[Diagnostic]:
+    """RP4L104: a stage reads a field of a header that neither its own
+    parser list, any upstream stage's parser list, nor any upstream
+    action construction can have made valid."""
+    if effects is None:
+        effects = _stage_effect_map(program)
+    built_by: Dict[str, Set[str]] = {}
+    for name, eff in effects.items():
+        scopes = {
+            ref.partition(".")[0]
+            for ref in eff.writes
+            if ref.partition(".")[0] in program.headers
+        }
+        built_by[name] = scopes
+
+    # Fixpoint of avail[s] = own(s) | U avail[pred(s)] over the stage
+    # graph (tolerates cycles, unlike linearize()).
+    avail: Dict[str, Set[str]] = {}
+    for name in graph.nodes:
+        decl = graph.nodes[name].decl
+        avail[name] = set(decl.parser) | built_by.get(name, set())
+    changed = True
+    while changed:
+        changed = False
+        for pre, nxts in graph.edges.items():
+            if pre not in avail:
+                continue
+            for nxt in nxts:
+                if nxt not in avail:
+                    continue
+                before = len(avail[nxt])
+                avail[nxt] |= avail[pre]
+                if len(avail[nxt]) != before:
+                    changed = True
+
+    diags: List[Diagnostic] = []
+    for name in graph.nodes:
+        stage = graph.nodes[name].decl
+        for ref in sorted(_explicit_reads(stage, program)):
+            scope = ref.partition(".")[0]
+            if scope not in program.headers:
+                continue  # metadata or struct member, always present
+            if scope not in avail.get(name, set()):
+                diags.append(
+                    make(
+                        "RP4L104",
+                        f"stage {name!r} reads {ref!r} but no upstream "
+                        f"parse path makes header {scope!r} valid by "
+                        "this stage",
+                        _span(stage, path),
+                    )
+                )
+    return diags
+
+
+def lint_parse_soundness(
+    program: Rp4Program,
+    graph: Optional[StageGraph] = None,
+    effects: Optional[Dict[str, StageEffects]] = None,
+    path: str = "<rp4>",
+    snippet: bool = False,
+) -> List[Diagnostic]:
+    """Run the whole family.  ``snippet=True`` limits the checks to
+    the header-local rules -- a snippet's headers are legitimately
+    unrooted until a runtime ``link_header`` command binds them."""
+    diags = check_links(program, path)
+    if snippet:
+        return diags
+    if effects is None:
+        effects = _stage_effect_map(program)
+    diags.extend(check_reachability(program, effects, path))
+    if graph is None:
+        graph = StageGraph.from_program(program)
+    diags.extend(check_read_before_parse(program, graph, effects, path))
+    return diags

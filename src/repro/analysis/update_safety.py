@@ -1,0 +1,140 @@
+"""Update-plan safety passes (rule family RP4L4xx).
+
+The drain-based insert/delete protocol (paper Sec. 3.2) swaps logical
+stages under live traffic, so an unsafe plan corrupts a running
+pipeline rather than failing a compile.  Given the running design and
+a proposed :class:`~repro.compiler.rp4bc.UpdatePlan`, these passes
+verify:
+
+* RP4L401 -- the new pipeline-selector configuration is in bounds;
+* RP4L402 -- no drained stage strands a metadata field a surviving
+  stage still reads (the read would silently see the per-packet
+  default after the update).
+
+The controller's pre-apply gate composes this family with a full
+re-lint of the post-update program (families 1-3), per the "post-
+update program re-passes everything" contract.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, TYPE_CHECKING
+
+from repro.analysis.diag import Diagnostic, Span, make
+from repro.compiler.dependency import STAR, StageEffects, stage_effects
+from repro.rp4.semantic import INTRINSIC_FIELDS
+
+if TYPE_CHECKING:  # avoid a module-level cycle with rp4bc
+    from repro.compiler.rp4bc import CompiledDesign, UpdatePlan
+
+
+def _meta_fields(refs: Set[str]) -> Set[str]:
+    """The ``meta.*`` refs in a read/write set, intrinsics excluded
+    (the device initializes intrinsic fields on every packet)."""
+    out: Set[str] = set()
+    for ref in refs:
+        if ref == STAR:
+            continue
+        scope, _, fname = ref.partition(".")
+        if scope == "meta" and fname and fname not in INTRINSIC_FIELDS:
+            out.add(ref)
+    return out
+
+
+def check_selector(
+    selector: dict, n_tsps: int, path: str = "<update>"
+) -> List[Diagnostic]:
+    """RP4L401 over a proposed selector configuration."""
+    diags: List[Diagnostic] = []
+    span = Span(file=path)
+
+    def err(message: str) -> None:
+        diags.append(make("RP4L401", message, span))
+
+    if not selector:
+        return diags
+    tm_in, tm_out = selector.get("tm_input"), selector.get("tm_output")
+    if tm_in is not None and tm_out is not None and tm_in >= tm_out:
+        err(f"selector: tm_input {tm_in} must precede tm_output {tm_out}")
+    active = list(selector.get("active", []))
+    bypassed = list(selector.get("bypassed", []))
+    for slot in active + bypassed:
+        if not 0 <= slot < n_tsps:
+            err(f"selector: TSP {slot} out of range for {n_tsps} TSPs")
+    overlap = set(active) & set(bypassed)
+    if overlap:
+        err(f"selector: TSPs both active and bypassed: {sorted(overlap)}")
+    return diags
+
+
+def check_stranded_fields(
+    before: "CompiledDesign",
+    plan: "UpdatePlan",
+    path: str = "<update>",
+) -> List[Diagnostic]:
+    """RP4L402: fields whose only writers are drained away while a
+    surviving stage still reads them."""
+    removed = [
+        name for name in plan.removed_stages
+        if name in before.program.all_stages()
+    ]
+    if not removed:
+        return []
+    before_stages = before.program.all_stages()
+    removed_writes: Dict[str, List[str]] = {}  # field -> removed writers
+    for name in removed:
+        eff = before.deps.effects.get(name)
+        if eff is None:
+            eff = stage_effects(before_stages[name], before.program)
+        for fieldref in _meta_fields(eff.writes):
+            removed_writes.setdefault(fieldref, []).append(name)
+    if not removed_writes:
+        return []
+
+    after = plan.design
+    survivor_effects: Dict[str, StageEffects] = {}
+    after_stages = after.program.all_stages()
+    for name in after_stages:
+        eff = after.deps.effects.get(name)
+        if eff is None:
+            eff = stage_effects(after_stages[name], after.program)
+        survivor_effects[name] = eff
+
+    diags: List[Diagnostic] = []
+    for fieldref in sorted(removed_writes):
+        writers = [
+            name
+            for name, eff in survivor_effects.items()
+            if fieldref in eff.writes or STAR in eff.writes
+        ]
+        if writers:
+            continue  # someone still produces the field
+        readers = sorted(
+            name
+            for name, eff in survivor_effects.items()
+            if fieldref in eff.reads
+        )
+        if not readers:
+            continue  # nobody consumes it either; plain removal
+        gone = ", ".join(sorted(removed_writes[fieldref]))
+        diags.append(
+            make(
+                "RP4L402",
+                f"update strands {fieldref!r}: drained stage(s) {gone} "
+                f"were its only writer(s) but surviving stage(s) "
+                f"{', '.join(readers)} still read it",
+                Span(file=path),
+            )
+        )
+    return diags
+
+
+def lint_update(
+    before: "CompiledDesign",
+    plan: "UpdatePlan",
+    path: str = "<update>",
+) -> List[Diagnostic]:
+    """Family 4 over a proposed update plan."""
+    diags = check_selector(plan.selector, before.target.n_tsps, path)
+    diags.extend(check_stranded_fields(before, plan, path))
+    return diags

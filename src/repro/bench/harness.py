@@ -23,7 +23,7 @@ import json
 import platform
 import sys
 import time
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.bench.scenarios import (
     CASES,

@@ -6,7 +6,7 @@ per-use-case mapping after each in-situ update.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict
 
 from repro.compiler.merge import group_key
 from repro.compiler.rp4bc import CompiledDesign, compile_base, compile_update

@@ -11,7 +11,7 @@ regression reporter behind ``--compare``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 SCHEMA_VERSION = 1
 DOCUMENT_KIND = "repro-bench"

@@ -17,8 +17,8 @@ Two comparisons, as in the paper:
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
 
 from repro.p4.hlir import build_hlir
 from repro.p4.parser import parse_p4

@@ -8,8 +8,8 @@ crossbar constrains which memory clusters the hosting TSP can reach.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
 
 from repro.compiler.layout import LayoutResult
 from repro.compiler.merge import MergePlan, group_key

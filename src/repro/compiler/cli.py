@@ -13,7 +13,7 @@ from typing import Dict, List, Optional
 
 from repro.compiler import json_ir
 from repro.compiler.validate import check_config
-from repro.compiler.rp4bc import TargetSpec, compile_base, compile_update
+from repro.compiler.rp4bc import LintError, TargetSpec, compile_base, compile_update
 from repro.compiler.rp4fc import rp4fc
 from repro.p4.hlir import build_hlir
 from repro.p4.parser import parse_p4
@@ -69,12 +69,34 @@ def rp4bc_main(argv: Optional[List[str]] = None) -> int:
         "--snippet", action="append", default=[],
         help="name=path for snippets referenced by the script",
     )
+    lint_group = parser.add_mutually_exclusive_group()
+    lint_group.add_argument(
+        "--strict", action="store_true",
+        help="promote rp4lint warnings to errors (gate rejects them)",
+    )
+    lint_group.add_argument(
+        "--no-lint", action="store_true",
+        help="skip the rp4lint pre-compile gate entirely",
+    )
     args = parser.parse_args(argv)
 
     with open(args.rp4_file) as fh:
         source = fh.read()
     target = TargetSpec(n_tsps=args.tsps, layout_algorithm=args.layout)
-    design = compile_base(source, target)
+    lint_mode = "off" if args.no_lint else "strict" if args.strict else "warn"
+    try:
+        design = compile_base(source, target, lint=lint_mode)
+    except LintError as exc:
+        for diagnostic in exc.diagnostics:
+            print(diagnostic.format(), file=sys.stderr)
+        print(
+            f"rp4bc: {args.rp4_file}: rejected by rp4lint "
+            f"({len(exc.diagnostics)} finding(s))",
+            file=sys.stderr,
+        )
+        return 1
+    for diagnostic in design.lint_diagnostics:
+        print(diagnostic.format(), file=sys.stderr)
 
     if args.script:
         with open(args.script) as fh:

@@ -21,7 +21,6 @@ from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 from repro.lang.expr import (
     EBin,
     ECall,
-    EConst,
     ERef,
     EUnary,
     EValid,
@@ -30,9 +29,15 @@ from repro.lang.expr import (
     SCall,
 )
 from repro.rp4.ast import Rp4Program, StageDecl
+from repro.rp4.semantic import KNOWN_PRIMITIVES
 
 #: Write-write conflicts on these are harmless (idempotent set-to-1 flags).
 IDEMPOTENT_FIELDS = {"meta.drop", "meta.to_cpu", "meta.flow_marked"}
+
+#: Wildcard effect: "may touch any field".  Used for primitives with
+#: no effect summary so the merge planner stays conservative instead
+#: of silently treating them as side-effect-free.
+STAR = "*"
 
 #: Conservative effect summaries for primitives (reads, writes).
 PRIMITIVE_EFFECTS: Dict[str, Tuple[Set[str], Set[str]]] = {
@@ -60,6 +65,17 @@ PRIMITIVE_EFFECTS: Dict[str, Tuple[Set[str], Set[str]]] = {
     "mark_above": (set(), set()),  # src/dest handled from the call args
     "police": (set(), set()),  # dest handled from the call args
 }
+
+# A primitive the behavioral model knows but the effects table does
+# not (or vice versa) is exactly the silent-unsoundness bug this check
+# guards against: the dependency pass would treat it as side-effect-
+# free and could legalize an invalid stage merge.  Fail at import.
+if set(PRIMITIVE_EFFECTS) != KNOWN_PRIMITIVES:
+    raise RuntimeError(
+        "PRIMITIVE_EFFECTS is out of sync with KNOWN_PRIMITIVES: "
+        f"missing={sorted(KNOWN_PRIMITIVES - set(PRIMITIVE_EFFECTS))} "
+        f"extra={sorted(set(PRIMITIVE_EFFECTS) - KNOWN_PRIMITIVES)}"
+    )
 
 
 def expr_reads(expr: Optional[Expr]) -> Set[str]:
@@ -89,6 +105,15 @@ def guard_headers(expr: Optional[Expr]) -> Set[str]:
     if isinstance(expr, EBin) and expr.op == "&&":
         return guard_headers(expr.left) | guard_headers(expr.right)
     return set()
+
+
+def _overlap(xs: Set[str], ys: Set[str]) -> bool:
+    """Set intersection under the :data:`STAR` wildcard."""
+    if STAR in xs:
+        return bool(ys)
+    if STAR in ys:
+        return bool(xs)
+    return bool(xs & ys)
 
 
 @dataclass
@@ -127,7 +152,12 @@ def stage_effects(stage: StageDecl, program: Rp4Program) -> StageEffects:
                 effects.writes.add(stmt.dest)
                 effects.reads |= expr_reads(stmt.expr)
             elif isinstance(stmt, SCall):
-                reads, writes = PRIMITIVE_EFFECTS.get(stmt.name, (set(), set()))
+                effect = PRIMITIVE_EFFECTS.get(stmt.name)
+                if effect is None:
+                    # Unknown primitive: read-all/write-all so no merge
+                    # can be legalized on a missing summary.
+                    effect = ({STAR}, {STAR})
+                reads, writes = effect
                 effects.reads |= set(reads)
                 effects.writes |= set(writes)
                 if stmt.name == "count_and_mark" and len(stmt.args) == 2:
@@ -167,10 +197,12 @@ class DependencyInfo:
         """True if ``second`` must execute after ``first`` completes
         (any RAW/WAR/WAW hazard, idempotent flags exempted)."""
         a, b = self.effects[first], self.effects[second]
-        if a.writes & b.reads:
+        if _overlap(a.writes, b.reads):
             return True  # read-after-write
-        if a.reads & b.writes:
+        if _overlap(a.reads, b.writes):
             return True  # write-after-read
+        if STAR in a.writes or STAR in b.writes:
+            return bool(a.writes and b.writes)  # wildcard WAW
         waw = (a.writes & b.writes) - IDEMPOTENT_FIELDS
         return bool(waw)
 

@@ -10,7 +10,7 @@ download a genuine runtime reconfiguration rather than a code reload.
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.compiler.lowering import (
     action_to_json,

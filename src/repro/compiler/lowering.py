@@ -21,7 +21,6 @@ from repro.lang.expr import (
     Expr,
     SAssign,
     SCall,
-    Stmt,
 )
 from repro.net.packet import Packet
 from repro.tables.actions import (

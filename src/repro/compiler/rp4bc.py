@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import copy
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.compiler.allocation import (
     TableLayout,
@@ -25,7 +25,6 @@ from repro.compiler.allocation import (
     compute_table_layouts,
     migrate_if_needed,
     release_tables,
-    table_stage_map,
 )
 from repro.compiler.dependency import (
     DependencyInfo,
@@ -42,14 +41,13 @@ from repro.compiler.script import (
     DelLinkCmd,
     LinkHeaderCmd,
     LoadCmd,
-    ScriptError,
     UnlinkHeaderCmd,
     UnloadCmd,
     parse_script,
 )
 from repro.compiler.stage_graph import StageGraph
 from repro.memory.crossbar import Crossbar
-from repro.memory.pool import MemoryPool
+from repro.memory.pool import AllocationError, MemoryPool
 from repro.net.linkage import HeaderLink
 from repro.rp4.ast import Rp4Program, UserFunc
 from repro.rp4.parser import parse_rp4
@@ -58,6 +56,24 @@ from repro.rp4.semantic import SemanticInfo, analyze, analyze_incremental
 
 class CompileError(Exception):
     """Raised when a design or update cannot be compiled."""
+
+
+class LintError(CompileError):
+    """The pre-compile rp4lint gate found error-severity diagnostics."""
+
+    def __init__(self, diagnostics) -> None:
+        super().__init__(
+            "; ".join(d.format() for d in diagnostics) or "lint failed"
+        )
+        self.diagnostics = list(diagnostics)
+
+
+class MemoryFeasibilityError(LintError, AllocationError):
+    """The program's table set cannot fit the target's memory pool.
+
+    Subclasses both :class:`LintError` (it is a lint rejection, rule
+    RP4L301/302) and :class:`~repro.memory.pool.AllocationError` (it
+    is the same won't-fit condition allocation would hit mid-load)."""
 
 
 @dataclass
@@ -111,6 +127,8 @@ class CompiledDesign:
     templates: List[dict]
     config: dict
     target: TargetSpec
+    #: Non-fatal rp4lint findings from the pre-compile gate.
+    lint_diagnostics: List[object] = field(default_factory=list)
 
     def stage_letters(self, letters: Dict[str, str]) -> Dict[str, int]:
         """Fig.-4-style view: stage letter -> physical TSP index."""
@@ -226,9 +244,21 @@ def _build(
 
 
 def compile_base(
-    source: Union[str, Rp4Program], target: Optional[TargetSpec] = None
+    source: Union[str, Rp4Program],
+    target: Optional[TargetSpec] = None,
+    lint: str = "warn",
 ) -> CompiledDesign:
-    """Compile a complete rP4 design for an empty device."""
+    """Compile a complete rP4 design for an empty device.
+
+    ``lint`` controls the pre-compile rp4lint gate: ``"warn"`` (the
+    default) rejects error-severity diagnostics and records warnings
+    on the design; ``"strict"`` promotes warnings to errors; ``"off"``
+    skips the gate entirely.  A won't-fit table set raises
+    :class:`MemoryFeasibilityError` here -- before anything is
+    allocated -- instead of failing mid-load.
+    """
+    if lint not in ("warn", "strict", "off"):
+        raise CompileError(f"unknown lint mode {lint!r}")
     target = target or TargetSpec()
     program = parse_rp4(source) if isinstance(source, str) else source
     graph = StageGraph.from_program(program)
@@ -236,8 +266,25 @@ def compile_base(
     # Two-phase: layout first (allocation needs slot->cluster), then
     # allocate, then rebuild the config with the final allocations.
     design = _build(program, graph, target, pool)
+    diagnostics: List[object] = []
+    if lint != "off":
+        from repro.analysis import diag as _diag
+        from repro.analysis.linter import lint_design
+
+        diagnostics = lint_design(
+            design, source=source if isinstance(source, str) else None
+        )
+        if lint == "strict":
+            diagnostics = _diag.promote_warnings(diagnostics)
+        fatal = _diag.errors(diagnostics)
+        if fatal:
+            if all(d.rule in ("RP4L301", "RP4L302") for d in fatal):
+                raise MemoryFeasibilityError(fatal)
+            raise LintError(fatal)
     allocate_new_tables(pool, design.table_layouts)
-    return _build(program, graph, target, pool, old_slots=None)
+    final = _build(program, graph, target, pool, old_slots=None)
+    final.lint_diagnostics = diagnostics
+    return final
 
 
 def compile_update(

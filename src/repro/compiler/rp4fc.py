@@ -16,8 +16,8 @@ The transformation is structural:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 from repro.compiler.api_gen import generate_api_source
 from repro.lang.expr import EBin, EUnary, Expr, SApply, SAssign, SCall, SIf, Stmt

@@ -10,7 +10,7 @@ tables recycled.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Set
 
 from repro.rp4.ast import Rp4Program, StageDecl

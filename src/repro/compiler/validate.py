@@ -9,7 +9,9 @@ instead of a mid-load stack trace.
 
 from __future__ import annotations
 
-from typing import Any, List
+from typing import List
+
+from repro.tables.engines import MATCH_KINDS
 
 
 class ConfigError(Exception):
@@ -18,9 +20,6 @@ class ConfigError(Exception):
     def __init__(self, errors: List[str]) -> None:
         super().__init__("; ".join(errors))
         self.errors = list(errors)
-
-
-_MATCH_KINDS = {"exact", "lpm", "ternary", "hash"}
 
 
 def validate_config(config: dict, n_tsps: int = 8) -> List[str]:
@@ -63,7 +62,7 @@ def validate_config(config: dict, n_tsps: int = 8) -> List[str]:
                 err(f"table {name!r}: malformed key row {row!r}")
                 continue
             _ref, kind, width = row
-            if kind not in _MATCH_KINDS:
+            if kind not in MATCH_KINDS:
                 err(f"table {name!r}: unknown match kind {kind!r}")
             if not isinstance(width, int) or width <= 0:
                 err(f"table {name!r}: bad key width {width!r}")

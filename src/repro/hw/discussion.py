@@ -24,7 +24,6 @@ import math
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
-from repro.hw.calibration import IPSA_CAL, PISA_CAL, HwCalibration
 
 
 # -- (1) multi-pipeline table sharing ---------------------------------------

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.compiler.lowering import action_from_json, builtin_actions, lower_table
 from repro.ipsa.pipeline import ElasticPipeline, SelectorConfig

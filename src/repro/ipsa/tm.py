@@ -8,8 +8,8 @@ the TM itself only buffers and schedules.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional
 
 from repro.net.packet import Packet
 from repro.obs.metrics import Sample

@@ -17,7 +17,7 @@ model has a physical quantity to charge.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.compiler.json_ir import stage_from_json

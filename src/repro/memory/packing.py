@@ -21,7 +21,7 @@ TSP(s) can reach through the crossbar) and the free-block counts per
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.memory.blocks import MemoryKind
 

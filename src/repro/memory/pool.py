@@ -8,7 +8,6 @@ deleted, the associated memory blocks are also recycled").
 
 from __future__ import annotations
 
-import math
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.memory.blocks import MemoryBlock, MemoryKind

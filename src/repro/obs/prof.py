@@ -26,7 +26,7 @@ surfaces:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.obs.clock import Clock, MONOTONIC
 

@@ -12,7 +12,6 @@ from typing import List, Optional, Tuple
 from repro.lang.expr import (
     EBin,
     ECall,
-    EConst,
     ERef,
     EUnary,
     EValid,
@@ -33,8 +32,7 @@ from repro.p4.ast import (
     Transition,
 )
 from repro.rp4.ast import Rp4Action, Rp4Table
-
-_MATCH_KINDS = {"exact", "lpm", "ternary", "hash", "selector"}
+from repro.tables.engines import P4_MATCH_KINDS
 
 
 def normalize_ref(ref: str) -> str:
@@ -310,7 +308,7 @@ class _Parser:
                     ref = self._dotted()
                     lex.expect_punct(":")
                     kind = lex.expect_ident().text
-                    if kind not in _MATCH_KINDS:
+                    if kind not in P4_MATCH_KINDS:
                         raise lex.error(f"unknown match kind {kind!r}")
                     if kind == "selector":
                         kind = "hash"  # P4 selector ~ rP4 hash match

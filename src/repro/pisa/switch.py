@@ -10,7 +10,7 @@ exactly this difference.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Union
 
 from repro.compiler.lowering import builtin_actions, lower_action, lower_table

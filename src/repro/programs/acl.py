@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
-from repro.net.addresses import parse_ipv4, parse_prefix
+from repro.net.addresses import parse_prefix
 from repro.tables.table import Table, TableEntry
 
 _ACL_RP4 = """

@@ -20,6 +20,8 @@ class HeaderDecl:
     fields: List[Tuple[str, int]] = field(default_factory=list)  # (name, width)
     selector: Optional[str] = None  # field named in `implicit parser(...)`
     links: List[Tuple[int, str]] = field(default_factory=list)  # (tag, next header)
+    line: int = 0  # source position (1-based; 0 = synthesized)
+    column: int = 0
 
     def field_width(self, name: str) -> int:
         for fname, width in self.fields:
@@ -35,6 +37,8 @@ class StructDecl:
     name: str
     members: List[Tuple[str, int]] = field(default_factory=list)  # (name, width)
     alias: Optional[str] = None  # instance alias after the closing brace
+    line: int = 0
+    column: int = 0
 
     def member_width(self, name: str) -> int:
         for mname, width in self.members:
@@ -50,6 +54,8 @@ class Rp4Action:
     name: str
     params: List[Tuple[str, int]] = field(default_factory=list)
     body: List[Stmt] = field(default_factory=list)
+    line: int = 0
+    column: int = 0
 
 
 @dataclass
@@ -61,6 +67,8 @@ class Rp4Table:
     size: int = 1024
     actions: List[str] = field(default_factory=list)
     default_action: str = "NoAction"
+    line: int = 0
+    column: int = 0
 
 
 @dataclass
@@ -73,6 +81,8 @@ class MatcherArm:
 
     cond: Optional[Expr]
     table: Optional[str]
+    line: int = 0
+    column: int = 0
 
 
 @dataclass
@@ -83,6 +93,8 @@ class StageDecl:
     parser: List[str] = field(default_factory=list)  # header instance names
     matcher: List[MatcherArm] = field(default_factory=list)
     executor: Dict[object, str] = field(default_factory=dict)  # tag|'default' -> action
+    line: int = 0
+    column: int = 0
 
 
 @dataclass
@@ -164,12 +176,18 @@ class Rp4Program:
                 fields=h.fields,
                 selector=h.selector,
                 links=list(h.links),
+                line=h.line,
+                column=h.column,
             )
             for name, h in self.headers.items()
         }
         twin.structs = {
             name: StructDecl(
-                name=s.name, members=list(s.members), alias=s.alias
+                name=s.name,
+                members=list(s.members),
+                alias=s.alias,
+                line=s.line,
+                column=s.column,
             )
             for name, s in self.structs.items()
         }

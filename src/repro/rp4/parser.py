@@ -9,17 +9,9 @@ to the ingress pipe.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
-from repro.lang.errors import LangError
-from repro.lang.expr import (
-    ECall,
-    SAssign,
-    SCall,
-    Stmt,
-    parse_dotted,
-    parse_expr,
-)
+from repro.lang.expr import SAssign, SCall, Stmt, parse_dotted, parse_expr
 from repro.lang.lexer import Lexer, TokenKind
 from repro.rp4.ast import (
     HeaderDecl,
@@ -31,8 +23,7 @@ from repro.rp4.ast import (
     StructDecl,
     UserFunc,
 )
-
-_MATCH_KINDS = {"exact", "lpm", "ternary", "hash"}
+from repro.tables.engines import MATCH_KINDS
 
 
 def parse_rp4(source: str) -> Rp4Program:
@@ -93,11 +84,12 @@ class _Parser:
 
     def _header_def(self) -> None:
         lex = self.lex
+        at = lex.current
         lex.expect_ident("header")
         name = lex.expect_ident().text
         if name in self.program.headers:
             raise lex.error(f"duplicate header {name!r}")
-        decl = HeaderDecl(name=name)
+        decl = HeaderDecl(name=name, line=at.line, column=at.column)
         lex.expect_punct("{")
         while not lex.accept_punct("}"):
             if lex.current.is_ident("implicit"):
@@ -127,9 +119,10 @@ class _Parser:
 
     def _struct_dec(self) -> None:
         lex = self.lex
+        at = lex.current
         lex.expect_ident("struct")
         name = lex.expect_ident().text
-        decl = StructDecl(name=name)
+        decl = StructDecl(name=name, line=at.line, column=at.column)
         lex.expect_punct("{")
         while not lex.accept_punct("}"):
             width = self._bit_type()
@@ -143,9 +136,10 @@ class _Parser:
 
     def _action_def(self) -> None:
         lex = self.lex
+        at = lex.current
         lex.expect_ident("action")
         name = lex.expect_ident().text
-        decl = Rp4Action(name=name)
+        decl = Rp4Action(name=name, line=at.line, column=at.column)
         lex.expect_punct("(")
         if not lex.current.is_punct(")"):
             decl.params.append(self._param())
@@ -181,9 +175,10 @@ class _Parser:
 
     def _table_def(self) -> None:
         lex = self.lex
+        at = lex.current
         lex.expect_ident("table")
         name = lex.expect_ident().text
-        decl = Rp4Table(name=name)
+        decl = Rp4Table(name=name, line=at.line, column=at.column)
         lex.expect_punct("{")
         while not lex.accept_punct("}"):
             prop = lex.expect_ident().text
@@ -194,7 +189,7 @@ class _Parser:
                     ref = parse_dotted(lex)
                     lex.expect_punct(":")
                     kind = lex.expect_ident().text
-                    if kind not in _MATCH_KINDS:
+                    if kind not in MATCH_KINDS:
                         raise lex.error(f"unknown match kind {kind!r}")
                     lex.accept_punct(";")
                     decl.keys.append((ref, kind))
@@ -241,9 +236,10 @@ class _Parser:
 
     def _stage_def(self) -> StageDecl:
         lex = self.lex
+        at = lex.current
         lex.expect_ident("stage")
         name = lex.expect_ident().text
-        stage = StageDecl(name=name)
+        stage = StageDecl(name=name, line=at.line, column=at.column)
         lex.expect_punct("{")
 
         lex.expect_ident("parser")
@@ -295,12 +291,13 @@ class _Parser:
         lex = self.lex
         arms: List[MatcherArm] = []
         while not lex.current.is_punct("}"):
+            at = lex.current
             if lex.current.is_ident("if"):
                 lex.advance()
                 lex.expect_punct("(")
                 cond = parse_expr(lex)
                 lex.expect_punct(")")
-                arms.append(MatcherArm(cond, self._apply_stmt()))
+                arm = MatcherArm(cond, self._apply_stmt())
             elif lex.current.is_ident("else"):
                 lex.advance()
                 if lex.current.is_ident("if"):
@@ -308,14 +305,16 @@ class _Parser:
                     lex.expect_punct("(")
                     cond = parse_expr(lex)
                     lex.expect_punct(")")
-                    arms.append(MatcherArm(cond, self._apply_stmt()))
+                    arm = MatcherArm(cond, self._apply_stmt())
                 elif lex.accept_punct(";"):
-                    arms.append(MatcherArm(None, None))
+                    arm = MatcherArm(None, None)
                 else:
-                    arms.append(MatcherArm(None, self._apply_stmt()))
+                    arm = MatcherArm(None, self._apply_stmt())
             else:
                 # Unconditional apply (single-table stage).
-                arms.append(MatcherArm(None, self._apply_stmt()))
+                arm = MatcherArm(None, self._apply_stmt())
+            arm.line, arm.column = at.line, at.column
+            arms.append(arm)
         return arms
 
     def _user_funcs(self) -> None:

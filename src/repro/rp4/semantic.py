@@ -20,10 +20,9 @@ from repro.lang.expr import (
     Expr,
     SAssign,
     SCall,
-    Stmt,
 )
 from repro.net.packet import INTRINSIC_METADATA
-from repro.rp4.ast import Rp4Program, StageDecl
+from repro.rp4.ast import Rp4Program
 
 #: Actions available without declaration.
 BUILTIN_ACTIONS = {"NoAction", "drop", "mark_to_cpu"}

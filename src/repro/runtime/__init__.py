@@ -11,7 +11,12 @@ the paper mentions.
 """
 
 from repro.runtime.channel import ControlChannel
-from repro.runtime.controller import Controller, FlowTiming
+from repro.runtime.controller import (
+    Controller,
+    ControllerError,
+    FlowTiming,
+    UnsafeUpdateError,
+)
 from repro.runtime.fabric import Delivery, Fabric
 from repro.runtime.stats import diff, format_stats, snapshot
 from repro.runtime.table_api import TableApi
@@ -19,10 +24,12 @@ from repro.runtime.table_api import TableApi
 __all__ = [
     "ControlChannel",
     "Controller",
+    "ControllerError",
     "Delivery",
     "Fabric",
     "FlowTiming",
     "TableApi",
+    "UnsafeUpdateError",
     "diff",
     "format_stats",
     "snapshot",

@@ -10,7 +10,7 @@ is shorter.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List
 
 

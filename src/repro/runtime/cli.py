@@ -25,6 +25,14 @@ repro.bench.harness``)::
 
     ipbm-ctl profile --switch ipsa --case C1 --packets 500
     ipbm-ctl bench --smoke --out BENCH_ci.json
+
+``ipbm-ctl lint`` is the rp4lint static analyzer (also installed as
+the ``rp4lint`` console script): parse-soundness, dead-code, and
+memory-feasibility diagnostics over rP4 sources and config JSON
+before anything touches a device::
+
+    ipbm-ctl lint base.rp4 --strict --format sarif
+    ipbm-ctl lint --shipped
 """
 
 from __future__ import annotations
@@ -70,6 +78,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] in OBS_COMMANDS:
         return _obs_main(argv)
+    if argv and argv[0] == "lint":
+        from repro.analysis.cli import main as rp4lint_main
+
+        return rp4lint_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="ipbm-ctl", description="controller for the ipbm software switch"
     )

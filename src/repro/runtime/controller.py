@@ -15,7 +15,7 @@ The rP4 design flow (paper Fig. 3) end to end:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.compiler.validate import check_config
@@ -40,6 +40,17 @@ class ControllerError(Exception):
     """Raised on misuse (e.g. scripting before a base design loads)."""
 
 
+class UnsafeUpdateError(ControllerError):
+    """The pre-apply rp4lint gate rejected an update plan."""
+
+    def __init__(self, diagnostics) -> None:
+        super().__init__(
+            "update rejected by rp4lint: "
+            + "; ".join(d.format() for d in diagnostics)
+        )
+        self.diagnostics = list(diagnostics)
+
+
 @dataclass
 class FlowTiming:
     """One design-flow step's measured costs (a Table 1 cell)."""
@@ -59,11 +70,18 @@ class Controller:
         self,
         target: Optional[TargetSpec] = None,
         switch: Optional[IpsaSwitch] = None,
+        lint_updates: bool = True,
     ) -> None:
         self.target = target or TargetSpec()
         self.switch = switch or IpsaSwitch(n_tsps=self.target.n_tsps)
         self.channel = ControlChannel()
         self.design: Optional[CompiledDesign] = None
+        #: Pre-apply rp4lint gate: verify every update plan (selector
+        #: bounds, no stranded fields, post-update program re-lint)
+        #: before anything touches the live switch.
+        self.lint_updates = lint_updates
+        #: Diagnostics from the most recent update gate (warnings/info).
+        self.last_lint: List[object] = []
         self.history: List[str] = []
         self._undo: List[CompiledDesign] = []
         self.timelines = TimelineRecorder()
@@ -124,6 +142,10 @@ class Controller:
             "compile", rewritten_tsps=list(plan.rewritten_tsps)
         ).duration
 
+        if self.lint_updates:
+            self._lint_gate(plan)
+            timeline.phase("lint", findings=len(self.last_lint))
+
         update_message = self._update_message(plan)
         update = self.channel.send(update_message)
         transfer = timeline.phase("transfer")
@@ -143,6 +165,22 @@ class Controller:
         self._h_compile.observe(timing.compile_seconds)
         self._h_load.observe(timing.load_seconds)
         return plan, stats, timing
+
+    def _lint_gate(self, plan: UpdatePlan) -> None:
+        """Pre-apply safety gate: family 4 (update-plan safety) plus a
+        full re-lint of the post-update program (families 1-3).  Raises
+        :class:`UnsafeUpdateError` on any error-severity finding --
+        before a single byte crosses the control channel."""
+        from repro.analysis.diag import errors
+        from repro.analysis.linter import lint_design
+        from repro.analysis.update_safety import lint_update
+
+        diagnostics = lint_update(self.design, plan)
+        diagnostics.extend(lint_design(plan.design, path="<post-update>"))
+        fatal = errors(diagnostics)
+        if fatal:
+            raise UnsafeUpdateError(fatal)
+        self.last_lint = diagnostics
 
     # -- failback ---------------------------------------------------------
 

@@ -11,7 +11,7 @@ node while traffic keeps flowing.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.runtime.controller import Controller

@@ -16,7 +16,7 @@ not metrics).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.ipsa.switch import IpsaSwitch
 from repro.obs.metrics import Sample

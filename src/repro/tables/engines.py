@@ -12,6 +12,16 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.tables.actions import flow_hash
 
+__all__ = [
+    "ExactEngine",
+    "LpmEngine",
+    "TernaryEngine",
+    "HashEngine",
+    "ENGINES",
+    "MATCH_KINDS",
+    "P4_MATCH_KINDS",
+]
+
 
 class ExactEngine:
     """All key fields matched exactly: a plain hash map."""
@@ -186,3 +196,20 @@ class HashEngine:
 
     def __len__(self) -> int:
         return len(self._members)
+
+
+#: The engine registry: canonical match kind -> engine class.  Every
+#: front end and validator derives its accepted match kinds from this
+#: registry, so adding an engine automatically teaches the parsers,
+#: the config validator, and rp4lint about the new kind.
+ENGINES = {
+    engine.kind: engine
+    for engine in (ExactEngine, LpmEngine, TernaryEngine, HashEngine)
+}
+
+#: Match kinds an rP4 table key may declare (one per engine).
+MATCH_KINDS = frozenset(ENGINES)
+
+#: The mini-P4 front end additionally accepts ``selector`` (an
+#: action-selector key), which it lowers onto the hash engine.
+P4_MATCH_KINDS = frozenset(MATCH_KINDS | {"selector"})

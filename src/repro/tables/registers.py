@@ -10,7 +10,6 @@ is offloaded -- the same lifecycle as the memory-pool tables.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
 from repro.tables.actions import flow_hash

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Union
+from typing import Sequence, Union
 
 from repro.net.addresses import parse_ipv4, parse_ipv6, parse_mac
 from repro.net.checksum import ipv4_header_checksum

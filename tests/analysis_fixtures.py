@@ -1,0 +1,397 @@
+"""Golden fixtures for the rp4lint rule catalogue.
+
+One entry per rule ID: ``FIXTURES[rule_id]()`` returns the diagnostics
+produced by a small program (or config/plan) crafted to fire exactly
+that rule.  The per-family test modules assert rule, severity, and
+span against these; ``test_analysis_diag.py`` holds the meta-test that
+every rule in the catalogue has a firing fixture here.
+"""
+
+from types import SimpleNamespace
+from typing import Callable, Dict, List
+
+from repro.analysis.diag import Diagnostic
+from repro.analysis.linter import lint_config, lint_source
+from repro.analysis.memcheck import lint_memory
+from repro.analysis.update_safety import check_selector, lint_update
+from repro.compiler.rp4bc import TargetSpec, compile_base
+from repro.memory.blocks import MemoryKind
+from repro.programs import base_rp4_source
+
+#: A minimal two-pipe program that lints completely clean; the broken
+#: fixtures below are small mutations of it.
+MINI_CLEAN = """\
+headers {
+    header ethernet {
+        bit<48> dst_addr;
+        bit<16> ethertype;
+        implicit parser(ethertype) {
+            0x0800: ipv4;
+        }
+    }
+    header ipv4 {
+        bit<8> ttl;
+        bit<32> dst_addr;
+    }
+}
+structs {
+    struct metadata {
+        bit<16> x;
+    } meta;
+}
+action set_x(bit<16> v) {
+    meta.x = v;
+}
+table t_fwd {
+    key = { ethernet.dst_addr: exact; }
+    size = 16;
+}
+table t_read {
+    key = { meta.x: exact; }
+    size = 16;
+}
+table t_out {
+    key = { ethernet.dst_addr: exact; }
+    size = 16;
+}
+control rP4_Ingress {
+    stage writer {
+        parser { ethernet };
+        matcher { t_fwd.apply(); };
+        executor {
+            1: set_x;
+            default: NoAction;
+        }
+    }
+    stage reader {
+        parser { ethernet };
+        matcher { t_read.apply(); };
+        executor {
+            default: NoAction;
+        }
+    }
+}
+control rP4_Egress {
+    stage out {
+        parser { ethernet };
+        matcher { t_out.apply(); };
+        executor {
+            default: NoAction;
+        }
+    }
+}
+user_funcs {
+    func fwd { writer reader }
+    func emit { out }
+    ingress_entry: writer;
+    egress_entry: out;
+}
+"""
+
+
+def _mini(**replacements: str) -> str:
+    source = MINI_CLEAN
+    for old, new in replacements.items():
+        marker = _MARKERS[old]
+        assert marker in source, marker
+        source = source.replace(marker, new)
+    return source
+
+
+_MARKERS = {
+    "links": "0x0800: ipv4;",
+    "headers_end": "    header ipv4 {\n        bit<8> ttl;\n        bit<32> dst_addr;\n    }",
+    "actions": "action set_x(bit<16> v) {\n    meta.x = v;\n}",
+    "t_fwd": "table t_fwd {\n    key = { ethernet.dst_addr: exact; }\n    size = 16;\n}",
+    "t_read_key": "key = { meta.x: exact; }",
+    "writer_matcher": "matcher { t_fwd.apply(); };",
+    "writer_exec": "1: set_x;",
+    "ingress_entry": "ingress_entry: writer;",
+}
+
+
+def _fire_001() -> List[Diagnostic]:
+    design = compile_base(base_rp4_source(), lint="off")
+    config = design.config
+    table = next(iter(config["tables"]))
+    config["tables"][table]["keys"][0][1] = "fuzzy"
+    return lint_config(config, n_tsps=8, path="bad.json")
+
+
+def _fire_002() -> List[Diagnostic]:
+    return lint_source("headers {\n    header broken {\n", path="broken.rp4")
+
+
+def _fire_003() -> List[Diagnostic]:
+    source = _mini(writer_exec="1: missing_action;")
+    return lint_source(source, path="mini.rp4")
+
+
+def _fire_004() -> List[Diagnostic]:
+    design = compile_base(base_rp4_source(), lint="off")
+    config = design.config
+    config["selector"]["tm_input"] = config["selector"]["tm_output"] + 1
+    return lint_config(config, n_tsps=8, path="bad.json")
+
+
+def _fire_101() -> List[Diagnostic]:
+    # A standalone header is a wire-format *root* (reachable); only a
+    # header island detached from every root -- here a two-header
+    # cycle -- is truly unreachable.  RP4L103 fires alongside.
+    source = _mini(
+        headers_end=(
+            "    header ipv4 {\n        bit<8> ttl;\n"
+            "        bit<32> dst_addr;\n    }\n"
+            "    header orphan_a {\n        bit<8> tag;\n"
+            "        implicit parser(tag) {\n            1: orphan_b;\n"
+            "        }\n    }\n"
+            "    header orphan_b {\n        bit<8> tag;\n"
+            "        implicit parser(tag) {\n            1: orphan_a;\n"
+            "        }\n    }"
+        )
+    )
+    return lint_source(source, path="mini.rp4")
+
+
+def _fire_102() -> List[Diagnostic]:
+    source = _mini(
+        links="0x0800: ipv4;\n            0x0800: orphan;",
+        headers_end=(
+            "    header ipv4 {\n        bit<8> ttl;\n"
+            "        bit<32> dst_addr;\n    }\n"
+            "    header orphan {\n        bit<8> pad;\n    }"
+        ),
+    )
+    return lint_source(source, path="mini.rp4")
+
+
+def _fire_103() -> List[Diagnostic]:
+    source = _mini(
+        headers_end=(
+            "    header ipv4 {\n        bit<8> ttl;\n"
+            "        bit<32> dst_addr;\n"
+            "        implicit parser(ttl) {\n"
+            "            1: ethernet;\n        }\n    }"
+        )
+    )
+    return lint_source(source, path="mini.rp4")
+
+
+def _fire_104() -> List[Diagnostic]:
+    source = _mini(t_read_key="key = { ipv4.dst_addr: lpm; }")
+    return lint_source(source, path="mini.rp4")
+
+
+def _fire_105() -> List[Diagnostic]:
+    source = _mini(links="0x0800: ipv4;\n            0x86DD: vlan;")
+    return lint_source(source, path="mini.rp4")
+
+
+def _fire_201() -> List[Diagnostic]:
+    source = _mini(ingress_entry="ingress_entry: reader;")
+    return lint_source(source, path="mini.rp4")
+
+
+def _fire_202() -> List[Diagnostic]:
+    source = _mini(
+        t_fwd=(
+            "table t_fwd {\n    key = { ethernet.dst_addr: exact; }\n"
+            "    size = 16;\n}\n"
+            "table t_dead {\n    key = { ethernet.dst_addr: exact; }\n"
+            "    size = 16;\n}"
+        )
+    )
+    return lint_source(source, path="mini.rp4")
+
+
+def _fire_203() -> List[Diagnostic]:
+    source = _mini(
+        actions=(
+            "action set_x(bit<16> v) {\n    meta.x = v;\n}\n"
+            "action never_used() {\n    meta.x = 0;\n}"
+        )
+    )
+    return lint_source(source, path="mini.rp4")
+
+
+def _fire_204() -> List[Diagnostic]:
+    source = _mini(
+        actions=(
+            "action set_x(bit<16> v) {\n    meta.x = v;\n}\n"
+            "action stranded() {\n    meta.x = 0;\n}"
+        ),
+        t_fwd=(
+            "table t_fwd {\n    key = { ethernet.dst_addr: exact; }\n"
+            "    size = 16;\n"
+            "    actions = { set_x; stranded; }\n"
+            "    default_action = NoAction;\n}"
+        ),
+    )
+    return lint_source(source, path="mini.rp4")
+
+
+def _fire_205() -> List[Diagnostic]:
+    source = _mini(
+        writer_matcher=(
+            "matcher {\n            t_fwd.apply();\n"
+            "            if (meta.x == 1) t_read.apply();\n        };"
+        )
+    )
+    return lint_source(source, path="mini.rp4")
+
+
+def _fire_301() -> List[Diagnostic]:
+    target = TargetSpec(sram_blocks=4, tcam_blocks=0)
+    return lint_source(base_rp4_source(), path="base.rp4", target=target)
+
+
+def _fire_302() -> List[Diagnostic]:
+    layout = SimpleNamespace(
+        clusters=[], kind=MemoryKind.SRAM, entry_width=64, depth=1024
+    )
+    pool = TargetSpec().make_pool()
+    return lint_memory({"island": layout}, pool, None, path="base.rp4")
+
+
+def _fire_303() -> List[Diagnostic]:
+    target = TargetSpec(sram_blocks=44, tcam_blocks=16)
+    return lint_source(base_rp4_source(), path="base.rp4", target=target)
+
+
+def _fire_304() -> List[Diagnostic]:
+    target = TargetSpec(n_tsps=1, max_stages_per_tsp=1)
+    return lint_source(base_rp4_source(), path="base.rp4", target=target)
+
+
+def _fire_401() -> List[Diagnostic]:
+    selector = {"tm_input": 5, "tm_output": 2, "active": [9], "bypassed": [9]}
+    return check_selector(selector, n_tsps=8, path="plan")
+
+
+def _fire_402() -> List[Diagnostic]:
+    before = compile_base(MINI_CLEAN, lint="off")
+    after_source = MINI_CLEAN.replace(
+        """\
+    stage writer {
+        parser { ethernet };
+        matcher { t_fwd.apply(); };
+        executor {
+            1: set_x;
+            default: NoAction;
+        }
+    }
+""",
+        "",
+    ).replace("func fwd { writer reader }", "func fwd { reader }").replace(
+        "ingress_entry: writer;", "ingress_entry: reader;"
+    )
+    after = compile_base(after_source, lint="off")
+    plan = SimpleNamespace(
+        removed_stages=["writer"], selector={}, design=after
+    )
+    return lint_update(before, plan, path="plan")
+
+
+#: Three-stage chain (entry -> writer -> reader) whose reader consumes
+#: ``meta.x``, which only ``writer`` produces.  UNSAFE_SCRIPT routes
+#: around ``writer`` so it gets pruned -- stranding ``meta.x`` for the
+#: surviving reader (RP4L402 at the controller's pre-apply gate).
+MINI_CHAIN = """\
+headers {
+    header ethernet {
+        bit<48> dst_addr;
+        bit<16> ethertype;
+    }
+}
+structs {
+    struct metadata {
+        bit<16> x;
+    } meta;
+}
+action set_x(bit<16> v) {
+    meta.x = v;
+}
+table t_in {
+    key = { ethernet.dst_addr: exact; }
+    size = 16;
+}
+table t_w {
+    key = { ethernet.dst_addr: exact; }
+    size = 16;
+}
+table t_read {
+    key = { meta.x: exact; }
+    size = 16;
+}
+table t_out {
+    key = { ethernet.dst_addr: exact; }
+    size = 16;
+}
+control rP4_Ingress {
+    stage entry {
+        parser { ethernet };
+        matcher { t_in.apply(); };
+        executor {
+            default: NoAction;
+        }
+    }
+    stage writer {
+        parser { ethernet };
+        matcher { t_w.apply(); };
+        executor {
+            1: set_x;
+            default: NoAction;
+        }
+    }
+    stage reader {
+        parser { ethernet };
+        matcher { t_read.apply(); };
+        executor {
+            default: NoAction;
+        }
+    }
+}
+control rP4_Egress {
+    stage out {
+        parser { ethernet };
+        matcher { t_out.apply(); };
+        executor {
+            default: NoAction;
+        }
+    }
+}
+user_funcs {
+    func fwd { entry writer reader }
+    func emit { out }
+    ingress_entry: entry;
+    egress_entry: out;
+}
+"""
+
+UNSAFE_SCRIPT = "add_link entry reader\ndel_link entry writer\n"
+
+
+#: rule ID -> zero-argument callable producing diagnostics that include
+#: at least one finding for that rule.
+FIXTURES: Dict[str, Callable[[], List[Diagnostic]]] = {
+    "RP4L001": _fire_001,
+    "RP4L002": _fire_002,
+    "RP4L003": _fire_003,
+    "RP4L004": _fire_004,
+    "RP4L101": _fire_101,
+    "RP4L102": _fire_102,
+    "RP4L103": _fire_103,
+    "RP4L104": _fire_104,
+    "RP4L105": _fire_105,
+    "RP4L201": _fire_201,
+    "RP4L202": _fire_202,
+    "RP4L203": _fire_203,
+    "RP4L204": _fire_204,
+    "RP4L205": _fire_205,
+    "RP4L301": _fire_301,
+    "RP4L302": _fire_302,
+    "RP4L303": _fire_303,
+    "RP4L304": _fire_304,
+    "RP4L401": _fire_401,
+    "RP4L402": _fire_402,
+}

@@ -1,0 +1,199 @@
+"""The rp4lint CLI (also reachable as ``ipbm-ctl lint``), the rp4bc
+lint flags, and the shipped-suite smoke check: every program we ship
+passes its own linter with zero errors."""
+
+import json
+
+import pytest
+
+from tests.analysis_fixtures import MINI_CLEAN
+from repro.analysis.cli import main as rp4lint_main
+from repro.compiler.cli import rp4bc_main
+from repro.compiler.rp4bc import compile_base
+from repro.runtime.cli import main as ipbm_ctl_main
+
+
+@pytest.fixture
+def mini_file(tmp_path):
+    path = tmp_path / "mini.rp4"
+    path.write_text(MINI_CLEAN)
+    return str(path)
+
+
+@pytest.fixture
+def warn_file(tmp_path):
+    source = MINI_CLEAN.replace(
+        "table t_fwd {",
+        "table t_dead {\n    key = { ethernet.dst_addr: exact; }\n"
+        "    size = 16;\n}\ntable t_fwd {",
+    )
+    path = tmp_path / "warn.rp4"
+    path.write_text(source)
+    return str(path)
+
+
+@pytest.fixture
+def broken_file(tmp_path):
+    source = MINI_CLEAN.replace(
+        "0x0800: ipv4;", "0x0800: ipv4;\n            0x0800: orphan;"
+    ).replace(
+        "    header ipv4 {\n        bit<8> ttl;\n        bit<32> dst_addr;\n    }",
+        "    header ipv4 {\n        bit<8> ttl;\n"
+        "        bit<32> dst_addr;\n    }\n"
+        "    header orphan {\n        bit<8> pad;\n    }",
+    )
+    path = tmp_path / "broken.rp4"
+    path.write_text(source)
+    return str(path)
+
+
+# -- rp4lint -----------------------------------------------------------------
+
+
+def test_clean_file_exits_zero(mini_file, capsys):
+    assert rp4lint_main([mini_file]) == 0
+    assert "no findings" in capsys.readouterr().out
+
+
+def test_error_file_exits_one(broken_file, capsys):
+    assert rp4lint_main([broken_file]) == 1
+    out = capsys.readouterr().out
+    assert "error[RP4L102]" in out and "broken.rp4" in out
+
+
+def test_warning_exits_zero_until_strict(warn_file, capsys):
+    assert rp4lint_main([warn_file]) == 0
+    assert "warning[RP4L202]" in capsys.readouterr().out
+    assert rp4lint_main(["--strict", warn_file]) == 1
+    assert "error[RP4L202]" in capsys.readouterr().out
+
+
+def test_json_format(warn_file, capsys):
+    assert rp4lint_main(["--format", "json", warn_file]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["tool"] == "rp4lint"
+    assert doc["counts"]["warning"] == 1
+    assert doc["diagnostics"][0]["rule"] == "RP4L202"
+
+
+def test_sarif_format(broken_file, capsys):
+    assert rp4lint_main(["--format", "sarif", broken_file]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["version"] == "2.1.0"
+    results = doc["runs"][0]["results"]
+    assert any(r["ruleId"] == "RP4L102" for r in results)
+
+
+def test_output_file(warn_file, tmp_path, capsys):
+    out_path = tmp_path / "report.json"
+    assert rp4lint_main(
+        ["--format", "json", "-o", str(out_path), warn_file]
+    ) == 0
+    assert capsys.readouterr().out == ""
+    doc = json.loads(out_path.read_text())
+    assert doc["counts"]["warning"] == 1
+
+
+def test_config_json_document(tmp_path, capsys):
+    design = compile_base(MINI_CLEAN, lint="off")
+    config = design.config
+    table = next(iter(config["tables"]))
+    config["tables"][table]["keys"][0][1] = "fuzzy"
+    path = tmp_path / "config.json"
+    path.write_text(json.dumps(config))
+    assert rp4lint_main([str(path)]) == 1
+    assert "error[RP4L001]" in capsys.readouterr().out
+
+
+def test_unreadable_file_exits_two(tmp_path, capsys):
+    assert rp4lint_main([str(tmp_path / "absent.rp4")]) == 2
+    assert "cannot read" in capsys.readouterr().err
+
+
+def test_invalid_json_exits_two(tmp_path, capsys):
+    path = tmp_path / "bad.json"
+    path.write_text("{nope")
+    assert rp4lint_main([str(path)]) == 2
+    assert "invalid JSON" in capsys.readouterr().err
+
+
+def test_no_inputs_is_a_usage_error(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        rp4lint_main([])
+    assert excinfo.value.code == 2
+
+
+def test_snippet_and_full_are_exclusive(mini_file):
+    with pytest.raises(SystemExit):
+        rp4lint_main(["--snippet", "--full", mini_file])
+
+
+def test_suppression_pragma_silences_finding(tmp_path, capsys):
+    source = MINI_CLEAN.replace(
+        "table t_fwd {",
+        "table t_dead { // rp4lint: disable=RP4L202\n"
+        "    key = { ethernet.dst_addr: exact; }\n    size = 16;\n}\n"
+        "table t_fwd {",
+    )
+    path = tmp_path / "suppressed.rp4"
+    path.write_text(source)
+    assert rp4lint_main([str(path)]) == 0
+    assert "no findings" in capsys.readouterr().out
+
+
+def test_shipped_suite_has_zero_errors_and_warnings(capsys):
+    """Every shipped program and composed update passes its own
+    linter; the only findings are the documented SRv6 load-time
+    binds (RP4L105, info)."""
+    assert rp4lint_main(["--shipped"]) == 0
+    out = capsys.readouterr().out
+    assert "0 error(s), 0 warning(s)" in out
+    for line in out.splitlines()[:-1]:
+        assert "info[RP4L105]" in line
+
+
+def test_ipbm_ctl_lint_subcommand(mini_file, capsys):
+    assert ipbm_ctl_main(["lint", mini_file]) == 0
+    assert "no findings" in capsys.readouterr().out
+
+
+# -- rp4bc lint flags --------------------------------------------------------
+
+
+def test_rp4bc_compiles_clean_file(mini_file, tmp_path):
+    out = tmp_path / "config.json"
+    assert rp4bc_main([mini_file, "-o", str(out)]) == 0
+    assert json.loads(out.read_text())["tables"]
+
+
+def test_rp4bc_warns_but_compiles(warn_file, tmp_path, capsys):
+    out = tmp_path / "config.json"
+    assert rp4bc_main([warn_file, "-o", str(out)]) == 0
+    assert "warning[RP4L202]" in capsys.readouterr().err
+    assert out.exists()
+
+
+def test_rp4bc_strict_rejects_warnings(warn_file, tmp_path, capsys):
+    out = tmp_path / "config.json"
+    assert rp4bc_main([warn_file, "-o", str(out), "--strict"]) == 1
+    err = capsys.readouterr().err
+    assert "error[RP4L202]" in err and "rejected by rp4lint" in err
+    assert not out.exists()
+
+
+def test_rp4bc_rejects_broken_program(broken_file, tmp_path, capsys):
+    out = tmp_path / "config.json"
+    assert rp4bc_main([broken_file, "-o", str(out)]) == 1
+    assert "error[RP4L102]" in capsys.readouterr().err
+    assert not out.exists()
+
+
+def test_rp4bc_no_lint_skips_the_gate(warn_file, tmp_path, capsys):
+    out = tmp_path / "config.json"
+    assert rp4bc_main([warn_file, "-o", str(out), "--no-lint"]) == 0
+    assert "RP4L202" not in capsys.readouterr().err
+
+
+def test_rp4bc_strict_and_no_lint_are_exclusive(mini_file):
+    with pytest.raises(SystemExit):
+        rp4bc_main([mini_file, "--strict", "--no-lint"])

@@ -1,0 +1,192 @@
+"""The rp4lint diagnostics engine, plus the golden meta-test: every
+rule in the catalogue has a fixture that fires it."""
+
+import json
+
+import pytest
+
+from tests.analysis_fixtures import FIXTURES
+from repro.analysis.diag import (
+    FAMILIES,
+    RULES,
+    Diagnostic,
+    Severity,
+    Span,
+    dumps,
+    errors,
+    filter_suppressed,
+    make,
+    max_severity,
+    promote_warnings,
+    source_suppressions,
+    to_json,
+    to_sarif,
+)
+
+
+# -- catalogue ---------------------------------------------------------------
+
+
+def test_rule_ids_are_stable_and_well_formed():
+    for rule_id, rule in RULES.items():
+        assert rule_id == rule.rule_id
+        assert rule_id.startswith("RP4L") and len(rule_id) == 7
+        assert rule.family in FAMILIES
+        assert rule.title
+        assert rule.description
+
+
+def test_every_family_has_an_error_severity_rule():
+    for family in FAMILIES:
+        severities = {
+            r.severity for r in RULES.values() if r.family == family
+        }
+        assert Severity.ERROR in severities, family
+
+
+def test_every_rule_has_a_firing_fixture():
+    assert set(FIXTURES) == set(RULES)
+
+
+@pytest.mark.parametrize("rule_id", sorted(RULES))
+def test_golden_fixture_fires_rule(rule_id):
+    diags = FIXTURES[rule_id]()
+    hits = [d for d in diags if d.rule == rule_id]
+    assert hits, f"fixture for {rule_id} produced {[d.rule for d in diags]}"
+    for diag in hits:
+        assert diag.severity is RULES[rule_id].severity
+        assert diag.message
+        assert diag.span is not None
+        assert diag.span.file
+
+
+# -- severities and formatting ----------------------------------------------
+
+
+def test_severity_ordering_and_labels():
+    assert Severity.ERROR > Severity.WARNING > Severity.INFO
+    assert Severity.ERROR.label == "error"
+    assert Severity.INFO.sarif_level == "note"
+    assert Severity.WARNING.sarif_level == "warning"
+
+
+def test_diagnostic_format_with_and_without_span():
+    with_span = make("RP4L102", "boom", Span("x.rp4", 3, 7))
+    assert with_span.format() == "x.rp4:3:7: error[RP4L102]: boom"
+    spanless = Diagnostic("RP4L102", "boom", Severity.ERROR)
+    assert spanless.format() == "error[RP4L102]: boom"
+
+
+def test_span_zero_line_renders_file_only():
+    assert str(Span("x.rp4")) == "x.rp4"
+    assert str(Span("x.rp4", 9, 0)) == "x.rp4:9:1"
+
+
+def test_make_uses_catalogue_severity():
+    assert make("RP4L105", "m").severity is Severity.INFO
+    assert make("RP4L105", "m", severity=Severity.ERROR).severity is Severity.ERROR
+
+
+def test_max_severity_and_errors():
+    diags = [make("RP4L105", "i"), make("RP4L202", "w"), make("RP4L102", "e")]
+    assert max_severity(diags) is Severity.ERROR
+    assert max_severity([]) is None
+    assert [d.rule for d in errors(diags)] == ["RP4L102"]
+
+
+def test_promote_warnings_leaves_info_alone():
+    diags = [make("RP4L105", "i"), make("RP4L202", "w")]
+    promoted = promote_warnings(diags)
+    assert promoted[0].severity is Severity.INFO
+    assert promoted[1].severity is Severity.ERROR
+    # originals untouched
+    assert diags[1].severity is Severity.WARNING
+
+
+# -- suppression pragmas -----------------------------------------------------
+
+
+def test_line_suppression_pragma():
+    source = "line one\ntable t { } // rp4lint: disable=RP4L202, RP4L204\n"
+    file_wide, by_line = source_suppressions(source)
+    assert not file_wide
+    assert by_line == {2: {"RP4L202", "RP4L204"}}
+    diags = [
+        make("RP4L202", "w", Span("f", 2, 1)),
+        make("RP4L202", "w", Span("f", 5, 1)),
+    ]
+    kept, dropped = filter_suppressed(diags, source)
+    assert dropped == 1
+    assert [d.span.line for d in kept] == [5]
+
+
+def test_file_wide_suppression_pragma():
+    source = "// rp4lint: disable-file=RP4L105\nheaders { }\n"
+    diags = [make("RP4L105", "i", Span("f", 40, 1)), make("RP4L202", "w", Span("f", 2, 1))]
+    kept, dropped = filter_suppressed(diags, source)
+    assert dropped == 1
+    assert [d.rule for d in kept] == ["RP4L202"]
+
+
+def test_no_pragmas_keeps_everything():
+    diags = [make("RP4L202", "w", Span("f", 1, 1))]
+    kept, dropped = filter_suppressed(diags, "plain source")
+    assert dropped == 0 and len(kept) == 1
+
+
+# -- emitters ----------------------------------------------------------------
+
+
+def _sample():
+    return [
+        make("RP4L102", "conflict", Span("a.rp4", 2, 5)),
+        make("RP4L202", "dead table", Span("a.rp4", 10, 1)),
+        make("RP4L105", "late bind"),
+    ]
+
+
+def test_text_report_has_summary_line():
+    report = dumps(_sample(), "text")
+    assert report.splitlines()[-1] == "1 error(s), 1 warning(s), 1 info"
+    assert "a.rp4:2:5: error[RP4L102]: conflict" in report
+    assert dumps([], "text") == "no findings"
+
+
+def test_json_report_schema():
+    doc = to_json(_sample())
+    assert doc["version"] == 1 and doc["tool"] == "rp4lint"
+    assert doc["counts"] == {"error": 1, "warning": 1, "info": 1}
+    first = doc["diagnostics"][0]
+    assert first == {
+        "rule": "RP4L102",
+        "severity": "error",
+        "message": "conflict",
+        "file": "a.rp4",
+        "line": 2,
+        "column": 5,
+    }
+    # spanless diagnostics omit location keys
+    assert "file" not in doc["diagnostics"][2]
+    json.loads(dumps(_sample(), "json"))  # round-trips
+
+
+def test_sarif_report_schema():
+    doc = to_sarif(_sample())
+    assert doc["version"] == "2.1.0"
+    run = doc["runs"][0]
+    rule_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+    assert rule_ids == sorted({"RP4L102", "RP4L202", "RP4L105"})
+    for result in run["results"]:
+        assert rule_ids[result["ruleIndex"]] == result["ruleId"]
+    first = run["results"][0]
+    assert first["level"] == "error"
+    region = first["locations"][0]["physicalLocation"]["region"]
+    assert region == {"startLine": 2, "startColumn": 5}
+    # the spanless finding carries no locations at all
+    assert "locations" not in run["results"][2]
+    json.loads(dumps(_sample(), "sarif"))
+
+
+def test_dumps_rejects_unknown_format():
+    with pytest.raises(ValueError):
+        dumps([], "xml")

@@ -1,0 +1,135 @@
+"""The two enforcement gates: rp4bc's pre-compile lint and the
+controller's pre-apply update verification."""
+
+import pytest
+
+from tests.analysis_fixtures import MINI_CHAIN, MINI_CLEAN, UNSAFE_SCRIPT
+from repro.compiler.rp4bc import (
+    CompileError,
+    LintError,
+    MemoryFeasibilityError,
+    TargetSpec,
+    compile_base,
+)
+from repro.memory.pool import AllocationError
+from repro.runtime.controller import Controller, UnsafeUpdateError
+
+
+# -- rp4bc pre-compile gate --------------------------------------------------
+
+
+def test_clean_program_compiles_with_default_lint():
+    design = compile_base(MINI_CLEAN)
+    assert design.lint_diagnostics == []
+
+
+def test_warnings_pass_in_warn_mode_but_are_kept_on_the_design():
+    source = MINI_CLEAN.replace(
+        "table t_fwd {",
+        "table t_dead {\n    key = { ethernet.dst_addr: exact; }\n"
+        "    size = 16;\n}\ntable t_fwd {",
+    )
+    design = compile_base(source)
+    assert [d.rule for d in design.lint_diagnostics] == ["RP4L202"]
+
+
+def test_strict_mode_promotes_warnings_to_rejection():
+    source = MINI_CLEAN.replace(
+        "table t_fwd {",
+        "table t_dead {\n    key = { ethernet.dst_addr: exact; }\n"
+        "    size = 16;\n}\ntable t_fwd {",
+    )
+    with pytest.raises(LintError) as excinfo:
+        compile_base(source, lint="strict")
+    assert [d.rule for d in excinfo.value.diagnostics] == ["RP4L202"]
+    assert isinstance(excinfo.value, CompileError)
+
+
+def test_error_findings_reject_even_in_warn_mode():
+    source = MINI_CLEAN.replace(
+        "0x0800: ipv4;", "0x0800: ipv4;\n            0x0800: orphan;"
+    ).replace(
+        "    header ipv4 {\n        bit<8> ttl;\n        bit<32> dst_addr;\n    }",
+        "    header ipv4 {\n        bit<8> ttl;\n"
+        "        bit<32> dst_addr;\n    }\n"
+        "    header orphan {\n        bit<8> pad;\n    }",
+    )
+    with pytest.raises(LintError) as excinfo:
+        compile_base(source)
+    assert any(d.rule == "RP4L102" for d in excinfo.value.diagnostics)
+
+
+def test_lint_off_bypasses_the_gate():
+    source = MINI_CLEAN.replace(
+        "table t_fwd {",
+        "table t_dead {\n    key = { ethernet.dst_addr: exact; }\n"
+        "    size = 16;\n}\ntable t_fwd {",
+    )
+    design = compile_base(source, lint="off")
+    assert design.lint_diagnostics == []
+
+
+def test_unknown_lint_mode_is_rejected():
+    with pytest.raises(CompileError):
+        compile_base(MINI_CLEAN, lint="loose")
+
+
+def test_wont_fit_raises_memory_feasibility_error():
+    """Won't-fit programs still satisfy callers expecting the
+    allocator's AllocationError -- the gate just fires earlier."""
+    target = TargetSpec(sram_blocks=1, tcam_blocks=0)
+    with pytest.raises(MemoryFeasibilityError) as excinfo:
+        compile_base(MINI_CLEAN, target)
+    assert isinstance(excinfo.value, AllocationError)
+    assert isinstance(excinfo.value, LintError)
+    assert {d.rule for d in excinfo.value.diagnostics} <= {"RP4L301", "RP4L302"}
+
+
+# -- controller pre-apply gate -----------------------------------------------
+
+
+def _loaded_controller(**kwargs):
+    controller = Controller(**kwargs)
+    controller.load_base(MINI_CHAIN)
+    return controller
+
+
+def test_unsafe_update_is_rejected_before_touching_the_switch():
+    controller = _loaded_controller()
+    stages_before = set(controller.design.program.all_stages())
+    updates_before = controller.switch.n_updates if hasattr(
+        controller.switch, "n_updates"
+    ) else None
+    with pytest.raises(UnsafeUpdateError) as excinfo:
+        controller.run_script(UNSAFE_SCRIPT)
+    assert any(d.rule == "RP4L402" for d in excinfo.value.diagnostics)
+    # the running design is untouched and nothing crossed the channel
+    assert set(controller.design.program.all_stages()) == stages_before
+    assert not any(h.startswith("script:") for h in controller.history)
+    if updates_before is not None:
+        assert controller.switch.n_updates == updates_before
+
+
+def test_gate_can_be_disabled_per_controller():
+    controller = _loaded_controller(lint_updates=False)
+    plan, stats, _timing = controller.run_script(UNSAFE_SCRIPT)
+    assert "writer" in plan.removed_stages
+
+
+def test_safe_update_records_lint_phase_and_findings():
+    from repro.programs import base_rp4_source, ecmp_load_script, ecmp_rp4_source
+
+    controller = Controller()
+    controller.load_base(base_rp4_source())
+    controller.run_script(
+        ecmp_load_script(), {"ecmp.rp4": ecmp_rp4_source()}
+    )
+    assert [d for d in controller.last_lint if d.severity.label == "error"] == []
+    timeline = controller.timelines.latest("run_script")
+    assert "lint" in [p.name for p in timeline.phases]
+
+
+def test_unsafe_update_error_is_a_controller_error():
+    from repro.runtime.controller import ControllerError
+
+    assert issubclass(UnsafeUpdateError, ControllerError)

@@ -1,0 +1,224 @@
+"""Behavioral tests for the four rp4lint pass families (beyond the
+golden firing fixtures in test_analysis_diag.py): clean programs stay
+clean, the documented exemptions hold, and snippet mode limits itself
+to header-local rules."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from tests.analysis_fixtures import MINI_CHAIN, MINI_CLEAN
+from repro.analysis.linter import is_snippet, lint_design, lint_source
+from repro.analysis.memcheck import PRESSURE_THRESHOLD, lint_memory
+from repro.analysis.parse_soundness import (
+    check_links,
+    constructed_headers,
+    root_headers,
+)
+from repro.analysis.update_safety import check_selector, lint_update
+from repro.compiler.dependency import stage_effects
+from repro.compiler.rp4bc import TargetSpec, compile_base, compile_update
+from repro.rp4.parser import parse_rp4
+
+
+# -- family 1: parse soundness ----------------------------------------------
+
+
+def test_clean_program_has_no_findings():
+    assert lint_source(MINI_CLEAN, path="mini.rp4") == []
+    assert lint_source(MINI_CHAIN, path="chain.rp4") == []
+
+
+def test_root_headers_are_the_unlinked_ones():
+    program = parse_rp4(MINI_CLEAN)
+    assert root_headers(program) == ["ethernet"]
+
+
+def test_constructed_header_exempt_from_unreachability():
+    """A header only an action writes (paper's INT push) is valid
+    without a parse path -- no RP4L101."""
+    source = MINI_CLEAN.replace(
+        "    header ipv4 {",
+        "    header shim {\n        bit<8> kind;\n    }\n    header ipv4 {",
+    ).replace(
+        "action set_x(bit<16> v) {\n    meta.x = v;\n}",
+        "action set_x(bit<16> v) {\n    meta.x = v;\n    shim.kind = 1;\n}",
+    )
+    program = parse_rp4(source)
+    effects = {
+        name: stage_effects(stage, program)
+        for name, stage in program.all_stages().items()
+    }
+    assert "shim" in constructed_headers(program, effects)
+    assert not [
+        d for d in lint_source(source, path="s.rp4") if d.rule == "RP4L101"
+    ]
+
+
+def test_conflicting_tag_same_target_is_fine():
+    source = MINI_CLEAN.replace(
+        "0x0800: ipv4;", "0x0800: ipv4;\n            0x0800: ipv4;"
+    )
+    program = parse_rp4(source)
+    assert [d.rule for d in check_links(program)] == []
+
+
+def test_own_parser_list_satisfies_read():
+    """The stage that parses ipv4 itself may read ipv4 fields."""
+    source = MINI_CLEAN.replace(
+        "        parser { ethernet };\n        matcher { t_read.apply(); };",
+        "        parser { ethernet, ipv4 };\n        matcher { t_read.apply(); };",
+    ).replace("key = { meta.x: exact; }", "key = { ipv4.dst_addr: exact; }")
+    assert not [
+        d for d in lint_source(source, path="s.rp4") if d.rule == "RP4L104"
+    ]
+
+
+def test_upstream_parse_satisfies_downstream_read():
+    """A predecessor's parser list flows to successors (fixpoint)."""
+    source = MINI_CLEAN.replace(
+        "    stage writer {\n        parser { ethernet };",
+        "    stage writer {\n        parser { ethernet, ipv4 };",
+    ).replace("key = { meta.x: exact; }", "key = { ipv4.dst_addr: exact; }")
+    assert not [
+        d for d in lint_source(source, path="s.rp4") if d.rule == "RP4L104"
+    ]
+
+
+# -- snippet mode ------------------------------------------------------------
+
+
+def test_snippet_mode_is_detected_and_header_local():
+    snippet = """\
+headers {
+    header probe {
+        bit<8> kind;
+        implicit parser(kind) {
+            1: probe;
+        }
+    }
+}
+"""
+    program = parse_rp4(snippet)
+    assert is_snippet(program)
+    rules = {d.rule for d in lint_source(snippet, path="s.rp4")}
+    # self-cycle caught even standalone; no reachability complaints
+    assert "RP4L103" in rules
+    assert "RP4L101" not in rules and "RP4L201" not in rules
+
+
+def test_shipped_snippets_lint_clean_standalone():
+    from repro.programs import acl_rp4_source, ecmp_rp4_source
+
+    for source in (acl_rp4_source(), ecmp_rp4_source()):
+        diags = lint_source(source, path="snippet.rp4")
+        assert [d for d in diags if d.severity.label == "error"] == []
+
+
+# -- family 3: memory feasibility -------------------------------------------
+
+
+def test_design_that_fits_has_no_memory_findings():
+    design = compile_base(MINI_CLEAN, lint="off")
+    diags = lint_memory(
+        design.table_layouts, design.target.make_pool(), design.program
+    )
+    assert diags == []
+
+
+def test_demand_error_is_reported_per_table():
+    design = compile_base(MINI_CLEAN, lint="off")
+    layouts = dict(design.table_layouts)
+    name = next(iter(layouts))
+    good = layouts[name]
+    layouts[name] = SimpleNamespace(
+        clusters=good.clusters, kind=good.kind, entry_width=good.entry_width,
+        depth=0,
+    )
+    diags = lint_memory(layouts, design.target.make_pool(), design.program)
+    bad = [d for d in diags if d.rule == "RP4L301"]
+    assert bad and name in bad[0].message
+
+
+def test_pressure_threshold_is_ninety_percent():
+    assert PRESSURE_THRESHOLD == pytest.approx(0.9)
+
+
+# -- family 4: update safety -------------------------------------------------
+
+
+def test_selector_in_bounds_is_clean():
+    assert check_selector({"tm_input": 3, "tm_output": 7, "active": [0, 1]}, 8) == []
+    assert check_selector({}, 8) == []
+
+
+def test_surviving_writer_unstrands_the_field():
+    """If another live stage still writes the field, draining one
+    writer is fine (no RP4L402)."""
+    source = MINI_CHAIN.replace(
+        """\
+    stage entry {
+        parser { ethernet };
+        matcher { t_in.apply(); };
+        executor {
+            default: NoAction;
+        }
+    }
+""",
+        """\
+    stage entry {
+        parser { ethernet };
+        matcher { t_in.apply(); };
+        executor {
+            1: set_x;
+            default: NoAction;
+        }
+    }
+""",
+    )
+    design = compile_base(source, lint="off")
+    plan = compile_update(
+        design, "add_link entry reader\ndel_link entry writer\n", {}
+    )
+    assert "writer" in plan.removed_stages
+    assert lint_update(design, plan) == []
+
+
+def test_shipped_ecmp_script_is_safe():
+    """The paper's Fig. 5 ECMP upgrade prunes the nexthop stage; the
+    FIB stages keep writing meta.nexthop, so nothing strands."""
+    from repro.programs import base_rp4_source, ecmp_load_script, ecmp_rp4_source
+
+    design = compile_base(base_rp4_source(), lint="off")
+    plan = compile_update(
+        design, ecmp_load_script(), {"ecmp.rp4": ecmp_rp4_source()}
+    )
+    diags = lint_update(design, plan)
+    diags.extend(lint_design(plan.design, path="<post-update>"))
+    assert [d for d in diags if d.severity.label == "error"] == []
+
+
+def test_post_update_relint_uses_families_one_to_three():
+    design = compile_base(MINI_CLEAN, lint="off")
+    diags = lint_design(design, path="mini.rp4")
+    assert diags == []
+
+
+def test_lint_design_honors_suppression_pragmas():
+    source = MINI_CLEAN.replace(
+        "table t_fwd {",
+        "table t_dead { // rp4lint: disable=RP4L202\n"
+        "    key = { ethernet.dst_addr: exact; }\n    size = 16;\n}\n"
+        "table t_fwd {",
+    )
+    design = compile_base(source, lint="off")
+    assert lint_design(design, source=source, path="s.rp4") == []
+    # without the source text the warning is visible
+    assert [d.rule for d in lint_design(design, path="s.rp4")] == ["RP4L202"]
+
+
+def test_target_spec_small_pool_drives_pressure_info():
+    diags = lint_source(
+        MINI_CLEAN, path="mini.rp4", target=TargetSpec(sram_blocks=96)
+    )
+    assert diags == []

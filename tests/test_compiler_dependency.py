@@ -120,3 +120,45 @@ class TestDependsAndMergeable:
         merged.headers["srh"].links.append((4, "inner_ipv4"))
         deps2 = analyze_dependencies(merged)
         assert deps2.headers_exclusive("ipv4", "ipv6")
+
+
+class TestPrimitiveEffects:
+    """The effect table must cover the primitive set exactly, and an
+    unknown primitive (future AST construction) must be treated as
+    read-all/write-all, never as side-effect-free."""
+
+    def test_effect_table_matches_known_primitives(self):
+        from repro.compiler.dependency import PRIMITIVE_EFFECTS
+        from repro.rp4.semantic import KNOWN_PRIMITIVES
+
+        assert set(PRIMITIVE_EFFECTS) == KNOWN_PRIMITIVES
+
+    def test_unknown_primitive_is_read_write_all(self):
+        from repro.compiler.dependency import STAR
+        from repro.lang.expr import SCall
+        from repro.rp4.ast import Rp4Action
+
+        program = parse_rp4(base_rp4_source())
+        stage = program.all_stages()["port_map"]
+        program.actions["mystery"] = Rp4Action(
+            name="mystery", params=[], body=[SCall("frobnicate")]
+        )
+        stage.executor[9] = "mystery"
+        effects = stage_effects(stage, program)
+        assert STAR in effects.reads and STAR in effects.writes
+
+    def test_wildcard_effects_conflict_with_everything(self):
+        from repro.compiler.dependency import STAR, DependencyInfo, StageEffects
+
+        info = DependencyInfo(
+            effects={
+                "wild": StageEffects("wild", reads={STAR}, writes={STAR}),
+                "plain": StageEffects(
+                    "plain", reads={"meta.x"}, writes={"meta.y"}
+                ),
+                "empty": StageEffects("empty"),
+            }
+        )
+        assert info.depends("wild", "plain")
+        assert info.depends("plain", "wild")
+        assert not info.depends("wild", "empty")

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.compiler.merge import MergeMode, group_key
+from repro.compiler.merge import MergeMode
 from repro.compiler.rp4bc import (
     CompileError,
     TargetSpec,

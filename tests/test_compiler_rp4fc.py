@@ -3,7 +3,7 @@
 import pytest
 
 from repro.compiler.rp4fc import Rp4fcError, rp4fc
-from repro.lang.expr import EUnary, SApply, SCall
+from repro.lang.expr import EUnary
 from repro.p4 import build_hlir, parse_p4
 from repro.programs import base_p4_source, base_rp4_source
 from repro.programs.p4_variants import srv6_p4_source

@@ -3,12 +3,7 @@ must fail loudly and leave running state intact."""
 
 import pytest
 
-from repro.compiler.rp4bc import (
-    CompileError,
-    TargetSpec,
-    compile_base,
-    compile_update,
-)
+from repro.compiler.rp4bc import TargetSpec, compile_base, compile_update
 from repro.ipsa.switch import IpsaSwitch, SwitchError
 from repro.memory.pool import AllocationError
 from repro.net.packet import ParseError

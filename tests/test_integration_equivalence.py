@@ -7,10 +7,7 @@ the reproduction has: it exercises both parsers, both pipelines, the
 compilers, and the populate helpers against each other.
 """
 
-import pytest
 
-from repro.compiler.rp4bc import compile_base, compile_update
-from repro.ipsa.switch import IpsaSwitch
 from repro.pisa.switch import PisaSwitch
 from repro.programs import (
     base_p4_source,

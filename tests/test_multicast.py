@@ -6,11 +6,7 @@ from repro.compiler.rp4bc import compile_base
 from repro.ipsa.switch import IpsaSwitch
 from repro.ipsa.tm import TrafficManager
 from repro.net.packet import Packet
-from repro.programs import base_rp4_source, populate_base_tables
-from repro.rp4 import parse_rp4
-from repro.runtime import Controller
 from repro.tables.table import TableEntry
-from repro.workloads import ipv4_packet
 
 
 class TestTmGroups:

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.p4 import build_hlir, parse_p4
 from repro.pisa.pipeline import FitError
 from repro.pisa.switch import PisaSwitch
 from repro.programs import base_p4_source

@@ -11,7 +11,7 @@ from hypothesis import strategies as st
 
 from repro.compiler.merge import group_key
 from repro.compiler.rp4bc import TargetSpec, compile_base
-from repro.lang.expr import EBin, EConst, ERef, EValid
+from repro.lang.expr import ERef, EValid
 from repro.memory.virtualization import blocks_required
 from repro.rp4.ast import (
     HeaderDecl,

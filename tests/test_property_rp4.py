@@ -3,7 +3,7 @@
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.lang.expr import EBin, EConst, ERef, EValid
+from repro.lang.expr import EBin, EConst, EValid
 from repro.rp4 import parse_rp4, print_rp4
 from repro.rp4.ast import (
     HeaderDecl,

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.lang.errors import LangError
-from repro.lang.expr import EBin, EValid, SAssign, SCall
+from repro.lang.expr import EValid, SAssign, SCall
 from repro.rp4 import parse_rp4, print_rp4
 from repro.programs import base_rp4_source, ecmp_rp4_source
 

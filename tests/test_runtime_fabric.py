@@ -9,7 +9,7 @@ from repro.programs import (
     srv6_load_script,
     srv6_rp4_source,
 )
-from repro.programs.base_l2l3 import NEXTHOP_MACS, ROUTER_MAC
+from repro.programs.base_l2l3 import ROUTER_MAC
 from repro.runtime import Controller
 from repro.runtime.fabric import Delivery, Fabric, FabricError
 from repro.tables.table import TableEntry

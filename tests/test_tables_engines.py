@@ -142,3 +142,32 @@ class TestHashEngine:
     def test_remove_bad_index(self):
         with pytest.raises(KeyError):
             HashEngine().remove_member(0)
+
+
+class TestMatchKindRegistry:
+    """engines.py is the single source of truth for match kinds: the
+    rP4/P4 parsers, the validator, and rp4lint all import from here."""
+
+    def test_registry_maps_kind_to_engine(self):
+        from repro.tables.engines import ENGINES
+
+        assert ENGINES["exact"] is ExactEngine
+        assert ENGINES["lpm"] is LpmEngine
+        assert ENGINES["ternary"] is TernaryEngine
+        assert ENGINES["hash"] is HashEngine
+
+    def test_match_kinds_cover_the_registry(self):
+        from repro.tables.engines import ENGINES, MATCH_KINDS, P4_MATCH_KINDS
+
+        assert MATCH_KINDS == frozenset(ENGINES)
+        assert P4_MATCH_KINDS == MATCH_KINDS | {"selector"}
+
+    def test_parsers_and_validator_share_the_registry(self):
+        from repro.compiler import validate
+        from repro.rp4 import parser as rp4_parser
+        from repro.p4 import parser as p4_parser
+        from repro.tables import engines
+
+        assert rp4_parser.MATCH_KINDS is engines.MATCH_KINDS
+        assert validate.MATCH_KINDS is engines.MATCH_KINDS
+        assert p4_parser.P4_MATCH_KINDS is engines.P4_MATCH_KINDS
