@@ -23,14 +23,12 @@ from repro.workloads import ipv4_packet
 
 
 def send_flows(controller, n_flows=60):
-    ports = Counter()
-    for flow in range(n_flows):
-        out = controller.switch.inject(
-            ipv4_packet("10.1.0.1", f"10.2.0.{flow + 1}", sport=1000 + flow), 0
-        )
-        if out is not None:
-            ports[out.port] += 1
-    return ports
+    trace = [
+        (ipv4_packet("10.1.0.1", f"10.2.0.{flow + 1}", sport=1000 + flow), 0)
+        for flow in range(n_flows)
+    ]
+    batch = controller.switch.inject_batch(trace)
+    return Counter(out.port for out in batch if out is not None)
 
 
 def main() -> None:

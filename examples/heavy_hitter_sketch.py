@@ -40,15 +40,16 @@ def main() -> None:
 
     # Traffic: one elephant flow among many mice.
     print("\nreplaying 1 elephant (40 pkts) + 60 mice (1-2 pkts each):")
-    for _ in range(40):
-        controller.switch.inject(
-            ipv4_packet("10.1.0.1", "10.2.0.1", sport=7777), 0
-        )
+    trace = [
+        (ipv4_packet("10.1.0.1", "10.2.0.1", sport=7777), 0)
+        for _ in range(40)
+    ]
     for mouse in range(60):
-        for _ in range(mouse % 2 + 1):
-            controller.switch.inject(
-                ipv4_packet("10.1.0.1", f"10.2.9.{mouse + 1}"), 0
-            )
+        trace.extend(
+            (ipv4_packet("10.1.0.1", f"10.2.9.{mouse + 1}"), 0)
+            for _ in range(mouse % 2 + 1)
+        )
+    controller.switch.inject_batch(trace)
 
     sketch = controller.switch.externs.sketches["hh_update"]
     elephant = sketch.estimate(

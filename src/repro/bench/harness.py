@@ -63,22 +63,17 @@ def measure_cell(
     switch = make_switch(arch, case)
     trace = case_trace(case, n_packets, seed=seed)
 
-    for data, port in trace[:WARMUP_PACKETS]:
-        switch.inject(data, port)
+    switch.inject_batch(trace[:WARMUP_PACKETS])
 
-    forwarded = dropped = 0
     started = clock.now()
-    for data, port in trace:
-        if switch.inject(data, port) is None:
-            dropped += 1
-        else:
-            forwarded += 1
+    batch = switch.inject_batch(trace)
     plain_seconds = clock.now() - started
+    forwarded = batch.forwarded
+    dropped = batch.dropped
 
     profiler = switch.enable_profiling()
     started = clock.now()
-    for data, port in trace:
-        switch.inject(data, port)
+    switch.inject_batch(trace)
     profiled_seconds = clock.now() - started
     switch.disable_profiling()
 

@@ -123,3 +123,10 @@ def case_trace(case: str, n_packets: int, seed: int = 23) -> Trace:
     if case == "base":
         return mixed_l3_trace(n_packets, seed=seed)
     return use_case_trace(case, n_packets, seed=seed)
+
+
+def run_case(arch: str, case: str, n_packets: int, seed: int = 23):
+    """Build the scenario and replay its trace through the batch
+    front door; returns ``(switch, BatchResult)``."""
+    switch = make_switch(arch, case)
+    return switch, switch.inject_batch(case_trace(case, n_packets, seed=seed))

@@ -290,11 +290,86 @@ def eval_predicate(expr: Expr, packet: Packet) -> int:
     raise LoweringError(f"expression {expr!r} not valid in predicates")
 
 
+class _Uncompilable(Exception):
+    """Internal: the predicate shape has no closure form."""
+
+
+#: Non-short-circuit binary operators in their closure-compiled form.
+#: Comparisons return P4-style 0/1 (matching :func:`eval_predicate`).
+_BIN_CLOSURE_OPS: Dict[str, Callable[[int, int], int]] = {
+    "==": lambda a, b: 1 if a == b else 0,
+    "!=": lambda a, b: 1 if a != b else 0,
+    "<": lambda a, b: 1 if a < b else 0,
+    ">": lambda a, b: 1 if a > b else 0,
+    "<=": lambda a, b: 1 if a <= b else 0,
+    ">=": lambda a, b: 1 if a >= b else 0,
+    "&": lambda a, b: a & b,
+    "|": lambda a, b: a | b,
+    "^": lambda a, b: a ^ b,
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "<<": lambda a, b: a << b,
+    ">>": lambda a, b: a >> b,
+}
+
+
+def _compile_expr(expr: Expr) -> Callable[[Packet], int]:
+    """Predicate AST -> int-valued closure, or :class:`_Uncompilable`.
+
+    Anything without a closure form (``ECall``, unknown operators)
+    raises so the caller can fall back to the tree-walking
+    interpreter, which owns the error semantics for those shapes.
+    """
+    if isinstance(expr, EConst):
+        value = expr.value
+        return lambda packet: value
+    if isinstance(expr, ERef):
+        ref = expr.ref
+        def read_ref(packet: Packet) -> int:
+            value = packet.read(ref)
+            if not isinstance(value, int):
+                raise LoweringError(
+                    f"predicate reads non-integer field {ref!r}"
+                )
+            return value
+        return read_ref
+    if isinstance(expr, EValid):
+        header = expr.header
+        return lambda packet: 1 if packet.is_valid(header) else 0
+    if isinstance(expr, EUnary):
+        inner = _compile_expr(expr.operand)
+        if expr.op == "!":
+            return lambda packet: 0 if inner(packet) else 1
+        return lambda packet: -inner(packet)
+    if isinstance(expr, EBin):
+        op = expr.op
+        left = _compile_expr(expr.left)
+        right = _compile_expr(expr.right)
+        if op == "&&":
+            return lambda packet: 1 if left(packet) and right(packet) else 0
+        if op == "||":
+            return lambda packet: 1 if left(packet) or right(packet) else 0
+        fn = _BIN_CLOSURE_OPS.get(op)
+        if fn is None:
+            raise _Uncompilable(op)
+        return lambda packet: fn(left(packet), right(packet))
+    raise _Uncompilable(type(expr).__name__)
+
+
 def compile_predicate(expr: Optional[Expr]) -> Callable[[Packet], bool]:
-    """Matcher predicate -> callable; ``None`` (bare else) is always true."""
+    """Matcher predicate -> callable; ``None`` (bare else) is always true.
+
+    Compiles the AST into nested closures at template-commit time so
+    per-packet evaluation pays no isinstance dispatch; shapes without
+    a closure form fall back to :func:`eval_predicate` unchanged.
+    """
     if expr is None:
         return lambda packet: True
-    return lambda packet: bool(eval_predicate(expr, packet))
+    try:
+        fn = _compile_expr(expr)
+    except _Uncompilable:
+        return lambda packet: bool(eval_predicate(expr, packet))
+    return lambda packet: bool(fn(packet))
 
 
 # --------------------------------------------------------------------------

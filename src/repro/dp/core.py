@@ -1,0 +1,146 @@
+"""Per-device dataplane cores: plan cache + architecture specifics.
+
+A core owns three things for its device:
+
+* the **compiled plan cache** -- compiled lazily on first use, counted
+  in ``dp.plan_compiles``, and dropped by :meth:`invalidate` whenever
+  a runtime event could change what the plan resolved (template write,
+  selector reconfig, table create/free/repoint, schema change, full
+  load).  Each invalidation bumps a generation counter and a
+  per-reason ``dp.plan_invalidations`` metric;
+* the **merged metadata template** -- the device's metadata defaults
+  folded under the intrinsic fields once, so the front door builds a
+  packet's metadata with a single dict copy;
+* the **architecture binding** -- how one packet traverses the device
+  (:meth:`process`) and how a surviving copy serializes
+  (:meth:`serialize`), shared by ``inject``/``inject_multi``/
+  ``inject_batch``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.dp.exec import (
+    PipelineOutcome,
+    run_flow,
+    run_ipsa_pipeline,
+)
+from repro.dp.plan import compile_ipsa_plan, compile_pisa_plan
+from repro.net.packet import INTRINSIC_METADATA, Packet
+from repro.obs.metrics import MetricsRegistry, Sample
+from repro.obs.trace import DropReason
+
+
+class DataplaneCore:
+    """Base core: plan cache, invalidation metrics, metadata template."""
+
+    def __init__(self, device) -> None:
+        self.device = device
+        self.generation = 0
+        self.plan_compiles = 0
+        self.plan_invalidations: Dict[str, int] = {}
+        self._plan = None
+        self.metadata_template: Dict[str, object] = dict(INTRINSIC_METADATA)
+
+    # -- observability -------------------------------------------------
+
+    def register_metrics(self, metrics: MetricsRegistry) -> None:
+        metrics.add_collector("dp", self.metrics_samples)
+
+    def metrics_samples(self):
+        yield Sample("dp.plan_compiles", self.plan_compiles)
+        yield Sample("dp.plan_generation", self.generation, {}, "gauge")
+        for reason, count in self.plan_invalidations.items():
+            yield Sample("dp.plan_invalidations", count, {"reason": reason})
+
+    # -- plan cache ----------------------------------------------------
+
+    def invalidate(self, reason: str = "update") -> None:
+        """Drop the compiled plan (it re-compiles on next use)."""
+        self._plan = None
+        self.generation += 1
+        self.plan_invalidations[reason] = (
+            self.plan_invalidations.get(reason, 0) + 1
+        )
+        self.rebuild_metadata_template()
+
+    def plan(self):
+        """The compiled plan, compiling (and counting) if stale."""
+        plan = self._plan
+        if plan is None:
+            plan = self._plan = self._compile()
+            self.plan_compiles += 1
+        return plan
+
+    def rebuild_metadata_template(self) -> None:
+        """Re-merge device metadata defaults under the intrinsics."""
+        merged = dict(self.device.metadata_defaults)
+        merged.update(INTRINSIC_METADATA)
+        self.metadata_template = merged
+
+    # -- front-door helpers -------------------------------------------
+
+    def new_packet(self, data: bytes, port: int) -> Packet:
+        metadata = dict(self.metadata_template)
+        metadata["ingress_port"] = port
+        metadata["packet_length"] = len(data)
+        return Packet(data, first_header=self.first_header(), metadata=metadata)
+
+    # -- architecture binding (subclass responsibilities) --------------
+
+    def _compile(self):
+        raise NotImplementedError
+
+    def first_header(self) -> str:
+        raise NotImplementedError
+
+    def process(self, packet, hooks, meter=None) -> PipelineOutcome:
+        raise NotImplementedError
+
+    def serialize(self, packet, hooks) -> bytes:
+        raise NotImplementedError
+
+
+class IpsaCore(DataplaneCore):
+    """IPSA binding: elastic TSP pipeline + TM, emit-in-flight."""
+
+    def _compile(self):
+        return compile_ipsa_plan(self.device)
+
+    def first_header(self) -> str:
+        return self.device.first_header
+
+    def process(self, packet, hooks, meter=None) -> PipelineOutcome:
+        return run_ipsa_pipeline(self.plan(), packet, self.device, hooks, meter)
+
+    def serialize(self, packet, hooks) -> bytes:
+        # IPSA maintains the full header stack in flight: no deparser.
+        return packet.emit()
+
+
+class PisaCore(DataplaneCore):
+    """PISA binding: front parser, fixed flows, explicit deparser."""
+
+    def _compile(self):
+        return compile_pisa_plan(self.device)
+
+    def first_header(self) -> str:
+        return self.device.parser.first_header
+
+    def process(self, packet, hooks, meter=None) -> PipelineOutcome:
+        device = self.device
+        plan = self.plan()
+        hooks.front_parse(device.parser, packet)
+        stats = device.pipeline.stats
+        stats.packets += 1
+        run_flow(plan.ingress, packet, device, hooks, stats)
+        if packet.metadata.get("drop"):
+            return PipelineOutcome((), DropReason.INGRESS_ACTION)
+        run_flow(plan.egress, packet, device, hooks, stats)
+        if packet.metadata.get("drop"):
+            return PipelineOutcome((), DropReason.EGRESS_ACTION)
+        return PipelineOutcome((packet,))
+
+    def serialize(self, packet, hooks) -> bytes:
+        return hooks.deparse(self.device.deparser, packet)

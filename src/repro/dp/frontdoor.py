@@ -1,0 +1,198 @@
+"""The shared front door: inject / inject_multi / inject_batch.
+
+Both switches used to hand-maintain the same preamble (counters,
+clock, size histogram, tracer begin, metadata defaults) and epilogue
+(drop accounting, PortOut construction, punt/emit trace outcome).
+That lives here once, parameterized by the device's
+:class:`~repro.dp.core.DataplaneCore`.
+
+:func:`inject_batch` is the amortized path: hooks and the compiled
+plan resolve once per batch, the per-packet tracer checks disappear
+when tracing is off, and each packet's metadata is one dict copy of
+the device's merged defaults template.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+from repro.dp.core import DataplaneCore
+from repro.dp.exec import PipelineOutcome
+from repro.dp.hooks import NULL_HOOKS, ProfileHooks, resolve_hooks
+from repro.net.packet import Packet
+from repro.obs.trace import DropReason
+
+#: Packet-size histogram edges (bytes): the classic wire ladder.
+PACKET_BYTES_BOUNDS = (64, 128, 256, 512, 1024, 1518)
+
+
+@dataclass
+class PortOut:
+    """One packet leaving a device."""
+
+    port: int
+    data: bytes
+    to_cpu: bool = False
+
+
+class BatchResult:
+    """Outcome of :func:`inject_batch`: one slot per injected packet.
+
+    ``outputs[i]`` is the :class:`PortOut` for packet ``i``, or
+    ``None`` if it was dropped -- so a batch is position-for-position
+    comparable with N individual :func:`inject` calls.
+    """
+
+    __slots__ = ("outputs",)
+
+    def __init__(self, outputs: List[Optional[PortOut]]) -> None:
+        self.outputs = outputs
+
+    @property
+    def forwarded(self) -> int:
+        return sum(1 for out in self.outputs if out is not None)
+
+    @property
+    def dropped(self) -> int:
+        return sum(1 for out in self.outputs if out is None)
+
+    def __len__(self) -> int:
+        return len(self.outputs)
+
+    def __iter__(self):
+        return iter(self.outputs)
+
+    def __getitem__(self, index):
+        return self.outputs[index]
+
+
+def _ingest(core: DataplaneCore, data: bytes, port: int) -> Packet:
+    """Shared preamble: counters, clock, histogram, tracer begin."""
+    device = core.device
+    device.packets_in += 1
+    device.clock += 1
+    device._packet_bytes.observe(len(data))
+    if device.profiler is not None:
+        device.profiler.packets += 1
+    tracer = device.tracer
+    if tracer is not None:
+        tracer.begin(clock=device.clock, port=port, length=len(data))
+    return core.new_packet(data, port)
+
+
+def _account_drops(device, tracer, outcome: PipelineOutcome) -> None:
+    """Per-reason drop counters + trace annotation (first reason wins).
+
+    Every individually dropped egress copy counts once; a packet that
+    produced no output at all additionally resolves its overall reason
+    (``UNKNOWN`` only when the pipeline truly reported none).
+    """
+    for reason in outcome.copy_drops:
+        device.note_drop(reason)
+        if tracer is not None:
+            tracer.note_drop(reason)
+    if not outcome.outputs:
+        device.packets_dropped += 1
+        if not outcome.copy_drops:
+            device.note_drop(outcome.drop_reason or DropReason.UNKNOWN)
+        if tracer is not None:
+            tracer.note_drop(outcome.drop_reason or DropReason.UNKNOWN)
+            tracer.end("drop")
+
+
+def _emit_one(core, hooks, tracer, packet) -> PortOut:
+    device = core.device
+    out = PortOut(
+        port=int(packet.metadata.get("egress_spec", 0)),  # type: ignore[arg-type]
+        data=core.serialize(packet, hooks),
+        to_cpu=bool(packet.metadata.get("to_cpu")),
+    )
+    device.packets_out += 1
+    if out.to_cpu:
+        device.punted += 1
+    if tracer is not None:
+        tracer.note_egress(out.port)
+    return out
+
+
+def finish_unicast(core, hooks, tracer, outcome) -> Optional[PortOut]:
+    """Epilogue for ``inject``: first surviving copy or ``None``."""
+    _account_drops(core.device, tracer, outcome)
+    if not outcome.outputs:
+        return None
+    out = _emit_one(core, hooks, tracer, outcome.outputs[0])
+    if tracer is not None:
+        tracer.end("punt" if out.to_cpu else "emit")
+    return out
+
+
+def finish_multi(core, hooks, tracer, outcome) -> List[PortOut]:
+    """Epilogue for ``inject_multi``: every surviving copy."""
+    _account_drops(core.device, tracer, outcome)
+    if not outcome.outputs:
+        return []
+    outs = [
+        _emit_one(core, hooks, tracer, packet) for packet in outcome.outputs
+    ]
+    if tracer is not None:
+        tracer.end("multicast" if len(outs) > 1 else "emit", copies=len(outs))
+    return outs
+
+
+def inject(core: DataplaneCore, data: bytes, port: int = 0, meter=None):
+    """Push one packet through the device (unicast view)."""
+    packet = _ingest(core, data, port)
+    hooks = resolve_hooks(core.device)
+    outcome = core.process(packet, hooks, meter)
+    return finish_unicast(core, hooks, core.device.tracer, outcome)
+
+
+def inject_multi(core: DataplaneCore, data: bytes, port: int = 0):
+    """Push one packet through; return every multicast copy."""
+    packet = _ingest(core, data, port)
+    hooks = resolve_hooks(core.device)
+    outcome = core.process(packet, hooks, None)
+    return finish_multi(core, hooks, core.device.tracer, outcome)
+
+
+def inject_batch(
+    core: DataplaneCore,
+    trace: Iterable[Tuple[bytes, int]],
+    meter=None,
+) -> BatchResult:
+    """Push a ``(data, port)`` trace through, amortizing the front door.
+
+    Equivalent packet-for-packet to N :func:`inject` calls.  With a
+    tracer attached each packet still gets its own trace (begin/end
+    must bracket each packet), so the batch simply loops ``inject``;
+    otherwise hooks, plan, metadata template, and serializer resolve
+    once for the whole batch.
+    """
+    device = core.device
+    outputs: List[Optional[PortOut]] = []
+    if device.tracer is not None:
+        for data, port in trace:
+            outputs.append(inject(core, data, port, meter))
+        return BatchResult(outputs)
+
+    core.plan()  # compile outside the per-packet loop
+    profiler = device.profiler
+    hooks = NULL_HOOKS if profiler is None else ProfileHooks(profiler)
+    first_header = core.first_header()
+    template = core.metadata_template
+    observe = device._packet_bytes.observe
+    process = core.process
+    for data, port in trace:
+        device.packets_in += 1
+        device.clock += 1
+        observe(len(data))
+        if profiler is not None:
+            profiler.packets += 1
+        metadata = dict(template)
+        metadata["ingress_port"] = port
+        metadata["packet_length"] = len(data)
+        packet = Packet(data, first_header=first_header, metadata=metadata)
+        outcome = process(packet, hooks, meter)
+        outputs.append(finish_unicast(core, hooks, None, outcome))
+    return BatchResult(outputs)

@@ -1,0 +1,191 @@
+"""Compiled stage plans: specialize the dataplane at commit time.
+
+The paper's runtime-programmability story is that a TSP is reprogrammed
+by *writing template parameters*, not by recompiling -- which means
+everything the per-packet loop needs can be resolved the moment a
+template commits (or a PISA design loads) instead of once per packet:
+
+* table names      -> :class:`~repro.tables.table.Table` object refs
+* executor tags    -> ``(action name, ActionDef)`` pairs
+* matcher arms     -> prebound predicate closures
+* parser clauses   -> a precomputed parse list
+* selector state   -> the ingress/egress TSP schedules themselves
+
+The compiled artifacts live in :class:`repro.dp.core.DataplaneCore`'s
+plan cache and are invalidated -- cache-coherence style -- by exactly
+the runtime events that can change them: template writes, selector
+reconfiguration, table create/free/repoint, and full (re)loads.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.compiler.lowering import compile_predicate
+from repro.lang.expr import SApply, SIf
+
+
+class CompiledArm:
+    """One matcher arm, ready to fire: predicate + resolved table."""
+
+    __slots__ = ("index", "predicate", "table_name", "table")
+
+    def __init__(self, index, predicate, table_name, table) -> None:
+        self.index = index
+        self.predicate = predicate
+        #: ``None`` marks an empty arm (explicit no-op on match).
+        self.table_name: Optional[str] = table_name
+        #: Resolved at compile time; ``None`` with a non-None name
+        #: means the device has no such table -- the executor then
+        #: raises the same ``KeyError`` the per-packet dict lookup did.
+        self.table = table
+
+
+class StagePlan:
+    """One hosted stage: parse set, arms, tag->action executor map."""
+
+    __slots__ = ("name", "parse_list", "arms", "tag_actions", "default_pair")
+
+    def __init__(self, name, parse_list, arms, tag_actions, default_pair):
+        self.name = name
+        self.parse_list: List[str] = parse_list
+        self.arms: Tuple[CompiledArm, ...] = arms
+        #: executor tag -> (action name, ActionDef or None)
+        self.tag_actions: Dict[object, tuple] = tag_actions
+        self.default_pair: tuple = default_pair
+
+
+class TspPlan:
+    """One TSP's compiled stages plus its live stats sink."""
+
+    __slots__ = ("index", "side", "label", "stats", "stages")
+
+    def __init__(self, index, side, label, stats, stages):
+        self.index = index
+        self.side = side
+        self.label = label
+        self.stats = stats
+        self.stages: Tuple[StagePlan, ...] = stages
+
+
+class IpsaPlan:
+    """The whole device schedule: ingress TSPs, then TM, then egress."""
+
+    __slots__ = ("ingress", "egress")
+
+    def __init__(self, ingress, egress):
+        self.ingress: Tuple[TspPlan, ...] = ingress
+        self.egress: Tuple[TspPlan, ...] = egress
+
+
+def _resolve_pair(name: str, actions: dict) -> tuple:
+    return (name, actions.get(name))
+
+
+def compile_stage(stage, device) -> StagePlan:
+    """A :class:`~repro.ipsa.tsp.StageRuntime` -> executable plan."""
+    arms = []
+    for index, (predicate, _expr, table_name) in enumerate(stage.arms):
+        table = None if table_name is None else device.tables.get(table_name)
+        arms.append(CompiledArm(index, predicate, table_name, table))
+    actions = device.actions
+    tag_actions = {
+        tag: _resolve_pair(name, actions)
+        for tag, name in stage.executor.items()
+    }
+    default_name = stage.executor.get("default", "NoAction")
+    return StagePlan(
+        name=stage.name,
+        parse_list=list(stage.parser_headers),
+        arms=tuple(arms),
+        tag_actions=tag_actions,
+        default_pair=_resolve_pair(default_name, actions),
+    )
+
+
+def compile_tsp(tsp, device) -> TspPlan:
+    return TspPlan(
+        index=tsp.index,
+        side=tsp.side,
+        label=f"tsp{tsp.index}",
+        stats=tsp.stats,
+        stages=tuple(compile_stage(stage, device) for stage in tsp.stages),
+    )
+
+
+def compile_ipsa_plan(device) -> IpsaPlan:
+    """Compile the selector's current TSP schedule for an IpsaSwitch."""
+    pipeline = device.pipeline
+    return IpsaPlan(
+        ingress=tuple(compile_tsp(t, device) for t in pipeline.ingress_tsps()),
+        egress=tuple(compile_tsp(t, device) for t in pipeline.egress_tsps()),
+    )
+
+
+# -- PISA ----------------------------------------------------------------
+
+
+class ApplyStep:
+    """One compiled ``apply(table)``: resolved table + actions dict."""
+
+    __slots__ = ("table_name", "table", "actions")
+
+    def __init__(self, table_name, table, actions):
+        self.table_name = table_name
+        self.table = table
+        self.actions = actions
+
+
+class IfStep:
+    """One compiled conditional: closure predicate + compiled branches."""
+
+    __slots__ = ("predicate", "then_steps", "else_steps")
+
+    def __init__(self, predicate, then_steps, else_steps):
+        self.predicate = predicate
+        self.then_steps = then_steps
+        self.else_steps = else_steps
+
+
+class PisaPlan:
+    """Compiled ingress/egress control flows."""
+
+    __slots__ = ("ingress", "egress")
+
+    def __init__(self, ingress, egress):
+        self.ingress: Tuple[object, ...] = ingress
+        self.egress: Tuple[object, ...] = egress
+
+
+def compile_flow(flow, tables, actions) -> tuple:
+    """HLIR flow statements -> a tuple of executable steps."""
+    steps = []
+    for stmt in flow:
+        if isinstance(stmt, SApply):
+            steps.append(
+                ApplyStep(stmt.table, tables.get(stmt.table), actions)
+            )
+        elif isinstance(stmt, SIf):
+            steps.append(
+                IfStep(
+                    compile_predicate(stmt.cond),
+                    compile_flow(stmt.then_body, tables, actions),
+                    compile_flow(stmt.else_body, tables, actions),
+                )
+            )
+        else:
+            raise TypeError(f"unsupported flow statement {stmt!r}")
+    return tuple(steps)
+
+
+def compile_pisa_plan(device) -> PisaPlan:
+    pipeline = device.pipeline
+    hlir = pipeline.hlir
+    return PisaPlan(
+        ingress=compile_flow(
+            hlir.ingress_flow, pipeline.tables, pipeline.actions
+        ),
+        egress=compile_flow(
+            hlir.egress_flow, pipeline.tables, pipeline.actions
+        ),
+    )

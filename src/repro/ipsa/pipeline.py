@@ -60,9 +60,18 @@ class ElasticPipeline:
         self.tsps = [Tsp(i) for i in range(n_tsps)]
         self.selector = SelectorConfig()
         self.tm = tm or TrafficManager()
+        #: Invalidation callback (reason str) installed by the owning
+        #: switch: template writes and selector moves must drop the
+        #: device's compiled stage plans (repro.dp cache coherence).
+        self.on_change = None
 
     def __len__(self) -> int:
         return len(self.tsps)
+
+    def _changed(self, reason: str) -> None:
+        callback = self.on_change
+        if callback is not None:
+            callback(reason)
 
     def configure_selector(self, selector: SelectorConfig) -> None:
         selector.validate(len(self.tsps))
@@ -72,6 +81,7 @@ class ElasticPipeline:
                 tsp.state = TspState.ACTIVE
             else:
                 tsp.state = TspState.BYPASSED
+        self._changed("selector")
 
     def ingress_tsps(self) -> List[Tsp]:
         if self.selector.tm_input is None:
@@ -96,59 +106,25 @@ class ElasticPipeline:
 
     def process_multi(self, packet: Packet, device, meter=None) -> List[Packet]:
         """Run one packet through ingress, the TM (with multicast
-        replication), and egress.  Returns every surviving copy."""
+        replication), and egress.  Returns every surviving copy.
+
+        Compatibility wrapper over the unified execution core
+        (:mod:`repro.dp`); drop accounting matches the old in-pipeline
+        behavior.  The switch front door calls the core directly.
+        """
+        from repro.dp.hooks import resolve_hooks
+
+        core = device.dp
         tracer = getattr(device, "tracer", None)
         if tracer is not None and tracer.current is None:
             tracer = None
-        profiler = getattr(device, "profiler", None)
-        for tsp in self.ingress_tsps():
-            tsp.process(packet, device, meter)
-            if packet.metadata.get("drop"):
-                self._note_drop(device, tracer, DropReason.INGRESS_ACTION)
-                return []
-        if profiler is not None:
-            started = profiler.now()
-            queued_count = self.tm.enqueue_or_replicate(packet)
-            profiler.add(("tm", "enqueue"), started, enqueues=queued_count)
-        else:
-            queued_count = self.tm.enqueue_or_replicate(packet)
-        if tracer is not None:
-            tracer.event(
-                "tm.enqueue",
-                kind="tm",
-                queued=queued_count,
-                occupancy=self.tm.occupancy(),
-            )
-        if queued_count == 0:
-            group_id = int(packet.metadata.get("mcast_grp", 0))  # type: ignore[arg-type]
-            if group_id and not self.tm.group(group_id):
-                self._note_drop(
-                    device, tracer, DropReason.MCAST_UNKNOWN_GROUP
-                )
-            else:
-                self._note_drop(device, tracer, DropReason.TM_TAIL_DROP)
-            return []
-        outputs: List[Packet] = []
-        for _ in range(queued_count):
-            if profiler is not None:
-                started = profiler.now()
-                queued = self.tm.dequeue()
-                profiler.add(("tm", "dequeue"), started, dequeues=1)
-            else:
-                queued = self.tm.dequeue()
-            assert queued is not None
-            if tracer is not None:
-                tracer.event("tm.dequeue", kind="tm")
-            dropped = False
-            for tsp in self.egress_tsps():
-                tsp.process(queued, device, meter)
-                if queued.metadata.get("drop"):
-                    self._note_drop(device, tracer, DropReason.EGRESS_ACTION)
-                    dropped = True
-                    break
-            if not dropped:
-                outputs.append(queued)
-        return outputs
+        outcome = core.process(packet, resolve_hooks(device), meter)
+        for reason in outcome.copy_drops:
+            self._note_drop(device, tracer, reason)
+        if not outcome.outputs and not outcome.copy_drops:
+            if outcome.drop_reason is not None:
+                self._note_drop(device, tracer, outcome.drop_reason)
+        return list(outcome.outputs)
 
     @staticmethod
     def _note_drop(device, tracer, reason: DropReason) -> None:
@@ -171,4 +147,6 @@ class ElasticPipeline:
             if not 0 <= index < len(self.tsps):
                 raise PipelineError(f"template targets unknown TSP {index}")
             words += self.tsps[index].write_template(template)
+        if templates:
+            self._changed("template_write")
         return words

@@ -17,10 +17,12 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.compiler.lowering import action_from_json, builtin_actions, lower_table
+from repro.dp import frontdoor
+from repro.dp.core import IpsaCore
+from repro.dp.frontdoor import PACKET_BYTES_BOUNDS, BatchResult, PortOut
 from repro.ipsa.pipeline import ElasticPipeline, SelectorConfig
 from repro.net.headers import FieldDef, HeaderType
 from repro.net.linkage import HeaderLinkageTable
-from repro.net.packet import Packet
 from repro.obs.clock import Clock
 from repro.obs.metrics import MetricsRegistry, Sample
 from repro.obs.prof import Profiler
@@ -30,9 +32,6 @@ from repro.tables.actions import ActionDef
 from repro.tables.meters import MeterBank
 from repro.tables.registers import ExternStore
 from repro.tables.table import Table
-
-#: Packet-size histogram edges (bytes): the classic wire ladder.
-PACKET_BYTES_BOUNDS = (64, 128, 256, 512, 1024, 1518)
 
 
 class SwitchError(Exception):
@@ -52,15 +51,6 @@ class UpdateStats:
     tables_created: List[str] = field(default_factory=list)
     tables_removed: List[str] = field(default_factory=list)
     stall_seconds: float = 0.0
-
-
-@dataclass
-class PortOut:
-    """One packet leaving the device."""
-
-    port: int
-    data: bytes
-    to_cpu: bool = False
 
 
 class IpsaSwitch:
@@ -96,6 +86,11 @@ class IpsaSwitch:
         self._packet_bytes = self.metrics.histogram(
             "device.packet_bytes", PACKET_BYTES_BOUNDS
         )
+        # The shared dataplane execution core: compiled stage plans,
+        # invalidated whenever the pipeline or table set changes.
+        self.dp = IpsaCore(self)
+        self.dp.register_metrics(self.metrics)
+        self.pipeline.on_change = self.dp.invalidate
         self._register_metrics()
 
     # -- observability -----------------------------------------------------
@@ -220,6 +215,7 @@ class IpsaSwitch:
         self.pipeline.configure_selector(
             SelectorConfig.from_json(config.get("selector", {}))
         )
+        self.dp.invalidate("load_config")
 
     def _create_table(self, name: str, spec: dict) -> None:
         if "keys" not in spec:
@@ -230,79 +226,32 @@ class IpsaSwitch:
             int(spec.get("size", spec.get("depth", 1024))),
             default_action=spec.get("default_action", "NoAction"),
         )
+        self.dp.invalidate("tables")
+
+    def set_table(self, name: str, table: Table) -> None:
+        """Repoint a table name at a different :class:`Table` object.
+
+        The compiled stage plans hold direct table references, so a
+        repoint must invalidate them (counted under ``table_repoint``).
+        """
+        self.tables[name] = table
+        self.dp.invalidate("table_repoint")
 
     # -- traffic ------------------------------------------------------------
 
     def inject(self, data: bytes, port: int = 0, meter=None) -> Optional[PortOut]:
         """Push one packet through the device."""
-        self.packets_in += 1
-        self.clock += 1
-        self._packet_bytes.observe(len(data))
-        if self.profiler is not None:
-            self.profiler.packets += 1
-        tracer = self.tracer
-        if tracer is not None:
-            tracer.begin(clock=self.clock, port=port, length=len(data))
-        packet = Packet(data, first_header=self.first_header, ingress_port=port)
-        for name, value in self.metadata_defaults.items():
-            packet.metadata.setdefault(name, value)
-        result = self.pipeline.process(packet, self, meter)
-        if result is None:
-            self.packets_dropped += 1
-            if tracer is not None:
-                tracer.note_drop(DropReason.UNKNOWN)
-                tracer.end("drop")
-            return None
-        self.packets_out += 1
-        out = PortOut(
-            port=int(result.metadata.get("egress_spec", 0)),  # type: ignore[arg-type]
-            data=result.emit(),
-            to_cpu=bool(result.metadata.get("to_cpu")),
-        )
-        if out.to_cpu:
-            self.punted += 1
-        if tracer is not None:
-            tracer.note_egress(out.port)
-            tracer.end("punt" if out.to_cpu else "emit")
-        return out
+        return frontdoor.inject(self.dp, data, port, meter)
 
     def inject_multi(self, data: bytes, port: int = 0) -> List[PortOut]:
         """Like :meth:`inject`, but returns every copy a multicast
         group produced (unicast packets return a one-element list)."""
-        self.packets_in += 1
-        self.clock += 1
-        self._packet_bytes.observe(len(data))
-        if self.profiler is not None:
-            self.profiler.packets += 1
-        tracer = self.tracer
-        if tracer is not None:
-            tracer.begin(clock=self.clock, port=port, length=len(data))
-        packet = Packet(data, first_header=self.first_header, ingress_port=port)
-        for name, value in self.metadata_defaults.items():
-            packet.metadata.setdefault(name, value)
-        results = self.pipeline.process_multi(packet, self)
-        if not results:
-            self.packets_dropped += 1
-            if tracer is not None:
-                tracer.note_drop(DropReason.UNKNOWN)
-                tracer.end("drop")
-            return []
-        outs: List[PortOut] = []
-        for result in results:
-            self.packets_out += 1
-            out = PortOut(
-                port=int(result.metadata.get("egress_spec", 0)),  # type: ignore[arg-type]
-                data=result.emit(),
-                to_cpu=bool(result.metadata.get("to_cpu")),
-            )
-            if out.to_cpu:
-                self.punted += 1
-            if tracer is not None:
-                tracer.note_egress(out.port)
-            outs.append(out)
-        if tracer is not None:
-            tracer.end("multicast" if len(outs) > 1 else "emit", copies=len(outs))
-        return outs
+        return frontdoor.inject_multi(self.dp, data, port)
+
+    def inject_batch(self, trace, meter=None) -> BatchResult:
+        """Push a ``(data, port)`` trace through, amortizing the front
+        door (see :func:`repro.dp.frontdoor.inject_batch`)."""
+        return frontdoor.inject_batch(self.dp, trace, meter)
 
     # -- queued intake (back-pressure semantics) -----------------------------
 
@@ -385,14 +334,20 @@ class IpsaSwitch:
             links_removed=stats.links_removed,
         )
 
-        for name, spec in update.get("new_actions", {}).items():
+        new_actions = update.get("new_actions", {})
+        for name, spec in new_actions.items():
             self.actions[name] = action_from_json(spec)
+        if new_actions:
+            self.dp.invalidate("actions")
         for name, spec in update.get("new_tables", {}).items():
             self._create_table(name, spec)
             stats.tables_created.append(name)
-        for name in update.get("freed_tables", []):
+        freed = update.get("freed_tables", [])
+        for name in freed:
             self.tables.pop(name, None)
             stats.tables_removed.append(name)
+        if freed:
+            self.dp.invalidate("tables")
         timeline.phase(
             "tables",
             new_actions=len(update.get("new_actions", {})),
@@ -419,6 +374,15 @@ class IpsaSwitch:
 
         self.paused = False  # release back pressure
         timeline.phase("selector", active_tsps=len(selector.active))
+
+        # Eagerly recompile the stage plans so the first post-update
+        # packet pays no compile cost (and the stall time includes it).
+        self.dp.plan()
+        timeline.phase(
+            "recompile",
+            plan_generation=self.dp.generation,
+            plan_compiles=self.dp.plan_compiles,
+        )
         timeline.finish()
         stats.stall_seconds = timeline.total_seconds
         return stats

@@ -12,6 +12,12 @@ Each hosted stage is a parser-matcher-executor triad:
 Writing a new template into a TSP takes "a few clock cycles"; the
 behavioral model counts template words written so the loading-time
 model has a physical quantity to charge.
+
+Execution itself lives in :mod:`repro.dp`: at template-commit time
+the device compiles each hosted stage into a plan with pre-resolved
+table/action references, and one hook-parameterized loop
+(:func:`repro.dp.exec.run_tsp_plan`) runs it plain, traced, or
+profiled.  The ``Tsp`` object is the template store and stats sink.
 """
 
 from __future__ import annotations
@@ -142,189 +148,3 @@ class Tsp:
         info["state"] = self.state.value
         info["stages"] = self.signature() or "-"
         yield Sample("tsp.info", 1, info, "gauge")
-
-    def process(
-        self, packet: Packet, device: "DeviceFacade", meter=None
-    ) -> None:
-        """Run every hosted stage against the packet, in order.
-
-        ``meter`` (if given) receives per-TSP parse/lookup events; the
-        hardware throughput model uses it to price cycles without
-        duplicating the execution semantics.  When the device carries
-        an active packet tracer (or profiler) the traced/profiled twin
-        of this loop runs instead; the plain path pays only these
-        ``is None`` checks.
-        """
-        tracer = getattr(device, "tracer", None)
-        if tracer is not None and tracer.current is not None:
-            self._process_traced(packet, device, tracer, meter)
-            return
-        profiler = getattr(device, "profiler", None)
-        if profiler is not None:
-            self._process_profiled(packet, device, profiler, meter)
-            return
-        self.stats.packets += 1
-        for stage in self.stages:
-            if packet.metadata.get("drop"):
-                return
-            parsed = packet.ensure_parsed(
-                stage.parser_headers, device.header_types, device.linkage
-            )
-            self.stats.headers_parsed += parsed
-            if meter is not None and parsed:
-                meter.parsed(self.index, parsed)
-            for predicate, _expr, table_name in stage.arms:
-                if not predicate(packet):
-                    continue
-                if table_name is None:
-                    break  # empty arm: explicit no-op
-                table = device.tables[table_name]
-                result = table.lookup(packet)
-                self.stats.lookups += 1
-                if meter is not None:
-                    meter.lookup(self.index, table_name)
-                action_name = stage.executor.get(result.tag)
-                if action_name is None:
-                    action_name = stage.executor.get("default", "NoAction")
-                action = device.actions[action_name]
-                action.execute(
-                    packet, result.action_data, entry=result.entry,
-                    device=device,
-                )
-                self.stats.actions_run += 1
-                break  # first matching arm wins
-
-    def _process_traced(
-        self, packet: Packet, device: "DeviceFacade", tracer, meter=None
-    ) -> None:
-        """Traced twin of :meth:`process`: identical semantics, plus a
-        ``tsp`` span with parse/match/execute children per stage."""
-        self.stats.packets += 1
-        tsp_span = tracer.start_span(
-            f"tsp{self.index}", kind="tsp", tsp=self.index, side=self.side
-        )
-        try:
-            for stage in self.stages:
-                if packet.metadata.get("drop"):
-                    return
-                parse_span = tracer.start_span(
-                    "parse",
-                    kind="parse",
-                    stage=stage.name,
-                    headers=list(stage.parser_headers),
-                )
-                parsed = packet.ensure_parsed(
-                    stage.parser_headers, device.header_types, device.linkage
-                )
-                parse_span.attrs["parsed"] = parsed
-                tracer.end_span(parse_span)
-                self.stats.headers_parsed += parsed
-                if meter is not None and parsed:
-                    meter.parsed(self.index, parsed)
-                for arm_index, (predicate, _expr, table_name) in enumerate(
-                    stage.arms
-                ):
-                    if not predicate(packet):
-                        continue
-                    if table_name is None:
-                        tracer.event(
-                            "match",
-                            kind="match",
-                            stage=stage.name,
-                            arm=arm_index,
-                            matched=False,
-                        )
-                        break  # empty arm: explicit no-op
-                    table = device.tables[table_name]
-                    match_span = tracer.start_span(
-                        "match",
-                        kind="match",
-                        stage=stage.name,
-                        arm=arm_index,
-                        table=table_name,
-                    )
-                    result = table.lookup(packet)
-                    match_span.attrs["hit"] = result.hit
-                    match_span.attrs["tag"] = result.tag
-                    tracer.end_span(match_span)
-                    self.stats.lookups += 1
-                    if meter is not None:
-                        meter.lookup(self.index, table_name)
-                    action_name = stage.executor.get(result.tag)
-                    if action_name is None:
-                        action_name = stage.executor.get("default", "NoAction")
-                    action = device.actions[action_name]
-                    execute_span = tracer.start_span(
-                        "execute",
-                        kind="execute",
-                        stage=stage.name,
-                        action=action_name,
-                        ops=len(action.ops),
-                    )
-                    action.execute(
-                        packet, result.action_data, entry=result.entry,
-                        device=device,
-                    )
-                    tracer.end_span(execute_span)
-                    self.stats.actions_run += 1
-                    break  # first matching arm wins
-        finally:
-            tracer.end_span(tsp_span)
-
-    def _process_profiled(
-        self, packet: Packet, device: "DeviceFacade", prof, meter=None
-    ) -> None:
-        """Profiled twin of :meth:`process`: identical semantics, with
-        parse/match/execute wall-time and work counters attributed to
-        this TSP (predicate evaluation rides untimed -- compiled
-        lambdas, far below the clock's resolution)."""
-        self.stats.packets += 1
-        label = f"tsp{self.index}"
-        for stage in self.stages:
-            if packet.metadata.get("drop"):
-                return
-            started = prof.now()
-            parsed = packet.ensure_parsed(
-                stage.parser_headers, device.header_types, device.linkage
-            )
-            prof.add((label, "parse"), started, headers=parsed)
-            self.stats.headers_parsed += parsed
-            if meter is not None and parsed:
-                meter.parsed(self.index, parsed)
-            for predicate, _expr, table_name in stage.arms:
-                if not predicate(packet):
-                    continue
-                if table_name is None:
-                    break  # empty arm: explicit no-op
-                table = device.tables[table_name]
-                started = prof.now()
-                result = table.lookup(packet)
-                prof.add((label, "match", table_name), started, lookups=1)
-                prof.note_engine(table.engine_kind)
-                self.stats.lookups += 1
-                if meter is not None:
-                    meter.lookup(self.index, table_name)
-                action_name = stage.executor.get(result.tag)
-                if action_name is None:
-                    action_name = stage.executor.get("default", "NoAction")
-                action = device.actions[action_name]
-                started = prof.now()
-                action.execute(
-                    packet, result.action_data, entry=result.entry,
-                    device=device,
-                )
-                prof.add(
-                    (label, "execute", action_name), started,
-                    ops=len(action.ops),
-                )
-                self.stats.actions_run += 1
-                break  # first matching arm wins
-
-
-class DeviceFacade:
-    """What a TSP needs from the device (ducks as IpsaSwitch)."""
-
-    header_types: dict
-    linkage: object
-    tables: dict
-    actions: dict

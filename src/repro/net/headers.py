@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.net.fields import deposit_bits, extract_bits, mask_to_width
+from repro.net.fields import extract_bits, mask_to_width
 
 
 @dataclass(frozen=True)
@@ -77,6 +77,19 @@ class HeaderType:
                 f"header type {name!r}: fixed part must be byte aligned "
                 "when a varlen field is present"
             )
+        # Precomputed (name, shift, mask, width) per field so unpack
+        # and pack shift one whole-header integer instead of running
+        # the generic bit helpers once per field (the hot path).
+        self._fixed_bytes = (self.fixed_bits + 7) // 8
+        self._pad_bits = self._fixed_bytes * 8 - self.fixed_bits
+        layout = []
+        cursor = self.fixed_bits
+        for fdef in fields:
+            cursor -= fdef.width
+            layout.append(
+                (fdef.name, cursor, (1 << fdef.width) - 1, fdef.width)
+            )
+        self._layout = tuple(layout)
 
     def field_width(self, field_name: str) -> int:
         """Return the bit width of ``field_name``."""
@@ -96,11 +109,12 @@ class HeaderType:
 
     def unpack(self, data: bytes, bit_offset: int = 0) -> Tuple[Dict[str, object], int]:
         """Decode one header at ``bit_offset``; return ``(values, bits_consumed)``."""
-        values: Dict[str, object] = {}
-        cursor = bit_offset
-        for fdef in self.fields:
-            values[fdef.name] = extract_bits(data, cursor, fdef.width)
-            cursor += fdef.width
+        chunk = extract_bits(data, bit_offset, self.fixed_bits)
+        values: Dict[str, object] = {
+            name: (chunk >> shift) & mask
+            for name, shift, mask, _width in self._layout
+        }
+        cursor = bit_offset + self.fixed_bits
         if self.varlen_field is not None:
             assert self.varlen_bytes is not None
             nbytes = self.varlen_bytes({k: v for k, v in values.items() if isinstance(v, int)})
@@ -131,18 +145,16 @@ class HeaderType:
                     f"field {self.varlen_field!r} of {self.name!r} must be bytes"
                 )
             varlen = bytes(raw)
-        total_bits = self.fixed_bits
-        buf = bytearray((total_bits + 7) // 8)
-        cursor = 0
-        for fdef in self.fields:
-            value = values.get(fdef.name, 0)
+        chunk = 0
+        for name, _shift, mask, width in self._layout:
+            value = values.get(name, 0)
             if not isinstance(value, int):
                 raise TypeError(
-                    f"field {fdef.name!r} of {self.name!r} must be an int"
+                    f"field {name!r} of {self.name!r} must be an int"
                 )
-            deposit_bits(buf, cursor, fdef.width, value)
-            cursor += fdef.width
-        return bytes(buf) + varlen
+            chunk = (chunk << width) | (value & mask)
+        chunk <<= self._pad_bits
+        return chunk.to_bytes(self._fixed_bytes, "big") + varlen
 
     def bit_length(self, values: Dict[str, object]) -> int:
         """Total encoded length in bits for the given field values."""

@@ -40,6 +40,11 @@ class HeaderLinkageTable:
     def __init__(self) -> None:
         self._selector: Dict[str, str] = {}
         self._edges: Dict[Tuple[str, int], str] = {}
+        # Memoized transitive closures (root -> frozenset of reachable
+        # headers).  The JIT parser consults reachability per stage per
+        # packet; edges change only on link_header commands, so the
+        # cache is dropped whenever the edge set mutates.
+        self._reachable: Dict[str, frozenset] = {}
 
     # -- construction -------------------------------------------------
 
@@ -64,6 +69,7 @@ class HeaderLinkageTable:
                 f"header {pre!r} has no selector field; cannot link from it"
             )
         self._edges[(pre, tag)] = next_header
+        self._reachable.clear()
 
     def del_link(self, pre: str, tag: int) -> None:
         """Remove the edge keyed by ``(pre, tag)``."""
@@ -71,6 +77,7 @@ class HeaderLinkageTable:
             del self._edges[(pre, tag)]
         except KeyError:
             raise KeyError(f"no link from {pre!r} with tag {tag}") from None
+        self._reachable.clear()
 
     # -- queries ------------------------------------------------------
 
@@ -101,6 +108,13 @@ class HeaderLinkageTable:
                     frontier.append(link.next)
         return seen
 
+    def reachable_set(self, root: str) -> frozenset:
+        """Memoized :meth:`reachable` as a frozenset (hot-path form)."""
+        cached = self._reachable.get(root)
+        if cached is None:
+            cached = self._reachable[root] = frozenset(self.reachable(root))
+        return cached
+
     def clone(self) -> "HeaderLinkageTable":
         """Independent copy (controller snapshots use this)."""
         copy = HeaderLinkageTable()
@@ -112,6 +126,7 @@ class HeaderLinkageTable:
         """Fold another linkage table's selectors and edges into this one."""
         self._selector.update(other._selector)
         self._edges.update(other._edges)
+        self._reachable.clear()
 
     def __len__(self) -> int:
         return len(self._edges)

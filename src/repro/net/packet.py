@@ -49,15 +49,21 @@ class Packet:
         data: bytes,
         first_header: str = "ethernet",
         ingress_port: int = 0,
+        metadata: Optional[Dict[str, object]] = None,
     ) -> None:
         self.data = bytes(data)
         self.headers: List[HeaderInstance] = []
         self._by_name: Dict[str, HeaderInstance] = {}
         self.cursor_bits = 0
         self.next_header_name: Optional[str] = first_header
-        self.metadata: Dict[str, object] = dict(INTRINSIC_METADATA)
-        self.metadata["ingress_port"] = ingress_port
-        self.metadata["packet_length"] = len(data)
+        if metadata is None:
+            metadata = dict(INTRINSIC_METADATA)
+            metadata["ingress_port"] = ingress_port
+            metadata["packet_length"] = len(data)
+        # A caller-provided dict is adopted as-is (the batch front door
+        # prebuilds one merged defaults dict per device and copies it
+        # per packet, skipping the intrinsic+setdefault dance).
+        self.metadata: Dict[str, object] = metadata
 
     # -- header bookkeeping --------------------------------------------
 
@@ -149,11 +155,12 @@ class Packet:
         running to the end of the packet.
         """
         parsed = 0
-        remaining = {n for n in names if not self.is_valid(n)}
+        by_name = self._by_name
+        remaining = {n for n in names if n not in by_name}
         while remaining and self.next_header_name is not None:
             frontier = self.next_header_name
-            if frontier not in remaining and not (
-                remaining & set(linkage.reachable(frontier))
+            if frontier not in remaining and remaining.isdisjoint(
+                linkage.reachable_set(frontier)
             ):
                 break
             got = self.parse_one(header_types, linkage)

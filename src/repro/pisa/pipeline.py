@@ -1,11 +1,15 @@
 """The fixed PISA match-action pipeline.
 
-Execution interprets the compiled control flow; placement packs the
-program's tables into the fixed number of physical stages (the PISA
-back-end compiler's job).  Unlike IPSA there is no elastic boundary:
-ingress and egress stage budgets are silicon properties, and a design
-that needs more stages than the chip has simply fails to fit (one of
-the two drawbacks Sec. 2.3 lists).
+Placement packs the program's tables into the fixed number of
+physical stages (the PISA back-end compiler's job).  Unlike IPSA
+there is no elastic boundary: ingress and egress stage budgets are
+silicon properties, and a design that needs more stages than the chip
+has simply fails to fit (one of the two drawbacks Sec. 2.3 lists).
+
+Execution lives in :mod:`repro.dp`: the device compiles the HLIR
+control flows into a plan of apply/branch steps with pre-resolved
+table and action references, and :func:`repro.dp.exec.run_flow`
+interprets it plain, traced, or profiled.
 """
 
 from __future__ import annotations
@@ -14,10 +18,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.compiler.dependency import analyze_dependencies
-from repro.compiler.lowering import eval_predicate
 from repro.compiler.merge import MergeMode, plan_merge
 from repro.compiler.rp4fc import rp4fc
-from repro.lang.expr import SApply, SIf, Stmt
 from repro.net.packet import Packet
 from repro.p4.hlir import Hlir
 from repro.tables.actions import ActionDef
@@ -91,103 +93,19 @@ class FixedPipeline:
     # -- execution -----------------------------------------------------------
 
     def run_ingress(self, packet: Packet) -> None:
+        """Compatibility wrapper over :mod:`repro.dp` (ingress flow)."""
         self.stats.packets += 1
-        self._run(self.hlir.ingress_flow, packet)
+        self._run_side("ingress", packet)
 
     def run_egress(self, packet: Packet) -> None:
-        self._run(self.hlir.egress_flow, packet)
+        """Compatibility wrapper over :mod:`repro.dp` (egress flow)."""
+        self._run_side("egress", packet)
 
-    def _run(self, flow: List[Stmt], packet: Packet) -> None:
-        for stmt in flow:
-            if packet.metadata.get("drop"):
-                return
-            if isinstance(stmt, SApply):
-                self._apply(stmt.table, packet)
-            elif isinstance(stmt, SIf):
-                if eval_predicate(stmt.cond, packet):
-                    self._run(stmt.then_body, packet)
-                else:
-                    self._run(stmt.else_body, packet)
-            else:
-                raise TypeError(f"unsupported flow statement {stmt!r}")
+    def _run_side(self, side: str, packet: Packet) -> None:
+        from repro.dp.exec import run_flow
+        from repro.dp.hooks import resolve_hooks
 
-    def _apply(self, table_name: str, packet: Packet) -> None:
-        tracer = getattr(self.device, "tracer", None)
-        if tracer is not None and tracer.current is not None:
-            self._apply_traced(table_name, packet, tracer)
-            return
-        profiler = getattr(self.device, "profiler", None)
-        if profiler is not None:
-            self._apply_profiled(table_name, packet, profiler)
-            return
-        table = self.tables[table_name]
-        result = table.lookup(packet)
-        self.stats.lookups += 1
-        action = self.actions.get(result.action)
-        if action is None:
-            raise KeyError(
-                f"table {table_name!r} selected unknown action {result.action!r}"
-            )
-        action.execute(
-            packet, result.action_data, entry=result.entry, device=self.device,
-        )
-        self.stats.actions_run += 1
-
-    def _apply_traced(self, table_name: str, packet: Packet, tracer) -> None:
-        """Traced twin of :meth:`_apply`: a ``stage`` span with match
-        and execute children (the PISA analogue of a TSP span)."""
-        stage_span = tracer.start_span(table_name, kind="stage", table=table_name)
-        try:
-            table = self.tables[table_name]
-            match_span = tracer.start_span("match", kind="match", table=table_name)
-            result = table.lookup(packet)
-            match_span.attrs["hit"] = result.hit
-            match_span.attrs["tag"] = result.tag
-            tracer.end_span(match_span)
-            self.stats.lookups += 1
-            action = self.actions.get(result.action)
-            if action is None:
-                raise KeyError(
-                    f"table {table_name!r} selected unknown action "
-                    f"{result.action!r}"
-                )
-            execute_span = tracer.start_span(
-                "execute", kind="execute", action=result.action,
-                ops=len(action.ops),
-            )
-            action.execute(
-                packet, result.action_data, entry=result.entry,
-                device=self.device,
-            )
-            tracer.end_span(execute_span)
-            self.stats.actions_run += 1
-        finally:
-            tracer.end_span(stage_span)
-
-    def _apply_profiled(
-        self, table_name: str, packet: Packet, profiler
-    ) -> None:
-        """Profiled twin of :meth:`_apply`: match/execute wall-time
-        attributed to the applying table (the PISA stage analogue)."""
-        table = self.tables[table_name]
-        started = profiler.now()
-        result = table.lookup(packet)
-        profiler.add((table_name, "match", table_name), started, lookups=1)
-        profiler.note_engine(table.engine_kind)
-        self.stats.lookups += 1
-        action = self.actions.get(result.action)
-        if action is None:
-            raise KeyError(
-                f"table {table_name!r} selected unknown action "
-                f"{result.action!r}"
-            )
-        started = profiler.now()
-        action.execute(
-            packet, result.action_data, entry=result.entry,
-            device=self.device,
-        )
-        profiler.add(
-            (table_name, "execute", result.action), started,
-            ops=len(action.ops),
-        )
-        self.stats.actions_run += 1
+        device = self.device
+        plan = device.dp.plan()
+        steps = plan.ingress if side == "ingress" else plan.egress
+        run_flow(steps, packet, device, resolve_hooks(device), self.stats)

@@ -14,7 +14,9 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Union
 
 from repro.compiler.lowering import builtin_actions, lower_action, lower_table
-from repro.net.packet import Packet
+from repro.dp import frontdoor
+from repro.dp.core import PisaCore
+from repro.dp.frontdoor import PACKET_BYTES_BOUNDS, BatchResult, PortOut
 from repro.obs.clock import Clock
 from repro.obs.metrics import MetricsRegistry, Sample
 from repro.obs.prof import Profiler
@@ -37,13 +39,6 @@ class ReloadStats:
     tables_repopulated: int = 0
     entries_repopulated: int = 0
     seconds: float = 0.0
-
-
-@dataclass
-class PortOut:
-    port: int
-    data: bytes
-    to_cpu: bool = False
 
 
 class PisaSwitch:
@@ -69,6 +64,13 @@ class PisaSwitch:
         self.profiler: Optional[Profiler] = None
         self.timelines = TimelineRecorder()
         self.metrics = MetricsRegistry()
+        self._packet_bytes = self.metrics.histogram(
+            "device.packet_bytes", PACKET_BYTES_BOUNDS
+        )
+        # The shared dataplane execution core (compiled flow plans),
+        # invalidated on every full (re)load.
+        self.dp = PisaCore(self)
+        self.dp.register_metrics(self.metrics)
         self._register_metrics()
 
     # -- observability -----------------------------------------------------
@@ -150,6 +152,7 @@ class PisaSwitch:
             hlir, self.tables, self.actions, n_stages=self.n_stages
         )
         self.pipeline.device = self
+        self.dp.invalidate("load")
 
     def reload(
         self,
@@ -198,64 +201,25 @@ class PisaSwitch:
     def inject(self, data: bytes, port: int = 0) -> Optional[PortOut]:
         if self.parser is None or self.pipeline is None:
             raise RuntimeError("switch has no design loaded")
-        self.packets_in += 1
-        self.clock += 1
-        profiler = self.profiler
-        if profiler is not None:
-            profiler.packets += 1
-        tracer = self.tracer
-        if tracer is not None:
-            tracer.begin(clock=self.clock, port=port, length=len(data))
-        packet = Packet(
-            data, first_header=self.parser.first_header, ingress_port=port
-        )
-        for name, value in self.metadata_defaults.items():
-            packet.metadata.setdefault(name, value)
-        if tracer is not None:
-            parse_span = tracer.start_span("parse", kind="parse")
-            parse_span.attrs["parsed"] = self.parser.parse(packet)
-            parse_span.attrs["headers"] = [h.name for h in packet.headers]
-            tracer.end_span(parse_span)
-        elif profiler is not None:
-            started = profiler.now()
-            parsed = self.parser.parse(packet)
-            profiler.add(("parser", "parse"), started, headers=parsed)
-        else:
-            self.parser.parse(packet)
-        self.pipeline.run_ingress(packet)
-        if packet.metadata.get("drop"):
-            self.packets_dropped += 1
-            self.note_drop(DropReason.INGRESS_ACTION)
-            if tracer is not None:
-                tracer.note_drop(DropReason.INGRESS_ACTION)
-                tracer.end("drop")
-            return None
-        self.pipeline.run_egress(packet)
-        if packet.metadata.get("drop"):
-            self.packets_dropped += 1
-            self.note_drop(DropReason.EGRESS_ACTION)
-            if tracer is not None:
-                tracer.note_drop(DropReason.EGRESS_ACTION)
-                tracer.end("drop")
-            return None
-        self.packets_out += 1
-        if profiler is not None:
-            started = profiler.now()
-            emitted = self.deparser.deparse(packet)
-            profiler.add(("deparser", "deparse"), started, bytes=len(emitted))
-        else:
-            emitted = self.deparser.deparse(packet)
-        out = PortOut(
-            port=int(packet.metadata.get("egress_spec", 0)),  # type: ignore[arg-type]
-            data=emitted,
-            to_cpu=bool(packet.metadata.get("to_cpu")),
-        )
-        if out.to_cpu:
-            self.punted += 1
-        if tracer is not None:
-            tracer.note_egress(out.port)
-            tracer.end("punt" if out.to_cpu else "emit")
-        return out
+        return frontdoor.inject(self.dp, data, port)
+
+    def inject_batch(self, trace) -> BatchResult:
+        """Push a ``(data, port)`` trace through, amortizing the front
+        door (see :func:`repro.dp.frontdoor.inject_batch`)."""
+        if self.parser is None or self.pipeline is None:
+            raise RuntimeError("switch has no design loaded")
+        return frontdoor.inject_batch(self.dp, trace)
+
+    def set_table(self, name: str, table: Table) -> None:
+        """Repoint a table name at a different :class:`Table` object.
+
+        The compiled flow plan holds direct table references, so a
+        repoint must invalidate it (counted under ``table_repoint``).
+        """
+        self.tables[name] = table
+        if self.pipeline is not None:
+            self.pipeline.tables[name] = table
+        self.dp.invalidate("table_repoint")
 
     def table(self, name: str) -> Table:
         try:

@@ -360,13 +360,9 @@ def _profile_main(argv: List[str]) -> int:
     switch = make_switch(args.switch, args.case)
     trace = case_trace(args.case, args.packets, seed=args.seed)
     profiler = switch.enable_profiling()
-    forwarded = dropped = 0
-    for data, port in trace:
-        if switch.inject(data, port) is None:
-            dropped += 1
-        else:
-            forwarded += 1
+    batch = switch.inject_batch(trace)
     switch.disable_profiling()
+    forwarded, dropped = batch.forwarded, batch.dropped
 
     out.write(
         f"{args.switch}/{args.case}: {len(trace)} packets "

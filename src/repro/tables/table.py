@@ -79,6 +79,40 @@ class LookupResult:
     action_data: Dict[str, int] = field(default_factory=dict)
 
 
+def _compile_key_reader(ref: str):
+    """Dotted key reference -> prebound accessor closure.
+
+    Preserves :meth:`repro.net.packet.Packet.read` error semantics
+    (malformed refs, unknown metadata fields, unparsed headers) plus
+    the lookup-time integer check, so misconfigured keys fail with the
+    same exceptions they always did.
+    """
+    scope, _, field_name = ref.partition(".")
+    if not field_name:
+        def read_malformed(packet: Packet):
+            raise ValueError(f"malformed field reference {ref!r}")
+        return read_malformed
+    if scope == "meta":
+        def read_meta(packet: Packet) -> int:
+            metadata = packet.metadata
+            if field_name not in metadata:
+                raise KeyError(f"unknown metadata field {field_name!r}")
+            value = metadata[field_name]
+            if not isinstance(value, int):
+                raise TypeError(
+                    f"key field {ref!r} is not an integer field"
+                )
+            return value
+        return read_meta
+
+    def read_header(packet: Packet) -> int:
+        value = packet.header(scope).get(field_name)
+        if not isinstance(value, int):
+            raise TypeError(f"key field {ref!r} is not an integer field")
+        return value
+    return read_header
+
+
 class Table:
     """A logical match-action table."""
 
@@ -100,6 +134,12 @@ class Table:
         self.hit_count = 0
         self.miss_count = 0
         self._engine = self._pick_engine()
+        # Key-field accessors prebound at construction: lookup is the
+        # hot path, so the dotted-ref parse happens once per table
+        # instead of once per packet per field.
+        self._key_readers = tuple(
+            _compile_key_reader(kf.ref) for kf in self.key
+        )
 
     @property
     def engine_kind(self) -> str:
@@ -219,13 +259,9 @@ class Table:
 
     def lookup(self, packet: Packet) -> LookupResult:
         """Match the packet; on miss, fall back to the default action."""
-        values = []
-        for kf in self.key:
-            value = packet.read(kf.ref)
-            if not isinstance(value, int):
-                raise TypeError(f"key field {kf.ref!r} is not an integer field")
-            values.append(value)
-        entry = self._engine.lookup(tuple(values))
+        entry = self._engine.lookup(
+            tuple([read(packet) for read in self._key_readers])
+        )
         if entry is None:
             self.miss_count += 1
             return LookupResult(

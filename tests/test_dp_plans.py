@@ -1,0 +1,182 @@
+"""Compiled stage plans: caching, invalidation, and drop fidelity.
+
+The dataplane core compiles each device's stages into a plan with
+pre-resolved table/action references at commit time; every runtime
+event that could change what the plan resolved (template write, table
+repoint, selector reconfig, full load) must invalidate it -- or the
+device keeps forwarding with stale references.
+"""
+
+import pytest
+
+from repro.bench.scenarios import make_ipsa_controller, make_switch
+from repro.programs import ecmp_load_script, ecmp_rp4_source
+from repro.tables.table import Table, TableEntry
+from repro.workloads import ipv4_packet
+
+
+@pytest.fixture
+def controller():
+    return make_ipsa_controller("base")
+
+
+class TestPlanCache:
+    def test_plan_compiled_once_and_reused(self, controller):
+        switch = controller.switch
+        plan = switch.dp.plan()
+        compiles = switch.dp.plan_compiles
+        for _ in range(5):
+            switch.inject(ipv4_packet("10.1.0.1", "10.2.0.5"), 0)
+        assert switch.dp.plan() is plan
+        assert switch.dp.plan_compiles == compiles
+
+    def test_apply_update_recompiles_eagerly(self, controller):
+        switch = controller.switch
+        controller.run_script(
+            ecmp_load_script(), {"ecmp.rp4": ecmp_rp4_source()}
+        )
+        # write_templates + configure_selector both invalidated ...
+        assert switch.dp.plan_invalidations.get("template_write", 0) >= 1
+        assert switch.dp.plan_invalidations.get("selector", 0) >= 1
+        # ... and apply_update recompiled before releasing traffic.
+        assert switch.dp._plan is not None
+        timeline = switch.timelines.latest("apply_update")
+        assert "recompile" in [p.name for p in timeline.phases]
+
+    def test_invalidations_reach_the_registry(self, controller):
+        switch = controller.switch
+        generation = switch.dp.generation
+        switch.pipeline.configure_selector(switch.pipeline.selector)
+        assert switch.dp.generation == generation + 1
+        assert switch.metrics.value(
+            "dp.plan_invalidations", reason="selector"
+        ) >= 1
+        assert (
+            switch.metrics.value("dp.plan_generation")
+            == switch.dp.generation
+        )
+        assert switch.metrics.value("dp.plan_compiles") == (
+            switch.dp.plan_compiles
+        )
+
+
+class TestRuntimeInvalidation:
+    def test_template_write_changes_behavior(self, controller):
+        """After the in-situ ECMP load the recompiled plan spreads
+        flows over several next hops (paper use case C1)."""
+        switch = controller.switch
+
+        def ports(n_flows=40):
+            outs = switch.inject_batch(
+                [
+                    (
+                        ipv4_packet(
+                            "10.1.0.1",
+                            f"10.2.0.{flow + 1}",
+                            sport=1000 + flow,
+                        ),
+                        0,
+                    )
+                    for flow in range(n_flows)
+                ]
+            )
+            return {out.port for out in outs if out is not None}
+
+        before = ports()
+        assert len(before) == 1
+        generation = switch.dp.generation
+        controller.run_script(
+            ecmp_load_script(), {"ecmp.rp4": ecmp_rp4_source()}
+        )
+        from repro.programs import populate_ecmp_tables
+
+        populate_ecmp_tables(switch.tables)
+        assert switch.dp.generation > generation
+        assert len(ports()) > 1
+
+    def test_set_table_repoint_invalidates(self, controller):
+        """Plans hold direct table refs: a repoint without
+        invalidation would keep matching against the old object."""
+        switch = controller.switch
+        drop_probe = (ipv4_packet("10.1.0.1", "10.2.0.5"), 9)
+        assert switch.inject(*drop_probe) is None  # port 9 misses port_map
+
+        old = switch.table("port_map")
+        replacement = Table(
+            "port_map", list(old.key), size=old.size,
+            default_action=old.default_action,
+        )
+        for entry in old.entries():
+            replacement.add_entry(entry)
+        replacement.add_entry(
+            TableEntry(
+                key=(9,), action="set_intf", action_data={"intf": 0}, tag=1
+            )
+        )
+        switch.set_table("port_map", replacement)
+        assert switch.dp.plan_invalidations.get("table_repoint") == 1
+
+        assert switch.inject(*drop_probe) is not None
+        # The recompiled plan resolved the new object, not the old one.
+        assert replacement.hit_count > 0
+        resolved = [
+            arm.table
+            for tsp in switch.dp.plan().ingress
+            for stage in tsp.stages
+            for arm in stage.arms
+            if arm.table_name == "port_map"
+        ]
+        assert resolved and all(t is replacement for t in resolved)
+
+    def test_pisa_load_invalidates(self):
+        switch = make_switch("pisa", "base")
+        assert switch.dp.plan_invalidations.get("load") == 1
+        out = switch.inject(ipv4_packet("10.1.0.1", "10.2.0.5"), 0)
+        assert out is not None
+        assert switch.dp.plan_compiles >= 1
+
+    def test_pisa_set_table_repoint(self):
+        switch = make_switch("pisa", "base")
+        switch.inject(ipv4_packet("10.1.0.1", "10.2.0.5"), 0)
+        old = switch.table("port_map")
+        replacement = Table(
+            "port_map", list(old.key), size=old.size,
+            default_action=old.default_action,
+        )
+        for entry in old.entries():
+            replacement.add_entry(entry)
+        switch.set_table("port_map", replacement)
+        assert switch.dp.plan_invalidations.get("table_repoint") == 1
+        assert switch.inject(ipv4_packet("10.1.0.1", "10.2.0.5"), 0)
+        assert replacement.hit_count > 0
+
+
+class TestDropReasonFidelity:
+    """The front door records the pipeline's actual drop reason --
+    never UNKNOWN when the pipeline reported one."""
+
+    def test_untraced_drop_counted_by_reason(self, controller):
+        switch = controller.switch
+        assert switch.inject(ipv4_packet("10.1.0.1", "10.2.0.5"), 9) is None
+        assert switch.drop_reasons == {"ingress_action": 1}
+        assert "unknown" not in switch.drop_reasons
+
+    def test_batch_drops_counted_by_reason(self, controller):
+        switch = controller.switch
+        batch = switch.inject_batch(
+            [(ipv4_packet("10.1.0.1", "10.2.0.5"), 9)] * 3
+        )
+        assert batch.dropped == 3
+        assert switch.drop_reasons == {"ingress_action": 3}
+
+    def test_metadata_template_tracks_new_metadata(self, controller):
+        """Satellite: per-device merged defaults dict, rebuilt on
+        schema updates, copied once per packet."""
+        switch = controller.switch
+        assert "ingress_port" in switch.dp.metadata_template
+        for name in switch.metadata_defaults:
+            assert name in switch.dp.metadata_template
+        switch.apply_update({"new_metadata": [["md_probe", 8]]})
+        assert switch.dp.metadata_template["md_probe"] == 0
+        out = switch.inject(ipv4_packet("10.1.0.1", "10.2.0.5"), 0)
+        assert out is not None

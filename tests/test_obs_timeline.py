@@ -97,6 +97,7 @@ class TestApplyUpdateTimeline:
         assert timeline is not None
         assert [p.name for p in timeline.phases] == [
             "drain", "schema", "linkage", "tables", "templates", "selector",
+            "recompile",
         ]
 
     def test_durations_sum_to_reported_stall(self, controller):
