@@ -26,10 +26,13 @@ import time
 from typing import List, Optional, Sequence
 
 from repro.bench.scenarios import (
+    CASE_ARTIFACTS,
     CASES,
+    STALL_PATHS,
     SWITCHES,
     case_trace,
     make_switch,
+    measure_update_stall,
 )
 from repro.bench.schema import (
     DEFAULT_OVERHEAD_TOLERANCE_PCT,
@@ -141,6 +144,24 @@ def run_matrix(
                         f"({result['ns_per_pkt']:.0f} ns/pkt), "
                         f"profile overhead {profile['overhead_pct']:+.1f}%"
                     )
+    # Update-stall cells: the transactional commit vs the stop-the-
+    # world in-place baseline, per runtime-loaded case (IPSA only --
+    # PISA has no in-place patch path to compare against).
+    update_stall: List[dict] = []
+    if "ipsa" in switches:
+        for case in cases:
+            if case not in CASE_ARTIFACTS:
+                continue
+            for path in STALL_PATHS:
+                cell = measure_update_stall(case, path, seed=seed)
+                update_stall.append(cell)
+                if log is not None:
+                    log(
+                        f"stall {case}/{path}: "
+                        f"{cell['stall_ns']:.0f} ns stall, "
+                        f"{cell['drained_packets']} drained, "
+                        f"{cell['served_during_update']} served during"
+                    )
     doc = {
         "schema_version": SCHEMA_VERSION,
         "kind": DOCUMENT_KIND,
@@ -159,6 +180,7 @@ def run_matrix(
             "sizes": list(sizes),
         },
         "results": results,
+        "update_stall": update_stall,
     }
     problems = validate_bench(doc)
     if problems:  # a harness bug, not a user error -- fail loudly

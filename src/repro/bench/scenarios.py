@@ -130,3 +130,102 @@ def run_case(arch: str, case: str, n_packets: int, seed: int = 23):
     front door; returns ``(switch, BatchResult)``."""
     switch = make_switch(arch, case)
     return switch, switch.inject_batch(case_trace(case, n_packets, seed=seed))
+
+
+# -- update-stall scenario -------------------------------------------------
+
+#: Update paths the stall scenario compares: the transactional
+#: prepare/commit engine vs the pre-refactor stop-the-world baseline.
+STALL_PATHS = ("txn", "inplace")
+#: In-flight TM packets seeded before the update fires.
+STALL_INFLIGHT = 16
+
+
+def _measure_stall_once(
+    case: str, path: str, n_packets: int, seed: int
+) -> dict:
+    script, snippet, name, populate, _ = CASE_ARTIFACTS[case]
+    controller = make_ipsa_controller("base")
+    switch = controller.switch
+
+    # Mid-flight traffic: packets already past ingress, parked in the
+    # TM when the update arrives.  The in-place path discards them;
+    # the transactional commit completes them through the old plans.
+    from repro.dp.exec import run_tsp_plan
+    from repro.dp.hooks import resolve_hooks
+
+    plan = switch.dp.plan()
+    hooks = resolve_hooks(switch)
+    for data, port in mixed_l3_trace(STALL_INFLIGHT, seed=seed + 1):
+        packet = switch.dp.new_packet(data, port)
+        for tsp_plan in plan.ingress:
+            run_tsp_plan(tsp_plan, packet, switch, hooks)
+        if not packet.metadata.get("drop"):
+            switch.pipeline.tm.enqueue(packet)
+    # Upstream traffic: parked at the intake behind back pressure.
+    for data, port in mixed_l3_trace(n_packets, seed=seed):
+        switch.enqueue(data, port)
+
+    if path == "txn":
+        staged = controller.stage_update(script(), {name: snippet()})
+        # Old plans keep serving while the shadow state is prepared.
+        served_during = len(switch.pump())
+        _plan, stats, _timing = staged.commit()
+    else:
+        from repro.compiler.rp4bc import compile_update
+
+        plan = compile_update(
+            controller.design, script(), {name: snippet()}
+        )
+        update = plan.update_message(controller.design.config)
+        served_during = 0  # stop-the-world: everything waits
+        stats = switch.apply_update_inplace(update)
+
+    populate(switch.tables)
+    served_after = len(switch.pump())
+    return {
+        "case": case,
+        "path": path,
+        "packets": n_packets,
+        "inflight": STALL_INFLIGHT,
+        "stall_ns": stats.stall_seconds * 1e9,
+        "drained_packets": stats.drained_packets,
+        "completed_inflight": stats.completed_packets,
+        "served_during_update": served_during,
+        "served_after": served_after,
+    }
+
+
+def measure_update_stall(
+    case: str,
+    path: str,
+    n_packets: int = 60,
+    seed: int = 23,
+    best_of: int = 3,
+) -> dict:
+    """The traffic-visible cost of one in-situ update (paper Sec. 5.3).
+
+    Seeds :data:`STALL_INFLIGHT` packets mid-flight in the TM, parks
+    ``n_packets`` more at the intake, then applies ``case``'s update
+    over ``path`` (``txn`` or ``inplace``).  Reports the stall window,
+    how many in-flight packets were discarded vs completed, and how
+    much intake traffic was served *during* the update.  ``best_of``
+    fresh runs are taken and the minimum-stall one reported (the stall
+    is microseconds; scheduler jitter dominates a single sample).
+    """
+    check_case(case)
+    if case not in CASE_ARTIFACTS:
+        raise ValueError(
+            f"update-stall needs an update to apply; case {case!r} has none"
+        )
+    if path not in STALL_PATHS:
+        raise ValueError(
+            f"unknown path {path!r} (expected one of {STALL_PATHS})"
+        )
+    if best_of <= 0:
+        raise ValueError("best_of must be positive")
+    runs = [
+        _measure_stall_once(case, path, n_packets, seed)
+        for _ in range(best_of)
+    ]
+    return min(runs, key=lambda run: run["stall_ns"])

@@ -56,6 +56,26 @@ _PROFILE_KEYS = {
     "engine_lookups": dict,
 }
 
+#: The optional ``update_stall`` section: one cell per (case, path).
+#: Documents from before the transactional update engine simply lack
+#: the key -- absence is valid.
+_STALL_KEYS = {
+    "case": str,
+    "path": str,
+    "packets": int,
+    "inflight": int,
+    "stall_ns": (int, float),
+    "drained_packets": int,
+    "completed_inflight": int,
+    "served_during_update": int,
+    "served_after": int,
+}
+#: Default relative tolerance on the stall window for --compare.  The
+#: window is tens of microseconds; scheduler jitter dominates, so the
+#: gate is loose and the strict txn-vs-inplace ordering is checked by
+#: validation instead.
+DEFAULT_STALL_TOLERANCE = 1.0
+
 
 def validate_bench(doc: object) -> List[str]:
     """Structural validation; returns problems (empty list = valid)."""
@@ -141,6 +161,64 @@ def validate_bench(doc: object) -> List[str]:
             f"results cover {sorted(switches)} but matrix.switches "
             f"declares {sorted(declared)}"
         )
+    problems.extend(_validate_update_stall(doc))
+    return problems
+
+
+def _validate_update_stall(doc: dict) -> List[str]:
+    """Check the optional ``update_stall`` section.
+
+    Beyond structure, this enforces the transactional engine's
+    headline property: wherever a case has both paths measured, the
+    ``txn`` path must discard *fewer* in-flight packets and stall
+    *strictly shorter* than the stop-the-world ``inplace`` baseline.
+    """
+    if "update_stall" not in doc:
+        return []  # pre-txn-engine documents: absence is valid
+    problems: List[str] = []
+    section = doc["update_stall"]
+    if not isinstance(section, list):
+        return ["'update_stall' must be a list"]
+    by_case: Dict[str, Dict[str, dict]] = {}
+    for i, cell in enumerate(section):
+        where = f"update_stall[{i}]"
+        if not isinstance(cell, dict):
+            problems.append(f"{where} must be an object")
+            continue
+        bad = False
+        for key, types in _STALL_KEYS.items():
+            if key not in cell:
+                problems.append(f"{where} missing {key!r}")
+                bad = True
+            elif not isinstance(cell[key], types):
+                problems.append(f"{where}.{key} must be {types}")
+                bad = True
+        if bad:
+            continue
+        if cell["path"] not in ("txn", "inplace"):
+            problems.append(f"{where}.path {cell['path']!r} unknown")
+            continue
+        if cell["stall_ns"] <= 0:
+            problems.append(f"{where}.stall_ns must be positive")
+        if cell["drained_packets"] < 0:
+            problems.append(f"{where}.drained_packets must be >= 0")
+        by_case.setdefault(cell["case"], {})[cell["path"]] = cell
+    for case, paths in sorted(by_case.items()):
+        if "txn" not in paths or "inplace" not in paths:
+            continue
+        txn, inplace = paths["txn"], paths["inplace"]
+        if txn["drained_packets"] >= inplace["drained_packets"]:
+            problems.append(
+                f"update_stall[{case}]: txn drained "
+                f"{txn['drained_packets']} packets, not strictly fewer "
+                f"than inplace's {inplace['drained_packets']}"
+            )
+        if txn["stall_ns"] >= inplace["stall_ns"]:
+            problems.append(
+                f"update_stall[{case}]: txn stall {txn['stall_ns']:.0f} ns "
+                f"not strictly below inplace's "
+                f"{inplace['stall_ns']:.0f} ns"
+            )
     return problems
 
 
@@ -193,11 +271,21 @@ def _index_results(doc: dict) -> Dict[Tuple[str, str], dict]:
     return index
 
 
+def _index_stall(doc: dict) -> Dict[Tuple[str, str], dict]:
+    """Stall cells keyed by (case, path); empty for old documents."""
+    return {
+        (cell["case"], cell["path"]): cell
+        for cell in doc.get("update_stall", [])
+        if isinstance(cell, dict) and "case" in cell and "path" in cell
+    }
+
+
 def compare_documents(
     old: dict,
     new: dict,
     relative_tolerance: float = DEFAULT_RELATIVE_TOLERANCE,
     overhead_tolerance_pct: float = DEFAULT_OVERHEAD_TOLERANCE_PCT,
+    stall_tolerance: float = DEFAULT_STALL_TOLERANCE,
 ) -> Comparison:
     """Per-metric regression check of ``new`` against baseline ``old``.
 
@@ -206,6 +294,11 @@ def compare_documents(
     up), or when profile overhead grows by more than
     ``overhead_tolerance_pct`` percentage points.  Cells are matched
     on (switch, case) using each document's largest trace.
+
+    ``update_stall`` cells (matched on case/path) regress when the
+    stall window grows beyond ``stall_tolerance`` or when an update
+    starts discarding more in-flight packets than the baseline did;
+    baselines without the section contribute ``new cell`` notes only.
     """
     comparison = Comparison()
     old_index = _index_results(old)
@@ -252,6 +345,42 @@ def compare_documents(
                 new=new_ovh,
                 tolerance=overhead_tolerance_pct,
                 regressed=new_ovh > old_ovh + overhead_tolerance_pct,
+            )
+        )
+    old_stall = _index_stall(old)
+    new_stall = _index_stall(new)
+    comparison.missing_cells += [
+        f"stall:{case}/{path}"
+        for case, path in sorted(old_stall.keys() - new_stall.keys())
+    ]
+    comparison.new_cells += [
+        f"stall:{case}/{path}"
+        for case, path in sorted(new_stall.keys() - old_stall.keys())
+    ]
+    for key in sorted(old_stall.keys() & new_stall.keys()):
+        cell = f"stall:{key[0]}/{key[1]}"
+        old_cell, new_cell = old_stall[key], new_stall[key]
+        old_ns, new_ns = old_cell["stall_ns"], new_cell["stall_ns"]
+        comparison.deltas.append(
+            MetricDelta(
+                cell=cell,
+                metric="stall_ns",
+                old=old_ns,
+                new=new_ns,
+                tolerance=stall_tolerance,
+                regressed=new_ns > old_ns * (1.0 + stall_tolerance),
+            )
+        )
+        old_drained = old_cell["drained_packets"]
+        new_drained = new_cell["drained_packets"]
+        comparison.deltas.append(
+            MetricDelta(
+                cell=cell,
+                metric="drained_packets",
+                old=old_drained,
+                new=new_drained,
+                tolerance=0.0,
+                regressed=new_drained > old_drained,
             )
         )
     return comparison

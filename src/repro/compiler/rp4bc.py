@@ -158,6 +158,48 @@ class UpdatePlan:
     migrated_tables: List[str] = field(default_factory=list)
     rewritten_tsps: List[int] = field(default_factory=list)
 
+    def update_message(self, old_config: Optional[dict] = None) -> dict:
+        """The delta that crosses the control channel: everything the
+        device needs relative to ``old_config`` (the config it is
+        currently running).  This is the transaction's wire shape --
+        the controller sends it as an ``update.prepare`` payload.
+        """
+        old_config = old_config or {}
+        new_config = self.design.config
+        old_tables = set(old_config.get("tables", {}))
+        old_metadata = {tuple(m) for m in old_config.get("metadata", [])}
+        old_actions = set(old_config.get("actions", {}))
+        old_headers = set(old_config.get("headers", {}))
+        return {
+            "templates": self.new_templates,
+            "selector": self.selector,
+            "link_headers": [
+                [l.pre, l.tag, l.next] for l in self.link_headers
+            ],
+            "unlink_headers": [list(u) for u in self.unlink_headers],
+            "new_metadata": [
+                list(m)
+                for m in new_config.get("metadata", [])
+                if tuple(m) not in old_metadata
+            ],
+            "new_headers": {
+                name: spec
+                for name, spec in new_config.get("headers", {}).items()
+                if name not in old_headers
+            },
+            "new_actions": {
+                name: spec
+                for name, spec in new_config.get("actions", {}).items()
+                if name not in old_actions
+            },
+            "new_tables": {
+                name: spec
+                for name, spec in new_config.get("tables", {}).items()
+                if name not in old_tables
+            },
+            "freed_tables": self.freed_tables,
+        }
+
 
 def _selector_json(layout: LayoutResult) -> dict:
     return {

@@ -38,8 +38,13 @@ class DataplaneCore:
     def __init__(self, device) -> None:
         self.device = device
         self.generation = 0
+        #: Epoch pointer: bumped only by :meth:`flip` (a transactional
+        #: commit installing a pre-compiled shadow plan).  Invalidation
+        #: bumps the generation but never the epoch.
+        self.epoch = 0
         self.plan_compiles = 0
         self.plan_invalidations: Dict[str, int] = {}
+        self.plan_flips: Dict[str, int] = {}
         self._plan = None
         self.metadata_template: Dict[str, object] = dict(INTRINSIC_METADATA)
 
@@ -51,8 +56,11 @@ class DataplaneCore:
     def metrics_samples(self):
         yield Sample("dp.plan_compiles", self.plan_compiles)
         yield Sample("dp.plan_generation", self.generation, {}, "gauge")
+        yield Sample("dp.plan_epoch", self.epoch, {}, "gauge")
         for reason, count in self.plan_invalidations.items():
             yield Sample("dp.plan_invalidations", count, {"reason": reason})
+        for reason, count in self.plan_flips.items():
+            yield Sample("dp.plan_flips", count, {"reason": reason})
 
     # -- plan cache ----------------------------------------------------
 
@@ -73,6 +81,37 @@ class DataplaneCore:
             self.plan_compiles += 1
         return plan
 
+    # -- epoch-keyed double buffering ----------------------------------
+
+    def compile_shadow(self, view):
+        """Compile a plan against a *shadow device view* without
+        touching the live cache.
+
+        The view duck-types whatever the architecture's compiler reads
+        (``pipeline``/``tables``/``actions`` for IPSA; ``pipeline``/
+        ``parser`` for PISA).  Transactions use this to pay the full
+        compile cost while old plans keep serving traffic.
+        """
+        plan = self._compile(view)
+        self.plan_compiles += 1
+        return plan
+
+    def flip(self, plan, reason: str = "txn_commit") -> int:
+        """Atomically install a pre-compiled plan as the live one.
+
+        This is the transactional commit's only touch on the plan
+        cache: the epoch pointer advances, the generation moves with
+        it (so generation-watchers see the change), and the metadata
+        template is re-merged from the (already swapped) device state.
+        No invalidation is recorded -- the cache never goes cold.
+        """
+        self._plan = plan
+        self.epoch += 1
+        self.generation += 1
+        self.plan_flips[reason] = self.plan_flips.get(reason, 0) + 1
+        self.rebuild_metadata_template()
+        return self.epoch
+
     def rebuild_metadata_template(self) -> None:
         """Re-merge device metadata defaults under the intrinsics."""
         merged = dict(self.device.metadata_defaults)
@@ -89,7 +128,7 @@ class DataplaneCore:
 
     # -- architecture binding (subclass responsibilities) --------------
 
-    def _compile(self):
+    def _compile(self, device=None):
         raise NotImplementedError
 
     def first_header(self) -> str:
@@ -105,8 +144,8 @@ class DataplaneCore:
 class IpsaCore(DataplaneCore):
     """IPSA binding: elastic TSP pipeline + TM, emit-in-flight."""
 
-    def _compile(self):
-        return compile_ipsa_plan(self.device)
+    def _compile(self, device=None):
+        return compile_ipsa_plan(device if device is not None else self.device)
 
     def first_header(self) -> str:
         return self.device.first_header
@@ -122,8 +161,8 @@ class IpsaCore(DataplaneCore):
 class PisaCore(DataplaneCore):
     """PISA binding: front parser, fixed flows, explicit deparser."""
 
-    def _compile(self):
-        return compile_pisa_plan(self.device)
+    def _compile(self, device=None):
+        return compile_pisa_plan(device if device is not None else self.device)
 
     def first_header(self) -> str:
         return self.device.parser.first_header

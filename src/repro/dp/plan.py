@@ -178,6 +178,82 @@ def compile_flow(flow, tables, actions) -> tuple:
     return tuple(steps)
 
 
+# -- identity ------------------------------------------------------------
+
+
+def describe_plan(plan) -> tuple:
+    """A structural description of a compiled plan (nested tuples).
+
+    Object identities (table/action refs) are reduced to ``id()`` so
+    two descriptions compare equal exactly when the plans resolve the
+    same stages against the same live objects -- which is what the
+    transaction abort tests assert ("compiled plans unchanged").
+    """
+    if isinstance(plan, IpsaPlan):
+        return (
+            "ipsa",
+            tuple(_describe_tsp(t) for t in plan.ingress),
+            tuple(_describe_tsp(t) for t in plan.egress),
+        )
+    if isinstance(plan, PisaPlan):
+        return (
+            "pisa",
+            _describe_flow(plan.ingress),
+            _describe_flow(plan.egress),
+        )
+    raise TypeError(f"not a compiled plan: {plan!r}")
+
+
+def plan_fingerprint(plan) -> str:
+    """A stable hex digest of :func:`describe_plan`."""
+    import hashlib
+
+    return hashlib.sha1(repr(describe_plan(plan)).encode()).hexdigest()
+
+
+def _describe_tsp(tsp: TspPlan) -> tuple:
+    return (
+        tsp.index,
+        tsp.side,
+        tuple(
+            (
+                stage.name,
+                tuple(stage.parse_list),
+                tuple(
+                    (arm.index, arm.table_name, id(arm.table))
+                    for arm in stage.arms
+                ),
+                tuple(
+                    (tag, name, id(action))
+                    for tag, (name, action) in sorted(
+                        stage.tag_actions.items(), key=lambda kv: str(kv[0])
+                    )
+                ),
+                (stage.default_pair[0], id(stage.default_pair[1])),
+            )
+            for stage in tsp.stages
+        ),
+    )
+
+
+def _describe_flow(steps) -> tuple:
+    out = []
+    for step in steps:
+        if isinstance(step, ApplyStep):
+            out.append(("apply", step.table_name, id(step.table)))
+        elif isinstance(step, IfStep):
+            out.append(
+                (
+                    "if",
+                    _describe_flow(step.then_steps),
+                    _describe_flow(step.else_steps),
+                )
+            )
+        else:
+            out.append(("?", repr(step)))
+    return tuple(out)
+
+
 def compile_pisa_plan(device) -> PisaPlan:
     pipeline = device.pipeline
     hlir = pipeline.hlir

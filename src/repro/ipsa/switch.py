@@ -42,7 +42,8 @@ class SwitchError(Exception):
 class UpdateStats:
     """What an in-service update cost."""
 
-    drained_packets: int = 0
+    drained_packets: int = 0  # in-flight packets *discarded* at drain
+    completed_packets: int = 0  # in-flight packets finished on the old plan
     held_packets: int = 0  # waiting upstream during the stall
     templates_written: int = 0
     template_words: int = 0
@@ -51,6 +52,63 @@ class UpdateStats:
     tables_created: List[str] = field(default_factory=list)
     tables_removed: List[str] = field(default_factory=list)
     stall_seconds: float = 0.0
+    epoch: int = 0  # dp plan epoch after the update (0 = in-place path)
+
+
+# -- schema registration helpers ------------------------------------------
+#
+# Module-level so the transactional update path can build *shadow*
+# header/linkage state from the same code the live load path uses.
+
+
+def ensure_instance(header_types: Dict[str, HeaderType], linkage: HeaderLinkageTable, instance: str) -> None:
+    """Resolve an instance name to a header type, aliasing
+    ``inner_<type>`` instances onto their base type (the standard
+    P4 idiom for encapsulated headers)."""
+    if instance in header_types:
+        return
+    if instance.startswith("inner_"):
+        base = instance[len("inner_") :]
+        base_type = header_types.get(base)
+        if base_type is not None:
+            header_types[instance] = base_type
+            selector = linkage.selector(base)
+            if selector is not None:
+                linkage.set_selector(instance, selector)
+            return
+    # Unknown instance: tolerated -- parsing simply stops there
+    # until the type is loaded (matches the JIT parser contract).
+
+
+def register_header(
+    header_types: Dict[str, HeaderType],
+    linkage: HeaderLinkageTable,
+    name: str,
+    spec: dict,
+) -> None:
+    """Install one header type (and its selector/links) into the given
+    schema dictionaries -- live or shadow."""
+    fields = [FieldDef(fname, width) for fname, width in spec["fields"]]
+    header_types[name] = HeaderType(name, fields)
+    selector = spec.get("selector")
+    if selector is not None:
+        linkage.set_selector(name, selector)
+    for tag, nxt in spec.get("links", []):
+        ensure_instance(header_types, linkage, nxt)
+        linkage.add_link(name, nxt, tag)
+
+
+def table_from_spec(name: str, spec: dict) -> Table:
+    """Lower one table spec to a :class:`Table` (shared by live create
+    and shadow staging)."""
+    if "keys" not in spec:
+        raise SwitchError(f"table {name!r} spec carries no key layout")
+    return lower_table(
+        name,
+        [tuple(k) for k in spec["keys"]],
+        int(spec.get("size", spec.get("depth", 1024))),
+        default_action=spec.get("default_action", "NoAction"),
+    )
 
 
 class IpsaSwitch:
@@ -165,32 +223,10 @@ class IpsaSwitch:
     # -- configuration (the Control Channel Module) -----------------------
 
     def _register_header(self, name: str, spec: dict) -> None:
-        fields = [FieldDef(fname, width) for fname, width in spec["fields"]]
-        self.header_types[name] = HeaderType(name, fields)
-        selector = spec.get("selector")
-        if selector is not None:
-            self.linkage.set_selector(name, selector)
-        for tag, nxt in spec.get("links", []):
-            self._ensure_instance(nxt)
-            self.linkage.add_link(name, nxt, tag)
+        register_header(self.header_types, self.linkage, name, spec)
 
     def _ensure_instance(self, instance: str) -> None:
-        """Resolve an instance name to a header type, aliasing
-        ``inner_<type>`` instances onto their base type (the standard
-        P4 idiom for encapsulated headers)."""
-        if instance in self.header_types:
-            return
-        if instance.startswith("inner_"):
-            base = instance[len("inner_") :]
-            base_type = self.header_types.get(base)
-            if base_type is not None:
-                self.header_types[instance] = base_type
-                selector = self.linkage.selector(base)
-                if selector is not None:
-                    self.linkage.set_selector(instance, selector)
-                return
-        # Unknown instance: tolerated -- parsing simply stops there
-        # until the type is loaded (matches the JIT parser contract).
+        ensure_instance(self.header_types, self.linkage, instance)
 
     def load_config(self, config: dict) -> None:
         """Initial full load of an rp4bc device configuration."""
@@ -218,14 +254,7 @@ class IpsaSwitch:
         self.dp.invalidate("load_config")
 
     def _create_table(self, name: str, spec: dict) -> None:
-        if "keys" not in spec:
-            raise SwitchError(f"table {name!r} spec carries no key layout")
-        self.tables[name] = lower_table(
-            name,
-            [tuple(k) for k in spec["keys"]],
-            int(spec.get("size", spec.get("depth", 1024))),
-            default_action=spec.get("default_action", "NoAction"),
-        )
+        self.tables[name] = table_from_spec(name, spec)
         self.dp.invalidate("tables")
 
     def set_table(self, name: str, table: Table) -> None:
@@ -286,6 +315,45 @@ class IpsaSwitch:
         """
         return len(self.pipeline.tm.drain())
 
+    def quiesce(self, plan=None) -> List[PortOut]:
+        """Complete every in-flight TM packet through ``plan``'s
+        egress stages (default: the current plan) and emit it, instead
+        of discarding it.
+
+        The transactional commit passes the *pre-flip* plan: packets
+        that entered under the old epoch finish under the old plan --
+        after the pointer swap, outside the stall window -- so the
+        update loses no traffic.  Returns the emitted outputs.
+        """
+        from repro.dp.exec import run_tsp_plan
+        from repro.dp.frontdoor import _emit_one
+        from repro.dp.hooks import resolve_hooks
+
+        plan = plan if plan is not None else self.dp.plan()
+        hooks = resolve_hooks(self)
+        tm = self.pipeline.tm
+        outputs: List[PortOut] = []
+        while True:
+            queued = tm.dequeue()
+            if queued is None:
+                return outputs
+            dropped = False
+            for tsp_plan in plan.egress:
+                run_tsp_plan(tsp_plan, queued, self, hooks)
+                if queued.metadata.get("drop"):
+                    self.note_drop(DropReason.EGRESS_ACTION)
+                    dropped = True
+                    break
+            if not dropped:
+                outputs.append(_emit_one(self.dp, hooks, None, queued))
+
+    def begin_update(self, update: dict) -> "IpsaUpdateTransaction":
+        """Open a prepare/validate/commit/abort transaction for an
+        rp4bc UpdatePlan JSON (see :mod:`repro.runtime.txn`)."""
+        from repro.runtime.txn import IpsaUpdateTransaction
+
+        return IpsaUpdateTransaction(self, update)
+
     def apply_update(self, update: dict) -> UpdateStats:
         """In-service update from an rp4bc UpdatePlan JSON.
 
@@ -293,9 +361,26 @@ class IpsaSwitch:
         ``selector``, ``link_headers`` [[pre, tag, next]],
         ``unlink_headers`` [[pre, tag]], ``new_actions`` {name: spec},
         ``new_tables`` {name: {keys, size}}, ``freed_tables`` [name].
+
+        This is the transactional one-shot: shadow state is prepared
+        and validated while old plans keep serving, then committed with
+        a stall window covering only the pointer flip.  Any pre-commit
+        failure aborts with zero live-state mutation and re-raises the
+        original exception.  The pre-refactor stop-the-world path
+        survives as :meth:`apply_update_inplace` (the bench baseline).
         """
+        txn = self.begin_update(update)
+        txn.prepare()
+        txn.validate()
+        return txn.commit()
+
+    def apply_update_inplace(self, update: dict) -> UpdateStats:
+        """The pre-transactional stop-the-world update: pause intake,
+        drain (discarding in-flight packets), patch live state in
+        place, recompile under the pause.  Kept as the bench harness's
+        before/after baseline for the ``update_stall`` scenario."""
         stats = UpdateStats()
-        timeline = self.timelines.begin("apply_update")
+        timeline = self.timelines.begin("apply_update_inplace")
 
         self.paused = True  # back pressure: intake waits out the update
         stats.drained_packets = self.drain()

@@ -106,6 +106,63 @@ class MemoryPool:
             return 0.0
         return sum(1 for b in self.blocks if not b.free) / len(self.blocks)
 
+    def verify(self) -> List[str]:
+        """Cross-check mappings against block ownership.
+
+        Returns human-readable findings (empty = consistent).  The
+        transaction validate phase runs this on the cloned pool so a
+        compiler bug cannot commit a corrupt allocation state.
+        """
+        findings: List[str] = []
+        by_id = {b.block_id: b for b in self.blocks}
+        owned: Dict[int, str] = {}
+        for name, mapping in self._mappings.items():
+            for block_id in mapping.block_ids:
+                block = by_id.get(block_id)
+                if block is None:
+                    findings.append(
+                        f"table {name!r} maps missing block {block_id}"
+                    )
+                    continue
+                if block.free:
+                    findings.append(
+                        f"table {name!r} maps free block {block_id}"
+                    )
+                elif block.owner != name:
+                    findings.append(
+                        f"table {name!r} maps block {block_id} owned by "
+                        f"{block.owner!r}"
+                    )
+                if block_id in owned:
+                    findings.append(
+                        f"block {block_id} mapped by both "
+                        f"{owned[block_id]!r} and {name!r}"
+                    )
+                owned[block_id] = name
+        for block in self.blocks:
+            if not block.free and block.block_id not in owned:
+                findings.append(
+                    f"block {block.block_id} allocated to {block.owner!r} "
+                    "but mapped by no table"
+                )
+        return findings
+
+    def diff(self, old: "MemoryPool") -> Dict[str, List[str]]:
+        """Mapping changes relative to ``old``: which tables were
+        added, removed, or moved to different blocks."""
+        mine = self._mappings
+        theirs = old._mappings
+        moved = [
+            name
+            for name in sorted(set(mine) & set(theirs))
+            if tuple(mine[name].block_ids) != tuple(theirs[name].block_ids)
+        ]
+        return {
+            "added": sorted(set(mine) - set(theirs)),
+            "removed": sorted(set(theirs) - set(mine)),
+            "moved": moved,
+        }
+
     # -- allocation ------------------------------------------------------
 
     def demand_for(

@@ -39,6 +39,9 @@ class ReloadStats:
     tables_repopulated: int = 0
     entries_repopulated: int = 0
     seconds: float = 0.0
+    #: Traffic-visible window: only the pointer flip, now that the
+    #: rebuild happens against shadow state.
+    stall_seconds: float = 0.0
 
 
 class PisaSwitch:
@@ -154,6 +157,22 @@ class PisaSwitch:
         self.pipeline.device = self
         self.dp.invalidate("load")
 
+    def begin_reload(
+        self,
+        program: Union[str, Hlir],
+        entries: Optional[Dict[str, List[TableEntry]]] = None,
+    ):
+        """Stage a full configuration swap as a transaction.
+
+        The new design is parsed, lowered, repopulated, and compiled
+        against shadow objects while the old pipeline keeps serving;
+        ``commit()`` swaps the pointers.  See
+        :class:`repro.runtime.txn.PisaReloadTransaction`.
+        """
+        from repro.runtime.txn import PisaReloadTransaction
+
+        return PisaReloadTransaction(self, program, entries)
+
     def reload(
         self,
         program: Union[str, Hlir],
@@ -164,35 +183,16 @@ class PisaSwitch:
         ``entries`` is the controller's shadow copy of the desired
         table state -- PISA loses all entries on reload, so they must
         all be pushed again (the paper: "the P4 design flow also needs
-        to populate all the tables after loading the design").
+        to populate all the tables after loading the design").  The
+        rebuild is transactional: a parse or lowering failure leaves
+        the old design serving, and the traffic-visible stall is only
+        the pointer flip (``ReloadStats.stall_seconds``).
         """
-        stats = ReloadStats()
-        timeline = self.timelines.begin("reload")
+        txn = self.begin_reload(program, entries)
         started = time.perf_counter()
-        self.load(program)
-        timeline.phase("load")
-        for table_name, rows in entries.items():
-            table = self.tables.get(table_name)
-            if table is None:
-                continue
-            for entry in rows:
-                table.add_entry(
-                    TableEntry(
-                        key=entry.key,
-                        action=entry.action,
-                        action_data=dict(entry.action_data),
-                        tag=entry.tag,
-                        priority=entry.priority,
-                    )
-                )
-                stats.entries_repopulated += 1
-            stats.tables_repopulated += 1
-        timeline.phase(
-            "populate",
-            tables=stats.tables_repopulated,
-            entries=stats.entries_repopulated,
-        )
-        timeline.finish()
+        txn.prepare()
+        txn.validate()
+        stats = txn.commit()
         stats.seconds = time.perf_counter() - started
         return stats
 

@@ -8,27 +8,56 @@ runtime from Fig.-5-style scripts.  Everything crosses a
 :class:`~repro.runtime.channel.ControlChannel` that actually
 serializes the JSON, so loading time includes the communication cost
 the paper mentions.
+
+Updates are transactional (:mod:`repro.runtime.txn`): the controller
+stages an update (compile, lint, transfer, shadow-state prepare,
+validate) and commits it with an epoch flip whose stall window covers
+only the pointer swap; fleets roll out via
+:meth:`~repro.runtime.fabric.Fabric.staged_rollout` with canary
+health gates and automatic rollback.
 """
 
-from repro.runtime.channel import ControlChannel
+from repro.runtime.channel import ChannelError, ControlChannel
 from repro.runtime.controller import (
     Controller,
     ControllerError,
     FlowTiming,
+    StagedUpdate,
     UnsafeUpdateError,
 )
-from repro.runtime.fabric import Delivery, Fabric
+from repro.runtime.fabric import (
+    Delivery,
+    Fabric,
+    HealthGateError,
+    RolloutError,
+    RolloutReport,
+)
 from repro.runtime.stats import diff, format_stats, snapshot
 from repro.runtime.table_api import TableApi
+from repro.runtime.txn import (
+    TxnError,
+    TxnPhase,
+    TxnStateError,
+    TxnValidationError,
+)
 
 __all__ = [
+    "ChannelError",
     "ControlChannel",
     "Controller",
     "ControllerError",
     "Delivery",
     "Fabric",
     "FlowTiming",
+    "HealthGateError",
+    "RolloutError",
+    "RolloutReport",
+    "StagedUpdate",
     "TableApi",
+    "TxnError",
+    "TxnPhase",
+    "TxnStateError",
+    "TxnValidationError",
     "UnsafeUpdateError",
     "diff",
     "format_stats",

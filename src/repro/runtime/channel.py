@@ -5,32 +5,90 @@ Messages are genuinely serialized to JSON text and parsed back on the
 communication/marshalling cost -- the paper notes t_L "contains the
 communication time with the device" and that the true pipeline stall
 is shorter.
+
+Every message travels in an envelope ``{"seq": n, "kind": k,
+"payload": ...}``: ``seq`` is a channel-monotonic sequence number
+(verified on the receive side -- a replay or reordering is a
+:class:`ChannelError`; gaps are legal, they are what a lost message
+leaves behind), and ``kind`` names the protocol step
+(``config.load``, ``update.prepare``, ``update.commit``,
+``update.abort``, ``update.rollback``), with per-kind message/byte
+counters exported through the metrics registry.
 """
 
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
-from typing import List
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from repro.obs.metrics import Sample
+
+
+class ChannelError(Exception):
+    """The channel refused or lost a message."""
+
+
+@dataclass
+class KindStats:
+    """Per-message-kind traffic accounting."""
+
+    messages: int = 0
+    bytes_sent: int = 0
 
 
 @dataclass
 class ChannelStats:
     messages: int = 0
     bytes_sent: int = 0
+    by_kind: Dict[str, KindStats] = field(default_factory=dict)
 
 
 class ControlChannel:
-    """A serializing in-process channel."""
+    """A serializing in-process channel with sequenced envelopes."""
 
     def __init__(self) -> None:
         self.stats = ChannelStats()
         self.log: List[str] = []
+        self.seq = 0
+        self._last_delivered = 0
+        #: Fault injection: kinds in this set are "lost in transit" --
+        #: the send raises :class:`ChannelError` after serialization,
+        #: so byte accounting still sees the attempt.
+        self.drop_kinds: Set[str] = set()
 
-    def send(self, message: dict) -> dict:
-        """Serialize, 'transmit', and deserialize a message."""
-        text = json.dumps(message, sort_keys=True)
+    def send(self, message: dict, kind: str = "config.load") -> dict:
+        """Serialize, 'transmit', and deserialize a message.
+
+        Returns the deserialized *payload* (what the device acts on),
+        exactly as the pre-envelope channel returned the message.
+        """
+        self.seq += 1
+        envelope = {"seq": self.seq, "kind": kind, "payload": message}
+        text = json.dumps(envelope, sort_keys=True)
         self.stats.messages += 1
         self.stats.bytes_sent += len(text)
+        per_kind = self.stats.by_kind.setdefault(kind, KindStats())
+        per_kind.messages += 1
+        per_kind.bytes_sent += len(text)
         self.log.append(text[:120])
-        return json.loads(text)
+        if kind in self.drop_kinds:
+            raise ChannelError(f"message seq={self.seq} kind={kind!r} dropped")
+        received = json.loads(text)
+        if received["seq"] <= self._last_delivered:
+            raise ChannelError(
+                f"out-of-order delivery: got seq={received['seq']}, "
+                f"already delivered up to {self._last_delivered}"
+            )
+        self._last_delivered = received["seq"]
+        return received["payload"]
+
+    # -- observability -------------------------------------------------
+
+    def metrics_samples(self):
+        yield Sample("channel.messages", self.stats.messages)
+        yield Sample("channel.bytes_sent", self.stats.bytes_sent)
+        yield Sample("channel.seq", self.seq, {}, "gauge")
+        for kind, stats in self.stats.by_kind.items():
+            yield Sample("channel.messages", stats.messages, {"kind": kind})
+            yield Sample("channel.bytes_sent", stats.bytes_sent, {"kind": kind})

@@ -33,6 +33,16 @@ before anything touches a device::
 
     ipbm-ctl lint base.rp4 --strict --format sarif
     ipbm-ctl lint --shipped
+
+``ipbm-ctl update`` drives the transactional update path explicitly:
+``--staged`` stages (prepare + validate) and then commits with the
+stall reported, ``--abort`` stops after staging and proves the device
+untouched (a dry run), and ``--nodes N`` runs a canary -> waves staged
+rollout across an N-node fabric::
+
+    ipbm-ctl update base.rp4 --script updates.txt --staged
+    ipbm-ctl update base.rp4 --script updates.txt --abort
+    ipbm-ctl update base.rp4 --script updates.txt --nodes 4 --wave-size 2
 """
 
 from __future__ import annotations
@@ -82,6 +92,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.analysis.cli import main as rp4lint_main
 
         return rp4lint_main(argv[1:])
+    if argv and argv[0] == "update":
+        return _update_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="ipbm-ctl", description="controller for the ipbm software switch"
     )
@@ -249,6 +261,133 @@ def _write_exports(controller: Controller, args, out, captured_tracer=None) -> N
             json.dump(snapshot(controller.switch), fh, indent=2, sort_keys=True)
             fh.write("\n")
         out.write(f"wrote statistics snapshot to {args.stats_out}\n")
+
+
+# -- transactional update subcommand ---------------------------------------
+
+
+def _update_main(argv: List[str]) -> int:
+    """``ipbm-ctl update``: the staged / transactional update path."""
+    parser = argparse.ArgumentParser(
+        prog="ipbm-ctl update",
+        description="stage, commit, or abort an in-situ update "
+        "transactionally (optionally across a fabric)",
+    )
+    parser.add_argument("base", help="rP4 base design file")
+    parser.add_argument("--script", required=True, help="update script")
+    parser.add_argument(
+        "--snippet", action="append", default=[],
+        help="name=path for snippets referenced by the script",
+    )
+    parser.add_argument("--tsps", type=int, default=8)
+    parser.add_argument(
+        "--staged", action="store_true",
+        help="report the staging phases before committing (the default "
+        "path is the same transaction, committed immediately)",
+    )
+    parser.add_argument(
+        "--abort", action="store_true",
+        help="stage the update, then abort instead of committing "
+        "(a dry run: validates against the live device, changes nothing)",
+    )
+    parser.add_argument(
+        "--nodes", type=int, default=1, metavar="N",
+        help="run a staged rollout across an N-node fabric",
+    )
+    parser.add_argument(
+        "--canary", help="canary node name for --nodes (default: first)"
+    )
+    parser.add_argument("--wave-size", type=int, default=2)
+    args = parser.parse_args(argv)
+    out = sys.stdout
+
+    with open(args.base) as fh:
+        base_source = fh.read()
+    with open(args.script) as fh:
+        script_text = fh.read()
+    sources = _load_snippets(args.snippet)
+
+    if args.nodes > 1:
+        return _staged_rollout(args, base_source, script_text, sources, out)
+
+    controller = Controller(TargetSpec(n_tsps=args.tsps))
+    controller.load_base(base_source)
+
+    if not (args.staged or args.abort):
+        # One-shot: the same transaction, committed immediately.
+        _plan, stats, timing = controller.run_script(script_text, sources)
+        out.write(
+            f"update applied: t_C={timing.compile_seconds * 1000:.1f}ms "
+            f"t_L={timing.load_seconds * 1000:.1f}ms "
+            f"stall={stats.stall_seconds * 1e6:.1f}us\n"
+        )
+        _print_mapping(controller, out)
+        return 0
+
+    epoch_before = controller.switch.dp.epoch
+    try:
+        staged = controller.stage_update(script_text, sources)
+    except Exception as exc:
+        out.write(f"staging failed ({type(exc).__name__}): {exc}\n")
+        out.write(
+            f"device unchanged: still on epoch {epoch_before}, "
+            "no transaction reached commit\n"
+        )
+        return 1
+    txn = staged.txn
+    out.write(
+        f"staged txn {txn.txn_id}: phase={txn.phase.value} "
+        f"t_C={staged.timing.compile_seconds * 1000:.1f}ms\n"
+    )
+    if args.abort:
+        staged.abort()
+        out.write(
+            f"aborted txn {txn.txn_id}: device state unchanged "
+            f"(epoch {controller.switch.dp.epoch})\n"
+        )
+        return 0
+    _plan, stats, timing = staged.commit()
+    out.write(
+        f"committed txn {txn.txn_id}: epoch {controller.switch.dp.epoch}, "
+        f"stall={stats.stall_seconds * 1e6:.1f}us "
+        f"t_L={timing.load_seconds * 1000:.1f}ms "
+        f"(templates={stats.templates_written}, "
+        f"new tables={stats.tables_created}, freed={stats.tables_removed})\n"
+    )
+    _print_mapping(controller, out)
+    return 0
+
+
+def _staged_rollout(args, base_source, script_text, sources, out) -> int:
+    from repro.runtime.fabric import Fabric, RolloutError
+
+    fabric = Fabric()
+    for i in range(args.nodes):
+        controller = Controller(TargetSpec(n_tsps=args.tsps))
+        controller.load_base(base_source)
+        fabric.add_node(f"n{i}", controller)
+    try:
+        report = fabric.staged_rollout(
+            script_text,
+            sources,
+            canary=args.canary,
+            wave_size=args.wave_size,
+        )
+    except RolloutError as err:
+        out.write(f"rollout FAILED at node {err.failed!r}: {err.cause}\n")
+        out.write(
+            f"  committed then rolled back: "
+            f"{', '.join(err.rolled_back) or 'none'}\n"
+        )
+        out.write(f"  never reached: {', '.join(err.pending) or 'none'}\n")
+        return 1
+    out.write(
+        f"rollout complete: canary={report.canary} "
+        f"waves={report.waves}\n"
+    )
+    for name, seconds in report.timings.items():
+        out.write(f"  {name}: {seconds * 1000:.1f}ms\n")
+    return 0
 
 
 # -- offline observability subcommands ------------------------------------

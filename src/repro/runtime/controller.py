@@ -31,6 +31,7 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.timeline import TimelineRecorder
 from repro.runtime.channel import ControlChannel
 from repro.runtime.table_api import TableApi
+from repro.tables.table import TableEntry
 
 #: Histogram edges (seconds) for compile/load flow timings.
 FLOW_SECONDS_BOUNDS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0)
@@ -63,6 +64,85 @@ class FlowTiming:
         return self.compile_seconds + self.load_seconds
 
 
+@dataclass
+class _UndoRecord:
+    """What rollback needs: the prior design plus the entries of every
+    table the update freed (so a rollback can restore them)."""
+
+    design: CompiledDesign
+    freed_entries: Dict[str, List[TableEntry]]
+
+
+class StagedUpdate:
+    """A compiled, linted, prepared-and-validated update awaiting
+    :meth:`commit` (or :meth:`abort`).
+
+    The expensive work -- snippet compile, lint gate, channel
+    transfer, shadow-state build, dp plan pre-compile -- is already
+    done; commit is only the device-side epoch flip plus controller
+    bookkeeping.  This is what lets a fabric rollout stage every node
+    first and flip them wave by wave.
+    """
+
+    def __init__(self, controller, plan, update, txn, timeline, timing,
+                 freed_entries, script_bytes) -> None:
+        self.controller = controller
+        self.plan: UpdatePlan = plan
+        self.update = update
+        self.txn = txn
+        self.timeline = timeline
+        self.timing = timing
+        self.freed_entries: Dict[str, List[TableEntry]] = freed_entries
+        self.script_bytes = script_bytes
+        self.committed = False
+        self.aborted = False
+
+    def commit(self) -> Tuple[UpdatePlan, UpdateStats, FlowTiming]:
+        """Flip the device to the staged design."""
+        if self.committed or self.aborted:
+            raise ControllerError("staged update already resolved")
+        controller = self.controller
+        controller.channel.send(
+            {"txn": self.txn.txn_id}, kind="update.commit"
+        )
+        stats = self.txn.commit()
+        apply_phase = self.timeline.phase(
+            "apply",
+            drained_packets=stats.drained_packets,
+            templates_written=stats.templates_written,
+        )
+        self.timing.load_seconds = (
+            self.timing.load_seconds + apply_phase.duration
+        )
+        self.timeline.finish()
+        self.committed = True
+
+        controller._undo.append(
+            _UndoRecord(controller.design, self.freed_entries)
+        )
+        controller.design = self.plan.design
+        controller.history.append(f"script:{self.script_bytes}B")
+        controller._n_updates.inc()
+        controller._h_compile.observe(self.timing.compile_seconds)
+        controller._h_load.observe(self.timing.load_seconds)
+        return self.plan, stats, self.timing
+
+    def abort(self) -> None:
+        """Discard the staged update; the device is untouched."""
+        if self.committed:
+            raise ControllerError("cannot abort a committed update")
+        if self.aborted:
+            return
+        self.controller.channel.send(
+            {"txn": self.txn.txn_id}, kind="update.abort"
+        )
+        self.txn.abort()
+        self.timeline.phase("abort")
+        self.timeline.finish()
+        self.aborted = True
+        self.controller.history.append("abort")
+
+
 class Controller:
     """CLI-less core of the paper's controller."""
 
@@ -83,7 +163,7 @@ class Controller:
         #: Diagnostics from the most recent update gate (warnings/info).
         self.last_lint: List[object] = []
         self.history: List[str] = []
-        self._undo: List[CompiledDesign] = []
+        self._undo: List[_UndoRecord] = []
         self.timelines = TimelineRecorder()
         self.metrics = MetricsRegistry()
         self._n_base_loads = self.metrics.counter("controller.base_loads")
@@ -95,6 +175,7 @@ class Controller:
         self._h_load = self.metrics.histogram(
             "controller.load_seconds", FLOW_SECONDS_BOUNDS
         )
+        self.metrics.add_collector("channel", self.channel.metrics_samples)
 
     # -- base design flow ------------------------------------------------
 
@@ -109,7 +190,7 @@ class Controller:
 
         check_config(design.config, n_tsps=self.target.n_tsps)
         timeline.phase("validate")
-        config = self.channel.send(design.config)
+        config = self.channel.send(design.config, kind="config.load")
         self.switch.load_config(config)
         timing.load_seconds = timeline.phase(
             "load", tables=len(config.get("tables", {}))
@@ -125,12 +206,18 @@ class Controller:
 
     # -- incremental flow ----------------------------------------------------
 
-    def run_script(
+    def stage_update(
         self,
         script_text: str,
         sources: Optional[Dict[str, str]] = None,
-    ) -> Tuple[UpdatePlan, UpdateStats, FlowTiming]:
-        """Compile and apply an in-situ update script."""
+    ) -> StagedUpdate:
+        """Compile, lint, transfer, and *stage* an in-situ update.
+
+        Runs the transaction's prepare and validate phases on the
+        device; the returned :class:`StagedUpdate` commits (or aborts)
+        at the caller's chosen moment.  Any failure up to here leaves
+        the device byte-identical to its pre-update state.
+        """
         if self.design is None:
             raise ControllerError("no base design loaded")
         timing = FlowTiming()
@@ -146,25 +233,54 @@ class Controller:
             self._lint_gate(plan)
             timeline.phase("lint", findings=len(self.last_lint))
 
-        update_message = self._update_message(plan)
-        update = self.channel.send(update_message)
-        transfer = timeline.phase("transfer")
-        stats = self.switch.apply_update(update)
-        apply_phase = timeline.phase(
-            "apply",
-            drained_packets=stats.drained_packets,
-            templates_written=stats.templates_written,
+        update = self.channel.send(
+            plan.update_message(self.design.config), kind="update.prepare"
         )
-        timing.load_seconds = transfer.duration + apply_phase.duration
-        timeline.finish()
+        timing.load_seconds = timeline.phase("transfer").duration
 
-        self._undo.append(self.design)
-        self.design = plan.design
-        self.history.append(f"script:{len(script_text)}B")
-        self._n_updates.inc()
-        self._h_compile.observe(timing.compile_seconds)
-        self._h_load.observe(timing.load_seconds)
-        return plan, stats, timing
+        # Freed tables lose their Table objects at commit; snapshot
+        # their entries now so a later rollback can restore them.
+        freed_entries: Dict[str, List[TableEntry]] = {}
+        for name in update.get("freed_tables", []):
+            table = self.switch.tables.get(name)
+            if table is not None:
+                freed_entries[name] = [
+                    TableEntry(
+                        key=entry.key,
+                        action=entry.action,
+                        action_data=dict(entry.action_data),
+                        tag=entry.tag,
+                        priority=entry.priority,
+                    )
+                    for entry in table.entries()
+                ]
+
+        txn = self.switch.begin_update(update)
+
+        def check_pool(t) -> None:
+            # The incremental compile allocated the new tables on a
+            # cloned pool; a corrupt allocation must fail validate,
+            # never commit.
+            t.findings.extend(
+                f"memory pool: {finding}"
+                for finding in plan.design.pool.verify()
+            )
+
+        txn.validators.append(check_pool)
+        txn.prepare()
+        txn.validate()
+        return StagedUpdate(
+            self, plan, update, txn, timeline, timing, freed_entries,
+            len(script_text),
+        )
+
+    def run_script(
+        self,
+        script_text: str,
+        sources: Optional[Dict[str, str]] = None,
+    ) -> Tuple[UpdatePlan, UpdateStats, FlowTiming]:
+        """Compile and apply an in-situ update script (stage + commit)."""
+        return self.stage_update(script_text, sources).commit()
 
     def _lint_gate(self, plan: UpdatePlan) -> None:
         """Pre-apply safety gate: family 4 (update-plan safety) plus a
@@ -193,17 +309,18 @@ class Controller:
         differing templates, undo the header links, recreate the
         tables the trial removed, free the ones it added.
 
-        Returns the names of restored tables, which come back **empty**
-        (the trial's update recycled their blocks) and must be
-        repopulated by the caller -- the same new-tables-only rule
-        every update follows.
+        Returns the names of restored tables.  Their entries come back
+        too: the update that freed them snapshotted the rows (see
+        :meth:`stage_update`), and rollback replays the snapshot into
+        the recreated tables.
         """
         if not self._undo:
             raise ControllerError("nothing to roll back")
         if self.design is None:
             raise ControllerError("no design loaded")
         timeline = self.timelines.begin("rollback")
-        previous = self._undo.pop()
+        record = self._undo.pop()
+        previous = record.design
         current = self.design
 
         old_templates = {t["tsp"]: t for t in current.templates}
@@ -248,53 +365,23 @@ class Controller:
         timeline.phase(
             "plan", templates=len(templates), restored_tables=list(restored)
         )
-        update = self.channel.send(message)
+        update = self.channel.send(message, kind="update.rollback")
         timeline.phase("transfer")
         self.switch.apply_update(update)
-        timeline.phase("apply")
+        for name in restored:
+            table = self.switch.tables.get(name)
+            if table is None:
+                continue
+            for entry in record.freed_entries.get(name, []):
+                table.add_entry(entry)
+        timeline.phase("apply", restored_entries=sum(
+            len(record.freed_entries.get(name, [])) for name in restored
+        ))
         timeline.finish()
         self.design = previous
         self.history.append("rollback")
         self._n_rollbacks.inc()
         return restored
-
-    def _update_message(self, plan: UpdatePlan) -> dict:
-        """The delta that crosses the control channel."""
-        old_config = {} if self.design is None else self.design.config
-        new_config = plan.design.config
-        old_tables = set(old_config.get("tables", {}))
-        old_metadata = {tuple(m) for m in old_config.get("metadata", [])}
-        old_actions = set(old_config.get("actions", {}))
-        old_headers = set(old_config.get("headers", {}))
-        return {
-            "templates": plan.new_templates,
-            "selector": plan.selector,
-            "link_headers": [
-                [l.pre, l.tag, l.next] for l in plan.link_headers
-            ],
-            "unlink_headers": [list(u) for u in plan.unlink_headers],
-            "new_metadata": [
-                list(m)
-                for m in new_config.get("metadata", [])
-                if tuple(m) not in old_metadata
-            ],
-            "new_headers": {
-                name: spec
-                for name, spec in new_config.get("headers", {}).items()
-                if name not in old_headers
-            },
-            "new_actions": {
-                name: spec
-                for name, spec in new_config.get("actions", {}).items()
-                if name not in old_actions
-            },
-            "new_tables": {
-                name: spec
-                for name, spec in new_config.get("tables", {}).items()
-                if name not in old_tables
-            },
-            "freed_tables": plan.freed_tables,
-        }
 
     # -- table access ------------------------------------------------------------
 

@@ -11,7 +11,7 @@ node while traffic keeps flowing.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.runtime.controller import Controller
@@ -19,6 +19,38 @@ from repro.runtime.controller import Controller
 
 class FabricError(Exception):
     """Raised on malformed topologies."""
+
+
+class RolloutError(FabricError):
+    """A fleet-wide update failed part-way.
+
+    Carries exactly what a production controller needs to reason about
+    the blast radius: which nodes committed the new design
+    (``updated``), which node failed and why (``failed``/``cause``),
+    which committed nodes were automatically rolled back
+    (``rolled_back``), and which were never touched (``pending``).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        updated: List[str],
+        failed: str,
+        cause: Exception,
+        rolled_back: Optional[List[str]] = None,
+        pending: Optional[List[str]] = None,
+    ) -> None:
+        super().__init__(
+            f"{message}: node {failed!r} failed "
+            f"({type(cause).__name__}: {cause}); "
+            f"updated={updated} rolled_back={rolled_back or []} "
+            f"pending={pending or []}"
+        )
+        self.updated = list(updated)
+        self.failed = failed
+        self.cause = cause
+        self.rolled_back = list(rolled_back or [])
+        self.pending = list(pending or [])
 
 
 @dataclass(frozen=True)
@@ -128,10 +160,127 @@ class Fabric:
         Returns per-node total stall+compile seconds.  Nodes are
         updated one at a time -- traffic through the others keeps
         flowing, which is the whole point of in-situ programmability.
+
+        A mid-rollout failure raises :class:`RolloutError` naming the
+        nodes that already committed, the failing node, and the nodes
+        never reached -- already-updated nodes are *not* reverted (use
+        :meth:`staged_rollout` for automatic rollback).
         """
+        order = list(nodes) if nodes is not None else list(self.nodes)
         timings: Dict[str, float] = {}
-        for name in nodes if nodes is not None else list(self.nodes):
+        updated: List[str] = []
+        for position, name in enumerate(order):
             controller = self.node(name)
-            _plan, _stats, timing = controller.run_script(script_text, sources)
+            try:
+                _plan, _stats, timing = controller.run_script(
+                    script_text, sources
+                )
+            except Exception as exc:
+                raise RolloutError(
+                    "rollout aborted",
+                    updated=updated,
+                    failed=name,
+                    cause=exc,
+                    pending=order[position + 1:],
+                ) from exc
             timings[name] = timing.total_seconds
+            updated.append(name)
         return timings
+
+    def staged_rollout(
+        self,
+        script_text: str,
+        sources: Optional[Dict[str, str]] = None,
+        nodes: Optional[List[str]] = None,
+        canary: Optional[str] = None,
+        wave_size: int = 2,
+        probe_trace: Optional[List[Tuple[bytes, int]]] = None,
+        max_drop_rate: float = 0.0,
+    ) -> "RolloutReport":
+        """Canary -> health gate -> waves, with automatic rollback.
+
+        1. The **canary** node (default: the first) stages and commits
+           the update, then must pass the health gate: the
+           ``probe_trace`` is injected through its front door and the
+           observed drop rate must not exceed ``max_drop_rate``.  A
+           failing canary is rolled back and :class:`RolloutError`
+           raised -- every node is left on its old design/epoch.
+        2. Remaining nodes are updated in **waves** of ``wave_size``,
+           each node gated the same way.  Any failure (update error or
+           gate breach) triggers reverse-order rollback of *every*
+           committed node before :class:`RolloutError` propagates.
+        """
+        if wave_size <= 0:
+            raise ValueError("wave_size must be positive")
+        order = list(nodes) if nodes is not None else list(self.nodes)
+        if not order:
+            return RolloutReport()
+        canary = canary if canary is not None else order[0]
+        if canary not in order:
+            raise FabricError(f"canary {canary!r} is not in the rollout set")
+        rest = [name for name in order if name != canary]
+        waves = [
+            rest[i:i + wave_size] for i in range(0, len(rest), wave_size)
+        ]
+        report = RolloutReport(canary=canary, waves=waves)
+        committed: List[str] = []
+
+        def update_and_gate(name: str) -> None:
+            controller = self.node(name)
+            staged = controller.stage_update(script_text, sources)
+            _plan, _stats, timing = staged.commit()
+            committed.append(name)
+            report.timings[name] = timing.total_seconds
+            if probe_trace is not None:
+                result = self.node(name).switch.inject_batch(probe_trace)
+                rate = result.dropped / len(result) if len(result) else 0.0
+                report.probes[name] = rate
+                if rate > max_drop_rate:
+                    raise HealthGateError(
+                        f"node {name!r} drop rate {rate:.3f} exceeds "
+                        f"gate {max_drop_rate:.3f}"
+                    )
+
+        def unwind(failed: str, cause: Exception, pending: List[str]) -> None:
+            rolled_back: List[str] = []
+            for name in reversed(committed):
+                self.node(name).rollback()
+                rolled_back.append(name)
+            raise RolloutError(
+                "staged rollout aborted",
+                updated=list(committed),
+                failed=failed,
+                cause=cause,
+                rolled_back=rolled_back,
+                pending=pending,
+            ) from cause
+
+        try:
+            update_and_gate(canary)
+        except Exception as exc:
+            unwind(canary, exc, rest)
+        for wave_index, wave in enumerate(waves):
+            for position, name in enumerate(wave):
+                try:
+                    update_and_gate(name)
+                except Exception as exc:
+                    pending = wave[position + 1:] + [
+                        n for w in waves[wave_index + 1:] for n in w
+                    ]
+                    unwind(name, exc, pending)
+        return report
+
+
+class HealthGateError(FabricError):
+    """A post-commit probe exceeded the allowed drop rate."""
+
+
+@dataclass
+class RolloutReport:
+    """What a staged rollout did: per-node timings, probe drop rates,
+    the canary, and the wave plan."""
+
+    timings: Dict[str, float] = field(default_factory=dict)
+    probes: Dict[str, float] = field(default_factory=dict)
+    canary: Optional[str] = None
+    waves: List[List[str]] = field(default_factory=list)

@@ -116,6 +116,58 @@ class TestValidation:
         assert any("matrix.switches" in p for p in validate_bench(doc))
 
 
+class TestUpdateStall:
+    """Acceptance: the transactional path discards fewer packets and
+    stalls strictly shorter than the in-place baseline, per case."""
+
+    def test_smoke_doc_has_both_paths_per_case(self, smoke_doc):
+        cells = {
+            (c["case"], c["path"]) for c in smoke_doc["update_stall"]
+        }
+        assert cells == {
+            (case, path)
+            for case in ("C1", "C2", "C3")
+            for path in ("txn", "inplace")
+        }
+
+    def test_txn_beats_inplace(self, smoke_doc):
+        by_cell = {
+            (c["case"], c["path"]): c for c in smoke_doc["update_stall"]
+        }
+        for case in ("C1", "C2", "C3"):
+            txn, inplace = by_cell[(case, "txn")], by_cell[(case, "inplace")]
+            assert txn["drained_packets"] == 0
+            assert inplace["drained_packets"] > 0
+            assert txn["stall_ns"] < inplace["stall_ns"]
+            assert txn["completed_inflight"] == inplace["drained_packets"]
+            assert txn["served_during_update"] > 0
+            assert inplace["served_during_update"] == 0
+
+    def test_validation_rejects_txn_not_strictly_better(self, smoke_doc):
+        doc = copy.deepcopy(smoke_doc)
+        for cell in doc["update_stall"]:
+            if cell["case"] == "C1" and cell["path"] == "txn":
+                cell["stall_ns"] = 1e12
+        assert any(
+            "not strictly below" in p for p in validate_bench(doc)
+        )
+
+    def test_validation_rejects_missing_stall_key(self, smoke_doc):
+        doc = copy.deepcopy(smoke_doc)
+        del doc["update_stall"][0]["stall_ns"]
+        assert any("stall_ns" in p for p in validate_bench(doc))
+
+    def test_section_is_optional_for_old_documents(self, smoke_doc):
+        doc = copy.deepcopy(smoke_doc)
+        del doc["update_stall"]
+        assert validate_bench(doc) == []
+
+    def test_unknown_path_rejected(self, smoke_doc):
+        doc = copy.deepcopy(smoke_doc)
+        doc["update_stall"][0]["path"] = "yolo"
+        assert any("unknown" in p for p in validate_bench(doc))
+
+
 class TestComparison:
     def test_identical_documents_ok(self, smoke_doc):
         comparison = compare_documents(smoke_doc, smoke_doc)
@@ -157,6 +209,31 @@ class TestComparison:
         partial["matrix"]["cases"] = ["base", "C1", "C2"]
         comparison = compare_documents(smoke_doc, partial)
         assert comparison.missing_cells == ["ipsa/C3", "pisa/C3"]
+
+    def test_stall_regression_detected(self, smoke_doc):
+        worse = copy.deepcopy(smoke_doc)
+        for cell in worse["update_stall"]:
+            if cell["path"] == "txn":
+                cell["drained_packets"] += 4
+        comparison = compare_documents(smoke_doc, worse)
+        assert {d.metric for d in comparison.regressions} == {
+            "drained_packets"
+        }
+
+    def test_stall_jitter_within_tolerance_ok(self, smoke_doc):
+        noisy = copy.deepcopy(smoke_doc)
+        for cell in noisy["update_stall"]:
+            cell["stall_ns"] *= 1.5  # within the loose stall gate
+        assert compare_documents(smoke_doc, noisy).ok
+
+    def test_baseline_without_stall_section_notes_new_cells(
+        self, smoke_doc
+    ):
+        old = copy.deepcopy(smoke_doc)
+        del old["update_stall"]
+        comparison = compare_documents(old, smoke_doc)
+        assert comparison.ok
+        assert "stall:C1/txn" in comparison.new_cells
 
     def test_largest_trace_wins_per_cell(self, smoke_doc):
         doubled = copy.deepcopy(smoke_doc)

@@ -134,6 +134,82 @@ class TestIpbmCtlExtended:
         assert "replayed 20 packets: 20 forwarded" in capsys.readouterr().out
         assert len(load_trace(str(pcap_out))) == 20
 
+    def test_update_one_shot(self, files, capsys):
+        code = ipbm_ctl_main(
+            [
+                "update",
+                str(files / "base.rp4"),
+                "--script", str(files / "update.txt"),
+                "--snippet", f"ecmp.rp4={files / 'ecmp.rp4'}",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "update applied" in out
+        assert "stall=" in out
+
+    def test_update_staged_commit(self, files, capsys):
+        code = ipbm_ctl_main(
+            [
+                "update",
+                str(files / "base.rp4"),
+                "--script", str(files / "update.txt"),
+                "--snippet", f"ecmp.rp4={files / 'ecmp.rp4'}",
+                "--staged",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "staged txn" in out and "phase=validated" in out
+        assert "committed txn" in out
+        assert "ecmp" in out
+
+    def test_update_abort_is_a_dry_run(self, files, capsys):
+        code = ipbm_ctl_main(
+            [
+                "update",
+                str(files / "base.rp4"),
+                "--script", str(files / "update.txt"),
+                "--snippet", f"ecmp.rp4={files / 'ecmp.rp4'}",
+                "--abort",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "aborted txn" in out
+        assert "device state unchanged" in out
+
+    def test_update_staging_failure_exits_nonzero(self, files, capsys):
+        # The script references a snippet that was never supplied.
+        code = ipbm_ctl_main(
+            [
+                "update",
+                str(files / "base.rp4"),
+                "--script", str(files / "update.txt"),
+                "--staged",
+            ]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "staging failed" in out
+        assert "device unchanged" in out
+
+    def test_update_fabric_rollout(self, files, capsys):
+        code = ipbm_ctl_main(
+            [
+                "update",
+                str(files / "base.rp4"),
+                "--script", str(files / "update.txt"),
+                "--snippet", f"ecmp.rp4={files / 'ecmp.rp4'}",
+                "--nodes", "3",
+                "--wave-size", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "rollout complete: canary=n0 waves=[['n1', 'n2']]" in out
+        assert "n2:" in out
+
     def test_script_with_populate(self, files, capsys):
         code = ipbm_ctl_main(
             [

@@ -30,18 +30,28 @@ class TestPlanCache:
         assert switch.dp.plan() is plan
         assert switch.dp.plan_compiles == compiles
 
-    def test_apply_update_recompiles_eagerly(self, controller):
+    def test_apply_update_flips_a_precompiled_plan(self, controller):
         switch = controller.switch
+        epoch = switch.dp.epoch
+        generation = switch.dp.generation
+        invalidations_before = dict(switch.dp.plan_invalidations)
         controller.run_script(
             ecmp_load_script(), {"ecmp.rp4": ecmp_rp4_source()}
         )
-        # write_templates + configure_selector both invalidated ...
-        assert switch.dp.plan_invalidations.get("template_write", 0) >= 1
-        assert switch.dp.plan_invalidations.get("selector", 0) >= 1
-        # ... and apply_update recompiled before releasing traffic.
+        # The transactional path never invalidates: the shadow plan is
+        # compiled during prepare and installed by an epoch flip, so
+        # the cache stays warm through the whole update.
+        assert switch.dp.plan_invalidations == invalidations_before
+        assert switch.dp.plan_flips.get("txn_commit", 0) == 1
+        assert switch.dp.epoch == epoch + 1
+        assert switch.dp.generation > generation
         assert switch.dp._plan is not None
+        assert switch.metrics.value("dp.plan_epoch") == switch.dp.epoch
+        assert switch.metrics.value(
+            "dp.plan_flips", reason="txn_commit"
+        ) == 1
         timeline = switch.timelines.latest("apply_update")
-        assert "recompile" in [p.name for p in timeline.phases]
+        assert "flip" in [p.name for p in timeline.phases]
 
     def test_invalidations_reach_the_registry(self, controller):
         switch = controller.switch

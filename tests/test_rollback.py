@@ -15,7 +15,6 @@ from repro.programs import (
 )
 from repro.runtime import Controller
 from repro.runtime.controller import ControllerError
-from repro.tables.table import TableEntry
 from repro.workloads import ipv4_packet
 
 
@@ -25,26 +24,6 @@ def controller():
     ctl.load_base(base_rp4_source())
     populate_base_tables(ctl.switch.tables)
     return ctl
-
-
-def repopulate_nexthop(controller):
-    """Restore the nexthop entries a rollback cannot bring back."""
-    from repro.net.addresses import parse_mac
-    from repro.programs.base_l2l3 import NEXTHOP_MACS
-
-    table = controller.switch.table("nexthop")
-    for nh_id, mac in NEXTHOP_MACS.items():
-        table.add_entry(
-            TableEntry(
-                key=(nh_id,),
-                action="set_bd_dmac",
-                action_data={
-                    "bd": 2 if nh_id != 3 else 1,
-                    "dmac": parse_mac(mac),
-                },
-                tag=1,
-            )
-        )
 
 
 class TestEcmpTrialFailback:
@@ -58,12 +37,13 @@ class TestEcmpTrialFailback:
         controller.run_script(ecmp_load_script(), {"ecmp.rp4": ecmp_rp4_source()})
         populate_ecmp_tables(controller.switch.tables)
 
-        # Trial verdict: fail back.
+        # Trial verdict: fail back.  The update snapshotted nexthop's
+        # entries when it freed the table, so rollback restores the
+        # rows too -- no manual repopulation.
         restored = controller.rollback()
         assert restored == ["nexthop"]
         assert "ecmp_ipv4" not in controller.switch.tables
         assert "nexthop" in controller.switch.tables
-        repopulate_nexthop(controller)
 
         after = controller.switch.inject(
             ipv4_packet("10.1.0.1", "10.2.0.5"), 0
@@ -71,6 +51,19 @@ class TestEcmpTrialFailback:
         assert after is not None
         assert after.port == before.port
         assert after.data == before.data
+
+    def test_rollback_restores_freed_table_entries(self, controller):
+        rows_before = {
+            (e.key, e.action) for e in controller.switch.table("nexthop").entries()
+        }
+        assert rows_before
+        controller.run_script(ecmp_load_script(), {"ecmp.rp4": ecmp_rp4_source()})
+        assert "nexthop" not in controller.switch.tables
+        controller.rollback()
+        rows_after = {
+            (e.key, e.action) for e in controller.switch.table("nexthop").entries()
+        }
+        assert rows_after == rows_before
 
     def test_design_state_restored(self, controller):
         base_design = controller.design

@@ -11,7 +11,13 @@ from repro.programs import (
 )
 from repro.programs.base_l2l3 import ROUTER_MAC
 from repro.runtime import Controller
-from repro.runtime.fabric import Delivery, Fabric, FabricError
+from repro.runtime.fabric import (
+    Delivery,
+    Fabric,
+    FabricError,
+    HealthGateError,
+    RolloutError,
+)
 from repro.tables.table import TableEntry
 from repro.workloads import ipv4_packet, srv6_packet
 
@@ -181,3 +187,112 @@ class TestRollout:
         assert set(timings) == {"A"}
         assert "local_sid" in fabric.node("A").switch.tables
         assert "local_sid" not in fabric.node("B").switch.tables
+
+    def test_mid_rollout_failure_reports_blast_radius(self):
+        fabric = two_node_fabric()
+        fabric.node("B").channel.drop_kinds.add("update.prepare")
+        with pytest.raises(RolloutError) as excinfo:
+            fabric.rollout(srv6_load_script(), {"srv6.rp4": srv6_rp4_source()})
+        err = excinfo.value
+        assert err.updated == ["A"]
+        assert err.failed == "B"
+        assert err.pending == []
+        assert err.rolled_back == []  # plain rollout never reverts
+        # A keeps its committed update; B was never touched.
+        assert "local_sid" in fabric.node("A").switch.tables
+        assert "local_sid" not in fabric.node("B").switch.tables
+
+
+GOOD_PROBE = [(ipv4_packet("10.1.0.1", "10.2.0.5"), 0)]
+#: Port 42 is unwired and unknown to the port tables: guaranteed drop.
+BAD_PROBE = [(ipv4_packet("10.1.0.1", "10.2.0.5"), 42)]
+
+
+def four_node_fabric():
+    fabric = Fabric()
+    for name in ("A", "B", "C", "D"):
+        fabric.add_node(name, base_node())
+    return fabric
+
+
+class TestStagedRollout:
+    def test_canary_then_waves_happy_path(self):
+        fabric = two_node_fabric()
+        report = fabric.staged_rollout(
+            srv6_load_script(),
+            {"srv6.rp4": srv6_rp4_source()},
+            probe_trace=GOOD_PROBE,
+        )
+        assert report.canary == "A"
+        assert report.waves == [["B"]]
+        assert set(report.timings) == {"A", "B"}
+        assert report.probes == {"A": 0.0, "B": 0.0}
+        for name in ("A", "B"):
+            assert "local_sid" in fabric.node(name).switch.tables
+
+    def test_wave_partitioning(self):
+        fabric = four_node_fabric()
+        report = fabric.staged_rollout(
+            srv6_load_script(),
+            {"srv6.rp4": srv6_rp4_source()},
+            canary="B",
+            wave_size=2,
+        )
+        assert report.canary == "B"
+        assert report.waves == [["A", "C"], ["D"]]
+        assert set(report.timings) == {"A", "B", "C", "D"}
+
+    def test_failing_canary_leaves_fleet_untouched(self):
+        fabric = two_node_fabric()
+        epoch_b = fabric.node("B").switch.dp.epoch
+        with pytest.raises(RolloutError) as excinfo:
+            fabric.staged_rollout(
+                srv6_load_script(),
+                {"srv6.rp4": srv6_rp4_source()},
+                probe_trace=BAD_PROBE,
+                max_drop_rate=0.0,
+            )
+        err = excinfo.value
+        assert err.failed == "A"
+        assert isinstance(err.cause, HealthGateError)
+        assert err.rolled_back == ["A"]
+        assert err.pending == ["B"]
+        # Every node is back on (or never left) the old design.
+        assert "local_sid" not in fabric.node("A").switch.tables
+        assert "local_sid" not in fabric.node("B").switch.tables
+        assert fabric.node("B").switch.dp.epoch == epoch_b
+        # The fleet still forwards end to end.
+        assert fabric.send("A", *GOOD_PROBE[0]) is not None
+
+    def test_mid_wave_failure_rolls_back_in_reverse(self):
+        fabric = four_node_fabric()
+        fabric.node("D").channel.drop_kinds.add("update.prepare")
+        with pytest.raises(RolloutError) as excinfo:
+            fabric.staged_rollout(
+                srv6_load_script(),
+                {"srv6.rp4": srv6_rp4_source()},
+                wave_size=2,
+            )
+        err = excinfo.value
+        assert err.updated == ["A", "B", "C"]
+        assert err.failed == "D"
+        assert err.rolled_back == ["C", "B", "A"]
+        assert err.pending == []
+        for name in ("A", "B", "C", "D"):
+            controller = fabric.node(name)
+            assert "local_sid" not in controller.switch.tables
+            assert controller.switch.inject(*GOOD_PROBE[0]) is not None
+
+    def test_unknown_canary_rejected(self):
+        fabric = two_node_fabric()
+        with pytest.raises(FabricError):
+            fabric.staged_rollout(
+                srv6_load_script(),
+                {"srv6.rp4": srv6_rp4_source()},
+                canary="ghost",
+            )
+
+    def test_bad_wave_size_rejected(self):
+        fabric = two_node_fabric()
+        with pytest.raises(ValueError):
+            fabric.staged_rollout(srv6_load_script(), wave_size=0)
