@@ -34,6 +34,8 @@ def _shipped_diagnostics(target) -> List[Diagnostic]:
         hhsketch_rp4_source,
         int_load_script,
         int_rp4_source,
+        int_strip_load_script,
+        int_strip_rp4_source,
         qos_load_script,
         qos_rp4_source,
         srv6_load_script,
@@ -46,6 +48,12 @@ def _shipped_diagnostics(target) -> List[Diagnostic]:
         "flowprobe.rp4": (flowprobe_rp4_source(), flowprobe_load_script()),
         "hhsketch.rp4": (hhsketch_rp4_source(), hhsketch_load_script()),
         "int.rp4": (int_rp4_source(), int_load_script()),
+        # Strip-only composition: chain directly after the base (the
+        # int_insert-chained variant needs int_insert loaded first).
+        "int_strip.rp4": (
+            int_strip_rp4_source(),
+            int_strip_load_script(after="l2_l3"),
+        ),
         "qos.rp4": (qos_rp4_source(), qos_load_script()),
         "srv6.rp4": (srv6_rp4_source(), srv6_load_script()),
     }

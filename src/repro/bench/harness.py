@@ -32,6 +32,7 @@ from repro.bench.scenarios import (
     SWITCHES,
     case_trace,
     make_switch,
+    measure_int_overhead,
     measure_update_stall,
 )
 from repro.bench.schema import (
@@ -162,6 +163,21 @@ def run_matrix(
                         f"{cell['drained_packets']} drained, "
                         f"{cell['served_during_update']} served during"
                     )
+    # INT-overhead cell: ns/pkt with the telemetry stack on vs off
+    # (IPSA only -- the INT function is a runtime-loaded rP4 snippet).
+    int_overhead: Optional[dict] = None
+    if "ipsa" in switches:
+        int_overhead = measure_int_overhead(
+            n_packets=(60 if mode == "smoke" else 400), seed=seed
+        )
+        if log is not None:
+            log(
+                f"int {int_overhead['packets']} pkts: "
+                f"{int_overhead['ns_per_pkt_off']:.0f} -> "
+                f"{int_overhead['ns_per_pkt_on']:.0f} ns/pkt "
+                f"({int_overhead['overhead_pct']:+.1f}%), "
+                f"{int_overhead['hop_records']} hop records"
+            )
     doc = {
         "schema_version": SCHEMA_VERSION,
         "kind": DOCUMENT_KIND,
@@ -182,6 +198,8 @@ def run_matrix(
         "results": results,
         "update_stall": update_stall,
     }
+    if int_overhead is not None:
+        doc["int_overhead"] = int_overhead
     problems = validate_bench(doc)
     if problems:  # a harness bug, not a user error -- fail loudly
         raise AssertionError(

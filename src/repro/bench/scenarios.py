@@ -229,3 +229,167 @@ def measure_update_stall(
         for _ in range(best_of)
     ]
     return min(runs, key=lambda run: run["stall_ns"])
+
+
+# -- INT scenarios ---------------------------------------------------------
+
+#: Where the INT stack is stripped: at the fabric edge (the delivery
+#: hook, all nodes on equal epochs) or by a dataplane ``int_strip``
+#: function on the last node.
+INT_STRIP_MODES = ("edge", "sink")
+
+
+def make_int_fabric(n_nodes: int = 3, clock=None, strip: str = "edge"):
+    """A line fabric ``sw0 - sw1 - ... - sw{n-1}`` with multi-hop INT.
+
+    Every node runs the base design plus ``int_insert`` (switch id
+    ``i + 1``), sharing one INT ``clock`` so hop timestamps are
+    comparable across the path.  Transit nodes repoint next hop 2 at
+    the router MAC so the watched flow keeps routing hop over hop (the
+    ``two_node_fabric`` idiom).  Returns ``(fabric, collector)`` with
+    the collector attached per ``strip``:
+
+    * ``"edge"`` -- the fabric delivery hook ingests and strips;
+    * ``"sink"`` -- the last node loads ``int_strip``/``int_sink`` and
+      its ``pop_int`` feeds the collector device-side.
+    """
+    from repro.net.addresses import parse_mac
+    from repro.obs.intcol import IntCollector
+    from repro.programs import (
+        int_load_script,
+        int_rp4_source,
+        int_strip_load_script,
+        int_strip_rp4_source,
+        populate_int_sink_tables,
+        populate_int_tables,
+    )
+    from repro.programs.base_l2l3 import ROUTER_MAC
+    from repro.runtime.fabric import Fabric
+    from repro.tables.table import TableEntry
+
+    if n_nodes < 2:
+        raise ValueError("an INT fabric needs at least 2 nodes")
+    if strip not in INT_STRIP_MODES:
+        raise ValueError(
+            f"unknown strip mode {strip!r} (expected one of {INT_STRIP_MODES})"
+        )
+    fabric = Fabric()
+    names = [f"sw{i}" for i in range(n_nodes)]
+    for name in names:
+        fabric.add_node(name, make_ipsa_controller("base"))
+    for left, right in zip(names, names[1:]):
+        fabric.wire(left, 3, right, 0)
+
+    for index, name in enumerate(names):
+        controller = fabric.node(name)
+        if index < n_nodes - 1:
+            # Route the watched flow onto the wire: next hop 2 resolves
+            # to the peer's router MAC out port 3.
+            nexthop = controller.switch.table("nexthop")
+            old = next(e for e in nexthop.entries() if e.key == (2,))
+            nexthop.remove_entry(old)
+            nexthop.add_entry(
+                TableEntry(
+                    key=(2,),
+                    action="set_bd_dmac",
+                    action_data={"bd": 2, "dmac": parse_mac(ROUTER_MAC)},
+                    tag=1,
+                )
+            )
+            controller.switch.table("dmac").add_entry(
+                TableEntry(
+                    key=(2, parse_mac(ROUTER_MAC)),
+                    action="set_egress_port",
+                    action_data={"port": 3},
+                    tag=1,
+                )
+            )
+        controller.run_script(int_load_script(), {"int.rp4": int_rp4_source()})
+        populate_int_tables(controller.switch.tables, switch_id=index + 1)
+        controller.switch.enable_int(clock)
+
+    if strip == "sink":
+        sink = fabric.node(names[-1])
+        sink.run_script(
+            int_strip_load_script(), {"int_strip.rp4": int_strip_rp4_source()}
+        )
+        populate_int_sink_tables(sink.switch.tables)
+        collector = IntCollector()
+        sink.switch.attach_int_collector(collector, node=names[-1])
+    else:
+        collector = fabric.attach_int_collector()
+    return fabric, collector
+
+
+def _time_batch(switch, trace: Trace) -> float:
+    """Wall seconds for one batch replay."""
+    import time
+
+    start = time.perf_counter()
+    switch.inject_batch(trace)
+    return time.perf_counter() - start
+
+
+def measure_int_overhead(
+    n_packets: int = 400, seed: int = 23, best_of: int = 3
+) -> dict:
+    """Per-packet cost of INT instrumentation on one IPSA device.
+
+    Replays an all-watched trace through the base design (stack off)
+    and through base + ``int_insert`` with timestamping enabled (stack
+    on); every packet pays a shim insert plus one hop-record push.
+    ``best_of`` fresh runs per mode, minimum wall time reported.
+    """
+    from repro.obs.intcol import IntCollector
+    from repro.programs import (
+        int_load_script,
+        int_rp4_source,
+        populate_int_tables,
+    )
+    from repro.workloads import ipv4_packet
+
+    if best_of <= 0:
+        raise ValueError("best_of must be positive")
+    trace: Trace = [
+        (ipv4_packet("10.1.0.1", "10.2.0.1", sport=1024 + (i % 4096)), 0)
+        for i in range(n_packets)
+    ]
+
+    off_seconds = min(
+        _time_batch(make_ipsa("base"), trace) for _ in range(best_of)
+    )
+
+    on_seconds = None
+    last_result = None
+    for _ in range(best_of):
+        controller = make_ipsa_controller("base")
+        controller.run_script(
+            int_load_script(), {"int.rp4": int_rp4_source()}
+        )
+        populate_int_tables(controller.switch.tables, switch_id=1)
+        controller.switch.enable_int()
+        import time
+
+        start = time.perf_counter()
+        result = controller.switch.inject_batch(trace)
+        elapsed = time.perf_counter() - start
+        if on_seconds is None or elapsed < on_seconds:
+            on_seconds = elapsed
+            last_result = result
+
+    collector = IntCollector()
+    for out in last_result:
+        if out is not None:
+            collector.ingest(out.data)
+    hop_records = collector.summary()["hop_records"]
+
+    ns_off = off_seconds * 1e9 / n_packets
+    ns_on = on_seconds * 1e9 / n_packets
+    return {
+        "packets": n_packets,
+        "ns_per_pkt_off": ns_off,
+        "ns_per_pkt_on": ns_on,
+        "overhead_ns_per_pkt": ns_on - ns_off,
+        "overhead_pct": (ns_on - ns_off) / ns_off * 100.0 if ns_off else 0.0,
+        "hop_records": hop_records,
+    }

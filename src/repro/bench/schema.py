@@ -76,6 +76,23 @@ _STALL_KEYS = {
 #: validation instead.
 DEFAULT_STALL_TOLERANCE = 1.0
 
+#: The optional ``int_overhead`` section: one cell (ns/pkt with the
+#: INT telemetry stack on vs off).  Pre-INT documents lack the key --
+#: absence is valid.
+_INT_OVERHEAD_KEYS = {
+    "packets": int,
+    "ns_per_pkt_off": (int, float),
+    "ns_per_pkt_on": (int, float),
+    "overhead_ns_per_pkt": (int, float),
+    "overhead_pct": (int, float),
+    "hop_records": int,
+}
+#: Default relative tolerance on the INT-on ns/pkt for --compare.
+#: Same loose gate as the stall cells: a three-hop software fabric on
+#: a shared box jitters hard, and the invariant that matters (the
+#: stack actually recorded hops) is checked by validation.
+DEFAULT_INT_TOLERANCE = 1.0
+
 
 def validate_bench(doc: object) -> List[str]:
     """Structural validation; returns problems (empty list = valid)."""
@@ -162,6 +179,7 @@ def validate_bench(doc: object) -> List[str]:
             f"declares {sorted(declared)}"
         )
     problems.extend(_validate_update_stall(doc))
+    problems.extend(_validate_int_overhead(doc))
     return problems
 
 
@@ -219,6 +237,41 @@ def _validate_update_stall(doc: dict) -> List[str]:
                 f"not strictly below inplace's "
                 f"{inplace['stall_ns']:.0f} ns"
             )
+    return problems
+
+
+def _validate_int_overhead(doc: dict) -> List[str]:
+    """Check the optional ``int_overhead`` section.
+
+    Beyond structure, this enforces the cell's point: the INT run must
+    actually have pushed hop records (a zero means the telemetry stage
+    never fired and the "overhead" measured nothing).
+    """
+    if "int_overhead" not in doc:
+        return []  # pre-INT documents: absence is valid
+    cell = doc["int_overhead"]
+    if not isinstance(cell, dict):
+        return ["'int_overhead' must be an object"]
+    problems: List[str] = []
+    bad = False
+    for key, types in _INT_OVERHEAD_KEYS.items():
+        if key not in cell:
+            problems.append(f"int_overhead missing {key!r}")
+            bad = True
+        elif not isinstance(cell[key], types):
+            problems.append(f"int_overhead.{key} must be {types}")
+            bad = True
+    if bad:
+        return problems
+    if cell["packets"] <= 0:
+        problems.append("int_overhead.packets must be positive")
+    if cell["ns_per_pkt_off"] <= 0 or cell["ns_per_pkt_on"] <= 0:
+        problems.append("int_overhead ns/pkt figures must be positive")
+    if cell["hop_records"] <= 0:
+        problems.append(
+            "int_overhead.hop_records must be positive (the INT stage "
+            "never fired, so the cell measured nothing)"
+        )
     return problems
 
 
@@ -286,6 +339,7 @@ def compare_documents(
     relative_tolerance: float = DEFAULT_RELATIVE_TOLERANCE,
     overhead_tolerance_pct: float = DEFAULT_OVERHEAD_TOLERANCE_PCT,
     stall_tolerance: float = DEFAULT_STALL_TOLERANCE,
+    int_tolerance: float = DEFAULT_INT_TOLERANCE,
 ) -> Comparison:
     """Per-metric regression check of ``new`` against baseline ``old``.
 
@@ -299,6 +353,10 @@ def compare_documents(
     stall window grows beyond ``stall_tolerance`` or when an update
     starts discarding more in-flight packets than the baseline did;
     baselines without the section contribute ``new cell`` notes only.
+
+    The ``int_overhead`` cell regresses when the INT-on ns/pkt grows
+    beyond ``int_tolerance`` relative to the baseline; as with stall
+    cells, a baseline lacking the section yields a ``new cell`` note.
     """
     comparison = Comparison()
     old_index = _index_results(old)
@@ -381,6 +439,25 @@ def compare_documents(
                 new=new_drained,
                 tolerance=0.0,
                 regressed=new_drained > old_drained,
+            )
+        )
+    old_int = old.get("int_overhead")
+    new_int = new.get("int_overhead")
+    if isinstance(old_int, dict) and not isinstance(new_int, dict):
+        comparison.missing_cells.append("int_overhead")
+    elif isinstance(new_int, dict) and not isinstance(old_int, dict):
+        comparison.new_cells.append("int_overhead")
+    elif isinstance(old_int, dict) and isinstance(new_int, dict):
+        old_ns = old_int["ns_per_pkt_on"]
+        new_ns = new_int["ns_per_pkt_on"]
+        comparison.deltas.append(
+            MetricDelta(
+                cell="int_overhead",
+                metric="ns_per_pkt_on",
+                old=old_ns,
+                new=new_ns,
+                tolerance=int_tolerance,
+                regressed=new_ns > old_ns * (1.0 + int_tolerance),
             )
         )
     return comparison

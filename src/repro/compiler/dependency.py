@@ -55,11 +55,25 @@ PRIMITIVE_EFFECTS: Dict[str, Tuple[Set[str], Set[str]]] = {
     "srv6_transit": (set(), set()),
     "pop_srh": ({"srh.next_hdr"}, {"ipv6.next_hdr", "ipv6.payload_len"}),
     "push_srh": ({"ipv6.next_hdr"}, {"ipv6.next_hdr", "ipv6.payload_len"}),
+    # push_int appends one hop record: reads the displaced EtherType
+    # plus the existing stack (append = read-modify-write), writes the
+    # shim fields and the wire EtherType.
     "push_int": (
-        {"ethernet.ethertype"},
-        {"ethernet.ethertype", "int_shim.orig_ethertype", "meta.drop"},
+        {"ethernet.ethertype", "int_shim.hop_count", "int_shim.hop_stack"},
+        {
+            "ethernet.ethertype",
+            "int_shim.orig_ethertype",
+            "int_shim.hop_count",
+            "int_shim.hop_stack",
+            "meta.drop",
+        },
     ),
-    "pop_int": ({"int_shim.orig_ethertype"}, {"ethernet.ethertype"}),
+    # pop_int consumes the whole shim (EtherType restore + hop-stack
+    # handoff to the collector).
+    "pop_int": (
+        {"int_shim.orig_ethertype", "int_shim.hop_count", "int_shim.hop_stack"},
+        {"ethernet.ethertype"},
+    ),
     "count_and_mark": (set(), set()),  # dest handled from the call args
     "sketch_update": (set(), set()),  # fields/dest handled from the call args
     "mark_above": (set(), set()),  # src/dest handled from the call args

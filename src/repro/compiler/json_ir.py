@@ -60,11 +60,14 @@ def tsp_template(
 
 
 def header_to_json(header: HeaderDecl) -> dict:
-    return {
+    data = {
         "fields": [list(f) for f in header.fields],
         "selector": header.selector,
         "links": [list(l) for l in header.links],
     }
+    if header.varlen is not None:
+        data["varlen"] = list(header.varlen)
+    return data
 
 
 def device_config(

@@ -47,6 +47,15 @@ def validate_config(config: dict, n_tsps: int = 8) -> List[str]:
         selector = spec.get("selector")
         if selector is not None and selector not in field_names:
             err(f"header {name!r}: selector {selector!r} is not a field")
+        varlen = spec.get("varlen")
+        if varlen is not None:
+            if len(varlen) != 3 or not isinstance(varlen[2], int) or varlen[2] <= 0:
+                err(f"header {name!r}: malformed varlen spec {varlen!r}")
+            elif varlen[1] not in field_names:
+                err(
+                    f"header {name!r}: varlen count field {varlen[1]!r} "
+                    "is not a field"
+                )
         for link in spec.get("links", []):
             if len(link) != 2 or not isinstance(link[0], int):
                 err(f"header {name!r}: malformed link {link!r}")

@@ -78,7 +78,11 @@ def _ingest(core: DataplaneCore, data: bytes, port: int) -> Packet:
     tracer = device.tracer
     if tracer is not None:
         tracer.begin(clock=device.clock, port=port, length=len(data))
-    return core.new_packet(data, port)
+    packet = core.new_packet(data, port)
+    int_clock = getattr(device, "int_clock", None)
+    if int_clock is not None:
+        packet.metadata["ingress_ts_ns"] = int(int_clock.now() * 1e9)
+    return packet
 
 
 def _account_drops(device, tracer, outcome: PipelineOutcome) -> None:
@@ -183,6 +187,7 @@ def inject_batch(
     template = core.metadata_template
     observe = device._packet_bytes.observe
     process = core.process
+    int_clock = getattr(device, "int_clock", None)
     for data, port in trace:
         device.packets_in += 1
         device.clock += 1
@@ -192,6 +197,8 @@ def inject_batch(
         metadata = dict(template)
         metadata["ingress_port"] = port
         metadata["packet_length"] = len(data)
+        if int_clock is not None:
+            metadata["ingress_ts_ns"] = int(int_clock.now() * 1e9)
         packet = Packet(data, first_header=first_header, metadata=metadata)
         outcome = process(packet, hooks, meter)
         outputs.append(finish_unicast(core, hooks, None, outcome))

@@ -89,7 +89,18 @@ def register_header(
     """Install one header type (and its selector/links) into the given
     schema dictionaries -- live or shadow."""
     fields = [FieldDef(fname, width) for fname, width in spec["fields"]]
-    header_types[name] = HeaderType(name, fields)
+    varlen = spec.get("varlen")
+    if varlen is not None:
+        vname, count_field, unit = varlen
+
+        def stack_bytes(values: dict, _count=count_field, _unit=unit) -> int:
+            return int(values.get(_count, 0)) * _unit
+
+        header_types[name] = HeaderType(
+            name, fields, varlen_field=vname, varlen_bytes=stack_bytes
+        )
+    else:
+        header_types[name] = HeaderType(name, fields)
     selector = spec.get("selector")
     if selector is not None:
         linkage.set_selector(name, selector)
@@ -139,6 +150,13 @@ class IpsaSwitch:
         self.drop_reasons: Dict[str, int] = {}
         self.tracer: Optional[PacketTracer] = None
         self.profiler: Optional[Profiler] = None
+        # INT instrumentation: both stay None on the untelemetered hot
+        # path.  ``int_clock`` stamps ingress/egress timestamps for
+        # push_int; ``int_collector`` (duck-typed: observe_strip) is
+        # fed by pop_int at sink nodes.
+        self.int_clock: Optional[Clock] = None
+        self.int_collector = None
+        self.int_node: Optional[str] = None
         self.timelines = TimelineRecorder()
         self.metrics = MetricsRegistry()
         self._packet_bytes = self.metrics.histogram(
@@ -219,6 +237,29 @@ class IpsaSwitch:
         fast path); returns it so accumulated records stay readable."""
         profiler, self.profiler = self.profiler, None
         return profiler
+
+    def enable_int(self, clock: Optional[Clock] = None) -> Clock:
+        """Turn on INT timestamping: the front door stamps
+        ``ingress_ts_ns`` on arrivals and ``push_int`` reads this clock
+        for egress timestamps.  Idempotent."""
+        if self.int_clock is None:
+            from repro.obs.clock import MONOTONIC
+
+            self.int_clock = clock if clock is not None else MONOTONIC
+        return self.int_clock
+
+    def disable_int(self) -> Optional[Clock]:
+        """Turn INT timestamping off (hot path returns to the
+        unstamped fast path); returns the detached clock."""
+        clock, self.int_clock = self.int_clock, None
+        return clock
+
+    def attach_int_collector(self, collector, node: Optional[str] = None) -> None:
+        """Attach a sink-side INT collector; ``pop_int`` reports each
+        stripped hop stack to it (duck-typed: ``observe_strip``).
+        ``node`` labels this device in the collector's records."""
+        self.int_collector = collector
+        self.int_node = node
 
     # -- configuration (the Control Channel Module) -----------------------
 

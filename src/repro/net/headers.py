@@ -220,6 +220,27 @@ def _srh_seglist_bytes(values: Dict[str, int]) -> int:
     return values.get("hdr_ext_len", 0) * 8
 
 
+#: Ethertype announcing an INT shim between Ethernet and L3.
+INT_ETHERTYPE = 0x1234
+
+#: One INT hop record: switch id, ingress/egress timestamps (ns, 48
+#: bits -- wraps after ~3.2 days of monotonic clock, ample for a
+#: behavioral model), TM queue depth, and the dataplane plan epoch the
+#: packet was forwarded under (the PR 5 txn engine's commit counter).
+INT_HOP_FIELDS: Tuple[Tuple[str, int], ...] = (
+    ("switch_id", 16),
+    ("ingress_ts", 48),
+    ("egress_ts", 48),
+    ("queue_depth", 16),
+    ("dp_epoch", 16),
+)
+INT_HOP_BYTES = sum(width for _name, width in INT_HOP_FIELDS) // 8
+
+
+def _int_stack_bytes(values: Dict[str, int]) -> int:
+    return values.get("hop_count", 0) * INT_HOP_BYTES
+
+
 ETHERNET = HeaderType(
     "ethernet",
     [FieldDef("dst_addr", 48), FieldDef("src_addr", 48), FieldDef("ethertype", 16)],
@@ -283,6 +304,13 @@ SRH = HeaderType(
     varlen_bytes=_srh_seglist_bytes,
 )
 
+INT_SHIM = HeaderType(
+    "int_shim",
+    [FieldDef("orig_ethertype", 16), FieldDef("hop_count", 8)],
+    varlen_field="hop_stack",
+    varlen_bytes=_int_stack_bytes,
+)
+
 TCP = HeaderType(
     "tcp",
     [
@@ -316,6 +344,56 @@ def standard_header_types() -> Dict[str, HeaderType]:
         h.name: h
         for h in (ETHERNET, VLAN, IPV4, IPV6, SRH, TCP, UDP)
     }
+
+
+def int_pack_hop(record: Dict[str, int]) -> bytes:
+    """Encode one hop record to its :data:`INT_HOP_BYTES` wire form."""
+    chunk = 0
+    for name, width in INT_HOP_FIELDS:
+        chunk = (chunk << width) | mask_to_width(int(record.get(name, 0)), width)
+    return chunk.to_bytes(INT_HOP_BYTES, "big")
+
+
+def int_unpack_hop(data: bytes) -> Dict[str, int]:
+    """Decode one :data:`INT_HOP_BYTES`-sized hop record."""
+    if len(data) != INT_HOP_BYTES:
+        raise ValueError(
+            f"hop record must be {INT_HOP_BYTES} bytes, got {len(data)}"
+        )
+    chunk = int.from_bytes(data, "big")
+    values: Dict[str, int] = {}
+    for name, width in reversed(INT_HOP_FIELDS):
+        values[name] = chunk & ((1 << width) - 1)
+        chunk >>= width
+    return values
+
+
+def int_hop_records(instance: HeaderInstance) -> List[Dict[str, int]]:
+    """Decode an ``int_shim`` instance's hop stack, oldest hop first."""
+    stack = instance.get("hop_stack")
+    assert isinstance(stack, bytes)
+    count = instance.get("hop_count")
+    assert isinstance(count, int)
+    if len(stack) != count * INT_HOP_BYTES:
+        raise ValueError(
+            f"hop stack carries {len(stack)} bytes but hop_count={count} "
+            f"declares {count * INT_HOP_BYTES}"
+        )
+    return [
+        int_unpack_hop(stack[i * INT_HOP_BYTES : (i + 1) * INT_HOP_BYTES])
+        for i in range(count)
+    ]
+
+
+def int_push_hop(instance: HeaderInstance, record: Dict[str, int]) -> None:
+    """Append one hop record to an ``int_shim`` instance (path order:
+    the oldest hop stays first) and bump ``hop_count``."""
+    stack = instance.get("hop_stack")
+    assert isinstance(stack, bytes)
+    count = instance.get("hop_count")
+    assert isinstance(count, int)
+    instance.set("hop_stack", stack + int_pack_hop(record))
+    instance.set("hop_count", count + 1)
 
 
 def srh_segment(instance: HeaderInstance, index: int) -> int:

@@ -28,6 +28,7 @@ instruments the rest of the tree threads through:
 """
 
 from repro.obs.clock import Clock, ManualClock, MonotonicClock, MONOTONIC
+from repro.obs.intcol import IntCollector, IntIngest, PathChange
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -56,6 +57,8 @@ __all__ = [
     "DropReason",
     "Gauge",
     "Histogram",
+    "IntCollector",
+    "IntIngest",
     "MONOTONIC",
     "ManualClock",
     "MetricsRegistry",
@@ -63,6 +66,7 @@ __all__ = [
     "PHASES",
     "PacketTrace",
     "PacketTracer",
+    "PathChange",
     "Phase",
     "ProfileRecord",
     "Profiler",

@@ -1,0 +1,247 @@
+"""Fabric-wide INT collector: per-flow paths from in-band hop stacks.
+
+Transit switches push one 18-byte hop record per traversal (see
+``repro.net.headers.INT_HOP_FIELDS``); this module is the sink side.
+:class:`IntCollector` consumes instrumented packets -- either wire
+bytes via :meth:`IntCollector.ingest` (the :class:`~repro.runtime.
+fabric.Fabric` delivery hook) or already-parsed hop stacks via
+:meth:`IntCollector.observe_strip` (the ``pop_int`` device hook) --
+and turns them into:
+
+* per-hop and end-to-end latency histograms in a
+  :class:`~repro.obs.metrics.MetricsRegistry` (Prometheus-exportable);
+* reconstructed per-flow paths with **path-change events** whenever a
+  flow's hop list differs from the last one seen;
+* **epoch-mismatch observations**: each hop record carries the
+  dataplane plan epoch it was forwarded under, so a packet crossing a
+  half-updated fabric carries the staged rollout's progress in-band.
+  ``staged_rollout`` reads these back as rollout evidence.
+
+Everything the collector records is a plain dict, exported as JSON
+lines through :func:`repro.obs.export.write_jsonl`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.net.addresses import format_ipv4
+from repro.net.headers import (
+    INT_ETHERTYPE,
+    INT_SHIM,
+    HeaderType,
+    int_hop_records,
+    standard_header_types,
+)
+from repro.net.linkage import standard_linkage
+from repro.net.packet import Packet
+from repro.obs.export import PathOrFile, write_jsonl
+from repro.obs.metrics import MetricsRegistry
+
+#: Latency bucket edges in nanoseconds (1us .. 10s, decade ladder).
+LATENCY_BOUNDS_NS = tuple(10**k for k in range(3, 11))
+
+#: Hop timestamps are 48-bit and wrap; differences are taken mod 2^48.
+_TS_MODULUS = 1 << 48
+
+
+def _ts_delta(start: int, end: int) -> int:
+    """Wrap-aware difference of two 48-bit nanosecond stamps."""
+    return (end - start) % _TS_MODULUS
+
+
+@dataclass
+class PathChange:
+    """A flow's hop list differed from the previous packet's."""
+
+    flow: str
+    old_path: Tuple[int, ...]
+    new_path: Tuple[int, ...]
+    packet_index: int  # collector-wide packet ordinal
+
+    def to_dict(self) -> dict:
+        return {
+            "event": "path_change",
+            "flow": self.flow,
+            "old_path": list(self.old_path),
+            "new_path": list(self.new_path),
+            "packet_index": self.packet_index,
+        }
+
+
+@dataclass
+class IntIngest:
+    """Outcome of one wire-side ingest."""
+
+    record: Optional[dict]  # None if the packet carried no INT shim
+    stripped: bytes  # delivery bytes with the shim removed
+
+
+class IntCollector:
+    """Sink-side INT consumer (see module docstring)."""
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.records: List[dict] = []
+        self.path_changes: List[PathChange] = []
+        self._flow_paths: Dict[str, Tuple[int, ...]] = {}
+        self._packets = self.metrics.counter("int.packets")
+        self._hop_records = self.metrics.counter("int.hop_records")
+        self._path_change_count = self.metrics.counter("int.path_changes")
+        self._mismatch_packets = self.metrics.counter(
+            "int.epoch_mismatch_packets"
+        )
+        self.metrics.gauge("int.flows", fn=lambda: len(self._flow_paths))
+        self._e2e = self.metrics.histogram(
+            "int.e2e_latency_ns", LATENCY_BOUNDS_NS
+        )
+        # Collector-side parse schema: the standard wire types plus
+        # the INT shim (a runtime-loaded type on devices).
+        self._types: Dict[str, HeaderType] = dict(standard_header_types())
+        self._types["int_shim"] = INT_SHIM
+        self._linkage = standard_linkage()
+        self._linkage.set_selector("int_shim", "orig_ethertype")
+        self._linkage.add_link("ethernet", "int_shim", INT_ETHERTYPE)
+        for tag in (0x0800, 0x86DD):
+            nxt = "ipv4" if tag == 0x0800 else "ipv6"
+            self._linkage.add_link("int_shim", nxt, tag)
+
+    # -- intake ------------------------------------------------------------
+
+    def ingest(
+        self,
+        data: bytes,
+        node: Optional[str] = None,
+        port: Optional[int] = None,
+    ) -> IntIngest:
+        """Consume one delivered wire packet.
+
+        Parses the INT shim (if any), records its telemetry, and
+        returns the packet with the shim stripped and the original
+        EtherType restored -- what the edge link would have carried
+        had the fabric not been instrumented.
+        """
+        packet = Packet(data)
+        packet.parse_all(self._types, self._linkage)
+        if not packet.is_valid("int_shim"):
+            return IntIngest(record=None, stripped=data)
+        shim = packet.remove_header("int_shim")
+        orig = shim.get("orig_ethertype")
+        assert isinstance(orig, int)
+        packet.write("ethernet.ethertype", orig)
+        record = self._observe(
+            self._flow_key(packet), int_hop_records(shim), node, port
+        )
+        return IntIngest(record=record, stripped=packet.emit())
+
+    def observe_strip(
+        self, packet: Packet, hops: List[dict], node: Optional[str] = None
+    ) -> dict:
+        """Device-side intake: ``pop_int`` already removed the shim and
+        hands over the decoded hop records."""
+        return self._observe(self._flow_key(packet), hops, node, None)
+
+    # -- analytics ---------------------------------------------------------
+
+    def _flow_key(self, packet: Packet) -> str:
+        if packet.is_valid("ipv4"):
+            src = packet.read("ipv4.src_addr")
+            dst = packet.read("ipv4.dst_addr")
+            assert isinstance(src, int) and isinstance(dst, int)
+            return f"{format_ipv4(src)}->{format_ipv4(dst)}"
+        ethertype = packet.read("ethernet.ethertype")
+        assert isinstance(ethertype, int)
+        return f"ethertype:{ethertype:#06x}"
+
+    def _observe(
+        self,
+        flow: str,
+        hops: List[dict],
+        node: Optional[str],
+        port: Optional[int],
+    ) -> dict:
+        index = int(self._packets.value)
+        self._packets.inc()
+        self._hop_records.inc(len(hops))
+        path = tuple(hop["switch_id"] for hop in hops)
+        epochs = sorted({hop["dp_epoch"] for hop in hops})
+        mismatch = len(epochs) > 1
+        if mismatch:
+            self._mismatch_packets.inc()
+
+        annotated = []
+        for hop in hops:
+            latency = _ts_delta(hop["ingress_ts"], hop["egress_ts"])
+            self.metrics.histogram(
+                "int.hop_latency_ns",
+                LATENCY_BOUNDS_NS,
+                switch=str(hop["switch_id"]),
+            ).observe(latency)
+            annotated.append(dict(hop, latency_ns=latency))
+        e2e = (
+            _ts_delta(hops[0]["ingress_ts"], hops[-1]["egress_ts"])
+            if hops
+            else 0
+        )
+        self._e2e.observe(e2e)
+
+        previous = self._flow_paths.get(flow)
+        if previous is not None and previous != path:
+            self._path_change_count.inc()
+            self.path_changes.append(
+                PathChange(flow, previous, path, packet_index=index)
+            )
+        self._flow_paths[flow] = path
+
+        record = {
+            "flow": flow,
+            "node": node,
+            "port": port,
+            "path": list(path),
+            "hops": annotated,
+            "e2e_latency_ns": e2e,
+            "epochs": epochs,
+            "epoch_mismatch": mismatch,
+        }
+        self.records.append(record)
+        return record
+
+    # -- views -------------------------------------------------------------
+
+    def flow_path(self, flow: str) -> Optional[Tuple[int, ...]]:
+        """Last observed hop list (switch ids) for ``flow``."""
+        return self._flow_paths.get(flow)
+
+    def flows(self) -> Dict[str, Tuple[int, ...]]:
+        return dict(self._flow_paths)
+
+    def epoch_evidence(self) -> List[dict]:
+        """Every packet that carried more than one dataplane epoch --
+        the in-band trace of a fabric mid-update."""
+        return [r for r in self.records if r["epoch_mismatch"]]
+
+    # -- export ------------------------------------------------------------
+
+    def to_dicts(self) -> List[dict]:
+        """Packet records followed by path-change events (the jsonl
+        export body)."""
+        return list(self.records) + [
+            change.to_dict() for change in self.path_changes
+        ]
+
+    def export_jsonl(self, dest: PathOrFile) -> int:
+        """Dump records + events as JSON lines; returns the count."""
+        return write_jsonl(dest, self.to_dicts())
+
+    def summary(self) -> dict:
+        """Aggregate view backing ``ipbm-ctl int report``."""
+        return {
+            "packets": int(self._packets.value),
+            "hop_records": int(self._hop_records.value),
+            "flows": {
+                flow: list(path) for flow, path in self._flow_paths.items()
+            },
+            "path_changes": len(self.path_changes),
+            "epoch_mismatch_packets": int(self._mismatch_packets.value),
+        }

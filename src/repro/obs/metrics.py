@@ -264,11 +264,23 @@ def _fmt(value: float) -> str:
     return repr(value)
 
 
+def _escape_label_value(value: object) -> str:
+    """Escape per the Prometheus text format: backslash first, then
+    the quote and newline (the only characters the format escapes)."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
 def _exposition_name(sample: Sample) -> str:
     metric = _sanitize(sample.name)
     if not sample.labels:
         return metric
     rendered = ",".join(
-        f'{_sanitize(k)}="{v}"' for k, v in sorted(sample.labels.items())
+        f'{_sanitize(k)}="{_escape_label_value(v)}"'
+        for k, v in sorted(sample.labels.items())
     )
     return f"{metric}{{{rendered}}}"

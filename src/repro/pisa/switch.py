@@ -65,6 +65,10 @@ class PisaSwitch:
         self.drop_reasons: Dict[str, int] = {}
         self.tracer: Optional[PacketTracer] = None
         self.profiler: Optional[Profiler] = None
+        # INT instrumentation (see IpsaSwitch): None on the hot path.
+        self.int_clock: Optional[Clock] = None
+        self.int_collector = None
+        self.int_node: Optional[str] = None
         self.timelines = TimelineRecorder()
         self.metrics = MetricsRegistry()
         self._packet_bytes = self.metrics.histogram(
@@ -132,6 +136,23 @@ class PisaSwitch:
     def disable_profiling(self) -> Optional[Profiler]:
         profiler, self.profiler = self.profiler, None
         return profiler
+
+    def enable_int(self, clock: Optional[Clock] = None) -> Clock:
+        """Turn on INT timestamping (see IpsaSwitch); idempotent."""
+        if self.int_clock is None:
+            from repro.obs.clock import MONOTONIC
+
+            self.int_clock = clock if clock is not None else MONOTONIC
+        return self.int_clock
+
+    def disable_int(self) -> Optional[Clock]:
+        clock, self.int_clock = self.int_clock, None
+        return clock
+
+    def attach_int_collector(self, collector, node: Optional[str] = None) -> None:
+        """Attach a sink-side INT collector fed by ``pop_int``."""
+        self.int_collector = collector
+        self.int_node = node
 
     # -- configuration ----------------------------------------------------
 

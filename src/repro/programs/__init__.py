@@ -27,6 +27,9 @@ from repro.programs.hhsketch import (
 from repro.programs.int_telemetry import (
     int_load_script,
     int_rp4_source,
+    int_strip_load_script,
+    int_strip_rp4_source,
+    populate_int_sink_tables,
     populate_int_tables,
 )
 from repro.programs.qos import (
@@ -56,7 +59,10 @@ __all__ = [
     "hhsketch_rp4_source",
     "int_load_script",
     "int_rp4_source",
+    "int_strip_load_script",
+    "int_strip_rp4_source",
     "populate_hhsketch_tables",
+    "populate_int_sink_tables",
     "populate_int_tables",
     "populate_base_tables",
     "populate_ecmp_tables",

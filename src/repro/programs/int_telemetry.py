@@ -1,73 +1,132 @@
-"""Use case C5 (extension): in-band telemetry insertion (INT-style).
+"""Use case C5 (extension): in-band telemetry (INT-style), multi-hop.
 
 The paper cites the INT dataplane spec among the telemetry workloads
-motivating runtime programmability.  This function, loaded in service,
-inserts a telemetry shim between Ethernet and L3 for selected flows --
-a brand-new header pushed onto live traffic, with its parse linkage
-(`link_header`) installed at runtime exactly like SRv6's SRH.  A
-downstream collector (or the paired ``int_strip`` function) restores
-the original EtherType from the shim.
+motivating runtime programmability.  Two functions, both loadable in
+service:
+
+* **int_insert** splices a telemetry shim between Ethernet and L3 for
+  watched flows and pushes one 18-byte **hop record** per traversal --
+  ``{switch_id, ingress_ts, egress_ts, queue_depth, dp_epoch}`` (see
+  ``repro.net.headers.INT_HOP_FIELDS``).  The shim's ``hop_stack`` is
+  the first use of the rP4 ``varbit`` header extension: its length is
+  ``hop_count`` records, re-parsed at every hop so transit switches
+  append to the stack a previous switch started.
+* **int_strip** is the sink-side pair: it removes the shim, restores
+  the original EtherType, and (when a collector is attached to the
+  device) reports the decoded hop stack to
+  :class:`repro.obs.intcol.IntCollector`.
+
+Fabrics that terminate INT at the edge instead of on a sink switch can
+skip ``int_strip`` and attach the collector to the
+:class:`~repro.runtime.fabric.Fabric` delivery hook.
 """
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Iterable, Optional, Tuple
 
 from repro.net.addresses import parse_ipv4
+from repro.net.headers import INT_ETHERTYPE, INT_HOP_BYTES
 from repro.tables.table import Table, TableEntry
 
-_INT_RP4 = """
+_INT_RP4 = f"""
 // rP4 code for the INT insertion function (extension use case).
-headers {
+headers {{
     // Telemetry shim between Ethernet and L3 (INT-over-L2 flavor).
-    header int_shim {
+    // The hop stack grows by one record per instrumented traversal.
+    header int_shim {{
         bit<16> orig_ethertype;
-        bit<16> switch_id;
-        bit<32> hop_latency;
-        implicit parser(orig_ethertype) {
+        bit<8> hop_count;
+        varbit<hop_count, {INT_HOP_BYTES}> hop_stack;
+        implicit parser(orig_ethertype) {{
             // restored linkage installed at runtime via link_header
-        }
-    }
-}
+        }}
+    }}
+}}
 
-table int_watch {
-    key = {
+table int_watch {{
+    key = {{
         ipv4.src_addr: exact;
         ipv4.dst_addr: exact;
-    }
+    }}
     size = 256;
-}
+}}
 
-action int_add(bit<16> switch_id, bit<32> hop_latency) {
+// switch_id rides in as action data; push_int reads it from the
+// bound parameters and stamps the rest of the hop record from the
+// device (INT clock, TM occupancy, dataplane epoch).
+action int_add(bit<16> switch_id) {{
     push_int();
-    int_shim.switch_id = switch_id;
-    int_shim.hop_latency = hop_latency;
-}
+}}
 
-stage int_insert {
-    parser { ipv4 };
-    matcher {
+stage int_insert {{
+    parser {{ ipv4 }};
+    matcher {{
         if (ipv4.isValid()) int_watch.apply();
         else;
-    };
-    executor {
+    }};
+    executor {{
         1: int_add;
         default: NoAction;
-    }
-}
+    }}
+}}
 
-user_funcs {
-    func int_insert { int_insert }
-}
+user_funcs {{
+    func int_insert {{ int_insert }}
+}}
 """
 
-_INT_SCRIPT = """
+_INT_SCRIPT = f"""
 load int.rp4 --func_name int_insert
 add_link l2_l3 int_insert
 del_link l2_l3 ipv4_lpm
 add_link int_insert ipv4_lpm
+link_header --pre ethernet --next int_shim --tag {INT_ETHERTYPE:#06x}
 link_header --pre int_shim --next ipv4 --tag 0x0800
 link_header --pre int_shim --next ipv6 --tag 0x86DD
+"""
+
+_INT_STRIP_RP4 = f"""
+// rP4 code for the paired INT sink function: strip the shim and
+// restore the original EtherType (hop records go to the device's
+// collector, if one is attached).
+headers {{
+    header int_shim {{
+        bit<16> orig_ethertype;
+        bit<8> hop_count;
+        varbit<hop_count, {INT_HOP_BYTES}> hop_stack;
+        implicit parser(orig_ethertype) {{
+            // restored linkage installed at runtime via link_header
+        }}
+    }}
+}}
+
+table int_sink {{
+    key = {{
+        ethernet.ethertype: exact;
+    }}
+    size = 4;
+}}
+
+action int_remove() {{
+    pop_int();
+}}
+
+stage int_strip {{
+    parser {{ int_shim, ipv4 }};
+    matcher {{
+        if (int_shim.isValid()) int_sink.apply();
+        else;
+    }};
+    executor {{
+        1: int_remove;
+        default: NoAction;
+    }}
+}}
+
+user_funcs {{
+    func int_strip {{ int_strip }}
+}}
 """
 
 
@@ -81,22 +140,55 @@ def int_load_script() -> str:
     return _INT_SCRIPT
 
 
-#: Flows to instrument: (src, dst) -> switch id reported.
-WATCHED_FLOWS: Dict[tuple, int] = {
-    ("10.1.0.1", "10.2.0.1"): 7,
-}
+def int_strip_rp4_source() -> str:
+    """The rP4 snippet for the INT sink (strip) function."""
+    return _INT_STRIP_RP4
+
+
+def int_strip_load_script(after: str = "int_insert") -> str:
+    """Splice the strip stage after ``after`` (default: right behind
+    ``int_insert``, so a sink switch pushes its own hop record before
+    stripping; pass ``"l2_l3"`` for a strip-only node)."""
+    return f"""
+load int_strip.rp4 --func_name int_strip
+add_link {after} int_strip
+del_link {after} ipv4_lpm
+add_link int_strip ipv4_lpm
+link_header --pre ethernet --next int_shim --tag {INT_ETHERTYPE:#06x}
+link_header --pre int_shim --next ipv4 --tag 0x0800
+link_header --pre int_shim --next ipv6 --tag 0x86DD
+"""
+
+
+#: Flows to instrument: (src, dst) pairs.
+WATCHED_FLOWS: Tuple[Tuple[str, str], ...] = (("10.1.0.1", "10.2.0.1"),)
 
 
 def populate_int_tables(
-    tables: Dict[str, Table], hop_latency: int = 350
+    tables: Dict[str, Table],
+    switch_id: int = 7,
+    flows: Optional[Iterable[Tuple[str, str]]] = None,
 ) -> None:
-    """Instrument the watched flows."""
-    for (src, dst), switch_id in WATCHED_FLOWS.items():
+    """Watch ``flows`` (default :data:`WATCHED_FLOWS`), stamping this
+    device's hop records with ``switch_id``."""
+    for src, dst in flows if flows is not None else WATCHED_FLOWS:
         tables["int_watch"].add_entry(
             TableEntry(
                 key=(parse_ipv4(src), parse_ipv4(dst)),
                 action="int_add",
-                action_data={"switch_id": switch_id, "hop_latency": hop_latency},
+                action_data={"switch_id": switch_id},
                 tag=1,
             )
         )
+
+
+def populate_int_sink_tables(tables: Dict[str, Table]) -> None:
+    """Strip every instrumented packet (wire EtherType = INT shim)."""
+    tables["int_sink"].add_entry(
+        TableEntry(
+            key=(INT_ETHERTYPE,),
+            action="int_remove",
+            action_data={},
+            tag=1,
+        )
+    )

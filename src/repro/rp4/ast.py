@@ -20,6 +20,10 @@ class HeaderDecl:
     fields: List[Tuple[str, int]] = field(default_factory=list)  # (name, width)
     selector: Optional[str] = None  # field named in `implicit parser(...)`
     links: List[Tuple[int, str]] = field(default_factory=list)  # (tag, next header)
+    #: ``varbit<count_field, unit_bytes> name;`` -- a trailing variable
+    #: length region of ``count_field * unit_bytes`` octets (INT hop
+    #: stacks, TLV blobs).  Stored as (field name, count field, unit).
+    varlen: Optional[Tuple[str, str, int]] = None
     line: int = 0  # source position (1-based; 0 = synthesized)
     column: int = 0
 
@@ -176,6 +180,7 @@ class Rp4Program:
                 fields=h.fields,
                 selector=h.selector,
                 links=list(h.links),
+                varlen=h.varlen,
                 line=h.line,
                 column=h.column,
             )

@@ -106,7 +106,35 @@ class _Parser:
                     lex.accept_punct(";")
                     decl.links.append((tag, nxt))
                 lex.accept_punct(";")
+            elif lex.current.is_ident("varbit"):
+                # varbit<count_field, unit_bytes> name; -- a trailing
+                # variable-length region of count*unit octets.
+                if decl.varlen is not None:
+                    raise lex.error(
+                        f"header {name!r} already has a varbit region"
+                    )
+                lex.advance()
+                lex.expect_punct("<")
+                count_field = lex.expect_ident().text
+                if count_field not in dict(decl.fields):
+                    raise lex.error(
+                        f"varbit count field {count_field!r} must be a "
+                        "previously declared field"
+                    )
+                lex.expect_punct(",")
+                unit = lex.expect_int().value
+                if unit <= 0:
+                    raise lex.error("varbit unit must be positive")
+                lex.expect_punct(">")
+                fname = lex.expect_ident().text
+                lex.expect_punct(";")
+                decl.varlen = (fname, count_field, unit)
             else:
+                if decl.varlen is not None:
+                    raise lex.error(
+                        "varbit region must be the last field of "
+                        f"header {name!r}"
+                    )
                 width = self._bit_type()
                 fname = lex.expect_ident().text
                 lex.expect_punct(";")

@@ -83,6 +83,11 @@ def print_rp4(program: Rp4Program) -> str:
             out.append(f"    header {header.name} {{")
             for fname, width in header.fields:
                 out.append(f"        bit<{width}> {fname};")
+            if header.varlen is not None:
+                vname, count_field, unit = header.varlen
+                out.append(
+                    f"        varbit<{count_field}, {unit}> {vname};"
+                )
             if header.selector is not None:
                 out.append(f"        implicit parser({header.selector}) {{")
                 for tag, nxt in header.links:

@@ -43,6 +43,13 @@ rollout across an N-node fabric::
     ipbm-ctl update base.rp4 --script updates.txt --staged
     ipbm-ctl update base.rp4 --script updates.txt --abort
     ipbm-ctl update base.rp4 --script updates.txt --nodes 4 --wave-size 2
+
+``ipbm-ctl int`` stands up a line fabric with multi-hop in-band
+telemetry enabled and renders (or exports) what the collector
+reconstructed from the hop stacks::
+
+    ipbm-ctl int report --nodes 3 --packets 12
+    ipbm-ctl int export records.jsonl --metrics-out int.prom
 """
 
 from __future__ import annotations
@@ -94,6 +101,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return rp4lint_main(argv[1:])
     if argv and argv[0] == "update":
         return _update_main(argv[1:])
+    if argv and argv[0] == "int":
+        return _int_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="ipbm-ctl", description="controller for the ipbm software switch"
     )
@@ -390,6 +399,108 @@ def _staged_rollout(args, base_source, script_text, sources, out) -> int:
     return 0
 
 
+# -- in-band telemetry subcommand ------------------------------------------
+
+
+def _int_main(argv: List[str]) -> int:
+    """``ipbm-ctl int``: run a multi-hop INT fabric and report on it.
+
+    ``report`` stands up a line fabric with ``int_insert`` enabled on
+    every node, replays the watched flow, and renders what the
+    collector reconstructed; ``export`` does the same but writes the
+    collector records (JSON lines) and optionally the Prometheus
+    exposition with the latency histograms.
+    """
+    from repro.bench.scenarios import INT_STRIP_MODES, make_int_fabric
+    from repro.workloads import ipv4_packet
+
+    parser = argparse.ArgumentParser(
+        prog="ipbm-ctl int",
+        description="multi-hop in-band telemetry: run, report, export",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def _common(p):
+        p.add_argument(
+            "--nodes", type=int, default=3, metavar="N",
+            help="line-fabric length (default: 3)",
+        )
+        p.add_argument(
+            "--packets", type=int, default=12,
+            help="watched-flow packets to replay (default: 12)",
+        )
+        p.add_argument(
+            "--strip", choices=INT_STRIP_MODES, default="edge",
+            help="where the stack is stripped: the fabric edge hook or "
+            "a dataplane int_strip on the last node (default: edge)",
+        )
+
+    report_p = sub.add_parser(
+        "report", help="replay the watched flow, render the collector view"
+    )
+    _common(report_p)
+    report_p.add_argument(
+        "--json", action="store_true",
+        help="emit the collector summary as JSON instead of text",
+    )
+
+    export_p = sub.add_parser(
+        "export", help="replay, then write collector records (JSON lines)"
+    )
+    _common(export_p)
+    export_p.add_argument("out", help="destination for the JSONL records")
+    export_p.add_argument(
+        "--metrics-out",
+        help="also write the Prometheus exposition (latency histograms)",
+    )
+
+    args = parser.parse_args(argv)
+    out = sys.stdout
+
+    fabric, collector = make_int_fabric(n_nodes=args.nodes, strip=args.strip)
+    trace = [
+        (ipv4_packet("10.1.0.1", "10.2.0.1", sport=1024 + i), 0)
+        for i in range(args.packets)
+    ]
+    deliveries = fabric.send_many("sw0", trace)
+    delivered = sum(1 for d in deliveries if d is not None)
+    out.write(
+        f"{args.nodes}-node line fabric [{args.strip} strip]: "
+        f"{len(trace)} packets sent, {delivered} delivered\n"
+    )
+
+    summary = collector.summary()
+    if args.command == "report":
+        if args.json:
+            out.write(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+            return 0
+        out.write(
+            f"collector: {summary['packets']} packets, "
+            f"{summary['hop_records']} hop records, "
+            f"{summary['path_changes']} path changes, "
+            f"{summary['epoch_mismatch_packets']} epoch-mismatch packets\n"
+        )
+        for flow, path in sorted(summary["flows"].items()):
+            hops = " -> ".join(f"switch {hop}" for hop in path)
+            out.write(f"  {flow}: {hops}\n")
+        if collector.records:
+            record = collector.records[-1]
+            out.write(
+                f"  last e2e: {record['e2e_latency_ns']} ns over "
+                f"{len(record['hops'])} hops "
+                f"(epochs {record['epochs']})\n"
+            )
+        return 0
+
+    count = collector.export_jsonl(args.out)
+    out.write(f"wrote {count} collector records to {args.out}\n")
+    if args.metrics_out:
+        with open(args.metrics_out, "w") as fh:
+            fh.write(collector.metrics.to_prometheus())
+        out.write(f"wrote metrics exposition to {args.metrics_out}\n")
+    return 0
+
+
 # -- offline observability subcommands ------------------------------------
 
 
@@ -513,3 +624,7 @@ def _profile_main(argv: List[str]) -> int:
             fh.write("\n".join(profiler.folded(root=args.switch)) + "\n")
         out.write(f"wrote folded stacks to {args.folded}\n")
     return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -83,6 +83,10 @@ class Fabric:
         # (node, egress port) -> (peer node, peer ingress port)
         self._wires: Dict[Tuple[str, int], Tuple[str, int]] = {}
         self.stats = FabricStats()
+        # Edge-side INT collector (see attach_int_collector): None
+        # keeps delivery untouched.
+        self.int_collector = None
+        self._int_strip = True
 
     # -- topology -------------------------------------------------------
 
@@ -113,6 +117,31 @@ class Fabric:
     def peer(self, node: str, port: int) -> Optional[Tuple[str, int]]:
         return self._wires.get((node, port))
 
+    # -- telemetry ------------------------------------------------------
+
+    def attach_int_collector(self, collector=None, strip: bool = True):
+        """Feed every edge delivery through an INT collector.
+
+        The collector (default: a fresh
+        :class:`repro.obs.intcol.IntCollector`) sees each packet as it
+        exits the fabric; with ``strip=True`` the delivered bytes have
+        the INT shim removed and the original EtherType restored, so
+        the edge observes un-instrumented traffic while the collector
+        keeps the telemetry.  Returns the collector.
+        """
+        if collector is None:
+            from repro.obs.intcol import IntCollector
+
+            collector = IntCollector()
+        self.int_collector = collector
+        self._int_strip = strip
+        return collector
+
+    def detach_int_collector(self):
+        """Stop collecting at the edge; returns the detached collector."""
+        collector, self.int_collector = self.int_collector, None
+        return collector
+
     # -- traffic ------------------------------------------------------------
 
     def send(self, node: str, data: bytes, port: int = 0) -> Optional[Delivery]:
@@ -130,10 +159,17 @@ class Fabric:
             wire = self.peer(current, out.port)
             if wire is None:
                 self.stats.delivered += 1
+                delivered = out.data
+                if self.int_collector is not None:
+                    ingest = self.int_collector.ingest(
+                        delivered, node=current, port=out.port
+                    )
+                    if self._int_strip:
+                        delivered = ingest.stripped
                 return Delivery(
                     node=current,
                     port=out.port,
-                    data=out.data,
+                    data=delivered,
                     hops=hop + 1,
                     path=tuple(path),
                 )
@@ -196,6 +232,8 @@ class Fabric:
         wave_size: int = 2,
         probe_trace: Optional[List[Tuple[bytes, int]]] = None,
         max_drop_rate: float = 0.0,
+        evidence_trace: Optional[List[Tuple[bytes, int]]] = None,
+        evidence_node: Optional[str] = None,
     ) -> "RolloutReport":
         """Canary -> health gate -> waves, with automatic rollback.
 
@@ -209,6 +247,13 @@ class Fabric:
            each node gated the same way.  Any failure (update error or
            gate breach) triggers reverse-order rollback of *every*
            committed node before :class:`RolloutError` propagates.
+
+        With an INT collector attached and an ``evidence_trace``, the
+        trace is sent end-to-end from ``evidence_node`` (default: the
+        first rollout node) after the canary and after every wave;
+        each checkpoint records the dataplane epochs the packets
+        carried in-band in :attr:`RolloutReport.epoch_evidence` --
+        mixed epochs are the packet's-eye view of the flip window.
         """
         if wave_size <= 0:
             raise ValueError("wave_size must be positive")
@@ -224,6 +269,27 @@ class Fabric:
         ]
         report = RolloutReport(canary=canary, waves=waves)
         committed: List[str] = []
+
+        def evidence_checkpoint(after: str) -> None:
+            collector = self.int_collector
+            if collector is None or evidence_trace is None:
+                return
+            origin = evidence_node if evidence_node is not None else order[0]
+            start = len(collector.records)
+            for data, port in evidence_trace:
+                self.send(origin, data, port)
+            fresh = collector.records[start:]
+            epochs = sorted({e for r in fresh for e in r["epochs"]})
+            report.epoch_evidence.append(
+                {
+                    "after": after,
+                    "packets": len(fresh),
+                    "epochs": epochs,
+                    "mismatched_packets": sum(
+                        1 for r in fresh if r["epoch_mismatch"]
+                    ),
+                }
+            )
 
         def update_and_gate(name: str) -> None:
             controller = self.node(name)
@@ -259,6 +325,7 @@ class Fabric:
             update_and_gate(canary)
         except Exception as exc:
             unwind(canary, exc, rest)
+        evidence_checkpoint(f"canary:{canary}")
         for wave_index, wave in enumerate(waves):
             for position, name in enumerate(wave):
                 try:
@@ -268,6 +335,7 @@ class Fabric:
                         n for w in waves[wave_index + 1:] for n in w
                     ]
                     unwind(name, exc, pending)
+            evidence_checkpoint(f"wave:{wave_index}")
         return report
 
 
@@ -284,3 +352,7 @@ class RolloutReport:
     probes: Dict[str, float] = field(default_factory=dict)
     canary: Optional[str] = None
     waves: List[List[str]] = field(default_factory=list)
+    #: In-band epoch observations, one dict per checkpoint (after the
+    #: canary and after every wave): ``{"after", "packets", "epochs",
+    #: "mismatched_packets"}`` -- see ``staged_rollout``.
+    epoch_evidence: List[dict] = field(default_factory=list)

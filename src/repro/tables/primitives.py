@@ -10,7 +10,14 @@ from __future__ import annotations
 
 from typing import Callable, Dict
 
-from repro.net.headers import SRH, HeaderInstance, srh_segment
+from repro.net.headers import (
+    INT_ETHERTYPE,
+    SRH,
+    HeaderInstance,
+    int_hop_records,
+    int_push_hop,
+    srh_segment,
+)
 from repro.tables.actions import ActionContext, PyPrimitive
 
 
@@ -141,38 +148,81 @@ def prim_push_srh(ctx: ActionContext) -> None:
     packet.write("ipv6.payload_len", plen + 8)
 
 
-#: Ethertype announcing an INT shim between Ethernet and L3.
-INT_ETHERTYPE = 0x1234
+def _device_header_types(device):
+    """Header-type dictionary of either switch family (IPSA keeps it
+    on the device, PISA on its front-end parser)."""
+    types = getattr(device, "header_types", None)
+    if types is not None:
+        return types
+    parser = getattr(device, "parser", None)
+    return getattr(parser, "header_types", None)
+
+
+def _int_timestamps_ns(ctx: ActionContext) -> tuple:
+    """(ingress, egress) nanosecond stamps for this hop.
+
+    Ingress comes from the front-door stamp (written when the device
+    has INT enabled); egress reads the device's INT clock now.  With
+    no clock attached both fall back to 0 -- the record still carries
+    switch id / queue depth / epoch.
+    """
+    packet = ctx.packet
+    clock = getattr(ctx.device, "int_clock", None)
+    egress = int(clock.now() * 1e9) if clock is not None else 0
+    ingress = packet.metadata.get("ingress_ts_ns")
+    if not isinstance(ingress, int):
+        ingress = egress
+    return ingress, egress
 
 
 def prim_push_int(ctx: ActionContext) -> None:
-    """Insert an INT telemetry shim after Ethernet (INT-over-L2).
+    """Push one INT hop record (INT-over-L2, paper use case C5).
 
-    The shim's type must have been loaded onto the device (the INT
-    function's snippet declares it); its ``orig_ethertype`` field
-    preserves the displaced EtherType so a downstream collector (or
-    ``pop_int``) can restore the packet.  Field values (switch id,
-    hop latency) are written by ordinary assignments after the push.
+    Ensures the telemetry shim sits after Ethernet (inserting it on
+    the first instrumented hop: ``orig_ethertype`` preserves the
+    displaced EtherType, the wire EtherType becomes
+    :data:`INT_ETHERTYPE`), then appends this switch's hop record
+    ``{switch_id, ingress_ts, egress_ts, queue_depth, dp_epoch}`` to
+    the stack and bumps ``hop_count``.  The switch id arrives as the
+    enclosing action's ``switch_id`` parameter (table action data).
     """
     packet = ctx.packet
     device = ctx.device
-    if device is None or not hasattr(device, "header_types"):
+    types = _device_header_types(device)
+    if device is None or types is None:
         raise RuntimeError("push_int requires a device with header types")
-    shim_type = device.header_types.get("int_shim")
+    shim_type = types.get("int_shim")
     if shim_type is None or not packet.is_valid("ethernet"):
         packet.metadata["drop"] = 1
         return
-    if packet.is_valid("int_shim"):
-        return  # already instrumented upstream
-    orig = packet.read("ethernet.ethertype")
-    assert isinstance(orig, int)
-    shim = HeaderInstance(shim_type, {"orig_ethertype": orig}, "int_shim")
-    packet.insert_header(shim, after="ethernet")
-    packet.write("ethernet.ethertype", INT_ETHERTYPE)
+    if not packet.is_valid("int_shim"):
+        orig = packet.read("ethernet.ethertype")
+        assert isinstance(orig, int)
+        shim = HeaderInstance(
+            shim_type,
+            {"orig_ethertype": orig, "hop_count": 0, "hop_stack": b""},
+            "int_shim",
+        )
+        packet.insert_header(shim, after="ethernet")
+        packet.write("ethernet.ethertype", INT_ETHERTYPE)
+    ingress, egress = _int_timestamps_ns(ctx)
+    tm = getattr(getattr(device, "pipeline", None), "tm", None)
+    dp = getattr(device, "dp", None)
+    int_push_hop(
+        packet.header("int_shim"),
+        {
+            "switch_id": ctx.params.get("switch_id", 0),
+            "ingress_ts": ingress,
+            "egress_ts": egress,
+            "queue_depth": tm.occupancy() if tm is not None else 0,
+            "dp_epoch": getattr(dp, "epoch", 0),
+        },
+    )
 
 
 def prim_pop_int(ctx: ActionContext) -> None:
-    """Remove an INT shim and restore the original EtherType."""
+    """Strip the INT shim at a sink: restore the original EtherType
+    and hand the hop stack to the device's collector (if attached)."""
     packet = ctx.packet
     if not packet.is_valid("int_shim"):
         return
@@ -180,6 +230,13 @@ def prim_pop_int(ctx: ActionContext) -> None:
     orig = shim.get("orig_ethertype")
     assert isinstance(orig, int)
     packet.write("ethernet.ethertype", orig)
+    collector = getattr(ctx.device, "int_collector", None)
+    if collector is not None:
+        collector.observe_strip(
+            packet,
+            int_hop_records(shim),
+            node=getattr(ctx.device, "int_node", None),
+        )
 
 
 #: Registry consumed by the action-lowering pass of the compilers.

@@ -168,6 +168,47 @@ class TestUpdateStall:
         assert any("unknown" in p for p in validate_bench(doc))
 
 
+class TestIntOverhead:
+    """The ``int_overhead`` cell: telemetry stack on vs off."""
+
+    def test_smoke_doc_has_the_cell(self, smoke_doc):
+        cell = smoke_doc["int_overhead"]
+        assert cell["packets"] > 0
+        assert cell["ns_per_pkt_off"] > 0 and cell["ns_per_pkt_on"] > 0
+        # Every watched packet pushed exactly one hop record.
+        assert cell["hop_records"] == cell["packets"]
+
+    def test_validation_rejects_dead_int_stage(self, smoke_doc):
+        doc = copy.deepcopy(smoke_doc)
+        doc["int_overhead"]["hop_records"] = 0
+        assert any("never fired" in p for p in validate_bench(doc))
+
+    def test_validation_rejects_missing_key(self, smoke_doc):
+        doc = copy.deepcopy(smoke_doc)
+        del doc["int_overhead"]["ns_per_pkt_on"]
+        assert any("ns_per_pkt_on" in p for p in validate_bench(doc))
+
+    def test_section_is_optional_for_old_documents(self, smoke_doc):
+        doc = copy.deepcopy(smoke_doc)
+        del doc["int_overhead"]
+        assert validate_bench(doc) == []
+
+    def test_comparison_regression_detected(self, smoke_doc):
+        worse = copy.deepcopy(smoke_doc)
+        worse["int_overhead"]["ns_per_pkt_on"] *= 3.0  # beyond the gate
+        comparison = compare_documents(smoke_doc, worse)
+        assert {d.metric for d in comparison.regressions} == {
+            "ns_per_pkt_on"
+        }
+
+    def test_baseline_without_cell_notes_new_cell(self, smoke_doc):
+        old = copy.deepcopy(smoke_doc)
+        del old["int_overhead"]
+        comparison = compare_documents(old, smoke_doc)
+        assert comparison.ok
+        assert "int_overhead" in comparison.new_cells
+
+
 class TestComparison:
     def test_identical_documents_ok(self, smoke_doc):
         comparison = compare_documents(smoke_doc, smoke_doc)
@@ -333,3 +374,31 @@ class TestIpbmCtlIntegration:
         )
         assert code == 0
         assert validate_bench(json.loads(out_path.read_text())) == []
+
+    def test_int_report_subcommand(self, capsys):
+        code = ipbm_ctl_main(
+            ["int", "report", "--nodes", "3", "--packets", "4"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "4 packets sent, 4 delivered" in out
+        assert "12 hop records" in out
+        assert "switch 1 -> switch 2 -> switch 3" in out
+
+    def test_int_export_subcommand(self, tmp_path, capsys):
+        records = tmp_path / "int.jsonl"
+        metrics = tmp_path / "int.prom"
+        code = ipbm_ctl_main(
+            [
+                "int", "export", str(records),
+                "--packets", "3",
+                "--strip", "sink",
+                "--metrics-out", str(metrics),
+            ]
+        )
+        assert code == 0
+        lines = records.read_text().strip().splitlines()
+        assert len(lines) == 3
+        first = json.loads(lines[0])
+        assert first["path"] == [1, 2, 3]
+        assert "int_hop_latency_ns_bucket" in metrics.read_text()

@@ -147,6 +147,47 @@ class TestPrimitiveEffects:
         effects = stage_effects(stage, program)
         assert STAR in effects.reads and STAR in effects.writes
 
+    def test_int_insert_effects_golden(self):
+        """The INT snippet's effect summary, pinned exactly: push_int
+        must register as a read-modify-write of the shim stack (plus
+        the table keys and predicate), never as the STAR wildcard."""
+        from repro.compiler.dependency import STAR
+        from repro.programs import int_rp4_source
+
+        program = parse_rp4(int_rp4_source())
+        effects = stage_effects(program.all_stages()["int_insert"], program)
+        assert effects.reads == {
+            "ethernet.ethertype",
+            "int_shim.hop_count",
+            "int_shim.hop_stack",
+            "ipv4.src_addr",
+            "ipv4.dst_addr",
+        }
+        assert effects.writes == {
+            "ethernet.ethertype",
+            "int_shim.orig_ethertype",
+            "int_shim.hop_count",
+            "int_shim.hop_stack",
+            "meta.drop",
+        }
+        assert STAR not in effects.reads and STAR not in effects.writes
+        assert effects.arm_guards == [frozenset({"ipv4"})]
+
+    def test_int_strip_effects_golden(self):
+        from repro.compiler.dependency import STAR
+        from repro.programs import int_strip_rp4_source
+
+        program = parse_rp4(int_strip_rp4_source())
+        effects = stage_effects(program.all_stages()["int_strip"], program)
+        assert effects.reads == {
+            "ethernet.ethertype",
+            "int_shim.orig_ethertype",
+            "int_shim.hop_count",
+            "int_shim.hop_stack",
+        }
+        assert effects.writes == {"ethernet.ethertype"}
+        assert STAR not in effects.reads
+
     def test_wildcard_effects_conflict_with_everything(self):
         from repro.compiler.dependency import STAR, DependencyInfo, StageEffects
 

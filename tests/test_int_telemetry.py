@@ -1,28 +1,30 @@
-"""Tests for the C5 INT insertion use case and its primitives."""
+"""Tests for the C5 multi-hop INT use case and its primitives."""
 
 import pytest
 
-from repro.net.headers import standard_header_types, FieldDef, HeaderType
+from repro.net.headers import (
+    INT_ETHERTYPE,
+    INT_HOP_BYTES,
+    INT_SHIM,
+    int_hop_records,
+    int_pack_hop,
+    int_unpack_hop,
+    standard_header_types,
+)
 from repro.net.linkage import standard_linkage
 from repro.net.packet import Packet
+from repro.obs.clock import ManualClock
 from repro.programs import base_rp4_source, populate_base_tables
 from repro.programs.int_telemetry import (
     int_load_script,
     int_rp4_source,
+    int_strip_load_script,
+    int_strip_rp4_source,
+    populate_int_sink_tables,
     populate_int_tables,
 )
 from repro.runtime import Controller
-from repro.tables.primitives import INT_ETHERTYPE
 from repro.workloads import ipv4_packet
-
-INT_SHIM = HeaderType(
-    "int_shim",
-    [
-        FieldDef("orig_ethertype", 16),
-        FieldDef("switch_id", 16),
-        FieldDef("hop_latency", 32),
-    ],
-)
 
 
 @pytest.fixture
@@ -31,7 +33,8 @@ def controller():
     ctl.load_base(base_rp4_source())
     populate_base_tables(ctl.switch.tables)
     ctl.run_script(int_load_script(), {"int.rp4": int_rp4_source()})
-    populate_int_tables(ctl.switch.tables, hop_latency=350)
+    populate_int_tables(ctl.switch.tables, switch_id=7)
+    ctl.switch.enable_int(ManualClock(start=1.0, tick=1e-6))
     return ctl
 
 
@@ -48,12 +51,30 @@ def parse_out(data):
     return packet
 
 
+class TestHopRecordCodec:
+    def test_roundtrip(self):
+        record = {
+            "switch_id": 42,
+            "ingress_ts": 1_000_000,
+            "egress_ts": 1_000_500,
+            "queue_depth": 3,
+            "dp_epoch": 9,
+        }
+        packed = int_pack_hop(record)
+        assert len(packed) == INT_HOP_BYTES
+        assert int_unpack_hop(packed) == record
+
+    def test_timestamps_masked_to_48_bits(self):
+        record = int_unpack_hop(int_pack_hop({"ingress_ts": 1 << 60}))
+        assert record["ingress_ts"] == 0
+
+
 class TestIntInsertion:
     def test_loads_without_extra_tsp(self, controller):
         assert controller.design.plan.tsp_count == 7
         assert "int_watch" in controller.switch.tables
 
-    def test_watched_flow_instrumented(self, controller):
+    def test_watched_flow_gets_hop_record(self, controller):
         out = controller.switch.inject(
             ipv4_packet("10.1.0.1", "10.2.0.1", sport=1), 0
         )
@@ -61,13 +82,38 @@ class TestIntInsertion:
         parsed = parse_out(out.data)
         assert parsed.header_names()[:3] == ["ethernet", "int_shim", "ipv4"]
         assert parsed.read("ethernet.ethertype") == INT_ETHERTYPE
-        assert parsed.read("int_shim.switch_id") == 7
-        assert parsed.read("int_shim.hop_latency") == 350
         assert parsed.read("int_shim.orig_ethertype") == 0x0800
+        assert parsed.read("int_shim.hop_count") == 1
+        hops = int_hop_records(parsed.header("int_shim"))
+        assert len(hops) == 1
+        assert hops[0]["switch_id"] == 7
+        assert hops[0]["ingress_ts"] <= hops[0]["egress_ts"]
+        assert hops[0]["egress_ts"] > 0
+
+    def test_reinjection_appends_second_hop(self, controller):
+        # A transit switch re-parses the varbit stack a previous switch
+        # started and appends its own record instead of a second shim.
+        from repro.net.addresses import parse_mac
+        from repro.programs.base_l2l3 import ROUTER_MAC
+
+        first = controller.switch.inject(
+            ipv4_packet("10.1.0.1", "10.2.0.1", sport=2), 0
+        )
+        # Re-address the instrumented output at the router (what the
+        # next hop's wire would carry) and run it through again.
+        router = parse_mac(ROUTER_MAC).to_bytes(6, "big")
+        second = controller.switch.inject(router + first.data[6:], 0)
+        assert second is not None
+        parsed = parse_out(second.data)
+        assert parsed.read("int_shim.hop_count") == 2
+        hops = int_hop_records(parsed.header("int_shim"))
+        assert [hop["switch_id"] for hop in hops] == [7, 7]
+        # Shared clock: the second traversal's stamps come later.
+        assert hops[0]["egress_ts"] <= hops[1]["ingress_ts"]
 
     def test_routing_still_correct(self, controller):
         out = controller.switch.inject(
-            ipv4_packet("10.1.0.1", "10.2.0.1", sport=2), 0
+            ipv4_packet("10.1.0.1", "10.2.0.1", sport=3), 0
         )
         assert out is not None and out.port == 3
         # Inner IPv4 untouched except TTL.
@@ -75,19 +121,45 @@ class TestIntInsertion:
         assert parsed.read("ipv4.ttl") == 63
 
     def test_unwatched_flows_untouched(self, controller):
-        out = controller.switch.inject(
-            ipv4_packet("10.1.0.1", "10.2.5.5"), 0
-        )
+        out = controller.switch.inject(ipv4_packet("10.1.0.1", "10.2.5.5"), 0)
         assert out is not None
         assert out.data[12:14] == b"\x08\x00"  # plain IPv4 ethertype
 
     def test_offload_restores(self, controller):
         controller.run_script("unload --func_name int_insert")
         assert "int_watch" not in controller.switch.tables
-        out = controller.switch.inject(
-            ipv4_packet("10.1.0.1", "10.2.0.1"), 0
-        )
+        out = controller.switch.inject(ipv4_packet("10.1.0.1", "10.2.0.1"), 0)
         assert out is not None and out.data[12:14] == b"\x08\x00"
+
+
+class TestIntStrip:
+    def test_strip_stage_restores_and_reports(self, controller):
+        from repro.obs.intcol import IntCollector
+
+        controller.run_script(
+            int_strip_load_script(),
+            {"int_strip.rp4": int_strip_rp4_source()},
+        )
+        populate_int_sink_tables(controller.switch.tables)
+        collector = IntCollector()
+        controller.switch.attach_int_collector(collector, node="sink")
+
+        out = controller.switch.inject(
+            ipv4_packet("10.1.0.1", "10.2.0.1", sport=4), 0
+        )
+        assert out is not None
+        # Wire output is back to plain IPv4: insert then strip on the
+        # same device cancels on the wire ...
+        assert out.data[12:14] == b"\x08\x00"
+        restored = Packet(out.data)
+        restored.parse_all(standard_header_types(), standard_linkage())
+        assert restored.header_names()[:2] == ["ethernet", "ipv4"]
+        # ... but the hop record reached the collector device-side.
+        assert len(collector.records) == 1
+        record = collector.records[0]
+        assert record["node"] == "sink"
+        assert record["path"] == [7]
+        assert record["flow"] == "10.1.0.1->10.2.0.1"
 
 
 class TestPrimitives:
@@ -101,7 +173,7 @@ class TestPrimitives:
 
     def test_pop_restores_ethertype(self, controller):
         out = controller.switch.inject(
-            ipv4_packet("10.1.0.1", "10.2.0.1", sport=3), 0
+            ipv4_packet("10.1.0.1", "10.2.0.1", sport=5), 0
         )
         parsed = parse_out(out.data)
         from repro.tables.actions import ActionContext
@@ -115,15 +187,12 @@ class TestPrimitives:
         restored.parse_all(standard_header_types(), standard_linkage())
         assert restored.header_names()[:2] == ["ethernet", "ipv4"]
 
-    def test_double_push_is_idempotent(self, controller):
-        # Two instrumenting switches in a row: the second must not
-        # stack another shim.
-        out = controller.switch.inject(
-            ipv4_packet("10.1.0.1", "10.2.0.1", sport=4), 0
-        )
-        again = controller.switch.inject(out.data, 0)
-        # The flow key no longer matches (ethertype changed -> packet
-        # parses as int_shim first on the reinjection), so at most one
-        # shim is present.
-        if again is not None:
-            assert again.data.count((350).to_bytes(4, "big")) <= 1
+    def test_pop_without_shim_is_a_no_op(self):
+        from repro.tables.actions import ActionContext
+        from repro.tables.primitives import prim_pop_int
+
+        packet = Packet(ipv4_packet("10.1.0.1", "10.2.0.1"))
+        packet.parse_all(standard_header_types(), standard_linkage())
+        before = packet.emit()
+        prim_pop_int(ActionContext(packet))
+        assert packet.emit() == before

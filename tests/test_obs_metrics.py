@@ -157,6 +157,16 @@ class TestRegistry:
         assert "device_packet_bytes_sum 100" in text
         assert text.endswith("\n")
 
+    def test_label_values_escaped(self):
+        # Prometheus text format: backslash, quote, and newline in a
+        # label value must be escaped (and backslash first, so the
+        # escapes themselves survive).
+        reg = MetricsRegistry()
+        reg.counter("flow.hits", flow='10.0.0.1->"evil"\\\n').inc(1)
+        text = reg.to_prometheus()
+        assert 'flow_hits{flow="10.0.0.1->\\"evil\\"\\\\\\n"} 1' in text
+        assert text.count("\n") == 2  # TYPE line + sample line only
+
 
 class TestSwitchRegistry:
     """The switch's registry is the source of truth for snapshot()."""
