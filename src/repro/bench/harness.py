@@ -32,6 +32,7 @@ from repro.bench.scenarios import (
     SWITCHES,
     case_trace,
     make_switch,
+    measure_health_overhead,
     measure_int_overhead,
     measure_update_stall,
 )
@@ -178,6 +179,23 @@ def run_matrix(
                 f"({int_overhead['overhead_pct']:+.1f}%), "
                 f"{int_overhead['hop_records']} hop records"
             )
+    # Health-overhead cell: ns/pkt with the streaming health engine
+    # polling the switch's registry between batches vs without it
+    # (IPSA only -- the engine watches runtime metrics).
+    health_overhead: Optional[dict] = None
+    if "ipsa" in switches:
+        health_overhead = measure_health_overhead(
+            n_packets=(400 if mode == "smoke" else 1600), seed=seed
+        )
+        if log is not None:
+            log(
+                f"health {health_overhead['packets']} pkts: "
+                f"{health_overhead['ns_per_pkt_off']:.0f} -> "
+                f"{health_overhead['ns_per_pkt_on']:.0f} ns/pkt "
+                f"({health_overhead['overhead_pct']:+.1f}%), "
+                f"{health_overhead['ticks']} ticks, "
+                f"{health_overhead['rules']} rules"
+            )
     doc = {
         "schema_version": SCHEMA_VERSION,
         "kind": DOCUMENT_KIND,
@@ -200,6 +218,8 @@ def run_matrix(
     }
     if int_overhead is not None:
         doc["int_overhead"] = int_overhead
+    if health_overhead is not None:
+        doc["health_overhead"] = health_overhead
     problems = validate_bench(doc)
     if problems:  # a harness bug, not a user error -- fail loudly
         raise AssertionError(

@@ -93,6 +93,22 @@ _INT_OVERHEAD_KEYS = {
 #: stack actually recorded hops) is checked by validation.
 DEFAULT_INT_TOLERANCE = 1.0
 
+#: The optional ``health_overhead`` section: one cell (ns/pkt with the
+#: health engine ticking vs no engine).  Pre-health documents lack the
+#: key -- absence is valid.
+_HEALTH_OVERHEAD_KEYS = {
+    "packets": int,
+    "ns_per_pkt_off": (int, float),
+    "ns_per_pkt_on": (int, float),
+    "overhead_ns_per_pkt": (int, float),
+    "overhead_pct": (int, float),
+    "ticks": int,
+    "rules": int,
+}
+#: Default relative tolerance on the engine-on ns/pkt for --compare
+#: (same loose wall-clock gate as the other optional cells).
+DEFAULT_HEALTH_TOLERANCE = 1.0
+
 
 def validate_bench(doc: object) -> List[str]:
     """Structural validation; returns problems (empty list = valid)."""
@@ -180,6 +196,7 @@ def validate_bench(doc: object) -> List[str]:
         )
     problems.extend(_validate_update_stall(doc))
     problems.extend(_validate_int_overhead(doc))
+    problems.extend(_validate_health_overhead(doc))
     return problems
 
 
@@ -275,6 +292,46 @@ def _validate_int_overhead(doc: dict) -> List[str]:
     return problems
 
 
+def _validate_health_overhead(doc: dict) -> List[str]:
+    """Check the optional ``health_overhead`` section.
+
+    Beyond structure, this enforces the cell's point: the engine must
+    actually have ticked with rules installed (zero ticks or zero
+    rules means the "overhead" run evaluated nothing).
+    """
+    if "health_overhead" not in doc:
+        return []  # pre-health-engine documents: absence is valid
+    cell = doc["health_overhead"]
+    if not isinstance(cell, dict):
+        return ["'health_overhead' must be an object"]
+    problems: List[str] = []
+    bad = False
+    for key, types in _HEALTH_OVERHEAD_KEYS.items():
+        if key not in cell:
+            problems.append(f"health_overhead missing {key!r}")
+            bad = True
+        elif not isinstance(cell[key], types):
+            problems.append(f"health_overhead.{key} must be {types}")
+            bad = True
+    if bad:
+        return problems
+    if cell["packets"] <= 0:
+        problems.append("health_overhead.packets must be positive")
+    if cell["ns_per_pkt_off"] <= 0 or cell["ns_per_pkt_on"] <= 0:
+        problems.append("health_overhead ns/pkt figures must be positive")
+    if cell["ticks"] <= 0:
+        problems.append(
+            "health_overhead.ticks must be positive (the engine never "
+            "evaluated, so the cell measured nothing)"
+        )
+    if cell["rules"] <= 0:
+        problems.append(
+            "health_overhead.rules must be positive (an empty rule set "
+            "evaluates nothing)"
+        )
+    return problems
+
+
 # -- regression comparison -------------------------------------------------
 
 
@@ -340,6 +397,7 @@ def compare_documents(
     overhead_tolerance_pct: float = DEFAULT_OVERHEAD_TOLERANCE_PCT,
     stall_tolerance: float = DEFAULT_STALL_TOLERANCE,
     int_tolerance: float = DEFAULT_INT_TOLERANCE,
+    health_tolerance: float = DEFAULT_HEALTH_TOLERANCE,
 ) -> Comparison:
     """Per-metric regression check of ``new`` against baseline ``old``.
 
@@ -357,6 +415,8 @@ def compare_documents(
     The ``int_overhead`` cell regresses when the INT-on ns/pkt grows
     beyond ``int_tolerance`` relative to the baseline; as with stall
     cells, a baseline lacking the section yields a ``new cell`` note.
+    The ``health_overhead`` cell is gated the same way on its
+    engine-on ns/pkt via ``health_tolerance``.
     """
     comparison = Comparison()
     old_index = _index_results(old)
@@ -458,6 +518,25 @@ def compare_documents(
                 new=new_ns,
                 tolerance=int_tolerance,
                 regressed=new_ns > old_ns * (1.0 + int_tolerance),
+            )
+        )
+    old_health = old.get("health_overhead")
+    new_health = new.get("health_overhead")
+    if isinstance(old_health, dict) and not isinstance(new_health, dict):
+        comparison.missing_cells.append("health_overhead")
+    elif isinstance(new_health, dict) and not isinstance(old_health, dict):
+        comparison.new_cells.append("health_overhead")
+    elif isinstance(old_health, dict) and isinstance(new_health, dict):
+        old_ns = old_health["ns_per_pkt_on"]
+        new_ns = new_health["ns_per_pkt_on"]
+        comparison.deltas.append(
+            MetricDelta(
+                cell="health_overhead",
+                metric="ns_per_pkt_on",
+                old=old_ns,
+                new=new_ns,
+                tolerance=health_tolerance,
+                regressed=new_ns > old_ns * (1.0 + health_tolerance),
             )
         )
     return comparison

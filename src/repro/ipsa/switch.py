@@ -157,6 +157,11 @@ class IpsaSwitch:
         self.int_clock: Optional[Clock] = None
         self.int_collector = None
         self.int_node: Optional[str] = None
+        # Flight recorder: a device-bound handle (duck-typed: record)
+        # hung here by HealthEngine.add_source.  Only control-plane
+        # paths (txn abort/commit, rollback) write to it -- the packet
+        # hot path never reads it.
+        self.flight_recorder = None
         self.timelines = TimelineRecorder()
         self.metrics = MetricsRegistry()
         self._packet_bytes = self.metrics.histogram(

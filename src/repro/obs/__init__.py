@@ -28,13 +28,31 @@ instruments the rest of the tree threads through:
 """
 
 from repro.obs.clock import Clock, ManualClock, MonotonicClock, MONOTONIC
+from repro.obs.health import (
+    AbsenceRule,
+    AlertInstance,
+    AlertTransition,
+    BurnRateRule,
+    FlightRecorder,
+    HealthEngine,
+    HistogramSeries,
+    Rule,
+    ThresholdRule,
+    WindowedSeries,
+    default_rules,
+    dump_rules,
+    load_rules,
+    rule_from_dict,
+)
 from repro.obs.intcol import IntCollector, IntIngest, PathChange
 from repro.obs.metrics import (
     Counter,
     Gauge,
     Histogram,
+    HistogramSnapshot,
     MetricsRegistry,
     Sample,
+    bucket_quantile,
 )
 from repro.obs.prof import (
     PHASES,
@@ -52,11 +70,19 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "AbsenceRule",
+    "AlertInstance",
+    "AlertTransition",
+    "BurnRateRule",
     "Clock",
     "Counter",
     "DropReason",
+    "FlightRecorder",
     "Gauge",
+    "HealthEngine",
     "Histogram",
+    "HistogramSeries",
+    "HistogramSnapshot",
     "IntCollector",
     "IntIngest",
     "MONOTONIC",
@@ -70,11 +96,19 @@ __all__ = [
     "Phase",
     "ProfileRecord",
     "Profiler",
+    "Rule",
     "Sample",
     "Span",
+    "ThresholdRule",
     "Timeline",
     "TimelineRecorder",
+    "WindowedSeries",
+    "bucket_quantile",
+    "default_rules",
+    "dump_rules",
     "format_profile",
     "format_timeline",
     "format_trace",
+    "load_rules",
+    "rule_from_dict",
 ]

@@ -37,7 +37,7 @@ from repro.net.headers import (
 from repro.net.linkage import standard_linkage
 from repro.net.packet import Packet
 from repro.obs.export import PathOrFile, write_jsonl
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import Histogram, MetricsRegistry
 
 #: Latency bucket edges in nanoseconds (1us .. 10s, decade ladder).
 LATENCY_BOUNDS_NS = tuple(10**k for k in range(3, 11))
@@ -96,6 +96,7 @@ class IntCollector:
         self._e2e = self.metrics.histogram(
             "int.e2e_latency_ns", LATENCY_BOUNDS_NS
         )
+        self._hop_hists: Dict[int, Histogram] = {}
         # Collector-side parse schema: the standard wire types plus
         # the INT shim (a runtime-loaded type on devices).
         self._types: Dict[str, HeaderType] = dict(standard_header_types())
@@ -173,11 +174,7 @@ class IntCollector:
         annotated = []
         for hop in hops:
             latency = _ts_delta(hop["ingress_ts"], hop["egress_ts"])
-            self.metrics.histogram(
-                "int.hop_latency_ns",
-                LATENCY_BOUNDS_NS,
-                switch=str(hop["switch_id"]),
-            ).observe(latency)
+            self._hop_histogram(hop["switch_id"]).observe(latency)
             annotated.append(dict(hop, latency_ns=latency))
         e2e = (
             _ts_delta(hops[0]["ingress_ts"], hops[-1]["egress_ts"])
@@ -207,6 +204,15 @@ class IntCollector:
         self.records.append(record)
         return record
 
+    def _hop_histogram(self, switch_id: int) -> Histogram:
+        hist = self._hop_hists.get(switch_id)
+        if hist is None:
+            hist = self.metrics.histogram(
+                "int.hop_latency_ns", LATENCY_BOUNDS_NS, switch=str(switch_id)
+            )
+            self._hop_hists[switch_id] = hist
+        return hist
+
     # -- views -------------------------------------------------------------
 
     def flow_path(self, flow: str) -> Optional[Tuple[int, ...]]:
@@ -234,6 +240,18 @@ class IntCollector:
         """Dump records + events as JSON lines; returns the count."""
         return write_jsonl(dest, self.to_dicts())
 
+    def latency_quantile(
+        self, q: float, switch_id: Optional[int] = None
+    ) -> Optional[float]:
+        """Estimated latency quantile in ns -- end-to-end by default,
+        per-hop when ``switch_id`` is given.  Shares the bucket-walk
+        implementation with :meth:`Histogram.quantile`, so health rules
+        and INT analytics agree on the math."""
+        if switch_id is None:
+            return self._e2e.quantile(q)
+        hist = self._hop_hists.get(switch_id)
+        return hist.quantile(q) if hist is not None else None
+
     def summary(self) -> dict:
         """Aggregate view backing ``ipbm-ctl int report``."""
         return {
@@ -244,4 +262,12 @@ class IntCollector:
             },
             "path_changes": len(self.path_changes),
             "epoch_mismatch_packets": int(self._mismatch_packets.value),
+            "e2e_latency_ns": {
+                "p50": self._e2e.quantile(0.50),
+                "p99": self._e2e.quantile(0.99),
+            },
+            "hop_latency_p99_ns": {
+                str(switch): hist.quantile(0.99)
+                for switch, hist in sorted(self._hop_hists.items())
+            },
         }

@@ -97,6 +97,88 @@ class Gauge:
         yield Sample(self.name, value, dict(self.labels), "gauge")
 
 
+def bucket_quantile(
+    bounds: Sequence[float], bucket_counts: Sequence[int], q: float
+) -> Optional[float]:
+    """Estimate the ``q``-quantile of a bucketed distribution.
+
+    ``bucket_counts`` are per-bucket (not cumulative) counts, one per
+    edge in ``bounds`` plus the trailing ``+Inf`` bucket.  The estimate
+    linearly interpolates within the winning bucket, with the first
+    bucket's lower edge taken as 0 -- the same convention Prometheus'
+    ``histogram_quantile`` uses.  A quantile that lands in the ``+Inf``
+    bucket clamps to the highest finite edge; an empty distribution
+    returns ``None``.
+    """
+    total = sum(bucket_counts)
+    if total <= 0:
+        return None
+    q = min(max(q, 0.0), 1.0)
+    rank = q * total
+    cumulative = 0.0
+    for i, count in enumerate(bucket_counts):
+        if count == 0:
+            continue
+        if cumulative + count >= rank:
+            if i >= len(bounds):  # +Inf bucket: clamp to the last edge
+                return float(bounds[-1])
+            lower = float(bounds[i - 1]) if i > 0 else 0.0
+            upper = float(bounds[i])
+            fraction = (rank - cumulative) / count
+            return lower + (upper - lower) * min(max(fraction, 0.0), 1.0)
+        cumulative += count
+    return float(bounds[-1])
+
+
+@dataclass(frozen=True)
+class HistogramSnapshot:
+    """An immutable point-in-time copy of a histogram's buckets.
+
+    Snapshots subtract (``later.delta(earlier)``), which is what turns
+    a cumulative histogram into a *windowed* one: the delta between
+    two snapshots taken ``w`` seconds apart holds exactly the
+    observations of that window, and :meth:`quantile` reads percentiles
+    off it.  The health engine and the INT collector both lean on this
+    instead of keeping raw observation lists.
+    """
+
+    name: str
+    bounds: Tuple[float, ...]
+    counts: Tuple[int, ...]  # per-bucket, last = +Inf
+    count: int
+    sum: float
+
+    def quantile(self, q: float) -> Optional[float]:
+        return bucket_quantile(self.bounds, self.counts, q)
+
+    def delta(self, earlier: "HistogramSnapshot") -> "HistogramSnapshot":
+        """Observations recorded after ``earlier`` was taken.  Counter
+        resets (a shrinking bucket) clamp to zero."""
+        if earlier.bounds != self.bounds:
+            raise ValueError(
+                f"snapshot delta over mismatched bounds for {self.name!r}"
+            )
+        return HistogramSnapshot(
+            name=self.name,
+            bounds=self.bounds,
+            counts=tuple(
+                max(0, now - then)
+                for now, then in zip(self.counts, earlier.counts)
+            ),
+            count=max(0, self.count - earlier.count),
+            sum=max(0.0, self.sum - earlier.sum),
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.sum,
+        }
+
+
 class Histogram:
     """A bounded-bucket histogram (cumulative ``le`` semantics).
 
@@ -142,6 +224,19 @@ class Histogram:
             running += count
             out.append(running)
         return out
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimated ``q``-quantile over all observations so far."""
+        return bucket_quantile(self.bounds, self.bucket_counts, q)
+
+    def snapshot(self) -> HistogramSnapshot:
+        return HistogramSnapshot(
+            name=self.name,
+            bounds=self.bounds,
+            counts=tuple(self.bucket_counts),
+            count=self.count,
+            sum=self.sum,
+        )
 
     def samples(self) -> Iterable[Sample]:
         for edge, cum in zip(self.bucket_edges(), self.cumulative_counts()):
@@ -223,12 +318,35 @@ class MetricsRegistry:
         return samples
 
     def value(self, name: str, default: float = 0, **labels: str) -> float:
-        """Look a single sample up by name + labels (collects first)."""
-        wanted = (name, _label_key({k: str(v) for k, v in labels.items()}))
+        """Look a single sample up by name + labels (collects first).
+
+        Histograms are addressable by base name too: a miss on ``name``
+        falls back to ``name_count`` (the observation count), so rules
+        and callers can target any metric kind uniformly.
+        """
+        key = _label_key({k: str(v) for k, v in labels.items()})
+        wanted = (name, key)
+        fallback = (name + "_count", key)
+        hit = None
         for sample in self.collect():
-            if sample.key() == wanted:
+            sample_key = sample.key()
+            if sample_key == wanted:
                 return sample.value
-        return default
+            if sample_key == fallback and hit is None:
+                hit = sample.value
+        return default if hit is None else hit
+
+    def histogram_snapshot(
+        self, name: str, **labels: str
+    ) -> Optional[HistogramSnapshot]:
+        """Rebuild a :class:`HistogramSnapshot` from collected samples.
+
+        Works for owned histograms *and* collector-produced ones: the
+        cumulative ``name_bucket{le=...}`` samples are undiffed back
+        into per-bucket counts.  Returns ``None`` when no buckets with
+        the given name + labels exist.
+        """
+        return snapshot_from_samples(self.collect(), name, labels)
 
     def to_dict(self) -> Dict[str, float]:
         """Flat ``name{label="v",...}`` -> value mapping (JSON-friendly)."""
@@ -250,6 +368,50 @@ class MetricsRegistry:
             for sample in by_name[metric]:
                 lines.append(f"{_exposition_name(sample)} {_fmt(sample.value)}")
         return "\n".join(lines) + "\n"
+
+
+def snapshot_from_samples(
+    samples: Iterable[Sample],
+    name: str,
+    labels: Optional[Dict[str, str]] = None,
+) -> Optional[HistogramSnapshot]:
+    """Rebuild a histogram snapshot from an already-collected sample
+    list (see :meth:`MetricsRegistry.histogram_snapshot`)."""
+    key = _label_key({k: str(v) for k, v in (labels or {}).items()})
+    buckets: List[Tuple[float, float]] = []  # (edge, cumulative)
+    inf_cum: Optional[float] = None
+    count = 0
+    total = 0.0
+    seen = False
+    for sample in samples:
+        if sample.name == name + "_bucket":
+            rest = {k: v for k, v in sample.labels.items() if k != "le"}
+            if _label_key(rest) != key:
+                continue
+            seen = True
+            edge = sample.labels.get("le", "+Inf")
+            if edge == "+Inf":
+                inf_cum = sample.value
+            else:
+                buckets.append((float(edge), sample.value))
+        elif sample.key() == (name + "_count", key):
+            count = int(sample.value)
+        elif sample.key() == (name + "_sum", key):
+            total = float(sample.value)
+    if not seen:
+        return None
+    buckets.sort(key=lambda pair: pair[0])
+    bounds = tuple(edge for edge, _ in buckets)
+    cumulative = [cum for _, cum in buckets]
+    cumulative.append(inf_cum if inf_cum is not None else float(count))
+    counts: List[int] = []
+    previous = 0.0
+    for cum in cumulative:
+        counts.append(int(max(0.0, cum - previous)))
+        previous = cum
+    return HistogramSnapshot(
+        name=name, bounds=bounds, counts=tuple(counts), count=count, sum=total
+    )
 
 
 def _sanitize(name: str) -> str:

@@ -50,6 +50,18 @@ reconstructed from the hop stacks::
 
     ipbm-ctl int report --nodes 3 --packets 12
     ipbm-ctl int export records.jsonl --metrics-out int.prom
+
+``ipbm-ctl health`` drives the streaming health engine against an
+example fabric: ``check`` runs a fixed number of evaluation ticks and
+exits non-zero if any alert is firing, ``watch`` streams per-tick
+transitions, ``rules`` renders/round-trips rule files, and ``dump``
+runs a deliberately faulty staged rollout and writes the resulting
+flight-recorder post-mortem::
+
+    ipbm-ctl health check --nodes 3 --packets 6 --ticks 4
+    ipbm-ctl health check --fault n1 --json
+    ipbm-ctl health rules --out rules.json
+    ipbm-ctl health dump postmortem.json --nodes 4
 """
 
 from __future__ import annotations
@@ -103,6 +115,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _update_main(argv[1:])
     if argv and argv[0] == "int":
         return _int_main(argv[1:])
+    if argv and argv[0] == "health":
+        return _health_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="ipbm-ctl", description="controller for the ipbm software switch"
     )
@@ -498,6 +512,259 @@ def _int_main(argv: List[str]) -> int:
         with open(args.metrics_out, "w") as fh:
             fh.write(collector.metrics.to_prometheus())
         out.write(f"wrote metrics exposition to {args.metrics_out}\n")
+    return 0
+
+
+# -- streaming health subcommand -------------------------------------------
+
+
+def _health_fabric(n_nodes: int, tsps: int = 8):
+    """N independent base nodes (the example fleet the health engine
+    watches); a manual clock so ticks are deterministic."""
+    from repro.programs import base_rp4_source, populate_base_tables
+    from repro.runtime.fabric import Fabric
+
+    fabric = Fabric()
+    base_source = base_rp4_source()
+    for i in range(n_nodes):
+        controller = Controller(TargetSpec(n_tsps=tsps))
+        controller.load_base(base_source)
+        populate_base_tables(controller.switch.tables)
+        fabric.add_node(f"n{i}", controller)
+    return fabric
+
+
+def _health_rules(path: Optional[str]):
+    from repro.obs.health import default_rules, load_rules
+
+    if path is None:
+        return default_rules()
+    with open(path) as fh:
+        return load_rules(json.load(fh))
+
+
+def _health_main(argv: List[str]) -> int:
+    """``ipbm-ctl health``: check, watch, rules, dump."""
+    from repro.obs.clock import ManualClock
+    from repro.obs.health import dump_rules
+    from repro.workloads import ipv4_packet
+
+    parser = argparse.ArgumentParser(
+        prog="ipbm-ctl health",
+        description="streaming health engine: evaluate, watch, "
+        "round-trip rules, capture post-mortems",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def _common(p):
+        p.add_argument(
+            "--nodes", type=int, default=3, metavar="N",
+            help="fleet size (default: 3)",
+        )
+        p.add_argument(
+            "--packets", type=int, default=6,
+            help="packets injected per node per tick (default: 6)",
+        )
+        p.add_argument(
+            "--ticks", type=int, default=4,
+            help="evaluation ticks to run (default: 4)",
+        )
+        p.add_argument(
+            "--fault", metavar="NODE",
+            help="inject this node's traffic into an unwired port "
+            "(guaranteed drops) to trip the drop-rate rule",
+        )
+        p.add_argument(
+            "--rules", metavar="FILE",
+            help="JSON rule file (default: the stock rule set)",
+        )
+
+    check_p = sub.add_parser(
+        "check", help="run N ticks; exit 1 if any alert is firing"
+    )
+    _common(check_p)
+    check_p.add_argument(
+        "--json", action="store_true",
+        help="emit the health summary as JSON instead of text",
+    )
+    check_p.add_argument(
+        "--metrics-out",
+        help="write the engine's Prometheus exposition (ALERTS series)",
+    )
+
+    watch_p = sub.add_parser(
+        "watch", help="like check, but stream every tick's transitions"
+    )
+    _common(watch_p)
+
+    rules_p = sub.add_parser(
+        "rules", help="render the rule set (and round-trip rule files)"
+    )
+    rules_p.add_argument(
+        "--rules", metavar="FILE", help="load rules from this JSON file"
+    )
+    rules_p.add_argument("--out", metavar="FILE", help="write rules as JSON")
+    rules_p.add_argument(
+        "--json", action="store_true", help="emit the rule set as JSON"
+    )
+
+    dump_p = sub.add_parser(
+        "dump",
+        help="run a deliberately faulty staged rollout, write the "
+        "flight-recorder post-mortem",
+    )
+    dump_p.add_argument("out", help="destination for the post-mortem JSON")
+    dump_p.add_argument("--nodes", type=int, default=4, metavar="N")
+    dump_p.add_argument(
+        "--fault", metavar="NODE",
+        help="wave node whose routing table is cleared pre-rollout "
+        "(default: the last node)",
+    )
+    dump_p.add_argument("--rules", metavar="FILE")
+
+    args = parser.parse_args(argv)
+    out = sys.stdout
+
+    if args.command == "rules":
+        rules = _health_rules(args.rules)
+        payload = dump_rules(rules)
+        if args.out:
+            with open(args.out, "w") as fh:
+                json.dump(payload, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            out.write(f"wrote {len(payload)} rules to {args.out}\n")
+        if args.json:
+            out.write(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        elif not args.out:
+            for rule in rules:
+                spec = rule.to_dict()
+                detail = ", ".join(
+                    f"{k}={v}"
+                    for k, v in sorted(spec.items())
+                    if k not in ("kind", "name", "severity") and v not in (None, {})
+                )
+                out.write(
+                    f"{spec['name']} [{spec['kind']}/{spec['severity']}]: "
+                    f"{detail}\n"
+                )
+        return 0
+
+    if args.command == "dump":
+        return _health_dump(args, out)
+
+    # check / watch: drive a fleet for N ticks under a manual clock.
+    fabric = _health_fabric(args.nodes)
+    if args.fault is not None and args.fault not in fabric.nodes:
+        raise SystemExit(f"--fault {args.fault!r}: no such node")
+    engine = fabric.attach_health(
+        rules=_health_rules(args.rules), clock=ManualClock(tick=0.5)
+    )
+    packet = ipv4_packet("10.1.0.1", "10.2.0.5")
+    for tick in range(args.ticks):
+        for name, controller in fabric.nodes.items():
+            # A faulted node's traffic arrives on an unwired port the
+            # port tables don't know: every packet drops.
+            port = 42 if name == args.fault else 0
+            for _ in range(args.packets):
+                controller.switch.inject(packet, port)
+        transitions = engine.tick()
+        if args.command == "watch":
+            scores = " ".join(
+                f"{name}={engine.device_health(name):.2f}"
+                for name in fabric.nodes
+            )
+            out.write(f"tick {tick}: {scores}\n")
+            for transition in transitions:
+                t = transition.to_dict()
+                out.write(
+                    f"  {t['rule']}@{t['device']}: "
+                    f"{t['from']} -> {t['to']} [{t['severity']}]\n"
+                )
+
+    summary = engine.health_summary()
+    firing = engine.firing()
+    if args.command == "check":
+        if getattr(args, "metrics_out", None):
+            with open(args.metrics_out, "w") as fh:
+                fh.write(engine.to_prometheus())
+            out.write(f"wrote metrics exposition to {args.metrics_out}\n")
+        if args.json:
+            out.write(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+        else:
+            for name, device in sorted(summary["devices"].items()):
+                states = [a["rule"] for a in device["firing"]]
+                out.write(
+                    f"{name}: health={device['score']:.2f}"
+                    + (f" firing={','.join(states)}" if states else "")
+                    + "\n"
+                )
+            out.write(
+                f"{len(firing)} firing, "
+                f"{summary['transitions']} transitions over "
+                f"{args.ticks} ticks\n"
+            )
+    else:
+        out.write(f"{len(firing)} alerts firing after {args.ticks} ticks\n")
+    return 1 if firing else 0
+
+
+def _health_dump(args, out) -> int:
+    """Fault a wave node, run the staged rollout, write the post-mortem."""
+    from repro.obs.clock import ManualClock
+    from repro.programs import srv6_load_script, srv6_rp4_source
+    from repro.runtime.fabric import RolloutError
+    from repro.workloads import ipv4_packet
+
+    if args.nodes < 2:
+        raise SystemExit("dump needs --nodes >= 2 (a canary plus a wave)")
+    fabric = _health_fabric(args.nodes)
+    engine = fabric.attach_health(
+        rules=_health_rules(args.rules), clock=ManualClock(tick=1.0)
+    )
+    victim = args.fault if args.fault is not None else f"n{args.nodes - 1}"
+    if victim not in fabric.nodes:
+        raise SystemExit(f"--fault {victim!r}: no such node")
+    lpm = fabric.node(victim).switch.table("ipv4_lpm")
+    for entry in list(lpm.entries()):
+        lpm.remove_entry(entry)
+
+    probe = [(ipv4_packet("10.1.0.1", "10.2.0.5"), 0)]
+    try:
+        fabric.staged_rollout(
+            srv6_load_script(),
+            {"srv6.rp4": srv6_rp4_source()},
+            probe_trace=probe,
+            soak_ticks=4,
+        )
+    except RolloutError as err:
+        record = err.report.flight_record
+        out.write(
+            f"rollout aborted at {err.failed!r} "
+            f"({type(err.cause).__name__}); rolled back: "
+            f"{', '.join(err.rolled_back) or 'none'}\n"
+        )
+        out.write(
+            "alert transitions: "
+            + "; ".join(
+                f"{a['rule']}@{a['device']} {a['from']}->{a['to']}"
+                for a in err.report.alerts
+            )
+            + "\n"
+        )
+    else:
+        # No fault tripped (e.g. rules too lax): still dump the ring.
+        record = engine.recorder.dump(reason="manual")
+        out.write("rollout completed; dumping the flight ring anyway\n")
+    with open(args.out, "w") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    counts = ", ".join(
+        f"{kind}={n}" for kind, n in sorted(record["counts"].items())
+    )
+    out.write(
+        f"wrote flight record ({record['reason']}, "
+        f"{len(record['events'])} events: {counts}) to {args.out}\n"
+    )
     return 0
 
 

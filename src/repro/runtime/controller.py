@@ -381,6 +381,11 @@ class Controller:
         self.design = previous
         self.history.append("rollback")
         self._n_rollbacks.inc()
+        recorder = getattr(self.switch, "flight_recorder", None)
+        if recorder is not None:
+            # This is the post-mortem trigger: a recorder configured
+            # with dump_on=("rollback",) freezes its ring here.
+            recorder.record("rollback", restored_tables=list(restored))
         return restored
 
     # -- table access ------------------------------------------------------------

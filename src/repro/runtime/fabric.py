@@ -39,6 +39,7 @@ class RolloutError(FabricError):
         cause: Exception,
         rolled_back: Optional[List[str]] = None,
         pending: Optional[List[str]] = None,
+        report: Optional["RolloutReport"] = None,
     ) -> None:
         super().__init__(
             f"{message}: node {failed!r} failed "
@@ -51,6 +52,9 @@ class RolloutError(FabricError):
         self.cause = cause
         self.rolled_back = list(rolled_back or [])
         self.pending = list(pending or [])
+        #: The partial rollout report -- alert transitions and the
+        #: flight-recorder dump captured up to the abort live here.
+        self.report = report
 
 
 @dataclass(frozen=True)
@@ -87,6 +91,9 @@ class Fabric:
         # keeps delivery untouched.
         self.int_collector = None
         self._int_strip = True
+        # Streaming health engine (see attach_health): None keeps the
+        # legacy one-shot probe gate in staged_rollout.
+        self.health = None
 
     # -- topology -------------------------------------------------------
 
@@ -141,6 +148,46 @@ class Fabric:
         """Stop collecting at the edge; returns the detached collector."""
         collector, self.int_collector = self.int_collector, None
         return collector
+
+    def attach_health(self, engine=None, rules=None, clock=None):
+        """Attach a streaming health engine over every current node.
+
+        The engine (default: a fresh :class:`repro.obs.health.
+        HealthEngine` on ``clock``) gets one source per node -- the
+        device registry plus the switch/controller timeline recorders
+        -- and watches the INT collector when one is attached.  With
+        an engine attached, :meth:`staged_rollout` gates on continuous
+        health scores instead of the one-shot probe drop-rate check.
+        ``rules`` defaults to :func:`repro.obs.health.default_rules`
+        when the engine has none installed.  Returns the engine.
+        """
+        from repro.obs.health import HealthEngine, default_rules
+
+        if engine is None:
+            engine = HealthEngine(clock=clock)
+        if rules is not None:
+            engine.install(rules)
+        elif not engine.rules:
+            engine.install(default_rules())
+        for name, controller in self.nodes.items():
+            engine.add_source(
+                name,
+                controller.switch.metrics,
+                switch=controller.switch,
+                timelines=(controller.timelines, controller.switch.timelines),
+            )
+        if self.int_collector is not None:
+            engine.watch_int(self.int_collector)
+        self.health = engine
+        return engine
+
+    def detach_health(self):
+        """Drop the health engine; returns the detached engine."""
+        engine, self.health = self.health, None
+        if engine is not None:
+            for name in list(self.nodes):
+                engine.remove_source(name)
+        return engine
 
     # -- traffic ------------------------------------------------------------
 
@@ -234,19 +281,33 @@ class Fabric:
         max_drop_rate: float = 0.0,
         evidence_trace: Optional[List[Tuple[bytes, int]]] = None,
         evidence_node: Optional[str] = None,
+        soak_ticks: int = 3,
+        min_health: float = 1.0,
     ) -> "RolloutReport":
         """Canary -> health gate -> waves, with automatic rollback.
 
         1. The **canary** node (default: the first) stages and commits
-           the update, then must pass the health gate: the
-           ``probe_trace`` is injected through its front door and the
-           observed drop rate must not exceed ``max_drop_rate``.  A
-           failing canary is rolled back and :class:`RolloutError`
-           raised -- every node is left on its old design/epoch.
+           the update, then must pass the health gate.  A failing
+           canary is rolled back and :class:`RolloutError` raised --
+           every node is left on its old design/epoch.
         2. Remaining nodes are updated in **waves** of ``wave_size``,
            each node gated the same way.  Any failure (update error or
            gate breach) triggers reverse-order rollback of *every*
            committed node before :class:`RolloutError` propagates.
+
+        **The gate.**  Without a health engine attached the gate is the
+        legacy one-shot check: ``probe_trace`` is injected through the
+        node's front door and the observed drop rate must not exceed
+        ``max_drop_rate``.  With :meth:`attach_health`, the gate is
+        continuous: after each commit the node **soaks** for
+        ``soak_ticks`` engine ticks (probe traffic re-injected each
+        tick), its health score must stay at or above ``min_health``,
+        and after every evidence checkpoint the whole committed fleet
+        is re-checked -- a regression *between* waves aborts too.
+        Every alert transition lands in :attr:`RolloutReport.alerts`;
+        on abort the flight recorder freezes into
+        :attr:`RolloutReport.flight_record` and the report rides the
+        raised :class:`RolloutError` (``err.report``).
 
         With an INT collector attached and an ``evidence_trace``, the
         trace is sent end-to-end from ``evidence_node`` (default: the
@@ -291,16 +352,59 @@ class Fabric:
                 }
             )
 
+        def probe(name: str) -> float:
+            result = self.node(name).switch.inject_batch(probe_trace)
+            rate = result.dropped / len(result) if len(result) else 0.0
+            report.probes[name] = rate
+            return rate
+
+        def soak(name: str) -> None:
+            """Continuous gate: probe + engine tick, ``soak_ticks``
+            times; the node's score must hold ``min_health``."""
+            engine = self.health
+            for _ in range(max(1, soak_ticks)):
+                if probe_trace is not None:
+                    probe(name)
+                for transition in engine.tick():
+                    report.alerts.append(transition.to_dict())
+                score = engine.device_health(name)
+                report.health[name] = score
+                if score < min_health:
+                    raise HealthGateError(
+                        f"node {name!r} health {score:.2f} fell below "
+                        f"gate {min_health:.2f} during soak: "
+                        + ", ".join(
+                            a.rule.name for a in engine.firing(name)
+                        )
+                    )
+
+        def fleet_check(after: str) -> None:
+            """Between-wave gate: one tick, every committed node must
+            still hold ``min_health``."""
+            engine = self.health
+            if engine is None or not committed:
+                return
+            for transition in engine.tick():
+                report.alerts.append(transition.to_dict())
+            for name in committed:
+                score = engine.device_health(name)
+                report.health[name] = score
+                if score < min_health:
+                    raise HealthGateError(
+                        f"node {name!r} health {score:.2f} fell below "
+                        f"gate {min_health:.2f} after {after}"
+                    )
+
         def update_and_gate(name: str) -> None:
             controller = self.node(name)
             staged = controller.stage_update(script_text, sources)
             _plan, _stats, timing = staged.commit()
             committed.append(name)
             report.timings[name] = timing.total_seconds
-            if probe_trace is not None:
-                result = self.node(name).switch.inject_batch(probe_trace)
-                rate = result.dropped / len(result) if len(result) else 0.0
-                report.probes[name] = rate
+            if self.health is not None:
+                soak(name)
+            elif probe_trace is not None:
+                rate = probe(name)
                 if rate > max_drop_rate:
                     raise HealthGateError(
                         f"node {name!r} drop rate {rate:.3f} exceeds "
@@ -312,6 +416,10 @@ class Fabric:
             for name in reversed(committed):
                 self.node(name).rollback()
                 rolled_back.append(name)
+            if self.health is not None:
+                report.flight_record = self.health.recorder.dump(
+                    reason="rollout_abort"
+                )
             raise RolloutError(
                 "staged rollout aborted",
                 updated=list(committed),
@@ -319,6 +427,7 @@ class Fabric:
                 cause=cause,
                 rolled_back=rolled_back,
                 pending=pending,
+                report=report,
             ) from cause
 
         try:
@@ -326,6 +435,10 @@ class Fabric:
         except Exception as exc:
             unwind(canary, exc, rest)
         evidence_checkpoint(f"canary:{canary}")
+        try:
+            fleet_check(f"canary:{canary}")
+        except HealthGateError as exc:
+            unwind(canary, exc, rest)
         for wave_index, wave in enumerate(waves):
             for position, name in enumerate(wave):
                 try:
@@ -336,6 +449,14 @@ class Fabric:
                     ]
                     unwind(name, exc, pending)
             evidence_checkpoint(f"wave:{wave_index}")
+            try:
+                fleet_check(f"wave:{wave_index}")
+            except HealthGateError as exc:
+                pending = [n for w in waves[wave_index + 1:] for n in w]
+                unwind(wave[-1] if wave else canary, exc, pending)
+        if self.health is not None:
+            for name in committed:
+                report.health[name] = self.health.device_health(name)
         return report
 
 
@@ -356,3 +477,11 @@ class RolloutReport:
     #: canary and after every wave): ``{"after", "packets", "epochs",
     #: "mismatched_packets"}`` -- see ``staged_rollout``.
     epoch_evidence: List[dict] = field(default_factory=list)
+    #: With a health engine attached: every alert transition observed
+    #: during soak and fleet checks (``AlertTransition.to_dict()``).
+    alerts: List[dict] = field(default_factory=list)
+    #: Last observed health score per gated node.
+    health: Dict[str, float] = field(default_factory=dict)
+    #: Flight-recorder post-mortem bundle, captured on abort (after
+    #: the automatic rollbacks, so their events are included).
+    flight_record: Optional[dict] = None

@@ -145,6 +145,7 @@ class _DeviceTransaction:
         result = self._flip_live()
         self.phase = TxnPhase.COMMITTED
         self._count("txn.committed")
+        self._flight_record("txn_commit")
         return result
 
     def abort(self) -> None:
@@ -159,6 +160,7 @@ class _DeviceTransaction:
             self._timeline.finish()
         self.phase = TxnPhase.ABORTED
         self._count("txn.aborted")
+        self._flight_record("txn_abort")
 
     # -- helpers -------------------------------------------------------
 
@@ -176,6 +178,7 @@ class _DeviceTransaction:
             self._timeline.finish()
         self.phase = TxnPhase.ABORTED
         self._count("txn.aborted")
+        self._flight_record("txn_abort", error=type(exc).__name__)
 
     def _mark_phase(self, name: str, **attrs):
         if self._timeline is not None:
@@ -186,6 +189,11 @@ class _DeviceTransaction:
         metrics = getattr(self.switch, "metrics", None)
         if metrics is not None:
             metrics.counter(name).inc()
+
+    def _flight_record(self, kind: str, **attrs: object) -> None:
+        recorder = getattr(self.switch, "flight_recorder", None)
+        if recorder is not None:
+            recorder.record(kind, txn=self.txn_id, **attrs)
 
     def _observe_stall(self, seconds: float) -> None:
         metrics = getattr(self.switch, "metrics", None)

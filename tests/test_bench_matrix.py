@@ -209,6 +209,46 @@ class TestIntOverhead:
         assert "int_overhead" in comparison.new_cells
 
 
+class TestHealthOverhead:
+    """The ``health_overhead`` cell: engine polling on vs off."""
+
+    def test_smoke_doc_has_the_cell(self, smoke_doc):
+        cell = smoke_doc["health_overhead"]
+        assert cell["packets"] > 0
+        assert cell["ns_per_pkt_off"] > 0 and cell["ns_per_pkt_on"] > 0
+        assert cell["ticks"] > 0 and cell["rules"] > 0
+
+    def test_validation_rejects_dead_engine(self, smoke_doc):
+        doc = copy.deepcopy(smoke_doc)
+        doc["health_overhead"]["ticks"] = 0
+        assert any("never evaluated" in p for p in validate_bench(doc))
+
+    def test_validation_rejects_missing_key(self, smoke_doc):
+        doc = copy.deepcopy(smoke_doc)
+        del doc["health_overhead"]["ns_per_pkt_on"]
+        assert any("ns_per_pkt_on" in p for p in validate_bench(doc))
+
+    def test_section_is_optional_for_old_documents(self, smoke_doc):
+        doc = copy.deepcopy(smoke_doc)
+        del doc["health_overhead"]
+        assert validate_bench(doc) == []
+
+    def test_comparison_regression_detected(self, smoke_doc):
+        worse = copy.deepcopy(smoke_doc)
+        worse["health_overhead"]["ns_per_pkt_on"] *= 3.0
+        comparison = compare_documents(smoke_doc, worse)
+        assert any(
+            d.cell == "health_overhead" for d in comparison.regressions
+        )
+
+    def test_baseline_without_cell_notes_new_cell(self, smoke_doc):
+        old = copy.deepcopy(smoke_doc)
+        del old["health_overhead"]
+        comparison = compare_documents(old, smoke_doc)
+        assert comparison.ok
+        assert "health_overhead" in comparison.new_cells
+
+
 class TestComparison:
     def test_identical_documents_ok(self, smoke_doc):
         comparison = compare_documents(smoke_doc, smoke_doc)

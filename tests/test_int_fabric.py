@@ -58,6 +58,22 @@ class TestMultiHopPath:
         for switch_id in (1, 2, 3):
             assert f'int_hop_latency_ns_count{{switch="{switch_id}"}}' in text
 
+    def test_latency_quantiles(self, line3):
+        fabric, collector = line3
+        for sport in range(1024, 1032):
+            fabric.send("sw0", watched(sport), 0)
+        p50 = collector.latency_quantile(0.5)
+        p99 = collector.latency_quantile(0.99)
+        assert p50 is not None and p99 is not None
+        assert 0 < p50 <= p99
+        # Per-hop quantiles address individual switches; an unknown
+        # switch has no observations.
+        assert collector.latency_quantile(0.99, switch_id=1) > 0
+        assert collector.latency_quantile(0.99, switch_id=77) is None
+        summary = collector.summary()
+        assert summary["e2e_latency_ns"]["p50"] == p50
+        assert set(summary["hop_latency_p99_ns"]) == {"1", "2", "3"}
+
     def test_sink_strip_reports_device_side(self):
         clock = ManualClock(start=1.0, tick=1e-6)
         fabric, collector = make_int_fabric(

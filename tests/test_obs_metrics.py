@@ -6,8 +6,10 @@ from repro.obs.metrics import (
     Counter,
     Gauge,
     Histogram,
+    HistogramSnapshot,
     MetricsRegistry,
     Sample,
+    bucket_quantile,
 )
 
 
@@ -93,6 +95,61 @@ class TestHistogram:
         assert samples[("lat_sum", None)] == 2.5
 
 
+class TestQuantiles:
+    def test_bucket_quantile_interpolates(self):
+        # 10 observations uniform in the (0, 100] bucket: the median
+        # interpolates to the bucket midpoint (lower edge taken as 0).
+        assert bucket_quantile((100, 200), (10, 0, 0), 0.5) == pytest.approx(50.0)
+        # Landing in the second bucket interpolates from its lower edge.
+        assert bucket_quantile((100, 200), (5, 5, 0), 0.9) == pytest.approx(180.0)
+
+    def test_bucket_quantile_edge_cases(self):
+        assert bucket_quantile((100,), (0, 0), 0.5) is None  # empty
+        # Everything in +Inf clamps to the highest finite edge.
+        assert bucket_quantile((100, 200), (0, 0, 7), 0.5) == 200.0
+        # q outside [0, 1] clamps.
+        assert bucket_quantile((100,), (4, 0), 2.0) == pytest.approx(100.0)
+
+    def test_histogram_quantile(self):
+        h = Histogram("lat", bounds=(10, 100, 1000))
+        assert h.quantile(0.5) is None
+        for v in (5, 5, 50, 50, 500, 500):
+            h.observe(v)
+        p50 = h.quantile(0.5)
+        assert 10 < p50 <= 100
+        p99 = h.quantile(0.99)
+        assert 100 < p99 <= 1000
+
+    def test_snapshot_is_frozen_copy(self):
+        h = Histogram("lat", bounds=(10,))
+        h.observe(5)
+        snap = h.snapshot()
+        h.observe(5)
+        assert snap.count == 1 and h.count == 2
+        assert snap.quantile(0.5) == h.snapshot().delta(snap).quantile(0.5)
+
+    def test_snapshot_delta_clamps_and_checks_bounds(self):
+        a = HistogramSnapshot("h", (10.0,), (1, 0), 1, 5.0)
+        b = HistogramSnapshot("h", (10.0,), (3, 1), 4, 25.0)
+        d = b.delta(a)
+        assert d.counts == (2, 1) and d.count == 3 and d.sum == 20.0
+        # Backwards (a counter reset) clamps at zero, never negative.
+        r = a.delta(b)
+        assert r.counts == (0, 0) and r.count == 0 and r.sum == 0.0
+        with pytest.raises(ValueError):
+            a.delta(HistogramSnapshot("h", (99.0,), (0, 0), 0, 0.0))
+
+    def test_snapshot_to_dict(self):
+        snap = HistogramSnapshot("h", (10.0,), (2, 1), 3, 12.0)
+        assert snap.to_dict() == {
+            "name": "h",
+            "bounds": [10.0],
+            "counts": [2, 1],
+            "count": 3,
+            "sum": 12.0,
+        }
+
+
 class TestRegistry:
     def test_get_or_create_is_idempotent(self):
         reg = MetricsRegistry()
@@ -133,6 +190,29 @@ class TestRegistry:
         reg = MetricsRegistry()
         assert reg.value("ghost") == 0
         assert reg.value("ghost", default=99) == 99
+
+    def test_value_reaches_histograms_by_base_name(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", bounds=(10,))
+        h.observe(5)
+        h.observe(50)
+        # Base-name lookup falls back to the observation count, so any
+        # metric kind is addressable the same way.
+        assert reg.value("lat") == 2
+        assert reg.value("lat_sum") == 55
+
+    def test_histogram_snapshot_from_collected_samples(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", bounds=(10, 100), table="x")
+        for v in (5, 50, 500):
+            h.observe(v)
+        snap = reg.histogram_snapshot("lat", table="x")
+        assert snap is not None
+        assert snap.bounds == (10.0, 100.0)
+        assert snap.counts == (1, 1, 1)  # cumulative buckets undiffed
+        assert snap.count == 3 and snap.sum == 555
+        assert reg.histogram_snapshot("lat", table="other") is None
+        assert reg.histogram_snapshot("ghost") is None
 
     def test_to_dict_flat_mapping(self):
         reg = MetricsRegistry()

@@ -296,3 +296,131 @@ class TestStagedRollout:
         fabric = two_node_fabric()
         with pytest.raises(ValueError):
             fabric.staged_rollout(srv6_load_script(), wave_size=0)
+
+
+def drop_rate_rules():
+    from repro.obs.health import ThresholdRule
+
+    return [
+        ThresholdRule(
+            "device-drop-rate",
+            metric="device.packets_dropped",
+            signal="rate",
+            window=5.0,
+            op=">",
+            value=0.0,
+            for_seconds=1.0,
+            severity="critical",
+        )
+    ]
+
+
+class TestHealthGatedRollout:
+    """staged_rollout with a health engine attached: the gate becomes
+    continuous soak scoring instead of the one-shot probe check."""
+
+    def attach(self, fabric):
+        from repro.obs.clock import ManualClock
+
+        engine = fabric.attach_health(
+            rules=drop_rate_rules(), clock=ManualClock(tick=1.0)
+        )
+        return engine
+
+    def test_healthy_fleet_passes_and_reports_scores(self):
+        fabric = two_node_fabric()
+        self.attach(fabric)
+        report = fabric.staged_rollout(
+            srv6_load_script(),
+            {"srv6.rp4": srv6_rp4_source()},
+            probe_trace=GOOD_PROBE,
+        )
+        assert report.health == {"A": 1.0, "B": 1.0}
+        assert report.alerts == []
+        assert report.flight_record is None
+        for name in ("A", "B"):
+            assert "local_sid" in fabric.node(name).switch.tables
+
+    def test_firing_rule_aborts_and_rolls_back_fleet(self):
+        fabric = four_node_fabric()
+        self.attach(fabric)
+        # Sabotage C's routing table: its soak probes all drop, the
+        # drop-rate rule goes pending -> firing, the gate trips.
+        lpm = fabric.node("C").switch.table("ipv4_lpm")
+        for entry in list(lpm.entries()):
+            lpm.remove_entry(entry)
+        with pytest.raises(RolloutError) as excinfo:
+            fabric.staged_rollout(
+                srv6_load_script(),
+                {"srv6.rp4": srv6_rp4_source()},
+                probe_trace=GOOD_PROBE,
+                wave_size=2,
+                soak_ticks=4,
+            )
+        err = excinfo.value
+        assert err.failed == "C"
+        assert isinstance(err.cause, HealthGateError)
+        assert "device-drop-rate" in str(err.cause)
+        assert err.updated == ["A", "B", "C"]
+        assert err.rolled_back == ["C", "B", "A"]
+        assert err.pending == ["D"]
+        for name in ("A", "B", "C", "D"):
+            assert "local_sid" not in fabric.node(name).switch.tables
+        # The report rides the error: C's lifecycle is in the alert
+        # log and its last observed score breached the gate.
+        report = err.report
+        assert report is not None
+        edges = [
+            (a["from"], a["to"])
+            for a in report.alerts
+            if a["device"] == "C"
+        ]
+        assert ("inactive", "pending") in edges
+        assert ("pending", "firing") in edges
+        assert report.health["C"] < 1.0
+
+    def test_abort_captures_flight_record(self):
+        fabric = four_node_fabric()
+        engine = self.attach(fabric)
+        lpm = fabric.node("C").switch.table("ipv4_lpm")
+        for entry in list(lpm.entries()):
+            lpm.remove_entry(entry)
+        with pytest.raises(RolloutError) as excinfo:
+            fabric.staged_rollout(
+                srv6_load_script(),
+                {"srv6.rp4": srv6_rp4_source()},
+                probe_trace=GOOD_PROBE,
+                wave_size=2,
+                soak_ticks=4,
+            )
+        record = excinfo.value.report.flight_record
+        assert record is not None
+        assert record["reason"] == "rollout_abort"
+        # The ring holds the whole story: commits, metric motion, the
+        # alert edges, and the three automatic rollbacks (dumped after
+        # the unwind, so they are included).
+        assert record["counts"]["rollback"] == 3
+        assert record["counts"]["txn_commit"] >= 3  # >= 1 per updated node
+        assert record["counts"]["alert"] >= 2
+        assert record["counts"]["metric"] >= 1
+        rollback_devices = [
+            e["device"] for e in record["events"] if e["kind"] == "rollback"
+        ]
+        assert rollback_devices == ["C", "B", "A"]
+        assert engine.recorder.last_dump() is record
+
+    def test_detach_restores_legacy_probe_gate(self):
+        fabric = two_node_fabric()
+        engine = self.attach(fabric)
+        assert fabric.detach_health() is engine
+        assert fabric.health is None
+        with pytest.raises(RolloutError) as excinfo:
+            fabric.staged_rollout(
+                srv6_load_script(),
+                {"srv6.rp4": srv6_rp4_source()},
+                probe_trace=BAD_PROBE,
+                max_drop_rate=0.0,
+            )
+        err = excinfo.value
+        assert isinstance(err.cause, HealthGateError)
+        assert err.report.flight_record is None  # no engine, no dump
