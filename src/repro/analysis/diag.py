@@ -44,6 +44,8 @@ class Span:
     file: str = "<rp4>"
     line: int = 0  # 1-based; 0 = unknown (AST built without spans)
     column: int = 0
+    #: Exclusive end column (SARIF convention); 0 = single-point span.
+    end_column: int = 0
 
     def __str__(self) -> str:
         if self.line:
@@ -74,6 +76,8 @@ class Diagnostic:
             out["file"] = self.span.file
             out["line"] = self.span.line
             out["column"] = self.span.column
+            if self.span.end_column:
+                out["end_column"] = self.span.end_column
         return out
 
 
@@ -211,9 +215,48 @@ _rule(
     "would see uninitialized data.",
 )
 
+# -- verify family (rp4verify symbolic differential analysis) --------------
+_rule(
+    "RP4L501", Severity.ERROR, "verify", "unintended update divergence",
+    "Symbolic differential analysis found a flow class whose live and "
+    "shadow outcomes differ through an element the update plan never "
+    "claimed to touch; a witness packet demonstrates the divergence.",
+)
+_rule(
+    "RP4L502", Severity.INFO, "verify", "intended update divergence",
+    "A flow class behaves differently under the shadow plan, but every "
+    "differing step is attributable to a stage or table the update plan "
+    "explicitly adds, removes, or migrates.",
+)
+_rule(
+    "RP4L503", Severity.WARNING, "verify", "unclaimed plan drift",
+    "The staged shadow device differs structurally from the live device "
+    "in a stage or table the update plan does not claim (e.g. a corrupted "
+    "or tampered update message); the staged reality disagrees with the "
+    "compiled intent.",
+)
+_rule(
+    "RP4L504", Severity.WARNING, "verify", "epoch-crossing state hazard",
+    "A device-resident extern (sketch/meter) survives the epoch flip but "
+    "its access pattern changes, so in-flight packets executing the old "
+    "plan race the new plan's reads/writes against shared state.",
+)
+_rule(
+    "RP4L505", Severity.WARNING, "verify", "stateful update race",
+    "After the update, two or more stages touch the same device-resident "
+    "extern and the update changed at least one of them, altering the "
+    "inter-stage read/write order on shared state.",
+)
+_rule(
+    "RP4L506", Severity.WARNING, "verify", "verification budget exhausted",
+    "Symbolic path enumeration hit the configured class budget and was "
+    "truncated; equivalence holds only for the enumerated prefix.",
+)
+
 #: Family names in catalogue order (drives docs and reports).
 FAMILIES: Tuple[str, ...] = (
-    "lint", "parse-soundness", "dead-code", "memory", "update-safety"
+    "lint", "parse-soundness", "dead-code", "memory", "update-safety",
+    "verify",
 )
 
 
@@ -239,6 +282,34 @@ def max_severity(diags: Iterable[Diagnostic]) -> Optional[Severity]:
 
 def errors(diags: Iterable[Diagnostic]) -> List[Diagnostic]:
     return [d for d in diags if d.severity is Severity.ERROR]
+
+
+def dedupe(diags: Iterable[Diagnostic]) -> List[Diagnostic]:
+    """Drop exact duplicates (same rule, message, severity, and span).
+
+    Overlapping passes (e.g. lint over a source file and again over the
+    composed design) can emit the same finding twice; reports should
+    show it once.  Order of first occurrence is preserved.
+    """
+    seen: Set[Tuple[str, str, Severity, Optional[Span]]] = set()
+    out: List[Diagnostic] = []
+    for diag in diags:
+        key = (diag.rule, diag.message, diag.severity, diag.span)
+        if key in seen:
+            continue
+        seen.add(key)
+        out.append(diag)
+    return out
+
+
+#: Base URI for per-rule documentation anchors (docs/analysis.md renders
+#: one section per rule; the anchor is the lowercase rule id).
+HELP_URI_BASE = "https://github.com/repro/ipbm/blob/main/docs/analysis.md"
+
+
+def help_uri(rule_id: str) -> str:
+    """Stable documentation URI for a rule (used as SARIF ``helpUri``)."""
+    return f"{HELP_URI_BASE}#{rule_id.lower()}"
 
 
 def promote_warnings(diags: Iterable[Diagnostic]) -> List[Diagnostic]:
@@ -324,7 +395,12 @@ def to_json(diags: Sequence[Diagnostic]) -> dict:
 
 
 def to_sarif(diags: Sequence[Diagnostic]) -> dict:
-    """SARIF 2.1.0 document (one run, rules from the catalogue)."""
+    """SARIF 2.1.0 document (one run, rules from the catalogue).
+
+    Identical findings from overlapping passes are deduplicated so the
+    code-scanning view shows each distinct finding once.
+    """
+    diags = dedupe(diags)
     used = sorted({d.rule for d in diags})
     rules = [
         {
@@ -332,6 +408,7 @@ def to_sarif(diags: Sequence[Diagnostic]) -> dict:
             "name": RULES[rule_id].title.title().replace(" ", ""),
             "shortDescription": {"text": RULES[rule_id].title},
             "fullDescription": {"text": RULES[rule_id].description},
+            "helpUri": help_uri(rule_id),
             "defaultConfiguration": {
                 "level": RULES[rule_id].severity.sarif_level
             },
@@ -354,6 +431,8 @@ def to_sarif(diags: Sequence[Diagnostic]) -> dict:
                     "startLine": diag.span.line,
                     "startColumn": diag.span.column or 1,
                 }
+                if diag.span.end_column:
+                    region["endColumn"] = diag.span.end_column
             location = {
                 "physicalLocation": {
                     "artifactLocation": {"uri": diag.span.file},

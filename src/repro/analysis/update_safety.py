@@ -82,14 +82,18 @@ def check_stranded_fields(
         return []
     before_stages = before.program.all_stages()
     removed_writes: Dict[str, List[str]] = {}  # field -> removed writers
+    star_writers: List[str] = []  # removed stages with write-all effects
     for name in removed:
         eff = before.deps.effects.get(name)
         if eff is None:
             eff = stage_effects(before_stages[name], before.program)
+        if STAR in eff.writes:
+            # Unknown/extern primitive: conservatively a writer of every
+            # metadata field (read-write-all fallback), so draining it
+            # potentially strands anything a survivor still reads.
+            star_writers.append(name)
         for fieldref in _meta_fields(eff.writes):
             removed_writes.setdefault(fieldref, []).append(name)
-    if not removed_writes:
-        return []
 
     after = plan.design
     survivor_effects: Dict[str, StageEffects] = {}
@@ -99,6 +103,16 @@ def check_stranded_fields(
         if eff is None:
             eff = stage_effects(after_stages[name], after.program)
         survivor_effects[name] = eff
+
+    if star_writers:
+        # Every meta field some survivor reads may have depended on the
+        # drained write-all stage; check each of them for live writers.
+        for eff in survivor_effects.values():
+            for fieldref in _meta_fields(eff.reads):
+                writers = removed_writes.setdefault(fieldref, [])
+                writers.extend(n for n in star_writers if n not in writers)
+    if not removed_writes:
+        return []
 
     diags: List[Diagnostic] = []
     for fieldref in sorted(removed_writes):
@@ -112,7 +126,7 @@ def check_stranded_fields(
         readers = sorted(
             name
             for name, eff in survivor_effects.items()
-            if fieldref in eff.reads
+            if fieldref in eff.reads or STAR in eff.reads
         )
         if not readers:
             continue  # nobody consumes it either; plain removal

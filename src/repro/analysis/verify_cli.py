@@ -1,0 +1,272 @@
+"""``rp4verify``: symbolic differential update verification CLI
+(also ``ipbm-ctl verify``).
+
+``--shipped`` stages every built-in snippet update on a freshly
+loaded, table-populated base controller, runs the exhaustive
+differential verifier against the prepared-but-uncommitted shadow,
+and aborts the txn -- the live device is never mutated.  Ad-hoc
+``BASE SCRIPT SNIPPET...`` invocations verify a user-supplied update
+the same way.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.diag import Diagnostic, dumps, errors, promote_warnings
+from repro.analysis.verify import VerifyConfig, VerifyReport, verify_txn
+
+
+def shipped_snippets() -> Dict[str, Tuple[str, str]]:
+    """``{name: (snippet_source, load_script)}`` for the program suite."""
+    from repro.programs import (
+        acl_load_script,
+        acl_rp4_source,
+        ecmp_load_script,
+        ecmp_rp4_source,
+        flowprobe_load_script,
+        flowprobe_rp4_source,
+        hhsketch_load_script,
+        hhsketch_rp4_source,
+        int_load_script,
+        int_rp4_source,
+        int_strip_load_script,
+        int_strip_rp4_source,
+        qos_load_script,
+        qos_rp4_source,
+        srv6_load_script,
+        srv6_rp4_source,
+    )
+
+    return {
+        "acl.rp4": (acl_rp4_source(), acl_load_script()),
+        "ecmp.rp4": (ecmp_rp4_source(), ecmp_load_script()),
+        "flowprobe.rp4": (flowprobe_rp4_source(), flowprobe_load_script()),
+        "hhsketch.rp4": (hhsketch_rp4_source(), hhsketch_load_script()),
+        "int.rp4": (int_rp4_source(), int_load_script()),
+        # Strip-only composition chains directly after the base stage
+        # (the int_insert-chained variant needs int_insert loaded first).
+        "int_strip.rp4": (
+            int_strip_rp4_source(),
+            int_strip_load_script(after="l2_l3"),
+        ),
+        "qos.rp4": (qos_rp4_source(), qos_load_script()),
+        "srv6.rp4": (srv6_rp4_source(), srv6_load_script()),
+    }
+
+
+def _script_source_names(script: str) -> List[str]:
+    names = []
+    for line in script.splitlines():
+        parts = line.split()
+        if parts and parts[0] == "load" and len(parts) > 1:
+            names.append(parts[1])
+    return names
+
+
+def verify_staged(base_source: str, script: str, sources: Dict[str, str],
+                  config: VerifyConfig, path: str) -> VerifyReport:
+    """Stage ``script`` on a fresh base controller, verify the prepared
+    shadow differentially, then abort (zero live-state mutation)."""
+    from repro.programs import populate_base_tables
+    from repro.runtime.controller import Controller
+
+    controller = Controller(lint_updates=False, verify_updates="off")
+    controller.load_base(base_source)
+    try:
+        populate_base_tables(controller.switch.tables)
+    except KeyError:
+        # A user base that isn't the shipped L2/L3 design: verify over
+        # empty tables (every lookup misses into its default action).
+        pass
+    staged = controller.stage_update(script, sources)
+    try:
+        return verify_txn(
+            controller.switch, staged.txn, plan=staged.plan,
+            config=config, path=path,
+        )
+    finally:
+        staged.abort()
+
+
+def _shipped_reports(config: VerifyConfig) -> List[Tuple[str, VerifyReport]]:
+    from repro.programs import base_rp4_source
+
+    base_source = base_rp4_source()
+    reports: List[Tuple[str, VerifyReport]] = []
+    for name, (source, script) in sorted(shipped_snippets().items()):
+        composed = f"base_l2l3+{name}"
+        sources = {key: source for key in _script_source_names(script)}
+        reports.append(
+            (composed, verify_staged(base_source, script, sources,
+                                     config, composed))
+        )
+    return reports
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="rp4verify",
+        description=(
+            "Symbolic differential verification of staged rP4 updates: "
+            "flow-class equivalence, witness packets, stateful hazards."
+        ),
+    )
+    parser.add_argument(
+        "files",
+        nargs="*",
+        metavar="FILE",
+        help=(
+            "BASE.rp4 SCRIPT.upd SNIPPET.rp4... -- verify applying "
+            "SCRIPT (with its snippet sources) to BASE"
+        ),
+    )
+    parser.add_argument(
+        "--shipped",
+        action="store_true",
+        help="verify every built-in base+snippet composed update",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="promote warnings to errors (info findings stay info)",
+    )
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help=(
+            "structural tier only unless unclaimed drift is found "
+            "(the controller gate's default); default here is "
+            "exhaustive flow-class enumeration"
+        ),
+    )
+    parser.add_argument(
+        "--max-classes",
+        type=int,
+        default=VerifyConfig.max_classes,
+        help="flow-class enumeration budget (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--no-witnesses",
+        action="store_true",
+        help="skip witness-packet synthesis and replay confirmation",
+    )
+    parser.add_argument(
+        "--witness-out",
+        metavar="FILE",
+        help="write divergence witnesses (JSON) for test replay",
+    )
+    parser.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        help=(
+            "latency smoke threshold: fail if any single verification "
+            "run takes longer than this many seconds"
+        ),
+    )
+    parser.add_argument(
+        "-o", "--output", help="write the report to a file instead of stdout"
+    )
+    args = parser.parse_args(argv)
+    if not args.files and not args.shipped:
+        parser.error("nothing to verify: pass BASE SCRIPT SNIPPET... or --shipped")
+    if args.files and len(args.files) < 2:
+        parser.error("ad-hoc mode needs at least BASE.rp4 and SCRIPT.upd")
+
+    config = VerifyConfig(
+        max_classes=args.max_classes,
+        exhaustive=not args.fast,
+        witnesses=not args.no_witnesses,
+        confirm=not args.no_witnesses,
+    )
+
+    reports: List[Tuple[str, VerifyReport]] = []
+    if args.files:
+        try:
+            texts = []
+            for path in args.files:
+                with open(path, "r", encoding="utf-8") as handle:
+                    texts.append(handle.read())
+        except OSError as exc:
+            print(f"rp4verify: cannot read input: {exc}", file=sys.stderr)
+            return 2
+        base_source, script = texts[0], texts[1]
+        sources = {
+            os.path.basename(path): text
+            for path, text in zip(args.files[2:], texts[2:])
+        }
+        label = "+".join(os.path.basename(p) for p in args.files[:2])
+        reports.append(
+            (label, verify_staged(base_source, script, sources, config, label))
+        )
+    if args.shipped:
+        reports.extend(_shipped_reports(config))
+
+    diags: List[Diagnostic] = []
+    witnesses: List[dict] = []
+    slow: List[Tuple[str, float]] = []
+    for label, report in reports:
+        diags.extend(report.diagnostics)
+        for cls in report.classes:
+            if cls.classification != "equivalent" and cls.witness is not None:
+                record = cls.to_dict()
+                record["update"] = label
+                witnesses.append(record)
+        if args.max_seconds is not None and report.seconds > args.max_seconds:
+            slow.append((label, report.seconds))
+
+    if args.strict:
+        diags = promote_warnings(diags)
+    diags.sort(
+        key=lambda d: (
+            d.span.file if d.span else "",
+            d.span.line if d.span else 0,
+            d.rule,
+        )
+    )
+    out = dumps(diags, args.format)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(out + "\n")
+    else:
+        print(out)
+    if args.format == "text":
+        for label, report in reports:
+            counts = (
+                f"{len(report.classes)} classes "
+                f"({len(report.equivalent)} equivalent, "
+                f"{len(report.intended)} intended, "
+                f"{len(report.unintended)} unintended)"
+                if report.enumerated
+                else "structural tier only"
+            )
+            line = f"rp4verify: {label}: {counts} in {report.seconds * 1e3:.1f} ms"
+            print(line if not args.output else line, file=sys.stderr)
+    if args.witness_out:
+        with open(args.witness_out, "w", encoding="utf-8") as handle:
+            json.dump({"version": 1, "witnesses": witnesses}, handle, indent=2)
+            handle.write("\n")
+    for label, seconds in slow:
+        print(
+            f"rp4verify: {label}: verification took {seconds:.2f}s "
+            f"(threshold {args.max_seconds:.2f}s)",
+            file=sys.stderr,
+        )
+    if slow:
+        return 1
+    return 1 if errors(diags) else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

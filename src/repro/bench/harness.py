@@ -35,6 +35,9 @@ from repro.bench.scenarios import (
     measure_health_overhead,
     measure_int_overhead,
     measure_update_stall,
+    measure_verify_latency,
+    VERIFY_PROGRAMS,
+    VERIFY_SMOKE_PROGRAMS,
 )
 from repro.bench.schema import (
     DEFAULT_OVERHEAD_TOLERANCE_PCT,
@@ -196,6 +199,23 @@ def run_matrix(
                 f"{health_overhead['ticks']} ticks, "
                 f"{health_overhead['rules']} rules"
             )
+    # Verify-latency cells: exhaustive rp4verify wall time over each
+    # staged base+snippet update, program size on the x-axis (IPSA
+    # only -- verification runs against the staged controller txn).
+    verify_latency: Optional[dict] = None
+    if "ipsa" in switches:
+        verify_latency = measure_verify_latency(
+            programs=(
+                VERIFY_SMOKE_PROGRAMS if mode == "smoke" else VERIFY_PROGRAMS
+            ),
+            best_of=(1 if mode == "smoke" else 3),
+        )
+        if log is not None:
+            for cell in verify_latency["cells"]:
+                log(
+                    f"verify {cell['update']}: {cell['classes']} classes "
+                    f"over {cell['stages']} stages in {cell['ms']:.1f} ms"
+                )
     doc = {
         "schema_version": SCHEMA_VERSION,
         "kind": DOCUMENT_KIND,
@@ -220,6 +240,8 @@ def run_matrix(
         doc["int_overhead"] = int_overhead
     if health_overhead is not None:
         doc["health_overhead"] = health_overhead
+    if verify_latency is not None:
+        doc["verify_latency"] = verify_latency
     problems = validate_bench(doc)
     if problems:  # a harness bug, not a user error -- fail loudly
         raise AssertionError(

@@ -487,3 +487,88 @@ def measure_health_overhead(
         "ticks": ticks,
         "rules": len(rules),
     }
+
+
+# -- rp4verify latency scenario ---------------------------------------------
+
+#: Snippets whose staged update the verify-latency cell measures, in
+#: rough flow-class-count order (program size is the x-axis).
+VERIFY_PROGRAMS = ("acl.rp4", "qos.rp4", "srv6.rp4", "ecmp.rp4", "int.rp4")
+VERIFY_SMOKE_PROGRAMS = ("acl.rp4", "ecmp.rp4")
+
+
+def measure_verify_latency(
+    programs: Tuple[str, ...] = VERIFY_PROGRAMS,
+    best_of: int = 3,
+    max_classes: int = 4096,
+) -> dict:
+    """Exhaustive rp4verify latency vs staged-program size.
+
+    Each base+snippet composition is staged once (prepare + validate,
+    never committed); the symbolic differential verifier then runs
+    ``best_of`` times over the same prepared shadow with exhaustive
+    flow-class enumeration, minimum wall time reported.  Witness
+    synthesis and replay confirmation are left on (the gate's real
+    configuration) -- on these known-safe updates they cost nothing
+    because no divergences exist to confirm, which is itself part of
+    the claim the cell tracks.  Same gc discipline as the overhead
+    cells: a pre-run ``collect()`` so inherited garbage bills nobody,
+    collector paused inside the timed region.
+    """
+    import gc
+
+    from repro.analysis.verify import DeviceView, VerifyConfig, verify_txn
+    from repro.analysis.verify_cli import (
+        _script_source_names,
+        shipped_snippets,
+    )
+
+    if best_of <= 0:
+        raise ValueError("best_of must be positive")
+    snippets = shipped_snippets()
+    config = VerifyConfig(exhaustive=True, max_classes=max_classes)
+    cells: List[dict] = []
+    gc_was_enabled = gc.isenabled()
+    for name in programs:
+        source, script = snippets[name]
+        controller = Controller(lint_updates=False, verify_updates="off")
+        controller.load_base(base_rp4_source())
+        populate_base_tables(controller.switch.tables)
+        sources = {key: source for key in _script_source_names(script)}
+        staged = controller.stage_update(script, sources)
+        try:
+            stages = len(DeviceView.from_txn(staged.txn).schedule)
+            best: dict = {}
+            for _ in range(best_of):
+                gc.collect()
+                gc.disable()
+                try:
+                    report = verify_txn(
+                        controller.switch, staged.txn, plan=staged.plan,
+                        config=config, path=f"base_l2l3+{name}",
+                    )
+                finally:
+                    if gc_was_enabled:
+                        gc.enable()
+                if not best or report.seconds < best["seconds"]:
+                    best = {
+                        "seconds": report.seconds,
+                        "classes": len(report.classes),
+                        "unintended": len(report.unintended),
+                        "truncated": report.truncated,
+                    }
+            cells.append({
+                "update": f"base_l2l3+{name}",
+                "stages": stages,
+                "classes": best["classes"],
+                "unintended": best["unintended"],
+                "truncated": best["truncated"],
+                "ms": best["seconds"] * 1e3,
+            })
+        finally:
+            staged.abort()
+    return {
+        "best_of": best_of,
+        "max_classes": max_classes,
+        "cells": cells,
+    }

@@ -109,6 +109,21 @@ _HEALTH_OVERHEAD_KEYS = {
 #: (same loose wall-clock gate as the other optional cells).
 DEFAULT_HEALTH_TOLERANCE = 1.0
 
+#: The optional ``verify_latency`` section: exhaustive rp4verify wall
+#: time per staged base+snippet update (program size on the x-axis).
+#: Pre-verifier documents lack the key -- absence is valid.
+_VERIFY_LATENCY_CELL_KEYS = {
+    "update": str,
+    "stages": int,
+    "classes": int,
+    "unintended": int,
+    "truncated": bool,
+    "ms": (int, float),
+}
+#: Default relative tolerance on per-update verification wall time for
+#: --compare (same loose wall-clock gate as the other optional cells).
+DEFAULT_VERIFY_TOLERANCE = 1.0
+
 
 def validate_bench(doc: object) -> List[str]:
     """Structural validation; returns problems (empty list = valid)."""
@@ -197,6 +212,7 @@ def validate_bench(doc: object) -> List[str]:
     problems.extend(_validate_update_stall(doc))
     problems.extend(_validate_int_overhead(doc))
     problems.extend(_validate_health_overhead(doc))
+    problems.extend(_validate_verify_latency(doc))
     return problems
 
 
@@ -332,6 +348,67 @@ def _validate_health_overhead(doc: dict) -> List[str]:
     return problems
 
 
+def _validate_verify_latency(doc: dict) -> List[str]:
+    """Check the optional ``verify_latency`` section.
+
+    Beyond structure, this enforces what each cell is for: the
+    enumeration must actually have produced flow classes without
+    hitting the budget (a truncated run's wall time measures the
+    budget, not the program), and the shipped compositions are the
+    known-safe suite -- any unintended divergence means the verifier
+    itself regressed, not the update.
+    """
+    if "verify_latency" not in doc:
+        return []  # pre-verifier documents: absence is valid
+    section = doc["verify_latency"]
+    if not isinstance(section, dict):
+        return ["'verify_latency' must be an object"]
+    problems: List[str] = []
+    for key, types in (("best_of", int), ("max_classes", int),
+                       ("cells", list)):
+        if key not in section:
+            problems.append(f"verify_latency missing {key!r}")
+        elif not isinstance(section[key], types):
+            problems.append(f"verify_latency.{key} must be {types}")
+    if problems:
+        return problems
+    if not section["cells"]:
+        problems.append("verify_latency.cells must not be empty")
+    for i, cell in enumerate(section["cells"]):
+        where = f"verify_latency.cells[{i}]"
+        if not isinstance(cell, dict):
+            problems.append(f"{where} must be an object")
+            continue
+        bad = False
+        for key, types in _VERIFY_LATENCY_CELL_KEYS.items():
+            if key not in cell:
+                problems.append(f"{where} missing {key!r}")
+                bad = True
+            elif not isinstance(cell[key], types):
+                problems.append(f"{where}.{key} must be {types}")
+                bad = True
+        if bad:
+            continue
+        if cell["classes"] <= 0:
+            problems.append(
+                f"{where}.classes must be positive (the enumeration "
+                f"never ran, so the cell measured nothing)"
+            )
+        if cell["ms"] <= 0:
+            problems.append(f"{where}.ms must be positive")
+        if cell["truncated"]:
+            problems.append(
+                f"{where}: truncated enumeration (wall time measures "
+                f"the class budget, not the program)"
+            )
+        if cell["unintended"] != 0:
+            problems.append(
+                f"{where}: {cell['unintended']} unintended divergence(s) "
+                f"on a known-safe shipped update (verifier regression)"
+            )
+    return problems
+
+
 # -- regression comparison -------------------------------------------------
 
 
@@ -398,6 +475,7 @@ def compare_documents(
     stall_tolerance: float = DEFAULT_STALL_TOLERANCE,
     int_tolerance: float = DEFAULT_INT_TOLERANCE,
     health_tolerance: float = DEFAULT_HEALTH_TOLERANCE,
+    verify_tolerance: float = DEFAULT_VERIFY_TOLERANCE,
 ) -> Comparison:
     """Per-metric regression check of ``new`` against baseline ``old``.
 
@@ -416,7 +494,12 @@ def compare_documents(
     beyond ``int_tolerance`` relative to the baseline; as with stall
     cells, a baseline lacking the section yields a ``new cell`` note.
     The ``health_overhead`` cell is gated the same way on its
-    engine-on ns/pkt via ``health_tolerance``.
+    engine-on ns/pkt via ``health_tolerance``.  ``verify_latency``
+    cells (matched on update name) regress when a staged update's
+    exhaustive verification wall time grows beyond
+    ``verify_tolerance`` or when its flow-class count changes at all
+    (enumeration is deterministic, so class drift is a verifier
+    behavior change, not noise).
     """
     comparison = Comparison()
     old_index = _index_results(old)
@@ -537,6 +620,51 @@ def compare_documents(
                 new=new_ns,
                 tolerance=health_tolerance,
                 regressed=new_ns > old_ns * (1.0 + health_tolerance),
+            )
+        )
+
+    def _index_verify(doc: dict) -> Dict[str, dict]:
+        section = doc.get("verify_latency")
+        if not isinstance(section, dict):
+            return {}
+        return {
+            cell["update"]: cell
+            for cell in section.get("cells", [])
+            if isinstance(cell, dict) and "update" in cell
+        }
+
+    old_verify = _index_verify(old)
+    new_verify = _index_verify(new)
+    comparison.missing_cells += [
+        f"verify:{name}" for name in sorted(old_verify.keys() - new_verify.keys())
+    ]
+    comparison.new_cells += [
+        f"verify:{name}" for name in sorted(new_verify.keys() - old_verify.keys())
+    ]
+    for name in sorted(old_verify.keys() & new_verify.keys()):
+        cell = f"verify:{name}"
+        old_cell, new_cell = old_verify[name], new_verify[name]
+        old_ms, new_ms = old_cell["ms"], new_cell["ms"]
+        comparison.deltas.append(
+            MetricDelta(
+                cell=cell,
+                metric="ms",
+                old=old_ms,
+                new=new_ms,
+                tolerance=verify_tolerance,
+                regressed=new_ms > old_ms * (1.0 + verify_tolerance),
+            )
+        )
+        old_classes = old_cell["classes"]
+        new_classes = new_cell["classes"]
+        comparison.deltas.append(
+            MetricDelta(
+                cell=cell,
+                metric="classes",
+                old=old_classes,
+                new=new_classes,
+                tolerance=0.0,
+                regressed=new_classes != old_classes,
             )
         )
     return comparison

@@ -2,7 +2,9 @@
 
 ``rp4fc file.p4 -o out.rp4 --api out_api.py`` transforms P4 to rP4.
 ``rp4bc file.rp4 -o config.json [--script s.txt --snippet name=path]``
-compiles a base design and optionally applies an incremental script.
+compiles a base design and optionally applies an incremental script;
+``--verify`` additionally runs the rp4verify symbolic differential
+verifier over the staged update and rejects unintended divergence.
 """
 
 from __future__ import annotations
@@ -78,7 +80,17 @@ def rp4bc_main(argv: Optional[List[str]] = None) -> int:
         "--no-lint", action="store_true",
         help="skip the rp4lint pre-compile gate entirely",
     )
+    parser.add_argument(
+        "--verify", action="store_true",
+        help=(
+            "run the rp4verify symbolic differential verifier over the "
+            "staged update (requires --script); rejects the compile on "
+            "any unintended divergence"
+        ),
+    )
     args = parser.parse_args(argv)
+    if args.verify and not args.script:
+        parser.error("--verify requires --script (it verifies the update)")
 
     with open(args.rp4_file) as fh:
         source = fh.read()
@@ -101,7 +113,27 @@ def rp4bc_main(argv: Optional[List[str]] = None) -> int:
     if args.script:
         with open(args.script) as fh:
             script_text = fh.read()
-        plan = compile_update(design, script_text, _parse_snippets(args.snippet))
+        snippets = _parse_snippets(args.snippet)
+        if args.verify:
+            from repro.analysis.diag import errors as diag_errors
+            from repro.analysis.verify import VerifyConfig
+            from repro.analysis.verify_cli import verify_staged
+
+            report = verify_staged(
+                source, script_text, snippets,
+                VerifyConfig(exhaustive=True),
+                f"{args.rp4_file}+{args.script}",
+            )
+            for diagnostic in report.diagnostics:
+                print(diagnostic.format(), file=sys.stderr)
+            if diag_errors(report.diagnostics):
+                print(
+                    f"rp4bc: {args.script}: rejected by rp4verify "
+                    f"({len(report.unintended)} unintended divergence(s))",
+                    file=sys.stderr,
+                )
+                return 1
+        plan = compile_update(design, script_text, snippets)
         config = plan.design.config
         config["update"] = {
             "rewritten_tsps": plan.rewritten_tsps,

@@ -34,6 +34,16 @@ before anything touches a device::
     ipbm-ctl lint base.rp4 --strict --format sarif
     ipbm-ctl lint --shipped
 
+``ipbm-ctl verify`` is the rp4verify symbolic differential verifier
+(also installed as the ``rp4verify`` console script): it stages an
+update against a freshly loaded base, enumerates symbolic flow
+classes live-vs-shadow, classifies each as equivalent / intended /
+unintended, and synthesizes replayable witness packets for every
+divergence -- then aborts the txn without touching the device::
+
+    ipbm-ctl verify base.rp4 updates.txt acl.rp4 --format sarif
+    ipbm-ctl verify --shipped --max-seconds 2.0
+
 ``ipbm-ctl update`` drives the transactional update path explicitly:
 ``--staged`` stages (prepare + validate) and then commits with the
 stall reported, ``--abort`` stops after staging and proves the device
@@ -111,6 +121,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.analysis.cli import main as rp4lint_main
 
         return rp4lint_main(argv[1:])
+    if argv and argv[0] == "verify":
+        from repro.analysis.verify_cli import main as rp4verify_main
+
+        return rp4verify_main(argv[1:])
     if argv and argv[0] == "update":
         return _update_main(argv[1:])
     if argv and argv[0] == "int":

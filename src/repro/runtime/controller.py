@@ -42,14 +42,16 @@ class ControllerError(Exception):
 
 
 class UnsafeUpdateError(ControllerError):
-    """The pre-apply rp4lint gate rejected an update plan."""
+    """A pre-apply safety gate (rp4lint or rp4verify) rejected an
+    update plan."""
 
-    def __init__(self, diagnostics) -> None:
+    def __init__(self, diagnostics, gate: str = "rp4lint") -> None:
         super().__init__(
-            "update rejected by rp4lint: "
+            f"update rejected by {gate}: "
             + "; ".join(d.format() for d in diagnostics)
         )
         self.diagnostics = list(diagnostics)
+        self.gate = gate
 
 
 @dataclass
@@ -151,6 +153,7 @@ class Controller:
         target: Optional[TargetSpec] = None,
         switch: Optional[IpsaSwitch] = None,
         lint_updates: bool = True,
+        verify_updates: str = "warn",
     ) -> None:
         self.target = target or TargetSpec()
         self.switch = switch or IpsaSwitch(n_tsps=self.target.n_tsps)
@@ -160,8 +163,21 @@ class Controller:
         #: bounds, no stranded fields, post-update program re-lint)
         #: before anything touches the live switch.
         self.lint_updates = lint_updates
+        #: rp4verify staging gate mode: ``off`` skips it, ``warn``
+        #: records the report without blocking, ``error`` aborts the
+        #: staged txn on error-severity findings (confirmed unintended
+        #: divergence), ``strict`` aborts on warnings too.
+        if verify_updates not in ("off", "warn", "error", "strict"):
+            raise ValueError(
+                f"verify_updates must be off/warn/error/strict, "
+                f"got {verify_updates!r}"
+            )
+        self.verify_updates = verify_updates
         #: Diagnostics from the most recent update gate (warnings/info).
         self.last_lint: List[object] = []
+        #: :class:`~repro.analysis.verify.VerifyReport` from the most
+        #: recent rp4verify staging gate run (None while ``off``).
+        self.last_verify = None
         self.history: List[str] = []
         self._undo: List[_UndoRecord] = []
         self.timelines = TimelineRecorder()
@@ -269,6 +285,8 @@ class Controller:
         txn.validators.append(check_pool)
         txn.prepare()
         txn.validate()
+        if self.verify_updates != "off":
+            self._verify_gate(plan, txn, timeline)
         return StagedUpdate(
             self, plan, update, txn, timeline, timing, freed_entries,
             len(script_text),
@@ -297,6 +315,45 @@ class Controller:
         if fatal:
             raise UnsafeUpdateError(fatal)
         self.last_lint = diagnostics
+
+    def _verify_gate(self, plan: UpdatePlan, txn, timeline) -> None:
+        """rp4verify staging gate: differential verification of the
+        prepared shadow against the live device, run after validate
+        and before the :class:`StagedUpdate` is handed back -- the
+        last word before any epoch flip.
+
+        The default two-tier configuration is cheap: a structural
+        claimed-vs-staged diff plus an extern hazard scan; full
+        symbolic flow-class enumeration (with witness synthesis and
+        pure-replay confirmation) only kicks in when unclaimed drift
+        is detected.  On a fatal finding the staged txn is aborted --
+        device byte-identical -- and :class:`UnsafeUpdateError` is
+        raised.
+        """
+        from repro.analysis.diag import Severity
+        from repro.analysis.verify import verify_txn
+
+        report = verify_txn(self.switch, txn, plan=plan)
+        self.last_verify = report
+        timeline.phase(
+            "verify",
+            classes=len(report.classes),
+            drift=len(report.drift),
+            findings=len(report.diagnostics),
+        )
+        threshold = (
+            Severity.WARNING
+            if self.verify_updates == "strict"
+            else Severity.ERROR
+        )
+        fatal = [d for d in report.diagnostics if d.severity >= threshold]
+        if fatal and self.verify_updates in ("error", "strict"):
+            self.channel.send({"txn": txn.txn_id}, kind="update.abort")
+            txn.abort()
+            timeline.phase("abort")
+            timeline.finish()
+            self.history.append("verify-reject")
+            raise UnsafeUpdateError(fatal, gate="rp4verify")
 
     # -- failback ---------------------------------------------------------
 

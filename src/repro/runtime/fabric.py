@@ -283,8 +283,19 @@ class Fabric:
         evidence_node: Optional[str] = None,
         soak_ticks: int = 3,
         min_health: float = 1.0,
+        verify: str = "error",
     ) -> "RolloutReport":
         """Canary -> health gate -> waves, with automatic rollback.
+
+        **Verify-before-canary.**  The canary's controller runs its
+        rp4verify staging gate in ``verify`` mode (default ``error``):
+        a staged update whose differential verification finds a
+        confirmed unintended divergence is aborted while still shadow
+        -- the rollout fails before *any* node in the fabric flips an
+        epoch.  Pass ``verify="inherit"`` to keep the node's own gate
+        mode, or ``"strict"``/``"warn"``/``"off"`` to override.
+        Non-canary waves always inherit their node's configuration
+        (the canary already proved the update).
 
         1. The **canary** node (default: the first) stages and commits
            the update, then must pass the health gate.  A failing
@@ -430,10 +441,16 @@ class Fabric:
                 report=report,
             ) from cause
 
+        canary_controller = self.node(canary)
+        previous_verify = canary_controller.verify_updates
+        if verify != "inherit":
+            canary_controller.verify_updates = verify
         try:
             update_and_gate(canary)
         except Exception as exc:
             unwind(canary, exc, rest)
+        finally:
+            canary_controller.verify_updates = previous_verify
         evidence_checkpoint(f"canary:{canary}")
         try:
             fleet_check(f"canary:{canary}")

@@ -371,6 +371,172 @@ user_funcs {
 UNSAFE_SCRIPT = "add_link entry reader\ndel_link entry writer\n"
 
 
+# -- rp4verify fixtures (RP4L5xx) --------------------------------------------
+
+#: Channel tamper used by the RP4L501/RP4L503 fixtures: corrupt the
+#: rehosted-but-unchanged ``port_map`` stage inside the ACL update's
+#: rewritten template, so every packet drops at the staged stage while
+#: the plan claims only ``stage:acl`` -- unclaimed drift with a
+#: replayable divergence.
+def tamper_port_map(controller) -> None:
+    original = controller.channel.send
+
+    def tampered(message, kind="control"):
+        if kind == "update.prepare":
+            for template in message.get("templates", []):
+                for stage in template["stages"]:
+                    if stage["name"] == "port_map":
+                        stage["executor"] = {"default": "drop"}
+        return original(message, kind=kind)
+
+    controller.channel.send = tampered
+
+
+def staged_base_controller(verify_updates: str = "off"):
+    """A base-loaded, table-populated controller (gates off so the
+    fixtures drive rp4verify directly)."""
+    from repro.programs import populate_base_tables
+    from repro.runtime.controller import Controller
+
+    controller = Controller(lint_updates=False, verify_updates=verify_updates)
+    controller.load_base(base_rp4_source())
+    populate_base_tables(controller.switch.tables)
+    return controller
+
+
+_VERIFY_DIAGS: Dict[str, List[Diagnostic]] = {}
+
+
+def _verify_diags(rule_id: str) -> List[Diagnostic]:
+    """Lazily run the two rp4verify scenarios the RP4L50x fixtures
+    share (one clean ECMP staging, one tampered ACL staging) and cache
+    the diagnostics per rule."""
+    if _VERIFY_DIAGS:
+        return _VERIFY_DIAGS[rule_id]
+    from repro.analysis.diag import Severity
+    from repro.analysis.verify import VerifyConfig, verify_txn
+    from repro.programs import (
+        acl_load_script,
+        acl_rp4_source,
+        ecmp_load_script,
+        ecmp_rp4_source,
+    )
+
+    # Clean ECMP staging: claimed drift only -> intended divergences
+    # (RP4L502); a one-class budget on the same txn -> RP4L506.
+    controller = staged_base_controller()
+    staged = controller.stage_update(
+        ecmp_load_script(), {"ecmp.rp4": ecmp_rp4_source()}
+    )
+    quiet = dict(witnesses=False, confirm=False)
+    _VERIFY_DIAGS["RP4L502"] = verify_txn(
+        controller.switch, staged.txn, plan=staged.plan,
+        config=VerifyConfig(exhaustive=True, **quiet),
+    ).diagnostics
+    _VERIFY_DIAGS["RP4L506"] = verify_txn(
+        controller.switch, staged.txn, plan=staged.plan,
+        config=VerifyConfig(exhaustive=True, max_classes=1, **quiet),
+    ).diagnostics
+    staged.abort()
+
+    # Tampered ACL staging: unclaimed drift (RP4L503) with confirmed
+    # unintended divergences (RP4L501).  Unconfirmed classes are
+    # downgraded to warnings by design; the golden fixture pins the
+    # catalogue (error) severity, so keep only the confirmed ones --
+    # the downgrade path has its own test in test_analysis_verify.
+    controller = staged_base_controller()
+    tamper_port_map(controller)
+    staged = controller.stage_update(
+        acl_load_script(), {"acl.rp4": acl_rp4_source()}
+    )
+    report = verify_txn(controller.switch, staged.txn, plan=staged.plan)
+    staged.abort()
+    _VERIFY_DIAGS["RP4L501"] = [
+        d for d in report.diagnostics
+        if d.rule != "RP4L501" or d.severity is Severity.ERROR
+    ]
+    _VERIFY_DIAGS["RP4L503"] = report.diagnostics
+    return _VERIFY_DIAGS[rule_id]
+
+
+def _fire_501() -> List[Diagnostic]:
+    return _verify_diags("RP4L501")
+
+
+def _fire_502() -> List[Diagnostic]:
+    return _verify_diags("RP4L502")
+
+
+def _fire_503() -> List[Diagnostic]:
+    return _verify_diags("RP4L503")
+
+
+def _sketch_stage(name: str, table: str = "t"):
+    return SimpleNamespace(
+        name=name,
+        parser_headers=["ethernet"],
+        arms=[(None, None, table)],
+        executor={1: name + "_act", "default": "NoAction"},
+    )
+
+
+def _sketch_view(label: str, stages, actions):
+    from repro.analysis.verify import DeviceView
+
+    return DeviceView(
+        label, [("ingress", s) for s in stages], {}, actions, {}, {},
+        None, "ethernet",
+    )
+
+
+def _fire_504() -> List[Diagnostic]:
+    # The same sketch survives the epoch flip but its access pattern
+    # (hashed fields) changes -- in-flight old-epoch packets race the
+    # new epoch's writes.
+    from repro.analysis.verify import verify_views
+    from repro.tables.actions import ActionDef, SketchUpdate
+
+    live = _sketch_view(
+        "live", [_sketch_stage("s1")],
+        {"s1_act": ActionDef("s1_act", [], [
+            SketchUpdate("flows", ["ethernet.dst_addr"], "meta.x")
+        ])},
+    )
+    shadow = _sketch_view(
+        "shadow", [_sketch_stage("s1")],
+        {"s1_act": ActionDef("s1_act", [], [
+            SketchUpdate("flows", ["ethernet.ethertype"], "meta.x")
+        ])},
+    )
+    return verify_views(live, shadow, path="plan").diagnostics
+
+
+def _fire_505() -> List[Diagnostic]:
+    # After the update two stages (one of them newly added) hit the
+    # same sketch: a cross-stage stateful read-write race.
+    from repro.analysis.verify import verify_views
+    from repro.tables.actions import ActionDef, SketchUpdate
+
+    update = ActionDef("s1_act", [], [
+        SketchUpdate("flows", ["ethernet.dst_addr"], "meta.x")
+    ])
+    second = ActionDef("s2_act", [], [
+        SketchUpdate("flows", ["ethernet.dst_addr"], "meta.y")
+    ])
+    live = _sketch_view("live", [_sketch_stage("s1")], {"s1_act": update})
+    shadow = _sketch_view(
+        "shadow", [_sketch_stage("s1"), _sketch_stage("s2")],
+        {"s1_act": update, "s2_act": second},
+    )
+    return verify_views(
+        live, shadow, claimed={"stage:s2"}, path="plan"
+    ).diagnostics
+
+
+def _fire_506() -> List[Diagnostic]:
+    return _verify_diags("RP4L506")
+
+
 #: rule ID -> zero-argument callable producing diagnostics that include
 #: at least one finding for that rule.
 FIXTURES: Dict[str, Callable[[], List[Diagnostic]]] = {
@@ -394,4 +560,10 @@ FIXTURES: Dict[str, Callable[[], List[Diagnostic]]] = {
     "RP4L304": _fire_304,
     "RP4L401": _fire_401,
     "RP4L402": _fire_402,
+    "RP4L501": _fire_501,
+    "RP4L502": _fire_502,
+    "RP4L503": _fire_503,
+    "RP4L504": _fire_504,
+    "RP4L505": _fire_505,
+    "RP4L506": _fire_506,
 }

@@ -8,13 +8,16 @@ import pytest
 from tests.analysis_fixtures import FIXTURES
 from repro.analysis.diag import (
     FAMILIES,
+    HELP_URI_BASE,
     RULES,
     Diagnostic,
     Severity,
     Span,
+    dedupe,
     dumps,
     errors,
     filter_suppressed,
+    help_uri,
     make,
     max_severity,
     promote_warnings,
@@ -190,3 +193,46 @@ def test_sarif_report_schema():
 def test_dumps_rejects_unknown_format():
     with pytest.raises(ValueError):
         dumps([], "xml")
+
+
+def test_end_column_in_json_and_sarif():
+    """A span with an end column carries it through both structured
+    emitters; without one, neither emitter invents the key."""
+    with_end = make("RP4L102", "conflict", Span("a.rp4", 2, 5, end_column=9))
+    assert with_end.to_dict()["end_column"] == 9
+    doc = to_sarif([with_end])
+    location = doc["runs"][0]["results"][0]["locations"][0]
+    region = location["physicalLocation"]["region"]
+    assert region == {"startLine": 2, "startColumn": 5, "endColumn": 9}
+    without = make("RP4L102", "conflict", Span("a.rp4", 2, 5))
+    assert "end_column" not in without.to_dict()
+
+
+def test_sarif_rules_carry_stable_help_uris():
+    doc = to_sarif(_sample())
+    for rule in doc["runs"][0]["tool"]["driver"]["rules"]:
+        assert rule["helpUri"] == help_uri(rule["id"])
+        assert rule["helpUri"] == (
+            f"{HELP_URI_BASE}#{rule['id'].lower()}"
+        )
+    # The anchor scheme holds for the whole catalogue, including the
+    # rp4verify family.
+    assert help_uri("RP4L501").endswith("docs/analysis.md#rp4l501")
+
+
+def test_dedupe_drops_exact_duplicates_only():
+    span = Span("a.rp4", 2, 5)
+    twice = [
+        make("RP4L102", "conflict", span),
+        make("RP4L102", "conflict", span),
+        make("RP4L102", "conflict", Span("a.rp4", 3, 1)),  # other span
+        make("RP4L102", "different message", span),
+    ]
+    kept = dedupe(twice)
+    assert len(kept) == 3
+    assert kept[0] is twice[0]  # first occurrence wins
+
+
+def test_sarif_results_are_deduped():
+    doc = to_sarif(_sample() + _sample())
+    assert len(doc["runs"][0]["results"]) == len(_sample())

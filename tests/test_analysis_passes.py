@@ -184,6 +184,43 @@ def test_surviving_writer_unstrands_the_field():
     assert lint_update(design, plan) == []
 
 
+def test_unknown_primitive_drain_is_conservatively_stranding(monkeypatch):
+    """Golden fixture for the read-write-all fallback: a drained stage
+    whose action calls an extern primitive with *no effects summary*
+    (a plugin extern the dependency pass has never heard of) gets
+    ``STAR`` effect sets, so it is conservatively a writer of every
+    metadata field a survivor still reads -- pruning it fires RP4L402
+    even though no textual ``meta.x`` write exists anywhere."""
+    from repro.analysis.update_safety import check_stranded_fields
+    from repro.compiler.dependency import STAR
+    from repro.rp4 import semantic
+    from repro.tables import primitives
+    from tests.analysis_fixtures import UNSAFE_SCRIPT
+
+    # Register the extern with the behavioral model only, the way a
+    # plugin primitive would arrive: the semantic checker admits it
+    # and the device can execute it, but PRIMITIVE_EFFECTS has no
+    # summary for it.
+    monkeypatch.setattr(
+        semantic, "KNOWN_PRIMITIVES",
+        semantic.KNOWN_PRIMITIVES | {"scrub_state"},
+    )
+    monkeypatch.setitem(primitives.PRIMITIVES, "scrub_state", lambda ctx: None)
+    source = MINI_CHAIN.replace("meta.x = v;", "scrub_state();")
+    design = compile_base(source, lint="off")
+    effects = design.deps.effects["writer"]
+    assert STAR in effects.writes  # the fallback actually engaged
+    plan = compile_update(design, UNSAFE_SCRIPT, {})
+    assert "writer" in plan.removed_stages
+    strands = [
+        d for d in check_stranded_fields(design, plan)
+        if d.rule == "RP4L402"
+    ]
+    assert strands
+    assert "writer" in strands[0].message
+    assert "meta.x" in strands[0].message
+
+
 def test_shipped_ecmp_script_is_safe():
     """The paper's Fig. 5 ECMP upgrade prunes the nexthop stage; the
     FIB stages keep writing meta.nexthop, so nothing strands."""

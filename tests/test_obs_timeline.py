@@ -172,7 +172,9 @@ class TestControllerTimelines:
         _, _, timing = apply_ecmp(controller)
         timeline = controller.timelines.latest("run_script")
         durations = timeline.durations()
-        assert list(durations) == ["compile", "lint", "transfer", "apply"]
+        assert list(durations) == [
+            "compile", "lint", "transfer", "verify", "apply"
+        ]
         assert timing.compile_seconds == pytest.approx(durations["compile"])
         assert timing.load_seconds == pytest.approx(
             durations["transfer"] + durations["apply"]
