@@ -32,6 +32,7 @@ from repro.bench.scenarios import (
     SWITCHES,
     case_trace,
     make_switch,
+    measure_fabric_scale,
     measure_health_overhead,
     measure_int_overhead,
     measure_update_stall,
@@ -216,6 +217,32 @@ def run_matrix(
                     f"verify {cell['update']}: {cell['classes']} classes "
                     f"over {cell['stages']} stages in {cell['ms']:.1f} ms"
                 )
+    # Fabric-scale cells: one staged-rollout wave over the whole fleet,
+    # serial fabric vs the sharded device-worker runtime (IPSA only --
+    # the fabric drives runtime-loaded controllers).  Full mode runs
+    # the headline 1000-node fleet with 2 workers: on a single-core
+    # box worker threads are GIL-serialized, so the speedup comes from
+    # plan-cache amortization and batched framed commands, and more
+    # threads just thrash the scheduler.
+    fabric_scale: List[dict] = []
+    if "ipsa" in switches:
+        fabric_cells = (
+            [(48, 4, 8)] if mode == "smoke" else [(1000, 2, 25)]
+        )
+        for n_nodes, n_workers, wave_size in fabric_cells:
+            cell = measure_fabric_scale(
+                n_nodes=n_nodes, n_workers=n_workers, wave_size=wave_size
+            )
+            fabric_scale.append(cell)
+            if log is not None:
+                log(
+                    f"fabric {cell['nodes']} nodes x{cell['workers']} workers: "
+                    f"serial {cell['serial_seconds']:.2f} s -> sharded "
+                    f"{cell['sharded_seconds']:.2f} s "
+                    f"({cell['speedup_x']:.2f}x, plan cache "
+                    f"{cell['plan_cache_hits']}/{cell['plan_cache_misses']} "
+                    f"hit/miss)"
+                )
     doc = {
         "schema_version": SCHEMA_VERSION,
         "kind": DOCUMENT_KIND,
@@ -242,6 +269,8 @@ def run_matrix(
         doc["health_overhead"] = health_overhead
     if verify_latency is not None:
         doc["verify_latency"] = verify_latency
+    if fabric_scale:
+        doc["fabric_scale"] = fabric_scale
     problems = validate_bench(doc)
     if problems:  # a harness bug, not a user error -- fail loudly
         raise AssertionError(

@@ -572,3 +572,106 @@ def measure_verify_latency(
         "max_classes": max_classes,
         "cells": cells,
     }
+
+
+# -- fabric scale: serial vs sharded fleet rollout ---------------------------
+
+
+def make_fleet(n_nodes: int, populate: bool = True):
+    """``n_nodes`` isolated base-design devices in one fabric.
+
+    The base source is compiled once and the same design loaded
+    everywhere (:meth:`Controller.load_design`), so fleet build time
+    is dominated by the per-node download -- the only part that
+    genuinely repeats per device.
+    """
+    from repro.compiler.rp4bc import compile_base
+    from repro.runtime.fabric import Fabric
+
+    if n_nodes <= 0:
+        raise ValueError("n_nodes must be positive")
+    fabric = Fabric()
+    controller = Controller()
+    design = compile_base(base_rp4_source(), controller.target)
+    controller.load_design(design)
+    if populate:
+        populate_base_tables(controller.switch.tables)
+    fabric.add_node("n0", controller)
+    for index in range(1, n_nodes):
+        controller = Controller()
+        controller.load_design(design)
+        if populate:
+            populate_base_tables(controller.switch.tables)
+        fabric.add_node(f"n{index}", controller)
+    return fabric
+
+
+def measure_fabric_scale(
+    n_nodes: int = 1000,
+    n_workers: int = 8,
+    wave_size: int = 25,
+) -> dict:
+    """Staged-rollout wall clock: serial fabric vs sharded runtime.
+
+    One fleet, two identical rollouts of the SRv6 load script (with a
+    one-packet probe gate per node): first on the plain serial fabric,
+    then -- after :meth:`Fabric.rollback_all` restores every node to
+    the base design -- on the same fleet sharded across ``n_workers``
+    device workers with the fleet-wide update-plan cache installed.
+    The sharded runtime wins on both axes the refactor targets: wave
+    staging fans out across the workers, and the canary's compile /
+    lint / verify artifacts are reused by every content-identical
+    node.
+    """
+    import gc
+    import time
+
+    from repro.workloads.builders import ipv4_packet
+
+    script = srv6_load_script()
+    sources = {"srv6.rp4": srv6_rp4_source()}
+    probe_trace = [(ipv4_packet("10.1.0.1", "10.2.0.5"), 0)]
+    fabric = make_fleet(n_nodes)
+
+    def settle() -> None:
+        # A deployed switch serves traffic, so its live plan cache is
+        # warm; and the fleet itself is long-lived state, so it is
+        # frozen out of the young GC generations.  Both legs start
+        # from the same settled state.
+        for name in fabric.nodes:
+            fabric.node(name).switch.dp.plan()
+        gc.collect()
+        gc.freeze()
+
+    settle()
+    start = time.perf_counter()
+    fabric.staged_rollout(
+        script, sources, wave_size=wave_size, probe_trace=probe_trace
+    )
+    serial_seconds = time.perf_counter() - start
+    fabric.rollback_all()
+
+    fabric.shard(n_workers)
+    try:
+        settle()
+        start = time.perf_counter()
+        fabric.staged_rollout(
+            script, sources, wave_size=wave_size, probe_trace=probe_trace
+        )
+        sharded_seconds = time.perf_counter() - start
+        cache = fabric.plan_cache
+        hits, misses = cache.hits, cache.misses
+    finally:
+        fabric.unshard()
+        gc.unfreeze()
+    sharded_seconds = max(sharded_seconds, 1e-9)
+    return {
+        "nodes": n_nodes,
+        "workers": n_workers,
+        "wave_size": wave_size,
+        "serial_seconds": serial_seconds,
+        "sharded_seconds": sharded_seconds,
+        "speedup_x": serial_seconds / sharded_seconds,
+        "plan_cache_hits": hits,
+        "plan_cache_misses": misses,
+    }

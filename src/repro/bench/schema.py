@@ -124,6 +124,24 @@ _VERIFY_LATENCY_CELL_KEYS = {
 #: --compare (same loose wall-clock gate as the other optional cells).
 DEFAULT_VERIFY_TOLERANCE = 1.0
 
+#: The optional ``fabric_scale`` section: staged-rollout wall clock on
+#: the serial fabric vs the sharded worker runtime, one cell per fleet
+#: size.  Pre-sharding documents lack the key -- absence is valid.
+_FABRIC_SCALE_KEYS = {
+    "nodes": int,
+    "workers": int,
+    "wave_size": int,
+    "serial_seconds": (int, float),
+    "sharded_seconds": (int, float),
+    "speedup_x": (int, float),
+    "plan_cache_hits": int,
+    "plan_cache_misses": int,
+}
+#: Default relative tolerance on the sharded rollout wall clock for
+#: --compare.  Loose like the other wall-clock gates; the structural
+#: invariant (sharded strictly beats serial) is checked by validation.
+DEFAULT_FABRIC_SCALE_TOLERANCE = 1.0
+
 
 def validate_bench(doc: object) -> List[str]:
     """Structural validation; returns problems (empty list = valid)."""
@@ -213,6 +231,7 @@ def validate_bench(doc: object) -> List[str]:
     problems.extend(_validate_int_overhead(doc))
     problems.extend(_validate_health_overhead(doc))
     problems.extend(_validate_verify_latency(doc))
+    problems.extend(_validate_fabric_scale(doc))
     return problems
 
 
@@ -409,6 +428,70 @@ def _validate_verify_latency(doc: dict) -> List[str]:
     return problems
 
 
+def _validate_fabric_scale(doc: dict) -> List[str]:
+    """Check the optional ``fabric_scale`` section.
+
+    Beyond structure, this enforces the sharded runtime's headline
+    property: at every measured fleet size the sharded rollout must be
+    *strictly faster* than the serial fabric, the recorded speedup
+    must be consistent with the two wall clocks, and the fleet-wide
+    plan cache must actually have produced hits (zero hits means the
+    amortization the cell exists to measure never happened).
+    """
+    if "fabric_scale" not in doc:
+        return []  # pre-sharding documents: absence is valid
+    section = doc["fabric_scale"]
+    if not isinstance(section, list):
+        return ["'fabric_scale' must be a list"]
+    if not section:
+        return ["'fabric_scale' must not be empty"]
+    problems: List[str] = []
+    for i, cell in enumerate(section):
+        where = f"fabric_scale[{i}]"
+        if not isinstance(cell, dict):
+            problems.append(f"{where} must be an object")
+            continue
+        bad = False
+        for key, types in _FABRIC_SCALE_KEYS.items():
+            if key not in cell:
+                problems.append(f"{where} missing {key!r}")
+                bad = True
+            elif not isinstance(cell[key], types):
+                problems.append(f"{where}.{key} must be {types}")
+                bad = True
+        if bad:
+            continue
+        for key in ("nodes", "workers", "wave_size"):
+            if cell[key] <= 0:
+                problems.append(f"{where}.{key} must be positive")
+        if cell["serial_seconds"] <= 0 or cell["sharded_seconds"] <= 0:
+            problems.append(f"{where} wall clocks must be positive")
+            continue
+        if cell["sharded_seconds"] >= cell["serial_seconds"]:
+            problems.append(
+                f"{where}: sharded rollout took "
+                f"{cell['sharded_seconds']:.3f} s, not strictly below "
+                f"the serial fabric's {cell['serial_seconds']:.3f} s"
+            )
+        implied = cell["serial_seconds"] / cell["sharded_seconds"]
+        if abs(cell["speedup_x"] - implied) > 1e-6 * max(implied, 1.0):
+            problems.append(
+                f"{where}.speedup_x {cell['speedup_x']:.6f} inconsistent "
+                f"with serial/sharded = {implied:.6f}"
+            )
+        if cell["plan_cache_hits"] <= 0:
+            problems.append(
+                f"{where}.plan_cache_hits must be positive (no hits "
+                f"means the fleet-wide amortization never happened)"
+            )
+        if cell["plan_cache_misses"] <= 0:
+            problems.append(
+                f"{where}.plan_cache_misses must be positive (someone "
+                f"must have compiled the plan the hits reused)"
+            )
+    return problems
+
+
 # -- regression comparison -------------------------------------------------
 
 
@@ -476,6 +559,7 @@ def compare_documents(
     int_tolerance: float = DEFAULT_INT_TOLERANCE,
     health_tolerance: float = DEFAULT_HEALTH_TOLERANCE,
     verify_tolerance: float = DEFAULT_VERIFY_TOLERANCE,
+    fabric_tolerance: float = DEFAULT_FABRIC_SCALE_TOLERANCE,
 ) -> Comparison:
     """Per-metric regression check of ``new`` against baseline ``old``.
 
@@ -499,7 +583,10 @@ def compare_documents(
     exhaustive verification wall time grows beyond
     ``verify_tolerance`` or when its flow-class count changes at all
     (enumeration is deterministic, so class drift is a verifier
-    behavior change, not noise).
+    behavior change, not noise).  ``fabric_scale`` cells (matched on
+    fleet size) regress when the sharded rollout wall clock grows
+    beyond ``fabric_tolerance`` or the measured speedup falls below
+    the baseline by more than the same factor.
     """
     comparison = Comparison()
     old_index = _index_results(old)
@@ -665,6 +752,50 @@ def compare_documents(
                 new=new_classes,
                 tolerance=0.0,
                 regressed=new_classes != old_classes,
+            )
+        )
+
+    def _index_fabric(doc: dict) -> Dict[int, dict]:
+        section = doc.get("fabric_scale")
+        if not isinstance(section, list):
+            return {}
+        return {
+            cell["nodes"]: cell
+            for cell in section
+            if isinstance(cell, dict) and isinstance(cell.get("nodes"), int)
+        }
+
+    old_fabric = _index_fabric(old)
+    new_fabric = _index_fabric(new)
+    comparison.missing_cells += [
+        f"fabric:{nodes}" for nodes in sorted(old_fabric.keys() - new_fabric.keys())
+    ]
+    comparison.new_cells += [
+        f"fabric:{nodes}" for nodes in sorted(new_fabric.keys() - old_fabric.keys())
+    ]
+    for nodes in sorted(old_fabric.keys() & new_fabric.keys()):
+        cell = f"fabric:{nodes}"
+        old_cell, new_cell = old_fabric[nodes], new_fabric[nodes]
+        old_s, new_s = old_cell["sharded_seconds"], new_cell["sharded_seconds"]
+        comparison.deltas.append(
+            MetricDelta(
+                cell=cell,
+                metric="sharded_s",
+                old=old_s,
+                new=new_s,
+                tolerance=fabric_tolerance,
+                regressed=new_s > old_s * (1.0 + fabric_tolerance),
+            )
+        )
+        old_x, new_x = old_cell["speedup_x"], new_cell["speedup_x"]
+        comparison.deltas.append(
+            MetricDelta(
+                cell=cell,
+                metric="speedup_x",
+                old=old_x,
+                new=new_x,
+                tolerance=fabric_tolerance,
+                regressed=new_x < old_x * (1.0 - fabric_tolerance),
             )
         )
     return comparison

@@ -17,7 +17,14 @@ only the pointer swap; fleets roll out via
 health gates and automatic rollback.
 """
 
-from repro.runtime.channel import ChannelError, ControlChannel
+from repro.runtime.channel import (
+    ChannelError,
+    ControlChannel,
+    FrameError,
+    LoopbackTransport,
+    QueueTransport,
+    Transport,
+)
 from repro.runtime.controller import (
     Controller,
     ControllerError,
@@ -33,6 +40,12 @@ from repro.runtime.fabric import (
     RolloutReport,
 )
 from repro.runtime.stats import diff, format_stats, snapshot
+from repro.runtime.workers import (
+    DeviceWorker,
+    UpdatePlanCache,
+    WorkerError,
+    merge_shard_into,
+)
 from repro.runtime.table_api import TableApi
 from repro.runtime.txn import (
     TxnError,
@@ -47,13 +60,20 @@ __all__ = [
     "Controller",
     "ControllerError",
     "Delivery",
+    "DeviceWorker",
     "Fabric",
     "FlowTiming",
+    "FrameError",
     "HealthGateError",
+    "LoopbackTransport",
+    "QueueTransport",
     "RolloutError",
     "RolloutReport",
     "StagedUpdate",
     "TableApi",
+    "Transport",
+    "UpdatePlanCache",
+    "WorkerError",
     "TxnError",
     "TxnPhase",
     "TxnStateError",
@@ -61,5 +81,6 @@ __all__ = [
     "UnsafeUpdateError",
     "diff",
     "format_stats",
+    "merge_shard_into",
     "snapshot",
 ]

@@ -1,94 +1,344 @@
 """The control channel between controller and device (the CCM analogue).
 
-Messages are genuinely serialized to JSON text and parsed back on the
-"device side", so the measured loading time includes the
-communication/marshalling cost -- the paper notes t_L "contains the
-communication time with the device" and that the true pipeline stall
-is shorter.
+Messages are genuinely serialized -- each envelope ``{"seq": n,
+"kind": k, "payload": ...}`` becomes a length-prefixed UTF-8 frame
+(a 4-byte big-endian length followed by the JSON body) that crosses
+an abstract :class:`Transport` before the "device side" parses it
+back, so the measured loading time includes the communication/
+marshalling cost -- the paper notes t_L "contains the communication
+time with the device" and that the true pipeline stall is shorter.
 
-Every message travels in an envelope ``{"seq": n, "kind": k,
-"payload": ...}``: ``seq`` is a channel-monotonic sequence number
-(verified on the receive side -- a replay or reordering is a
-:class:`ChannelError`; gaps are legal, they are what a lost message
-leaves behind), and ``kind`` names the protocol step
-(``config.load``, ``update.prepare``, ``update.commit``,
-``update.abort``, ``update.rollback``), with per-kind message/byte
-counters exported through the metrics registry.
+``seq`` is a channel-monotonic sequence number (verified on the
+receive side -- a replay or reordering is a :class:`ChannelError`;
+gaps are legal, they are what a lost message leaves behind), and
+``kind`` names the protocol step (``config.load``, ``update.prepare``,
+``update.commit``, ``update.abort``, ``update.rollback``, plus the
+``worker.*`` command kinds the sharded runtime adds).  Both sides are
+accounted: per-kind message/byte counters for send *and* receive, and
+a per-kind transit-latency histogram, all exported through the
+metrics registry.
+
+Two transports ship:
+
+* :class:`LoopbackTransport` -- an in-process frame queue, the
+  default; ``send()`` stays synchronous exactly as before.
+* :class:`QueueTransport` -- frames over a pair of queue objects
+  (``queue.Queue`` by default; ``multiprocessing.Queue`` works too
+  since only bytes cross), which is what the device workers use to
+  run each shard's receive loop on its own thread/process.
 """
 
 from __future__ import annotations
 
 import json
+import queue
+import struct
+import time
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Set
+from typing import Deque, Dict, Optional, Set, Tuple
 
-from repro.obs.metrics import Sample
+from repro.obs.metrics import Histogram, Sample
+
+#: Default size of the in-memory message log ring.  The log is a
+#: debugging aid (the first bytes of recent frames), not an audit
+#: trail -- a soak that pushes millions of envelopes must not grow it.
+DEFAULT_LOG_CAPACITY = 256
+
+#: Bucket edges (seconds) for the per-kind transit-latency histogram.
+LATENCY_SECONDS_BOUNDS = (
+    1e-6, 5e-6, 1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 0.1,
+)
+
+_LENGTH = struct.Struct(">I")
 
 
 class ChannelError(Exception):
     """The channel refused or lost a message."""
 
 
+class FrameError(ChannelError):
+    """A byte frame failed to encode or decode."""
+
+
+def encode_frame(envelope: dict) -> bytes:
+    """Serialize an envelope into one length-prefixed UTF-8 frame."""
+    body = json.dumps(envelope, sort_keys=True).encode("utf-8")
+    return _LENGTH.pack(len(body)) + body
+
+
+def decode_frame(frame: bytes) -> dict:
+    """Parse one length-prefixed frame back into its envelope."""
+    if len(frame) < _LENGTH.size:
+        raise FrameError(f"short frame: {len(frame)} bytes")
+    (length,) = _LENGTH.unpack_from(frame)
+    body = frame[_LENGTH.size:]
+    if len(body) != length:
+        raise FrameError(
+            f"frame length prefix says {length} bytes, got {len(body)}"
+        )
+    try:
+        envelope = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise FrameError(f"undecodable frame body: {exc}") from exc
+    if not isinstance(envelope, dict) or "seq" not in envelope:
+        raise FrameError("frame body is not an envelope")
+    return envelope
+
+
+class Transport:
+    """Where frames travel: an ordered byte-frame pipe."""
+
+    def send(self, frame: bytes) -> None:
+        raise NotImplementedError
+
+    def recv(self, timeout: Optional[float] = None) -> bytes:
+        """Next frame; raises :class:`ChannelError` on timeout."""
+        raise NotImplementedError
+
+    def pending(self) -> int:
+        """Frames sent but not yet received (best effort)."""
+        raise NotImplementedError
+
+
+class LoopbackTransport(Transport):
+    """In-process transport: frames sit in a deque until received."""
+
+    def __init__(self) -> None:
+        self._frames: Deque[bytes] = deque()
+
+    def send(self, frame: bytes) -> None:
+        self._frames.append(frame)
+
+    def recv(self, timeout: Optional[float] = None) -> bytes:
+        if not self._frames:
+            raise ChannelError("loopback transport is empty")
+        return self._frames.popleft()
+
+    def pending(self) -> int:
+        return len(self._frames)
+
+
+class QueueTransport(Transport):
+    """Frames over a queue object (``queue.Queue`` by default).
+
+    Only bytes cross, so any queue with ``put``/``get``/``qsize``
+    works -- including ``multiprocessing.Queue`` for a true remote
+    device side.  ``recv`` blocks up to ``timeout`` seconds.
+    """
+
+    def __init__(self, channel_queue=None) -> None:
+        self._queue = channel_queue if channel_queue is not None else queue.Queue()
+
+    def send(self, frame: bytes) -> None:
+        self._queue.put(frame)
+
+    def recv(self, timeout: Optional[float] = None) -> bytes:
+        try:
+            return self._queue.get(timeout=timeout)
+        except queue.Empty:
+            raise ChannelError(
+                f"no frame within {timeout!r}s"
+            ) from None
+
+    def pending(self) -> int:
+        try:
+            return self._queue.qsize()
+        except NotImplementedError:  # macOS multiprocessing queues
+            return 0
+
+
 @dataclass
 class KindStats:
-    """Per-message-kind traffic accounting."""
+    """Per-message-kind traffic accounting (both directions)."""
 
     messages: int = 0
     bytes_sent: int = 0
+    messages_received: int = 0
+    bytes_received: int = 0
 
 
 @dataclass
 class ChannelStats:
     messages: int = 0
     bytes_sent: int = 0
+    messages_received: int = 0
+    bytes_received: int = 0
     by_kind: Dict[str, KindStats] = field(default_factory=dict)
 
 
 class ControlChannel:
-    """A serializing in-process channel with sequenced envelopes."""
+    """A serializing byte channel with sequenced envelopes.
 
-    def __init__(self) -> None:
+    ``send()`` is the synchronous path the controller uses over the
+    default loopback: serialize, transmit, receive, return the parsed
+    payload.  The sharded runtime splits the two halves -- ``post()``
+    on the sending side, ``deliver()`` wherever the receive loop runs
+    -- over a :class:`QueueTransport` pair.
+    """
+
+    def __init__(
+        self,
+        transport: Optional[Transport] = None,
+        log_capacity: int = DEFAULT_LOG_CAPACITY,
+        clock=None,
+    ) -> None:
+        if log_capacity <= 0:
+            raise ValueError("log_capacity must be positive")
+        self.transport = transport if transport is not None else LoopbackTransport()
         self.stats = ChannelStats()
-        self.log: List[str] = []
+        #: Bounded ring of recent frame prefixes (debugging aid).
+        self.log: Deque[str] = deque(maxlen=log_capacity)
         self.seq = 0
         self._last_delivered = 0
+        self._clock = clock if clock is not None else time.perf_counter
+        #: seq -> send timestamp, popped at delivery (transit latency).
+        self._sent_at: Dict[int, float] = {}
+        self._latency: Dict[str, Histogram] = {}
         #: Fault injection: kinds in this set are "lost in transit" --
         #: the send raises :class:`ChannelError` after serialization,
         #: so byte accounting still sees the attempt.
         self.drop_kinds: Set[str] = set()
+        #: Fault injection: a kind in this set is held back one send
+        #: and transmitted *after* the next frame -- the receive-side
+        #: sequence check then reports the reordering.
+        self.reorder_kinds: Set[str] = set()
+        self._held: Optional[bytes] = None
 
-    def send(self, message: dict, kind: str = "config.load") -> dict:
+    @property
+    def log_capacity(self) -> int:
+        return self.log.maxlen or 0
+
+    # -- send side -------------------------------------------------------
+
+    def post(
+        self,
+        message: dict,
+        kind: str = "config.load",
+        payload_json: Optional[str] = None,
+    ) -> int:
+        """Serialize and transmit one envelope; returns its ``seq``.
+
+        The receive half (:meth:`deliver`) may run on another thread
+        or process; the synchronous :meth:`send` composes the two.
+
+        ``payload_json`` is an optional pre-serialized (sorted-keys)
+        rendering of ``message``: a fleet sending the same large
+        update to a thousand nodes serializes it once and splices it
+        into each frame.  The bytes on the wire are identical to the
+        un-spliced encoding.
+        """
+        self.seq += 1
+        seq = self.seq
+        if payload_json is None:
+            envelope = {"seq": seq, "kind": kind, "payload": message}
+            frame = encode_frame(envelope)
+        else:
+            body = (
+                '{"kind": ' + json.dumps(kind)
+                + ', "payload": ' + payload_json
+                + ', "seq": ' + str(seq) + "}"
+            ).encode("utf-8")
+            frame = _LENGTH.pack(len(body)) + body
+        self.stats.messages += 1
+        self.stats.bytes_sent += len(frame)
+        per_kind = self.stats.by_kind.setdefault(kind, KindStats())
+        per_kind.messages += 1
+        per_kind.bytes_sent += len(frame)
+        self.log.append(frame[_LENGTH.size:_LENGTH.size + 120].decode(
+            "utf-8", "replace"
+        ))
+        self._sent_at[seq] = self._clock()
+        if kind in self.drop_kinds:
+            self._sent_at.pop(seq, None)
+            raise ChannelError(f"message seq={seq} kind={kind!r} dropped")
+        if kind in self.reorder_kinds and self._held is None:
+            self._held = frame  # transmitted behind the next frame
+            return seq
+        self.transport.send(frame)
+        if self._held is not None:
+            held, self._held = self._held, None
+            self.transport.send(held)
+        return seq
+
+    # -- receive side ----------------------------------------------------
+
+    def deliver(self, timeout: Optional[float] = None) -> Tuple[str, dict, int]:
+        """Receive, verify, and account one frame.
+
+        Returns ``(kind, payload, seq)``.  A replayed or reordered
+        sequence number is a :class:`ChannelError` -- the frame is
+        still accounted (the device *did* receive the bytes).
+        """
+        frame = self.transport.recv(timeout)
+        envelope = decode_frame(frame)
+        seq = int(envelope["seq"])
+        kind = str(envelope.get("kind", ""))
+        self.stats.messages_received += 1
+        self.stats.bytes_received += len(frame)
+        per_kind = self.stats.by_kind.setdefault(kind, KindStats())
+        per_kind.messages_received += 1
+        per_kind.bytes_received += len(frame)
+        sent_at = self._sent_at.pop(seq, None)
+        if sent_at is not None:
+            histogram = self._latency.get(kind)
+            if histogram is None:
+                histogram = Histogram(
+                    "channel.latency_seconds",
+                    LATENCY_SECONDS_BOUNDS,
+                    labels={"kind": kind},
+                )
+                self._latency[kind] = histogram
+            histogram.observe(max(0.0, self._clock() - sent_at))
+        if seq <= self._last_delivered:
+            raise ChannelError(
+                f"out-of-order delivery: got seq={seq}, "
+                f"already delivered up to {self._last_delivered}"
+            )
+        self._last_delivered = seq
+        return kind, envelope["payload"], seq
+
+    # -- synchronous composition ------------------------------------------
+
+    def send(
+        self,
+        message: dict,
+        kind: str = "config.load",
+        payload_json: Optional[str] = None,
+    ) -> dict:
         """Serialize, 'transmit', and deserialize a message.
 
         Returns the deserialized *payload* (what the device acts on),
         exactly as the pre-envelope channel returned the message.
         """
-        self.seq += 1
-        envelope = {"seq": self.seq, "kind": kind, "payload": message}
-        text = json.dumps(envelope, sort_keys=True)
-        self.stats.messages += 1
-        self.stats.bytes_sent += len(text)
-        per_kind = self.stats.by_kind.setdefault(kind, KindStats())
-        per_kind.messages += 1
-        per_kind.bytes_sent += len(text)
-        self.log.append(text[:120])
-        if kind in self.drop_kinds:
-            raise ChannelError(f"message seq={self.seq} kind={kind!r} dropped")
-        received = json.loads(text)
-        if received["seq"] <= self._last_delivered:
-            raise ChannelError(
-                f"out-of-order delivery: got seq={received['seq']}, "
-                f"already delivered up to {self._last_delivered}"
-            )
-        self._last_delivered = received["seq"]
-        return received["payload"]
+        self.post(message, kind, payload_json)
+        _kind, payload, _seq = self.deliver()
+        return payload
 
     # -- observability -------------------------------------------------
 
     def metrics_samples(self):
         yield Sample("channel.messages", self.stats.messages)
         yield Sample("channel.bytes_sent", self.stats.bytes_sent)
+        yield Sample(
+            "channel.messages_received", self.stats.messages_received
+        )
+        yield Sample("channel.bytes_received", self.stats.bytes_received)
         yield Sample("channel.seq", self.seq, {}, "gauge")
         for kind, stats in self.stats.by_kind.items():
             yield Sample("channel.messages", stats.messages, {"kind": kind})
-            yield Sample("channel.bytes_sent", stats.bytes_sent, {"kind": kind})
+            yield Sample(
+                "channel.bytes_sent", stats.bytes_sent, {"kind": kind}
+            )
+            yield Sample(
+                "channel.messages_received",
+                stats.messages_received,
+                {"kind": kind},
+            )
+            yield Sample(
+                "channel.bytes_received",
+                stats.bytes_received,
+                {"kind": kind},
+            )
+        for histogram in self._latency.values():
+            yield from histogram.samples()

@@ -72,6 +72,15 @@ flight-recorder post-mortem::
     ipbm-ctl health check --fault n1 --json
     ipbm-ctl health rules --out rules.json
     ipbm-ctl health dump postmortem.json --nodes 4
+
+``ipbm-ctl soak`` runs the fleet soak harness (``python -m
+repro.bench.soak``): a sharded fleet replays a known-forwarding trace
+through every node while staged rollouts cycle continuously, then the
+run's traffic, metric-consistency, memory, and rollout checks are
+reported (``--validate`` gates on them)::
+
+    ipbm-ctl soak --nodes 50 --packets 100000 --validate
+    ipbm-ctl soak                       # full: 1000 nodes, 10M packets
 """
 
 from __future__ import annotations
@@ -131,6 +140,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _int_main(argv[1:])
     if argv and argv[0] == "health":
         return _health_main(argv[1:])
+    if argv and argv[0] == "soak":
+        from repro.bench.soak import main as soak_main
+
+        return soak_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="ipbm-ctl", description="controller for the ipbm software switch"
     )

@@ -15,6 +15,7 @@ The rP4 design flow (paper Fig. 3) end to end:
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -178,6 +179,12 @@ class Controller:
         #: :class:`~repro.analysis.verify.VerifyReport` from the most
         #: recent rp4verify staging gate run (None while ``off``).
         self.last_verify = None
+        #: Optional fleet-shared :class:`~repro.runtime.workers.
+        #: UpdatePlanCache`.  When set, :meth:`stage_update` reuses a
+        #: content-identical compile (plus its lint findings and clean
+        #: verify report) instead of recomputing them per node -- the
+        #: sharded fabric installs one cache across a whole rollout.
+        self.plan_cache = None
         self.history: List[str] = []
         self._undo: List[_UndoRecord] = []
         self.timelines = TimelineRecorder()
@@ -220,6 +227,31 @@ class Controller:
         self._h_load.observe(timing.load_seconds)
         return timing
 
+    def load_design(self, design: CompiledDesign) -> FlowTiming:
+        """Download an already-compiled base design.
+
+        The fleet fast path: a thousand-node fabric compiles the base
+        source once and loads the same design everywhere -- only the
+        per-node download (channel transfer + device load) repeats.
+        """
+        timing = FlowTiming()
+        timeline = self.timelines.begin(
+            "load_design", tables=len(design.config.get("tables", {}))
+        )
+        check_config(design.config, n_tsps=self.target.n_tsps)
+        timeline.phase("validate")
+        config = self.channel.send(design.config, kind="config.load")
+        self.switch.load_config(config)
+        timing.load_seconds = timeline.phase(
+            "load", tables=len(config.get("tables", {}))
+        ).duration
+        timeline.finish()
+        self.design = design
+        self.history.append("load_design")
+        self._n_base_loads.inc()
+        self._h_load.observe(timing.load_seconds)
+        return timing
+
     # -- incremental flow ----------------------------------------------------
 
     def stage_update(
@@ -240,18 +272,47 @@ class Controller:
         timeline = self.timelines.begin(
             "run_script", script_bytes=len(script_text)
         )
-        plan = compile_update(self.design, script_text, sources)
-        timing.compile_seconds = timeline.phase(
-            "compile", rewritten_tsps=list(plan.rewritten_tsps)
-        ).duration
+        cache = self.plan_cache
+        entry = None
+        fingerprint = None
+        if cache is not None:
+            fingerprint = cache.fingerprint(self.design, script_text, sources)
+            entry = cache.get(fingerprint)
+        if entry is not None:
+            plan = entry.plan
+            timing.compile_seconds = timeline.phase(
+                "compile",
+                rewritten_tsps=list(plan.rewritten_tsps),
+                cached=True,
+            ).duration
+        else:
+            plan = compile_update(self.design, script_text, sources)
+            timing.compile_seconds = timeline.phase(
+                "compile", rewritten_tsps=list(plan.rewritten_tsps)
+            ).duration
 
         if self.lint_updates:
-            self._lint_gate(plan)
-            timeline.phase("lint", findings=len(self.last_lint))
+            if entry is not None and entry.lint is not None:
+                # The cached compile passed the gate; its (non-fatal)
+                # findings apply verbatim to a content-identical node.
+                self.last_lint = list(entry.lint)
+                timeline.phase(
+                    "lint", findings=len(self.last_lint), cached=True
+                )
+            else:
+                self._lint_gate(plan)
+                timeline.phase("lint", findings=len(self.last_lint))
 
-        update = self.channel.send(
-            plan.update_message(self.design.config), kind="update.prepare"
-        )
+        if entry is not None:
+            message = entry.message
+            update = self.channel.send(
+                message,
+                kind="update.prepare",
+                payload_json=entry.message_json,
+            )
+        else:
+            message = plan.update_message(self.design.config)
+            update = self.channel.send(message, kind="update.prepare")
         timing.load_seconds = timeline.phase("transfer").duration
 
         # Freed tables lose their Table objects at commit; snapshot
@@ -272,21 +333,69 @@ class Controller:
                 ]
 
         txn = self.switch.begin_update(update)
+        if entry is not None and entry.templates_parsed is not None:
+            txn.shared_templates = entry.templates_parsed
+
+        pool_findings: Optional[List[str]] = (
+            entry.pool_findings if entry is not None else None
+        )
 
         def check_pool(t) -> None:
             # The incremental compile allocated the new tables on a
             # cloned pool; a corrupt allocation must fail validate,
-            # never commit.
-            t.findings.extend(
-                f"memory pool: {finding}"
-                for finding in plan.design.pool.verify()
-            )
+            # never commit.  The pool object travels with the cached
+            # plan, so a cache hit reuses the canary's walk verbatim.
+            nonlocal pool_findings
+            if pool_findings is None:
+                pool_findings = [
+                    f"memory pool: {finding}"
+                    for finding in plan.design.pool.verify()
+                ]
+            t.findings.extend(pool_findings)
 
         txn.validators.append(check_pool)
         txn.prepare()
         txn.validate()
         if self.verify_updates != "off":
-            self._verify_gate(plan, txn, timeline)
+            cached_report = entry.verify_report if entry is not None else None
+            if cached_report is not None and self._verify_reusable(
+                cached_report
+            ):
+                # The canary's clean differential report vouches for a
+                # content-identical peer: same design bytes, same
+                # staged update, same semantics.  Anything with
+                # findings is re-verified against *this* device.
+                self.last_verify = cached_report
+                timeline.phase(
+                    "verify",
+                    classes=len(cached_report.classes),
+                    drift=len(cached_report.drift),
+                    findings=len(cached_report.diagnostics),
+                    cached=True,
+                )
+            else:
+                self._verify_gate(plan, txn, timeline)
+        if cache is not None and entry is None:
+            from repro.runtime.workers import PlanCacheEntry
+
+            cache.put(
+                fingerprint,
+                PlanCacheEntry(
+                    plan=plan,
+                    message=message,
+                    lint=(
+                        list(self.last_lint) if self.lint_updates else None
+                    ),
+                    verify_report=(
+                        self.last_verify
+                        if self.verify_updates != "off"
+                        else None
+                    ),
+                    message_json=json.dumps(message, sort_keys=True),
+                    pool_findings=pool_findings,
+                    templates_parsed=getattr(txn, "_parsed", None),
+                ),
+            )
         return StagedUpdate(
             self, plan, update, txn, timeline, timing, freed_entries,
             len(script_text),
@@ -315,6 +424,17 @@ class Controller:
         if fatal:
             raise UnsafeUpdateError(fatal)
         self.last_lint = diagnostics
+
+    @staticmethod
+    def _verify_reusable(report) -> bool:
+        """A cached verify report transfers to a peer node only when
+        it is unconditionally clean (nothing at warning severity or
+        above), so every gate mode would accept it unchanged."""
+        from repro.analysis.diag import Severity
+
+        return all(
+            d.severity < Severity.WARNING for d in report.diagnostics
+        )
 
     def _verify_gate(self, plan: UpdatePlan, txn, timeline) -> None:
         """rp4verify staging gate: differential verification of the

@@ -7,6 +7,26 @@ exits at an edge or is dropped.  With every node independently
 runtime-programmable, this is the "autonomous networks" setting the
 paper's introduction sketches: functions can be rolled out node by
 node while traffic keeps flowing.
+
+The fabric runs in one of two modes:
+
+* **Serial** (the default): every hop executes inline in the calling
+  thread, exactly as before.
+* **Sharded** (:meth:`Fabric.shard`): the nodes are partitioned
+  across :class:`~repro.runtime.workers.DeviceWorker` shards, each
+  with its own receive loop over framed byte envelopes.  Traffic
+  batches fan out to the shards concurrently (cross-shard hops come
+  back as handoffs and are re-dispatched), staged rollouts stage
+  whole waves in parallel (commit order stays the listed wave order,
+  so reverse-order rollback is deterministic), and each worker's
+  metric shard snapshots merge losslessly into :attr:`Fabric.metrics`
+  -- stats, health rules, and Prometheus export are shard-transparent.
+
+Per-hop delivery accounting flows through :attr:`Fabric.metrics` in
+both modes: ``fabric.injected{node}``, ``fabric.hop_forwarded{node,
+port}``, ``fabric.hop_dropped{node}``, ``fabric.delivered{node,port}``
+-- so a health rule can target a single device's forwarding rate
+instead of only the aggregate :class:`FabricStats`.
 """
 
 from __future__ import annotations
@@ -14,7 +34,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.obs.metrics import MetricsRegistry
 from repro.runtime.controller import Controller
+from repro.runtime.workers import (
+    TRAFFIC_CHUNK,
+    DeviceWorker,
+    UpdatePlanCache,
+    WorkerError,
+    merge_shard_into,
+)
 
 
 class FabricError(Exception):
@@ -87,6 +115,17 @@ class Fabric:
         # (node, egress port) -> (peer node, peer ingress port)
         self._wires: Dict[Tuple[str, int], Tuple[str, int]] = {}
         self.stats = FabricStats()
+        #: Central registry: per-hop delivery counters plus (when
+        #: sharded) every worker's merged metric shard.
+        self.metrics = MetricsRegistry()
+        self._injected: Dict[str, object] = {}
+        self._hop_forwarded: Dict[Tuple[str, int], object] = {}
+        self._hop_dropped: Dict[str, object] = {}
+        self._delivered: Dict[Tuple[str, int], object] = {}
+        # Sharded mode (see shard()): device workers, node -> owner.
+        self.workers: List[DeviceWorker] = []
+        self._owner: Dict[str, DeviceWorker] = {}
+        self.plan_cache: Optional[UpdatePlanCache] = None
         # Edge-side INT collector (see attach_int_collector): None
         # keeps delivery untouched.
         self.int_collector = None
@@ -123,6 +162,115 @@ class Fabric:
 
     def peer(self, node: str, port: int) -> Optional[Tuple[str, int]]:
         return self._wires.get((node, port))
+
+    # -- sharding -------------------------------------------------------
+
+    @property
+    def sharded(self) -> bool:
+        return bool(self.workers)
+
+    def shard(
+        self,
+        n_workers: int = 4,
+        plan_cache: Optional[UpdatePlanCache] = None,
+        start: bool = True,
+    ) -> List[DeviceWorker]:
+        """Partition the nodes across ``n_workers`` device workers.
+
+        Each worker owns a disjoint set of devices and serves framed
+        commands on its own thread; traffic, staged updates, and
+        metric snapshots all cross the byte transport.  One
+        :class:`UpdatePlanCache` is shared fleet-wide so a rollout
+        compiles/lints/verifies once per distinct content.  Pass
+        ``start=False`` to drive the workers synchronously
+        (deterministic tests).  Returns the workers.
+        """
+        if self.workers:
+            raise FabricError("fabric is already sharded")
+        if n_workers <= 0:
+            raise ValueError("n_workers must be positive")
+        if not self.nodes:
+            raise FabricError("cannot shard an empty fabric")
+        cache = plan_cache if plan_cache is not None else UpdatePlanCache()
+        self.plan_cache = cache
+        names = list(self.nodes)
+        shards: List[Dict[str, Controller]] = [
+            {} for _ in range(min(n_workers, len(names)))
+        ]
+        for index, name in enumerate(names):
+            shards[index % len(shards)][name] = self.nodes[name]
+        self.workers = [
+            DeviceWorker(
+                f"shard{index}",
+                devices,
+                wires=self._wires,
+                max_hops=self.max_hops,
+                plan_cache=cache,
+            )
+            for index, devices in enumerate(shards)
+        ]
+        self._owner = {
+            name: worker
+            for worker in self.workers
+            for name in worker.devices
+        }
+        if start:
+            for worker in self.workers:
+                worker.start()
+        return self.workers
+
+    def unshard(self) -> None:
+        """Stop the workers and return to serial mode.
+
+        Final metric shards are merged first, so nothing is lost; the
+        per-controller plan caches are uninstalled to restore exact
+        serial semantics.
+        """
+        if not self.workers:
+            return
+        self.sync_metrics()
+        for worker in self.workers:
+            worker.stop()
+        self.workers = []
+        self._owner = {}
+        self.plan_cache = None
+        for controller in self.nodes.values():
+            controller.plan_cache = None
+
+    def sync_metrics(self) -> int:
+        """Pull one metric shard snapshot from every worker and merge
+        the deltas into :attr:`metrics`.  Returns samples applied."""
+        applied = 0
+        for worker in self.workers:
+            shard = worker.request("worker.metrics", {})["shard"]
+            applied += merge_shard_into(self.metrics, shard)
+        return applied
+
+    def _worker_of(self, node: str) -> DeviceWorker:
+        worker = self._owner.get(node)
+        if worker is None:
+            raise FabricError(f"no node named {node!r}")
+        return worker
+
+    def _scatter(self, calls):
+        """Post every ``(worker, kind, payload)`` command, then gather
+        the framed replies in the same order.
+
+        The shards grind concurrently on their own serving threads
+        while this (single) client thread pipelines the frames -- no
+        fan-out thread pool.  A failed call leaves its exception in
+        the corresponding slot instead of raising, so every posted
+        command is still collected and the reply queues stay aligned.
+        """
+        for worker, kind, payload in calls:
+            worker.post_request(kind, payload)
+        replies: List[object] = []
+        for worker, kind, _payload in calls:
+            try:
+                replies.append(worker.collect_reply(kind))
+            except Exception as exc:
+                replies.append(exc)
+        return replies
 
     # -- telemetry ------------------------------------------------------
 
@@ -176,6 +324,10 @@ class Fabric:
                 switch=controller.switch,
                 timelines=(controller.timelines, controller.switch.timelines),
             )
+        # The fabric's own registry rides along as a source, so rules
+        # can target a single device's forwarding rate via the per-hop
+        # counters (fabric.hop_forwarded{node,port} and friends).
+        engine.add_source("fabric", self.metrics)
         if self.int_collector is not None:
             engine.watch_int(self.int_collector)
         self.health = engine
@@ -187,13 +339,49 @@ class Fabric:
         if engine is not None:
             for name in list(self.nodes):
                 engine.remove_source(name)
+            engine.remove_source("fabric")
         return engine
 
     # -- traffic ------------------------------------------------------------
 
+    def _count_injected(self, node: str) -> None:
+        counter = self._injected.get(node)
+        if counter is None:
+            counter = self.metrics.counter("fabric.injected", node=node)
+            self._injected[node] = counter
+        counter.inc()
+
+    def _count_forwarded(self, node: str, port: int) -> None:
+        counter = self._hop_forwarded.get((node, port))
+        if counter is None:
+            counter = self.metrics.counter(
+                "fabric.hop_forwarded", node=node, port=str(port)
+            )
+            self._hop_forwarded[(node, port)] = counter
+        counter.inc()
+
+    def _count_hop_dropped(self, node: str) -> None:
+        counter = self._hop_dropped.get(node)
+        if counter is None:
+            counter = self.metrics.counter("fabric.hop_dropped", node=node)
+            self._hop_dropped[node] = counter
+        counter.inc()
+
+    def _count_delivered(self, node: str, port: int) -> None:
+        counter = self._delivered.get((node, port))
+        if counter is None:
+            counter = self.metrics.counter(
+                "fabric.delivered", node=node, port=str(port)
+            )
+            self._delivered[(node, port)] = counter
+        counter.inc()
+
     def send(self, node: str, data: bytes, port: int = 0) -> Optional[Delivery]:
         """Walk a packet through the fabric; None if dropped."""
+        if self.workers:
+            return self._send_many_sharded([(node, data, port)])[0]
         self.stats.injected += 1
+        self._count_injected(node)
         path: List[str] = []
         current, in_port = node, port
         for hop in range(self.max_hops):
@@ -202,10 +390,13 @@ class Fabric:
             out = controller.switch.inject(data, in_port)
             if out is None:
                 self.stats.dropped += 1
+                self._count_hop_dropped(current)
                 return None
+            self._count_forwarded(current, out.port)
             wire = self.peer(current, out.port)
             if wire is None:
                 self.stats.delivered += 1
+                self._count_delivered(current, out.port)
                 delivered = out.data
                 if self.int_collector is not None:
                     ingest = self.int_collector.ingest(
@@ -228,9 +419,105 @@ class Fabric:
     def send_many(
         self, node: str, trace: List[Tuple[bytes, int]]
     ) -> List[Optional[Delivery]]:
+        """Inject a trace; index-aligned deliveries (None = dropped).
+
+        Sharded fabrics fan the batch out to the device workers
+        concurrently; hops that cross a shard boundary come back as
+        handoffs and are re-dispatched to their owner until every
+        packet exits or drops.
+        """
+        if self.workers:
+            return self._send_many_sharded(
+                [(node, data, port) for data, port in trace]
+            )
         return [self.send(node, data, port) for data, port in trace]
 
+    def _send_many_sharded(
+        self, items: List[Tuple[str, bytes, int]]
+    ) -> List[Optional[Delivery]]:
+        results: List[Optional[Delivery]] = [None] * len(items)
+        batches: Dict[DeviceWorker, List[dict]] = {}
+        for index, (node, data, port) in enumerate(items):
+            self.stats.injected += 1
+            self._count_injected(node)
+            batches.setdefault(self._worker_of(node), []).append(
+                {"i": index, "node": node, "port": port, "data": data.hex()}
+            )
+
+        while batches:
+            calls = [
+                (
+                    worker,
+                    "worker.inject_batch",
+                    {"items": batch[at:at + TRAFFIC_CHUNK]},
+                )
+                for worker, batch in batches.items()
+                for at in range(0, len(batch), TRAFFIC_CHUNK)
+            ]
+            replies = self._scatter(calls)
+            batches = {}
+            for reply in replies:
+                if isinstance(reply, Exception):
+                    raise reply
+                self.stats.dropped += len(reply["dropped"])
+                self.stats.loops_cut += len(reply["loops"])
+                for delivery in reply["deliveries"]:
+                    self.stats.delivered += 1
+                    delivered = bytes.fromhex(delivery["data"])
+                    if self.int_collector is not None:
+                        ingest = self.int_collector.ingest(
+                            delivered,
+                            node=delivery["node"],
+                            port=delivery["port"],
+                        )
+                        if self._int_strip:
+                            delivered = ingest.stripped
+                    results[delivery["i"]] = Delivery(
+                        node=delivery["node"],
+                        port=delivery["port"],
+                        data=delivered,
+                        hops=delivery["hops"],
+                        path=tuple(delivery["path"]),
+                    )
+                for handoff in reply["handoffs"]:
+                    batches.setdefault(
+                        self._worker_of(handoff["node"]), []
+                    ).append(handoff)
+        return results
+
+    def send_batch(
+        self, items: List[Tuple[str, bytes, int]]
+    ) -> List[Optional[Delivery]]:
+        """Inject ``(node, data, port)`` items, index-aligned.
+
+        Unlike :meth:`send_many` the start node varies per item, so
+        one batch can cover the whole fleet -- the soak harness's
+        replay path.  Sharded fabrics fan out across the workers.
+        """
+        if self.workers:
+            return self._send_many_sharded(list(items))
+        return [self.send(node, data, port) for node, data, port in items]
+
     # -- fleet-wide updates ----------------------------------------------------
+
+    def rollback_all(self, nodes: Optional[List[str]] = None) -> List[str]:
+        """Roll every (given) node back one update, in reverse order.
+
+        The counterpart of a completed rollout -- an A/B soak cycle is
+        ``staged_rollout`` forward, ``rollback_all`` back.  Returns
+        the nodes in the order rolled back.
+        """
+        order = list(nodes) if nodes is not None else list(self.nodes)
+        rolled: List[str] = []
+        for name in reversed(order):
+            if self.workers:
+                self._worker_of(name).request(
+                    "worker.rollback", {"node": name}
+                )
+            else:
+                self.node(name).rollback()
+            rolled.append(name)
+        return rolled
 
     def rollout(
         self,
@@ -306,6 +593,15 @@ class Fabric:
            gate breach) triggers reverse-order rollback of *every*
            committed node before :class:`RolloutError` propagates.
 
+        On a **sharded** fabric (:meth:`shard`) each wave's staging
+        fans out across the owning device workers in parallel, then
+        commits and gates in listed order -- the committed sequence,
+        and therefore the reverse-order rollback, is deterministic
+        regardless of thread timing.  A staging failure aborts the
+        whole wave while every member is still shadow, so a wave is
+        all-or-nothing; soak and fleet gates evaluate while traffic
+        batches keep flowing through the other shards' queues.
+
         **The gate.**  Without a health engine attached the gate is the
         legacy one-shot check: ``probe_trace`` is injected through the
         node's front door and the observed drop rate must not exceed
@@ -364,8 +660,21 @@ class Fabric:
             )
 
         def probe(name: str) -> float:
-            result = self.node(name).switch.inject_batch(probe_trace)
-            rate = result.dropped / len(result) if len(result) else 0.0
+            if self.workers:
+                reply = self._worker_of(name).request(
+                    "worker.probe",
+                    {
+                        "node": name,
+                        "items": [
+                            [data.hex(), port] for data, port in probe_trace
+                        ],
+                    },
+                )
+                total, dropped = reply["total"], reply["dropped"]
+            else:
+                result = self.node(name).switch.inject_batch(probe_trace)
+                total, dropped = len(result), result.dropped
+            rate = dropped / total if total else 0.0
             report.probes[name] = rate
             return rate
 
@@ -406,12 +715,42 @@ class Fabric:
                         f"gate {min_health:.2f} after {after}"
                     )
 
-        def update_and_gate(name: str) -> None:
-            controller = self.node(name)
-            staged = controller.stage_update(script_text, sources)
+        def stage_node(name: str):
+            """Stage on the owning worker (sharded) or inline; the
+            handle is whatever :func:`commit_node` needs later."""
+            if self.workers:
+                reply = self._worker_of(name).request(
+                    "worker.stage",
+                    {
+                        "node": name,
+                        "script": script_text,
+                        "sources": sources,
+                    },
+                )
+                return reply["token"]
+            return self.node(name).stage_update(script_text, sources)
+
+        def commit_node(name: str, staged) -> float:
+            if self.workers:
+                reply = self._worker_of(name).request(
+                    "worker.commit", {"node": name, "token": staged}
+                )
+                return reply["total_seconds"]
             _plan, _stats, timing = staged.commit()
-            committed.append(name)
-            report.timings[name] = timing.total_seconds
+            return timing.total_seconds
+
+        def abort_node(name: str, staged) -> None:
+            try:
+                if self.workers:
+                    self._worker_of(name).request(
+                        "worker.abort", {"node": name, "token": staged}
+                    )
+                else:
+                    staged.abort()
+            except Exception:
+                pass  # best effort; the triggering failure is the headline
+
+        def gate(name: str) -> None:
             if self.health is not None:
                 soak(name)
             elif probe_trace is not None:
@@ -422,10 +761,22 @@ class Fabric:
                         f"gate {max_drop_rate:.3f}"
                     )
 
+        def update_and_gate(name: str) -> None:
+            staged = stage_node(name)
+            total_seconds = commit_node(name, staged)
+            committed.append(name)
+            report.timings[name] = total_seconds
+            gate(name)
+
         def unwind(failed: str, cause: Exception, pending: List[str]) -> None:
             rolled_back: List[str] = []
             for name in reversed(committed):
-                self.node(name).rollback()
+                if self.workers:
+                    self._worker_of(name).request(
+                        "worker.rollback", {"node": name}
+                    )
+                else:
+                    self.node(name).rollback()
                 rolled_back.append(name)
             if self.health is not None:
                 report.flight_record = self.health.recorder.dump(
@@ -456,7 +807,7 @@ class Fabric:
             fleet_check(f"canary:{canary}")
         except HealthGateError as exc:
             unwind(canary, exc, rest)
-        for wave_index, wave in enumerate(waves):
+        def run_wave_serial(wave_index: int, wave: List[str]) -> None:
             for position, name in enumerate(wave):
                 try:
                     update_and_gate(name)
@@ -465,6 +816,158 @@ class Fabric:
                         n for w in waves[wave_index + 1:] for n in w
                     ]
                     unwind(name, exc, pending)
+
+        def run_wave_sharded(wave_index: int, wave: List[str]) -> None:
+            """Fan the wave out across the owning workers with *one
+            batched command per worker per phase* (stage, commit,
+            probe) -- the wave's cost is three roundtrips per shard
+            rather than three per node.  Bookkeeping stays in listed
+            order: the committed sequence (and therefore reverse-order
+            rollback) is deterministic regardless of which shard
+            finishes first.  A staging failure anywhere aborts the
+            whole wave while every member is still shadow: nothing in
+            the wave commits."""
+            later = [n for w in waves[wave_index + 1:] for n in w]
+            by_worker: List[Tuple[DeviceWorker, List[str]]] = []
+            grouped: Dict[str, List[str]] = {}
+            for name in wave:
+                worker = self._worker_of(name)
+                if worker.name not in grouped:
+                    grouped[worker.name] = []
+                    by_worker.append((worker, grouped[worker.name]))
+                grouped[worker.name].append(name)
+
+            def batch_error(entry: dict, kind: str) -> WorkerError:
+                detail = entry["error"]
+                return WorkerError(
+                    f"{detail['type']}: {detail['message']}",
+                    kind=kind,
+                    node=entry["node"],
+                )
+
+            # Phase 1: stage everywhere (still all-shadow on failure).
+            replies = self._scatter([
+                (
+                    worker,
+                    "worker.stage_batch",
+                    {"nodes": names, "script": script_text,
+                     "sources": sources},
+                )
+                for worker, names in by_worker
+            ])
+            tokens: Dict[str, str] = {}
+            stage_errors: Dict[str, Exception] = {}
+            for (_worker, names), reply in zip(by_worker, replies):
+                if isinstance(reply, Exception):
+                    stage_errors[names[0]] = reply
+                    continue
+                for entry in reply["results"]:
+                    if entry.get("error"):
+                        stage_errors[entry["node"]] = batch_error(
+                            entry, "worker.stage"
+                        )
+                    else:
+                        tokens[entry["node"]] = entry["token"]
+            if stage_errors:
+                for name, token in tokens.items():
+                    abort_node(name, token)
+                failed = next(n for n in wave if n in stage_errors)
+                unwind(
+                    failed, stage_errors[failed],
+                    [n for n in wave if n != failed] + later,
+                )
+
+            # Phase 2: commit; a shard stops at its first failure and
+            # leaves the rest of its tokens staged for us to abort.
+            replies = self._scatter([
+                (
+                    worker,
+                    "worker.commit_batch",
+                    {"items": [
+                        {"node": n, "token": tokens[n]} for n in names
+                    ]},
+                )
+                for worker, names in by_worker
+            ])
+            commit_ok: Dict[str, float] = {}
+            commit_errors: Dict[str, Exception] = {}
+            skipped: List[str] = []
+            for (_worker, names), reply in zip(by_worker, replies):
+                if isinstance(reply, Exception):
+                    commit_errors[names[0]] = reply
+                    skipped.extend(names[1:])
+                    continue
+                results = reply["results"]
+                attempted = {entry["node"] for entry in results}
+                for entry in results:
+                    if entry.get("error"):
+                        commit_errors[entry["node"]] = batch_error(
+                            entry, "worker.commit"
+                        )
+                    else:
+                        commit_ok[entry["node"]] = entry["total_seconds"]
+                skipped.extend(n for n in names if n not in attempted)
+            for name in wave:
+                if name in commit_ok:
+                    committed.append(name)
+                    report.timings[name] = commit_ok[name]
+            if commit_errors:
+                for name in skipped:
+                    abort_node(name, tokens[name])
+                failed = next(n for n in wave if n in commit_errors)
+                unwind(
+                    failed, commit_errors[failed],
+                    [n for n in wave if n in skipped] + later,
+                )
+
+            # Phase 3: gate.  With a health engine the soak must tick
+            # the (central) engine per node; the probe-only gate
+            # batches per shard like the other phases.
+            if self.health is not None:
+                for name in wave:
+                    try:
+                        soak(name)
+                    except Exception as exc:
+                        unwind(name, exc, later)
+            elif probe_trace is not None:
+                probe_items = [
+                    [data.hex(), port] for data, port in probe_trace
+                ]
+                replies = self._scatter([
+                    (
+                        worker,
+                        "worker.probe_batch",
+                        {"nodes": names, "items": probe_items},
+                    )
+                    for worker, names in by_worker
+                ])
+                rates: Dict[str, float] = {}
+                for reply in replies:
+                    if isinstance(reply, Exception):
+                        raise reply
+                    for entry in reply["results"]:
+                        total, dropped = entry["total"], entry["dropped"]
+                        rates[entry["node"]] = (
+                            dropped / total if total else 0.0
+                        )
+                for name in wave:
+                    rate = rates.get(name, 0.0)
+                    report.probes[name] = rate
+                    if rate > max_drop_rate:
+                        unwind(
+                            name,
+                            HealthGateError(
+                                f"node {name!r} drop rate {rate:.3f} "
+                                f"exceeds gate {max_drop_rate:.3f}"
+                            ),
+                            later,
+                        )
+
+        for wave_index, wave in enumerate(waves):
+            if self.workers and len(wave) > 1:
+                run_wave_sharded(wave_index, wave)
+            else:
+                run_wave_serial(wave_index, wave)
             evidence_checkpoint(f"wave:{wave_index}")
             try:
                 fleet_check(f"wave:{wave_index}")

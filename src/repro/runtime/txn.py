@@ -232,6 +232,12 @@ class IpsaUpdateTransaction(_DeviceTransaction):
     def __init__(self, switch, update: dict) -> None:
         super().__init__(switch, "apply_update")
         self.update = update
+        #: Optional pre-parsed template list ``[(index, side, stages,
+        #: words), ...]`` shared by a fleet-wide plan cache: the
+        #: parsed :class:`StageRuntime` objects are read-only after
+        #: parse (TSPs rebind ``stages`` wholesale, never mutate the
+        #: list), so content-identical peers skip re-parsing.
+        self.shared_templates: Optional[List[tuple]] = None
         self._generation_at_prepare = -1
         self._shadow_plan = None
         self._stats = None
@@ -281,14 +287,28 @@ class IpsaUpdateTransaction(_DeviceTransaction):
 
         # Template parsing happens HERE, outside any stall window.
         n_tsps = len(switch.pipeline.tsps)
-        parsed: List[tuple] = []
-        for template in update.get("templates", []):
-            index = template["tsp"]
-            if not 0 <= index < n_tsps:
-                raise PipelineError(f"template targets unknown TSP {index}")
-            stages = [StageRuntime.from_json(s) for s in template["stages"]]
-            words = sum(s.template_words() for s in stages)
-            parsed.append((index, template.get("side", "ingress"), stages, words))
+        if self.shared_templates is not None:
+            parsed = list(self.shared_templates)
+            for index, _side, _stages, _words in parsed:
+                if not 0 <= index < n_tsps:
+                    raise PipelineError(
+                        f"template targets unknown TSP {index}"
+                    )
+        else:
+            parsed = []
+            for template in update.get("templates", []):
+                index = template["tsp"]
+                if not 0 <= index < n_tsps:
+                    raise PipelineError(
+                        f"template targets unknown TSP {index}"
+                    )
+                stages = [
+                    StageRuntime.from_json(s) for s in template["stages"]
+                ]
+                words = sum(s.template_words() for s in stages)
+                parsed.append(
+                    (index, template.get("side", "ingress"), stages, words)
+                )
         stats.templates_written = len(parsed)
         stats.template_words = sum(words for *_rest, words in parsed)
 

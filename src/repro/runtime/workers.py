@@ -1,0 +1,673 @@
+"""Device workers: the sharded fabric runtime backend.
+
+A :class:`DeviceWorker` owns a disjoint set of devices (name ->
+:class:`~repro.runtime.controller.Controller`) and executes commands
+that arrive as length-prefixed byte frames over a
+:class:`~repro.runtime.channel.ControlChannel` pair (requests one
+way, replies the other): ``worker.inject_batch`` walks traffic
+through the shard's devices, ``worker.stage`` / ``worker.commit`` /
+``worker.abort`` / ``worker.rollback`` drive the transactional update
+engine, and ``worker.metrics`` ships a :class:`metric shard
+<MetricShardAccumulator>` snapshot -- per-device counter *deltas* and
+histogram bucket deltas that merge losslessly into the fabric's
+central registry, so fleet-wide stats, health rules, and Prometheus
+export look exactly the same whether the fleet is sharded or not.
+
+Workers run their receive loop on a daemon thread
+(:meth:`DeviceWorker.start`) with ``queue.Queue``-backed transports;
+the same byte protocol runs unchanged over ``multiprocessing`` queues
+for a true remote shard.  A worker can also be driven synchronously
+(:meth:`DeviceWorker.serve_once`) for deterministic tests.
+
+:class:`UpdatePlanCache` is the fleet-rollout fast path: every node
+in a wave runs the same base design, so the snippet compile, the lint
+gate, and a clean rp4verify report are computed once (on the canary)
+and reused by every content-identical node -- the per-node work drops
+to transfer + prepare/validate + the epoch flip.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.obs.metrics import MetricsRegistry, Sample
+from repro.runtime.channel import ChannelError, ControlChannel, QueueTransport
+
+#: Traffic items per ``worker.inject_batch`` frame: bounds frame size
+#: (and peak memory) when a soak ships millions of packets.
+TRAFFIC_CHUNK = 2048
+
+
+class WorkerError(Exception):
+    """A worker command failed on the device side."""
+
+    def __init__(self, message: str, kind: str = "", node: str = "") -> None:
+        super().__init__(message)
+        self.kind = kind
+        self.node = node
+
+
+# -- update-plan cache ------------------------------------------------------
+
+
+def design_fingerprint(design) -> str:
+    """Content fingerprint of a compiled design (cached on the object).
+
+    Two nodes that loaded the same base source and applied the same
+    update history have content-identical configs, so their staged
+    compiles are interchangeable even though the design *objects* are
+    per-node.
+    """
+    cached = getattr(design, "_content_fingerprint", None)
+    if cached is None:
+        cached = hashlib.sha256(
+            json.dumps(design.config, sort_keys=True).encode("utf-8")
+        ).hexdigest()
+        try:
+            design._content_fingerprint = cached
+        except AttributeError:
+            pass  # slotted/frozen designs just pay the dump again
+    return cached
+
+
+@dataclass
+class PlanCacheEntry:
+    """One staged compile's reusable artifacts."""
+
+    plan: object  # UpdatePlan
+    message: dict  # plan.update_message(...) -- JSON-safe
+    lint: Optional[list] = None  # diagnostics from a passing lint gate
+    verify_report: Optional[object] = None  # a clean VerifyReport
+    #: ``json.dumps(message, sort_keys=True)`` -- spliced into each
+    #: peer's ``update.prepare`` frame so the fleet serializes the
+    #: (identical, large) update exactly once.
+    message_json: Optional[str] = None
+    #: Verdict of ``plan.design.pool.verify()`` -- the pool object is
+    #: shared with the cached plan, so peers reuse the walk.
+    pool_findings: Optional[list] = None
+    #: The canary transaction's parsed template list (read-only after
+    #: parse); peers hand it to their transaction and skip re-parsing.
+    templates_parsed: Optional[list] = None
+
+
+class UpdatePlanCache:
+    """Fingerprint-keyed cache of compiled update plans.
+
+    The key covers the node's current design content plus the script
+    and snippet sources, so a hit is only possible when the compile
+    would be byte-identical.  Thread-safe: wave fan-out may consult it
+    from several workers at once (a racing miss compiles twice and the
+    first ``put`` wins -- correct, just not maximally lazy).
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, PlanCacheEntry] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def fingerprint(
+        design, script_text: str, sources: Optional[Dict[str, str]]
+    ) -> str:
+        digest = hashlib.sha256()
+        digest.update(design_fingerprint(design).encode("ascii"))
+        digest.update(script_text.encode("utf-8"))
+        for name, source in sorted((sources or {}).items()):
+            digest.update(name.encode("utf-8"))
+            digest.update(b"\x00")
+            digest.update(source.encode("utf-8"))
+        return digest.hexdigest()
+
+    def get(self, fingerprint: str) -> Optional[PlanCacheEntry]:
+        with self._lock:
+            entry = self._entries.get(fingerprint)
+            if entry is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+            return entry
+
+    def put(self, fingerprint: str, entry: PlanCacheEntry) -> PlanCacheEntry:
+        with self._lock:
+            return self._entries.setdefault(fingerprint, entry)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+# -- metric shards ----------------------------------------------------------
+
+#: Sample kinds accumulated as deltas; anything else (gauges) is
+#: last-write-wins.
+_ACCUMULATED = ("counter",)
+
+
+def _sample_key(name: str, labels: Dict[str, str]) -> Tuple:
+    return (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
+
+
+class MetricShardAccumulator:
+    """The central half of shard-transparent metrics.
+
+    Workers ship per-kind sample *deltas* (counters -- including the
+    ``_bucket``/``_count``/``_sum`` series every histogram exports, so
+    bucket merges are exact) and gauge values.  ``apply`` folds a
+    shard snapshot in; ``samples`` replays the merged state into the
+    registry's collect pass, preserving each sample's kind so the
+    Prometheus exposition and ``histogram_snapshot`` reconstruction
+    behave exactly as if one process owned every device.
+    """
+
+    def __init__(self) -> None:
+        self._values: Dict[Tuple, float] = {}
+        self._labels: Dict[Tuple, Dict[str, str]] = {}
+        self._kinds: Dict[Tuple, str] = {}
+        self.shards_applied = 0
+
+    def apply(self, shard: dict) -> None:
+        for name, labels, kind, value in shard.get("samples", []):
+            key = _sample_key(name, labels)
+            if kind in _ACCUMULATED:
+                self._values[key] = self._values.get(key, 0) + value
+            else:
+                self._values[key] = value
+            self._labels[key] = dict(labels)
+            self._kinds[key] = kind
+        self.shards_applied += 1
+
+    def samples(self) -> Iterable[Sample]:
+        for key, value in self._values.items():
+            yield Sample(
+                key[0], value, dict(self._labels[key]), self._kinds[key]
+            )
+
+    def value(self, name: str, default: float = 0, **labels) -> float:
+        return self._values.get(_sample_key(name, labels), default)
+
+
+def merge_shard_into(registry: MetricsRegistry, shard: dict) -> int:
+    """Fold one worker shard snapshot into a central registry.
+
+    Counter deltas (including every histogram's ``_bucket`` /
+    ``_count`` / ``_sum`` series, so bucket merges are exact) are added
+    to the registry's *owned* instruments and gauges overwrite -- the
+    merged registry is indistinguishable from one process having owned
+    every device, and repeated merges accumulate losslessly.  Returns
+    the number of samples applied.
+    """
+    applied = 0
+    for name, labels, kind, value in shard.get("samples", []):
+        if kind in _ACCUMULATED:
+            registry.counter(name, **labels).inc(value)
+        else:
+            registry.gauge(name, **labels).set(value)
+        applied += 1
+    return applied
+
+
+class ShardSnapshotter:
+    """The worker half: turns registries into delta snapshots.
+
+    Keeps the last-shipped value per sample so each ``snapshot`` emits
+    only what changed since the previous one -- counters as deltas
+    (clamped at zero across device restarts), gauges as their current
+    value.  Lossless: summing every shipped delta reproduces the
+    device-side counter exactly.
+    """
+
+    def __init__(self) -> None:
+        self._last: Dict[Tuple, float] = {}
+
+    def snapshot(
+        self, registries: List[Tuple[Dict[str, str], MetricsRegistry]]
+    ) -> List[list]:
+        out: List[list] = []
+        for extra_labels, registry in registries:
+            for sample in registry.collect():
+                labels = dict(sample.labels)
+                labels.update(extra_labels)
+                key = _sample_key(sample.name, labels)
+                if sample.kind in _ACCUMULATED:
+                    delta = sample.value - self._last.get(key, 0)
+                    self._last[key] = sample.value
+                    if delta <= 0:
+                        continue
+                    out.append([sample.name, labels, sample.kind, delta])
+                else:
+                    out.append([sample.name, labels, sample.kind, sample.value])
+        return out
+
+
+# -- the worker -------------------------------------------------------------
+
+
+@dataclass
+class _WalkState:
+    """A packet mid-walk: where it is and where it has been."""
+
+    index: int
+    node: str
+    port: int
+    data: bytes
+    hops: int = 0
+    path: List[str] = field(default_factory=list)
+
+
+class DeviceWorker:
+    """One shard: a named set of devices plus a framed command loop."""
+
+    def __init__(
+        self,
+        name: str,
+        devices: Dict[str, object],
+        wires: Dict[Tuple[str, int], Tuple[str, int]],
+        max_hops: int = 16,
+        plan_cache: Optional[UpdatePlanCache] = None,
+    ) -> None:
+        self.name = name
+        self.devices = dict(devices)
+        self.wires = wires
+        self.max_hops = max_hops
+        self.plan_cache = plan_cache
+        self.requests = ControlChannel(QueueTransport())
+        self.replies = ControlChannel(QueueTransport())
+        self.metrics = MetricsRegistry()
+        self._n_commands = self.metrics.counter("worker.commands")
+        self._n_errors = self.metrics.counter("worker.command_errors")
+        self._hop_forwarded: Dict[Tuple[str, int], object] = {}
+        self._hop_dropped: Dict[str, object] = {}
+        self._delivered: Dict[Tuple[str, int], object] = {}
+        self._snapshotter = ShardSnapshotter()
+        self._staged: Dict[str, object] = {}
+        self._staged_seq = 0
+        self._thread: Optional[threading.Thread] = None
+        self._stopping = False
+        self._lock = threading.Lock()  # one in-flight request at a time
+        if plan_cache is not None:
+            for controller in self.devices.values():
+                controller.plan_cache = plan_cache
+
+    # -- client side -----------------------------------------------------
+
+    def request(self, kind: str, payload: dict, timeout: float = 60.0) -> dict:
+        """Send one framed command and wait for its framed reply.
+
+        Runs the command inline when the worker has no serving thread
+        (deterministic mode); otherwise blocks on the reply queue.
+        Worker-side failures surface as :class:`WorkerError`.
+        """
+        with self._lock:
+            self.requests.post(payload, kind=kind)
+            if self._thread is None:
+                self.serve_once(timeout=0.0)
+            _kind, reply, _seq = self.replies.deliver(timeout=timeout)
+        return self._check_reply(kind, reply)
+
+    def post_request(self, kind: str, payload: dict) -> int:
+        """Queue one framed command without waiting (scatter half).
+
+        The fabric pipelines shards this way: post a batch command to
+        every worker, let their serving threads grind concurrently,
+        then :meth:`collect_reply` from each -- no extra thread pool,
+        no per-command roundtrip serialization.  Replies come back in
+        FIFO order per worker.
+        """
+        with self._lock:
+            return self.requests.post(payload, kind=kind)
+
+    def collect_reply(self, kind: str = "", timeout: float = 60.0) -> dict:
+        """Wait for the oldest outstanding reply (gather half)."""
+        with self._lock:
+            if self._thread is None and self.replies.transport.pending() == 0:
+                self.serve_once(timeout=0.0)
+            _kind, reply, _seq = self.replies.deliver(timeout=timeout)
+        return self._check_reply(kind, reply)
+
+    def _check_reply(self, kind: str, reply: dict) -> dict:
+        error = reply.get("error")
+        if error:
+            raise WorkerError(
+                f"worker {self.name!r} {kind} failed: "
+                f"{error['type']}: {error['message']}",
+                kind=kind,
+                node=error.get("node", ""),
+            )
+        return reply
+
+    # -- serve loop ------------------------------------------------------
+
+    def start(self) -> "DeviceWorker":
+        """Run the receive loop on a daemon thread."""
+        if self._thread is not None:
+            return self
+        self._stopping = False
+        self._thread = threading.Thread(
+            target=self._serve_forever, name=f"device-worker-{self.name}",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the serving thread (if any) and join it."""
+        thread = self._thread
+        if thread is None:
+            return
+        with self._lock:
+            self.requests.post({}, kind="worker.stop")
+            self.replies.deliver(timeout=10.0)
+        thread.join(timeout=10.0)
+        self._thread = None
+
+    def _serve_forever(self) -> None:
+        while not self._stopping:
+            try:
+                self.serve_once(timeout=1.0)
+            except ChannelError:
+                continue  # idle poll; check the stop flag again
+
+    def serve_once(self, timeout: Optional[float] = 1.0) -> bool:
+        """Receive, execute, and answer one framed command."""
+        kind, payload, seq = self.requests.deliver(timeout=timeout)
+        self._n_commands.inc()
+        if kind == "worker.stop":
+            self._stopping = True
+            self.replies.post({"stopped": True}, kind="worker.stopped")
+            return False
+        try:
+            reply = self.execute(kind, payload)
+        except Exception as exc:  # ship the failure, keep serving
+            self._n_errors.inc()
+            reply = {
+                "error": {
+                    "type": type(exc).__name__,
+                    "message": str(exc),
+                    "node": str(payload.get("node", "")),
+                }
+            }
+        self.replies.post(reply, kind=f"{kind}.reply")
+        return True
+
+    # -- command execution ----------------------------------------------
+
+    def execute(self, kind: str, payload: dict) -> dict:
+        if kind == "worker.inject_batch":
+            return self._cmd_inject_batch(payload)
+        if kind == "worker.stage":
+            return self._cmd_stage(payload)
+        if kind == "worker.stage_batch":
+            return self._cmd_stage_batch(payload)
+        if kind == "worker.commit":
+            return self._cmd_commit(payload)
+        if kind == "worker.commit_batch":
+            return self._cmd_commit_batch(payload)
+        if kind == "worker.abort":
+            return self._cmd_abort(payload)
+        if kind == "worker.rollback":
+            return self._cmd_rollback(payload)
+        if kind == "worker.probe":
+            return self._cmd_probe(payload)
+        if kind == "worker.probe_batch":
+            return self._cmd_probe_batch(payload)
+        if kind == "worker.metrics":
+            return self._cmd_metrics(payload)
+        raise WorkerError(f"unknown command kind {kind!r}", kind=kind)
+
+    def _device(self, node: str):
+        try:
+            return self.devices[node]
+        except KeyError:
+            raise WorkerError(
+                f"worker {self.name!r} does not own node {node!r}",
+                node=node,
+            ) from None
+
+    # Traffic: walk every item hop by hop through owned devices; a hop
+    # landing on a foreign node comes back as a handoff for the owner.
+
+    def _hop_counter(self, node: str, port: int):
+        counter = self._hop_forwarded.get((node, port))
+        if counter is None:
+            counter = self.metrics.counter(
+                "fabric.hop_forwarded", node=node, port=str(port)
+            )
+            self._hop_forwarded[(node, port)] = counter
+        return counter
+
+    def _cmd_inject_batch(self, payload: dict) -> dict:
+        deliveries: List[dict] = []
+        handoffs: List[dict] = []
+        dropped: List[int] = []
+        loops: List[int] = []
+        for item in payload["items"]:
+            state = _WalkState(
+                index=item["i"],
+                node=item["node"],
+                port=item["port"],
+                data=bytes.fromhex(item["data"]),
+                hops=item.get("hops", 0),
+                path=list(item.get("path", [])),
+            )
+            self._walk(state, deliveries, handoffs, dropped, loops)
+        return {
+            "deliveries": deliveries,
+            "handoffs": handoffs,
+            "dropped": dropped,
+            "loops": loops,
+        }
+
+    def _walk(self, state, deliveries, handoffs, dropped, loops) -> None:
+        while True:
+            controller = self.devices.get(state.node)
+            if controller is None:
+                handoffs.append(
+                    {
+                        "i": state.index,
+                        "node": state.node,
+                        "port": state.port,
+                        "data": state.data.hex(),
+                        "hops": state.hops,
+                        "path": state.path,
+                    }
+                )
+                return
+            if state.hops >= self.max_hops:
+                loops.append(state.index)
+                return
+            state.path.append(state.node)
+            out = controller.switch.inject(state.data, state.port)
+            state.hops += 1
+            if out is None:
+                counter = self._hop_dropped.get(state.node)
+                if counter is None:
+                    counter = self.metrics.counter(
+                        "fabric.hop_dropped", node=state.node
+                    )
+                    self._hop_dropped[state.node] = counter
+                counter.inc()
+                dropped.append(state.index)
+                return
+            self._hop_counter(state.node, out.port).inc()
+            wire = self.wires.get((state.node, out.port))
+            if wire is None:
+                key = (state.node, out.port)
+                counter = self._delivered.get(key)
+                if counter is None:
+                    counter = self.metrics.counter(
+                        "fabric.delivered",
+                        node=state.node,
+                        port=str(out.port),
+                    )
+                    self._delivered[key] = counter
+                counter.inc()
+                deliveries.append(
+                    {
+                        "i": state.index,
+                        "node": state.node,
+                        "port": out.port,
+                        "data": out.data.hex(),
+                        "hops": state.hops,
+                        "path": state.path,
+                    }
+                )
+                return
+            state.data = out.data
+            state.node, state.port = wire
+
+    # Updates: the controller's transactional staging engine, driven
+    # remotely.  Staged updates park in the worker under a token until
+    # the coordinator decides to flip or abort them.
+
+    def _cmd_stage(self, payload: dict) -> dict:
+        controller = self._device(payload["node"])
+        staged = controller.stage_update(
+            payload["script"], payload.get("sources") or None
+        )
+        self._staged_seq += 1
+        token = f"{self.name}:{self._staged_seq}"
+        self._staged[token] = staged
+        return {
+            "token": token,
+            "txn": staged.txn.txn_id,
+            "compile_seconds": staged.timing.compile_seconds,
+        }
+
+    @staticmethod
+    def _error_entry(node: str, exc: Exception) -> dict:
+        return {
+            "node": node,
+            "error": {"type": type(exc).__name__, "message": str(exc)},
+        }
+
+    def _cmd_stage_batch(self, payload: dict) -> dict:
+        """Stage one update on several owned nodes, one frame.
+
+        The fleet-rollout amortizer: a wave's nodes on this shard cost
+        a single command roundtrip instead of one each.  Stops at the
+        first failure -- nodes after it are never staged, and the
+        caller sees exactly which via the per-node results.
+        """
+        results: List[dict] = []
+        for node in payload["nodes"]:
+            try:
+                reply = self._cmd_stage(
+                    {
+                        "node": node,
+                        "script": payload["script"],
+                        "sources": payload.get("sources"),
+                    }
+                )
+            except Exception as exc:
+                results.append(self._error_entry(node, exc))
+                break
+            results.append({**reply, "node": node})
+        return {"results": results}
+
+    def _cmd_commit_batch(self, payload: dict) -> dict:
+        """Commit staged tokens in order; stops at the first failure
+        (later tokens stay parked for the caller to abort)."""
+        results: List[dict] = []
+        for item in payload["items"]:
+            try:
+                reply = self._cmd_commit(item)
+            except Exception as exc:
+                results.append(
+                    {**self._error_entry(item["node"], exc),
+                     "token": item["token"]}
+                )
+                break
+            results.append(
+                {**reply, "node": item["node"], "token": item["token"]}
+            )
+        return {"results": results}
+
+    def _staged_update(self, token: str):
+        staged = self._staged.get(token)
+        if staged is None:
+            raise WorkerError(f"no staged update under token {token!r}")
+        return staged
+
+    def _cmd_commit(self, payload: dict) -> dict:
+        staged = self._staged_update(payload["token"])
+        try:
+            _plan, stats, timing = staged.commit()
+        finally:
+            self._staged.pop(payload["token"], None)
+        return {
+            "stall_seconds": stats.stall_seconds,
+            "compile_seconds": timing.compile_seconds,
+            "load_seconds": timing.load_seconds,
+            "total_seconds": timing.total_seconds,
+            "epoch": staged.controller.switch.dp.epoch,
+        }
+
+    def _cmd_abort(self, payload: dict) -> dict:
+        staged = self._staged_update(payload["token"])
+        try:
+            staged.abort()
+        finally:
+            self._staged.pop(payload["token"], None)
+        return {"aborted": True}
+
+    def _cmd_rollback(self, payload: dict) -> dict:
+        controller = self._device(payload["node"])
+        restored = controller.rollback()
+        return {"restored": restored}
+
+    def _cmd_probe(self, payload: dict) -> dict:
+        """One front-door probe batch on a single owned device --
+        rollout health gates use this so probe traffic runs on the
+        device's owning thread, serialized with in-flight traffic."""
+        controller = self._device(payload["node"])
+        trace = [
+            (bytes.fromhex(data), port) for data, port in payload["items"]
+        ]
+        result = controller.switch.inject_batch(trace)
+        return {
+            "total": len(result),
+            "forwarded": result.forwarded,
+            "dropped": result.dropped,
+        }
+
+    def _cmd_probe_batch(self, payload: dict) -> dict:
+        """The same probe trace through several owned nodes' front
+        doors, one frame -- the wave gate's fast path."""
+        trace = [
+            (bytes.fromhex(data), port) for data, port in payload["items"]
+        ]
+        results: List[dict] = []
+        for node in payload["nodes"]:
+            controller = self._device(node)
+            result = controller.switch.inject_batch(trace)
+            results.append(
+                {
+                    "node": node,
+                    "total": len(result),
+                    "forwarded": result.forwarded,
+                    "dropped": result.dropped,
+                }
+            )
+        return {"results": results}
+
+    # Metrics: one delta snapshot covering every owned device's
+    # registries plus the worker's own hop/delivery counters.
+
+    def _cmd_metrics(self, payload: dict) -> dict:
+        registries: List[Tuple[Dict[str, str], MetricsRegistry]] = [
+            ({}, self.metrics)
+        ]
+        for node, controller in self.devices.items():
+            registries.append(({"node": node}, controller.switch.metrics))
+            registries.append(({"node": node}, controller.metrics))
+        return {
+            "shard": {
+                "worker": self.name,
+                "devices": sorted(self.devices),
+                "samples": self._snapshotter.snapshot(registries),
+            }
+        }

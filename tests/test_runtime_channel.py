@@ -1,0 +1,193 @@
+"""Tests for the byte-serialized control channel."""
+
+import json
+
+import pytest
+
+from repro.runtime.channel import (
+    DEFAULT_LOG_CAPACITY,
+    ChannelError,
+    ControlChannel,
+    FrameError,
+    LoopbackTransport,
+    QueueTransport,
+    decode_frame,
+    encode_frame,
+)
+
+
+class TestFraming:
+    def test_round_trip(self):
+        envelope = {"seq": 7, "kind": "update.prepare", "payload": {"a": [1, 2]}}
+        assert decode_frame(encode_frame(envelope)) == envelope
+
+    def test_short_frame_rejected(self):
+        with pytest.raises(FrameError):
+            decode_frame(b"\x00")
+
+    def test_length_mismatch_rejected(self):
+        frame = encode_frame({"seq": 1, "payload": {}})
+        with pytest.raises(FrameError):
+            decode_frame(frame + b"extra")
+
+    def test_non_envelope_body_rejected(self):
+        body = json.dumps([1, 2, 3]).encode()
+        frame = len(body).to_bytes(4, "big") + body
+        with pytest.raises(FrameError):
+            decode_frame(frame)
+
+    def test_undecodable_body_rejected(self):
+        body = b"\xff\xfe not json"
+        frame = len(body).to_bytes(4, "big") + body
+        with pytest.raises(FrameError):
+            decode_frame(frame)
+
+    def test_payload_json_splice_is_byte_identical(self):
+        # The fleet fast path splices a pre-serialized payload into
+        # the frame; the wire bytes must be indistinguishable from the
+        # plain encoding or receive-side accounting would diverge.
+        message = {"zeta": 1, "alpha": {"nested": [1, 2]}, "m": "text"}
+        plain = ControlChannel()
+        spliced = ControlChannel()
+        plain.post(message, kind="update.prepare")
+        spliced.post(
+            message,
+            kind="update.prepare",
+            payload_json=json.dumps(message, sort_keys=True),
+        )
+        assert plain.transport.recv() == spliced.transport.recv()
+
+    def test_spliced_frame_decodes_to_same_payload(self):
+        message = {"config": {"k": [3, 2, 1]}}
+        channel = ControlChannel()
+        payload = channel.send(
+            message,
+            kind="update.prepare",
+            payload_json=json.dumps(message, sort_keys=True),
+        )
+        assert payload == message
+
+
+class TestTransports:
+    def test_loopback_fifo(self):
+        transport = LoopbackTransport()
+        transport.send(b"one")
+        transport.send(b"two")
+        assert transport.pending() == 2
+        assert transport.recv() == b"one"
+        assert transport.recv() == b"two"
+
+    def test_loopback_empty_raises(self):
+        with pytest.raises(ChannelError):
+            LoopbackTransport().recv()
+
+    def test_queue_transport_round_trip(self):
+        transport = QueueTransport()
+        transport.send(b"frame")
+        assert transport.recv(timeout=1.0) == b"frame"
+
+    def test_queue_transport_timeout(self):
+        with pytest.raises(ChannelError):
+            QueueTransport().recv(timeout=0.01)
+
+
+class TestAccounting:
+    def test_send_and_receive_sides_both_counted(self):
+        channel = ControlChannel()
+        channel.send({"x": 1}, kind="config.load")
+        channel.send({"y": 2}, kind="update.prepare")
+        stats = channel.stats
+        assert stats.messages == 2
+        assert stats.messages_received == 2
+        assert stats.bytes_sent == stats.bytes_received > 0
+        prepare = stats.by_kind["update.prepare"]
+        assert prepare.messages == prepare.messages_received == 1
+        assert prepare.bytes_sent == prepare.bytes_received > 0
+
+    def test_metrics_samples_cover_both_directions(self):
+        channel = ControlChannel()
+        channel.send({"x": 1}, kind="config.load")
+        names = {sample.name for sample in channel.metrics_samples()}
+        assert "channel.messages" in names
+        assert "channel.messages_received" in names
+        assert "channel.bytes_received" in names
+
+    def test_latency_histogram_recorded_per_kind(self):
+        channel = ControlChannel()
+        channel.send({"x": 1}, kind="update.prepare")
+        buckets = [
+            sample
+            for sample in channel.metrics_samples()
+            if sample.name.startswith("channel.latency_seconds")
+            and sample.labels.get("kind") == "update.prepare"
+        ]
+        counts = [
+            sample
+            for sample in buckets
+            if sample.name == "channel.latency_seconds_count"
+        ]
+        assert counts and counts[0].value == 1
+
+    def test_sequence_numbers_are_monotonic(self):
+        channel = ControlChannel()
+        first = channel.post({"a": 1})
+        second = channel.post({"b": 2})
+        assert second == first + 1
+
+    def test_replay_rejected_but_accounted(self):
+        channel = ControlChannel()
+        channel.post({"a": 1})
+        frame = channel.transport.recv()
+        channel.transport.send(frame)
+        channel.deliver()
+        channel.transport.send(frame)  # replay the same seq
+        with pytest.raises(ChannelError):
+            channel.deliver()
+        assert channel.stats.messages_received == 2  # bytes did arrive
+
+
+class TestBoundedLog:
+    def test_default_capacity(self):
+        assert ControlChannel().log_capacity == DEFAULT_LOG_CAPACITY
+
+    def test_log_stays_at_capacity_under_load(self):
+        # Regression: the log is a debugging ring, not an audit trail;
+        # a soak pushing far more envelopes than the cap must not grow
+        # the process.
+        channel = ControlChannel(log_capacity=16)
+        for index in range(1000):
+            channel.send({"i": index})
+        assert len(channel.log) == 16
+        # The ring holds the *most recent* frames.
+        assert '"i": 999' in channel.log[-1]
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ControlChannel(log_capacity=0)
+
+
+class TestFaultInjection:
+    def test_dropped_kind_raises_after_accounting(self):
+        channel = ControlChannel()
+        channel.drop_kinds.add("update.commit")
+        with pytest.raises(ChannelError):
+            channel.post({"x": 1}, kind="update.commit")
+        assert channel.stats.by_kind["update.commit"].messages == 1
+        assert channel.transport.pending() == 0
+
+    def test_other_kinds_unaffected_by_drop(self):
+        channel = ControlChannel()
+        channel.drop_kinds.add("update.commit")
+        assert channel.send({"x": 1}, kind="update.prepare") == {"x": 1}
+
+    def test_reordered_kind_trips_sequence_check(self):
+        channel = ControlChannel()
+        channel.reorder_kinds.add("update.prepare")
+        channel.post({"held": True}, kind="update.prepare")
+        channel.post({"later": True}, kind="config.load")
+        # The held frame was transmitted second: first delivery is the
+        # later seq, so the held frame's arrival is flagged.
+        kind, payload, _seq = channel.deliver()
+        assert kind == "config.load"
+        with pytest.raises(ChannelError):
+            channel.deliver()

@@ -424,3 +424,120 @@ class TestHealthGatedRollout:
         err = excinfo.value
         assert isinstance(err.cause, HealthGateError)
         assert err.report.flight_record is None  # no engine, no dump
+
+
+def fleet_fabric(n_nodes):
+    fabric = Fabric()
+    for index in range(n_nodes):
+        fabric.add_node(f"n{index}", base_node())
+    return fabric
+
+
+def config_json(controller):
+    import json
+
+    return json.dumps(controller.design.config, sort_keys=True)
+
+
+class TestShardedRollout:
+    """staged_rollout on a sharded fabric: batched wave fan-out with
+    the same deterministic reverse-order rollback contract."""
+
+    def test_sharded_happy_path_updates_every_node(self):
+        fabric = fleet_fabric(6)
+        fabric.shard(2, start=False)
+        try:
+            report = fabric.staged_rollout(
+                srv6_load_script(),
+                {"srv6.rp4": srv6_rp4_source()},
+                wave_size=3,
+                probe_trace=GOOD_PROBE,
+            )
+            assert set(report.timings) == {f"n{i}" for i in range(6)}
+            assert all(rate == 0.0 for rate in report.probes.values())
+            for index in range(6):
+                assert "local_sid" in fabric.node(f"n{index}").switch.tables
+        finally:
+            fabric.unshard()
+
+    def test_dropped_commit_mid_wave_rolls_back_byte_identical(self):
+        # The ISSUE's fault scenario: one node's update.commit frame
+        # is lost mid-wave.  Batched commits mean nodes on *other*
+        # shards in the same wave may have already flipped -- all of
+        # them must unwind, reverse order, and every node's config
+        # must land byte-identical to the pre-rollout state.
+        baseline = config_json(base_node())
+        fabric = fleet_fabric(8)
+        fabric.shard(3, start=False)
+        fabric.node("n5").channel.drop_kinds.add("update.commit")
+        try:
+            with pytest.raises(RolloutError) as excinfo:
+                fabric.staged_rollout(
+                    srv6_load_script(),
+                    {"srv6.rp4": srv6_rp4_source()},
+                    wave_size=4,
+                )
+            err = excinfo.value
+            assert err.failed == "n5"
+            # Canary n0, wave 1 = n1-n4 committed; in n5's wave the
+            # other shards' nodes (n6, n7) committed before the
+            # failure surfaced.
+            assert err.updated == ["n0", "n1", "n2", "n3", "n4", "n6", "n7"]
+            assert err.rolled_back == list(reversed(err.updated))
+            assert err.pending == []
+            for index in range(8):
+                controller = fabric.node(f"n{index}")
+                assert "local_sid" not in controller.switch.tables
+                assert config_json(controller) == baseline
+                assert controller.switch.inject(*GOOD_PROBE[0]) is not None
+        finally:
+            fabric.unshard()
+
+    def test_staging_failure_aborts_whole_wave_shadow(self):
+        # A staging failure must abort the wave while every member is
+        # still shadow: no node in that wave commits, earlier waves
+        # roll back.
+        fabric = fleet_fabric(6)
+        fabric.shard(2, start=False)
+        fabric.node("n4").channel.drop_kinds.add("update.prepare")
+        try:
+            with pytest.raises(RolloutError) as excinfo:
+                fabric.staged_rollout(
+                    srv6_load_script(),
+                    {"srv6.rp4": srv6_rp4_source()},
+                    wave_size=3,
+                )
+            err = excinfo.value
+            assert err.failed == "n4"
+            assert err.updated == ["n0", "n1", "n2", "n3"]
+            assert err.rolled_back == ["n3", "n2", "n1", "n0"]
+            assert "n5" in err.pending
+            for index in range(6):
+                assert "local_sid" not in fabric.node(
+                    f"n{index}"
+                ).switch.tables
+        finally:
+            fabric.unshard()
+
+
+class TestPerHopRegistryMetrics:
+    def test_send_labels_every_hop(self):
+        fabric = two_node_fabric()
+        delivery = fabric.send("A", ipv4_packet("10.1.0.1", "10.2.0.5"), 0)
+        assert delivery is not None and delivery.path == ("A", "B")
+        metrics = fabric.metrics
+        assert metrics.value("fabric.injected", node="A") == 1
+        # A forwarded out port 3 (the wire), B out its edge port.
+        assert metrics.value("fabric.hop_forwarded", node="A", port="3") == 1
+        assert metrics.value(
+            "fabric.hop_forwarded", node="B", port=str(delivery.port)
+        ) == 1
+        assert metrics.value(
+            "fabric.delivered", node="B", port=str(delivery.port)
+        ) == 1
+
+    def test_drop_labels_the_dropping_node(self):
+        fabric = Fabric()
+        fabric.add_node("A", base_node())
+        assert fabric.send("A", ipv4_packet("10.1.0.1", "10.2.0.5"), 42) is None
+        assert fabric.metrics.value("fabric.hop_dropped", node="A") == 1

@@ -1,0 +1,305 @@
+"""Tests for device workers, batch commands, and metric shards."""
+
+import pytest
+
+from repro.programs import (
+    base_rp4_source,
+    populate_base_tables,
+    srv6_load_script,
+    srv6_rp4_source,
+)
+from repro.runtime import Controller
+from repro.runtime.fabric import Fabric
+from repro.runtime.workers import (
+    MetricShardAccumulator,
+    ShardSnapshotter,
+    UpdatePlanCache,
+    WorkerError,
+    merge_shard_into,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.workloads import ipv4_packet
+
+SCRIPT = srv6_load_script()
+SOURCES = {"srv6.rp4": srv6_rp4_source()}
+PACKET = ipv4_packet("10.1.0.1", "10.2.0.5")
+
+
+def base_node():
+    controller = Controller()
+    controller.load_base(base_rp4_source())
+    populate_base_tables(controller.switch.tables)
+    return controller
+
+
+def sharded_fleet(n_nodes=6, n_workers=2, start=False):
+    """Isolated base nodes, sharded; deterministic (threadless) mode
+    by default so command execution interleaves predictably."""
+    fabric = Fabric()
+    for index in range(n_nodes):
+        fabric.add_node(f"n{index}", base_node())
+    fabric.shard(n_workers, start=start)
+    return fabric
+
+
+class TestFramedCommands:
+    def test_inject_batch_walks_traffic(self):
+        fabric = sharded_fleet(2, 1)
+        worker = fabric.workers[0]
+        reply = worker.request(
+            "worker.inject_batch",
+            {"items": [{"i": 0, "node": "n0", "port": 0,
+                        "data": PACKET.hex()}]},
+        )
+        assert len(reply["deliveries"]) == 1
+        assert reply["deliveries"][0]["node"] == "n0"
+        assert reply["dropped"] == [] and reply["loops"] == []
+
+    def test_stage_commit_rollback_round_trip(self):
+        fabric = sharded_fleet(2, 1)
+        worker = fabric.workers[0]
+        before = fabric.node("n0").design.config
+        staged = worker.request(
+            "worker.stage",
+            {"node": "n0", "script": SCRIPT, "sources": SOURCES},
+        )
+        committed = worker.request(
+            "worker.commit", {"node": "n0", "token": staged["token"]}
+        )
+        assert committed["total_seconds"] >= 0
+        restored = worker.request("worker.rollback", {"node": "n0"})
+        assert "restored" in restored
+        assert fabric.node("n0").design.config == before
+
+    def test_unknown_node_is_worker_error(self):
+        fabric = sharded_fleet(2, 1)
+        with pytest.raises(WorkerError):
+            fabric.workers[0].request(
+                "worker.stage",
+                {"node": "ghost", "script": SCRIPT, "sources": SOURCES},
+            )
+
+    def test_unknown_command_is_worker_error(self):
+        fabric = sharded_fleet(2, 1)
+        with pytest.raises(WorkerError):
+            fabric.workers[0].request("worker.nonsense", {})
+
+    def test_error_reply_keeps_worker_serving(self):
+        fabric = sharded_fleet(2, 1)
+        worker = fabric.workers[0]
+        with pytest.raises(WorkerError):
+            worker.request("worker.rollback", {"node": "ghost"})
+        reply = worker.request("worker.probe", {
+            "node": "n0", "items": [[PACKET.hex(), 0]],
+        })
+        assert reply["dropped"] == 0
+
+    def test_scatter_gather_replies_fifo(self):
+        fabric = sharded_fleet(2, 1)
+        worker = fabric.workers[0]
+        worker.post_request("worker.probe", {
+            "node": "n0", "items": [[PACKET.hex(), 0]],
+        })
+        worker.post_request("worker.probe", {
+            "node": "n1", "items": [[PACKET.hex(), 0], [PACKET.hex(), 0]],
+        })
+        first = worker.collect_reply("worker.probe")
+        second = worker.collect_reply("worker.probe")
+        assert first["total"] == 1
+        assert second["total"] == 2
+
+
+class TestBatchCommands:
+    def test_stage_batch_stages_all(self):
+        fabric = sharded_fleet(3, 1)
+        worker = fabric.workers[0]
+        reply = worker.request(
+            "worker.stage_batch",
+            {"nodes": ["n0", "n1", "n2"], "script": SCRIPT,
+             "sources": SOURCES},
+        )
+        assert [entry["node"] for entry in reply["results"]] == [
+            "n0", "n1", "n2",
+        ]
+        assert all("token" in entry for entry in reply["results"])
+
+    def test_stage_batch_stops_at_first_failure(self):
+        fabric = sharded_fleet(3, 1)
+        worker = fabric.workers[0]
+        reply = worker.request(
+            "worker.stage_batch",
+            {"nodes": ["n0", "ghost", "n2"], "script": SCRIPT,
+             "sources": SOURCES},
+        )
+        results = reply["results"]
+        # n0 staged, ghost errored, n2 never attempted.
+        assert len(results) == 2
+        assert "token" in results[0]
+        assert results[1]["node"] == "ghost" and "error" in results[1]
+
+    def test_commit_batch_commits_in_order(self):
+        fabric = sharded_fleet(2, 1)
+        worker = fabric.workers[0]
+        staged = worker.request(
+            "worker.stage_batch",
+            {"nodes": ["n0", "n1"], "script": SCRIPT, "sources": SOURCES},
+        )["results"]
+        reply = worker.request(
+            "worker.commit_batch",
+            {"items": [{"node": e["node"], "token": e["token"]}
+                       for e in staged]},
+        )
+        assert [entry["node"] for entry in reply["results"]] == ["n0", "n1"]
+        assert all(e["total_seconds"] >= 0 for e in reply["results"])
+
+    def test_commit_batch_failure_parks_later_tokens(self):
+        fabric = sharded_fleet(2, 1)
+        worker = fabric.workers[0]
+        staged = worker.request(
+            "worker.stage_batch",
+            {"nodes": ["n0", "n1"], "script": SCRIPT, "sources": SOURCES},
+        )["results"]
+        items = [
+            {"node": "n0", "token": "bogus"},
+            {"node": "n1", "token": staged[1]["token"]},
+        ]
+        reply = worker.request("worker.commit_batch", {"items": items})
+        results = reply["results"]
+        assert len(results) == 1 and "error" in results[0]
+        # The later token is still parked: the caller can abort it.
+        aborted = worker.request(
+            "worker.abort", {"node": "n1", "token": staged[1]["token"]}
+        )
+        assert aborted["aborted"]
+
+    def test_probe_batch_per_node_results(self):
+        fabric = sharded_fleet(3, 1)
+        reply = fabric.workers[0].request(
+            "worker.probe_batch",
+            {"nodes": ["n0", "n1", "n2"], "items": [[PACKET.hex(), 0]]},
+        )
+        assert [entry["node"] for entry in reply["results"]] == [
+            "n0", "n1", "n2",
+        ]
+        assert all(entry["dropped"] == 0 for entry in reply["results"])
+
+
+class TestMetricShards:
+    def test_snapshotter_ships_deltas(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("x.count", node="n0")
+        snapshotter = ShardSnapshotter()
+        counter.inc(3)
+        first = snapshotter.snapshot([({}, registry)])
+        counter.inc(2)
+        second = snapshotter.snapshot([({}, registry)])
+        values = {
+            tuple(sorted(labels.items())): value
+            for name, labels, kind, value in first + second
+            if name == "x.count"
+        }
+        assert values[(("node", "n0"),)] == 2  # last delta
+        deltas = [v for n, _l, _k, v in first + second if n == "x.count"]
+        assert sum(deltas) == 5  # lossless across snapshots
+
+    def test_merge_shard_into_accumulates_counters(self):
+        registry = MetricsRegistry()
+        shard = {"samples": [["pkts", {"node": "n0"}, "counter", 4]]}
+        assert merge_shard_into(registry, shard) == 1
+        merge_shard_into(registry, shard)
+        assert registry.value("pkts", node="n0") == 8
+
+    def test_merge_shard_into_overwrites_gauges(self):
+        registry = MetricsRegistry()
+        merge_shard_into(
+            registry, {"samples": [["depth", {}, "gauge", 4]]}
+        )
+        merge_shard_into(
+            registry, {"samples": [["depth", {}, "gauge", 2]]}
+        )
+        assert registry.value("depth") == 2
+
+    def test_accumulator_value_lookup(self):
+        accumulator = MetricShardAccumulator()
+        accumulator.apply(
+            {"samples": [["pkts", {"node": "n1"}, "counter", 7]]}
+        )
+        assert accumulator.value("pkts", node="n1") == 7
+        assert accumulator.shards_applied == 1
+
+    def test_histogram_buckets_merge_exactly(self):
+        # Histograms cross the shard boundary as their _bucket/_count/
+        # _sum counter series; the merged registry must reconstruct
+        # the exact snapshot.
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat", (0.1, 1.0), node="n0")
+        histogram.observe(0.05)
+        histogram.observe(0.5)
+        histogram.observe(5.0)
+        snapshotter = ShardSnapshotter()
+        shard = {"samples": snapshotter.snapshot([({}, registry)])}
+        central = MetricsRegistry()
+        merge_shard_into(central, shard)
+        snapshot = central.histogram_snapshot("lat", node="n0")
+        assert snapshot is not None
+        assert snapshot.count == 3
+        assert snapshot.sum == pytest.approx(5.55)
+        assert snapshot.counts == (1, 1, 1)  # one per bucket incl. +Inf
+
+    def test_worker_metrics_shard_is_lossless(self):
+        fabric = sharded_fleet(4, 2)
+        items = [(f"n{i % 4}", PACKET, 0) for i in range(40)]
+        results = fabric.send_batch(items)
+        assert all(r is not None for r in results)
+        fabric.sync_metrics()
+        total = sum(
+            s.value
+            for s in fabric.metrics.collect()
+            if s.name == "fabric.delivered"
+        )
+        assert total == 40 == fabric.stats.delivered
+
+
+class TestShardedEquivalence:
+    def test_sharded_send_matches_serial(self):
+        serial = sharded_fleet(4, 2, start=False)
+        serial.unshard()
+        sharded = sharded_fleet(4, 2, start=False)
+        items = [(f"n{i % 4}", PACKET, 0) for i in range(12)]
+        serial_out = serial.send_batch(items)
+        sharded_out = sharded.send_batch(items)
+        assert [d and d.data for d in serial_out] == [
+            d and d.data for d in sharded_out
+        ]
+        assert [d and (d.node, d.port, d.hops, d.path) for d in serial_out] \
+            == [d and (d.node, d.port, d.hops, d.path) for d in sharded_out]
+
+
+class TestUpdatePlanCache:
+    def test_fleet_rollout_compiles_once(self):
+        fabric = sharded_fleet(6, 2)
+        fabric.staged_rollout(SCRIPT, SOURCES, wave_size=3)
+        cache = fabric.plan_cache
+        assert cache.misses == 1  # the canary
+        assert cache.hits == 5  # every peer reused the compile
+
+    def test_cache_key_covers_design_content(self):
+        fabric = sharded_fleet(2, 1)
+        node = fabric.node("n0")
+        fingerprint_a = UpdatePlanCache.fingerprint(
+            node.design, SCRIPT, SOURCES
+        )
+        fingerprint_b = UpdatePlanCache.fingerprint(
+            node.design, SCRIPT + "\n", SOURCES
+        )
+        assert fingerprint_a != fingerprint_b
+
+    def test_unshard_uninstalls_cache(self):
+        fabric = sharded_fleet(2, 1)
+        assert all(
+            fabric.node(f"n{i}").plan_cache is not None for i in range(2)
+        )
+        fabric.unshard()
+        assert all(
+            fabric.node(f"n{i}").plan_cache is None for i in range(2)
+        )
