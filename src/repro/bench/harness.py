@@ -1,12 +1,20 @@
 """The continuous benchmark harness: ``python -m repro.bench.harness``.
 
 Runs the workload matrix (programs x trace sizes x both switches),
-measuring each cell twice -- once plain for pps / ns-per-packet, once
-under the :class:`repro.obs.prof.Profiler` for per-stage shares and
-the profiler's own overhead -- and emits one schema-versioned
-``BENCH_<stamp>.json`` (see :mod:`repro.bench.schema`).  The committed
-sequence of those files is the repo's performance trajectory; CI runs
-``--smoke`` and ``--compare``s against the latest committed baseline.
+measuring each cell three ways -- once plain for the headline pps /
+ns-per-packet (the front door's default columnar batch path), once
+with the columnar path disabled (the scalar interpreter, reported as
+the per-cell ``columnar`` on/off comparison), and once under the
+:class:`repro.obs.prof.Profiler` for per-stage shares and the
+profiler's own overhead -- and emits one schema-versioned
+``BENCH_<stamp>.json`` (see :mod:`repro.bench.schema`).  Profiled runs
+replay a longer trace (:data:`repro.bench.scenarios.PROFILE_MIN_PACKETS`)
+than the plain cells: at 300--1000 packets the overhead measurement
+was noise-dominated.  The profiler only hooks the scalar loop, so
+``overhead_pct`` is computed against the columnar-off run.  The
+committed sequence of ``BENCH_*.json`` files is the repo's performance
+trajectory; CI runs ``--smoke`` and ``--compare``s against the latest
+committed baseline.
 
 Modes::
 
@@ -37,15 +45,19 @@ from repro.bench.scenarios import (
     measure_int_overhead,
     measure_update_stall,
     measure_verify_latency,
+    profile_packet_floor,
+    PROFILE_MIN_PACKETS,
     VERIFY_PROGRAMS,
     VERIFY_SMOKE_PROGRAMS,
 )
 from repro.bench.schema import (
+    DEFAULT_COLUMNAR_TOLERANCE,
     DEFAULT_OVERHEAD_TOLERANCE_PCT,
     DEFAULT_RELATIVE_TOLERANCE,
     DOCUMENT_KIND,
     SCHEMA_VERSION,
     compare_documents,
+    data_quality_warnings,
     format_comparison,
     validate_bench,
 )
@@ -66,11 +78,28 @@ def measure_cell(
     n_packets: int,
     seed: int = 23,
     clock: Optional[Clock] = None,
+    profile_packets: Optional[int] = None,
 ) -> dict:
-    """One matrix cell: plain timed run, then profiled run, one dict."""
+    """One matrix cell: columnar-on, columnar-off, and profiled runs.
+
+    The headline throughput figures come from the columnar-on run (the
+    front door's default path); the columnar-off run times the scalar
+    interpreter the batch path must stay byte-identical with, and is
+    also the basis for ``overhead_pct`` (the profiled run executes the
+    scalar loop by construction -- the hooks live there).  The profiled
+    run replays at least ``profile_packets`` packets so the overhead
+    measurement isn't noise-dominated at small cell sizes; the floor is
+    matrix policy (:func:`run_matrix` passes
+    :func:`~repro.bench.scenarios.profile_packet_floor`), so a direct
+    call without it profiles exactly ``n_packets``.
+    """
     clock = clock or MONOTONIC
     switch = make_switch(arch, case)
     trace = case_trace(case, n_packets, seed=seed)
+    if profile_packets is None:
+        profile_packets = n_packets
+    profile_packets = max(n_packets, profile_packets)
+    profile_trace = case_trace(case, profile_packets, seed=seed)
 
     switch.inject_batch(trace[:WARMUP_PACKETS])
 
@@ -80,15 +109,30 @@ def measure_cell(
     forwarded = batch.forwarded
     dropped = batch.dropped
 
-    profiler = switch.enable_profiling()
-    started = clock.now()
-    switch.inject_batch(trace)
-    profiled_seconds = clock.now() - started
-    switch.disable_profiling()
+    switch.dp.columnar_enabled = False
+    try:
+        switch.inject_batch(trace[:WARMUP_PACKETS])
+        started = clock.now()
+        switch.inject_batch(trace)
+        scalar_seconds = clock.now() - started
+
+        profiler = switch.enable_profiling()
+        started = clock.now()
+        switch.inject_batch(profile_trace)
+        profiled_seconds = clock.now() - started
+        switch.disable_profiling()
+    finally:
+        switch.dp.columnar_enabled = True
 
     packets = len(trace)
     plain_seconds = max(plain_seconds, 1e-12)
-    overhead_pct = (profiled_seconds - plain_seconds) / plain_seconds * 100.0
+    scalar_seconds = max(scalar_seconds, 1e-12)
+    ns_per_pkt = plain_seconds / packets * 1e9
+    scalar_ns_per_pkt = scalar_seconds / packets * 1e9
+    profiled_ns_per_pkt = profiled_seconds / profile_packets * 1e9
+    overhead_pct = (
+        (profiled_ns_per_pkt - scalar_ns_per_pkt) / scalar_ns_per_pkt * 100.0
+    )
     prof_packets = max(1, profiler.packets)
     phase_ns_per_pkt = {
         phase: seconds / prof_packets * 1e9
@@ -106,10 +150,15 @@ def measure_cell(
         "dropped": dropped,
         "seconds": plain_seconds,
         "pps": packets / plain_seconds,
-        "ns_per_pkt": plain_seconds / packets * 1e9,
+        "ns_per_pkt": ns_per_pkt,
+        "columnar": {
+            "ns_per_pkt_off": scalar_ns_per_pkt,
+            "speedup_x": scalar_ns_per_pkt / ns_per_pkt,
+        },
         "profile": {
+            "profiled_packets": profile_packets,
             "profiled_seconds": profiled_seconds,
-            "profiled_ns_per_pkt": profiled_seconds / packets * 1e9,
+            "profiled_ns_per_pkt": profiled_ns_per_pkt,
             "overhead_pct": overhead_pct,
             "phase_shares": dict(sorted(profiler.phase_shares().items())),
             "phase_ns_per_pkt": phase_ns_per_pkt,
@@ -135,11 +184,13 @@ def run_matrix(
     cases = tuple(cases) if cases else CASES
     switches = tuple(switches) if switches else SWITCHES
     results: List[dict] = []
+    profile_floor = profile_packet_floor(mode)
     for case in cases:
         for arch in switches:
             for n_packets in sizes:
                 result = measure_cell(
-                    arch, case, n_packets, seed=seed, clock=clock
+                    arch, case, n_packets, seed=seed, clock=clock,
+                    profile_packets=profile_floor,
                 )
                 results.append(result)
                 if log is not None:
@@ -147,7 +198,9 @@ def run_matrix(
                     log(
                         f"{arch}/{case} n={n_packets}: "
                         f"{result['pps']:.0f} pps "
-                        f"({result['ns_per_pkt']:.0f} ns/pkt), "
+                        f"({result['ns_per_pkt']:.0f} ns/pkt, "
+                        f"columnar {result['columnar']['speedup_x']:.1f}x "
+                        f"vs scalar), "
                         f"profile overhead {profile['overhead_pct']:+.1f}%"
                     )
     # Update-stall cells: the transactional commit vs the stop-the-
@@ -332,6 +385,11 @@ def build_parser(prog: str = "repro.bench.harness") -> argparse.ArgumentParser:
         help="absolute tolerance (pct points) on profile overhead",
     )
     parser.add_argument(
+        "--columnar-tolerance", type=float,
+        default=DEFAULT_COLUMNAR_TOLERANCE,
+        help="relative tolerance on the columnar speedup for --compare",
+    )
+    parser.add_argument(
         "--report-only", action="store_true",
         help="--compare prints the report but always exits 0",
     )
@@ -354,6 +412,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"{args.validate}: valid {DOCUMENT_KIND} v{doc['schema_version']} "
             f"({len(doc['results'])} results)\n"
         )
+        for warning in data_quality_warnings(doc):
+            out.write(f"WARNING: {warning}\n")
         return 0
 
     if args.compare:
@@ -372,6 +432,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             new,
             relative_tolerance=args.tolerance,
             overhead_tolerance_pct=args.overhead_tolerance,
+            columnar_tolerance=args.columnar_tolerance,
         )
         out.write(format_comparison(comparison) + "\n")
         if not comparison.ok and not args.report_only:

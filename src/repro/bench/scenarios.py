@@ -69,6 +69,24 @@ CASE_ARTIFACTS = {
 }
 
 
+#: Minimum trace length for a *profiled* matrix run.  At the plain
+#: cells' 300--1000 packets the profiler's measured overhead read
+#: 74--96% and wandered tens of points between runs -- per-hook timer
+#: cost plus scheduler jitter swamped the signal and made phase shares
+#: unreliable.  Profiled runs therefore replay at least this many
+#: packets regardless of the plain cell's trace size (the plain run
+#: keeps its own size: its wall-clock budget belongs to the matrix).
+PROFILE_MIN_PACKETS = 4000
+#: Smoke-mode floor: enough packets to stabilize phase shares without
+#: blowing the sub-second-per-cell CI budget.
+PROFILE_SMOKE_MIN_PACKETS = 600
+
+
+def profile_packet_floor(mode: str = "full") -> int:
+    """The profiled-run packet floor for a harness mode."""
+    return PROFILE_SMOKE_MIN_PACKETS if mode == "smoke" else PROFILE_MIN_PACKETS
+
+
 def check_case(case: str) -> str:
     if case not in CASES:
         raise ValueError(f"unknown case {case!r} (expected one of {CASES})")
@@ -339,6 +357,11 @@ def measure_int_overhead(
     and through base + ``int_insert`` with timestamping enabled (stack
     on); every packet pays a shim insert plus one hop-record push.
     ``best_of`` fresh runs per mode, minimum wall time reported.
+
+    Both legs run the scalar interpreter: the INT clock pins the
+    front door to the scalar loop, so the off leg disables the
+    columnar batch path too -- otherwise the cell would report the
+    columnar speedup as INT overhead.
     """
     from repro.obs.intcol import IntCollector
     from repro.programs import (
@@ -355,8 +378,13 @@ def measure_int_overhead(
         for i in range(n_packets)
     ]
 
+    def scalar_base():
+        switch = make_ipsa("base")
+        switch.dp.columnar_enabled = False
+        return switch
+
     off_seconds = min(
-        _time_batch(make_ipsa("base"), trace) for _ in range(best_of)
+        _time_batch(scalar_base(), trace) for _ in range(best_of)
     )
 
     on_seconds = None

@@ -56,6 +56,25 @@ _PROFILE_KEYS = {
     "engine_lookups": dict,
 }
 
+#: The optional per-result ``columnar`` sub-object: the same cell timed
+#: with the columnar batch path disabled (the scalar interpreter), and
+#: the resulting speedup.  Pre-columnar documents lack the key --
+#: absence is valid.
+_COLUMNAR_KEYS = {
+    "ns_per_pkt_off": (int, float),
+    "speedup_x": (int, float),
+}
+#: Default relative tolerance on the columnar speedup for --compare.
+#: The speedup halving (e.g. an eligibility regression silently peeling
+#: a hot signature back to scalar) fails the gate; plain wall-clock
+#: jitter on a shared box moves it far less than that.
+DEFAULT_COLUMNAR_TOLERANCE = 0.5
+
+#: Profiler overhead beyond this many percent means the phase shares
+#: embed more instrumentation cost than dataplane cost -- --validate
+#: surfaces it as a (non-fatal) data-quality warning.
+OVERHEAD_WARN_PCT = 100.0
+
 #: The optional ``update_stall`` section: one cell per (case, path).
 #: Documents from before the transactional update engine simply lack
 #: the key -- absence is valid.
@@ -202,6 +221,40 @@ def validate_bench(doc: object) -> List[str]:
                 problems.append(f"{where}.profile missing {key!r}")
             elif not isinstance(profile[key], types):
                 problems.append(f"{where}.profile.{key} must be {types}")
+        columnar = result.get("columnar")
+        if columnar is not None:
+            if not isinstance(columnar, dict):
+                problems.append(f"{where}.columnar must be an object")
+            else:
+                bad = False
+                for key, types in _COLUMNAR_KEYS.items():
+                    if key not in columnar:
+                        problems.append(f"{where}.columnar missing {key!r}")
+                        bad = True
+                    elif not isinstance(columnar[key], types):
+                        problems.append(
+                            f"{where}.columnar.{key} must be {types}"
+                        )
+                        bad = True
+                if not bad:
+                    if columnar["ns_per_pkt_off"] <= 0:
+                        problems.append(
+                            f"{where}.columnar.ns_per_pkt_off must be "
+                            f"positive"
+                        )
+                    elif result["ns_per_pkt"] > 0:
+                        implied = (
+                            columnar["ns_per_pkt_off"] / result["ns_per_pkt"]
+                        )
+                        if abs(columnar["speedup_x"] - implied) > (
+                            1e-6 * max(implied, 1.0)
+                        ):
+                            problems.append(
+                                f"{where}.columnar.speedup_x "
+                                f"{columnar['speedup_x']:.6f} inconsistent "
+                                f"with ns_per_pkt_off/ns_per_pkt = "
+                                f"{implied:.6f}"
+                            )
         shares = profile.get("phase_shares")
         if isinstance(shares, dict) and shares:
             total = 0.0
@@ -492,6 +545,41 @@ def _validate_fabric_scale(doc: dict) -> List[str]:
     return problems
 
 
+def data_quality_warnings(doc: dict) -> List[str]:
+    """Non-fatal data-quality notes for ``--validate``.
+
+    Structural validity says the document is well-formed, not that its
+    numbers are trustworthy.  The one systematic hazard the matrix has
+    hit in practice is profiler overhead: when the profiled run costs
+    more than :data:`OVERHEAD_WARN_PCT` percent over the plain scalar
+    run, the phase shares describe the instrumentation as much as the
+    dataplane and should be read as indicative only.  Returns warning
+    strings; an empty list means nothing to flag.
+    """
+    warnings: List[str] = []
+    results = doc.get("results") if isinstance(doc, dict) else None
+    for result in results or []:
+        if not isinstance(result, dict):
+            continue
+        profile = result.get("profile")
+        if not isinstance(profile, dict):
+            continue
+        overhead = profile.get("overhead_pct")
+        if not isinstance(overhead, (int, float)):
+            continue
+        if overhead > OVERHEAD_WARN_PCT:
+            cell = (
+                f"{result.get('switch')}/{result.get('case')} "
+                f"n={result.get('packets')}"
+            )
+            warnings.append(
+                f"{cell}: profiler overhead {overhead:+.1f}% exceeds "
+                f"{OVERHEAD_WARN_PCT:.0f}% -- phase shares are dominated "
+                f"by instrumentation cost; treat them as indicative only"
+            )
+    return warnings
+
+
 # -- regression comparison -------------------------------------------------
 
 
@@ -560,6 +648,7 @@ def compare_documents(
     health_tolerance: float = DEFAULT_HEALTH_TOLERANCE,
     verify_tolerance: float = DEFAULT_VERIFY_TOLERANCE,
     fabric_tolerance: float = DEFAULT_FABRIC_SCALE_TOLERANCE,
+    columnar_tolerance: float = DEFAULT_COLUMNAR_TOLERANCE,
 ) -> Comparison:
     """Per-metric regression check of ``new`` against baseline ``old``.
 
@@ -587,6 +676,12 @@ def compare_documents(
     fleet size) regress when the sharded rollout wall clock grows
     beyond ``fabric_tolerance`` or the measured speedup falls below
     the baseline by more than the same factor.
+
+    Per-result ``columnar`` objects (matched like the throughput cells)
+    regress when the columnar speedup falls more than
+    ``columnar_tolerance`` below the baseline or the scalar
+    (columnar-off) ns/pkt grows beyond ``relative_tolerance``; a
+    baseline without the object yields a ``new cell`` note.
     """
     comparison = Comparison()
     old_index = _index_results(old)
@@ -600,6 +695,19 @@ def compare_documents(
     for key in sorted(old_index.keys() & new_index.keys()):
         cell = "/".join(key)
         old_result, new_result = old_index[key], new_index[key]
+        # Columnar-accelerated headline figures are trace-size
+        # dependent (the per-batch column build amortizes, so n=1000
+        # runs several times faster per packet than n=60), which makes
+        # cross-size headline gating meaningless for those cells: the
+        # full-baseline-vs-smoke compare would flag the amortization
+        # gap itself.  When both documents carry a columnar record but
+        # measured different sizes, the headline deltas go advisory
+        # and the size-independent scalar basis (``ns_pkt_off`` below)
+        # carries the gate instead.
+        gate_headline = old_result["packets"] == new_result["packets"] or not (
+            isinstance(old_result.get("columnar"), dict)
+            and isinstance(new_result.get("columnar"), dict)
+        )
         old_pps, new_pps = old_result["pps"], new_result["pps"]
         comparison.deltas.append(
             MetricDelta(
@@ -608,7 +716,8 @@ def compare_documents(
                 old=old_pps,
                 new=new_pps,
                 tolerance=relative_tolerance,
-                regressed=new_pps < old_pps * (1.0 - relative_tolerance),
+                regressed=gate_headline
+                and new_pps < old_pps * (1.0 - relative_tolerance),
             )
         )
         old_ns = old_result["ns_per_pkt"]
@@ -620,7 +729,8 @@ def compare_documents(
                 old=old_ns,
                 new=new_ns,
                 tolerance=relative_tolerance,
-                regressed=new_ns > old_ns * (1.0 + relative_tolerance),
+                regressed=gate_headline
+                and new_ns > old_ns * (1.0 + relative_tolerance),
             )
         )
         old_ovh = old_result["profile"]["overhead_pct"]
@@ -635,6 +745,43 @@ def compare_documents(
                 regressed=new_ovh > old_ovh + overhead_tolerance_pct,
             )
         )
+        old_col = old_result.get("columnar")
+        new_col = new_result.get("columnar")
+        if isinstance(old_col, dict) and not isinstance(new_col, dict):
+            comparison.missing_cells.append(f"columnar:{cell}")
+        elif isinstance(new_col, dict) and not isinstance(old_col, dict):
+            comparison.new_cells.append(f"columnar:{cell}")
+        elif isinstance(old_col, dict) and isinstance(new_col, dict):
+            old_off = old_col["ns_per_pkt_off"]
+            new_off = new_col["ns_per_pkt_off"]
+            comparison.deltas.append(
+                MetricDelta(
+                    cell=cell,
+                    metric="ns_pkt_off",
+                    old=old_off,
+                    new=new_off,
+                    tolerance=relative_tolerance,
+                    regressed=new_off > old_off * (1.0 + relative_tolerance),
+                )
+            )
+            # The speedup ratio is trace-size dependent (per-batch
+            # compile/column-build cost amortizes over more packets),
+            # so it is only gated when the two documents measured the
+            # same size -- e.g. full-vs-full developer runs.  CI's
+            # full-baseline-vs-smoke compare skips it and gates the
+            # smoke document on an absolute floor instead.
+            if old_result["packets"] == new_result["packets"]:
+                old_x, new_x = old_col["speedup_x"], new_col["speedup_x"]
+                comparison.deltas.append(
+                    MetricDelta(
+                        cell=cell,
+                        metric="col_speedup",
+                        old=old_x,
+                        new=new_x,
+                        tolerance=columnar_tolerance,
+                        regressed=new_x < old_x * (1.0 - columnar_tolerance),
+                    )
+                )
     old_stall = _index_stall(old)
     new_stall = _index_stall(new)
     comparison.missing_cells += [

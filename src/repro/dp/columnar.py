@@ -1,0 +1,1470 @@
+"""Columnar batch dataplane: the vectorized parse/match/execute path.
+
+The scalar loop pays Python dispatch per packet per stage; a trace of
+mostly-identical packets repeats the same parse decisions, predicate
+evaluations, and table probes thousands of times.  This module runs
+:func:`repro.dp.frontdoor.inject_batch` input column-wise instead:
+
+1. **Classify** -- walk the parse graph over the whole batch at once
+   (selector fields extracted as NumPy columns) and partition rows by
+   *parse-set signature*: the exact header chain a packet would parse.
+2. **Compile** -- per signature, lower the device's compiled scalar
+   plan into vector kernels: predicates and action expressions become
+   uint64 broadcast ops, table lookups become batched probes against
+   the engines' packed-record indexes
+   (:meth:`repro.tables.table.Table.lookup_batch`).
+3. **Execute** -- run every stage once per batch with row masks for
+   drop/divergence, scatter dirty fields back into the byte matrix,
+   and emit survivors.
+
+Anything the kernels cannot express -- variable-length headers (the
+INT shim, SRH), externs, ternary/range engines, arithmetic that could
+overflow 64 bits -- *peels*: those rows fall back to the scalar
+per-packet loop, at their original batch positions, so a mixed batch
+is byte-for-byte identical to N ``inject`` calls.
+
+Cache coherence rides on the scalar plan cache: the compiled columnar
+program is keyed on the scalar plan **object** (see
+``DataplaneCore._columnar``), so every invalidate/flip retires it
+with the plan it lowered -- batches are therefore plan-atomic, and a
+transactional epoch flip lands exactly at a batch boundary.
+
+NumPy is optional: without it (or with ``REPRO_FORCE_NO_NUMPY=1``)
+the front door silently keeps the scalar loop.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Tuple
+
+try:  # pragma: no cover - exercised via REPRO_FORCE_NO_NUMPY in CI
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+from repro.lang import expr as lang
+from repro.net.fields import mask_to_width
+from repro.obs.trace import DropReason
+from repro.tables import actions as act
+
+NUMPY_HINT = (
+    "the columnar batch dataplane requires numpy>=1.24 (declared in "
+    "pyproject.toml); it is not importable here, so inject_batch "
+    "automatically falls back to the scalar per-packet loop. Install "
+    "numpy to enable the vectorized fast path."
+)
+
+#: Primitive names with a vector kernel; everything else peels.
+_VECTOR_PRIMS = ("drop", "mark_to_cpu", "no_op", "decrement_ttl")
+
+_MISSING = object()
+_NEVER = object()  # arm predicate that is constant-false for the signature
+
+
+def _numpy():
+    """The NumPy module, or ``None`` (absent / explicitly disabled)."""
+    if os.environ.get("REPRO_FORCE_NO_NUMPY") == "1":
+        return None
+    return _np
+
+
+def require_numpy():
+    """Raise a descriptive ImportError when the columnar path is
+    requested explicitly but NumPy is unavailable."""
+    np = _numpy()
+    if np is None:
+        raise ImportError(NUMPY_HINT)
+    return np
+
+
+class _Ineligible(Exception):
+    """Internal: this signature cannot run columnar (peel to scalar)."""
+
+
+# --------------------------------------------------------------------------
+# Field recipes: (extract, scatter, width) per header field
+# --------------------------------------------------------------------------
+
+
+def _make_recipe(np, start_bit: int, width: int):
+    """Vector extract/scatter closures for one fixed-offset field.
+
+    ``None`` when the field cannot be handled as one uint64 column
+    (spans more than 8 bytes) or one (hi, lo) pair (width 128, byte
+    aligned) -- users of such fields peel.
+    """
+    if width <= 64:
+        b0 = start_bit // 8
+        b1 = (start_bit + width - 1) // 8
+        nbytes = b1 - b0 + 1
+        if nbytes > 8:
+            return None
+        shift_right = (b1 + 1) * 8 - (start_bit + width)
+        sr = np.uint64(shift_right)
+        mask = np.uint64((1 << width) - 1)
+        span_bits = nbytes * 8
+        clear = np.uint64(
+            ((1 << span_bits) - 1) ^ (((1 << width) - 1) << shift_right)
+        )
+        eight = np.uint64(8)
+
+        def extract(mat):
+            acc = mat[:, b0].astype(np.uint64)
+            for b in range(b0 + 1, b1 + 1):
+                acc = (acc << eight) | mat[:, b]
+            return (acc >> sr) & mask
+
+        def scatter(mat, values, rows):
+            acc = mat[rows, b0].astype(np.uint64)
+            for b in range(b0 + 1, b1 + 1):
+                acc = (acc << eight) | mat[rows, b]
+            acc = (acc & clear) | (values << sr)
+            for j in range(nbytes - 1, -1, -1):
+                mat[rows, b0 + j] = (acc & np.uint64(0xFF)).astype(np.uint8)
+                acc = acc >> eight
+
+        return (extract, scatter, width)
+    if width == 128 and start_bit % 8 == 0:
+        b0 = start_bit // 8
+        eight = np.uint64(8)
+
+        def extract128(mat):
+            hi = mat[:, b0].astype(np.uint64)
+            for b in range(b0 + 1, b0 + 8):
+                hi = (hi << eight) | mat[:, b]
+            lo = mat[:, b0 + 8].astype(np.uint64)
+            for b in range(b0 + 9, b0 + 16):
+                lo = (lo << eight) | mat[:, b]
+            return (hi, lo)
+
+        def scatter128(mat, values, rows):
+            hi, lo = values
+            acc = hi.copy()
+            for j in range(7, -1, -1):
+                mat[rows, b0 + j] = (acc & np.uint64(0xFF)).astype(np.uint8)
+                acc = acc >> eight
+            acc = lo.copy()
+            for j in range(7, -1, -1):
+                mat[rows, b0 + 8 + j] = (
+                    acc & np.uint64(0xFF)
+                ).astype(np.uint8)
+                acc = acc >> eight
+
+        return (extract128, scatter128, width)
+    return None
+
+
+def _chain_recipes(np, chain):
+    """Recipes for every field of every header in a parse chain.
+
+    Layout math mirrors :meth:`repro.net.headers.HeaderType.unpack`:
+    a field's start bit is ``fixed_bits - shift - width`` into the
+    header, at byte offset ``off`` in the packet.
+    """
+    recipes: Dict[str, Optional[tuple]] = {}
+    for name, htype, off in chain:
+        for fname, shift, mask, width in htype._layout:
+            start_bit = off * 8 + (htype.fixed_bits - shift - width)
+            recipes[f"{name}.{fname}"] = _make_recipe(np, start_bit, width)
+    return recipes
+
+
+# --------------------------------------------------------------------------
+# PacketColumns: struct-of-arrays view of one homogeneous group
+# --------------------------------------------------------------------------
+
+
+class PacketColumns:
+    """Column store for one signature group: lazily materialized
+    uint64 columns over a shared ``[m, maxlen]`` byte matrix.
+
+    Header fields extract on first read and scatter back at emit when
+    dirty; metadata fields broadcast from the device template (with
+    ``ingress_port`` / ``packet_length`` taken per row).  128-bit
+    fields are ``(hi, lo)`` uint64 pairs.
+    """
+
+    __slots__ = (
+        "np", "m", "mat", "lengths", "ports", "recipes", "template",
+        "cols", "dirty",
+    )
+
+    def __init__(self, np, mat, lengths, ports, recipes, template):
+        self.np = np
+        self.mat = mat
+        self.lengths = lengths
+        self.ports = ports
+        self.m = mat.shape[0]
+        self.recipes = recipes
+        self.template = template
+        self.cols: Dict[str, object] = {}
+        self.dirty: Dict[str, bool] = {}
+
+    def get(self, ref: str):
+        col = self.cols.get(ref)
+        if col is None:
+            col = self._materialize(ref)
+            self.cols[ref] = col
+        return col
+
+    def _materialize(self, ref: str):
+        np = self.np
+        if ref.startswith("meta."):
+            name = ref[5:]
+            if name == "ingress_port":
+                return self.ports.astype(np.uint64)
+            if name == "packet_length":
+                return self.lengths.astype(np.uint64)
+            return np.full(
+                self.m, int(self.template.get(name, 0)), np.uint64
+            )
+        extract = self.recipes[ref][0]
+        return extract(self.mat)
+
+    def set_field(self, ref: str, values, rows) -> None:
+        """Write a header field column (masked to the field width)."""
+        np = self.np
+        col = self.get(ref)
+        width = self.recipes[ref][2]
+        if width > 64:
+            hi, lo = col
+            if isinstance(values, tuple):
+                vhi, vlo = values
+            else:
+                vhi, vlo = np.uint64(0), values
+            hi[rows] = vhi
+            lo[rows] = vlo
+        else:
+            col[rows] = values & np.uint64((1 << width) - 1)
+        self.dirty[ref] = True
+
+    def set_meta(self, name: str, values, rows) -> None:
+        col = self.get("meta." + name)
+        col[rows] = values
+
+
+# --------------------------------------------------------------------------
+# Classification: partition the batch by parse-set signature
+# --------------------------------------------------------------------------
+
+
+def _selector_recipe(np, htype, off, selector):
+    for fname, shift, mask, width in htype._layout:
+        if fname == selector:
+            if width > 64:
+                return None
+            start_bit = off * 8 + (htype.fixed_bits - shift - width)
+            recipe = _make_recipe(np, start_bit, width)
+            return recipe[0] if recipe else None
+    return None
+
+
+def _merge_group(groups, chain, terminal, rows):
+    key = (tuple(c[0] for c in chain), terminal)
+    entry = groups.get(key)
+    if entry is None:
+        groups[key] = (chain, terminal, [rows])
+    else:
+        entry[2].append(rows)
+
+
+def _classify(np, items, header_types, linkage, first_header):
+    """Batch-wide parse walk.
+
+    Returns ``(mat, lengths, ports, groups, peel)`` where ``groups``
+    maps ``(chain names, terminal)`` to ``(chain, terminal, row index
+    arrays)`` and ``peel`` collects rows that diverge: variable-length
+    headers in the chain, rows too short for a fixed header (the
+    scalar parser raises), duplicate instance names, or selectors the
+    recipes cannot extract.
+    """
+    n = len(items)
+    lengths = np.array([len(d) for d, _p in items], dtype=np.int64)
+    ports = np.array([p for _d, p in items], dtype=np.int64)
+    maxlen = int(lengths.max()) if n else 0
+    if maxlen == 0:
+        mat = np.zeros((n, 0), np.uint8)
+    elif bool((lengths == maxlen).all()):
+        mat = (
+            np.frombuffer(b"".join(d for d, _p in items), np.uint8)
+            .reshape(n, maxlen)
+            .copy()
+        )
+    else:
+        mat = np.zeros((n, maxlen), np.uint8)
+        for i, (data, _p) in enumerate(items):
+            if data:
+                mat[i, : len(data)] = np.frombuffer(data, np.uint8)
+    groups: Dict[tuple, tuple] = {}
+    peel: List = []
+    sel_cache: Dict[tuple, object] = {}
+    pending = [(first_header, 0, (), np.arange(n, dtype=np.int64))]
+    while pending:
+        expected, off, chain, rows = pending.pop()
+        if rows.size == 0:
+            continue
+        if expected is None or expected not in header_types:
+            _merge_group(groups, chain, expected, rows)
+            continue
+        htype = header_types[expected]
+        if htype.varlen_field is not None or any(
+            c[0] == expected for c in chain
+        ):
+            peel.append(rows)
+            continue
+        need = off + htype._fixed_bytes
+        ok = lengths[rows] >= need
+        short = rows[~ok]
+        if short.size:
+            peel.append(short)
+        rows = rows[ok]
+        if rows.size == 0:
+            continue
+        new_chain = chain + ((expected, htype, off),)
+        selector = linkage.selector(expected)
+        if selector is None:
+            _merge_group(groups, new_chain, None, rows)
+            continue
+        cache_key = (expected, off)
+        extract = sel_cache.get(cache_key, _MISSING)
+        if extract is _MISSING:
+            extract = _selector_recipe(np, htype, off, selector)
+            sel_cache[cache_key] = extract
+        if extract is None:
+            peel.append(rows)
+            continue
+        tags = extract(mat)[rows]
+        for tag in np.unique(tags):
+            sub = rows[tags == tag]
+            pending.append(
+                (linkage.next_header(expected, int(tag)), need, new_chain, sub)
+            )
+    return mat, lengths, ports, groups, peel
+
+
+# --------------------------------------------------------------------------
+# Demand-parse simulation (IPSA JIT parsing over a known chain)
+# --------------------------------------------------------------------------
+
+
+class _ParseSim:
+    """Replays :meth:`Packet.ensure_parsed` against a fixed chain.
+
+    Because every row of a group follows the same chain, the per-stage
+    newly-parsed counts (and the validity set each stage sees) are
+    signature constants computed once at compile time.
+    """
+
+    __slots__ = ("chain", "terminal", "linkage", "pos", "parsed")
+
+    def __init__(self, chain, terminal, linkage):
+        self.chain = chain
+        self.terminal = terminal
+        self.linkage = linkage
+        self.pos = 0
+        self.parsed: set = set()
+
+    def _frontier(self):
+        if self.pos < len(self.chain):
+            return self.chain[self.pos][0]
+        return self.terminal
+
+    def ensure(self, names) -> int:
+        count = 0
+        remaining = {n for n in names if n not in self.parsed}
+        while remaining:
+            frontier = self._frontier()
+            if frontier is None:
+                break
+            if frontier not in remaining and remaining.isdisjoint(
+                self.linkage.reachable_set(frontier)
+            ):
+                break
+            if self.pos >= len(self.chain):
+                break  # unknown header type: parse_one yields nothing
+            self.parsed.add(frontier)
+            self.pos += 1
+            count += 1
+            remaining.discard(frontier)
+        return count
+
+
+# --------------------------------------------------------------------------
+# Expression compilers (vector value functions)
+# --------------------------------------------------------------------------
+#
+# Both compilers return either ("const", int) or (fn, max_bits) where
+# fn(pc, rows, bound) yields a uint64 column (full-length when rows is
+# None).  max_bits is a static bound on the result's bit length; any
+# subexpression that could exceed 64 bits is ineligible, which is what
+# makes uint64 arithmetic exactly equal to Python's bignums here.
+
+
+class _Ctx:
+    __slots__ = ("np", "validity", "template", "recipes")
+
+    def __init__(self, np, validity, template, recipes):
+        self.np = np
+        self.validity = validity
+        self.template = template
+        self.recipes = recipes
+
+
+def _sel(col, rows):
+    return col if rows is None else col[rows]
+
+
+def _compile_ref(ref: str, ctx: _Ctx):
+    if "." not in ref:
+        raise _Ineligible(ref)
+    scope, _field = ref.split(".", 1)
+    if scope == "meta":
+        name = ref[5:]
+        if name not in ("ingress_port", "packet_length"):
+            value = ctx.template.get(name, _MISSING)
+            if (
+                value is _MISSING
+                or isinstance(value, bool)
+                or not isinstance(value, int)
+                or not 0 <= value < (1 << 64)
+            ):
+                raise _Ineligible(ref)
+        return (lambda pc, rows, bound: _sel(pc.get(ref), rows)), 64
+    recipe = ctx.recipes.get(ref)
+    if recipe is None or scope not in ctx.validity:
+        raise _Ineligible(ref)
+    width = recipe[2]
+    if width > 64:
+        raise _Ineligible(ref)
+    return (lambda pc, rows, bound: _sel(pc.get(ref), rows)), width
+
+
+def _as_fn(np, compiled):
+    """Normalize a compiled value to a callable (consts broadcast)."""
+    if compiled[0] == "const":
+        value = np.uint64(compiled[1])
+        return lambda pc, rows, bound: value
+    return compiled[0]
+
+
+def _check_const(value):
+    if (
+        isinstance(value, bool)
+        or not isinstance(value, int)
+        or value < 0
+        or value.bit_length() > 64
+    ):
+        raise _Ineligible(value)
+
+
+def _combine_bits(op, lbits, rbits, rconst):
+    if op == "&":
+        return min(lbits, rbits)
+    if op in ("|", "^"):
+        return max(lbits, rbits)
+    if op == "+":
+        return max(lbits, rbits) + 1
+    if op == "*":
+        return lbits + rbits
+    if op == "<<":
+        if rconst is None or rconst >= 64:
+            raise _Ineligible(op)
+        return lbits + rconst
+    if op == ">>":
+        if rconst is None or rconst >= 64:
+            raise _Ineligible(op)
+        return lbits
+    raise _Ineligible(op)
+
+
+_ARITH = {
+    "&": lambda a, b: a & b,
+    "|": lambda a, b: a | b,
+    "^": lambda a, b: a ^ b,
+    "+": lambda a, b: a + b,
+    "*": lambda a, b: a * b,
+    "<<": lambda a, b: a << b,
+    ">>": lambda a, b: a >> b,
+}
+
+_CMP = {
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    ">": lambda a, b: a > b,
+    "<=": lambda a, b: a <= b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+def _compile_binary(np, op, left, right):
+    """Shared EBin/BinOp lowering over two compiled operands."""
+    lconst = left[0] == "const"
+    rconst = right[0] == "const"
+    if op in _CMP:
+        if lconst and rconst:
+            return ("const", 1 if _CMP[op](left[1], right[1]) else 0)
+        lf, rf = _as_fn(np, left), _as_fn(np, right)
+        cmp = _CMP[op]
+        return (
+            lambda pc, rows, bound: cmp(
+                lf(pc, rows, bound), rf(pc, rows, bound)
+            ).astype(np.uint64),
+            1,
+        )
+    if op in _ARITH:
+        if lconst and rconst:
+            value = _ARITH[op](left[1], right[1])
+            _check_const(value)
+            return ("const", value)
+        lbits = left[1].bit_length() if lconst else left[2]
+        rbits = right[1].bit_length() if rconst else right[2]
+        bits = _combine_bits(op, lbits, rbits, right[1] if rconst else None)
+        if bits > 64:
+            raise _Ineligible(op)
+        lf, rf = _as_fn(np, left), _as_fn(np, right)
+        fn = _ARITH[op]
+        return (
+            lambda pc, rows, bound: fn(
+                lf(pc, rows, bound), rf(pc, rows, bound)
+            ),
+            bits,
+        )
+    raise _Ineligible(op)
+
+
+def _norm(compiled):
+    """(tag/fn, value/bits) -> ("const", v) or (fn, None, bits) triple."""
+    if compiled[0] == "const":
+        return compiled
+    return (compiled[0], None, compiled[1])
+
+
+def _compile_pred_value(expr, ctx: _Ctx):
+    """rP4 predicate Expr -> compiled vector value.
+
+    Mirrors :func:`repro.compiler.lowering.eval_predicate`, with
+    ``valid()`` folded per signature (header validity is a signature
+    constant) -- which also keeps the non-short-circuit vector
+    ``&&``/``||`` faithful: a side that only runs under a validity
+    guard folds away instead of evaluating eagerly.
+    """
+    np = ctx.np
+    if isinstance(expr, lang.EConst):
+        _check_const(expr.value)
+        return ("const", expr.value)
+    if isinstance(expr, lang.EValid):
+        return ("const", 1 if expr.header in ctx.validity else 0)
+    if isinstance(expr, lang.ERef):
+        fn, bits = _compile_ref(expr.ref, ctx)
+        return (fn, None, bits)
+    if isinstance(expr, lang.EUnary):
+        if expr.op != "!":
+            raise _Ineligible(expr.op)
+        inner = _compile_pred_value(expr.operand, ctx)
+        if inner[0] == "const":
+            return ("const", 0 if inner[1] else 1)
+        inner_fn = inner[0]
+        return (
+            lambda pc, rows, bound: (
+                inner_fn(pc, rows, bound) == 0
+            ).astype(np.uint64),
+            None,
+            1,
+        )
+    if isinstance(expr, lang.EBin):
+        op = expr.op
+        if op == "&&":
+            left = _compile_pred_value(expr.left, ctx)
+            if left[0] == "const" and left[1] == 0:
+                return ("const", 0)  # scalar never evaluates the right
+            right = _compile_pred_value(expr.right, ctx)
+            if left[0] == "const":
+                if right[0] == "const":
+                    return ("const", 1 if right[1] else 0)
+                rfn = right[0]
+                return (
+                    lambda pc, rows, bound: (
+                        rfn(pc, rows, bound) != 0
+                    ).astype(np.uint64),
+                    None,
+                    1,
+                )
+            if right[0] == "const":
+                if right[1] == 0:
+                    return ("const", 0)
+                lfn = left[0]
+                return (
+                    lambda pc, rows, bound: (
+                        lfn(pc, rows, bound) != 0
+                    ).astype(np.uint64),
+                    None,
+                    1,
+                )
+            lfn, rfn = left[0], right[0]
+            return (
+                lambda pc, rows, bound: (
+                    (lfn(pc, rows, bound) != 0)
+                    & (rfn(pc, rows, bound) != 0)
+                ).astype(np.uint64),
+                None,
+                1,
+            )
+        if op == "||":
+            left = _compile_pred_value(expr.left, ctx)
+            if left[0] == "const" and left[1] != 0:
+                return ("const", 1)  # scalar never evaluates the right
+            right = _compile_pred_value(expr.right, ctx)
+            if left[0] == "const":  # constant zero
+                if right[0] == "const":
+                    return ("const", 1 if right[1] else 0)
+                rfn = right[0]
+                return (
+                    lambda pc, rows, bound: (
+                        rfn(pc, rows, bound) != 0
+                    ).astype(np.uint64),
+                    None,
+                    1,
+                )
+            if right[0] == "const" and right[1] != 0:
+                return ("const", 1)
+            lfn = left[0]
+            if right[0] == "const":  # constant zero
+                return (
+                    lambda pc, rows, bound: (
+                        lfn(pc, rows, bound) != 0
+                    ).astype(np.uint64),
+                    None,
+                    1,
+                )
+            rfn = right[0]
+            return (
+                lambda pc, rows, bound: (
+                    (lfn(pc, rows, bound) != 0)
+                    | (rfn(pc, rows, bound) != 0)
+                ).astype(np.uint64),
+                None,
+                1,
+            )
+        left = _to_pair(_compile_pred_value(expr.left, ctx))
+        right = _to_pair(_compile_pred_value(expr.right, ctx))
+        return _norm(_compile_binary(np, op, left, right))
+    raise _Ineligible(expr)
+
+
+def _to_pair(triple):
+    """Internal triple -> the 2/3-tuple shape _compile_binary expects."""
+    if triple[0] == "const":
+        return triple
+    return (triple[0], None, triple[2])
+
+
+def _compile_action_value(expr, ctx: _Ctx, params: Dict[str, int]):
+    """Action-VM expression -> compiled vector value."""
+    np = ctx.np
+    if isinstance(expr, act.Const):
+        _check_const(expr.value)
+        return ("const", expr.value)
+    if isinstance(expr, act.Param):
+        width = params.get(expr.name)
+        if width is None or width > 64:
+            raise _Ineligible(expr.name)
+        name = expr.name
+
+        def param_fn(pc, rows, bound):
+            return np.uint64(bound[name])
+
+        return (param_fn, None, width)
+    if isinstance(expr, act.FieldRef):
+        fn, bits = _compile_ref(expr.ref, ctx)
+        return (fn, None, bits)
+    if isinstance(expr, act.BinOp):
+        left = _to_pair(_compile_action_value(expr.left, ctx, params))
+        right = _to_pair(_compile_action_value(expr.right, ctx, params))
+        return _norm(_compile_binary(np, expr.op, left, right))
+    raise _Ineligible(expr)  # HashExpr and anything unknown
+
+
+# --------------------------------------------------------------------------
+# Action kernels
+# --------------------------------------------------------------------------
+
+
+def _compile_action(adef, ctx: _Ctx):
+    """ActionDef -> kernel(pc, rows, bound) running every op masked.
+
+    Eligible ops: :class:`SetField` (except to ``meta.mcast_grp``,
+    which would route into the TM's multicast path) and the
+    side-effect-free primitives in :data:`_VECTOR_PRIMS`.  Everything
+    else (header push/pop, externs, counters, policers) peels.
+    """
+    np = ctx.np
+    params = dict(adef.params)
+    kernels = []
+    for op in adef.ops:
+        if isinstance(op, act.SetField):
+            dest = op.dest
+            if "." not in dest:
+                raise _Ineligible(dest)
+            scope, field = dest.split(".", 1)
+            value = _compile_action_value(op.expr, ctx, params)
+            if value[0] == "const":
+                const = np.uint64(value[1])
+
+                def vfn(pc, rows, bound, _c=const):
+                    return _c
+            else:
+                vfn = value[0]
+            if scope == "meta":
+                if field == "mcast_grp":
+                    raise _Ineligible(dest)
+                tmpl = ctx.template.get(field, 0)
+                if isinstance(tmpl, bool) or not isinstance(tmpl, int):
+                    raise _Ineligible(dest)
+
+                def meta_kernel(pc, rows, bound, _f=field, _v=vfn):
+                    pc.set_meta(_f, _v(pc, rows, bound), rows)
+
+                kernels.append(meta_kernel)
+            else:
+                recipe = ctx.recipes.get(dest)
+                if recipe is None or scope not in ctx.validity:
+                    raise _Ineligible(dest)
+
+                def field_kernel(pc, rows, bound, _d=dest, _v=vfn):
+                    pc.set_field(_d, _v(pc, rows, bound), rows)
+
+                kernels.append(field_kernel)
+        elif isinstance(op, act.PyPrimitive):
+            kernel = _compile_primitive(op.name, ctx)
+            if kernel is not None:
+                kernels.append(kernel)
+        else:
+            raise _Ineligible(type(op).__name__)
+
+    def run(pc, rows, bound):
+        for kernel in kernels:
+            kernel(pc, rows, bound)
+
+    return run
+
+
+def _compile_primitive(name: str, ctx: _Ctx):
+    np = ctx.np
+    if name == "no_op":
+        return None
+    if name == "drop":
+
+        def drop_kernel(pc, rows, bound):
+            pc.set_meta("drop", np.uint64(1), rows)
+
+        return drop_kernel
+    if name == "mark_to_cpu":
+
+        def cpu_kernel(pc, rows, bound):
+            pc.set_meta("to_cpu", np.uint64(1), rows)
+
+        return cpu_kernel
+    if name == "decrement_ttl":
+        # Validity is a signature constant, so the ipv4/ipv6 branch of
+        # prim_decrement_ttl resolves at compile time.
+        if "ipv4" in ctx.validity:
+            ref = "ipv4.ttl"
+        elif "ipv6" in ctx.validity:
+            ref = "ipv6.hop_limit"
+        else:
+            return None
+        if ctx.recipes.get(ref) is None:
+            raise _Ineligible(ref)
+
+        def ttl_kernel(pc, rows, bound, _ref=ref):
+            values = pc.get(_ref)[rows]
+            expired = values <= 1
+            pc.set_field(
+                _ref,
+                np.where(expired, np.uint64(0), values - np.uint64(1)),
+                rows,
+            )
+            if expired.any():
+                pc.set_meta("drop", np.uint64(1), rows[expired])
+
+        return ttl_kernel
+    raise _Ineligible(name)
+
+
+def _bind_params(adef, action_data):
+    """Replicates :meth:`ActionDef.execute`'s parameter binding."""
+    bound: Dict[str, int] = {}
+    for name, width in adef.params:
+        if name not in action_data:
+            raise KeyError(
+                f"action {adef.name!r} missing parameter {name!r}"
+            )
+        bound[name] = mask_to_width(action_data[name], width)
+    return bound
+
+
+# --------------------------------------------------------------------------
+# Table key getters
+# --------------------------------------------------------------------------
+
+
+def _make_key_getter(ref: str, nbytes: int, ctx: _Ctx):
+    """One key field -> fn(pc, rows) returning its query column.
+
+    8-byte fields yield a uint64 array; 16-byte fields yield a
+    ``(hi, lo)`` pair (zero-extended when the source column is small).
+    """
+    np = ctx.np
+    if "." not in ref:
+        raise _Ineligible(ref)
+    scope, _field = ref.split(".", 1)
+    if scope == "meta":
+        _compile_ref(ref, ctx)  # template/eligibility validation
+        wide = False
+    else:
+        recipe = ctx.recipes.get(ref)
+        if recipe is None or scope not in ctx.validity:
+            raise _Ineligible(ref)
+        wide = recipe[2] > 64
+    if wide and nbytes != 16:
+        raise _Ineligible(ref)  # declared width disagrees with the field
+    if wide:
+
+        def wide_getter(pc, rows):
+            hi, lo = pc.get(ref)
+            return (hi[rows], lo[rows])
+
+        return wide_getter
+    if nbytes == 16:
+
+        def padded_getter(pc, rows):
+            col = pc.get(ref)[rows]
+            return (np.zeros(col.shape[0], np.uint64), col)
+
+        return padded_getter
+
+    def getter(pc, rows):
+        return pc.get(ref)[rows]
+
+    return getter
+
+
+# --------------------------------------------------------------------------
+# Compiled signature plans
+# --------------------------------------------------------------------------
+
+
+class _ArmExec:
+    __slots__ = (
+        "pred", "empty", "table", "key_getters", "tag_kernels",
+        "default_kernel",
+    )
+
+
+class _StageExec:
+    __slots__ = ("parse_count", "arms")
+
+
+class _TspExec:
+    __slots__ = ("stats", "stages")
+
+
+class _ApplyExec:
+    __slots__ = ("table", "actions", "default_action", "key_getters", "kernels")
+
+
+class _CondExec:
+    __slots__ = ("const", "fn", "then_steps", "else_steps")
+
+
+class _SigPlan:
+    """One signature's vector program: recipes, per-stage parse
+    counts, arm/step kernels, and the emit layout."""
+
+    __slots__ = (
+        "ctx", "recipes", "w_extent", "pad_fixups", "tables",
+        "ingress", "egress", "apply_steps", "parsed_count",
+    )
+
+    def __init__(self):
+        self.tables: List = []
+        self.apply_steps: List[_ApplyExec] = []
+
+    def prepare(self, np) -> bool:
+        """Per-batch gate: build every table's batch index and (PISA)
+        compile kernels for every action its entries currently name.
+        Runs before any side effect, so a False is a clean peel."""
+        for table in self.tables:
+            if not table.prepare_batch(np):
+                return False
+        for step in self.apply_steps:
+            if not _ensure_step_kernels(step, self.ctx):
+                return False
+        return True
+
+
+def _resolve_kernel(name, adef, ctx: _Ctx, device):
+    if adef is None:
+        adef = device.actions.get(name)
+        if adef is None:
+            raise _Ineligible(name)  # scalar raises KeyError: peel
+    return (adef, _compile_action(adef, ctx))
+
+
+def _compile_arm(arm, ctx: _Ctx, device, sp: _SigPlan):
+    ex = _ArmExec()
+    if arm.expr is None:
+        ex.pred = None
+    else:
+        value = _compile_pred_value(arm.expr, ctx)
+        if value[0] == "const":
+            ex.pred = None if value[1] else _NEVER
+        else:
+            ex.pred = value[0]
+    if ex.pred is _NEVER:
+        # Constant-false for this signature (e.g. a valid(ipv4) guard
+        # on an IPv6 chain): the arm can never fire, so its table and
+        # actions -- which may read headers this signature lacks --
+        # are never compiled, exactly as the scalar loop never
+        # evaluates them.
+        ex.empty = True
+        ex.table = None
+        ex.key_getters = ()
+        ex.tag_kernels = {}
+        ex.default_kernel = None
+        return ex
+    if arm.table_name is None:
+        ex.empty = True
+        ex.table = None
+        ex.key_getters = ()
+        ex.tag_kernels = {}
+        ex.default_kernel = None
+        return ex
+    ex.empty = False
+    table = arm.table
+    if table is None:
+        raise _Ineligible(arm.table_name)
+    field_bytes = table.batch_field_bytes()
+    if field_bytes is None:
+        raise _Ineligible(arm.table_name)
+    ex.table = table
+    ex.key_getters = tuple(
+        _make_key_getter(kf.ref, nb, ctx)
+        for kf, nb in zip(table.key, field_bytes)
+    )
+    sp.tables.append(table)
+    return ex
+
+
+def _compile_ipsa_sig(core, plan, chain, terminal, prog) -> _SigPlan:
+    np = prog.np
+    device = core.device
+    sp = _SigPlan()
+    recipes = _chain_recipes(np, chain)
+    sim = _ParseSim(chain, terminal, prog.linkage)
+    ctx = _Ctx(np, sim.parsed, prog.template, recipes)
+    sp.ctx = ctx
+    sp.recipes = recipes
+
+    def compile_side(tsp_plans):
+        out = []
+        for tsp_plan in tsp_plans:
+            stages = []
+            for stage_plan in tsp_plan.stages:
+                stage = _StageExec()
+                stage.parse_count = sim.ensure(stage_plan.parse_list)
+                arms = []
+                for arm in stage_plan.arms:
+                    ex = _compile_arm(arm, ctx, device, sp)
+                    if not ex.empty:
+                        ex.tag_kernels = {
+                            tag: _resolve_kernel(name, adef, ctx, device)
+                            for tag, (name, adef)
+                            in stage_plan.tag_actions.items()
+                        }
+                        ex.default_kernel = _resolve_kernel(
+                            *stage_plan.default_pair, ctx, device
+                        )
+                    arms.append(ex)
+                stage.arms = tuple(arms)
+                stages.append(stage)
+            tsp = _TspExec()
+            tsp.stats = tsp_plan.stats
+            tsp.stages = tuple(stages)
+            out.append(tsp)
+        return tuple(out)
+
+    sp.ingress = compile_side(plan.ingress)
+    sp.egress = compile_side(plan.egress)
+    sp.parsed_count = sim.pos
+    _finish_layout(sp, chain, sim.pos)
+    return sp
+
+
+def _compile_pisa_sig(core, plan, chain, terminal, prog) -> _SigPlan:
+    np = prog.np
+    sp = _SigPlan()
+    recipes = _chain_recipes(np, chain)
+    validity = {c[0] for c in chain}
+    ctx = _Ctx(np, validity, prog.template, recipes)
+    sp.ctx = ctx
+    sp.recipes = recipes
+
+    def compile_steps(steps):
+        out = []
+        for step in steps:
+            if hasattr(step, "table_name"):  # ApplyStep
+                table = step.table
+                if table is None:
+                    raise _Ineligible(step.table_name)
+                field_bytes = table.batch_field_bytes()
+                if field_bytes is None:
+                    raise _Ineligible(step.table_name)
+                ex = _ApplyExec()
+                ex.table = table
+                ex.actions = step.actions
+                ex.default_action = table.default_action
+                ex.key_getters = tuple(
+                    _make_key_getter(kf.ref, nb, ctx)
+                    for kf, nb in zip(table.key, field_bytes)
+                )
+                ex.kernels = {}
+                sp.tables.append(table)
+                sp.apply_steps.append(ex)
+                out.append(ex)
+            else:  # IfStep
+                value = _compile_pred_value(step.cond, ctx)
+                if value[0] == "const":
+                    # Signature-constant condition (validity guards):
+                    # splice in only the taken branch -- the scalar
+                    # loop never evaluates the other side, which may
+                    # reference headers this signature lacks.
+                    taken = (
+                        step.then_steps if value[1] else step.else_steps
+                    )
+                    out.extend(compile_steps(taken))
+                    continue
+                ex = _CondExec()
+                ex.const = None
+                ex.fn = value[0]
+                ex.then_steps = compile_steps(step.then_steps)
+                ex.else_steps = compile_steps(step.else_steps)
+                out.append(ex)
+        return tuple(out)
+
+    sp.ingress = compile_steps(plan.ingress)
+    sp.egress = compile_steps(plan.egress)
+    sp.parsed_count = len(chain)
+    _finish_layout(sp, chain, len(chain))
+    return sp
+
+
+def _finish_layout(sp: _SigPlan, chain, parsed_count: int) -> None:
+    """Emit layout: wire extent of the parsed prefix + pad-bit masks.
+
+    Scalar ``pack()`` zeroes a header's pad bits on emit even when the
+    wire had them set, so the columnar emit clears them in the byte
+    matrix instead of peeling such packets.
+    """
+    if parsed_count:
+        name, htype, off = chain[parsed_count - 1]
+        sp.w_extent = off + htype._fixed_bytes
+    else:
+        sp.w_extent = 0
+    fixups = []
+    for name, htype, off in chain[:parsed_count]:
+        pad = htype._pad_bits
+        if pad:
+            fixups.append(
+                (off + htype._fixed_bytes - 1, 0xFF ^ ((1 << pad) - 1))
+            )
+    sp.pad_fixups = tuple(fixups)
+
+
+def _ensure_step_kernels(step: _ApplyExec, ctx: _Ctx) -> bool:
+    """PISA action sets are entry-data-dependent: compile kernels for
+    every action the table's entries currently select (cached on the
+    engine by version)."""
+    table = step.table
+    engine = table._engine
+    version = getattr(engine, "version", None)
+    cached = getattr(engine, "_columnar_actions", None)
+    if cached is None or cached[0] != version:
+        names = {entry.action for entry in table.entries()}
+        engine._columnar_actions = (version, names)
+    else:
+        names = cached[1]
+    for name in names | {step.default_action}:
+        kernel = step.kernels.get(name, _MISSING)
+        if kernel is _MISSING:
+            adef = step.actions.get(name)
+            if adef is None:
+                kernel = None  # scalar raises KeyError: peel
+            else:
+                try:
+                    kernel = (adef, _compile_action(adef, ctx))
+                except _Ineligible:
+                    kernel = None
+            step.kernels[name] = kernel
+        if kernel is None:
+            return False
+    return True
+
+
+# --------------------------------------------------------------------------
+# Vector execution
+# --------------------------------------------------------------------------
+
+
+def _run_stage_arms(stage: _StageExec, pc, active, stats, np) -> None:
+    """First-match-wins over the arm list, as row-set splitting."""
+    remaining = active
+    for arm in stage.arms:
+        if remaining.size == 0:
+            return
+        pred = arm.pred
+        if pred is _NEVER:
+            continue
+        if pred is None:
+            fired = remaining
+            remaining = remaining[:0]
+        else:
+            values = pred(pc, None, None)
+            hit = values[remaining] != 0
+            fired = remaining[hit]
+            if fired.size == 0:
+                continue
+            remaining = remaining[~hit]
+        if arm.empty:
+            continue  # explicit no-op arm consumes its rows
+        _fire_arm(arm, pc, fired, stats, np)
+
+
+def _fire_arm(arm: _ArmExec, pc, fired, stats, np) -> None:
+    stats.account_batch(lookups=int(fired.size))
+    cols = [getter(pc, fired) for getter in arm.key_getters]
+    lengths = pc.get("meta.packet_length")[fired]
+    idx, entries = arm.table.lookup_batch(np, cols, lengths)
+    table = arm.table
+    for rank in np.unique(idx):
+        rows = fired[idx == rank]
+        if rank < 0:
+            tag = 0
+            action_data = table.default_data
+        else:
+            entry = entries[rank]
+            tag = entry.tag
+            action_data = entry.action_data
+        adef, kernel = arm.tag_kernels.get(tag, arm.default_kernel)
+        kernel(pc, rows, _bind_params(adef, action_data))
+    stats.account_batch(actions_run=int(fired.size))
+
+
+def _note_drops(device, reason, count: int) -> None:
+    device.packets_dropped += count
+    note = device.note_drop
+    for _ in range(count):
+        note(reason)
+
+
+def _run_ipsa_group(sp: _SigPlan, pc, rows_global, items, outputs, device):
+    np = pc.np
+    drop = pc.get("meta.drop")
+
+    def run_side(tsps, entering):
+        for tsp in tsps:
+            if entering.size == 0:
+                break
+            tsp.stats.account_batch(packets=int(entering.size))
+            for stage in tsp.stages:
+                active = entering[drop[entering] == 0]
+                if active.size == 0:
+                    break
+                if stage.parse_count:
+                    tsp.stats.account_batch(
+                        headers_parsed=stage.parse_count * int(active.size)
+                    )
+                _run_stage_arms(stage, pc, active, tsp.stats, np)
+            entering = entering[drop[entering] == 0]
+
+    all_rows = np.arange(pc.m)
+    run_side(sp.ingress, all_rows)
+    ingress_dead = int((drop != 0).sum())
+    if ingress_dead:
+        _note_drops(device, DropReason.INGRESS_ACTION, ingress_dead)
+    survivors = all_rows[drop == 0]
+    if survivors.size:
+        # Every survivor is a unicast enqueue/dequeue pair through an
+        # empty TM (mcast_grp is pinned to 0 by the eligibility
+        # rules), grouped here by the egress port the scalar enqueue
+        # would have queued on.
+        ports = pc.get("meta.egress_spec")[survivors]
+        unique, counts = np.unique(ports, return_counts=True)
+        device.pipeline.tm.account_passthrough(
+            list(zip((int(p) for p in unique), (int(c) for c in counts)))
+        )
+    run_side(sp.egress, survivors)
+    egress_dead = int((drop[survivors] != 0).sum())
+    if egress_dead:
+        _note_drops(device, DropReason.EGRESS_ACTION, egress_dead)
+    final = survivors[drop[survivors] == 0]
+    _emit_rows(sp, pc, final, rows_global, items, outputs, device, None)
+
+
+def _run_flow_vec(steps, pc, rows, stats, drop, np) -> None:
+    for step in steps:
+        rows = rows[drop[rows] == 0]
+        if rows.size == 0:
+            return
+        if isinstance(step, _ApplyExec):
+            stats.account_batch(lookups=int(rows.size))
+            cols = [getter(pc, rows) for getter in step.key_getters]
+            lengths = pc.get("meta.packet_length")[rows]
+            idx, entries = step.table.lookup_batch(np, cols, lengths)
+            for rank in np.unique(idx):
+                selected = rows[idx == rank]
+                if rank < 0:
+                    name = step.default_action
+                    action_data = step.table.default_data
+                else:
+                    entry = entries[rank]
+                    name = entry.action
+                    action_data = entry.action_data
+                adef, kernel = step.kernels[name]
+                kernel(pc, selected, _bind_params(adef, action_data))
+            stats.account_batch(actions_run=int(rows.size))
+        else:
+            if step.const is not None:
+                branch = step.then_steps if step.const else step.else_steps
+                _run_flow_vec(branch, pc, rows, stats, drop, np)
+            else:
+                values = step.fn(pc, None, None)
+                taken = values[rows] != 0
+                _run_flow_vec(
+                    step.then_steps, pc, rows[taken], stats, drop, np
+                )
+                _run_flow_vec(
+                    step.else_steps, pc, rows[~taken], stats, drop, np
+                )
+
+
+def _run_pisa_group(sp: _SigPlan, pc, rows_global, items, outputs, device):
+    np = pc.np
+    parser = device.parser
+    parser.stats.packets += pc.m
+    parser.stats.headers_extracted += sp.parsed_count * pc.m
+    stats = device.pipeline.stats
+    stats.account_batch(packets=pc.m)
+    drop = pc.get("meta.drop")
+    all_rows = np.arange(pc.m)
+    _run_flow_vec(sp.ingress, pc, all_rows, stats, drop, np)
+    ingress_dead = int((drop != 0).sum())
+    if ingress_dead:
+        _note_drops(device, DropReason.INGRESS_ACTION, ingress_dead)
+    survivors = all_rows[drop == 0]
+    if survivors.size:
+        _run_flow_vec(sp.egress, pc, survivors, stats, drop, np)
+        egress_dead = int((drop[survivors] != 0).sum())
+        if egress_dead:
+            _note_drops(device, DropReason.EGRESS_ACTION, egress_dead)
+    final = survivors[drop[survivors] == 0]
+    _emit_rows(
+        sp, pc, final, rows_global, items, outputs, device, device.deparser
+    )
+
+
+def _emit_rows(sp, pc, final, rows_global, items, outputs, device, deparser):
+    """Scatter dirty columns, zero pad bits, and emit survivors.
+
+    The wire image is the (possibly rewritten) parsed prefix from the
+    byte matrix plus the untouched original payload tail -- exactly
+    what scalar ``Packet.emit`` produces.
+    """
+    if final.size == 0:
+        return
+    np = pc.np
+    from repro.dp.frontdoor import PortOut
+
+    all_rows = np.arange(pc.m)
+    for ref in pc.dirty:
+        scatter = sp.recipes[ref][1]
+        scatter(pc.mat, pc.cols[ref], all_rows)
+    for byte_index, mask in sp.pad_fixups:
+        pc.mat[:, byte_index] &= mask
+    extent = sp.w_extent
+    egress = pc.get("meta.egress_spec")
+    to_cpu = pc.get("meta.to_cpu")
+    mat = pc.mat
+    punted = 0
+    total_bytes = 0
+    for r in final.tolist():
+        index = int(rows_global[r])
+        data = items[index][0]
+        wire = mat[r, :extent].tobytes() + data[extent:]
+        out = PortOut(int(egress[r]), wire, bool(to_cpu[r]))
+        outputs[index] = out
+        punted += out.to_cpu
+        total_bytes += len(wire)
+    device.packets_out += int(final.size)
+    device.punted += punted
+    if deparser is not None:
+        deparser.stats.packets += int(final.size)
+        deparser.stats.bytes_emitted += total_bytes
+
+
+# --------------------------------------------------------------------------
+# Scalar peel: divergent rows at their original positions
+# --------------------------------------------------------------------------
+
+
+def _run_scalar_rows(core, items, indices, outputs) -> None:
+    """The frontdoor scalar loop, replayed for the peeled rows only."""
+    from repro.dp.frontdoor import finish_unicast
+    from repro.dp.hooks import NULL_HOOKS
+    from repro.net.packet import Packet
+
+    device = core.device
+    first_header = core.first_header()
+    template = core.metadata_template
+    observe = device._packet_bytes.observe
+    process = core.process
+    for index in indices:
+        data, port = items[index]
+        device.packets_in += 1
+        device.clock += 1
+        observe(len(data))
+        metadata = dict(template)
+        metadata["ingress_port"] = port
+        metadata["packet_length"] = len(data)
+        packet = Packet(data, first_header=first_header, metadata=metadata)
+        outcome = process(packet, NULL_HOOKS, None)
+        outputs[index] = finish_unicast(core, NULL_HOOKS, None, outcome)
+
+
+# --------------------------------------------------------------------------
+# The program cache + batch entry point
+# --------------------------------------------------------------------------
+
+
+class ColumnarProgram:
+    """Vector lowering of one compiled scalar plan (sig plans cached)."""
+
+    __slots__ = (
+        "np", "arch", "supported", "header_types", "linkage",
+        "first_header", "template", "sigs",
+    )
+
+    def __init__(self, np, core, plan):
+        from repro.dp.core import IpsaCore, PisaCore
+
+        self.np = np
+        self.sigs: Dict[tuple, Optional[_SigPlan]] = {}
+        self.template = core.metadata_template
+        device = core.device
+        if isinstance(core, IpsaCore):
+            self.arch = "ipsa"
+            self.header_types = device.header_types
+            self.linkage = device.linkage
+        elif isinstance(core, PisaCore):
+            self.arch = "pisa"
+            self.header_types = device.parser.header_types
+            self.linkage = device.parser.linkage
+        else:
+            self.arch = None
+        self.supported = self.arch is not None
+        if self.arch == "ipsa":
+            group = self.template.get("mcast_grp", 0)
+            if not isinstance(group, int) or group != 0:
+                # A default multicast group would route every packet
+                # through TM replication -- scalar only.
+                self.supported = False
+        self.first_header = core.first_header() if self.supported else None
+
+    def sig(self, core, plan, key, chain, terminal) -> Optional[_SigPlan]:
+        sp = self.sigs.get(key, _MISSING)
+        if sp is _MISSING:
+            compile_sig = (
+                _compile_ipsa_sig if self.arch == "ipsa" else _compile_pisa_sig
+            )
+            try:
+                sp = compile_sig(core, plan, chain, terminal, self)
+            except _Ineligible:
+                sp = None
+            self.sigs[key] = sp
+        return sp
+
+
+#: Batches below this row count run scalar without even consulting the
+#: columnar program cache.  Column build + group dispatch cost a few
+#: packets' worth of scalar work per batch, and -- worse -- a tiny
+#: batch against a fresh plan (the fabric rollout's one-packet probe
+#: gate, times a thousand nodes) would pay a full ColumnarProgram
+#: compile it can never amortize.
+MIN_BATCH_ROWS = 8
+
+
+def try_run_batch(core, items) -> Optional[List[object]]:
+    """Run a whole ``(data, port)`` batch columnar.
+
+    Returns the per-row ``PortOut | None`` outputs list, or ``None``
+    when the batch should run on the scalar loop instead (no NumPy,
+    unsupported architecture/state, too few rows to amortize the
+    column build, or nothing vectorizable in it).
+    """
+    np = _numpy()
+    if np is None:
+        return None
+    n = len(items)
+    if n == 0:
+        return []
+    if n < MIN_BATCH_ROWS:
+        return None
+    device = core.device
+    plan = core.plan()
+    cached = core._columnar
+    if cached is None or cached[0] is not plan:
+        cached = (plan, ColumnarProgram(np, core, plan))
+        core._columnar = cached
+    prog = cached[1]
+    if not prog.supported:
+        return None
+    if prog.arch == "ipsa" and device.pipeline.tm.occupancy() != 0:
+        return None  # leftover TM state: keep the scalar path honest
+    mat, lengths, ports, groups, peel = _classify(
+        np, items, prog.header_types, prog.linkage, prog.first_header
+    )
+    runnable = []
+    peel_arrays = list(peel)
+    for key, (chain, terminal, row_arrays) in groups.items():
+        if len(row_arrays) == 1:
+            rows = row_arrays[0]
+        else:
+            rows = np.sort(np.concatenate(row_arrays))
+        sp = prog.sig(core, plan, key, chain, terminal)
+        if sp is None or not sp.prepare(np):
+            peel_arrays.append(rows)
+            continue
+        runnable.append((sp, rows))
+    if not runnable:
+        return None  # nothing vectorizable: plain scalar loop is cheaper
+    outputs: List[object] = [None] * n
+    observe = device._packet_bytes.observe
+    for sp, rows in runnable:
+        pc = PacketColumns(
+            np, mat[rows], lengths[rows], ports[rows],
+            sp.recipes, prog.template,
+        )
+        device.packets_in += pc.m
+        device.clock += pc.m
+        for length in pc.lengths.tolist():
+            observe(length)
+        if prog.arch == "ipsa":
+            _run_ipsa_group(sp, pc, rows, items, outputs, device)
+        else:
+            _run_pisa_group(sp, pc, rows, items, outputs, device)
+    if peel_arrays:
+        peeled = np.sort(np.concatenate(peel_arrays))
+        _run_scalar_rows(core, items, peeled.tolist(), outputs)
+    return outputs

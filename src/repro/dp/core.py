@@ -46,6 +46,15 @@ class DataplaneCore:
         self.plan_invalidations: Dict[str, int] = {}
         self.plan_flips: Dict[str, int] = {}
         self._plan = None
+        #: Columnar fast path: the batch front door may vectorize
+        #: homogeneous runs when this is on (and NumPy is available).
+        #: The compiled columnar program is cached keyed on the scalar
+        #: plan *object*, so every invalidate/flip that replaces the
+        #: scalar plan implicitly retires the columnar one with it --
+        #: same per-reason invalidation and RCU epoch semantics, no
+        #: second cache protocol.
+        self.columnar_enabled = True
+        self._columnar = None  # (scalar plan object, ColumnarProgram)
         self.metadata_template: Dict[str, object] = dict(INTRINSIC_METADATA)
 
     # -- observability -------------------------------------------------

@@ -182,12 +182,29 @@ def inject_batch(
 
     core.plan()  # compile outside the per-packet loop
     profiler = device.profiler
+    int_clock = getattr(device, "int_clock", None)
+    # Columnar fast path: homogeneous runs execute vectorized, with
+    # per-packet fallback for divergent packets.  Instrumented runs
+    # (profiler / meter / INT clock) stay on the scalar loop, whose
+    # hook points the instruments were written against.
+    if (
+        core.columnar_enabled
+        and meter is None
+        and profiler is None
+        and int_clock is None
+    ):
+        from repro.dp import columnar
+
+        items = trace if isinstance(trace, list) else list(trace)
+        columnar_outputs = columnar.try_run_batch(core, items)
+        if columnar_outputs is not None:
+            return BatchResult(columnar_outputs)
+        trace = items
     hooks = NULL_HOOKS if profiler is None else ProfileHooks(profiler)
     first_header = core.first_header()
     template = core.metadata_template
     observe = device._packet_bytes.observe
     process = core.process
-    int_clock = getattr(device, "int_clock", None)
     for data, port in trace:
         device.packets_in += 1
         device.clock += 1

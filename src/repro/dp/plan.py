@@ -28,11 +28,14 @@ from repro.lang.expr import SApply, SIf
 class CompiledArm:
     """One matcher arm, ready to fire: predicate + resolved table."""
 
-    __slots__ = ("index", "predicate", "table_name", "table")
+    __slots__ = ("index", "predicate", "expr", "table_name", "table")
 
-    def __init__(self, index, predicate, table_name, table) -> None:
+    def __init__(self, index, predicate, table_name, table, expr=None) -> None:
         self.index = index
         self.predicate = predicate
+        #: Source predicate Expr (``None`` for an always-true arm);
+        #: the columnar compiler re-lowers it to a vector kernel.
+        self.expr = expr
         #: ``None`` marks an empty arm (explicit no-op on match).
         self.table_name: Optional[str] = table_name
         #: Resolved at compile time; ``None`` with a non-None name
@@ -85,9 +88,9 @@ def _resolve_pair(name: str, actions: dict) -> tuple:
 def compile_stage(stage, device) -> StagePlan:
     """A :class:`~repro.ipsa.tsp.StageRuntime` -> executable plan."""
     arms = []
-    for index, (predicate, _expr, table_name) in enumerate(stage.arms):
+    for index, (predicate, expr, table_name) in enumerate(stage.arms):
         table = None if table_name is None else device.tables.get(table_name)
-        arms.append(CompiledArm(index, predicate, table_name, table))
+        arms.append(CompiledArm(index, predicate, table_name, table, expr))
     actions = device.actions
     tag_actions = {
         tag: _resolve_pair(name, actions)
@@ -139,10 +142,12 @@ class ApplyStep:
 class IfStep:
     """One compiled conditional: closure predicate + compiled branches."""
 
-    __slots__ = ("predicate", "then_steps", "else_steps")
+    __slots__ = ("predicate", "cond", "then_steps", "else_steps")
 
-    def __init__(self, predicate, then_steps, else_steps):
+    def __init__(self, predicate, then_steps, else_steps, cond=None):
         self.predicate = predicate
+        #: Source condition Expr, kept for the columnar compiler.
+        self.cond = cond
         self.then_steps = then_steps
         self.else_steps = else_steps
 
@@ -171,6 +176,7 @@ def compile_flow(flow, tables, actions) -> tuple:
                     compile_predicate(stmt.cond),
                     compile_flow(stmt.then_body, tables, actions),
                     compile_flow(stmt.else_body, tables, actions),
+                    cond=stmt.cond,
                 )
             )
         else:

@@ -67,6 +67,25 @@ class TrafficManager:
                 "tm.queue_depth", len(queue), {"port": str(port)}, "gauge"
             )
 
+    def account_passthrough(self, ports) -> None:
+        """Bulk stats for the columnar batch path's unicast passthrough.
+
+        At a batch boundary the TM is empty, so each survivor is one
+        enqueue immediately followed by one dequeue: occupancy peaks
+        at 1 and no packet ever rests in a queue.  This transcribes
+        those stats (and materializes the per-port queues, so
+        ``tm.queue_depth`` gauges appear exactly as they would have)
+        without touching packet objects.
+        """
+        count = 0
+        for port, n in ports:
+            self._queues.setdefault(port, deque())
+            count += n
+        if count:
+            self.stats.enqueued += count
+            self.stats.dequeued += count
+            self.stats.max_occupancy = max(self.stats.max_occupancy, 1)
+
     def enqueue(self, packet: Packet) -> bool:
         """Queue a packet toward its egress port; False if tail-dropped."""
         if self.occupancy() >= self.buffer_packets:

@@ -87,6 +87,20 @@ class TspStats:
     templates_written: int = 0
     template_words_written: int = 0
 
+    def account_batch(
+        self,
+        packets: int = 0,
+        lookups: int = 0,
+        headers_parsed: int = 0,
+        actions_run: int = 0,
+    ) -> None:
+        """Bulk counter update for the columnar batch path: one call
+        per TSP per batch instead of one increment per packet."""
+        self.packets += packets
+        self.lookups += lookups
+        self.headers_parsed += headers_parsed
+        self.actions_run += actions_run
+
 
 class Tsp:
     """One physical templated stage processor."""

@@ -45,6 +45,14 @@ class PipelineStats:
     lookups: int = 0
     actions_run: int = 0
 
+    def account_batch(
+        self, packets: int = 0, lookups: int = 0, actions_run: int = 0
+    ) -> None:
+        """Bulk counter update for the columnar batch path."""
+        self.packets += packets
+        self.lookups += lookups
+        self.actions_run += actions_run
+
 
 class FixedPipeline:
     """Interprets the ingress/egress flows against packed stages."""

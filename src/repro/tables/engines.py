@@ -23,6 +23,59 @@ __all__ = [
 ]
 
 
+def _pack_key_records(np, keys, field_bytes):
+    """Pack python-int key tuples into fixed-width big-endian records.
+
+    Returns a ``numpy`` byte-string array (one record per key) or
+    ``None`` when any key part does not fit its declared field width
+    (negative or oversized values) -- the caller then keeps the scalar
+    lookup path.  Fixed-width big-endian records compare bytewise in
+    the same order as the integer tuples, so a sorted record array
+    supports ``searchsorted`` batch lookups.
+    """
+    record = sum(field_bytes)
+    packed = []
+    for key in keys:
+        try:
+            packed.append(
+                b"".join(
+                    int(v).to_bytes(nb, "big")
+                    for v, nb in zip(key, field_bytes)
+                )
+            )
+        except (OverflowError, TypeError, AttributeError):
+            return None
+    return np.array(packed, dtype=f"S{record}")
+
+
+def _pack_query_records(np, cols, field_bytes, m):
+    """Column arrays -> the same fixed-width records, one per row.
+
+    ``cols[i]`` is a ``uint64`` array for an 8-byte field or an
+    ``(hi, lo)`` pair of ``uint64`` arrays for a 16-byte field.
+    """
+    parts = []
+    for col, nb in zip(cols, field_bytes):
+        if nb == 16:
+            hi, lo = col
+            parts.append(
+                np.ascontiguousarray(hi.astype(">u8"))
+                .view(np.uint8).reshape(m, 8)
+            )
+            parts.append(
+                np.ascontiguousarray(lo.astype(">u8"))
+                .view(np.uint8).reshape(m, 8)
+            )
+        else:
+            parts.append(
+                np.ascontiguousarray(col.astype(">u8"))
+                .view(np.uint8).reshape(m, 8)
+            )
+    mat = parts[0] if len(parts) == 1 else np.concatenate(parts, axis=1)
+    mat = np.ascontiguousarray(mat)
+    return mat.view(f"S{mat.shape[1]}").ravel()
+
+
 class ExactEngine:
     """All key fields matched exactly: a plain hash map."""
 
@@ -30,18 +83,58 @@ class ExactEngine:
 
     def __init__(self) -> None:
         self._entries: Dict[Tuple[int, ...], object] = {}
+        #: Bumped on every mutation; batch indexes cache against it.
+        self.version = 0
+        self._batch = None
 
     def insert(self, key: Tuple[int, ...], entry: object) -> None:
         self._entries[key] = entry
+        self.version += 1
 
     def remove(self, key: Tuple[int, ...]) -> object:
         try:
-            return self._entries.pop(key)
+            entry = self._entries.pop(key)
         except KeyError:
             raise KeyError(f"no exact entry for key {key}") from None
+        self.version += 1
+        return entry
 
     def lookup(self, values: Tuple[int, ...]) -> Optional[object]:
         return self._entries.get(values)
+
+    def build_batch_index(self, np, field_bytes) -> bool:
+        """(Re)build the sorted-record index; ``False`` -> stay scalar."""
+        cached = self._batch
+        if (
+            cached is not None
+            and cached[0] == self.version
+            and cached[1] == field_bytes
+        ):
+            return True
+        items = list(self._entries.items())
+        recs = _pack_key_records(np, [k for k, _ in items], field_bytes)
+        if recs is None:
+            self._batch = None
+            return False
+        order = np.argsort(recs)
+        self._batch = (
+            self.version,
+            field_bytes,
+            recs[order],
+            [items[int(i)][1] for i in order],
+        )
+        return True
+
+    def lookup_batch(self, np, cols, m):
+        """Batched lookup: (entry-rank array with -1 for miss, entries)."""
+        _version, field_bytes, sorted_recs, entries = self._batch
+        if not entries:
+            return np.full(m, -1, np.int64), entries
+        query = _pack_query_records(np, cols, field_bytes, m)
+        pos = np.searchsorted(sorted_recs, query)
+        clamped = np.minimum(pos, len(entries) - 1)
+        hit = sorted_recs[clamped] == query
+        return np.where(hit, clamped, -1).astype(np.int64), entries
 
     def entries(self) -> List[object]:
         return list(self._entries.values())
@@ -65,6 +158,9 @@ class LpmEngine:
         self.lpm_width = lpm_width
         # prefix_len -> {(exact..., masked_value): entry}
         self._by_len: Dict[int, Dict[Tuple[int, ...], object]] = {}
+        #: Bumped on every mutation; batch indexes cache against it.
+        self.version = 0
+        self._batch = None
 
     def _mask(self, value: int, prefix_len: int) -> int:
         if prefix_len == 0:
@@ -86,6 +182,7 @@ class LpmEngine:
             )
         bucket = self._by_len.setdefault(prefix_len, {})
         bucket[exact + (self._mask(value, prefix_len),)] = entry
+        self.version += 1
 
     def remove(self, exact: Tuple[int, ...], value: int, prefix_len: int) -> object:
         bucket = self._by_len.get(prefix_len, {})
@@ -96,6 +193,7 @@ class LpmEngine:
             raise KeyError(f"no LPM entry for {value:#x}/{prefix_len}") from None
         if not bucket:
             del self._by_len[prefix_len]
+        self.version += 1
         return entry
 
     def lookup(self, values: Tuple[int, ...]) -> Optional[object]:
@@ -106,6 +204,78 @@ class LpmEngine:
             if entry is not None:
                 return entry
         return None
+
+    def build_batch_index(self, np, field_bytes) -> bool:
+        """Per-prefix-length sorted-record indexes (longest first)."""
+        cached = self._batch
+        if (
+            cached is not None
+            and cached[0] == self.version
+            and cached[1] == field_bytes
+        ):
+            return True
+        buckets = []
+        for plen in sorted(self._by_len, reverse=True):
+            items = list(self._by_len[plen].items())
+            recs = _pack_key_records(np, [k for k, _ in items], field_bytes)
+            if recs is None:
+                self._batch = None
+                return False
+            order = np.argsort(recs)
+            buckets.append(
+                (plen, recs[order], [items[int(i)][1] for i in order])
+            )
+        self._batch = (self.version, field_bytes, buckets)
+        return True
+
+    def _mask_col(self, np, col, prefix_len):
+        """Vector version of :meth:`_mask` (handles the (hi, lo) pair
+        representation of >64-bit LPM fields)."""
+        width = self.lpm_width
+        if isinstance(col, tuple):
+            hi, lo = col
+            shift = width - prefix_len
+            if prefix_len == 0:
+                zero = np.zeros_like(hi)
+                return (zero, zero)
+            if shift >= 64:
+                hs = shift - 64
+                masked_hi = hi if hs == 0 else (hi >> hs) << hs
+                return (masked_hi, np.zeros_like(lo))
+            if shift == 0:
+                return (hi, lo)
+            return (hi, (lo >> shift) << shift)
+        if prefix_len == 0:
+            return np.zeros_like(col)
+        shift = width - prefix_len
+        if shift == 0:
+            return col
+        return (col >> shift) << shift
+
+    def lookup_batch(self, np, exact_cols, lpm_col, m):
+        """Batched longest-prefix match, one masked pass per length."""
+        _version, field_bytes, buckets = self._batch
+        total = sum(len(entries) for _p, _r, entries in buckets)
+        idx = np.full(m, -1, np.int64)
+        entries_all: List[object] = []
+        if not total:
+            return idx, entries_all
+        unresolved = np.ones(m, bool)
+        base = 0
+        for plen, sorted_recs, entries in buckets:
+            if unresolved.any():
+                masked = self._mask_col(np, lpm_col, plen)
+                query = _pack_query_records(
+                    np, list(exact_cols) + [masked], field_bytes, m
+                )
+                pos = np.searchsorted(sorted_recs, query)
+                clamped = np.minimum(pos, len(entries) - 1)
+                hit = (sorted_recs[clamped] == query) & unresolved
+                idx[hit] = base + clamped[hit]
+                unresolved &= ~hit
+            entries_all.extend(entries)
+            base += len(entries)
+        return idx, entries_all
 
     def entries(self) -> List[object]:
         return [e for bucket in self._by_len.values() for e in bucket.values()]
@@ -123,6 +293,8 @@ class TernaryEngine:
         self.field_count = field_count
         # (values, masks, priority, entry), kept sorted by priority desc.
         self._rows: List[Tuple[Tuple[int, ...], Tuple[int, ...], int, object]] = []
+        #: Bumped on every mutation (parity with the batchable engines).
+        self.version = 0
 
     def insert(
         self,
@@ -139,11 +311,13 @@ class TernaryEngine:
         row = (tuple(v & m for v, m in zip(values, masks)), tuple(masks), priority, entry)
         self._rows.append(row)
         self._rows.sort(key=lambda r: -r[2])
+        self.version += 1
 
     def remove(self, values: Tuple[int, ...], masks: Tuple[int, ...]) -> object:
         masked = tuple(v & m for v, m in zip(values, masks))
         for i, row in enumerate(self._rows):
             if row[0] == masked and row[1] == tuple(masks):
+                self.version += 1
                 return self._rows.pop(i)[3]
         raise KeyError(f"no ternary entry for {values}/{masks}")
 
@@ -175,15 +349,20 @@ class HashEngine:
 
     def __init__(self) -> None:
         self._members: List[object] = []
+        #: Bumped on every mutation; batch callers cache against it.
+        self.version = 0
 
     def insert(self, entry: object) -> None:
         self._members.append(entry)
+        self.version += 1
 
     def remove_member(self, index: int) -> object:
         try:
-            return self._members.pop(index)
+            member = self._members.pop(index)
         except IndexError:
             raise KeyError(f"no hash member at index {index}") from None
+        self.version += 1
+        return member
 
     def lookup(self, values: Tuple[int, ...]) -> Optional[object]:
         if not self._members:

@@ -286,6 +286,91 @@ class Table:
             action_data=dict(entry.action_data),
         )
 
+    # -- batched lookup (columnar fast path) -------------------------------
+
+    def batch_field_bytes(self):
+        """Record bytes per key field (8 or 16), or ``None`` if any
+        field is too wide for the packed-record batch index."""
+        field_bytes = []
+        for kf in self.key:
+            if kf.width <= 64:
+                field_bytes.append(8)
+            elif kf.width <= 128:
+                field_bytes.append(16)
+            else:
+                return None
+        return tuple(field_bytes)
+
+    def prepare_batch(self, np) -> bool:
+        """Build (or reuse) the engine's batch index before a columnar
+        batch touches any counters; ``False`` -> run the batch scalar."""
+        engine = self._engine
+        if engine.kind == "hash":
+            return True
+        if engine.kind not in ("exact", "lpm"):
+            return False
+        field_bytes = self.batch_field_bytes()
+        if field_bytes is None:
+            return False
+        return engine.build_batch_index(np, field_bytes)
+
+    def lookup_batch(self, np, cols, lengths):
+        """Vectorized :meth:`lookup` over ``m`` rows.
+
+        ``cols[i]`` is the i-th key field's column (``uint64`` array,
+        or an ``(hi, lo)`` pair for >64-bit fields); ``lengths`` is the
+        per-row ``packet_length`` column.  Applies the same counter
+        side effects as ``m`` scalar lookups (table hit/miss counts,
+        per-entry hit and byte counters) and returns ``(idx, entries)``
+        where ``idx[r] == -1`` means miss (default action) and
+        otherwise indexes ``entries``.
+        """
+        engine = self._engine
+        m = len(lengths)
+        if engine.kind == "hash":
+            idx, entries = self._hash_lookup_rows(np, cols, m)
+        elif engine.kind == "lpm":
+            idx, entries = engine.lookup_batch(np, cols[:-1], cols[-1], m)
+        else:
+            idx, entries = engine.lookup_batch(np, cols, m)
+        hit = idx >= 0
+        hits = int(hit.sum())
+        self.hit_count += hits
+        self.miss_count += m - hits
+        if hits and entries:
+            ranks = idx[hit]
+            counts = np.bincount(ranks, minlength=len(entries))
+            byte_sums = np.zeros(len(entries), np.int64)
+            np.add.at(byte_sums, ranks, lengths[hit].astype(np.int64))
+            for rank, entry in enumerate(entries):
+                count = int(counts[rank])
+                if count:
+                    entry.hits += count
+                    entry.bytes += int(byte_sums[rank])
+        return idx, entries
+
+    def _hash_lookup_rows(self, np, cols, m):
+        """Hash-engine rows keep the scalar flow hash (cheap, exact)."""
+        engine = self._engine
+        entries = engine.entries()
+        rank_of = {id(entry): rank for rank, entry in enumerate(entries)}
+        value_lists = []
+        for col in cols:
+            if isinstance(col, tuple):
+                hi, lo = col
+                value_lists.append(
+                    [(h << 64) | l for h, l in zip(hi.tolist(), lo.tolist())]
+                )
+            else:
+                value_lists.append(col.tolist())
+        idx = np.empty(m, np.int64)
+        for row in range(m):
+            entry = engine.lookup(
+                tuple(values[row] for values in value_lists)
+            )
+            idx[row] = -1 if entry is None else rank_of[id(entry)]
+        return idx, entries
+
     # -- helpers -----------------------------------------------------------
 
     @staticmethod

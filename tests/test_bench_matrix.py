@@ -362,6 +362,13 @@ class TestHarnessCli:
         for result in worse_doc["results"]:
             result["pps"] *= 0.1
             result["ns_per_pkt"] *= 10.0
+            columnar = result.get("columnar")
+            if columnar is not None:
+                # speedup_x is validated as derived from these two, so
+                # a hand-worsened document must keep it consistent.
+                columnar["speedup_x"] = (
+                    columnar["ns_per_pkt_off"] / result["ns_per_pkt"]
+                )
         worse = tmp_path / "new.json"
         worse.write_text(json.dumps(worse_doc))
         capsys.readouterr()

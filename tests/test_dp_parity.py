@@ -5,14 +5,33 @@ copies of the dataplane semantics; these tests pin the invariant that
 made the refactor safe: plain, traced, and profiled runs are
 byte-identical on the wire and identical in their table/stat effects,
 and ``inject_batch`` equals N individual ``inject`` calls.
+
+The columnar classes extend the same contract to the vectorized batch
+path (:mod:`repro.dp.columnar`): across the whole case matrix a batch
+run with the columnar fast path enabled must be byte-identical on the
+wire -- same ports, same drop slots, same drop reasons, same table and
+stage counters -- to the scalar interpreter, including when divergent
+packets (varbit INT stacks, short frames, unknown EtherTypes) are
+peeled out of an otherwise homogeneous batch.
 """
 
 import pytest
 
-from repro.bench.scenarios import case_trace, make_switch
+from repro.bench.scenarios import (
+    case_trace,
+    make_ipsa_controller,
+    make_switch,
+)
 
 CASES = ("C1", "C2", "C3")
 N_PACKETS = 25
+
+
+def _scalar_switch(arch, case):
+    """A switch pinned to the scalar interpreter."""
+    switch = make_switch(arch, case)
+    switch.dp.columnar_enabled = False
+    return switch
 
 
 def _run(switch, trace):
@@ -121,3 +140,247 @@ class TestBatchEquivalence:
         batch = switch.inject_batch(trace)
         assert len(switch.tracer.traces) == 5
         assert batch.forwarded + batch.dropped == 5
+
+
+@pytest.mark.parametrize("arch", ["ipsa", "pisa"])
+@pytest.mark.parametrize("case", ("base",) + CASES)
+class TestColumnarParity:
+    """The vectorized batch path vs the scalar interpreter.
+
+    Full {base,C1,C2,C3} x {ipsa,pisa} matrix: whatever mixture of
+    vectorized groups and scalar peels a case produces, the columnar
+    front door must be byte-identical on the wire and identical in
+    drop reasons, table counters, and stage stats.
+    """
+
+    def test_columnar_batch_is_byte_identical(self, arch, case):
+        trace = case_trace(case, 60)
+        scalar = _scalar_switch(arch, case)
+        fast = make_switch(arch, case)
+        assert fast.dp.columnar_enabled
+        scalar_batch = scalar.inject_batch(trace)
+        fast_batch = fast.inject_batch(trace)
+        assert _wire(list(scalar_batch)) == _wire(list(fast_batch))
+        assert _effects(scalar) == _effects(fast)
+
+    def test_columnar_batch_matches_singles(self, arch, case):
+        trace = case_trace(case, 40)
+        singles = _scalar_switch(arch, case)
+        fast = make_switch(arch, case)
+        single_outs = _run(singles, trace)
+        batch = fast.inject_batch(trace)
+        assert _wire(single_outs) == _wire(list(batch))
+        assert _effects(singles) == _effects(fast)
+
+
+@pytest.mark.parametrize("arch", ["ipsa", "pisa"])
+@pytest.mark.parametrize("case", ("base", "C1"))
+def test_columnar_engages_on_hot_cases(arch, case):
+    """The headline cells must actually vectorize, or the parity
+    matrix above would be comparing the scalar loop with itself."""
+    from repro.dp import columnar
+
+    switch = make_switch(arch, case)
+    items = case_trace(case, 32)
+    outputs = columnar.try_run_batch(switch.dp, items)
+    assert outputs is not None
+    assert len(outputs) == 32
+
+
+@pytest.mark.parametrize("arch", ["ipsa", "pisa"])
+def test_mixed_divergent_batch_preserves_order(arch):
+    """A heterogeneous batch -- several parse-set signatures plus rows
+    that fall off the parse graph -- comes back in injection order,
+    slot for slot, whatever mixture of vector groups and scalar peels
+    the classifier produced."""
+    from repro.workloads import ipv4_packet, ipv6_packet, l2_packet
+
+    items = []
+    for i in range(12):
+        items.append((ipv4_packet("10.1.0.1", "10.2.0.1", sport=3000 + i), 0))
+        if i % 2 == 0:
+            items.append((ipv6_packet("2001:db8::1", "2001:db8:2::5"), 0))
+        if i % 3 == 0:
+            items.append((l2_packet(i % 4), 0))
+        if i % 4 == 0:
+            # unknown EtherType: parses eth, then falls off the graph
+            items.append((bytes(12) + b"\x88\xb5" + bytes(32), 0))
+    scalar = _scalar_switch(arch, "base")
+    fast = make_switch(arch, "base")
+    scalar_batch = scalar.inject_batch(items)
+    fast_batch = fast.inject_batch(items)
+    assert len(fast_batch) == len(items)
+    assert _wire(list(scalar_batch)) == _wire(list(fast_batch))
+    assert _effects(scalar) == _effects(fast)
+
+
+class TestColumnarIntShimPeel:
+    """Varbit INT stacks must peel to the scalar loop, byte-identically."""
+
+    @staticmethod
+    def _int_trace(n=8):
+        """Packets wearing an INT shim + hop stack, built by replaying
+        plain ipv4 through a source switch with ``int_insert`` live."""
+        from repro.programs import (
+            int_load_script,
+            int_rp4_source,
+            populate_int_tables,
+        )
+        from repro.workloads import ipv4_packet
+
+        source = make_ipsa_controller("base")
+        source.run_script(int_load_script(), {"int.rp4": int_rp4_source()})
+        populate_int_tables(source.switch.tables, switch_id=1)
+        source.switch.enable_int()
+        outs = [
+            source.switch.inject(
+                ipv4_packet("10.1.0.1", "10.2.0.1", sport=1024 + i), 0
+            )
+            for i in range(n)
+        ]
+        items = [(out.data, 0) for out in outs if out is not None]
+        assert items, "INT source produced no output packets"
+        return items
+
+    @staticmethod
+    def _int_sink():
+        """A switch whose parse graph reaches the varbit INT stack.
+
+        Base + ``int_insert`` + ``int_strip`` (the strip function links
+        itself after the insert stage), tables populated for the sink
+        role.  INT timestamping stays *off*: ``enable_int`` would pin
+        the front door to the scalar loop, and this test needs the
+        columnar path attempted so the varbit rows actually peel.
+        """
+        from repro.obs.intcol import IntCollector
+        from repro.programs import (
+            int_load_script,
+            int_rp4_source,
+            int_strip_load_script,
+            int_strip_rp4_source,
+            populate_int_sink_tables,
+            populate_int_tables,
+        )
+
+        controller = make_ipsa_controller("base")
+        controller.run_script(
+            int_load_script(), {"int.rp4": int_rp4_source()}
+        )
+        populate_int_tables(controller.switch.tables, switch_id=2)
+        controller.run_script(
+            int_strip_load_script(),
+            {"int_strip.rp4": int_strip_rp4_source()},
+        )
+        populate_int_sink_tables(controller.switch.tables)
+        switch = controller.switch
+        switch.attach_int_collector(IntCollector(), node="sink")
+        return switch
+
+    def test_int_shim_batch_is_byte_identical(self):
+        from repro.workloads import ipv4_packet
+
+        int_items = self._int_trace()
+        plain_items = [
+            (ipv4_packet("10.1.0.5", "10.2.0.9", sport=2000 + i), 0)
+            for i in range(len(int_items))
+        ]
+        # Interleave so the peel must scatter back into its slots.
+        mixed = [
+            item for pair in zip(plain_items, int_items) for item in pair
+        ]
+        scalar = self._int_sink()
+        scalar.dp.columnar_enabled = False
+        fast = self._int_sink()
+        scalar_batch = scalar.inject_batch(mixed)
+        fast_batch = fast.inject_batch(mixed)
+        assert _wire(list(scalar_batch)) == _wire(list(fast_batch))
+        assert _effects(scalar) == _effects(fast)
+
+    def test_varbit_rows_peel_at_classification(self):
+        """The classifier sends exactly the INT-wearing rows to the
+        peel list: their parse chain reaches the varbit hop stack,
+        which has no fixed column layout.  The plain rows classify
+        into a normal signature group -- on *this* device that group
+        is then ineligible too (``int_insert`` runs an extern), so the
+        whole batch defers to the scalar loop, which is what the
+        byte-identical test above exercises end to end."""
+        from repro.dp import columnar
+        from repro.workloads import ipv4_packet
+
+        switch = self._int_sink()
+        np = columnar.require_numpy()
+        core = switch.dp
+        plan = core.plan()
+        prog = columnar.ColumnarProgram(np, core, plan)
+        assert prog.supported
+
+        plain_items = [
+            (ipv4_packet("10.1.0.5", "10.2.0.9", sport=2000 + i), 0)
+            for i in range(8)
+        ]
+        int_items = self._int_trace(4)
+        items = plain_items + int_items
+        _mat, _lengths, _ports, groups, peel = columnar._classify(
+            np, items, prog.header_types, prog.linkage, prog.first_header
+        )
+        peeled = sorted(int(i) for rows in peel for i in rows)
+        assert peeled == list(range(len(plain_items), len(items)))
+        grouped = sorted(
+            int(i)
+            for _chain, _terminal, row_arrays in groups.values()
+            for rows in row_arrays
+            for i in rows
+        )
+        assert grouped == list(range(len(plain_items)))
+        # Extern-laden pipeline: every signature is ineligible, so the
+        # batch as a whole falls back rather than half-running.
+        assert columnar.try_run_batch(core, items) is None
+
+
+class TestColumnarPlanEpochs:
+    """The cached columnar program follows plan invalidation/flips."""
+
+    def test_epoch_flip_between_batches(self):
+        from repro.bench.scenarios import CASE_ARTIFACTS
+
+        script, snippet, name, populate, _ = CASE_ARTIFACTS["C1"]
+        scalar_ctl = make_ipsa_controller("base")
+        fast_ctl = make_ipsa_controller("base")
+        scalar_sw = scalar_ctl.switch
+        scalar_sw.dp.columnar_enabled = False
+        fast_sw = fast_ctl.switch
+
+        base_trace = case_trace("base", 40)
+        s1 = scalar_sw.inject_batch(base_trace)
+        f1 = fast_sw.inject_batch(base_trace)
+        assert _wire(list(s1)) == _wire(list(f1))
+        cached_before = fast_sw.dp._columnar
+        assert cached_before is not None
+        assert cached_before[0] is fast_sw.dp.plan()
+
+        # The epoch flip: C1 loaded in-situ between batches.  The old
+        # columnar program is keyed on the old plan object, so the
+        # flip retires it for free.
+        for ctl in (scalar_ctl, fast_ctl):
+            ctl.run_script(script(), {name: snippet()})
+            populate(ctl.switch.tables)
+
+        c1_trace = case_trace("C1", 40)
+        s2 = scalar_sw.inject_batch(c1_trace)
+        f2 = fast_sw.inject_batch(c1_trace)
+        assert _wire(list(s2)) == _wire(list(f2))
+        assert _effects(scalar_sw) == _effects(fast_sw)
+        cached_after = fast_sw.dp._columnar
+        assert cached_after[0] is fast_sw.dp.plan()
+        assert cached_after[0] is not cached_before[0]
+
+    def test_occupied_tm_defers_to_scalar(self):
+        """In-flight TM packets (mid-update drains) force the scalar
+        loop: the columnar passthrough assumes an empty TM."""
+        from repro.dp import columnar
+
+        switch = make_switch("ipsa", "base")
+        trace = case_trace("base", 8)
+        parked = switch.dp.new_packet(trace[0][0], 0)
+        switch.pipeline.tm.enqueue(parked)
+        assert columnar.try_run_batch(switch.dp, trace) is None
